@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Defense Improvement 6 (§8.2): ECC against RowHammer's
+ * non-uniform column error distribution.
+ *
+ * Because flips cluster in vulnerable columns (Obsvs. 13-14), a
+ * SEC-DED word built from 8 consecutive columns sees correlated
+ * multi-bit errors. Interleaving each word's bytes across distant
+ * columns ("ECC schemes optimized for non-uniform bit error
+ * probability distributions across columns") converts detected /
+ * silently mis-corrected words back into correctable single-bit
+ * errors.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "ecc/rowhammer_ecc.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rhs;
+    using namespace rhs::bench;
+
+    const auto scale = parseScale(argc, argv, 6'000, 2, 2'000);
+    printHeader("Defense Improvement 6: SEC-DED vs RowHammer flips",
+                "Section 8.2 Improvement 6 (column-aware ECC)");
+
+    auto fleet = makeBenchFleet(scale);
+    std::printf("Aggressive attack conditions: tAggOn=154.5ns, 75 degC, "
+                "512K hammers (maximizes multi-bit words)\n\n");
+    std::printf("%-8s %-13s %-8s %-10s %-10s %-10s %-9s\n", "Module",
+                "layout", "words", "corrected", "detected", "silent",
+                "silent%");
+    printRule();
+
+    for (auto &entry : fleet) {
+        rhmodel::Conditions conditions;
+        conditions.temperature = 75.0;
+        conditions.tAggOn = 154.5;
+
+        for (auto layout : {ecc::WordLayout::Contiguous,
+                            ecc::WordLayout::Interleaved}) {
+            ecc::EccOutcome outcome;
+            for (unsigned row : entry.rows) {
+                const auto detail = entry.tester->berDetail(
+                    0, row, conditions, entry.wcdp,
+                    core::kMaxHammers);
+                outcome.merge(ecc::analyzeFlips(
+                    detail.flips,
+                    entry.dimm->module().geometry(), layout));
+            }
+            std::printf("%-8s %-13s %-8llu %-10llu %-10llu %-10llu "
+                        "%8.3f%%\n",
+                        entry.dimm->label().c_str(),
+                        layout == ecc::WordLayout::Contiguous
+                            ? "contiguous"
+                            : "interleaved",
+                        static_cast<unsigned long long>(outcome.words),
+                        static_cast<unsigned long long>(
+                            outcome.corrected),
+                        static_cast<unsigned long long>(
+                            outcome.detected),
+                        static_cast<unsigned long long>(
+                            outcome.silentCorruption),
+                        100.0 * outcome.silentRate());
+        }
+        printRule();
+    }
+
+    std::printf("Column-aware interleaving shifts detected/silent "
+                "words into the corrected column: the Improvement 6 "
+                "claim.\n");
+    return 0;
+}

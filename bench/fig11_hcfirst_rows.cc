@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Fig. 11: the distribution of HCfirst across vulnerable
+ * DRAM rows, per module, with the Obsv. 12 percentile ratios.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/spatial.hh"
+#include "stats/descriptive.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rhs;
+    using namespace rhs::bench;
+
+    const auto scale = parseScale(argc, argv);
+    printHeader("Fig. 11: distribution of HCfirst across vulnerable "
+                "DRAM rows",
+                "Fig. 11 (paper: P1/P5/P10 at >= 1.6x/2.0x/2.2x the "
+                "most vulnerable row; min ~33K for a Mfr. B module; "
+                "Obsv. 12)");
+
+    auto fleet = makeBenchFleet(scale);
+    std::printf("%-8s %-7s %-9s", "Module", "#vuln", "min");
+    for (const char *p : {"P1", "P5", "P10", "P25", "P50", "P75", "P90",
+                          "P95", "P99"})
+        std::printf(" %8s", p);
+    std::printf("\n");
+    printRule();
+
+    for (auto &entry : fleet) {
+        const auto hcs = core::rowHcFirstSurvey(*entry.tester, 0,
+                                                entry.rows, entry.wcdp);
+        if (hcs.empty())
+            continue;
+        std::printf("%-8s %-7zu %8.1fK", entry.dimm->label().c_str(),
+                    hcs.size(), stats::minValue(hcs) / 1e3);
+        for (double q : {0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90,
+                         0.95, 0.99})
+            std::printf(" %7.1fK", stats::quantile(hcs, q) / 1e3);
+        std::printf("\n");
+
+        const auto summary = core::summarizeRowVariation(hcs);
+        std::printf("%-8s ratios vs most vulnerable row: P1=%.2fx  "
+                    "P5=%.2fx  P10=%.2fx\n",
+                    "", summary.p1Ratio, summary.p5Ratio,
+                    summary.p10Ratio);
+    }
+
+    std::printf("\nObsv. 12 check: a small fraction of rows is about "
+                "2x more vulnerable than the other 95%%.\n");
+    return 0;
+}

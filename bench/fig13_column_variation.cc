@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates Fig. 13: DRAM columns clustered by relative RowHammer
+ * vulnerability (y) and its coefficient of variation across chips (x).
+ * Columns with CV ~ 0 indicate design-induced variation; CV ~ 1
+ * indicates manufacturing-process variation (Obsv. 14).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/spatial.hh"
+#include "stats/histogram.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rhs;
+    using namespace rhs::bench;
+
+    const auto scale = parseScale(argc, argv, 24'000, 2, 8'000);
+    printHeader("Fig. 13: columns clustered by relative vulnerability "
+                "and cross-chip variation",
+                "Fig. 13 (paper: CV=0 mass 50.9% for Mfr. B / 16.6% "
+                "for C; CV=1 mass 59.8/30.6/29.1 % for A/C/D)");
+
+    auto fleet = makeBenchFleet(scale);
+    for (auto &entry : fleet) {
+        const auto counts = core::columnFlipSurvey(
+            *entry.tester, 0, entry.rows, entry.wcdp);
+        const auto variation = core::analyzeColumnVariation(counts);
+
+        stats::Histogram2d buckets(0.0, 1.0001, 11, 0.0, 1.0001, 11);
+        for (std::size_t col = 0;
+             col < variation.relativeVulnerability.size(); ++col) {
+            if (variation.relativeVulnerability[col] <= 0.0)
+                continue;
+            buckets.add(variation.cvExcessAcrossChips[col],
+                        variation.relativeVulnerability[col]);
+        }
+
+        std::printf("\n%s  RelVuln \\ noise-corrected CV ->\n",
+                    entry.dimm->label().c_str());
+        for (std::size_t y = buckets.ySize(); y-- > 0;) {
+            std::printf("  %4.1f ", (static_cast<double>(y) + 0.5) / 11);
+            for (std::size_t x = 0; x < buckets.xSize(); ++x) {
+                const double f = 100.0 * buckets.fraction(x, y);
+                if (f == 0.0)
+                    std::printf("      ");
+                else
+                    std::printf("%5.1f%%", f);
+            }
+            std::printf("\n");
+        }
+        std::printf("  design-consistent columns (CV~0): %5.1f%%   "
+                    "process-dominated (CV~1): %5.1f%%\n",
+                    100.0 * variation.designConsistentFraction(),
+                    100.0 * variation.processDominatedFraction());
+    }
+
+    std::printf("\nObsv. 14 check: Mfr. B is design-dominated (large "
+                "CV~0 mass), Mfr. A process-dominated (large CV~1 "
+                "mass).\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Fig. 15: the cumulative distribution of the normalized
+ * Bhattacharyya distance between the HCfirst distributions of subarray
+ * pairs from (1) the same module and (2) different modules.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/spatial.hh"
+#include "stats/bhattacharyya.hh"
+#include "stats/descriptive.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rhs;
+    using namespace rhs::bench;
+
+    util::Cli cli(argc, argv, {"modules", "rows", "full", "subarrays"});
+    const unsigned modules_per_mfr =
+        static_cast<unsigned>(cli.getInt("modules", 3));
+    const unsigned subarrays =
+        static_cast<unsigned>(cli.getInt("subarrays", 6));
+
+    printHeader("Fig. 15: normalized Bhattacharyya distance between "
+                "subarray HCfirst distributions",
+                "Fig. 15 (paper: same-module pairs cluster near 1.0 "
+                "(P5 ~0.975 for Mfr. C); cross-module pairs spread "
+                "much wider (P5 ~0.66); Obsv. 16)");
+
+    std::printf("%-8s %-22s %-22s\n", "Mfr.",
+                "same-module  P5/P50/P95", "diff-module  P5/P50/P95");
+    printRule();
+
+    for (auto mfr : rhmodel::allMfrs) {
+        // Collect per-subarray HCfirst samples of every module.
+        std::vector<std::vector<std::vector<double>>> modules;
+        for (unsigned index = 0; index < modules_per_mfr; ++index) {
+            rhmodel::SimulatedDimm dimm(mfr, index);
+            core::Tester tester(dimm);
+            rhmodel::Conditions reference;
+            const auto wcdp = tester.findWorstCasePattern(
+                0, {100, 2000, 6000}, reference);
+            const auto survey =
+                core::subarraySurvey(tester, 0, subarrays, 32, wcdp);
+            std::vector<std::vector<double>> dists;
+            for (const auto &entry : survey)
+                dists.push_back(entry.hcFirstValues);
+            modules.push_back(std::move(dists));
+        }
+
+        std::vector<double> same, different;
+        for (std::size_t m = 0; m < modules.size(); ++m) {
+            for (std::size_t a = 0; a < modules[m].size(); ++a) {
+                for (std::size_t b = 0; b < modules[m].size(); ++b) {
+                    if (a != b)
+                        same.push_back(stats::bhattacharyyaNormalized(
+                            modules[m][a], modules[m][b], 12));
+                }
+                for (std::size_t n = 0; n < modules.size(); ++n) {
+                    if (n == m)
+                        continue;
+                    for (const auto &other : modules[n])
+                        different.push_back(
+                            stats::bhattacharyyaNormalized(
+                                modules[m][a], other, 12));
+                }
+            }
+        }
+
+        auto fmt = [](const std::vector<double> &xs) {
+            char buffer[64];
+            if (xs.empty())
+                return std::string("-");
+            std::snprintf(buffer, sizeof(buffer), "%.3f/%.3f/%.3f",
+                          stats::quantile(xs, 0.05),
+                          stats::quantile(xs, 0.50),
+                          stats::quantile(xs, 0.95));
+            return std::string(buffer);
+        };
+        std::printf("%-8s %-22s %-22s\n",
+                    rhmodel::to_string(mfr).c_str(), fmt(same).c_str(),
+                    fmt(different).c_str());
+    }
+
+    std::printf("\nObsv. 16 check: a subarray's HCfirst distribution "
+                "is representative of other subarrays of the SAME "
+                "module, not of other modules.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates Fig. 3: the population of vulnerable DRAM cells
+ * clustered by their vulnerable temperature range. Rows are the upper
+ * limit of the range, columns the lower limit; each bucket shows the
+ * percentage of all vulnerable cells.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/temp_analysis.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rhs;
+    using namespace rhs::bench;
+
+    const auto scale = parseScale(argc, argv);
+    printHeader("Fig. 3: population of vulnerable cells clustered by "
+                "vulnerable temperature range",
+                "Fig. 3 (paper highlights: full-range cells "
+                "14.2/17.4/9.6/29.8 %, e.g. 5.4% of Mfr. A cells in "
+                "70-90 degC)");
+
+    auto fleet = makeBenchFleet(scale);
+    for (auto mfr : rhmodel::allMfrs) {
+        core::TempRangeAnalysis merged;
+        merged.temps = core::standardTemperatures();
+        merged.rangeCount.assign(
+            merged.temps.size(),
+            std::vector<std::uint64_t>(merged.temps.size(), 0));
+        for (auto &entry : fleet) {
+            if (entry.dimm->mfr() != mfr)
+                continue;
+            merged.merge(core::analyzeTempRanges(
+                *entry.tester, 0, entry.rows, entry.wcdp));
+        }
+
+        std::printf("\n%s  (vulnerable cells: %llu)\n",
+                    rhmodel::to_string(mfr).c_str(),
+                    static_cast<unsigned long long>(
+                        merged.vulnerableCells));
+        std::printf("Upper\\Lower ");
+        for (double t : merged.temps)
+            std::printf("%6.0f ", t);
+        std::printf("\n");
+        for (std::size_t hi = 0; hi < merged.temps.size(); ++hi) {
+            std::printf("   %3.0f degC ", merged.temps[hi]);
+            for (std::size_t lo = 0; lo < merged.temps.size(); ++lo) {
+                if (lo > hi) {
+                    std::printf("%6s ", "");
+                    continue;
+                }
+                std::printf("%5.1f%% ",
+                            100.0 * merged.rangeFraction(lo, hi));
+            }
+            std::printf("\n");
+        }
+        std::printf("No gaps: %.2f%%   1 gap: %.2f%%   full-range "
+                    "(50-90): %.1f%%   single-temp total: %.1f%%\n",
+                    100.0 * merged.noGapFraction(),
+                    merged.vulnerableCells
+                        ? 100.0 *
+                              static_cast<double>(merged.oneGapCells) /
+                              static_cast<double>(merged.vulnerableCells)
+                        : 0.0,
+                    100.0 * merged.fullRangeFraction(),
+                    100.0 * merged.singlePointFraction());
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Fig. 4: the percentage change in BER (RowHammer bit
+ * flips per row) as temperature rises from 50 degC, for the
+ * double-sided victim (distance 0) and the single-sided victims
+ * (distance ±2). Mean and 95% CI across rows.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/temp_analysis.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rhs;
+    using namespace rhs::bench;
+
+    const auto scale = parseScale(argc, argv);
+    printHeader("Fig. 4: BER change with temperature vs 50 degC",
+                "Fig. 4 (paper: A/C/D increase with temperature, B "
+                "decreases; Obsv. 4)");
+
+    auto fleet = makeBenchFleet(scale);
+    for (auto mfr : rhmodel::allMfrs) {
+        // Aggregate rows from all of this manufacturer's modules.
+        std::printf("\n%s (distance from victim row: -2 / 0 / +2)\n",
+                    rhmodel::to_string(mfr).c_str());
+        std::printf("%-6s %-22s %-22s %-22s\n", "T(C)",
+                    "dist -2 (mean±CI %)", "dist 0 (mean±CI %)",
+                    "dist +2 (mean±CI %)");
+        printRule();
+
+        for (auto &entry : fleet) {
+            if (entry.dimm->mfr() != mfr)
+                continue;
+            const auto result = core::analyzeBerVsTemperature(
+                *entry.tester, 0, entry.rows, entry.wcdp);
+            for (std::size_t t = 0; t < result.temps.size(); ++t) {
+                std::printf("%-6.0f", result.temps[t]);
+                for (int offset : {-2, 0, 2}) {
+                    std::printf(" %9.1f ± %-9.1f",
+                                result.meanChangePct.at(offset)[t],
+                                result.ci95Pct.at(offset)[t]);
+                }
+                std::printf("\n");
+            }
+            break; // One module per manufacturer in the main table.
+        }
+    }
+
+    std::printf("\nObsv. 4 check: sign of the 90 degC change per "
+                "manufacturer -- paper expects +,-,+,+ for A,B,C,D.\n");
+    return 0;
+}

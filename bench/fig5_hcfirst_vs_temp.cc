@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Fig. 5: the distribution of per-row HCfirst change as
+ * temperature rises from 50 degC to 55 and to 90 degC, with the
+ * crossing percentile (fraction of rows whose HCfirst increased) and
+ * the cumulative-magnitude ratio of Obsv. 7.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/temp_analysis.hh"
+#include "stats/descriptive.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rhs;
+    using namespace rhs::bench;
+
+    const auto scale = parseScale(argc, argv);
+    printHeader("Fig. 5: distribution of HCfirst change across rows as "
+                "temperature increases",
+                "Fig. 5 (paper crossings: A P65/P45, D P63/P40; "
+                "magnitude ratio ~4x; Obsvs. 5-7)");
+
+    auto fleet = makeBenchFleet(scale);
+    std::printf("%-8s %-10s %-10s %-12s %-28s %-28s\n", "Mfr.",
+                "P(55C)", "P(90C)", "mag ratio",
+                "50->55 deciles (%)", "50->90 deciles (%)");
+    printRule();
+
+    for (auto &entry : fleet) {
+        const auto result = core::analyzeHcFirstVsTemperature(
+            *entry.tester, 0, entry.rows, entry.wcdp);
+        if (result.changePct55.empty())
+            continue;
+
+        auto deciles = [](const std::vector<double> &xs) {
+            char buffer[64];
+            std::snprintf(buffer, sizeof(buffer), "%+6.0f %+6.0f %+6.0f",
+                          stats::quantile(xs, 0.9),
+                          stats::quantile(xs, 0.5),
+                          stats::quantile(xs, 0.1));
+            return std::string(buffer);
+        };
+
+        std::printf("%-8s P%-9.0f P%-9.0f %-12.1f %-28s %-28s\n",
+                    entry.dimm->label().c_str(),
+                    100.0 * result.crossing55(),
+                    100.0 * result.crossing90(),
+                    result.magnitudeRatio(),
+                    deciles(result.changePct55).c_str(),
+                    deciles(result.changePct90).c_str());
+    }
+
+    std::printf("\nObsv. 6 check: P(90C) < P(55C) for every module "
+                "(fewer rows improve when the delta is larger).\n");
+    std::printf("Obsv. 7 check: magnitude ratio > 1 (larger "
+                "temperature change => larger HCfirst change).\n");
+    return 0;
+}

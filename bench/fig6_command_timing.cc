@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Regenerates Fig. 6: the DRAM command timings of the three
+ * aggressor-active-time experiments (Baseline, Aggressor On, and
+ * Aggressor Off tests). Builds the actual SoftMC programs, executes
+ * them against the device model, and prints the measured per-command
+ * schedule and activation windows.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "softmc/host.hh"
+#include "softmc/program.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+struct WindowListener : dram::ActivationListener
+{
+    std::vector<dram::ActivationRecord> records;
+
+    void
+    onActivation(const dram::ActivationRecord &record) override
+    {
+        records.push_back(record);
+    }
+};
+
+void
+runCase(const char *name, dram::Ns t_on, dram::Ns t_off)
+{
+    dram::Geometry geometry;
+    geometry.banks = 1;
+    geometry.subarraysPerBank = 1;
+    geometry.rowsPerSubarray = 64;
+    geometry.columnsPerRow = 16;
+    dram::ModuleInfo info;
+    info.label = "F6";
+    info.chips = 1;
+    info.serial = 6;
+    dram::Module module(info, geometry, dram::ddr4_2400(),
+                        dram::makeIdentityMapping());
+    WindowListener listener;
+    module.addListener(&listener);
+
+    softmc::HammerProgramSpec spec;
+    spec.aggressorA = 10; // "Row A" of Fig. 6.
+    spec.aggressorB = 12; // "Row B".
+    spec.hammers = 3;
+    spec.tAggOn = t_on;
+    spec.tAggOff = t_off;
+    const auto program =
+        softmc::makeHammerProgram(module.timing(), spec);
+
+    softmc::Host host(module);
+    host.run(program);
+
+    std::printf("%-18s", name);
+    for (const auto &record : listener.records) {
+        std::printf(" | ACT(Row%c) %5.1fns PRE %5.1fns",
+                    record.physicalRow == 10 ? 'A' : 'B',
+                    record.onTime, record.offTime);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rhs::bench;
+
+    printHeader("Fig. 6: command timings of the aggressor active-time "
+                "experiments",
+                "Fig. 6 (Baseline: tRAS/tRP; Aggressor On: stretched "
+                "tAggOn; Aggressor Off: stretched tAggOff)");
+
+    std::printf("Measured activation windows (on-time, preceding "
+                "off-time) of the first hammers:\n\n");
+    runCase("Baseline", 0.0, 0.0);        // tRAS=34.5, tRP=16.5.
+    runCase("Aggressor On", 94.5, 0.0);   // Stretched on-time.
+    runCase("Aggressor Off", 0.0, 32.5);  // Stretched off-time.
+
+    std::printf("\nAll three programs are JEDEC-legal: the bank FSM "
+                "validates every interval (the first off-time of each "
+                "row reports the nominal tRP).\n");
+    std::printf("Overall attack time per hammer: Baseline "
+                "(tRAS+tRP)=51ns, On (tAggOn+tRP), Off "
+                "(tRAS+tAggOff) -- as Fig. 6 annotates.\n");
+    return 0;
+}

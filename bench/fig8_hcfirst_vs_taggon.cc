@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Fig. 8: the distribution of per-row HCfirst as the
+ * aggressor row on-time grows (letter-value summaries).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/timing_analysis.hh"
+#include "stats/descriptive.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rhs;
+    using namespace rhs::bench;
+
+    const auto scale = parseScale(argc, argv);
+    printHeader("Fig. 8: per-row HCfirst vs aggressor row on-time "
+                "(tAggOn)",
+                "Fig. 8 (paper: HCfirst -40.0 / -28.3 / -32.7 / -37.3 % "
+                "for A/B/C/D at 154.5 ns; Obsv. 8)");
+
+    auto fleet = makeBenchFleet(scale);
+    std::printf("%-8s %-9s %-52s\n", "Module", "tAggOn",
+                "letter values of HCfirst (K hammers)");
+    printRule();
+
+    for (auto &entry : fleet) {
+        const auto sweep = core::sweepAggressorOnTime(
+            *entry.tester, 0, entry.rows, entry.wcdp);
+        for (std::size_t v = 0; v < sweep.values.size(); ++v) {
+            const auto &data = sweep.hcFirstPerRow[v];
+            if (data.empty())
+                continue;
+            const auto lv = stats::letterValues(data, 3);
+            std::printf("%-8s %6.1fns  median %7.1fK",
+                        entry.dimm->label().c_str(), sweep.values[v],
+                        lv.median / 1e3);
+            for (const auto &[lo, hi] : lv.boxes)
+                std::printf("  [%7.1fK, %7.1fK]", lo / 1e3, hi / 1e3);
+            std::printf("\n");
+        }
+        std::printf("%-8s HCfirst change (154.5 vs 34.5): %+.1f%%   "
+                    "CV change: %+.0f%%\n",
+                    entry.dimm->label().c_str(),
+                    100.0 * sweep.hcFirstChange(),
+                    100.0 * sweep.hcFirstCvChange());
+        printRule();
+    }
+
+    std::printf("Takeaway 3: a longer-active aggressor row makes "
+                "victims flip at smaller hammer counts.\n");
+    return 0;
+}

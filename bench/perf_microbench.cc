@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: cell
+ * generation, analytic BER evaluation, HCfirst binary search, and
+ * cycle-accurate hammer execution throughput. These establish the
+ * cost model behind the bench harnesses' default scales.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/hammer_session.hh"
+#include "core/tester.hh"
+#include "rhmodel/dimm.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::rhmodel;
+
+void
+BM_CellGeneration(benchmark::State &state)
+{
+    SimulatedDimm dimm(Mfr::A, 0);
+    unsigned row = 2;
+    for (auto _ : state) {
+        // Rotate rows so the memo cache never hits.
+        benchmark::DoNotOptimize(
+            dimm.cellModel().cellsOfRow(0, row));
+        row = (row + 97) % 8000;
+    }
+}
+BENCHMARK(BM_CellGeneration);
+
+void
+BM_AnalyticBerTest(benchmark::State &state)
+{
+    SimulatedDimm dimm(Mfr::B, 0);
+    const DataPattern pattern(PatternId::Checkered);
+    Conditions conditions;
+    const auto attack = HammerAttack::doubleSided(0, 500);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dimm.analytic().berTest(
+            500, attack, conditions, pattern, 150'000, 0));
+    }
+}
+BENCHMARK(BM_AnalyticBerTest);
+
+void
+BM_HcFirstBinarySearch(benchmark::State &state)
+{
+    SimulatedDimm dimm(Mfr::B, 0);
+    core::Tester tester(dimm);
+    const DataPattern pattern(PatternId::Checkered);
+    Conditions conditions;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tester.hcFirstSearch(0, 500, conditions, pattern, 0));
+    }
+}
+BENCHMARK(BM_HcFirstBinarySearch);
+
+void
+BM_CycleHammerExecution(benchmark::State &state)
+{
+    DimmOptions options;
+    options.subarraysPerBank = 2;
+    SimulatedDimm dimm(Mfr::B, 0, options);
+    const DataPattern pattern(PatternId::Checkered);
+    core::CycleTestConfig config;
+    config.victimPhysicalRow = 100;
+    config.hammers = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::runCycleHammerTest(dimm, pattern, config));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 *
+                            static_cast<std::int64_t>(config.hammers));
+}
+BENCHMARK(BM_CycleHammerExecution)->Arg(1'000)->Arg(10'000);
+
+void
+BM_TemperatureSweepPoint(benchmark::State &state)
+{
+    SimulatedDimm dimm(Mfr::D, 0);
+    core::Tester tester(dimm);
+    const DataPattern pattern(PatternId::Checkered);
+    double temp = 50.0;
+    for (auto _ : state) {
+        Conditions conditions;
+        conditions.temperature = temp;
+        benchmark::DoNotOptimize(
+            tester.berOfRow(0, 600, conditions, pattern));
+        temp = temp >= 90.0 ? 50.0 : temp + 5.0;
+    }
+}
+BENCHMARK(BM_TemperatureSweepPoint);
+
+} // namespace
+
+BENCHMARK_MAIN();

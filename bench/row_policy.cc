@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Defense Improvement 5, quantified end-to-end: row-buffer policies
+ * bound the aggressor-row active time, which bounds the damage rate
+ * Obsv. 8 measures. Services the same synthetic request stream under
+ * each policy, reports the measured on-time distribution, and converts
+ * it to the per-manufacturer damage factor the timing model implies.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "mc/scheduler.hh"
+#include "stats/descriptive.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rhs;
+    using namespace rhs::bench;
+    using namespace rhs::mc;
+
+    util::Cli cli(argc, argv, {"requests", "locality", "full",
+                               "modules", "rows"});
+    TraceConfig config;
+    config.requests = static_cast<std::uint64_t>(
+        cli.getInt("requests", 20'000));
+    config.rowLocality = cli.getDouble("locality", 0.75);
+
+    printHeader("Defense Improvement 5: row-buffer policy vs aggressor "
+                "active time",
+                "Section 8.2 Improvement 5 (bounding tAggOn in the "
+                "memory controller)");
+
+    const auto trace = makeTrace(config);
+    std::printf("Trace: %llu requests, row locality %.2f (an attacker "
+                "maximizes locality to stretch tAggOn)\n\n",
+                static_cast<unsigned long long>(config.requests),
+                config.rowLocality);
+
+    std::printf("%-14s %-9s %-9s %-11s %-11s %-11s %-22s\n", "policy",
+                "hit rate", "#ACTs", "mean tOn", "P95 tOn", "max tOn",
+                "damage factor A/B/C/D");
+    printRule();
+
+    for (auto policy : {RowPolicy::OpenPage, RowPolicy::TimeoutPage,
+                        RowPolicy::ClosedPage}) {
+        dram::Geometry geometry;
+        geometry.banks = 4;
+        geometry.subarraysPerBank = 8;
+        geometry.rowsPerSubarray = 512;
+        geometry.columnsPerRow = 64;
+        dram::ModuleInfo info;
+        info.label = "MC";
+        info.chips = 2;
+        info.serial = 0xBEEF;
+        dram::Module module(info, geometry, dram::ddr4_2400(),
+                            dram::makeIdentityMapping());
+
+        Scheduler scheduler(module, policy, 100.0);
+        const auto result = scheduler.run(trace);
+
+        double max_on = 0.0;
+        for (double t : result.onTimes)
+            max_on = std::max(max_on, t);
+
+        // Per-manufacturer damage factor at the mean on-time: the
+        // multiplier on RowHammer damage vs the tRAS baseline
+        // (derived from the paper's Obsv. 8 calibration).
+        char factors[64];
+        {
+            const auto &timing = module.timing();
+            double f[4];
+            int i = 0;
+            for (auto mfr : rhmodel::allMfrs) {
+                const auto &p = rhmodel::profileFor(mfr);
+                const double g_on =
+                    1.0 + p.kOn *
+                              (result.meanOnTime() - timing.tRAS) /
+                              timing.tRAS;
+                f[i++] = (1.0 - p.wCouple) * g_on + p.wCouple;
+            }
+            std::snprintf(factors, sizeof(factors),
+                          "%.2f / %.2f / %.2f / %.2f", f[0], f[1],
+                          f[2], f[3]);
+        }
+
+        std::printf("%-14s %8.1f%% %-9llu %8.1fns %8.1fns %8.1fns  %s\n",
+                    to_string(policy).c_str(),
+                    100.0 * result.hitRate(),
+                    static_cast<unsigned long long>(result.activations),
+                    result.meanOnTime(),
+                    stats::quantile(result.onTimes, 0.95), max_on,
+                    factors);
+    }
+
+    std::printf("\nBounding the active time (timeout/closed page) "
+                "pins the damage factor near 1.0 at a row-hit-rate "
+                "cost — the trade Improvement 5 proposes.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates Tables 2 and 4: the tested DRAM module inventory.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace rhs;
+    using namespace rhs::bench;
+
+    printHeader("Table 2/4: Characteristics of the tested DRAM modules",
+                "Table 2 and Table 4 (Appendix A)");
+
+    std::printf("%-5s %-5s %-26s %-10s %-22s %-6s %-10s %-5s %-4s "
+                "%-5s %-7s %-7s\n",
+                "Mfr.", "Type", "Chip Identifier", "Vendor",
+                "Module Identifier", "MT/s", "Date", "Dens", "Die",
+                "Org", "#Mods", "#Chips");
+    printRule();
+
+    unsigned ddr4_chips = 0, ddr3_chips = 0;
+    for (const auto &entry : rhmodel::paperInventory()) {
+        const unsigned chips = entry.modules * entry.chipsPerModule;
+        if (entry.standard == dram::Standard::DDR4)
+            ddr4_chips += chips;
+        else
+            ddr3_chips += chips;
+        std::printf("%-5s %-5s %-26s %-10s %-22s %-6u %-10s %-5s %-4s "
+                    "%-5s %-7u %-7u\n",
+                    rhmodel::to_string(entry.mfr).c_str(),
+                    dram::to_string(entry.standard).c_str(),
+                    entry.chipIdentifier.c_str(),
+                    entry.moduleVendor.c_str(),
+                    entry.moduleIdentifier.c_str(), entry.frequencyMTs,
+                    entry.dateCode.c_str(), entry.density.c_str(),
+                    entry.dieRevision.c_str(),
+                    entry.organization.c_str(), entry.modules, chips);
+    }
+    printRule();
+    std::printf("Totals: %u DDR4 chips, %u DDR3 chips "
+                "(paper: 248 DDR4 + 24 DDR3)\n",
+                ddr4_chips, ddr3_chips);
+
+    std::printf("\nSimulated counterparts instantiated per profile:\n");
+    for (auto mfr : rhmodel::allMfrs) {
+        rhmodel::SimulatedDimm dimm(mfr, 0);
+        const auto &p = dimm.profile();
+        std::printf("  %s  chips=%u  mapping=%s  (derived: wCouple=%.3f "
+                    "kOn=%.3f cellSigma=%.3f)\n",
+                    dimm.label().c_str(), dimm.module().chipCount(),
+                    dimm.module().rowMapping().name().c_str(), p.wCouple,
+                    p.kOn, p.cellSigma);
+    }
+    return 0;
+}

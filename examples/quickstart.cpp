@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: simulate a DIMM, run one double-sided RowHammer test
+ * end-to-end through the SoftMC host, and inspect the bit flips.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/hammer_session.hh"
+#include "core/tester.hh"
+#include "rhmodel/dimm.hh"
+#include "softmc/temperature_controller.hh"
+
+int
+main()
+{
+    using namespace rhs;
+
+    // 1. Instantiate a simulated DDR4 DIMM of manufacturer B.
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, /*module_index=*/0);
+    std::printf("Module %s: %u chips, %u rows/bank, mapping %s\n",
+                dimm.label().c_str(), dimm.module().chipCount(),
+                dimm.module().geometry().rowsPerBank(),
+                dimm.module().rowMapping().name().c_str());
+
+    // 2. Bring the chip to the test temperature, as the paper's
+    //    heater-pad + PID controller setup does (+-0.1 degC).
+    softmc::TemperatureController controller;
+    controller.setTarget(75.0);
+    controller.settle(0.1);
+    std::printf("Temperature settled at %.2f degC\n",
+                controller.measure());
+
+    // 3. Run a double-sided hammer test: write the checkered pattern
+    //    to the victim's neighbourhood, hammer the two physically
+    //    adjacent rows 150K times, read back and diff.
+    core::CycleTestConfig config;
+    config.victimPhysicalRow = 300;
+    config.conditions.temperature = controller.measure();
+    config.hammers = 150'000;
+
+    const rhmodel::DataPattern pattern(rhmodel::PatternId::Checkered);
+    const auto result = core::runCycleHammerTest(dimm, pattern, config);
+
+    std::printf("Attack took %.1f ms on the bus\n",
+                result.elapsedNs / 1e6);
+    for (const auto &[offset, flips] : result.flipsByOffset)
+        std::printf("  row V%+d: %u bit flips\n", offset, flips);
+
+    // 4. Measure the victim row's HCfirst with the paper's binary
+    //    search (min across 5 repetitions).
+    core::Tester tester(dimm);
+    const auto hc_first = tester.hcFirstMin(
+        0, config.victimPhysicalRow, config.conditions, pattern);
+    std::printf("HCfirst of row %u at 75 degC: %llu hammers\n",
+                config.victimPhysicalRow,
+                static_cast<unsigned long long>(hc_first));
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Example: reverse-engineer the DRAM-internal logical-to-physical row
+ * mapping by single-sided hammering, as §4.2 of the paper describes —
+ * a prerequisite for any double-sided attack, since the aggressors
+ * must be *physically* adjacent to the victim.
+ */
+
+#include <cstdio>
+
+#include "core/row_mapping_re.hh"
+#include "rhmodel/dimm.hh"
+
+int
+main()
+{
+    using namespace rhs;
+
+    for (auto mfr : rhmodel::allMfrs) {
+        rhmodel::SimulatedDimm dimm(mfr, 0);
+        core::Tester tester(dimm);
+
+        std::printf("\n%s (true scheme: %s)\n", dimm.label().c_str(),
+                    dimm.module().rowMapping().name().c_str());
+
+        // Probe a block of logical rows with single-sided hammering;
+        // the two victims with the most flips are the physical
+        // neighbours.
+        std::vector<unsigned> probes;
+        for (unsigned row = 16; row < 32; ++row)
+            probes.push_back(row);
+        const auto inferred = core::inferAdjacency(tester, 0, probes);
+
+        std::printf("  %-10s %-14s %-14s\n", "aggressor",
+                    "victim (low)", "victim (high)");
+        for (const auto &entry : inferred) {
+            std::printf("  %-10u %-14s %-14s\n", entry.aggressorLogical,
+                        entry.victimLow
+                            ? std::to_string(*entry.victimLow).c_str()
+                            : "-",
+                        entry.victimHigh
+                            ? std::to_string(*entry.victimHigh).c_str()
+                            : "-");
+        }
+        std::printf("  inference accuracy vs device mapping: %.0f%%\n",
+                    100.0 * core::adjacencyAccuracy(tester, inferred));
+    }
+    return 0;
+}

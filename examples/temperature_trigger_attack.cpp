@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Example: the temperature-dependent attack improvements of §8.1.
+ *
+ * Part 1 (Improvement 1): an attacker who knows the operating
+ * temperature picks the row that is most vulnerable *at that
+ * temperature*, cutting the required hammer count.
+ *
+ * Part 2 (Improvement 2): cells vulnerable only in a narrow
+ * temperature band act as a thermometer — hammering them and checking
+ * for a flip reveals whether the chip has reached a target
+ * temperature, triggering the main attack at the right moment.
+ */
+
+#include <cstdio>
+#include <numeric>
+
+#include "attack/temperature_aware.hh"
+#include "attack/trigger_cell.hh"
+#include "rhmodel/dimm.hh"
+#include "softmc/temperature_controller.hh"
+
+int
+main()
+{
+    using namespace rhs;
+
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
+    core::Tester tester(dimm);
+    const rhmodel::DataPattern pattern(rhmodel::PatternId::Checkered);
+
+    std::vector<unsigned> candidates(160);
+    std::iota(candidates.begin(), candidates.end(), 100u);
+
+    std::printf("Part 1: temperature-aware victim selection\n");
+    for (double temp : {50.0, 70.0, 90.0}) {
+        const auto choice = attack::pickRowForTemperature(
+            tester, 0, candidates, temp, pattern);
+        std::printf("  at %.0f degC: best row %u needs %llu hammers "
+                    "(median row: %llu) -> %.0f%% fewer\n",
+                    temp, choice.bestRow,
+                    static_cast<unsigned long long>(choice.bestHcFirst),
+                    static_cast<unsigned long long>(
+                        choice.medianHcFirst),
+                    100.0 * choice.reduction());
+    }
+
+    std::printf("\nPart 2: temperature-triggered attack (target: "
+                "70 degC)\n");
+    const auto triggers = attack::findTriggerCells(
+        tester, 0, candidates, pattern, 70.0, 5.0);
+    std::printf("  trigger candidates found: %zu\n", triggers.size());
+    if (triggers.empty())
+        return 0;
+
+    const auto &trigger = triggers.front();
+    std::printf("  using cell chip=%u row=%u col=%u bit=%u "
+                "(vulnerable range %.0f-%.0f degC)\n",
+                trigger.location.chip, trigger.location.row,
+                trigger.location.column, trigger.location.bit,
+                trigger.rangeLow, trigger.rangeHigh);
+
+    // Sweep the chip through a heating profile and watch the trigger.
+    softmc::TemperatureController controller;
+    for (double target : {50.0, 60.0, 70.0, 80.0, 90.0}) {
+        controller.setTarget(target);
+        controller.settle(0.1);
+        const bool fired = attack::triggerFires(
+            tester, trigger, 0, pattern, controller.measure());
+        std::printf("  chip at %.0f degC -> trigger %s\n", target,
+                    fired ? "FIRES (launch main attack)" : "silent");
+    }
+    return 0;
+}

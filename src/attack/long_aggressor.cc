@@ -1,0 +1,92 @@
+#include "attack/long_aggressor.hh"
+
+#include <algorithm>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace rhs::attack
+{
+
+double
+LongAggressorReport::berGain() const
+{
+    return berBaseline > 0.0 ? berExtended / berBaseline : 0.0;
+}
+
+double
+LongAggressorReport::hcFirstReduction() const
+{
+    if (hcFirstBaseline == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(hcFirstExtended) /
+                     static_cast<double>(hcFirstBaseline);
+}
+
+bool
+LongAggressorReport::defeatsBaselineThreshold() const
+{
+    return hcFirstExtended != 0 && hcFirstBaseline != 0 &&
+           hcFirstExtended < hcFirstBaseline;
+}
+
+double
+effectiveOnTime(const dram::TimingParams &timing,
+                unsigned reads_per_activation)
+{
+    if (reads_per_activation == 0)
+        return timing.tRAS;
+    const double burst = timing.tRCD +
+                         (reads_per_activation - 1) * timing.tCCD +
+                         timing.tRTP;
+    return std::max(timing.tRAS, burst);
+}
+
+LongAggressorReport
+analyzeLongAggressor(const core::Tester &tester, unsigned bank,
+                     const std::vector<unsigned> &rows,
+                     const rhmodel::DataPattern &pattern,
+                     unsigned reads_per_activation)
+{
+    RHS_ASSERT(!rows.empty());
+    const auto &timing = tester.module().module().timing();
+
+    LongAggressorReport report;
+    report.readsPerActivation = reads_per_activation;
+    report.effectiveOnTimeNs =
+        effectiveOnTime(timing, reads_per_activation);
+
+    rhmodel::Conditions baseline;
+    rhmodel::Conditions extended;
+    extended.tAggOn = report.effectiveOnTimeNs;
+
+    std::vector<double> ber_base, ber_ext;
+    std::uint64_t hc_base = 0, hc_ext = 0;
+    for (unsigned row : rows) {
+        ber_base.push_back(static_cast<double>(
+            tester.berOfRow(bank, row, baseline, pattern)));
+        ber_ext.push_back(static_cast<double>(
+            tester.berOfRow(bank, row, extended, pattern)));
+
+        const auto base_hc =
+            tester.hcFirstMin(bank, row, baseline, pattern);
+        const auto ext_hc =
+            tester.hcFirstMin(bank, row, extended, pattern);
+        if (base_hc != core::kNotVulnerable &&
+            (hc_base == 0 || base_hc < hc_base)) {
+            hc_base = base_hc;
+        }
+        if (ext_hc != core::kNotVulnerable &&
+            (hc_ext == 0 || ext_hc < hc_ext)) {
+            hc_ext = ext_hc;
+        }
+    }
+
+    report.berBaseline = stats::mean(ber_base);
+    report.berExtended = stats::mean(ber_ext);
+    report.hcFirstBaseline = hc_base;
+    report.hcFirstExtended = hc_ext;
+    return report;
+}
+
+} // namespace rhs::attack

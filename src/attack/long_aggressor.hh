@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Attack Improvement 3 (§8.1): extended aggressor-row active time.
+ *
+ * Issuing 10-15 READ commands per aggressor activation keeps the row
+ * open ~5x longer, which (Obsv. 8) increases BER by 3.2-10.2x and
+ * lowers the effective HCfirst by ~36% — enough to defeat defenses
+ * configured with a baseline-measured HCfirst.
+ */
+
+#ifndef RHS_ATTACK_LONG_AGGRESSOR_HH
+#define RHS_ATTACK_LONG_AGGRESSOR_HH
+
+#include <cstdint>
+
+#include "core/tester.hh"
+
+namespace rhs::attack
+{
+
+/** Comparison of the baseline and extended-on-time attacks. */
+struct LongAggressorReport
+{
+    unsigned readsPerActivation = 0;
+    double effectiveOnTimeNs = 0.0; //!< On-time the READ burst forces.
+
+    double berBaseline = 0.0; //!< Mean flips/row, baseline on-time.
+    double berExtended = 0.0; //!< Mean flips/row, extended on-time.
+
+    std::uint64_t hcFirstBaseline = 0;
+    std::uint64_t hcFirstExtended = 0;
+
+    /** BER amplification factor. */
+    double berGain() const;
+
+    /** HCfirst reduction (0.36 = 36% lower than baseline). */
+    double hcFirstReduction() const;
+
+    /**
+     * Whether the attack flips bits below a defense threshold set to
+     * the baseline HCfirst (i.e. the defense is defeated).
+     */
+    bool defeatsBaselineThreshold() const;
+};
+
+/**
+ * The aggressor on-time a READ burst forces: tRCD + (n-1) tCCD + tRTP,
+ * never below tRAS.
+ */
+double effectiveOnTime(const dram::TimingParams &timing,
+                       unsigned reads_per_activation);
+
+/**
+ * Measure the improvement over a set of victim rows.
+ *
+ * @param tester Module tester.
+ * @param bank Bank under attack.
+ * @param rows Victim physical rows.
+ * @param pattern Data pattern.
+ * @param reads_per_activation READs per aggressor activation (10-15).
+ */
+LongAggressorReport
+analyzeLongAggressor(const core::Tester &tester, unsigned bank,
+                     const std::vector<unsigned> &rows,
+                     const rhmodel::DataPattern &pattern,
+                     unsigned reads_per_activation);
+
+} // namespace rhs::attack
+
+#endif // RHS_ATTACK_LONG_AGGRESSOR_HH

@@ -1,0 +1,49 @@
+#include "attack/temperature_aware.hh"
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace rhs::attack
+{
+
+double
+TargetedRowChoice::reduction() const
+{
+    if (medianHcFirst == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(bestHcFirst) /
+                     static_cast<double>(medianHcFirst);
+}
+
+TargetedRowChoice
+pickRowForTemperature(const core::Tester &tester, unsigned bank,
+                      const std::vector<unsigned> &candidate_rows,
+                      double temperature,
+                      const rhmodel::DataPattern &pattern)
+{
+    RHS_ASSERT(!candidate_rows.empty(), "need candidate rows");
+
+    rhmodel::Conditions conditions;
+    conditions.temperature = temperature;
+
+    TargetedRowChoice choice;
+    std::vector<double> all;
+    bool first = true;
+    for (unsigned row : candidate_rows) {
+        const auto hc = tester.hcFirstMin(bank, row, conditions, pattern);
+        if (hc == core::kNotVulnerable)
+            continue;
+        all.push_back(static_cast<double>(hc));
+        if (first || hc < choice.bestHcFirst) {
+            choice.bestRow = row;
+            choice.bestHcFirst = hc;
+            first = false;
+        }
+    }
+    if (!all.empty())
+        choice.medianHcFirst =
+            static_cast<std::uint64_t>(stats::median(all));
+    return choice;
+}
+
+} // namespace rhs::attack

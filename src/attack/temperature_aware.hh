@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Attack Improvement 1 (§8.1): temperature-aware aggressor selection.
+ *
+ * An attacker who can monitor or control DRAM temperature picks victim
+ * rows that are most vulnerable at the operating temperature, reducing
+ * the hammer count (and attack time / detection probability) compared
+ * with an uninformed choice.
+ */
+
+#ifndef RHS_ATTACK_TEMPERATURE_AWARE_HH
+#define RHS_ATTACK_TEMPERATURE_AWARE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tester.hh"
+
+namespace rhs::attack
+{
+
+/** Outcome of temperature-aware target selection. */
+struct TargetedRowChoice
+{
+    unsigned bestRow = 0;          //!< Most vulnerable row at target T.
+    std::uint64_t bestHcFirst = 0; //!< Its HCfirst at target T.
+    //! HCfirst an uninformed attacker gets in expectation (median row).
+    std::uint64_t medianHcFirst = 0;
+
+    /** Hammer-count reduction vs the uninformed choice (0.5 = 50%). */
+    double reduction() const;
+};
+
+/**
+ * Scan candidate rows at the attack temperature and select the best.
+ *
+ * @param tester Module tester.
+ * @param bank Bank under attack.
+ * @param candidate_rows Rows the attacker can place victim data in.
+ * @param temperature Operating temperature the attack targets.
+ * @param pattern Data pattern of the attack.
+ */
+TargetedRowChoice
+pickRowForTemperature(const core::Tester &tester, unsigned bank,
+                      const std::vector<unsigned> &candidate_rows,
+                      double temperature,
+                      const rhmodel::DataPattern &pattern);
+
+} // namespace rhs::attack
+
+#endif // RHS_ATTACK_TEMPERATURE_AWARE_HH

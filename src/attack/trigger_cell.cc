@@ -1,0 +1,77 @@
+#include "attack/trigger_cell.hh"
+
+#include <map>
+#include <set>
+
+#include "core/temp_analysis.hh"
+#include "util/logging.hh"
+
+namespace rhs::attack
+{
+
+std::vector<TriggerCell>
+findTriggerCells(const core::Tester &tester, unsigned bank,
+                 const std::vector<unsigned> &rows,
+                 const rhmodel::DataPattern &pattern, double target_temp,
+                 double band_degC)
+{
+    const auto temps = core::standardTemperatures();
+    std::vector<TriggerCell> triggers;
+
+    for (unsigned row : rows) {
+        // Observed flip temperatures per cell of this row.
+        std::map<std::uint64_t, std::set<double>> flips_at;
+        std::map<std::uint64_t, dram::CellLocation> locations;
+        for (double temp : temps) {
+            rhmodel::Conditions conditions;
+            conditions.temperature = temp;
+            const auto detail =
+                tester.berDetail(bank, row, conditions, pattern);
+            for (const auto &loc : detail.flips) {
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(loc.chip) << 32) |
+                    (loc.column << 8) | loc.bit;
+                flips_at[key].insert(temp);
+                locations.emplace(key, loc);
+            }
+        }
+
+        for (const auto &[key, temps_hit] : flips_at) {
+            const double lo = *temps_hit.begin();
+            const double hi = *temps_hit.rbegin();
+            // The trigger must actually fire at the target temperature
+            // (not merely span it -- a cell can have a gap there) and
+            // stay silent outside the allowed band.
+            if (temps_hit.count(target_temp) == 0)
+                continue;
+            if (target_temp - lo > band_degC ||
+                hi - target_temp > band_degC) {
+                continue;
+            }
+            TriggerCell trigger;
+            trigger.location = locations.at(key);
+            trigger.rangeLow = lo;
+            trigger.rangeHigh = hi;
+            triggers.push_back(trigger);
+        }
+    }
+    return triggers;
+}
+
+bool
+triggerFires(const core::Tester &tester, const TriggerCell &trigger,
+             unsigned bank, const rhmodel::DataPattern &pattern,
+             double actual_temp)
+{
+    rhmodel::Conditions conditions;
+    conditions.temperature = actual_temp;
+    const auto detail = tester.berDetail(bank, trigger.location.row,
+                                         conditions, pattern);
+    for (const auto &loc : detail.flips) {
+        if (loc == trigger.location)
+            return true;
+    }
+    return false;
+}
+
+} // namespace rhs::attack

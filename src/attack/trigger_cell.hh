@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Attack Improvement 2 (§8.1): temperature-triggered attacks.
+ *
+ * Obsv. 3: some cells flip only within a very narrow temperature
+ * range. Placing victim data on such a cell turns a RowHammer bit flip
+ * into a thermometer: the flip fires exactly when the chip reaches the
+ * cell's range, triggering the main attack at a chosen temperature
+ * (e.g. peak-hours detection, or a heated IoT device in the field).
+ */
+
+#ifndef RHS_ATTACK_TRIGGER_CELL_HH
+#define RHS_ATTACK_TRIGGER_CELL_HH
+
+#include <vector>
+
+#include "core/tester.hh"
+
+namespace rhs::attack
+{
+
+/** A cell usable as a temperature trigger. */
+struct TriggerCell
+{
+    dram::CellLocation location;
+    double rangeLow = 0.0;  //!< Lowest tested temp where it flips.
+    double rangeHigh = 0.0; //!< Highest tested temp where it flips.
+};
+
+/**
+ * Find cells that flip at the target temperature but not outside a
+ * narrow band around it.
+ *
+ * @param tester Module tester.
+ * @param bank Bank to search.
+ * @param rows Rows to search.
+ * @param pattern Data pattern of the trigger hammering.
+ * @param target_temp Temperature the trigger should detect.
+ * @param band_degC Maximum allowed half-width of the cell's vulnerable
+ *        range around the target (default: one 5 degC test step).
+ */
+std::vector<TriggerCell>
+findTriggerCells(const core::Tester &tester, unsigned bank,
+                 const std::vector<unsigned> &rows,
+                 const rhmodel::DataPattern &pattern, double target_temp,
+                 double band_degC = 5.0);
+
+/**
+ * Check whether a trigger fires at an actual temperature: run the
+ * hammer test and look for the trigger cell among the flips.
+ */
+bool triggerFires(const core::Tester &tester, const TriggerCell &trigger,
+                  unsigned bank, const rhmodel::DataPattern &pattern,
+                  double actual_temp);
+
+} // namespace rhs::attack
+
+#endif // RHS_ATTACK_TRIGGER_CELL_HH

@@ -1,0 +1,101 @@
+#include "core/campaign.hh"
+
+#include <sstream>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace rhs::core
+{
+
+std::string
+CampaignReport::summary() const
+{
+    std::ostringstream out;
+    out << "Module " << moduleLabel << " (WCDP: "
+        << to_string(wcdp) << ")\n";
+    out << "  temperature: " << temperatureRanges.vulnerableCells
+        << " vulnerable cells, "
+        << 100.0 * temperatureRanges.noGapFraction()
+        << "% continuous ranges, "
+        << 100.0 * temperatureRanges.fullRangeFraction()
+        << "% full-range\n";
+    if (!temperatureShift.changePct55.empty()) {
+        out << "  HCfirst shift crossings: P"
+            << 100.0 * temperatureShift.crossing55() << " (55C), P"
+            << 100.0 * temperatureShift.crossing90() << " (90C)\n";
+    }
+    out << "  tAggOn 34.5->154.5ns: BER x" << onTimeSweep.berRatio()
+        << ", HCfirst " << 100.0 * onTimeSweep.hcFirstChange() << "%\n";
+    out << "  tAggOff 16.5->40.5ns: BER x" << offTimeSweep.berRatio()
+        << ", HCfirst " << 100.0 * offTimeSweep.hcFirstChange()
+        << "%\n";
+    if (!rowHcFirst.empty()) {
+        const auto variation = summarizeRowVariation(rowHcFirst);
+        out << "  rows: min HCfirst " << variation.minHcFirst
+            << ", P5 at " << variation.p5Ratio << "x min\n";
+    }
+    out << "  profile: " << profile.rows.size() << " rows, worst case "
+        << profile.worstCase() << ", " << profile.weakRows().size()
+        << " weak rows\n";
+    return out.str();
+}
+
+CampaignReport
+runCampaign(Tester &tester, const CampaignConfig &config)
+{
+    RHS_ASSERT(config.maxRows >= 10, "campaign needs a usable sample");
+    const auto &module = tester.module().module();
+
+    CampaignReport report;
+    report.moduleLabel = tester.module().label();
+
+    const auto all =
+        testedRows(module.geometry(), config.rowsPerRegion);
+    std::vector<unsigned> rows;
+    const std::size_t take =
+        std::min<std::size_t>(config.maxRows, all.size());
+    for (std::size_t i = 0; i < take; ++i)
+        rows.push_back(all[i * all.size() / take]);
+
+    // 1. WCDP (§4.2).
+    rhmodel::Conditions reference;
+    const auto wcdp = tester.findWorstCasePattern(
+        config.bank, {rows[0], rows[rows.size() / 2], rows.back()},
+        reference);
+    report.wcdp = wcdp.id();
+
+    // 2. Temperature (§5).
+    report.temperatureRanges =
+        analyzeTempRanges(tester, config.bank, rows, wcdp);
+    report.temperatureShift =
+        analyzeHcFirstVsTemperature(tester, config.bank, rows, wcdp);
+
+    // 3. Aggressor timings (§6).
+    report.onTimeSweep =
+        sweepAggressorOnTime(tester, config.bank, rows, wcdp);
+    report.offTimeSweep =
+        sweepAggressorOffTime(tester, config.bank, rows, wcdp);
+
+    // 4. Spatial variation (§7, at 75 degC).
+    report.rowHcFirst =
+        rowHcFirstSurvey(tester, config.bank, rows, wcdp);
+    report.subarrays =
+        subarraySurvey(tester, config.bank, config.subarrays,
+                       config.rowsPerSubarray, wcdp);
+
+    // 5. Defense-facing profile.
+    report.profile.moduleLabel = report.moduleLabel;
+    report.profile.serial = module.info().serial;
+    report.profile.wcdp = wcdp.id();
+    const auto conditions = spatialConditions();
+    report.profile.temperature = conditions.temperature;
+    for (unsigned row : rows) {
+        report.profile.rows.push_back(
+            {config.bank, row,
+             tester.hcFirstMin(config.bank, row, conditions, wcdp)});
+    }
+    return report;
+}
+
+} // namespace rhs::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * One-call characterization campaign.
+ *
+ * Wraps the full §4/§5/§6/§7 methodology for a module into a single
+ * entry point producing a structured report: WCDP, temperature
+ * behaviour, aggressor-timing sensitivity, row/subarray variation,
+ * and the persisted profile a defense can be configured from.
+ */
+
+#ifndef RHS_CORE_CAMPAIGN_HH
+#define RHS_CORE_CAMPAIGN_HH
+
+#include <string>
+
+#include "core/profile_io.hh"
+#include "core/spatial.hh"
+#include "core/temp_analysis.hh"
+#include "core/tester.hh"
+#include "core/timing_analysis.hh"
+
+namespace rhs::core
+{
+
+/** Scale of a characterization campaign. */
+struct CampaignConfig
+{
+    unsigned bank = 0;
+    unsigned rowsPerRegion = 20; //!< First/middle/last sample size.
+    unsigned maxRows = 60;       //!< Cap on total tested rows.
+    unsigned subarrays = 6;      //!< Subarrays sampled for §7.3.
+    unsigned rowsPerSubarray = 8;
+};
+
+/** Everything one campaign measures. */
+struct CampaignReport
+{
+    std::string moduleLabel;
+    rhmodel::PatternId wcdp = rhmodel::PatternId::Checkered;
+
+    TempRangeAnalysis temperatureRanges; //!< Table 3 / Fig. 3.
+    HcShiftResult temperatureShift;      //!< Fig. 5.
+    TimingSweepResult onTimeSweep;       //!< Figs. 7-8.
+    TimingSweepResult offTimeSweep;      //!< Figs. 9-10.
+    std::vector<double> rowHcFirst;      //!< Fig. 11 (75 degC).
+    std::vector<SubarrayStats> subarrays; //!< Figs. 14-15.
+
+    ModuleProfile profile; //!< Persistable defense-facing profile.
+
+    /** Human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+/**
+ * Run the full campaign on one module.
+ *
+ * Cost scales with config.maxRows; the defaults finish in a few
+ * seconds per module through the analytic path.
+ */
+CampaignReport runCampaign(Tester &tester,
+                           const CampaignConfig &config = {});
+
+} // namespace rhs::core
+
+#endif // RHS_CORE_CAMPAIGN_HH

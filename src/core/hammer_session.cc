@@ -1,0 +1,104 @@
+#include "core/hammer_session.hh"
+
+#include "softmc/host.hh"
+#include "util/logging.hh"
+
+namespace rhs::core
+{
+
+void
+installPattern(rhmodel::SimulatedDimm &dimm, unsigned bank,
+               unsigned victim_physical_row,
+               const rhmodel::DataPattern &pattern,
+               unsigned pattern_radius)
+{
+    auto &module = dimm.module();
+    const auto &geometry = module.geometry();
+    const auto &mapping = module.rowMapping();
+    const unsigned rows = geometry.rowsPerBank();
+    const unsigned chips = module.chipCount();
+
+    const long lo = static_cast<long>(victim_physical_row) -
+                    static_cast<long>(pattern_radius);
+    const long hi = static_cast<long>(victim_physical_row) +
+                    static_cast<long>(pattern_radius);
+    for (long phys = lo; phys <= hi; ++phys) {
+        if (phys < 0 || phys >= static_cast<long>(rows))
+            continue;
+        const auto phys_row = static_cast<unsigned>(phys);
+
+        std::vector<std::vector<std::uint8_t>> images(chips);
+        for (unsigned chip = 0; chip < chips; ++chip) {
+            auto &image = images[chip];
+            image.resize(geometry.bytesPerRow());
+            for (unsigned col = 0; col < geometry.columnsPerRow; ++col)
+                image[col] = pattern.byteAt(phys_row,
+                                            victim_physical_row, col);
+        }
+        module.storeRowDirect(bank, mapping.toLogical(phys_row), images);
+    }
+}
+
+CycleTestResult
+runCycleHammerTest(rhmodel::SimulatedDimm &dimm,
+                   const rhmodel::DataPattern &pattern,
+                   const CycleTestConfig &config)
+{
+    auto &module = dimm.module();
+    const auto &geometry = module.geometry();
+    const auto &mapping = module.rowMapping();
+    const unsigned rows = geometry.rowsPerBank();
+    const unsigned victim = config.victimPhysicalRow;
+    RHS_ASSERT(victim >= 1 && victim + 1 < rows,
+               "double-sided victim needs both neighbours: row ", victim);
+
+    module.resetTiming(); // Each test session restarts its clock.
+    installPattern(dimm, config.bank, victim, pattern,
+                   config.patternRadius);
+
+    auto &injector = dimm.injector();
+    injector.setTemperature(config.conditions.temperature);
+    injector.setTrial(config.trial);
+    injector.beginTest();
+
+    softmc::HammerProgramSpec spec;
+    spec.bank = config.bank;
+    spec.aggressorA = mapping.toLogical(victim - 1);
+    spec.aggressorB = mapping.toLogical(victim + 1);
+    spec.hammers = config.hammers;
+    spec.tAggOn = config.conditions.tAggOn;
+    spec.tAggOff = config.conditions.tAggOff;
+    spec.readsPerActivation = config.readsPerActivation;
+
+    softmc::Host host(module);
+    const auto program = softmc::makeHammerProgram(module.timing(), spec);
+    const auto run = host.run(program);
+
+    CycleTestResult result;
+    result.elapsedNs = run.elapsedNs;
+
+    const long radius = static_cast<long>(config.patternRadius);
+    for (long offset = -radius; offset <= radius; ++offset) {
+        const long phys = static_cast<long>(victim) + offset;
+        if (phys < 0 || phys >= static_cast<long>(rows))
+            continue;
+        const auto phys_row = static_cast<unsigned>(phys);
+        const auto images =
+            module.loadRowDirect(config.bank, mapping.toLogical(phys_row));
+
+        unsigned flips = 0;
+        for (unsigned chip = 0; chip < module.chipCount(); ++chip) {
+            for (unsigned col = 0; col < geometry.columnsPerRow; ++col) {
+                const std::uint8_t expected =
+                    pattern.byteAt(phys_row, victim, col);
+                const std::uint8_t diff = images[chip][col] ^ expected;
+                flips += static_cast<unsigned>(__builtin_popcount(diff));
+            }
+        }
+        if (flips > 0 || (offset >= -2 && offset <= 2))
+            result.flipsByOffset[static_cast<int>(offset)] = flips;
+    }
+    return result;
+}
+
+} // namespace rhs::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * End-to-end (cycle-accurate) RowHammer test execution.
+ *
+ * Runs a complete test exactly the way the paper's infrastructure does:
+ * set the temperature controller, install the data pattern around the
+ * victim, execute the SoftMC hammer program command by command, then
+ * read the victim rows back and diff them against the written pattern.
+ * Slower than the analytic path, but exercises the full stack
+ * (host -> module -> bank FSM -> fault injector -> stored data).
+ */
+
+#ifndef RHS_CORE_HAMMER_SESSION_HH
+#define RHS_CORE_HAMMER_SESSION_HH
+
+#include <cstdint>
+#include <map>
+
+#include "rhmodel/dimm.hh"
+#include "rhmodel/pattern.hh"
+#include "softmc/program.hh"
+
+namespace rhs::core
+{
+
+/** Outcome of a cycle-accurate hammer test. */
+struct CycleTestResult
+{
+    //! Flips per victim offset from the double-sided victim
+    //! (offset 0 = the victim, ±2 = single-sided victims, ...).
+    std::map<int, unsigned> flipsByOffset;
+    dram::Ns elapsedNs = 0.0; //!< Attack duration on the bus.
+
+    /** Flips in the double-sided victim row. */
+    unsigned victimFlips() const
+    {
+        auto it = flipsByOffset.find(0);
+        return it == flipsByOffset.end() ? 0 : it->second;
+    }
+};
+
+/** Configuration for one cycle-accurate test. */
+struct CycleTestConfig
+{
+    unsigned bank = 0;
+    unsigned victimPhysicalRow = 0;
+    rhmodel::Conditions conditions{};
+    std::uint64_t hammers = 150'000;
+    unsigned trial = 0;
+    //! READs issued to the open aggressor per activation (attack
+    //! improvement 3 stretches the on-time this way).
+    unsigned readsPerActivation = 0;
+    //! How many rows on each side of the victim receive the pattern.
+    unsigned patternRadius = 8;
+};
+
+/**
+ * Run a full double-sided hammer test through the SoftMC host.
+ *
+ * @param dimm Module under test.
+ * @param pattern Data pattern (Table 1).
+ * @param config Test configuration.
+ */
+CycleTestResult runCycleHammerTest(rhmodel::SimulatedDimm &dimm,
+                                   const rhmodel::DataPattern &pattern,
+                                   const CycleTestConfig &config);
+
+/**
+ * Install the pattern into physical rows victim±patternRadius through
+ * the bulk-write path (exposed for tests).
+ */
+void installPattern(rhmodel::SimulatedDimm &dimm, unsigned bank,
+                    unsigned victim_physical_row,
+                    const rhmodel::DataPattern &pattern,
+                    unsigned pattern_radius);
+
+} // namespace rhs::core
+
+#endif // RHS_CORE_HAMMER_SESSION_HH

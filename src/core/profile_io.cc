@@ -1,0 +1,140 @@
+#include "core/profile_io.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace rhs::core
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "rowhammer-profile v1";
+
+rhmodel::PatternId
+patternFromName(const std::string &name)
+{
+    for (auto id : rhmodel::allPatterns) {
+        if (to_string(id) == name)
+            return id;
+    }
+    throw std::runtime_error("unknown pattern name: " + name);
+}
+
+} // namespace
+
+std::uint64_t
+ModuleProfile::worstCase() const
+{
+    std::uint64_t worst = 0;
+    for (const auto &entry : rows) {
+        if (entry.hcFirst == 0)
+            continue;
+        if (worst == 0 || entry.hcFirst < worst)
+            worst = entry.hcFirst;
+    }
+    return worst;
+}
+
+std::vector<unsigned>
+ModuleProfile::weakRows(double factor) const
+{
+    const auto worst = worstCase();
+    std::vector<unsigned> weak;
+    if (worst == 0)
+        return weak;
+    const double cut = static_cast<double>(worst) * factor;
+    for (const auto &entry : rows) {
+        if (entry.hcFirst != 0 &&
+            static_cast<double>(entry.hcFirst) <= cut) {
+            weak.push_back(entry.physicalRow);
+        }
+    }
+    std::sort(weak.begin(), weak.end());
+    return weak;
+}
+
+void
+saveProfile(std::ostream &out, const ModuleProfile &profile)
+{
+    out << kMagic << "\n";
+    out << "module " << profile.moduleLabel << " serial " << std::hex
+        << profile.serial << std::dec << " temperature "
+        << profile.temperature << " wcdp " << to_string(profile.wcdp)
+        << "\n";
+    out << "# row <bank> <physical_row> <hcfirst; 0 = not vulnerable>\n";
+    for (const auto &entry : profile.rows) {
+        out << "row " << entry.bank << " " << entry.physicalRow << " "
+            << entry.hcFirst << "\n";
+    }
+}
+
+ModuleProfile
+loadProfile(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic)
+        throw std::runtime_error("not a rowhammer-profile v1 file");
+
+    ModuleProfile profile;
+    bool header_seen = false;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string keyword;
+        fields >> keyword;
+        if (keyword == "module") {
+            std::string tag;
+            std::string wcdp_name;
+            fields >> profile.moduleLabel;
+            fields >> tag;
+            if (tag != "serial")
+                throw std::runtime_error("malformed module line");
+            fields >> std::hex >> profile.serial >> std::dec;
+            fields >> tag;
+            if (tag != "temperature")
+                throw std::runtime_error("malformed module line");
+            fields >> profile.temperature;
+            fields >> tag;
+            if (tag != "wcdp")
+                throw std::runtime_error("malformed module line");
+            fields >> wcdp_name;
+            if (fields.fail())
+                throw std::runtime_error("malformed module line");
+            profile.wcdp = patternFromName(wcdp_name);
+            header_seen = true;
+        } else if (keyword == "row") {
+            ModuleProfile::RowEntry entry;
+            fields >> entry.bank >> entry.physicalRow >> entry.hcFirst;
+            if (fields.fail())
+                throw std::runtime_error("malformed row line: " + line);
+            profile.rows.push_back(entry);
+        } else {
+            throw std::runtime_error("unknown record: " + keyword);
+        }
+    }
+    if (!header_seen)
+        throw std::runtime_error("profile missing module header");
+    return profile;
+}
+
+std::string
+saveProfileToString(const ModuleProfile &profile)
+{
+    std::ostringstream out;
+    saveProfile(out, profile);
+    return out.str();
+}
+
+ModuleProfile
+loadProfileFromString(const std::string &text)
+{
+    std::istringstream in(text);
+    return loadProfile(in);
+}
+
+} // namespace rhs::core

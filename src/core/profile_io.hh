@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Persistence for characterization results.
+ *
+ * Profiling a module is expensive (§8.2 Improvement 2 is about
+ * shrinking that cost); systems that configure defenses from
+ * characterization data need the results to survive across boots.
+ * This module serializes a module's RowHammer profile — per-row
+ * HCfirst, the identified weak rows, and the WCDP — to a small
+ * line-oriented text format and parses it back.
+ */
+
+#ifndef RHS_CORE_PROFILE_IO_HH
+#define RHS_CORE_PROFILE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rhmodel/pattern.hh"
+
+namespace rhs::core
+{
+
+/** A module's persisted RowHammer profile. */
+struct ModuleProfile
+{
+    std::string moduleLabel;       //!< e.g. "B0".
+    std::uint64_t serial = 0;      //!< Module identity check.
+    double temperature = 75.0;     //!< Conditions of the survey.
+    rhmodel::PatternId wcdp = rhmodel::PatternId::Checkered;
+
+    struct RowEntry
+    {
+        unsigned bank = 0;
+        unsigned physicalRow = 0;
+        std::uint64_t hcFirst = 0; //!< 0 = not vulnerable (<= cap).
+    };
+    std::vector<RowEntry> rows;
+
+    /** Minimum HCfirst over vulnerable rows (0 when none). */
+    std::uint64_t worstCase() const;
+
+    /** Rows whose HCfirst is within `factor` of the worst case. */
+    std::vector<unsigned> weakRows(double factor = 2.0) const;
+};
+
+/**
+ * Serialize a profile. Format (line-oriented, '#' comments):
+ *
+ *   rowhammer-profile v1
+ *   module <label> serial <hex> temperature <degC> wcdp <pattern>
+ *   row <bank> <physical_row> <hcfirst>
+ *   ...
+ */
+void saveProfile(std::ostream &out, const ModuleProfile &profile);
+
+/**
+ * Parse a profile.
+ *
+ * @throws std::runtime_error on malformed input (wrong magic,
+ *         truncated records, unknown pattern names).
+ */
+ModuleProfile loadProfile(std::istream &in);
+
+/** Convenience: serialize to / parse from a string. */
+std::string saveProfileToString(const ModuleProfile &profile);
+ModuleProfile loadProfileFromString(const std::string &text);
+
+} // namespace rhs::core
+
+#endif // RHS_CORE_PROFILE_IO_HH

@@ -1,0 +1,40 @@
+#include "core/profiler.hh"
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace rhs::core
+{
+
+ProfileEstimate
+profileBySampling(const Tester &tester, unsigned bank,
+                  unsigned sampled_subarrays, unsigned rows_per_subarray,
+                  const rhmodel::DataPattern &pattern,
+                  const stats::LinearFit &mfr_model)
+{
+    const auto survey = subarraySurvey(tester, bank, sampled_subarrays,
+                                       rows_per_subarray, pattern);
+    RHS_ASSERT(!survey.empty(), "no vulnerable rows found while profiling");
+
+    ProfileEstimate estimate;
+    std::vector<double> all;
+    double minimum = 0.0;
+    bool first = true;
+    for (const auto &entry : survey) {
+        all.insert(all.end(), entry.hcFirstValues.begin(),
+                   entry.hcFirstValues.end());
+        if (first || entry.minimumHcFirst < minimum) {
+            minimum = entry.minimumHcFirst;
+            first = false;
+        }
+        estimate.rowsTested +=
+            static_cast<unsigned>(entry.hcFirstValues.size());
+    }
+    estimate.sampledAverageHcFirst = stats::mean(all);
+    estimate.sampledMinimumHcFirst = minimum;
+    estimate.predictedWorstCase =
+        mfr_model.predict(estimate.sampledAverageHcFirst);
+    return estimate;
+}
+
+} // namespace rhs::core

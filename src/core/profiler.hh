@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fast RowHammer profiling via subarray sampling (Defense Imp. 2, §8.2).
+ *
+ * Obsvs. 15-16 show that subarrays within a module have similar HCfirst
+ * distributions and that a linear model relates a subarray's average
+ * HCfirst to its worst-case (minimum) HCfirst. The profiler exploits
+ * both: it characterizes only a few subarrays and predicts the
+ * module's worst-case HCfirst from the manufacturer's linear model,
+ * cutting profiling time by an order of magnitude.
+ */
+
+#ifndef RHS_CORE_PROFILER_HH
+#define RHS_CORE_PROFILER_HH
+
+#include "core/spatial.hh"
+#include "core/tester.hh"
+#include "stats/regression.hh"
+
+namespace rhs::core
+{
+
+/** Output of a sampled profiling pass. */
+struct ProfileEstimate
+{
+    double sampledAverageHcFirst = 0.0; //!< Avg over sampled rows.
+    double sampledMinimumHcFirst = 0.0; //!< Min over sampled rows.
+    //! Worst-case prediction from the manufacturer linear model
+    //! applied to the sampled average.
+    double predictedWorstCase = 0.0;
+    unsigned rowsTested = 0;
+
+    /** Safe defense threshold: min of observation and prediction. */
+    double
+    recommendedThreshold() const
+    {
+        return std::min(sampledMinimumHcFirst, predictedWorstCase);
+    }
+};
+
+/**
+ * Profile a module by sampling a few subarrays.
+ *
+ * @param tester Module tester.
+ * @param bank Bank to profile.
+ * @param sampled_subarrays How many subarrays to test (the paper's
+ *        example: 8 of 128).
+ * @param rows_per_subarray Rows per sampled subarray.
+ * @param pattern The module's WCDP.
+ * @param mfr_model Per-manufacturer Fig. 14 linear model (min vs avg).
+ */
+ProfileEstimate
+profileBySampling(const Tester &tester, unsigned bank,
+                  unsigned sampled_subarrays, unsigned rows_per_subarray,
+                  const rhmodel::DataPattern &pattern,
+                  const stats::LinearFit &mfr_model);
+
+} // namespace rhs::core
+
+#endif // RHS_CORE_PROFILER_HH

@@ -1,0 +1,106 @@
+#include "core/row_mapping_re.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhs::core
+{
+
+std::vector<InferredAdjacency>
+inferAdjacency(const Tester &tester, unsigned bank,
+               const std::vector<unsigned> &logical_rows, unsigned window,
+               std::uint64_t hammers)
+{
+    const auto &module = tester.module().module();
+    const auto &mapping = module.rowMapping();
+    const unsigned rows = module.geometry().rowsPerBank();
+    const auto &analytic = tester.module().analytic();
+
+    std::vector<InferredAdjacency> result;
+    result.reserve(logical_rows.size());
+
+    for (unsigned logical : logical_rows) {
+        InferredAdjacency entry;
+        entry.aggressorLogical = logical;
+
+        const unsigned aggr_phys = mapping.toPhysical(logical);
+        const auto attack =
+            rhmodel::HammerAttack::singleSided(bank, aggr_phys);
+        const rhmodel::DataPattern pattern(rhmodel::PatternId::RowStripe);
+        rhmodel::Conditions conditions; // Reference conditions.
+
+        // Scan logical rows around the aggressor and count flips in
+        // each candidate victim.
+        std::vector<std::pair<std::uint64_t, unsigned>> scores;
+        const long lo = static_cast<long>(logical) -
+                        static_cast<long>(window);
+        const long hi = static_cast<long>(logical) +
+                        static_cast<long>(window);
+        for (long candidate = lo; candidate <= hi; ++candidate) {
+            if (candidate < 0 || candidate >= static_cast<long>(rows) ||
+                candidate == static_cast<long>(logical)) {
+                continue;
+            }
+            const unsigned cand_logical =
+                static_cast<unsigned>(candidate);
+            const unsigned cand_phys = mapping.toPhysical(cand_logical);
+            const auto flips = analytic
+                                   .berTest(cand_phys, attack, conditions,
+                                            pattern, hammers, 0)
+                                   .flips.size();
+            if (flips > 0)
+                scores.emplace_back(flips, cand_logical);
+        }
+
+        std::sort(scores.begin(), scores.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first > b.first;
+                  });
+        if (!scores.empty())
+            entry.victimLow = scores[0].second;
+        if (scores.size() > 1)
+            entry.victimHigh = scores[1].second;
+        if (entry.victimLow && entry.victimHigh &&
+            *entry.victimLow > *entry.victimHigh) {
+            std::swap(entry.victimLow, entry.victimHigh);
+        }
+        result.push_back(entry);
+    }
+    return result;
+}
+
+double
+adjacencyAccuracy(const Tester &tester,
+                  const std::vector<InferredAdjacency> &inferred)
+{
+    RHS_ASSERT(!inferred.empty());
+    const auto &module = tester.module().module();
+    const auto &mapping = module.rowMapping();
+    const unsigned rows = module.geometry().rowsPerBank();
+
+    unsigned correct = 0;
+    for (const auto &entry : inferred) {
+        const unsigned phys = mapping.toPhysical(entry.aggressorLogical);
+        std::vector<unsigned> expected;
+        if (phys >= 1)
+            expected.push_back(mapping.toLogical(phys - 1));
+        if (phys + 1 < rows)
+            expected.push_back(mapping.toLogical(phys + 1));
+        std::sort(expected.begin(), expected.end());
+
+        std::vector<unsigned> got;
+        if (entry.victimLow)
+            got.push_back(*entry.victimLow);
+        if (entry.victimHigh)
+            got.push_back(*entry.victimHigh);
+        std::sort(got.begin(), got.end());
+
+        if (got == expected)
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(inferred.size());
+}
+
+} // namespace rhs::core

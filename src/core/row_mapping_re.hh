@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reverse engineering of the logical-to-physical row mapping (§4.2).
+ *
+ * The paper reconstructs the DRAM-internal row remapping by
+ * 1) single-sided hammering each row, 2) inferring that the two rows
+ * with the most flips are physically adjacent to the aggressor, and
+ * 3) deducing the mapping from the aggressor-victim relations.
+ */
+
+#ifndef RHS_CORE_ROW_MAPPING_RE_HH
+#define RHS_CORE_ROW_MAPPING_RE_HH
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/tester.hh"
+
+namespace rhs::core
+{
+
+/** Logical neighbours inferred for one aggressor row. */
+struct InferredAdjacency
+{
+    unsigned aggressorLogical = 0;
+    //! Logical addresses of the two most-flipping victims (one may be
+    //! missing at array edges or when a neighbour never flips).
+    std::optional<unsigned> victimLow;
+    std::optional<unsigned> victimHigh;
+};
+
+/**
+ * Hammer each logical row single-sided and report the two neighbouring
+ * logical rows with the most flips, scanning a +-window of logical
+ * addresses around the aggressor.
+ *
+ * @param tester Module tester.
+ * @param bank Bank under test.
+ * @param logical_rows Aggressor rows to probe.
+ * @param window Logical address radius scanned for victims.
+ * @param hammers Hammer count per probe (high to maximize signal).
+ */
+std::vector<InferredAdjacency>
+inferAdjacency(const Tester &tester, unsigned bank,
+               const std::vector<unsigned> &logical_rows,
+               unsigned window = 8,
+               std::uint64_t hammers = kMaxHammers);
+
+/**
+ * Check inferred adjacencies against the device's actual mapping:
+ * the fraction of probes whose inferred victims are exactly the
+ * physical neighbours of the aggressor.
+ */
+double adjacencyAccuracy(const Tester &tester,
+                         const std::vector<InferredAdjacency> &inferred);
+
+} // namespace rhs::core
+
+#endif // RHS_CORE_ROW_MAPPING_RE_HH

@@ -1,0 +1,245 @@
+#include "core/spatial.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace rhs::core
+{
+
+rhmodel::Conditions
+spatialConditions()
+{
+    rhmodel::Conditions conditions;
+    conditions.temperature = 75.0; // §7 experiments run at 75 degC.
+    return conditions;
+}
+
+std::vector<double>
+rowHcFirstSurvey(const Tester &tester, unsigned bank,
+                 const std::vector<unsigned> &rows,
+                 const rhmodel::DataPattern &pattern)
+{
+    const auto conditions = spatialConditions();
+    std::vector<double> hcs;
+    hcs.reserve(rows.size());
+    for (unsigned row : rows) {
+        const auto hc = tester.hcFirstMin(bank, row, conditions, pattern);
+        if (hc != kNotVulnerable)
+            hcs.push_back(static_cast<double>(hc));
+    }
+    return hcs;
+}
+
+RowVariationSummary
+summarizeRowVariation(const std::vector<double> &hcs)
+{
+    RHS_ASSERT(!hcs.empty(), "no vulnerable rows to summarize");
+    RowVariationSummary summary;
+    summary.minHcFirst = stats::minValue(hcs);
+    summary.p1Ratio = stats::quantile(hcs, 0.01) / summary.minHcFirst;
+    summary.p5Ratio = stats::quantile(hcs, 0.05) / summary.minHcFirst;
+    summary.p10Ratio = stats::quantile(hcs, 0.10) / summary.minHcFirst;
+    return summary;
+}
+
+double
+ColumnFlipCounts::zeroFraction() const
+{
+    std::uint64_t zero = 0, total = 0;
+    for (const auto &chip : counts) {
+        for (auto count : chip) {
+            ++total;
+            if (count == 0)
+                ++zero;
+        }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(zero) /
+                            static_cast<double>(total);
+}
+
+double
+ColumnFlipCounts::overFraction(std::uint64_t threshold) const
+{
+    std::uint64_t over = 0, total = 0;
+    for (const auto &chip : counts) {
+        for (auto count : chip) {
+            ++total;
+            if (count > threshold)
+                ++over;
+        }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(over) /
+                            static_cast<double>(total);
+}
+
+std::uint64_t
+ColumnFlipCounts::chipMinimum(unsigned chip) const
+{
+    RHS_ASSERT(chip < counts.size());
+    return *std::min_element(counts[chip].begin(), counts[chip].end());
+}
+
+ColumnFlipCounts
+columnFlipSurvey(const Tester &tester, unsigned bank,
+                 const std::vector<unsigned> &rows,
+                 const rhmodel::DataPattern &pattern,
+                 std::uint64_t hammers)
+{
+    const auto &module = tester.module().module();
+    const auto conditions = spatialConditions();
+
+    ColumnFlipCounts result;
+    result.counts.assign(
+        module.chipCount(),
+        std::vector<std::uint64_t>(module.geometry().columnsPerRow, 0));
+
+    for (unsigned row : rows) {
+        const auto detail =
+            tester.berDetail(bank, row, conditions, pattern, hammers);
+        for (const auto &loc : detail.flips)
+            ++result.counts[loc.chip][loc.column];
+    }
+    return result;
+}
+
+double
+ColumnVariation::designConsistentFraction(double eps) const
+{
+    std::size_t hit = 0, total = 0;
+    for (std::size_t i = 0; i < cvExcessAcrossChips.size(); ++i) {
+        if (relativeVulnerability[i] <= 0.0)
+            continue;
+        ++total;
+        if (cvExcessAcrossChips[i] < eps)
+            ++hit;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(hit) /
+                            static_cast<double>(total);
+}
+
+double
+ColumnVariation::processDominatedFraction(double threshold) const
+{
+    std::size_t hit = 0, total = 0;
+    for (std::size_t i = 0; i < cvExcessAcrossChips.size(); ++i) {
+        if (relativeVulnerability[i] <= 0.0)
+            continue;
+        ++total;
+        if (cvExcessAcrossChips[i] >= threshold)
+            ++hit;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(hit) /
+                            static_cast<double>(total);
+}
+
+ColumnVariation
+analyzeColumnVariation(const ColumnFlipCounts &counts)
+{
+    RHS_ASSERT(!counts.counts.empty());
+    const std::size_t chips = counts.counts.size();
+    const std::size_t columns = counts.counts.front().size();
+
+    // Normalize to the maximum column BER in the module (§7.2).
+    std::uint64_t max_count = 0;
+    for (const auto &chip : counts.counts)
+        for (auto c : chip)
+            max_count = std::max(max_count, c);
+
+    ColumnVariation variation;
+    variation.relativeVulnerability.resize(columns, 0.0);
+    variation.cvAcrossChips.resize(columns, 0.0);
+    variation.cvExcessAcrossChips.resize(columns, 0.0);
+    if (max_count == 0)
+        return variation;
+
+    for (std::size_t col = 0; col < columns; ++col) {
+        std::vector<double> raw;
+        raw.reserve(chips);
+        for (std::size_t chip = 0; chip < chips; ++chip)
+            raw.push_back(
+                static_cast<double>(counts.counts[chip][col]));
+
+        const double mean_count = stats::mean(raw);
+        variation.relativeVulnerability[col] =
+            mean_count / static_cast<double>(max_count);
+        if (mean_count > 0.0) {
+            const double sd = stats::stddev(raw);
+            // The paper saturates the CV axis at 1.0 (footnote 9).
+            variation.cvAcrossChips[col] =
+                std::min(sd / mean_count, 1.0);
+            // Poisson sampling contributes a variance floor equal to
+            // the mean; subtract it to expose the cross-chip rate
+            // variation the paper's 24K-row counts resolve directly.
+            const double excess_var =
+                std::max(0.0, sd * sd - mean_count);
+            variation.cvExcessAcrossChips[col] =
+                std::min(std::sqrt(excess_var) / mean_count, 1.0);
+        }
+    }
+    return variation;
+}
+
+std::vector<SubarrayStats>
+subarraySurvey(const Tester &tester, unsigned bank,
+               unsigned subarray_count, unsigned rows_per_subarray,
+               const rhmodel::DataPattern &pattern)
+{
+    const auto &geometry = tester.module().module().geometry();
+    RHS_ASSERT(subarray_count > 0 &&
+               subarray_count <= geometry.subarraysPerBank);
+    RHS_ASSERT(rows_per_subarray > 0 &&
+               rows_per_subarray <= geometry.rowsPerSubarray);
+
+    const auto conditions = spatialConditions();
+    std::vector<SubarrayStats> result;
+    const unsigned stride = geometry.subarraysPerBank / subarray_count;
+
+    for (unsigned s = 0; s < subarray_count; ++s) {
+        SubarrayStats stats_entry;
+        stats_entry.subarray = s * stride;
+        const unsigned base =
+            stats_entry.subarray * geometry.rowsPerSubarray;
+        const unsigned row_stride =
+            geometry.rowsPerSubarray / rows_per_subarray;
+
+        for (unsigned r = 0; r < rows_per_subarray; ++r) {
+            const unsigned row = base + r * row_stride;
+            if (row < 2 || row + 2 >= geometry.rowsPerBank())
+                continue;
+            const auto hc =
+                tester.hcFirstMin(bank, row, conditions, pattern);
+            if (hc != kNotVulnerable)
+                stats_entry.hcFirstValues.push_back(
+                    static_cast<double>(hc));
+        }
+        if (stats_entry.hcFirstValues.empty())
+            continue;
+        stats_entry.averageHcFirst = stats::mean(stats_entry.hcFirstValues);
+        stats_entry.minimumHcFirst =
+            stats::minValue(stats_entry.hcFirstValues);
+        result.push_back(std::move(stats_entry));
+    }
+    return result;
+}
+
+stats::LinearFit
+fitSubarrayModel(const std::vector<SubarrayStats> &stats_list)
+{
+    std::vector<double> xs, ys;
+    xs.reserve(stats_list.size());
+    ys.reserve(stats_list.size());
+    for (const auto &s : stats_list) {
+        xs.push_back(s.averageHcFirst);
+        ys.push_back(s.minimumHcFirst);
+    }
+    return stats::linearFit(xs, ys);
+}
+
+} // namespace rhs::core

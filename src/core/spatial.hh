@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Spatial variation analyses of §7: per-row HCfirst distributions
+ * (Fig. 11), per-column flip counts and their design/process variation
+ * (Figs. 12-13), and subarray statistics (Figs. 14-15).
+ *
+ * All §7 experiments run at 75 degC.
+ */
+
+#ifndef RHS_CORE_SPATIAL_HH
+#define RHS_CORE_SPATIAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tester.hh"
+#include "stats/regression.hh"
+
+namespace rhs::core
+{
+
+/** Conditions used for all §7 spatial experiments. */
+rhmodel::Conditions spatialConditions();
+
+/**
+ * Per-row HCfirst survey (Fig. 11): the minimum HCfirst across 5
+ * repetitions for each vulnerable row, unsorted.
+ */
+std::vector<double>
+rowHcFirstSurvey(const Tester &tester, unsigned bank,
+                 const std::vector<unsigned> &rows,
+                 const rhmodel::DataPattern &pattern);
+
+/** Summary of the Fig. 11 distribution (Obsv. 12). */
+struct RowVariationSummary
+{
+    double minHcFirst = 0.0;
+    //! HCfirst at percentile P (of rows sorted by increasing HCfirst)
+    //! divided by the most vulnerable row's HCfirst.
+    double p1Ratio = 0.0;  //!< 99% of rows are above this.
+    double p5Ratio = 0.0;  //!< 95% of rows are above this.
+    double p10Ratio = 0.0; //!< 90% of rows are above this.
+};
+
+RowVariationSummary summarizeRowVariation(const std::vector<double> &hcs);
+
+/** Per-chip, per-column bit flip counts (Fig. 12). */
+struct ColumnFlipCounts
+{
+    //! counts[chip][column] accumulated over all tested rows.
+    std::vector<std::vector<std::uint64_t>> counts;
+
+    /** Fraction of (chip, column) slots with zero flips (Obsv. 13). */
+    double zeroFraction() const;
+
+    /** Fraction of slots with more than `threshold` flips. */
+    double overFraction(std::uint64_t threshold = 100) const;
+
+    /** Minimum flips over all columns of one chip. */
+    std::uint64_t chipMinimum(unsigned chip) const;
+};
+
+ColumnFlipCounts
+columnFlipSurvey(const Tester &tester, unsigned bank,
+                 const std::vector<unsigned> &rows,
+                 const rhmodel::DataPattern &pattern,
+                 std::uint64_t hammers = kBerHammers);
+
+/**
+ * Column variation clustering (Fig. 13): for every column address,
+ * the relative RowHammer vulnerability (column BER normalized to the
+ * module's maximum column BER) and the coefficient of variation of
+ * that relative vulnerability across chips.
+ */
+struct ColumnVariation
+{
+    std::vector<double> relativeVulnerability; //!< Per column, in [0,1].
+    std::vector<double> cvAcrossChips; //!< Per column, saturated at 1.
+    //! Sampling-noise-corrected CV: the flip counts of a column are
+    //! Poisson samples of the per-chip rates, so the observed
+    //! cross-chip variance contains a noise floor equal to the mean
+    //! count. cvExcess removes it: sqrt(max(0, var - mean)) / mean.
+    //! A design-induced column (identical rate on every chip) has
+    //! cvExcess ~ 0 at any sample size.
+    std::vector<double> cvExcessAcrossChips;
+
+    /** Fraction of vulnerable columns with noise-corrected CV below
+     *  `eps` (design-induced variation, Obsv. 14). */
+    double designConsistentFraction(double eps = 0.045) const;
+
+    /** Fraction of vulnerable columns with saturated noise-corrected
+     *  CV (manufacturing-process variation). */
+    double processDominatedFraction(double threshold = 0.955) const;
+};
+
+ColumnVariation analyzeColumnVariation(const ColumnFlipCounts &counts);
+
+/** Per-subarray HCfirst statistics (Figs. 14-15). */
+struct SubarrayStats
+{
+    unsigned subarray = 0;
+    double averageHcFirst = 0.0;
+    double minimumHcFirst = 0.0;
+    std::vector<double> hcFirstValues; //!< Per sampled row.
+};
+
+/**
+ * Survey a sample of subarrays (Fig. 14).
+ *
+ * @param subarray_count Number of subarrays to sample (spread evenly).
+ * @param rows_per_subarray Rows sampled inside each subarray.
+ */
+std::vector<SubarrayStats>
+subarraySurvey(const Tester &tester, unsigned bank,
+               unsigned subarray_count, unsigned rows_per_subarray,
+               const rhmodel::DataPattern &pattern);
+
+/**
+ * Fit the Fig. 14 linear model min-HCfirst = a * avg-HCfirst + b over
+ * a set of subarray statistics (possibly from several modules).
+ */
+stats::LinearFit fitSubarrayModel(const std::vector<SubarrayStats> &stats);
+
+} // namespace rhs::core
+
+#endif // RHS_CORE_SPATIAL_HH

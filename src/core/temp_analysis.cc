@@ -1,0 +1,222 @@
+#include "core/temp_analysis.hh"
+
+#include <unordered_map>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace rhs::core
+{
+
+std::vector<double>
+standardTemperatures()
+{
+    std::vector<double> temps;
+    for (double t = 50.0; t <= 90.0 + 1e-9; t += 5.0)
+        temps.push_back(t);
+    return temps;
+}
+
+double
+TempRangeAnalysis::rangeFraction(std::size_t lo, std::size_t hi) const
+{
+    RHS_ASSERT(lo < rangeCount.size() && hi < rangeCount[lo].size());
+    if (vulnerableCells == 0)
+        return 0.0;
+    return static_cast<double>(rangeCount[lo][hi]) /
+           static_cast<double>(vulnerableCells);
+}
+
+double
+TempRangeAnalysis::noGapFraction() const
+{
+    if (vulnerableCells == 0)
+        return 0.0;
+    return static_cast<double>(noGapCells) /
+           static_cast<double>(vulnerableCells);
+}
+
+double
+TempRangeAnalysis::fullRangeFraction() const
+{
+    return rangeFraction(0, temps.size() - 1);
+}
+
+double
+TempRangeAnalysis::singlePointFraction() const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < temps.size(); ++i)
+        total += rangeFraction(i, i);
+    return total;
+}
+
+void
+TempRangeAnalysis::merge(const TempRangeAnalysis &other)
+{
+    RHS_ASSERT(temps == other.temps, "merging incompatible analyses");
+    vulnerableCells += other.vulnerableCells;
+    noGapCells += other.noGapCells;
+    oneGapCells += other.oneGapCells;
+    for (std::size_t lo = 0; lo < rangeCount.size(); ++lo)
+        for (std::size_t hi = 0; hi < rangeCount[lo].size(); ++hi)
+            rangeCount[lo][hi] += other.rangeCount[lo][hi];
+}
+
+TempRangeAnalysis
+analyzeTempRanges(const Tester &tester, unsigned bank,
+                  const std::vector<unsigned> &rows,
+                  const rhmodel::DataPattern &pattern,
+                  std::uint64_t hammers)
+{
+    TempRangeAnalysis analysis;
+    analysis.temps = standardTemperatures();
+    const std::size_t n = analysis.temps.size();
+    analysis.rangeCount.assign(n, std::vector<std::uint64_t>(n, 0));
+
+    for (unsigned row : rows) {
+        // Per-cell bitmask of temperatures showing a flip. Keys are
+        // cell positions within the row (chip, column, bit).
+        std::unordered_map<std::uint64_t, std::uint32_t> masks;
+        for (std::size_t t = 0; t < n; ++t) {
+            rhmodel::Conditions conditions;
+            conditions.temperature = analysis.temps[t];
+            const auto result = tester.berDetail(bank, row, conditions,
+                                                 pattern, hammers);
+            for (const auto &loc : result.flips) {
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(loc.chip) << 32) |
+                    (loc.column << 8) | loc.bit;
+                masks[key] |= 1u << t;
+            }
+        }
+
+        for (const auto &[key, mask] : masks) {
+            (void)key;
+            ++analysis.vulnerableCells;
+            // Observed range: lowest and highest set temperature.
+            std::size_t lo = 0;
+            while (!(mask & (1u << lo)))
+                ++lo;
+            std::size_t hi = n - 1;
+            while (!(mask & (1u << hi)))
+                --hi;
+            ++analysis.rangeCount[lo][hi];
+
+            unsigned gaps = 0;
+            for (std::size_t t = lo; t <= hi; ++t) {
+                if (!(mask & (1u << t)))
+                    ++gaps;
+            }
+            if (gaps == 0)
+                ++analysis.noGapCells;
+            else if (gaps == 1)
+                ++analysis.oneGapCells;
+        }
+    }
+    return analysis;
+}
+
+BerVsTempResult
+analyzeBerVsTemperature(const Tester &tester, unsigned bank,
+                        const std::vector<unsigned> &rows,
+                        const rhmodel::DataPattern &pattern,
+                        std::uint64_t hammers)
+{
+    BerVsTempResult result;
+    result.temps = standardTemperatures();
+    const std::vector<int> offsets{-2, 0, 2};
+
+    // ber[offset][temp][row]
+    std::map<int, std::vector<std::vector<double>>> ber;
+    for (int offset : offsets)
+        ber[offset].assign(result.temps.size(), {});
+
+    for (unsigned row : rows) {
+        for (std::size_t t = 0; t < result.temps.size(); ++t) {
+            rhmodel::Conditions conditions;
+            conditions.temperature = result.temps[t];
+            for (int offset : offsets) {
+                ber[offset][t].push_back(static_cast<double>(
+                    tester.berAtDistance(bank, row, offset, conditions,
+                                         pattern, hammers)));
+            }
+        }
+    }
+
+    for (int offset : offsets) {
+        const double base = stats::mean(ber[offset][0]);
+        auto &mean_series = result.meanChangePct[offset];
+        auto &ci_series = result.ci95Pct[offset];
+        for (std::size_t t = 0; t < result.temps.size(); ++t) {
+            if (base <= 0.0) {
+                mean_series.push_back(0.0);
+                ci_series.push_back(0.0);
+                continue;
+            }
+            std::vector<double> change;
+            change.reserve(ber[offset][t].size());
+            for (double value : ber[offset][t])
+                change.push_back(100.0 * (value - base) / base);
+            mean_series.push_back(stats::mean(change));
+            ci_series.push_back(stats::confidenceInterval95(change));
+        }
+    }
+    return result;
+}
+
+double
+HcShiftResult::crossing55() const
+{
+    return stats::fractionPositive(changePct55);
+}
+
+double
+HcShiftResult::crossing90() const
+{
+    return stats::fractionPositive(changePct90);
+}
+
+double
+HcShiftResult::magnitudeRatio() const
+{
+    const double m55 = stats::cumulativeMagnitude(changePct55);
+    if (m55 == 0.0)
+        return 0.0;
+    return stats::cumulativeMagnitude(changePct90) / m55;
+}
+
+HcShiftResult
+analyzeHcFirstVsTemperature(const Tester &tester, unsigned bank,
+                            const std::vector<unsigned> &rows,
+                            const rhmodel::DataPattern &pattern)
+{
+    HcShiftResult result;
+    for (unsigned row : rows) {
+        rhmodel::Conditions at50, at55, at90;
+        at50.temperature = 50.0;
+        at55.temperature = 55.0;
+        at90.temperature = 90.0;
+
+        const auto hc50 = tester.hcFirstMin(bank, row, at50, pattern);
+        if (hc50 == kNotVulnerable)
+            continue;
+        const auto hc55 = tester.hcFirstMin(bank, row, at55, pattern);
+        const auto hc90 = tester.hcFirstMin(bank, row, at90, pattern);
+
+        auto change_pct = [&](std::uint64_t hc) {
+            // A row not vulnerable at the higher temperature maps to
+            // the search cap: its HCfirst increased at least that far.
+            const double to = hc == kNotVulnerable
+                                  ? static_cast<double>(kMaxHammers)
+                                  : static_cast<double>(hc);
+            return 100.0 * (to - static_cast<double>(hc50)) /
+                   static_cast<double>(hc50);
+        };
+        result.changePct55.push_back(change_pct(hc55));
+        result.changePct90.push_back(change_pct(hc90));
+    }
+    return result;
+}
+
+} // namespace rhs::core

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Temperature analyses of §5: vulnerable temperature ranges of cells
+ * (Table 3, Fig. 3), BER vs temperature (Fig. 4) and HCfirst shifts
+ * with temperature (Fig. 5).
+ */
+
+#ifndef RHS_CORE_TEMP_ANALYSIS_HH
+#define RHS_CORE_TEMP_ANALYSIS_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/tester.hh"
+
+namespace rhs::core
+{
+
+/** The paper's test temperatures: 50..90 degC in 5 degC steps (§4.2). */
+std::vector<double> standardTemperatures();
+
+/** Per-cell vulnerable-temperature-range population (Table 3, Fig. 3). */
+struct TempRangeAnalysis
+{
+    std::vector<double> temps;
+
+    //! cells whose observed range is [temps[lo], temps[hi]];
+    //! rangeCount[lo][hi], lo <= hi.
+    std::vector<std::vector<std::uint64_t>> rangeCount;
+
+    std::uint64_t vulnerableCells = 0; //!< Cells flipping at >=1 temp.
+    std::uint64_t noGapCells = 0;  //!< Flip at every temp in their range.
+    std::uint64_t oneGapCells = 0; //!< Exactly one missing temp point.
+
+    /** Fraction of vulnerable cells in a range bucket. */
+    double rangeFraction(std::size_t lo, std::size_t hi) const;
+
+    /** Table 3: fraction of vulnerable cells with no in-range gap. */
+    double noGapFraction() const;
+
+    /** Fraction flipping at all tested temperatures (Obsv. 2). */
+    double fullRangeFraction() const;
+
+    /** Fraction flipping at exactly one tested temperature (Obsv. 3). */
+    double singlePointFraction() const;
+
+    /** Merge another module's analysis into this one (same temps). */
+    void merge(const TempRangeAnalysis &other);
+};
+
+/**
+ * Run BER tests at every temperature and classify each vulnerable
+ * cell's observed range.
+ *
+ * @param tester Module tester.
+ * @param bank Bank under test.
+ * @param rows Victim physical rows to test.
+ * @param pattern The module's WCDP.
+ * @param hammers Hammer count (default: 150K).
+ */
+TempRangeAnalysis
+analyzeTempRanges(const Tester &tester, unsigned bank,
+                  const std::vector<unsigned> &rows,
+                  const rhmodel::DataPattern &pattern,
+                  std::uint64_t hammers = kBerHammers);
+
+/** BER change with temperature at victim distances -2/0/+2 (Fig. 4). */
+struct BerVsTempResult
+{
+    std::vector<double> temps;
+    //! Mean BER change (%) vs the mean BER at 50 degC, keyed by the
+    //! victim's distance from the double-sided victim row.
+    std::map<int, std::vector<double>> meanChangePct;
+    //! 95% confidence half-widths, same keys.
+    std::map<int, std::vector<double>> ci95Pct;
+};
+
+BerVsTempResult
+analyzeBerVsTemperature(const Tester &tester, unsigned bank,
+                        const std::vector<unsigned> &rows,
+                        const rhmodel::DataPattern &pattern,
+                        std::uint64_t hammers = kBerHammers);
+
+/** HCfirst shift distributions for Fig. 5. */
+struct HcShiftResult
+{
+    //! Per-row HCfirst percentage change 50->55 degC, vulnerable rows
+    //! only (positive = less vulnerable at the higher temperature).
+    std::vector<double> changePct55;
+    //! Per-row HCfirst percentage change 50->90 degC.
+    std::vector<double> changePct90;
+
+    /** Fraction of rows whose HCfirst increased (the "Pxx" marks). */
+    double crossing55() const;
+    double crossing90() const;
+
+    /** Cumulative magnitude ratio (Obsv. 7): sum|d90| / sum|d55|. */
+    double magnitudeRatio() const;
+};
+
+HcShiftResult
+analyzeHcFirstVsTemperature(const Tester &tester, unsigned bank,
+                            const std::vector<unsigned> &rows,
+                            const rhmodel::DataPattern &pattern);
+
+} // namespace rhs::core
+
+#endif // RHS_CORE_TEMP_ANALYSIS_HH

@@ -1,0 +1,148 @@
+#include "core/tester.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhs::core
+{
+
+unsigned
+Tester::berOfRow(unsigned bank, unsigned victim_physical_row,
+                 const rhmodel::Conditions &conditions,
+                 const rhmodel::DataPattern &pattern,
+                 std::uint64_t hammers, unsigned trial) const
+{
+    return static_cast<unsigned>(
+        berDetail(bank, victim_physical_row, conditions, pattern, hammers,
+                  trial)
+            .flips.size());
+}
+
+rhmodel::RowBerResult
+Tester::berDetail(unsigned bank, unsigned victim_physical_row,
+                  const rhmodel::Conditions &conditions,
+                  const rhmodel::DataPattern &pattern,
+                  std::uint64_t hammers, unsigned trial) const
+{
+    const auto attack =
+        rhmodel::HammerAttack::doubleSided(bank, victim_physical_row);
+    return dimm.analytic().berTest(victim_physical_row, attack,
+                                   conditions, pattern, hammers, trial);
+}
+
+unsigned
+Tester::berAtDistance(unsigned bank, unsigned center, int offset,
+                      const rhmodel::Conditions &conditions,
+                      const rhmodel::DataPattern &pattern,
+                      std::uint64_t hammers, unsigned trial) const
+{
+    const long victim = static_cast<long>(center) + offset;
+    const unsigned rows = dimm.module().geometry().rowsPerBank();
+    if (victim < 0 || victim >= static_cast<long>(rows))
+        return 0;
+    const auto attack = rhmodel::HammerAttack::doubleSided(bank, center);
+    return static_cast<unsigned>(
+        dimm.analytic()
+            .berTest(static_cast<unsigned>(victim), attack, conditions,
+                     pattern, hammers, trial)
+            .flips.size());
+}
+
+std::uint64_t
+Tester::hcFirstSearch(unsigned bank, unsigned victim_physical_row,
+                      const rhmodel::Conditions &conditions,
+                      const rhmodel::DataPattern &pattern,
+                      unsigned trial) const
+{
+    auto flips_at = [&](std::uint64_t hammers) {
+        return berOfRow(bank, victim_physical_row, conditions, pattern,
+                        hammers, trial) > 0;
+    };
+
+    // Quick reject: not vulnerable within the 512K-hammer budget.
+    if (!flips_at(kMaxHammers))
+        return kNotVulnerable;
+
+    std::uint64_t hammers = kHcFirstInitial;
+    std::uint64_t best = kMaxHammers;
+    for (std::uint64_t delta = kHcFirstInitialDelta;
+         delta >= kHcFirstAccuracy; delta /= 2) {
+        if (flips_at(hammers)) {
+            best = std::min(best, hammers);
+            hammers = hammers > delta ? hammers - delta : kHcFirstAccuracy;
+        } else {
+            hammers = std::min(hammers + delta, kMaxHammers);
+        }
+    }
+    if (flips_at(hammers))
+        best = std::min(best, hammers);
+    return best;
+}
+
+std::uint64_t
+Tester::hcFirstMin(unsigned bank, unsigned victim_physical_row,
+                   const rhmodel::Conditions &conditions,
+                   const rhmodel::DataPattern &pattern) const
+{
+    std::uint64_t best = kNotVulnerable;
+    for (unsigned trial = 0; trial < kRepetitions; ++trial) {
+        const auto hc = hcFirstSearch(bank, victim_physical_row,
+                                      conditions, pattern, trial);
+        if (hc == kNotVulnerable)
+            continue;
+        best = best == kNotVulnerable ? hc : std::min(best, hc);
+    }
+    return best;
+}
+
+rhmodel::DataPattern
+Tester::findWorstCasePattern(unsigned bank,
+                             const std::vector<unsigned> &sample_rows,
+                             const rhmodel::Conditions &conditions) const
+{
+    RHS_ASSERT(!sample_rows.empty(), "WCDP needs sample rows");
+    rhmodel::DataPattern best(rhmodel::PatternId::ColStripe);
+    std::uint64_t best_flips = 0;
+    bool first = true;
+    for (auto id : rhmodel::allPatterns) {
+        const rhmodel::DataPattern pattern(
+            id, dimm.module().info().serial);
+        std::uint64_t flips = 0;
+        for (unsigned row : sample_rows)
+            flips += berOfRow(bank, row, conditions, pattern);
+        if (first || flips > best_flips) {
+            best = pattern;
+            best_flips = flips;
+            first = false;
+        }
+    }
+    return best;
+}
+
+std::vector<unsigned>
+testedRows(const dram::Geometry &geometry, unsigned per_region)
+{
+    const unsigned rows = geometry.rowsPerBank();
+    RHS_ASSERT(per_region > 0 && per_region * 3 <= rows,
+               "per-region row count too large for the bank");
+
+    std::vector<unsigned> out;
+    out.reserve(3 * per_region);
+    auto add_range = [&](unsigned start) {
+        for (unsigned r = start; r < start + per_region; ++r) {
+            // Double-sided victims need both physical neighbours.
+            if (r >= 2 && r + 2 < rows)
+                out.push_back(r);
+        }
+    };
+    add_range(0);
+    add_range(rows / 2 - per_region / 2);
+    add_range(rows - per_region);
+
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace rhs::core

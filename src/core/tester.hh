@@ -1,0 +1,127 @@
+/**
+ * @file
+ * RowHammer characterization tester (the paper's methodology, §4.2).
+ *
+ * Wraps a simulated DIMM with the operations every analysis builds on:
+ * installing data patterns around a victim, running double-sided BER
+ * tests, and measuring HCfirst with the paper's binary search. The
+ * tester evaluates tests through the closed-form analytic engine; the
+ * cycle-accurate SoftMC path produces identical outcomes
+ * (property-tested) and is exercised by the integration tests and
+ * examples.
+ */
+
+#ifndef RHS_CORE_TESTER_HH
+#define RHS_CORE_TESTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rhmodel/dimm.hh"
+#include "rhmodel/pattern.hh"
+
+namespace rhs::core
+{
+
+/** Paper constants (§4.2). */
+inline constexpr std::uint64_t kBerHammers = 150'000;
+inline constexpr std::uint64_t kMaxHammers = 512'000;
+inline constexpr std::uint64_t kHcFirstInitial = 256'000;
+inline constexpr std::uint64_t kHcFirstInitialDelta = 128'000;
+inline constexpr std::uint64_t kHcFirstAccuracy = 512;
+inline constexpr unsigned kRepetitions = 5;
+
+/** Sentinel HCfirst for rows with no flip up to kMaxHammers. */
+inline constexpr std::uint64_t kNotVulnerable = 0;
+
+/** High-level measurement interface over one DIMM. */
+class Tester
+{
+  public:
+    /** @param dimm Module under test (not owned). */
+    explicit Tester(rhmodel::SimulatedDimm &dimm) : dimm(dimm) {}
+
+    rhmodel::SimulatedDimm &module() { return dimm; }
+    const rhmodel::SimulatedDimm &module() const { return dimm; }
+
+    /**
+     * BER test: double-sided hammer on the victim's neighbours, count
+     * flips in the victim row.
+     *
+     * @param bank Bank under test.
+     * @param victim_physical_row Victim (physical address).
+     * @param conditions Temperature and aggressor timings.
+     * @param pattern Data pattern written to V±[1..8].
+     * @param hammers Hammer count (default: paper's 150K).
+     * @param trial Repetition index.
+     * @return Number of bit flips in the victim row.
+     */
+    unsigned berOfRow(unsigned bank, unsigned victim_physical_row,
+                      const rhmodel::Conditions &conditions,
+                      const rhmodel::DataPattern &pattern,
+                      std::uint64_t hammers = kBerHammers,
+                      unsigned trial = 0) const;
+
+    /** BER test returning the flipped cell locations. */
+    rhmodel::RowBerResult
+    berDetail(unsigned bank, unsigned victim_physical_row,
+              const rhmodel::Conditions &conditions,
+              const rhmodel::DataPattern &pattern,
+              std::uint64_t hammers = kBerHammers,
+              unsigned trial = 0) const;
+
+    /**
+     * BER of a single-sided victim: hammer around `center` but count
+     * flips in center+offset (offset ±2 for Fig. 4's side victims).
+     */
+    unsigned berAtDistance(unsigned bank, unsigned center, int offset,
+                           const rhmodel::Conditions &conditions,
+                           const rhmodel::DataPattern &pattern,
+                           std::uint64_t hammers = kBerHammers,
+                           unsigned trial = 0) const;
+
+    /**
+     * The paper's HCfirst binary search (§4.2): start at 256K, step
+     * 128K halving to 512, decreasing on flip and increasing on no
+     * flip; capped at 512K hammers.
+     *
+     * @return The smallest probed hammer count showing a flip, with
+     *         512-hammer accuracy, or kNotVulnerable.
+     */
+    std::uint64_t
+    hcFirstSearch(unsigned bank, unsigned victim_physical_row,
+                  const rhmodel::Conditions &conditions,
+                  const rhmodel::DataPattern &pattern,
+                  unsigned trial = 0) const;
+
+    /** Minimum HCfirst across kRepetitions trials (as in Fig. 11). */
+    std::uint64_t
+    hcFirstMin(unsigned bank, unsigned victim_physical_row,
+               const rhmodel::Conditions &conditions,
+               const rhmodel::DataPattern &pattern) const;
+
+    /**
+     * Find the module's worst-case data pattern (WCDP): the Table 1
+     * pattern maximizing total flips over sample_rows (§4.2).
+     */
+    rhmodel::DataPattern
+    findWorstCasePattern(unsigned bank,
+                         const std::vector<unsigned> &sample_rows,
+                         const rhmodel::Conditions &conditions) const;
+
+  private:
+    rhmodel::SimulatedDimm &dimm;
+};
+
+/**
+ * The tested row sample of §4.2: the first, middle, and last
+ * `per_region` rows of a bank (the paper uses 8K per region; benches
+ * default to fewer). Rows touching the bank edge are excluded since a
+ * double-sided victim needs both neighbours.
+ */
+std::vector<unsigned> testedRows(const dram::Geometry &geometry,
+                                 unsigned per_region);
+
+} // namespace rhs::core
+
+#endif // RHS_CORE_TESTER_HH

@@ -1,0 +1,142 @@
+#include "core/timing_analysis.hh"
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace rhs::core
+{
+
+std::vector<double>
+standardOnTimes()
+{
+    // 34.5 ns (tRAS) to 154.5 ns in 30 ns steps (§6).
+    return {34.5, 64.5, 94.5, 124.5, 154.5};
+}
+
+std::vector<double>
+standardOffTimes()
+{
+    // 16.5 ns (tRP) to 40.5 ns in 8 ns steps (§6.2).
+    return {16.5, 24.5, 32.5, 40.5};
+}
+
+double
+TimingSweepResult::berRatio() const
+{
+    RHS_ASSERT(flipsPerRowPerChip.size() >= 2);
+    const double base = stats::mean(flipsPerRowPerChip.front());
+    if (base <= 0.0)
+        return 0.0;
+    return stats::mean(flipsPerRowPerChip.back()) / base;
+}
+
+double
+TimingSweepResult::hcFirstChange() const
+{
+    RHS_ASSERT(hcFirstPerRow.size() >= 2);
+    const double base = stats::mean(hcFirstPerRow.front());
+    if (base <= 0.0)
+        return 0.0;
+    return stats::mean(hcFirstPerRow.back()) / base - 1.0;
+}
+
+double
+TimingSweepResult::berCvChange() const
+{
+    const double base =
+        stats::coefficientOfVariation(flipsPerRowPerChip.front());
+    if (base == 0.0)
+        return 0.0;
+    return stats::coefficientOfVariation(flipsPerRowPerChip.back()) /
+               base -
+           1.0;
+}
+
+double
+TimingSweepResult::hcFirstCvChange() const
+{
+    const double base = stats::coefficientOfVariation(hcFirstPerRow.front());
+    if (base == 0.0)
+        return 0.0;
+    return stats::coefficientOfVariation(hcFirstPerRow.back()) / base -
+           1.0;
+}
+
+namespace
+{
+
+TimingSweepResult
+sweepImpl(const Tester &tester, unsigned bank,
+          const std::vector<unsigned> &rows,
+          const rhmodel::DataPattern &pattern,
+          const std::vector<double> &values, bool vary_on_time)
+{
+    RHS_ASSERT(!rows.empty(), "timing sweep needs rows");
+    const unsigned chips = tester.module().module().chipCount();
+
+    TimingSweepResult result;
+    result.values = values;
+    result.flipsPerRowPerChip.resize(values.size());
+    result.hcFirstPerRow.resize(values.size());
+
+    // flipsPerChip[point][chip]
+    std::vector<std::vector<std::uint64_t>> flips_per_chip(
+        values.size(), std::vector<std::uint64_t>(chips, 0));
+
+    for (unsigned row : rows) {
+        for (std::size_t v = 0; v < values.size(); ++v) {
+            rhmodel::Conditions conditions;
+            conditions.temperature = 50.0; // §6 runs at 50 degC.
+            if (vary_on_time)
+                conditions.tAggOn = values[v];
+            else
+                conditions.tAggOff = values[v];
+
+            const auto detail =
+                tester.berDetail(bank, row, conditions, pattern);
+            for (const auto &loc : detail.flips)
+                ++flips_per_chip[v][loc.chip];
+
+            const auto hc = tester.hcFirstMin(bank, row, conditions,
+                                              pattern);
+            if (hc != kNotVulnerable)
+                result.hcFirstPerRow[v].push_back(
+                    static_cast<double>(hc));
+        }
+    }
+
+    for (std::size_t v = 0; v < values.size(); ++v) {
+        for (unsigned chip = 0; chip < chips; ++chip) {
+            result.flipsPerRowPerChip[v].push_back(
+                static_cast<double>(flips_per_chip[v][chip]) /
+                static_cast<double>(rows.size()));
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+TimingSweepResult
+sweepAggressorOnTime(const Tester &tester, unsigned bank,
+                     const std::vector<unsigned> &rows,
+                     const rhmodel::DataPattern &pattern,
+                     std::vector<double> values)
+{
+    if (values.empty())
+        values = standardOnTimes();
+    return sweepImpl(tester, bank, rows, pattern, values, true);
+}
+
+TimingSweepResult
+sweepAggressorOffTime(const Tester &tester, unsigned bank,
+                      const std::vector<unsigned> &rows,
+                      const rhmodel::DataPattern &pattern,
+                      std::vector<double> values)
+{
+    if (values.empty())
+        values = standardOffTimes();
+    return sweepImpl(tester, bank, rows, pattern, values, false);
+}
+
+} // namespace rhs::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Aggressor-row active-time analyses of §6 (Figs. 7-10).
+ *
+ * The on-time sweep varies tAggOn from tRAS (34.5 ns) to 154.5 ns in
+ * 30 ns steps; the off-time sweep varies tAggOff from tRP (16.5 ns) to
+ * 40.5 ns in 8 ns steps. Experiments run at 50 degC on the first,
+ * middle, and last rows of a bank.
+ */
+
+#ifndef RHS_CORE_TIMING_ANALYSIS_HH
+#define RHS_CORE_TIMING_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tester.hh"
+
+namespace rhs::core
+{
+
+/** The paper's tAggOn sweep points (ns). */
+std::vector<double> standardOnTimes();
+
+/** The paper's tAggOff sweep points (ns). */
+std::vector<double> standardOffTimes();
+
+/** Results at each sweep point. */
+struct TimingSweepResult
+{
+    std::vector<double> values; //!< Sweep points (ns).
+
+    //! Per point: average bit flips per victim row of each chip
+    //! (the distribution plotted in Figs. 7 and 9).
+    std::vector<std::vector<double>> flipsPerRowPerChip;
+
+    //! Per point: HCfirst of each vulnerable row (Figs. 8 and 10).
+    std::vector<std::vector<double>> hcFirstPerRow;
+
+    /** Mean BER ratio between the last and first sweep point. */
+    double berRatio() const;
+
+    /** Mean HCfirst change between last and first point (e.g. -0.40
+     *  means HCfirst dropped by 40%, as in Obsv. 8 for Mfr. A). */
+    double hcFirstChange() const;
+
+    /** CV change of the BER distribution, last vs first point. */
+    double berCvChange() const;
+
+    /** CV change of the HCfirst distribution, last vs first point. */
+    double hcFirstCvChange() const;
+};
+
+/**
+ * Sweep tAggOn (Figs. 7 and 8).
+ *
+ * @param tester Module tester.
+ * @param bank Bank under test.
+ * @param rows Victim physical rows (§6 uses 1K x 3 regions).
+ * @param pattern The module's WCDP.
+ * @param values Sweep points; default: the paper's.
+ */
+TimingSweepResult
+sweepAggressorOnTime(const Tester &tester, unsigned bank,
+                     const std::vector<unsigned> &rows,
+                     const rhmodel::DataPattern &pattern,
+                     std::vector<double> values = {});
+
+/** Sweep tAggOff (Figs. 9 and 10). */
+TimingSweepResult
+sweepAggressorOffTime(const Tester &tester, unsigned bank,
+                      const std::vector<unsigned> &rows,
+                      const rhmodel::DataPattern &pattern,
+                      std::vector<double> values = {});
+
+} // namespace rhs::core
+
+#endif // RHS_CORE_TIMING_ANALYSIS_HH

@@ -1,0 +1,115 @@
+#include "defense/blockhammer.hh"
+
+#include <algorithm>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace rhs::defense
+{
+
+CountingBloomFilter::CountingBloomFilter(std::size_t counters,
+                                         unsigned hashes,
+                                         std::uint64_t seed)
+    : counters(counters, 0), hashes(hashes), seed(seed)
+{
+    RHS_ASSERT(counters > 0 && hashes > 0);
+}
+
+std::size_t
+CountingBloomFilter::index(std::uint64_t key, unsigned hash) const
+{
+    return static_cast<std::size_t>(util::hashTuple(seed, key, hash) %
+                                    counters.size());
+}
+
+void
+CountingBloomFilter::insert(std::uint64_t key)
+{
+    for (unsigned h = 0; h < hashes; ++h)
+        ++counters[index(key, h)];
+}
+
+std::uint64_t
+CountingBloomFilter::estimate(std::uint64_t key) const
+{
+    std::uint64_t lowest = counters[index(key, 0)];
+    for (unsigned h = 1; h < hashes; ++h)
+        lowest = std::min(lowest, counters[index(key, h)]);
+    return lowest;
+}
+
+void
+CountingBloomFilter::clear()
+{
+    std::fill(counters.begin(), counters.end(), 0);
+}
+
+BlockHammer::BlockHammer(std::uint64_t blacklist_threshold,
+                         std::uint64_t window_activations,
+                         std::size_t counters, unsigned hashes)
+    : blacklistThreshold(blacklist_threshold),
+      countersPerFilter(counters),
+      epochLength(std::max<std::uint64_t>(1, window_activations / 2)),
+      filters{CountingBloomFilter(counters, hashes, 0xb10cu),
+              CountingBloomFilter(counters, hashes, 0x4a44u)}
+{
+    RHS_ASSERT(blacklist_threshold > 0);
+}
+
+std::uint64_t
+BlockHammer::key(const Activation &activation) const
+{
+    return (static_cast<std::uint64_t>(activation.bank) << 32) |
+           activation.row;
+}
+
+DefenseAction
+BlockHammer::onActivation(const Activation &activation)
+{
+    DefenseAction action;
+    ++tick;
+    if (tick % epochLength == 0) {
+        // Rotate epochs: the stale filter is cleared and becomes the
+        // new active one; the other keeps history of the last epoch.
+        activeFilter ^= 1u;
+        filters[activeFilter].clear();
+    }
+
+    const auto k = key(activation);
+    filters[activeFilter].insert(k);
+
+    if (estimate(activation.bank, activation.row) >= blacklistThreshold) {
+        action.throttle = true;
+        ++throttled;
+    }
+    return action;
+}
+
+void
+BlockHammer::reset()
+{
+    filters[0].clear();
+    filters[1].clear();
+    tick = 0;
+    throttled = 0;
+    activeFilter = 0;
+}
+
+double
+BlockHammer::storageBits() const
+{
+    // Two filters x counters x 16-bit saturating counters (the
+    // hardware proposal uses dual CBFs sized per bank).
+    return 2.0 * static_cast<double>(countersPerFilter) * 16.0;
+}
+
+std::uint64_t
+BlockHammer::estimate(unsigned bank, unsigned row) const
+{
+    Activation activation{bank, row};
+    const auto k = key(activation);
+    return std::max(filters[0].estimate(k), filters[1].estimate(k));
+}
+
+} // namespace rhs::defense

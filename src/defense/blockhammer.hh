@@ -1,0 +1,95 @@
+/**
+ * @file
+ * BlockHammer: counting-Bloom-filter blacklisting with throttling
+ * (Yağlıkçı et al., HPCA 2021), simplified.
+ *
+ * Two counting Bloom filters alternate in epochs of half a refresh
+ * window; a row's activation-count estimate is the minimum counter it
+ * hashes to across the live filters. Rows whose estimate exceeds the
+ * blacklist threshold are throttled: the memory controller delays
+ * their activations so the RowHammer threshold cannot be reached
+ * within the window. No victim refreshes are ever issued.
+ */
+
+#ifndef RHS_DEFENSE_BLOCKHAMMER_HH
+#define RHS_DEFENSE_BLOCKHAMMER_HH
+
+#include <array>
+#include <vector>
+
+#include "defense/defense.hh"
+
+namespace rhs::defense
+{
+
+/** Counting Bloom filter (exposed for unit tests). */
+class CountingBloomFilter
+{
+  public:
+    /**
+     * @param counters Number of counters.
+     * @param hashes Hash functions per insert.
+     * @param seed Hash seed.
+     */
+    CountingBloomFilter(std::size_t counters, unsigned hashes,
+                        std::uint64_t seed);
+
+    /** Insert one occurrence of a key. */
+    void insert(std::uint64_t key);
+
+    /** Estimated (never under-) count of a key. */
+    std::uint64_t estimate(std::uint64_t key) const;
+
+    /** Zero all counters. */
+    void clear();
+
+  private:
+    std::size_t index(std::uint64_t key, unsigned hash) const;
+
+    std::vector<std::uint64_t> counters;
+    unsigned hashes;
+    std::uint64_t seed;
+};
+
+/** BlockHammer blacklisting defense. */
+class BlockHammer : public Defense
+{
+  public:
+    /**
+     * @param blacklist_threshold Estimated count that blacklists a row
+     *        (configured as a fraction of HCfirst).
+     * @param window_activations Activations per refresh window (epoch
+     *        length is half of this).
+     * @param counters Counters per Bloom filter.
+     * @param hashes Hash functions per filter.
+     */
+    BlockHammer(std::uint64_t blacklist_threshold,
+                std::uint64_t window_activations,
+                std::size_t counters = 1024, unsigned hashes = 3);
+
+    std::string name() const override { return "BlockHammer"; }
+    DefenseAction onActivation(const Activation &activation) override;
+    void reset() override;
+    double storageBits() const override;
+
+    /** Current estimate of a row (max over the live filters). */
+    std::uint64_t estimate(unsigned bank, unsigned row) const;
+
+    /** Total throttled activations. */
+    std::uint64_t throttledCount() const { return throttled; }
+
+  private:
+    std::uint64_t key(const Activation &activation) const;
+
+    std::uint64_t blacklistThreshold;
+    std::size_t countersPerFilter;
+    std::uint64_t epochLength;
+    std::uint64_t tick = 0;
+    std::uint64_t throttled = 0;
+    std::array<CountingBloomFilter, 2> filters;
+    unsigned activeFilter = 0;
+};
+
+} // namespace rhs::defense
+
+#endif // RHS_DEFENSE_BLOCKHAMMER_HH

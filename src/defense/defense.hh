@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Common interface for RowHammer defense mechanisms.
+ *
+ * A defense observes the activation command stream and decides
+ * 1) which victim rows to preventively refresh, and 2) whether an
+ * activation should be throttled (delayed). The paper's defense
+ * implications (§8.2) are evaluated against these implementations.
+ */
+
+#ifndef RHS_DEFENSE_DEFENSE_HH
+#define RHS_DEFENSE_DEFENSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rhs::defense
+{
+
+/** A single observed or attempted row activation. */
+struct Activation
+{
+    unsigned bank = 0;
+    unsigned row = 0; //!< Physical row address.
+};
+
+/** Defense response to one activation. */
+struct DefenseAction
+{
+    //! Physical rows whose charge should be preventively refreshed.
+    std::vector<unsigned> refreshRows;
+    //! True when the activation should be delayed (BlockHammer-style
+    //! throttling); the memory controller enforces the delay.
+    bool throttle = false;
+};
+
+/** Abstract RowHammer defense. */
+class Defense
+{
+  public:
+    virtual ~Defense() = default;
+
+    /** Mechanism name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Observe one activation and react. */
+    virtual DefenseAction onActivation(const Activation &activation) = 0;
+
+    /**
+     * Observe a periodic refresh command. In-DRAM mitigations (TRR)
+     * piggyback their victim refreshes on these; the returned rows are
+     * preventively refreshed. Default: nothing.
+     */
+    virtual std::vector<unsigned>
+    onRefresh()
+    {
+        return {};
+    }
+
+    /** Reset all internal state (start of a refresh window). */
+    virtual void reset() = 0;
+
+    /**
+     * Storage the mechanism needs, in bits (the area proxy used for
+     * the Defense Improvement 1 comparison).
+     */
+    virtual double storageBits() const = 0;
+};
+
+} // namespace rhs::defense
+
+#endif // RHS_DEFENSE_DEFENSE_HH

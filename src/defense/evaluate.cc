@@ -1,0 +1,151 @@
+#include "defense/evaluate.hh"
+
+#include <algorithm>
+
+#include "core/hammer_session.hh"
+#include "util/logging.hh"
+
+namespace rhs::defense
+{
+
+namespace
+{
+
+/**
+ * Issue the hammer loop command by command, consulting the defense
+ * before every activation and delivering periodic refresh commands.
+ * Returns the evaluation counts.
+ */
+EvaluationResult
+drive(rhmodel::SimulatedDimm &dimm, Defense *defense,
+      const rhmodel::DataPattern &pattern, const AttackConfig &config)
+{
+    auto &module = dimm.module();
+    const auto &timing = module.timing();
+    const auto &mapping = module.rowMapping();
+    const unsigned rows_per_bank = module.geometry().rowsPerBank();
+
+    // Resolve the attack geometry.
+    rhmodel::HammerAttack attack = config.attack;
+    if (attack.aggressorRows.empty()) {
+        const unsigned victim = config.victimPhysicalRow;
+        RHS_ASSERT(victim >= 1 && victim + 1 < rows_per_bank,
+                   "victim needs both neighbours");
+        attack = rhmodel::HammerAttack::doubleSided(config.bank, victim);
+    }
+    RHS_ASSERT(!attack.aggressorRows.empty());
+    for (unsigned aggressor : attack.aggressorRows)
+        RHS_ASSERT(aggressor < rows_per_bank, "aggressor out of range");
+
+    // Install the pattern over the whole attacked neighbourhood.
+    const unsigned lo = *std::min_element(attack.aggressorRows.begin(),
+                                          attack.aggressorRows.end());
+    const unsigned hi = *std::max_element(attack.aggressorRows.begin(),
+                                          attack.aggressorRows.end());
+    const unsigned radius = std::max(8u, hi - lo + 2);
+
+    module.resetTiming(); // Each evaluation restarts its clock.
+    core::installPattern(dimm, attack.bank, attack.patternCenter,
+                         pattern, radius);
+
+    auto &injector = dimm.injector();
+    injector.setTemperature(config.conditions.temperature);
+    injector.setTrial(config.trial);
+    injector.beginTest();
+    if (defense)
+        defense->reset();
+
+    const auto on_cycles = timing.toCycles(
+        config.conditions.tAggOn > 0 ? config.conditions.tAggOn
+                                     : timing.tRAS);
+    const auto off_cycles = timing.toCycles(
+        config.conditions.tAggOff > 0 ? config.conditions.tAggOff
+                                      : timing.tRP);
+
+    EvaluationResult result;
+    dram::Cycles cycle = 0;
+    std::uint64_t acts_since_ref = 0;
+
+    auto apply_refreshes = [&](const std::vector<unsigned> &rows) {
+        for (unsigned refresh_row : rows) {
+            if (refresh_row < rows_per_bank) {
+                injector.refreshRow(attack.bank, refresh_row);
+                ++result.refreshes;
+            }
+        }
+    };
+
+    for (std::uint64_t h = 0; h < config.hammers; ++h) {
+        for (unsigned aggressor : attack.aggressorRows) {
+            bool suppressed = false;
+            if (defense) {
+                const auto action =
+                    defense->onActivation({attack.bank, aggressor});
+                apply_refreshes(action.refreshRows);
+                if (action.throttle) {
+                    // The controller delays the blacklisted ACT past
+                    // the refresh window; within this test that means
+                    // the activation never lands.
+                    suppressed = true;
+                    ++result.throttledActs;
+                }
+            }
+
+            if (!suppressed) {
+                dram::Command act;
+                act.type = dram::CommandType::Act;
+                act.bank = attack.bank;
+                act.row = mapping.toLogical(aggressor);
+                act.cycle = cycle;
+                module.issue(act);
+
+                dram::Command pre;
+                pre.type = dram::CommandType::Pre;
+                pre.bank = attack.bank;
+                pre.cycle = cycle + on_cycles;
+                module.issue(pre);
+                ++result.activations;
+            }
+            cycle += on_cycles + off_cycles;
+
+            // Periodic refresh command (disabled in the paper's own
+            // tests; enabled when evaluating in-DRAM TRR or the
+            // refresh-rate mitigation).
+            if (config.refreshEveryActivations > 0 &&
+                ++acts_since_ref >= config.refreshEveryActivations) {
+                acts_since_ref = 0;
+                if (config.refreshRestoresAllRows) {
+                    injector.refreshAllRows();
+                    ++result.refreshes;
+                }
+                if (defense)
+                    apply_refreshes(defense->onRefresh());
+            }
+        }
+    }
+
+    result.flips = injector.flipsApplied();
+    if (defense)
+        result.storageBits = defense->storageBits();
+    return result;
+}
+
+} // namespace
+
+EvaluationResult
+evaluateDefense(rhmodel::SimulatedDimm &dimm, Defense &defense,
+                const rhmodel::DataPattern &pattern,
+                const AttackConfig &config)
+{
+    return drive(dimm, &defense, pattern, config);
+}
+
+EvaluationResult
+evaluateUndefended(rhmodel::SimulatedDimm &dimm,
+                   const rhmodel::DataPattern &pattern,
+                   const AttackConfig &config)
+{
+    return drive(dimm, nullptr, pattern, config);
+}
+
+} // namespace rhs::defense

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Defense evaluation harness.
+ *
+ * Drives a double-sided RowHammer attack against a simulated DIMM with
+ * a defense in the loop: the defense observes every activation, its
+ * victim refreshes restore cell charge in the fault injector, and its
+ * throttle decisions suppress (delay past the window) aggressor
+ * activations.
+ */
+
+#ifndef RHS_DEFENSE_EVALUATE_HH
+#define RHS_DEFENSE_EVALUATE_HH
+
+#include <cstdint>
+
+#include "defense/defense.hh"
+#include "rhmodel/dimm.hh"
+#include "rhmodel/pattern.hh"
+
+namespace rhs::defense
+{
+
+/** Attack configuration for an evaluation run. */
+struct AttackConfig
+{
+    unsigned bank = 0;
+    unsigned victimPhysicalRow = 0;
+    rhmodel::Conditions conditions{};
+    std::uint64_t hammers = 300'000;
+    unsigned trial = 0;
+
+    //! Custom attack geometry (e.g. HammerAttack::manySided). When
+    //! its aggressor list is empty, the classic double-sided attack
+    //! on victimPhysicalRow is used.
+    rhmodel::HammerAttack attack{};
+
+    //! Issue a periodic refresh command every N activations (0 =
+    //! refresh disabled, as in the paper's tests). In-DRAM TRR only
+    //! acts on these.
+    std::uint64_t refreshEveryActivations = 0;
+
+    //! When true, each periodic refresh command restores the charge
+    //! of ALL rows (a full auto-refresh pass), modelling the classic
+    //! increase-the-refresh-rate mitigation. Works with or without a
+    //! defense attached.
+    bool refreshRestoresAllRows = false;
+};
+
+/** Outcome of running an attack against a defended module. */
+struct EvaluationResult
+{
+    unsigned flips = 0;             //!< Bit flips the attack achieved.
+    std::uint64_t activations = 0;  //!< Aggressor activations issued.
+    std::uint64_t refreshes = 0;    //!< Victim refreshes the defense issued.
+    std::uint64_t throttledActs = 0; //!< Activations suppressed.
+    double storageBits = 0.0;        //!< Defense area proxy.
+
+    /** Refresh bandwidth overhead: refreshes per activation. */
+    double
+    refreshOverhead() const
+    {
+        return activations == 0
+                   ? 0.0
+                   : static_cast<double>(refreshes) /
+                         static_cast<double>(activations);
+    }
+};
+
+/**
+ * Run the attack with a defense attached.
+ *
+ * @param dimm Module under attack (its injector applies the damage).
+ * @param defense Defense under evaluation (reset before the run).
+ * @param pattern Data pattern written around the victim.
+ * @param config Attack parameters.
+ */
+EvaluationResult evaluateDefense(rhmodel::SimulatedDimm &dimm,
+                                 Defense &defense,
+                                 const rhmodel::DataPattern &pattern,
+                                 const AttackConfig &config);
+
+/** Run the same attack with no defense (baseline flips). */
+EvaluationResult evaluateUndefended(rhmodel::SimulatedDimm &dimm,
+                                    const rhmodel::DataPattern &pattern,
+                                    const AttackConfig &config);
+
+} // namespace rhs::defense
+
+#endif // RHS_DEFENSE_EVALUATE_HH

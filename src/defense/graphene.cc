@@ -1,0 +1,86 @@
+#include "defense/graphene.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhs::defense
+{
+
+Graphene::Graphene(std::uint64_t threshold,
+                   std::uint64_t window_activations)
+    : threshold(threshold), window(window_activations)
+{
+    RHS_ASSERT(threshold > 0, "Graphene threshold must be positive");
+    RHS_ASSERT(window_activations >= threshold,
+               "window must cover at least one threshold period");
+    capacity = static_cast<std::size_t>(window / threshold) + 1;
+}
+
+std::uint64_t
+Graphene::key(unsigned bank, unsigned row) const
+{
+    return (static_cast<std::uint64_t>(bank) << 32) | row;
+}
+
+DefenseAction
+Graphene::onActivation(const Activation &activation)
+{
+    DefenseAction action;
+    const auto k = key(activation.bank, activation.row);
+
+    auto it = table.find(k);
+    if (it != table.end()) {
+        ++it->second.first;
+    } else if (table.size() < capacity) {
+        // Insert with the spillover as the count lower bound
+        // (Misra-Gries: an untracked element may have been seen up to
+        // `spill` times).
+        it = table.emplace(k, std::make_pair(spill + 1,
+                                             threshold)).first;
+    } else {
+        // Table full: decrement-all step, realized as a spillover
+        // increment; evict entries that fall to the spillover level.
+        ++spill;
+        for (auto entry = table.begin(); entry != table.end();) {
+            if (entry->second.first <= spill)
+                entry = table.erase(entry);
+            else
+                ++entry;
+        }
+        return action; // This activation is absorbed by the spillover.
+    }
+
+    auto &[count, trigger] = it->second;
+    if (count >= trigger) {
+        // Preventively refresh both neighbours and rearm.
+        if (activation.row > 0)
+            action.refreshRows.push_back(activation.row - 1);
+        action.refreshRows.push_back(activation.row + 1);
+        trigger += threshold;
+    }
+    return action;
+}
+
+void
+Graphene::reset()
+{
+    table.clear();
+    spill = 0;
+}
+
+double
+Graphene::storageBits() const
+{
+    // Row address (32b) + counter (32b) per entry, plus the spillover.
+    return static_cast<double>(capacity) * 64.0 + 32.0;
+}
+
+std::uint64_t
+Graphene::estimatedCount(unsigned bank, unsigned row) const
+{
+    auto it = table.find(key(bank, row));
+    return it == table.end() ? spill : it->second.first;
+}
+
+} // namespace rhs::defense

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Graphene: Misra-Gries frequent-element tracking (Park et al.,
+ * MICRO 2020).
+ *
+ * Maintains k exact counters with the Misra-Gries summary; any row
+ * activated more than threshold times is guaranteed to be tracked
+ * (frequency underestimation is bounded by the spillover counter).
+ * When a tracked row's estimated count crosses the threshold, its
+ * neighbours are refreshed and the counter rebased.
+ */
+
+#ifndef RHS_DEFENSE_GRAPHENE_HH
+#define RHS_DEFENSE_GRAPHENE_HH
+
+#include <map>
+#include <unordered_map>
+
+#include "defense/defense.hh"
+
+namespace rhs::defense
+{
+
+/** Graphene counter table for one bank group. */
+class Graphene : public Defense
+{
+  public:
+    /**
+     * @param threshold Activation count triggering a victim refresh;
+     *        sized from HCfirst with a safety margin.
+     * @param window_activations Activations in a refresh window; with
+     *        the threshold it sizes the table: k = window / threshold.
+     */
+    Graphene(std::uint64_t threshold, std::uint64_t window_activations);
+
+    std::string name() const override { return "Graphene"; }
+    DefenseAction onActivation(const Activation &activation) override;
+    void reset() override;
+    double storageBits() const override;
+
+    /** Counter table capacity (Misra-Gries k). */
+    std::size_t tableCapacity() const { return capacity; }
+
+    /** Estimated count of a row (includes spillover lower bound). */
+    std::uint64_t estimatedCount(unsigned bank, unsigned row) const;
+
+    /**
+     * Misra-Gries guarantee (tested): true count - estimate is at most
+     * the spillover counter.
+     */
+    std::uint64_t spillover() const { return spill; }
+
+  private:
+    std::uint64_t key(unsigned bank, unsigned row) const;
+
+    std::uint64_t threshold;
+    std::uint64_t window;
+    std::size_t capacity;
+    std::uint64_t spill = 0;
+    //! row-key -> (estimated count, next trigger level).
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::uint64_t, std::uint64_t>> table;
+};
+
+} // namespace rhs::defense
+
+#endif // RHS_DEFENSE_GRAPHENE_HH

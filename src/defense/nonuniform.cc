@@ -1,0 +1,79 @@
+#include "defense/nonuniform.hh"
+
+#include "util/logging.hh"
+
+namespace rhs::defense
+{
+
+NonUniform::NonUniform(std::unique_ptr<Defense> strong_path,
+                       std::unique_ptr<Defense> weak_path,
+                       std::unordered_set<unsigned> weak_rows)
+    : strongPath(std::move(strong_path)), weakPath(std::move(weak_path)),
+      weakRows(std::move(weak_rows))
+{
+    RHS_ASSERT(strongPath && weakPath);
+}
+
+std::string
+NonUniform::name() const
+{
+    return "NonUniform(" + strongPath->name() + ")";
+}
+
+DefenseAction
+NonUniform::onActivation(const Activation &activation)
+{
+    // An aggressor's victims may be weak regardless of the aggressor's
+    // own class, so weak-neighbour activations go to the tight path.
+    const bool touches_weak =
+        weakRows.count(activation.row) > 0 ||
+        weakRows.count(activation.row + 1) > 0 ||
+        (activation.row > 0 && weakRows.count(activation.row - 1) > 0);
+    if (touches_weak)
+        return weakPath->onActivation(activation);
+    return strongPath->onActivation(activation);
+}
+
+void
+NonUniform::reset()
+{
+    strongPath->reset();
+    weakPath->reset();
+}
+
+double
+NonUniform::storageBits() const
+{
+    // Both paths plus the weak-row list (32-bit addresses).
+    return strongPath->storageBits() + weakPath->storageBits() +
+           static_cast<double>(weakRows.size()) * 32.0;
+}
+
+AreaCostReport
+counterAreaSavings(double worst_hc_first, double weak_row_fraction,
+                   double relaxed_multiplier, double window_activations,
+                   double entry_bits)
+{
+    RHS_ASSERT(worst_hc_first > 0.0 && relaxed_multiplier >= 1.0);
+    RHS_ASSERT(weak_row_fraction >= 0.0 && weak_row_fraction <= 1.0);
+
+    AreaCostReport report;
+    const double uniform_entries = window_activations / worst_hc_first;
+    report.uniformBits = uniform_entries * entry_bits;
+
+    // Main table configured at the relaxed threshold; weak rows use a
+    // dedicated structure sized by their share of the activation
+    // budget at the tight threshold.
+    const double relaxed_entries =
+        window_activations / (worst_hc_first * relaxed_multiplier);
+    const double weak_entries =
+        weak_row_fraction * window_activations / worst_hc_first;
+    report.nonUniformBits =
+        (relaxed_entries + weak_entries) * entry_bits;
+
+    report.savingsPct =
+        100.0 * (1.0 - report.nonUniformBits / report.uniformBits);
+    return report;
+}
+
+} // namespace rhs::defense

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Non-uniform per-row-class defenses (Defense Improvement 1, §8.2).
+ *
+ * Obsv. 12: only ~5% of rows are ~2x more vulnerable than the rest.
+ * Instead of configuring a defense for the worst-case HCfirst of the
+ * whole bank, the bank's few weak rows (identified by profiling) are
+ * protected at the tight threshold while everything else uses a
+ * threshold twice as large, shrinking the counter structures.
+ */
+
+#ifndef RHS_DEFENSE_NONUNIFORM_HH
+#define RHS_DEFENSE_NONUNIFORM_HH
+
+#include <memory>
+#include <unordered_set>
+
+#include "defense/defense.hh"
+
+namespace rhs::defense
+{
+
+/** Routes activations to a weak-row or strong-row protection path. */
+class NonUniform : public Defense
+{
+  public:
+    /**
+     * @param strong_path Defense configured at the relaxed threshold
+     *        (e.g. 2x HCfirst) protecting the bulk of the rows.
+     * @param weak_path Defense configured at the worst-case threshold,
+     *        consulted only for profiled weak rows.
+     * @param weak_rows Physical rows needing worst-case protection.
+     */
+    NonUniform(std::unique_ptr<Defense> strong_path,
+               std::unique_ptr<Defense> weak_path,
+               std::unordered_set<unsigned> weak_rows);
+
+    std::string name() const override;
+    DefenseAction onActivation(const Activation &activation) override;
+    void reset() override;
+    double storageBits() const override;
+
+  private:
+    std::unique_ptr<Defense> strongPath;
+    std::unique_ptr<Defense> weakPath;
+    std::unordered_set<unsigned> weakRows;
+};
+
+/** Counter-area cost model for threshold-scaled defenses. */
+struct AreaCostReport
+{
+    double uniformBits = 0.0;    //!< Whole bank at worst-case HCfirst.
+    double nonUniformBits = 0.0; //!< Split configuration.
+    double savingsPct = 0.0;     //!< 100 * (1 - nonUniform/uniform).
+};
+
+/**
+ * Model the Graphene-style counter cost of Improvement 1: a
+ * Misra-Gries table's size is window/threshold entries, so protecting
+ * 95% of rows at 2x the threshold roughly halves the main table, with
+ * a small side structure for the profiled weak rows.
+ *
+ * @param worst_hc_first The bank's minimum HCfirst.
+ * @param weak_row_fraction Fraction of rows kept at worst case (0.05).
+ * @param relaxed_multiplier Threshold multiplier for the rest (2.0).
+ * @param window_activations Activations per refresh window.
+ * @param entry_bits Bits per counter entry.
+ */
+AreaCostReport counterAreaSavings(double worst_hc_first,
+                                  double weak_row_fraction,
+                                  double relaxed_multiplier,
+                                  double window_activations,
+                                  double entry_bits = 64.0);
+
+} // namespace rhs::defense
+
+#endif // RHS_DEFENSE_NONUNIFORM_HH

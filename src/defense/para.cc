@@ -1,0 +1,50 @@
+#include "defense/para.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace rhs::defense
+{
+
+Para::Para(double probability, std::uint64_t seed)
+    : probability(probability), rngState(seed)
+{
+    RHS_ASSERT(probability > 0.0 && probability <= 1.0,
+               "PARA probability must be in (0,1], got ", probability);
+}
+
+DefenseAction
+Para::onActivation(const Activation &activation)
+{
+    DefenseAction action;
+    util::Rng rng(rngState++);
+    if (rng.uniform() < probability) {
+        // Refresh one neighbour, chosen uniformly.
+        const bool upper = rng.bernoulli(0.5);
+        if (upper) {
+            action.refreshRows.push_back(activation.row + 1);
+        } else if (activation.row > 0) {
+            action.refreshRows.push_back(activation.row - 1);
+        }
+    }
+    return action;
+}
+
+void
+Para::reset()
+{
+    // Stateless apart from the RNG stream; nothing to clear.
+}
+
+double
+Para::probabilityFor(double hc_first, double failure)
+{
+    RHS_ASSERT(hc_first > 1.0 && failure > 0.0 && failure < 1.0);
+    // Solve (1 - p/2)^hc <= failure for p.
+    const double per_act = 1.0 - std::exp(std::log(failure) / hc_first);
+    return std::min(1.0, 2.0 * per_act);
+}
+
+} // namespace rhs::defense

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+ *
+ * On every activation, with probability p, the memory controller
+ * refreshes one of the activated row's neighbours. Stateless (near-zero
+ * area) but p must grow as HCfirst shrinks, costing performance; §8.2
+ * Improvement 1 notes the overhead can be halved for the 95% of rows
+ * with 2x the worst-case HCfirst by using per-row-class probabilities.
+ */
+
+#ifndef RHS_DEFENSE_PARA_HH
+#define RHS_DEFENSE_PARA_HH
+
+#include "defense/defense.hh"
+
+namespace rhs::defense
+{
+
+/** PARA with a configurable refresh probability. */
+class Para : public Defense
+{
+  public:
+    /**
+     * @param probability Per-activation neighbour-refresh probability.
+     * @param seed RNG seed (deterministic evaluation).
+     */
+    explicit Para(double probability, std::uint64_t seed = 1);
+
+    std::string name() const override { return "PARA"; }
+    DefenseAction onActivation(const Activation &activation) override;
+    void reset() override;
+    double storageBits() const override { return 64.0; } // RNG state.
+
+    /**
+     * Probability needed so that a victim hammered hc_first times is
+     * refreshed with failure probability at most `failure`:
+     * (1 - p/2)^HC <= failure for a double-sided attack where each
+     * aggressor activation refreshes the shared victim with p/2.
+     */
+    static double probabilityFor(double hc_first,
+                                 double failure = 1e-15);
+
+  private:
+    double probability;
+    std::uint64_t rngState;
+};
+
+} // namespace rhs::defense
+
+#endif // RHS_DEFENSE_PARA_HH

@@ -1,0 +1,65 @@
+#include "defense/rfm.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhs::defense
+{
+
+Rfm::Rfm(std::uint64_t raa_threshold, unsigned queue_capacity)
+    : raaThreshold(raa_threshold), queueCapacity(queue_capacity)
+{
+    RHS_ASSERT(raaThreshold > 0 && queueCapacity > 0);
+}
+
+DefenseAction
+Rfm::onActivation(const Activation &activation)
+{
+    DefenseAction action;
+
+    // In-DRAM side: remember the row (distinct, recency-ordered).
+    auto it = std::find(queue.begin(), queue.end(), activation.row);
+    if (it != queue.end())
+        queue.erase(it);
+    queue.push_back(activation.row);
+    while (queue.size() > queueCapacity) {
+        queue.pop_front();
+        overflowed = true;
+    }
+
+    // Controller side: RAA accounting per bank.
+    if (++raa[activation.bank] >= raaThreshold) {
+        raa[activation.bank] = 0;
+        ++rfms;
+        // The RFM window lets the device drain its queue: refresh the
+        // neighbours of every queued row.
+        for (unsigned row : queue) {
+            if (row > 0)
+                action.refreshRows.push_back(row - 1);
+            action.refreshRows.push_back(row + 1);
+        }
+        queue.clear();
+        overflowed = false;
+    }
+    return action;
+}
+
+void
+Rfm::reset()
+{
+    raa.clear();
+    queue.clear();
+    rfms = 0;
+    overflowed = false;
+}
+
+double
+Rfm::storageBits() const
+{
+    // Queue entries (32b each) plus one RAA counter per bank (16b,
+    // assume 16 banks) on the controller side.
+    return static_cast<double>(queueCapacity) * 32.0 + 16.0 * 16.0;
+}
+
+} // namespace rhs::defense

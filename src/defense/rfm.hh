@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Refresh Management (RFM), §2.3 — the DDR5/LPDDR5 feature the paper
+ * highlights as the vehicle for future on-die defenses.
+ *
+ * The memory controller counts activations per bank (the Rolling
+ * Accumulated ACT counter, RAA) and issues an RFM command when the
+ * count reaches RAAIMT; the RFM gives the in-DRAM mechanism (e.g.
+ * Silver Bullet) guaranteed time to refresh the victims of recently
+ * activated rows. Unlike sampling TRR, the in-DRAM queue is sized so
+ * that no aggressor can slip through between RFMs.
+ */
+
+#ifndef RHS_DEFENSE_RFM_HH
+#define RHS_DEFENSE_RFM_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "defense/defense.hh"
+
+namespace rhs::defense
+{
+
+/** RAA-counter-driven refresh management with an in-DRAM queue. */
+class Rfm : public Defense
+{
+  public:
+    /**
+     * @param raa_threshold Activations per bank between RFM commands
+     *        (RAAIMT). Must be <= queue_capacity * threshold margin to
+     *        guarantee coverage.
+     * @param queue_capacity Distinct rows the in-DRAM queue holds.
+     */
+    Rfm(std::uint64_t raa_threshold, unsigned queue_capacity);
+
+    std::string name() const override { return "RFM+SilverBullet"; }
+    DefenseAction onActivation(const Activation &activation) override;
+    void reset() override;
+    double storageBits() const override;
+
+    /** RFM commands issued so far. */
+    std::uint64_t rfmCount() const { return rfms; }
+
+    /**
+     * True when the configuration is airtight: every aggressor
+     * activated since the last RFM is still queued when the next RFM
+     * fires (queue never overflows within one RAA window).
+     */
+    bool
+    providesDeterministicProtection() const
+    {
+        return raaThreshold <= queueCapacity;
+    }
+
+  private:
+    std::uint64_t raaThreshold;
+    unsigned queueCapacity;
+    std::uint64_t rfms = 0;
+    //! Per-bank RAA counters.
+    std::unordered_map<unsigned, std::uint64_t> raa;
+    //! In-DRAM queue of recently activated distinct rows.
+    std::deque<unsigned> queue;
+    bool overflowed = false;
+};
+
+} // namespace rhs::defense
+
+#endif // RHS_DEFENSE_RFM_HH

@@ -1,0 +1,63 @@
+#include "defense/trr.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhs::defense
+{
+
+InDramTrr::InDramTrr(unsigned tracker_capacity,
+                     unsigned sampling_interval)
+    : capacity(tracker_capacity), samplingInterval(sampling_interval)
+{
+    RHS_ASSERT(capacity > 0, "TRR tracker needs capacity");
+    RHS_ASSERT(samplingInterval > 0, "sampling interval must be >= 1");
+}
+
+DefenseAction
+InDramTrr::onActivation(const Activation &activation)
+{
+    ++tick;
+    if (tick % samplingInterval != 0)
+        return {};
+
+    // Track distinct rows; re-activation refreshes recency.
+    auto it = std::find(tracker.begin(), tracker.end(), activation.row);
+    if (it != tracker.end())
+        tracker.erase(it);
+    tracker.push_back(activation.row);
+    while (tracker.size() > capacity)
+        tracker.pop_front(); // Oldest candidate falls out: the
+                             // TRRespass bypass window.
+    return {};
+}
+
+std::vector<unsigned>
+InDramTrr::onRefresh()
+{
+    std::vector<unsigned> victims;
+    for (unsigned row : tracker) {
+        if (row > 0)
+            victims.push_back(row - 1);
+        victims.push_back(row + 1);
+    }
+    tracker.clear();
+    return victims;
+}
+
+void
+InDramTrr::reset()
+{
+    tracker.clear();
+    tick = 0;
+}
+
+double
+InDramTrr::storageBits() const
+{
+    // Row address per tracker entry.
+    return static_cast<double>(capacity) * 32.0;
+}
+
+} // namespace rhs::defense

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * In-DRAM Target Row Refresh (TRR), §2.3.
+ *
+ * DDR4 vendors ship proprietary TRR implementations: a small tracker
+ * samples aggressor candidates from the activation stream and, when
+ * the device receives a periodic refresh command, piggybacks refreshes
+ * of the tracked rows' neighbours. TRRespass (Frigo et al., S&P 2020)
+ * showed the trackers have tiny capacities, so *many-sided* patterns
+ * with more aggressors than tracker entries still produce bit flips —
+ * which is why the paper disables TRR and why this model exists: to
+ * demonstrate the bypass.
+ */
+
+#ifndef RHS_DEFENSE_TRR_HH
+#define RHS_DEFENSE_TRR_HH
+
+#include <deque>
+
+#include "defense/defense.hh"
+
+namespace rhs::defense
+{
+
+/** Sampling-based in-DRAM TRR with a bounded aggressor tracker. */
+class InDramTrr : public Defense
+{
+  public:
+    /**
+     * @param tracker_capacity Distinct rows the tracker can hold (real
+     *        devices: one to a handful of entries).
+     * @param sampling_interval Track every Nth activation (1 = all).
+     */
+    explicit InDramTrr(unsigned tracker_capacity,
+                       unsigned sampling_interval = 1);
+
+    std::string name() const override { return "In-DRAM TRR"; }
+
+    /** Never refreshes inline; only samples into the tracker. */
+    DefenseAction onActivation(const Activation &activation) override;
+
+    /** Refresh the neighbours of all tracked rows, then clear. */
+    std::vector<unsigned> onRefresh() override;
+
+    void reset() override;
+    double storageBits() const override;
+
+    /** Rows currently tracked (tests). */
+    std::size_t trackedCount() const { return tracker.size(); }
+
+  private:
+    unsigned capacity;
+    unsigned samplingInterval;
+    std::uint64_t tick = 0;
+    //! FIFO of distinct candidate rows (oldest evicted first).
+    std::deque<unsigned> tracker;
+};
+
+} // namespace rhs::defense
+
+#endif // RHS_DEFENSE_TRR_HH

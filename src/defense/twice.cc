@@ -1,0 +1,85 @@
+#include "defense/twice.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhs::defense
+{
+
+Twice::Twice(std::uint64_t threshold, std::uint64_t window_activations,
+             std::uint64_t prune_interval)
+    : threshold(threshold), window(window_activations),
+      pruneInterval(prune_interval)
+{
+    RHS_ASSERT(threshold > 0 && window_activations >= threshold);
+    RHS_ASSERT(prune_interval > 0);
+}
+
+DefenseAction
+Twice::onActivation(const Activation &activation)
+{
+    DefenseAction action;
+    ++tick;
+
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(activation.bank) << 32) |
+        activation.row;
+    auto &entry = table[key];
+    if (entry.count == 0) {
+        entry.firstSeenTick = tick;
+        entry.trigger = threshold;
+    }
+    ++entry.count;
+    highWater = std::max(highWater, table.size());
+
+    if (entry.count >= entry.trigger) {
+        if (activation.row > 0)
+            action.refreshRows.push_back(activation.row - 1);
+        action.refreshRows.push_back(activation.row + 1);
+        entry.trigger += threshold;
+    }
+
+    if (tick % pruneInterval == 0)
+        prune();
+    return action;
+}
+
+void
+Twice::prune()
+{
+    // A row whose observed activation *rate* is too low to reach the
+    // threshold by the end of the window can be dropped safely.
+    for (auto it = table.begin(); it != table.end();) {
+        const auto &entry = it->second;
+        const std::uint64_t age = tick - entry.firstSeenTick + 1;
+        // Maximum count the row can reach by window end, assuming it
+        // keeps its observed rate.
+        const double rate = static_cast<double>(entry.count) /
+                            static_cast<double>(age);
+        const double projected =
+            static_cast<double>(entry.count) +
+            rate * static_cast<double>(window - std::min(window, tick));
+        if (projected < static_cast<double>(threshold))
+            it = table.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Twice::reset()
+{
+    table.clear();
+    tick = 0;
+}
+
+double
+Twice::storageBits() const
+{
+    // Row address + count + lifetime per live entry (valid-bit style
+    // accounting against the high-water mark).
+    return static_cast<double>(std::max(highWater, table.size())) * 96.0;
+}
+
+} // namespace rhs::defense

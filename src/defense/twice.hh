@@ -1,0 +1,63 @@
+/**
+ * @file
+ * TWiCe: Time Window Counters (Lee et al., ISCA 2019), simplified.
+ *
+ * Counts activations per row in a refresh window, but keeps the table
+ * small by periodically pruning rows whose activation count is too low
+ * to ever reach the RowHammer threshold within the remaining window.
+ */
+
+#ifndef RHS_DEFENSE_TWICE_HH
+#define RHS_DEFENSE_TWICE_HH
+
+#include <unordered_map>
+
+#include "defense/defense.hh"
+
+namespace rhs::defense
+{
+
+/** TWiCe-style pruned counter table. */
+class Twice : public Defense
+{
+  public:
+    /**
+     * @param threshold Activation count triggering victim refresh.
+     * @param window_activations Activations per refresh window.
+     * @param prune_interval Activations between pruning passes.
+     */
+    Twice(std::uint64_t threshold, std::uint64_t window_activations,
+          std::uint64_t prune_interval);
+
+    std::string name() const override { return "TWiCe"; }
+    DefenseAction onActivation(const Activation &activation) override;
+    void reset() override;
+    double storageBits() const override;
+
+    /** Live table size (for the pruning-effectiveness tests). */
+    std::size_t tableSize() const { return table.size(); }
+
+    /** High-water mark of the table size. */
+    std::size_t tableHighWater() const { return highWater; }
+
+  private:
+    void prune();
+
+    std::uint64_t threshold;
+    std::uint64_t window;
+    std::uint64_t pruneInterval;
+    std::uint64_t tick = 0;
+
+    struct Entry
+    {
+        std::uint64_t count = 0;
+        std::uint64_t firstSeenTick = 0;
+        std::uint64_t trigger = 0;
+    };
+    std::unordered_map<std::uint64_t, Entry> table;
+    std::size_t highWater = 0;
+};
+
+} // namespace rhs::defense
+
+#endif // RHS_DEFENSE_TWICE_HH

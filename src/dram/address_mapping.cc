@@ -1,0 +1,114 @@
+#include "dram/address_mapping.hh"
+
+#include "util/logging.hh"
+
+namespace rhs::dram
+{
+
+namespace
+{
+
+class IdentityMapping : public RowMapping
+{
+  public:
+    unsigned toPhysical(unsigned logical_row) const override
+    {
+        return logical_row;
+    }
+
+    unsigned toLogical(unsigned physical_row) const override
+    {
+        return physical_row;
+    }
+
+    std::string name() const override { return "identity"; }
+};
+
+class MsbPairMapping : public RowMapping
+{
+  public:
+    unsigned
+    toPhysical(unsigned logical_row) const override
+    {
+        // Reverse the order of rows whose bit 3 is set within each
+        // 16-row block: logical ...1abc maps to physical ...1(~abc).
+        if (logical_row & 0x8)
+            return logical_row ^ 0x7;
+        return logical_row;
+    }
+
+    unsigned
+    toLogical(unsigned physical_row) const override
+    {
+        // The transform is an involution.
+        return toPhysical(physical_row);
+    }
+
+    std::string name() const override { return "msb-pair"; }
+};
+
+class XorSwizzleMapping : public RowMapping
+{
+  public:
+    explicit XorSwizzleMapping(unsigned mask) : mask(mask)
+    {
+        RHS_ASSERT(mask < 8, "XOR mask must only cover bits 0..2");
+    }
+
+    unsigned
+    toPhysical(unsigned logical_row) const override
+    {
+        return logical_row ^ ((logical_row >> 3) & mask);
+    }
+
+    unsigned
+    toLogical(unsigned physical_row) const override
+    {
+        // Bits >= 3 are unchanged, so the same shift recovers the
+        // original XOR pad: the transform is an involution.
+        return physical_row ^ ((physical_row >> 3) & mask);
+    }
+
+    std::string
+    name() const override
+    {
+        return "xor-swizzle(" + std::to_string(mask) + ")";
+    }
+
+  private:
+    unsigned mask;
+};
+
+} // namespace
+
+std::unique_ptr<RowMapping>
+makeIdentityMapping()
+{
+    return std::make_unique<IdentityMapping>();
+}
+
+std::unique_ptr<RowMapping>
+makeMsbPairMapping()
+{
+    return std::make_unique<MsbPairMapping>();
+}
+
+std::unique_ptr<RowMapping>
+makeXorSwizzleMapping(unsigned mask)
+{
+    return std::make_unique<XorSwizzleMapping>(mask);
+}
+
+std::unique_ptr<RowMapping>
+makeMapping(const std::string &scheme)
+{
+    if (scheme == "identity")
+        return makeIdentityMapping();
+    if (scheme == "msb-pair")
+        return makeMsbPairMapping();
+    if (scheme == "xor")
+        return makeXorSwizzleMapping();
+    RHS_FATAL("unknown row mapping scheme: ", scheme);
+}
+
+} // namespace rhs::dram

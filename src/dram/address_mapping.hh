@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Logical-to-physical DRAM row address remapping.
+ *
+ * DRAM manufacturers translate memory-controller-visible row addresses
+ * into internal physical row addresses (§4.2, "Logical-to-Physical Row
+ * Mapping"). A RowHammer test must hammer the rows that are *physically*
+ * adjacent to a victim, so the characterization toolkit reverse-engineers
+ * this mapping (core::RowMappingRe). The device model implements several
+ * mapping schemes observed in real chips.
+ */
+
+#ifndef RHS_DRAM_ADDRESS_MAPPING_HH
+#define RHS_DRAM_ADDRESS_MAPPING_HH
+
+#include <memory>
+#include <string>
+
+namespace rhs::dram
+{
+
+/** Abstract bijection between logical and physical row addresses. */
+class RowMapping
+{
+  public:
+    virtual ~RowMapping() = default;
+
+    /** Physical row stored at a logical address. */
+    virtual unsigned toPhysical(unsigned logical_row) const = 0;
+
+    /** Logical address exposing a physical row. */
+    virtual unsigned toLogical(unsigned physical_row) const = 0;
+
+    /** Scheme name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Identity mapping: physical == logical. */
+std::unique_ptr<RowMapping> makeIdentityMapping();
+
+/**
+ * "MSB-pair" remapping seen in some DDR3 designs: within each block of
+ * eight rows, the upper half order is reversed when bit 3 of the row
+ * address is set (rows ...8-...F map to ...F-...8). Adjacent physical
+ * rows are then non-consecutive logical addresses across the fold.
+ */
+std::unique_ptr<RowMapping> makeMsbPairMapping();
+
+/**
+ * XOR-swizzle remapping typical of newer designs: the low address bits
+ * are XORed with a function of higher bits, physical = logical ^
+ * ((logical >> 3) & mask). Self-inverse for any mask < 8.
+ *
+ * @param mask Low-bit XOR mask; must be < 8.
+ */
+std::unique_ptr<RowMapping> makeXorSwizzleMapping(unsigned mask = 0x3);
+
+/** Construct a mapping scheme by name ("identity", "msb-pair", "xor"). */
+std::unique_ptr<RowMapping> makeMapping(const std::string &scheme);
+
+} // namespace rhs::dram
+
+#endif // RHS_DRAM_ADDRESS_MAPPING_HH

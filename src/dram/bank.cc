@@ -1,0 +1,119 @@
+#include "dram/bank.hh"
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace rhs::dram
+{
+
+namespace
+{
+
+[[noreturn]] void
+violation(unsigned bank, const std::string &what)
+{
+    throw TimingError("bank " + std::to_string(bank) + ": " + what);
+}
+
+} // namespace
+
+Bank::Bank(const TimingParams &timing, unsigned index)
+    : timing(timing), index(index)
+{
+}
+
+void
+Bank::activate(unsigned physical_row, Cycles cycle)
+{
+    if (active)
+        violation(index, "ACT while row " + std::to_string(currentRow) +
+                             " is open");
+    if (everPrecharged) {
+        const Ns gap = timing.toNs(cycle - lastPreCycle);
+        if (cycle < lastPreCycle || gap + 1e-9 < timing.tRP)
+            violation(index, "ACT " + std::to_string(gap) +
+                                 " ns after PRE violates tRP");
+    }
+
+    active = true;
+    currentRow = physical_row;
+    lastActCycle = cycle;
+    hasColumnAccess = false;
+    columnReadyCycle = cycle;
+    nextColumnCycle = cycle + timing.toCycles(timing.tRCD);
+    ++activations;
+}
+
+ActivationRecord
+Bank::precharge(Cycles cycle)
+{
+    if (!active)
+        violation(index, "PRE while idle");
+    const Ns on_time = timing.toNs(cycle - lastActCycle);
+    if (cycle < lastActCycle || on_time + 1e-9 < timing.tRAS)
+        violation(index, "PRE " + std::to_string(on_time) +
+                             " ns after ACT violates tRAS");
+    if (hasColumnAccess && cycle < columnReadyCycle)
+        violation(index, "PRE before column access completed "
+                         "(tRTP/tWR)");
+
+    ActivationRecord record;
+    record.bank = index;
+    record.physicalRow = currentRow;
+    record.onTime = on_time;
+    // Off-time is the precharged gap that *preceded* this activation.
+    // The first activation after reset has no measured gap; report the
+    // nominal tRP the device would have been idle for.
+    record.offTime = everPrecharged
+                         ? timing.toNs(lastActCycle - lastPreCycle)
+                         : timing.tRP;
+
+    active = false;
+    everPrecharged = true;
+    lastPreCycle = cycle;
+    return record;
+}
+
+void
+Bank::checkColumnAccess(const char *what, Cycles cycle) const
+{
+    if (!active)
+        violation(index, std::string(what) + " while idle");
+    if (cycle < nextColumnCycle)
+        violation(index, std::string(what) +
+                             " before tRCD/tCCD elapsed");
+}
+
+void
+Bank::read(unsigned column, Cycles cycle)
+{
+    (void)column;
+    checkColumnAccess("RD", cycle);
+    hasColumnAccess = true;
+    const Cycles done = cycle + timing.toCycles(timing.tRTP);
+    if (done > columnReadyCycle)
+        columnReadyCycle = done;
+    nextColumnCycle = cycle + timing.toCycles(timing.tCCD);
+}
+
+void
+Bank::write(unsigned column, Cycles cycle)
+{
+    (void)column;
+    checkColumnAccess("WR", cycle);
+    hasColumnAccess = true;
+    const Cycles done = cycle + timing.toCycles(timing.tWR);
+    if (done > columnReadyCycle)
+        columnReadyCycle = done;
+    nextColumnCycle = cycle + timing.toCycles(timing.tCCD);
+}
+
+unsigned
+Bank::openRow() const
+{
+    RHS_ASSERT(active, "openRow() on an idle bank");
+    return currentRow;
+}
+
+} // namespace rhs::dram

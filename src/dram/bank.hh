@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-bank DRAM state machine with JEDEC timing validation.
+ *
+ * The bank tracks the open row and checks that the command stream obeys
+ * tRP, tRAS, tRCD, tRTP, tWR and tCCD. On every precharge it produces an
+ * ActivationRecord carrying the *measured* on-time and off-time of the
+ * just-closed activation — the quantities the paper's aggressor-row
+ * active-time analysis (§6) varies.
+ */
+
+#ifndef RHS_DRAM_BANK_HH
+#define RHS_DRAM_BANK_HH
+
+#include <optional>
+#include <stdexcept>
+
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace rhs::dram
+{
+
+/** Thrown when a command violates a timing parameter or FSM state. */
+class TimingError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One DRAM bank: open-row state plus timing bookkeeping. */
+class Bank
+{
+  public:
+    /**
+     * @param timing Timing parameter set shared by the module.
+     * @param index Bank index (for diagnostics).
+     */
+    Bank(const TimingParams &timing, unsigned index);
+
+    /**
+     * Activate a physical row.
+     *
+     * @param physical_row Row to open.
+     * @param cycle Issue time.
+     * @throws TimingError when the bank is already active or tRP/tRC
+     *         has not elapsed since the last precharge/activate.
+     */
+    void activate(unsigned physical_row, Cycles cycle);
+
+    /**
+     * Precharge the bank.
+     *
+     * @param cycle Issue time.
+     * @return The activation record of the closed row.
+     * @throws TimingError when the bank is idle, tRAS has not elapsed,
+     *         or a column access has not completed (tRTP / tWR).
+     */
+    ActivationRecord precharge(Cycles cycle);
+
+    /**
+     * Read a column of the open row.
+     * @throws TimingError when idle, before tRCD, or within tCCD of the
+     *         previous column access.
+     */
+    void read(unsigned column, Cycles cycle);
+
+    /** Write a column of the open row; same timing rules as read. */
+    void write(unsigned column, Cycles cycle);
+
+    /** True when a row is open. */
+    bool isActive() const { return active; }
+
+    /** Open physical row. @pre isActive() */
+    unsigned openRow() const;
+
+    /** Total activations seen by this bank. */
+    std::uint64_t activationCount() const { return activations; }
+
+  private:
+    void checkColumnAccess(const char *what, Cycles cycle) const;
+
+    const TimingParams &timing;
+    unsigned index;
+
+    bool active = false;
+    unsigned currentRow = 0;
+    std::uint64_t activations = 0;
+
+    bool everPrecharged = false;
+    Cycles lastActCycle = 0;
+    Cycles lastPreCycle = 0;
+    //! Latest cycle at which an in-flight column access allows PRE.
+    Cycles columnReadyCycle = 0;
+    //! Earliest cycle for the next column access (tCCD).
+    Cycles nextColumnCycle = 0;
+    bool hasColumnAccess = false;
+};
+
+} // namespace rhs::dram
+
+#endif // RHS_DRAM_BANK_HH

@@ -1,0 +1,67 @@
+#include "dram/channel.hh"
+
+#include "util/logging.hh"
+
+namespace rhs::dram
+{
+
+unsigned
+Channel::addRank(std::unique_ptr<Module> module)
+{
+    RHS_ASSERT(module, "null rank");
+    ranks.push_back(std::move(module));
+    return static_cast<unsigned>(ranks.size() - 1);
+}
+
+Module &
+Channel::rank(unsigned index)
+{
+    RHS_ASSERT(index < ranks.size(), "rank ", index, " out of range");
+    return *ranks[index];
+}
+
+const Module &
+Channel::rank(unsigned index) const
+{
+    RHS_ASSERT(index < ranks.size(), "rank ", index, " out of range");
+    return *ranks[index];
+}
+
+void
+Channel::claimBus(Cycles cycle)
+{
+    if (busEverUsed && cycle <= lastCycle) {
+        throw TimingError(
+            "channel " + channelLabel + ": bus cycle " +
+            std::to_string(cycle) +
+            " conflicts with a command at cycle " +
+            std::to_string(lastCycle) +
+            " (ranks share the command bus)");
+    }
+    lastCycle = cycle;
+    busEverUsed = true;
+    ++commands;
+}
+
+void
+Channel::issue(unsigned rank_index, const Command &command)
+{
+    RHS_ASSERT(rank_index < ranks.size(), "rank ", rank_index,
+               " out of range");
+    if (command.type == CommandType::Nop)
+        return; // NOPs do not occupy the command bus.
+    claimBus(command.cycle);
+    ranks[rank_index]->issue(command);
+}
+
+std::vector<std::uint8_t>
+Channel::readColumn(unsigned rank_index, unsigned bank, unsigned column,
+                    Cycles cycle)
+{
+    RHS_ASSERT(rank_index < ranks.size(), "rank ", rank_index,
+               " out of range");
+    claimBus(cycle);
+    return ranks[rank_index]->readColumn(bank, column, cycle);
+}
+
+} // namespace rhs::dram

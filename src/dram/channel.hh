@@ -1,0 +1,83 @@
+/**
+ * @file
+ * DRAM channel: multiple ranks behind one shared command/I-O bus.
+ *
+ * Completes the Fig. 1 hierarchy: "The memory controller can interface
+ * with multiple DRAM ranks by time-multiplexing the channel's I/O bus
+ * between the ranks. Because the I/O bus is shared, the memory
+ * controller serializes accesses to different ranks in the same
+ * channel" (§2.1). The channel enforces that serialization: two
+ * commands — to any rank — cannot occupy the same bus cycle.
+ */
+
+#ifndef RHS_DRAM_CHANNEL_HH
+#define RHS_DRAM_CHANNEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/module.hh"
+
+namespace rhs::dram
+{
+
+/** One channel with its ranks. */
+class Channel
+{
+  public:
+    /** @param label Channel name for diagnostics. */
+    explicit Channel(std::string label) : channelLabel(std::move(label))
+    {
+    }
+
+    const std::string &label() const { return channelLabel; }
+
+    /**
+     * Attach a rank (a module operating in lock-step).
+     *
+     * @return The new rank's index.
+     */
+    unsigned addRank(std::unique_ptr<Module> module);
+
+    unsigned rankCount() const
+    {
+        return static_cast<unsigned>(ranks.size());
+    }
+
+    Module &rank(unsigned index);
+    const Module &rank(unsigned index) const;
+
+    /**
+     * Issue a command to a rank over the shared bus.
+     *
+     * @throws TimingError when the bus cycle is already occupied by a
+     *         command to any rank (the serialization constraint), or
+     *         when the target rank's own FSM rejects the command.
+     */
+    void issue(unsigned rank_index, const Command &command);
+
+    /** Read a column of a rank's open row through the shared bus. */
+    std::vector<std::uint8_t> readColumn(unsigned rank_index,
+                                         unsigned bank, unsigned column,
+                                         Cycles cycle);
+
+    /** Latest bus cycle consumed (commands must come after it). */
+    Cycles lastBusCycle() const { return lastCycle; }
+
+    /** Total commands issued on the bus. */
+    std::uint64_t busCommands() const { return commands; }
+
+  private:
+    void claimBus(Cycles cycle);
+
+    std::string channelLabel;
+    std::vector<std::unique_ptr<Module>> ranks;
+    Cycles lastCycle = 0;
+    bool busEverUsed = false;
+    std::uint64_t commands = 0;
+};
+
+} // namespace rhs::dram
+
+#endif // RHS_DRAM_CHANNEL_HH

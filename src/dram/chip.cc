@@ -1,0 +1,98 @@
+#include "dram/chip.hh"
+
+#include "util/logging.hh"
+
+namespace rhs::dram
+{
+
+Chip::Chip(const Geometry &geometry, unsigned index)
+    : geometry(geometry), index(index)
+{
+}
+
+std::uint64_t
+Chip::key(unsigned bank, unsigned physical_row) const
+{
+    return (static_cast<std::uint64_t>(bank) << 32) | physical_row;
+}
+
+void
+Chip::checkAddress(unsigned bank, unsigned physical_row,
+                   unsigned column) const
+{
+    RHS_ASSERT(bank < geometry.banks, "bank ", bank, " out of range");
+    RHS_ASSERT(physical_row < geometry.rowsPerBank(), "row ",
+               physical_row, " out of range");
+    RHS_ASSERT(column < geometry.columnsPerRow, "column ", column,
+               " out of range");
+}
+
+std::vector<std::uint8_t> &
+Chip::materialize(unsigned bank, unsigned physical_row)
+{
+    auto [it, inserted] = rows.try_emplace(
+        key(bank, physical_row),
+        std::vector<std::uint8_t>(geometry.bytesPerRow(), 0));
+    return it->second;
+}
+
+void
+Chip::writeRow(unsigned bank, unsigned physical_row,
+               const std::vector<std::uint8_t> &data)
+{
+    checkAddress(bank, physical_row, 0);
+    RHS_ASSERT(data.size() == geometry.bytesPerRow(),
+               "row write size mismatch: ", data.size());
+    rows[key(bank, physical_row)] = data;
+}
+
+std::vector<std::uint8_t>
+Chip::readRow(unsigned bank, unsigned physical_row) const
+{
+    checkAddress(bank, physical_row, 0);
+    auto it = rows.find(key(bank, physical_row));
+    if (it == rows.end())
+        return std::vector<std::uint8_t>(geometry.bytesPerRow(), 0);
+    return it->second;
+}
+
+void
+Chip::writeByte(unsigned bank, unsigned physical_row, unsigned column,
+                std::uint8_t value)
+{
+    checkAddress(bank, physical_row, column);
+    materialize(bank, physical_row)[column] = value;
+}
+
+std::uint8_t
+Chip::readByte(unsigned bank, unsigned physical_row,
+               unsigned column) const
+{
+    checkAddress(bank, physical_row, column);
+    auto it = rows.find(key(bank, physical_row));
+    return it == rows.end() ? 0 : it->second[column];
+}
+
+void
+Chip::flipBit(unsigned bank, unsigned physical_row, unsigned column,
+              unsigned bit)
+{
+    checkAddress(bank, physical_row, column);
+    RHS_ASSERT(bit < geometry.bitsPerColumn, "bit ", bit, " out of range");
+    materialize(bank, physical_row)[column] ^=
+        static_cast<std::uint8_t>(1u << bit);
+}
+
+bool
+Chip::hasRow(unsigned bank, unsigned physical_row) const
+{
+    return rows.count(key(bank, physical_row)) > 0;
+}
+
+void
+Chip::clear()
+{
+    rows.clear();
+}
+
+} // namespace rhs::dram

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * One DRAM chip: a sparse store of row data.
+ *
+ * Only rows the host has written are materialized; everything else
+ * reads as the post-power-up default. This keeps memory usage
+ * proportional to the working set of a test (a victim row plus
+ * V±[1..8] neighbours, §4.2) rather than to chip capacity.
+ */
+
+#ifndef RHS_DRAM_CHIP_HH
+#define RHS_DRAM_CHIP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/organization.hh"
+
+namespace rhs::dram
+{
+
+/** Sparse per-chip cell data, addressed by physical row. */
+class Chip
+{
+  public:
+    /**
+     * @param geometry Chip geometry (shared by the module).
+     * @param index Position of this chip on the module.
+     */
+    Chip(const Geometry &geometry, unsigned index);
+
+    /** Chip position on the module. */
+    unsigned chipIndex() const { return index; }
+
+    /**
+     * Overwrite an entire row.
+     * @param bank Bank index.
+     * @param physical_row Physical row index.
+     * @param data Exactly geometry.bytesPerRow() bytes.
+     */
+    void writeRow(unsigned bank, unsigned physical_row,
+                  const std::vector<std::uint8_t> &data);
+
+    /** Read an entire row (default-initialized if never written). */
+    std::vector<std::uint8_t> readRow(unsigned bank,
+                                      unsigned physical_row) const;
+
+    /** Write one column word (x8 organization: one byte). */
+    void writeByte(unsigned bank, unsigned physical_row, unsigned column,
+                   std::uint8_t value);
+
+    /** Read one column word. */
+    std::uint8_t readByte(unsigned bank, unsigned physical_row,
+                          unsigned column) const;
+
+    /**
+     * Flip a single stored bit: the fault model's injection point.
+     * A flip in a never-written row materializes the row first.
+     */
+    void flipBit(unsigned bank, unsigned physical_row, unsigned column,
+                 unsigned bit);
+
+    /** True when the row has been materialized. */
+    bool hasRow(unsigned bank, unsigned physical_row) const;
+
+    /** Drop all stored data (power cycle). */
+    void clear();
+
+  private:
+    std::uint64_t key(unsigned bank, unsigned physical_row) const;
+    std::vector<std::uint8_t> &materialize(unsigned bank,
+                                           unsigned physical_row);
+    void checkAddress(unsigned bank, unsigned physical_row,
+                      unsigned column) const;
+
+    const Geometry &geometry;
+    unsigned index;
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> rows;
+};
+
+} // namespace rhs::dram
+
+#endif // RHS_DRAM_CHIP_HH

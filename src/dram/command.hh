@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DDR command stream types.
+ */
+
+#ifndef RHS_DRAM_COMMAND_HH
+#define RHS_DRAM_COMMAND_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dram/timing.hh"
+
+namespace rhs::dram
+{
+
+/** DDR commands the device model understands. */
+enum class CommandType : std::uint8_t
+{
+    Act,  //!< Activate a row in a bank.
+    Pre,  //!< Precharge one bank.
+    PreA, //!< Precharge all banks.
+    Rd,   //!< Read a column of the open row.
+    Wr,   //!< Write a column of the open row.
+    Ref,  //!< Refresh (never issued during RowHammer tests, §4.2).
+    Nop,  //!< Idle cycle; used to stretch on/off times.
+};
+
+/** Human-readable command mnemonic. */
+std::string to_string(CommandType type);
+
+/** One timed command on the bus of a module. */
+struct Command
+{
+    CommandType type = CommandType::Nop;
+    unsigned bank = 0;
+    unsigned row = 0;    //!< Logical row address (ACT only).
+    unsigned column = 0; //!< Column address (RD/WR only).
+    Cycles cycle = 0;    //!< Issue time in host cycles.
+};
+
+/**
+ * Record emitted when a row's activation window closes (on PRE):
+ * the fault model consumes these to apply RowHammer disturbance.
+ * All times are in nanoseconds; the row is a *physical* row index.
+ */
+struct ActivationRecord
+{
+    unsigned bank = 0;
+    unsigned physicalRow = 0;
+    Ns onTime = 0.0;  //!< ACT-to-PRE duration of this activation.
+    Ns offTime = 0.0; //!< Preceding PRE-to-ACT gap in this bank.
+};
+
+} // namespace rhs::dram
+
+#endif // RHS_DRAM_COMMAND_HH

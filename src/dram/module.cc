@@ -1,0 +1,238 @@
+#include "dram/module.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhs::dram
+{
+
+std::string
+to_string(CommandType type)
+{
+    switch (type) {
+      case CommandType::Act: return "ACT";
+      case CommandType::Pre: return "PRE";
+      case CommandType::PreA: return "PREA";
+      case CommandType::Rd: return "RD";
+      case CommandType::Wr: return "WR";
+      case CommandType::Ref: return "REF";
+      case CommandType::Nop: return "NOP";
+    }
+    return "?";
+}
+
+Module::Module(ModuleInfo info, Geometry geometry, TimingParams timing,
+               std::unique_ptr<RowMapping> mapping)
+    : moduleInfo(std::move(info)), geom(geometry), timingParams(timing),
+      mapping(std::move(mapping))
+{
+    RHS_ASSERT(this->mapping, "module requires a row mapping");
+    banks.reserve(geom.banks);
+    for (unsigned b = 0; b < geom.banks; ++b)
+        banks.emplace_back(timingParams, b);
+    chips.reserve(moduleInfo.chips);
+    for (unsigned c = 0; c < moduleInfo.chips; ++c)
+        chips.emplace_back(geom, c);
+}
+
+void
+Module::addListener(ActivationListener *listener)
+{
+    RHS_ASSERT(listener != nullptr);
+    listeners.push_back(listener);
+}
+
+void
+Module::notify(const ActivationRecord &record)
+{
+    for (auto *listener : listeners)
+        listener->onActivation(record);
+}
+
+void
+Module::issue(const Command &command)
+{
+    switch (command.type) {
+      case CommandType::Act: {
+        RHS_ASSERT(command.bank < banks.size());
+        const unsigned phys = mapping->toPhysical(command.row);
+        RHS_ASSERT(phys < geom.rowsPerBank(), "physical row ", phys,
+                   " out of range");
+        checkRankActConstraints(command.cycle);
+        banks[command.bank].activate(phys, command.cycle);
+        recentActs.push_back(command.cycle);
+        if (recentActs.size() > 4)
+            recentActs.erase(recentActs.begin());
+        break;
+      }
+      case CommandType::Pre: {
+        RHS_ASSERT(command.bank < banks.size());
+        notify(banks[command.bank].precharge(command.cycle));
+        break;
+      }
+      case CommandType::PreA: {
+        for (auto &bank : banks) {
+            if (bank.isActive())
+                notify(bank.precharge(command.cycle));
+        }
+        break;
+      }
+      case CommandType::Rd:
+        RHS_ASSERT(command.bank < banks.size());
+        banks[command.bank].read(command.column, command.cycle);
+        break;
+      case CommandType::Wr:
+        RHS_ASSERT(command.bank < banks.size());
+        banks[command.bank].write(command.column, command.cycle);
+        break;
+      case CommandType::Ref:
+        // Refresh is intentionally disabled during RowHammer tests
+        // (§4.2); accepting it here would silently heal victims.
+        throw TimingError("REF issued during a RowHammer test");
+      case CommandType::Nop:
+        break;
+    }
+}
+
+std::vector<std::uint8_t>
+Module::readColumn(unsigned bank, unsigned column, Cycles cycle)
+{
+    RHS_ASSERT(bank < banks.size());
+    banks[bank].read(column, cycle);
+    const unsigned row = banks[bank].openRow();
+    std::vector<std::uint8_t> bytes(chips.size());
+    for (std::size_t c = 0; c < chips.size(); ++c)
+        bytes[c] = chips[c].readByte(bank, row, column);
+    return bytes;
+}
+
+void
+Module::writeColumn(unsigned bank, unsigned column,
+                    const std::vector<std::uint8_t> &bytes, Cycles cycle)
+{
+    RHS_ASSERT(bank < banks.size());
+    RHS_ASSERT(bytes.size() == chips.size(), "column write width mismatch");
+    banks[bank].write(column, cycle);
+    const unsigned row = banks[bank].openRow();
+    for (std::size_t c = 0; c < chips.size(); ++c)
+        chips[c].writeByte(bank, row, column, bytes[c]);
+}
+
+void
+Module::storeRowDirect(unsigned bank, unsigned logical_row,
+                       const std::vector<std::vector<std::uint8_t>> &data)
+{
+    RHS_ASSERT(data.size() == chips.size(), "row image count mismatch");
+    const unsigned phys = mapping->toPhysical(logical_row);
+    for (std::size_t c = 0; c < chips.size(); ++c)
+        chips[c].writeRow(bank, phys, data[c]);
+}
+
+std::vector<std::vector<std::uint8_t>>
+Module::loadRowDirect(unsigned bank, unsigned logical_row) const
+{
+    const unsigned phys = mapping->toPhysical(logical_row);
+    std::vector<std::vector<std::uint8_t>> data;
+    data.reserve(chips.size());
+    for (const auto &chip : chips)
+        data.push_back(chip.readRow(bank, phys));
+    return data;
+}
+
+void
+Module::flipBit(const CellLocation &cell)
+{
+    RHS_ASSERT(cell.chip < chips.size(), "chip ", cell.chip,
+               " out of range");
+    chips[cell.chip].flipBit(cell.bank, cell.row, cell.column, cell.bit);
+}
+
+Chip &
+Module::chip(unsigned index)
+{
+    RHS_ASSERT(index < chips.size());
+    return chips[index];
+}
+
+const Chip &
+Module::chip(unsigned index) const
+{
+    RHS_ASSERT(index < chips.size());
+    return chips[index];
+}
+
+const Bank &
+Module::bank(unsigned index) const
+{
+    RHS_ASSERT(index < banks.size());
+    return banks[index];
+}
+
+std::uint64_t
+Module::totalActivations() const
+{
+    std::uint64_t total = 0;
+    for (const auto &bank : banks)
+        total += bank.activationCount();
+    return total;
+}
+
+void
+Module::powerCycle()
+{
+    for (auto &chip : chips)
+        chip.clear();
+    resetTiming();
+}
+
+void
+Module::resetTiming()
+{
+    banks.clear();
+    for (unsigned b = 0; b < geom.banks; ++b)
+        banks.emplace_back(timingParams, b);
+    recentActs.clear();
+}
+
+void
+Module::checkRankActConstraints(Cycles cycle) const
+{
+    if (!recentActs.empty()) {
+        const Cycles last = recentActs.back();
+        if (cycle < last ||
+            timingParams.toNs(cycle - last) + 1e-9 < timingParams.tRRD) {
+            throw TimingError("rank: ACT violates tRRD (previous ACT "
+                              "at cycle " + std::to_string(last) + ")");
+        }
+    }
+    if (recentActs.size() == 4) {
+        const Cycles oldest = recentActs.front();
+        if (timingParams.toNs(cycle - oldest) + 1e-9 <
+            timingParams.tFAW) {
+            throw TimingError(
+                "rank: fifth ACT within tFAW of the activation at "
+                "cycle " + std::to_string(oldest));
+        }
+    }
+}
+
+Cycles
+Module::earliestRankAct(Cycles lower_bound) const
+{
+    Cycles earliest = lower_bound;
+    if (!recentActs.empty()) {
+        earliest = std::max(
+            earliest,
+            recentActs.back() + timingParams.toCycles(timingParams.tRRD));
+    }
+    if (recentActs.size() == 4) {
+        earliest = std::max(
+            earliest,
+            recentActs.front() +
+                timingParams.toCycles(timingParams.tFAW));
+    }
+    return earliest;
+}
+
+} // namespace rhs::dram

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * A DRAM module: lock-step chips behind a shared command bus.
+ *
+ * The module validates the command stream against one bank FSM per bank
+ * (all chips see the same commands), stores data per chip, translates
+ * logical to physical row addresses, and publishes ActivationRecords to
+ * registered listeners (the RowHammer fault injector subscribes here).
+ */
+
+#ifndef RHS_DRAM_MODULE_HH
+#define RHS_DRAM_MODULE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/address_mapping.hh"
+#include "dram/bank.hh"
+#include "dram/chip.hh"
+#include "dram/command.hh"
+#include "dram/organization.hh"
+#include "dram/timing.hh"
+
+namespace rhs::dram
+{
+
+/** Observer of row activation windows (fed on every PRE). */
+class ActivationListener
+{
+  public:
+    virtual ~ActivationListener() = default;
+
+    /** Called when an activation window closes. */
+    virtual void onActivation(const ActivationRecord &record) = 0;
+};
+
+/** Static description of a module for inventory reports (Table 4). */
+struct ModuleInfo
+{
+    std::string label;        //!< e.g. "A0".
+    std::string manufacturer; //!< e.g. "Mfr. A (Micron)".
+    Standard standard = Standard::DDR4;
+    unsigned chips = 8;       //!< Chips per module.
+    std::string density;      //!< e.g. "8Gb".
+    std::string dieRevision;  //!< e.g. "B".
+    std::string organization; //!< e.g. "x8".
+    std::uint64_t serial = 0; //!< Seeds the fault model.
+};
+
+/** One DRAM module under test. */
+class Module
+{
+  public:
+    /**
+     * @param info Inventory identity (serial seeds the fault model).
+     * @param geometry Per-chip geometry.
+     * @param timing Timing parameter set.
+     * @param mapping Logical-to-physical row mapping (owned).
+     */
+    Module(ModuleInfo info, Geometry geometry, TimingParams timing,
+           std::unique_ptr<RowMapping> mapping);
+
+    const ModuleInfo &info() const { return moduleInfo; }
+    const Geometry &geometry() const { return geom; }
+    const TimingParams &timing() const { return timingParams; }
+    const RowMapping &rowMapping() const { return *mapping; }
+    unsigned chipCount() const { return static_cast<unsigned>(chips.size()); }
+
+    /** Register an activation observer (not owned). */
+    void addListener(ActivationListener *listener);
+
+    /**
+     * Issue one command on the bus.
+     * @throws TimingError on per-bank FSM/timing violations or on the
+     *         rank-level activation constraints (tRRD between ACTs to
+     *         any banks, tFAW limiting four activations per window).
+     */
+    void issue(const Command &command);
+
+    /**
+     * Earliest cycle (>= lower_bound) at which the rank-level
+     * activation constraints (tRRD/tFAW) admit a new ACT. Schedulers
+     * use this to stay violation-free; the per-bank constraints are
+     * separate.
+     */
+    Cycles earliestRankAct(Cycles lower_bound) const;
+
+    /**
+     * Read one column word from every chip (the open row supplies the
+     * data). Timing-checked like issue().
+     *
+     * @return One byte per chip.
+     */
+    std::vector<std::uint8_t> readColumn(unsigned bank, unsigned column,
+                                         Cycles cycle);
+
+    /** Write the same column of the open row on every chip. */
+    void writeColumn(unsigned bank, unsigned column,
+                     const std::vector<std::uint8_t> &bytes, Cycles cycle);
+
+    /**
+     * Host-DMA style bulk write of a full *logical* row across chips,
+     * bypassing bus timing (models SoftMC's buffered writes used to
+     * install data patterns before a test).
+     *
+     * @param data Per-chip row images; data.size() == chipCount().
+     */
+    void storeRowDirect(unsigned bank, unsigned logical_row,
+                        const std::vector<std::vector<std::uint8_t>> &data);
+
+    /** Bulk read of a full logical row across chips. */
+    std::vector<std::vector<std::uint8_t>>
+    loadRowDirect(unsigned bank, unsigned logical_row) const;
+
+    /** Fault-injection access point: flip one stored bit. */
+    void flipBit(const CellLocation &cell);
+
+    /** Direct chip access (tests and analyses). */
+    Chip &chip(unsigned index);
+    const Chip &chip(unsigned index) const;
+
+    /** Bank FSM access (tests). */
+    const Bank &bank(unsigned index) const;
+
+    /** Total activations across all banks. */
+    std::uint64_t totalActivations() const;
+
+    /** Clear all stored data and reset bank FSMs (power cycle). */
+    void powerCycle();
+
+    /**
+     * Reset bank FSM clocks without touching stored data. Call when a
+     * new host session restarts its cycle counter from zero (the bank
+     * timing checks would otherwise see time run backwards).
+     */
+    void resetTiming();
+
+  private:
+    void notify(const ActivationRecord &record);
+
+    void checkRankActConstraints(Cycles cycle) const;
+
+    ModuleInfo moduleInfo;
+    Geometry geom;
+    TimingParams timingParams;
+    std::unique_ptr<RowMapping> mapping;
+    std::vector<Bank> banks;
+    std::vector<Chip> chips;
+    std::vector<ActivationListener *> listeners;
+    //! Issue cycles of the most recent activations (rank-level
+    //! tRRD/tFAW bookkeeping; at most 4 entries).
+    std::vector<Cycles> recentActs;
+};
+
+} // namespace rhs::dram
+
+#endif // RHS_DRAM_MODULE_HH

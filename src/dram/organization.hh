@@ -1,0 +1,90 @@
+/**
+ * @file
+ * DRAM geometry and address types.
+ *
+ * Models the hierarchy of Fig. 1 in the paper: a module contains chips
+ * operating in lock-step; a chip contains banks; a bank is a 2-D array
+ * of rows and columns partitioned into subarrays with local row buffers.
+ */
+
+#ifndef RHS_DRAM_ORGANIZATION_HH
+#define RHS_DRAM_ORGANIZATION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rhs::dram
+{
+
+/** DDR standard of a module; selects timing presets and granularity. */
+enum class Standard { DDR3, DDR4 };
+
+/** Human-readable name of a standard. */
+std::string to_string(Standard standard);
+
+/** Geometry of one DRAM chip (all chips in a module are identical). */
+struct Geometry
+{
+    unsigned banks = 8;            //!< Banks per chip.
+    unsigned subarraysPerBank = 16; //!< Subarrays per bank.
+    unsigned rowsPerSubarray = 512; //!< Rows per subarray.
+    unsigned columnsPerRow = 1024; //!< Column addresses per row (per chip).
+    unsigned bitsPerColumn = 8;    //!< Device data width (x8 => 8).
+
+    /** Rows per bank (subarrays * rows per subarray). */
+    unsigned rowsPerBank() const { return subarraysPerBank * rowsPerSubarray; }
+
+    /** Bits stored in one row of one chip. */
+    unsigned bitsPerRow() const { return columnsPerRow * bitsPerColumn; }
+
+    /** Bytes stored in one row of one chip. */
+    unsigned bytesPerRow() const { return bitsPerRow() / 8; }
+
+    /** Subarray index containing a row. @pre row < rowsPerBank() */
+    unsigned subarrayOf(unsigned row) const { return row / rowsPerSubarray; }
+
+    /** Row index within its subarray. */
+    unsigned rowInSubarray(unsigned row) const
+    {
+        return row % rowsPerSubarray;
+    }
+};
+
+/** A (bank, row) pair: the granularity of activations. */
+struct RowAddress
+{
+    unsigned bank = 0;
+    unsigned row = 0;
+
+    bool operator==(const RowAddress &other) const = default;
+};
+
+/** A full (bank, row, column) address for column accesses. */
+struct ColumnAddress
+{
+    unsigned bank = 0;
+    unsigned row = 0;
+    unsigned column = 0;
+
+    bool operator==(const ColumnAddress &other) const = default;
+};
+
+/**
+ * Identifies one bit cell inside one chip of a module, in *physical*
+ * row coordinates. The fault model and the spatial analyses operate
+ * on these.
+ */
+struct CellLocation
+{
+    unsigned chip = 0;
+    unsigned bank = 0;
+    unsigned row = 0;    //!< Physical row index.
+    unsigned column = 0; //!< Column address within the row.
+    unsigned bit = 0;    //!< Bit index within the column word.
+
+    bool operator==(const CellLocation &other) const = default;
+};
+
+} // namespace rhs::dram
+
+#endif // RHS_DRAM_ORGANIZATION_HH

@@ -1,0 +1,52 @@
+#include "dram/timing.hh"
+
+namespace rhs::dram
+{
+
+std::string
+to_string(Standard standard)
+{
+    return standard == Standard::DDR4 ? "DDR4" : "DDR3";
+}
+
+TimingParams
+ddr4_2400()
+{
+    TimingParams t;
+    t.standard = Standard::DDR4;
+    t.tCK = 0.833;
+    t.clock = 1.25; // SoftMC DDR4 granularity (§4.1).
+    t.tRAS = 34.5;  // Paper's baseline aggressor on-time (§6).
+    t.tRP = 16.5;   // Paper's baseline aggressor off-time (§6.2).
+    t.tRCD = 14.16;
+    t.tRTP = 7.5;
+    t.tWR = 15.0;
+    t.tCCD = 5.0;
+    t.tRRD = 5.0;
+    t.tFAW = 25.0;
+    t.tRFC = 350.0;
+    t.tREFI = 7800.0;
+    return t;
+}
+
+TimingParams
+ddr3_1600()
+{
+    TimingParams t;
+    t.standard = Standard::DDR3;
+    t.tCK = 1.25;
+    t.clock = 2.5; // SoftMC DDR3 granularity (§4.1).
+    t.tRAS = 35.0;
+    t.tRP = 13.75;
+    t.tRCD = 13.75;
+    t.tRTP = 7.5;
+    t.tWR = 15.0;
+    t.tCCD = 5.0;
+    t.tRRD = 6.0;
+    t.tFAW = 30.0;
+    t.tRFC = 260.0;
+    t.tREFI = 7800.0;
+    return t;
+}
+
+} // namespace rhs::dram

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DRAM timing parameters (JEDEC-style) in nanoseconds and cycles.
+ *
+ * The characterization relies on two key parameters (§2.2): tRAS, the
+ * minimum time a row stays active before precharge, and tRP, the
+ * minimum precharge-to-activate delay. The aggressor-row active-time
+ * analysis (§6) stretches the effective on-time beyond tRAS and the
+ * off-time beyond tRP with NOPs.
+ */
+
+#ifndef RHS_DRAM_TIMING_HH
+#define RHS_DRAM_TIMING_HH
+
+#include <cstdint>
+
+#include "dram/organization.hh"
+
+namespace rhs::dram
+{
+
+/** Nanoseconds as a double; the SoftMC FPGA clock quantizes them. */
+using Ns = double;
+
+/** Host clock cycles (SoftMC granularity: 1.25 ns DDR4, 2.5 ns DDR3). */
+using Cycles = std::uint64_t;
+
+/** Timing parameter set for one speed bin. */
+struct TimingParams
+{
+    Standard standard = Standard::DDR4;
+    Ns tCK = 0.833;   //!< Bus clock period (DDR4-2400).
+    Ns clock = 1.25;  //!< SoftMC command-issue granularity.
+    Ns tRAS = 34.5;   //!< ACT to PRE minimum (in paper: 34.5 ns base).
+    Ns tRP = 16.5;    //!< PRE to ACT minimum (paper baseline: 16.5 ns).
+    Ns tRCD = 14.16;  //!< ACT to first RD/WR.
+    Ns tRTP = 7.5;    //!< RD to PRE.
+    Ns tWR = 15.0;    //!< End of WR burst to PRE.
+    Ns tCCD = 5.0;    //!< Column-to-column delay.
+    Ns tRRD = 5.0;    //!< ACT-to-ACT delay across banks of a rank.
+    Ns tFAW = 25.0;   //!< Four-activation window per rank.
+    Ns tRFC = 350.0;  //!< REF to next command.
+    Ns tREFI = 7800.0; //!< Nominal refresh interval (disabled in tests).
+    Ns tRetention = 64e6; //!< Refresh window the tests must fit in (64 ms).
+
+    /** Minimum ACT-to-ACT interval for a double-sided hammer pair. */
+    Ns hammerPeriod() const { return tRAS + tRP; }
+
+    /** Convert a duration to host cycles, rounding up. */
+    Cycles
+    toCycles(Ns ns) const
+    {
+        return static_cast<Cycles>((ns + clock - 1e-9) / clock);
+    }
+
+    /** Convert host cycles back to nanoseconds. */
+    Ns toNs(Cycles cycles) const
+    {
+        return static_cast<Ns>(cycles) * clock;
+    }
+};
+
+/** DDR4-2400 timings used for the paper's DDR4 modules (Table 4). */
+TimingParams ddr4_2400();
+
+/** DDR3-1600 timings used for the paper's DDR3 SODIMMs (Table 4). */
+TimingParams ddr3_1600();
+
+} // namespace rhs::dram
+
+#endif // RHS_DRAM_TIMING_HH

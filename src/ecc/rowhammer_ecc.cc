@@ -1,0 +1,101 @@
+#include "ecc/rowhammer_ecc.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace rhs::ecc
+{
+
+double
+EccOutcome::silentRate() const
+{
+    return words == 0 ? 0.0
+                      : static_cast<double>(silentCorruption) /
+                            static_cast<double>(words);
+}
+
+double
+EccOutcome::correctedRate() const
+{
+    return words == 0 ? 0.0
+                      : static_cast<double>(corrected) /
+                            static_cast<double>(words);
+}
+
+void
+EccOutcome::merge(const EccOutcome &other)
+{
+    words += other.words;
+    corrected += other.corrected;
+    detected += other.detected;
+    silentCorruption += other.silentCorruption;
+}
+
+unsigned
+wordOf(unsigned column, unsigned columns_per_row, WordLayout layout)
+{
+    RHS_ASSERT(columns_per_row % 8 == 0, "row must tile 64-bit words");
+    const unsigned words = columns_per_row / 8;
+    if (layout == WordLayout::Contiguous)
+        return column / 8;
+    return column % words;
+}
+
+unsigned
+byteSlotOf(unsigned column, unsigned columns_per_row, WordLayout layout)
+{
+    const unsigned words = columns_per_row / 8;
+    if (layout == WordLayout::Contiguous)
+        return column % 8;
+    return column / words;
+}
+
+EccOutcome
+analyzeFlips(const std::vector<dram::CellLocation> &flips,
+             const dram::Geometry &geometry, WordLayout layout)
+{
+    // Group flipped data-bit indices per (chip, word).
+    std::map<std::pair<unsigned, unsigned>, std::vector<unsigned>> words;
+    for (const auto &flip : flips) {
+        const unsigned word =
+            wordOf(flip.column, geometry.columnsPerRow, layout);
+        const unsigned slot =
+            byteSlotOf(flip.column, geometry.columnsPerRow, layout);
+        words[{flip.chip, word}].push_back(slot * 8 + flip.bit);
+    }
+
+    EccOutcome outcome;
+    for (const auto &[key, data_bits] : words) {
+        (void)key;
+        ++outcome.words;
+
+        // Exercise the real codec: encode a background word, flip the
+        // stored bits the RowHammer flips correspond to, decode.
+        constexpr std::uint64_t background = 0xA5A5'5A5A'C3C3'3C3Cull;
+        auto stored = encode(background);
+        for (unsigned data_bit : data_bits)
+            flipBit(stored, dataBitPosition(data_bit));
+
+        const auto decoded = decode(stored);
+        switch (decoded.status) {
+          case DecodeStatus::Clean:
+            // Flips cancelled out into a valid codeword: silent.
+            if (decoded.data != background)
+                ++outcome.silentCorruption;
+            break;
+          case DecodeStatus::Corrected:
+            if (decoded.data == background)
+                ++outcome.corrected;
+            else
+                ++outcome.silentCorruption; // Mis-correction.
+            break;
+          case DecodeStatus::DetectedDouble:
+            ++outcome.detected;
+            break;
+        }
+    }
+    return outcome;
+}
+
+} // namespace rhs::ecc

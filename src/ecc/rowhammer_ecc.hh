@@ -1,0 +1,80 @@
+/**
+ * @file
+ * RowHammer-vs-ECC analysis (Defense Improvement 6, §8.2).
+ *
+ * Obsvs. 13-14 show bit flips cluster in certain columns. A SEC-DED
+ * word built from 8 *consecutive* columns therefore sees correlated
+ * multi-bit errors (uncorrectable or, worse, silently mis-corrected),
+ * while a layout that interleaves a word's bytes across distant
+ * columns decorrelates them — the "ECC schemes optimized for
+ * non-uniform bit error probability distributions across columns" the
+ * paper proposes.
+ */
+
+#ifndef RHS_ECC_ROWHAMMER_ECC_HH
+#define RHS_ECC_ROWHAMMER_ECC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/organization.hh"
+#include "ecc/secded.hh"
+
+namespace rhs::ecc
+{
+
+/** How a chip row's bytes are grouped into 64-bit ECC words. */
+enum class WordLayout
+{
+    Contiguous,  //!< Word w = columns [8w, 8w+8): the naive layout.
+    Interleaved, //!< Word w = columns {w, w+W, w+2W, ...}: spreads a
+                 //!< word across the row, decorrelating hot columns.
+};
+
+/** Aggregate ECC outcome over many hammered rows. */
+struct EccOutcome
+{
+    std::uint64_t words = 0;          //!< Words carrying >= 1 flip.
+    std::uint64_t corrected = 0;      //!< Single flip: ECC fixes it.
+    std::uint64_t detected = 0;       //!< Flagged uncorrectable.
+    std::uint64_t silentCorruption = 0; //!< Mis-corrected (>= 3 flips)
+                                        //!< or undetected damage.
+
+    /** Fraction of error words ECC silently corrupts. */
+    double silentRate() const;
+
+    /** Fraction of error words fully handled (corrected). */
+    double correctedRate() const;
+
+    /** Merge another outcome into this one. */
+    void merge(const EccOutcome &other);
+};
+
+/**
+ * Run the actual SEC-DED codec over every word a set of flips touches.
+ *
+ * @param flips Flipped cell locations of one victim row.
+ * @param geometry Chip geometry (columns per row).
+ * @param layout How bytes map to ECC words.
+ */
+EccOutcome analyzeFlips(const std::vector<dram::CellLocation> &flips,
+                        const dram::Geometry &geometry,
+                        WordLayout layout);
+
+/**
+ * The word index a column belongs to under a layout (exposed for
+ * tests).
+ *
+ * @param column Column (byte) address within the chip row.
+ * @param columns_per_row Row width in columns. @pre multiple of 8.
+ */
+unsigned wordOf(unsigned column, unsigned columns_per_row,
+                WordLayout layout);
+
+/** The byte slot (0..7) a column occupies within its word. */
+unsigned byteSlotOf(unsigned column, unsigned columns_per_row,
+                    WordLayout layout);
+
+} // namespace rhs::ecc
+
+#endif // RHS_ECC_ROWHAMMER_ECC_HH

@@ -1,0 +1,130 @@
+#include "ecc/secded.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace rhs::ecc
+{
+
+namespace
+{
+
+/** True when a codeword position holds a Hamming parity bit. */
+constexpr bool
+isParityPosition(unsigned position)
+{
+    return (position & (position - 1)) == 0; // Powers of two; pos >= 1.
+}
+
+/** Map data bit index (0..63) to its codeword position. */
+unsigned
+dataPosition(unsigned data_index)
+{
+    // Positions 1..71, skipping the parity powers of two.
+    static const auto table = [] {
+        std::array<unsigned, 64> t{};
+        unsigned out = 0;
+        for (unsigned pos = 1; pos < 72 && out < 64; ++pos) {
+            if (!isParityPosition(pos))
+                t[out++] = pos;
+        }
+        return t;
+    }();
+    return table[data_index];
+}
+
+/** Hamming syndrome over positions 1..71. */
+unsigned
+computeSyndrome(const std::bitset<72> &bits)
+{
+    unsigned syndrome = 0;
+    for (unsigned pos = 1; pos < 72; ++pos) {
+        if (bits[pos])
+            syndrome ^= pos;
+    }
+    return syndrome;
+}
+
+/** Parity over all 72 bits. */
+bool
+overallParity(const std::bitset<72> &bits)
+{
+    return bits.count() % 2 != 0;
+}
+
+} // namespace
+
+Codeword
+encode(std::uint64_t data)
+{
+    Codeword codeword;
+    for (unsigned i = 0; i < 64; ++i) {
+        if ((data >> i) & 1)
+            codeword.bits.set(dataPosition(i));
+    }
+    // Set the Hamming parity bits so the syndrome becomes zero.
+    const unsigned syndrome = computeSyndrome(codeword.bits);
+    for (unsigned k = 0; k < 7; ++k) {
+        if ((syndrome >> k) & 1)
+            codeword.bits.flip(1u << k);
+    }
+    RHS_ASSERT(computeSyndrome(codeword.bits) == 0, "encoder broken");
+    // Overall parity (position 0) makes the total weight even.
+    if (overallParity(codeword.bits))
+        codeword.bits.set(0);
+    return codeword;
+}
+
+Decoded
+decode(const Codeword &codeword)
+{
+    Decoded result;
+    auto bits = codeword.bits;
+    const unsigned syndrome = computeSyndrome(bits);
+    const bool parity_error = overallParity(bits);
+
+    if (syndrome == 0 && !parity_error) {
+        result.status = DecodeStatus::Clean;
+    } else if (parity_error) {
+        // Odd number of flips: assume one and correct it. Three or
+        // more flips alias here and are silently mis-corrected — the
+        // failure mode the RowHammer ECC analysis quantifies.
+        if (syndrome == 0) {
+            bits.reset(0); // The overall parity bit itself flipped.
+        } else if (syndrome < 72) {
+            bits.flip(syndrome);
+        }
+        // A syndrome >= 72 cannot name a position; fall through and
+        // report it as detected instead of corrupting data.
+        if (syndrome < 72)
+            result.status = DecodeStatus::Corrected;
+        else
+            result.status = DecodeStatus::DetectedDouble;
+    } else {
+        // Even number of flips (>= 2): detected, not correctable.
+        result.status = DecodeStatus::DetectedDouble;
+    }
+
+    for (unsigned i = 0; i < 64; ++i) {
+        if (bits[dataPosition(i)])
+            result.data |= 1ull << i;
+    }
+    return result;
+}
+
+void
+flipBit(Codeword &codeword, unsigned position)
+{
+    RHS_ASSERT(position < 72, "codeword position out of range");
+    codeword.bits.flip(position);
+}
+
+unsigned
+dataBitPosition(unsigned data_index)
+{
+    RHS_ASSERT(data_index < 64, "data bit index out of range");
+    return dataPosition(data_index);
+}
+
+} // namespace rhs::ecc

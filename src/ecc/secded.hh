@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hamming SEC-DED (72,64) codec.
+ *
+ * The standard single-error-correct / double-error-detect code used by
+ * rank-level DRAM ECC: 64 data bits, 8 check bits (7 Hamming positions
+ * plus an overall parity bit). Defense Improvement 6 (§8.2) asks how
+ * ECC interacts with RowHammer's non-uniform spatial error
+ * distribution; this codec is the substrate for that analysis.
+ */
+
+#ifndef RHS_ECC_SECDED_HH
+#define RHS_ECC_SECDED_HH
+
+#include <bitset>
+#include <cstdint>
+
+namespace rhs::ecc
+{
+
+/** A 72-bit SEC-DED codeword. */
+struct Codeword
+{
+    std::bitset<72> bits;
+};
+
+/** Outcome of decoding a (possibly corrupted) codeword. */
+enum class DecodeStatus
+{
+    Clean,          //!< No error detected.
+    Corrected,      //!< Single-bit error corrected.
+    DetectedDouble, //!< Double-bit error detected (uncorrectable).
+};
+
+/** Decode result: status plus recovered data. */
+struct Decoded
+{
+    DecodeStatus status = DecodeStatus::Clean;
+    std::uint64_t data = 0;
+};
+
+/** Encode 64 data bits into a 72-bit SEC-DED codeword. */
+Codeword encode(std::uint64_t data);
+
+/**
+ * Decode a codeword, correcting a single flipped bit and detecting
+ * double flips.
+ *
+ * Note the classic SEC-DED limitation the RowHammer-ECC analysis
+ * exploits: three or more flips alias onto single-error syndromes and
+ * are silently *mis*corrected — decode() then reports Corrected with
+ * wrong data.
+ */
+Decoded decode(const Codeword &codeword);
+
+/** Flip one bit of a codeword (fault injection). @pre position < 72 */
+void flipBit(Codeword &codeword, unsigned position);
+
+/**
+ * The codeword position storing data bit `data_index` (0..63). A
+ * RowHammer flip of a stored data cell toggles exactly this position.
+ */
+unsigned dataBitPosition(unsigned data_index);
+
+} // namespace rhs::ecc
+
+#endif // RHS_ECC_SECDED_HH

@@ -1,0 +1,198 @@
+#include "mc/scheduler.hh"
+
+#include <algorithm>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace rhs::mc
+{
+
+std::string
+to_string(RowPolicy policy)
+{
+    switch (policy) {
+      case RowPolicy::OpenPage: return "open-page";
+      case RowPolicy::ClosedPage: return "closed-page";
+      case RowPolicy::TimeoutPage: return "timeout-page";
+    }
+    return "?";
+}
+
+double
+ScheduleStats::hitRate() const
+{
+    return requests == 0 ? 0.0
+                         : static_cast<double>(rowHits) /
+                               static_cast<double>(requests);
+}
+
+double
+ScheduleStats::meanOnTime() const
+{
+    return onTimes.empty() ? 0.0 : stats::mean(onTimes);
+}
+
+namespace
+{
+
+/** Collects the on-time of every closed activation window. */
+struct OnTimeListener : dram::ActivationListener
+{
+    std::vector<double> onTimes;
+
+    void
+    onActivation(const dram::ActivationRecord &record) override
+    {
+        onTimes.push_back(record.onTime);
+    }
+};
+
+/** Per-bank timing bookkeeping mirroring the FSM constraints. */
+struct BankState
+{
+    bool open = false;
+    unsigned row = 0;
+    dram::Cycles nextAct = 0;
+    dram::Cycles nextColumn = 0;
+    dram::Cycles earliestPre = 0;
+    dram::Cycles lastAccess = 0;
+};
+
+} // namespace
+
+Scheduler::Scheduler(dram::Module &module, RowPolicy policy,
+                     dram::Ns timeout_ns)
+    : module(module), policy(policy), timeoutNs(timeout_ns)
+{
+    RHS_ASSERT(timeout_ns > 0.0);
+}
+
+ScheduleStats
+Scheduler::run(const std::vector<MemRequest> &requests)
+{
+    const auto &timing = module.timing();
+    module.resetTiming();
+
+    OnTimeListener listener;
+    module.addListener(&listener);
+
+    std::vector<BankState> banks(module.geometry().banks);
+    ScheduleStats result;
+
+    const auto rcd = timing.toCycles(timing.tRCD);
+    const auto rp = timing.toCycles(timing.tRP);
+    const auto ras = timing.toCycles(timing.tRAS);
+    const auto ccd = timing.toCycles(timing.tCCD);
+    const auto rtp = timing.toCycles(timing.tRTP);
+    const auto wr = timing.toCycles(timing.tWR);
+    const auto timeout = timing.toCycles(timeoutNs);
+
+    auto precharge = [&](unsigned bank_id, dram::Cycles at) {
+        auto &bank = banks[bank_id];
+        const auto when = std::max(at, bank.earliestPre);
+        module.issue({dram::CommandType::Pre, bank_id, 0, 0, when});
+        bank.open = false;
+        bank.nextAct = when + rp;
+    };
+
+    auto activate = [&](unsigned bank_id, unsigned row,
+                        dram::Cycles at) {
+        auto &bank = banks[bank_id];
+        const auto when =
+            module.earliestRankAct(std::max(at, bank.nextAct));
+        module.issue({dram::CommandType::Act, bank_id, row, 0, when});
+        bank.open = true;
+        bank.row = row;
+        bank.nextColumn = when + rcd;
+        bank.earliestPre = when + ras;
+        ++result.activations;
+        return when;
+    };
+
+    for (const auto &request : requests) {
+        RHS_ASSERT(request.bank < banks.size());
+        auto &bank = banks[request.bank];
+        dram::Cycles now = request.arrival;
+
+        // Timeout policy: close a row that sat idle too long (the
+        // precharge logically happened at idle-timeout expiry).
+        if (policy == RowPolicy::TimeoutPage && bank.open &&
+            now > bank.lastAccess + timeout) {
+            precharge(request.bank,
+                      std::max(bank.lastAccess + timeout,
+                               bank.earliestPre));
+        }
+
+        if (bank.open && bank.row == request.row) {
+            ++result.rowHits;
+        } else if (bank.open) {
+            precharge(request.bank, now);
+            activate(request.bank, request.row,
+                     banks[request.bank].nextAct);
+        } else {
+            activate(request.bank, request.row, now);
+        }
+
+        const auto col_at = std::max(now, bank.nextColumn);
+        if (request.isWrite) {
+            module.writeColumn(
+                request.bank, request.column,
+                std::vector<std::uint8_t>(module.chipCount(), 0xAA),
+                col_at);
+            bank.earliestPre = std::max(bank.earliestPre, col_at + wr);
+        } else {
+            module.readColumn(request.bank, request.column, col_at);
+            bank.earliestPre = std::max(bank.earliestPre, col_at + rtp);
+        }
+        bank.nextColumn = col_at + ccd;
+        bank.lastAccess = col_at;
+        result.endCycle = std::max(result.endCycle, col_at);
+        ++result.requests;
+
+        if (policy == RowPolicy::ClosedPage)
+            precharge(request.bank, bank.earliestPre);
+    }
+
+    // Drain: close every open bank so its window is recorded.
+    for (unsigned b = 0; b < banks.size(); ++b) {
+        if (banks[b].open)
+            precharge(b, banks[b].earliestPre);
+    }
+
+    result.onTimes = std::move(listener.onTimes);
+    return result;
+}
+
+std::vector<MemRequest>
+makeTrace(const TraceConfig &config)
+{
+    RHS_ASSERT(config.rowLocality >= 0.0 && config.rowLocality <= 1.0);
+    util::Rng rng(config.seed);
+    std::vector<MemRequest> trace;
+    trace.reserve(config.requests);
+
+    std::vector<unsigned> last_row(config.banks, 0);
+    dram::Cycles now = 0;
+    for (std::uint64_t i = 0; i < config.requests; ++i) {
+        MemRequest request;
+        request.bank =
+            static_cast<unsigned>(rng.uniformInt(config.banks));
+        if (rng.uniform() < config.rowLocality) {
+            request.row = last_row[request.bank];
+        } else {
+            request.row =
+                static_cast<unsigned>(rng.uniformInt(config.rows));
+            last_row[request.bank] = request.row;
+        }
+        request.column = static_cast<unsigned>(rng.uniformInt(64));
+        request.isWrite = rng.bernoulli(0.3);
+        now += 1 + rng.poisson(config.meanInterarrival);
+        request.arrival = now;
+        trace.push_back(request);
+    }
+    return trace;
+}
+
+} // namespace rhs::mc

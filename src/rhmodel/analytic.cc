@@ -1,0 +1,137 @@
+#include "rhmodel/analytic.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace rhs::rhmodel
+{
+
+HammerAttack
+HammerAttack::doubleSided(unsigned bank, unsigned victim_row)
+{
+    HammerAttack attack;
+    attack.bank = bank;
+    attack.patternCenter = victim_row;
+    if (victim_row > 0)
+        attack.aggressorRows.push_back(victim_row - 1);
+    attack.aggressorRows.push_back(victim_row + 1);
+    return attack;
+}
+
+HammerAttack
+HammerAttack::singleSided(unsigned bank, unsigned aggressor_row)
+{
+    HammerAttack attack;
+    attack.bank = bank;
+    attack.patternCenter = aggressor_row;
+    attack.aggressorRows.push_back(aggressor_row);
+    return attack;
+}
+
+HammerAttack
+HammerAttack::manySided(unsigned bank, unsigned first_aggressor,
+                        unsigned sides)
+{
+    RHS_ASSERT(sides >= 2, "a many-sided attack needs >= 2 aggressors");
+    HammerAttack attack;
+    attack.bank = bank;
+    for (unsigned s = 0; s < sides; ++s)
+        attack.aggressorRows.push_back(first_aggressor + 2 * s);
+    // Centre the data pattern on the middle sandwiched victim.
+    attack.patternCenter = first_aggressor + sides - 1;
+    return attack;
+}
+
+std::vector<unsigned>
+HammerAttack::sandwichedVictims() const
+{
+    std::vector<unsigned> victims;
+    for (std::size_t i = 1; i < aggressorRows.size(); ++i) {
+        if (aggressorRows[i] == aggressorRows[i - 1] + 2)
+            victims.push_back(aggressorRows[i] - 1);
+    }
+    return victims;
+}
+
+double
+AnalyticEngine::hammerDamage(const VulnerableCell &cell,
+                             unsigned victim_row,
+                             const HammerAttack &attack,
+                             const Conditions &conditions,
+                             const DataPattern &pattern) const
+{
+    double positional = 0.0;
+    for (unsigned aggressor : attack.aggressorRows) {
+        const unsigned distance =
+            aggressor > victim_row ? aggressor - victim_row
+                                   : victim_row - aggressor;
+        const double dist_factor = model.distanceFactor(distance);
+        if (dist_factor == 0.0)
+            continue;
+        const std::uint8_t aggr_byte = pattern.byteAt(
+            aggressor, attack.patternCenter, cell.loc.column);
+        positional += dist_factor * model.dataFactor(cell, aggr_byte);
+    }
+    if (positional == 0.0)
+        return 0.0;
+    return positional * model.timingFactor(conditions) *
+           model.temperatureFactor(cell, conditions.temperature);
+}
+
+double
+AnalyticEngine::cellHcFirst(const VulnerableCell &cell,
+                            unsigned victim_row,
+                            const HammerAttack &attack,
+                            const Conditions &conditions,
+                            const DataPattern &pattern,
+                            unsigned trial) const
+{
+    // A cell only flips when the pattern stores its charged value.
+    if (pattern.bitAt(victim_row, attack.patternCenter, cell.loc.column,
+                      cell.loc.bit) != cell.chargedValue) {
+        return kNeverFlips;
+    }
+    const double rate =
+        hammerDamage(cell, victim_row, attack, conditions, pattern);
+    if (rate <= 0.0)
+        return kNeverFlips;
+    return cell.threshold *
+           model.trialNoise(cell, trial, conditions.temperature) / rate;
+}
+
+RowBerResult
+AnalyticEngine::berTest(unsigned victim_row, const HammerAttack &attack,
+                        const Conditions &conditions,
+                        const DataPattern &pattern, std::uint64_t hammers,
+                        unsigned trial) const
+{
+    RowBerResult result;
+    const auto cells = model.cellsOfRow(attack.bank, victim_row);
+    result.vulnerableCells = static_cast<unsigned>(cells.size());
+    for (const auto &cell : cells) {
+        const double hc = cellHcFirst(cell, victim_row, attack,
+                                      conditions, pattern, trial);
+        if (hc <= static_cast<double>(hammers))
+            result.flips.push_back(cell.loc);
+    }
+    return result;
+}
+
+double
+AnalyticEngine::rowHcFirst(unsigned victim_row, const HammerAttack &attack,
+                           const Conditions &conditions,
+                           const DataPattern &pattern, unsigned trial) const
+{
+    double best = kNeverFlips;
+    for (const auto &cell : model.cellsOfRow(attack.bank, victim_row)) {
+        const double hc = cellHcFirst(cell, victim_row, attack,
+                                      conditions, pattern, trial);
+        if (hc < best)
+            best = hc;
+    }
+    return best;
+}
+
+} // namespace rhs::rhmodel

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Closed-form RowHammer outcome computation.
+ *
+ * Because the per-hammer damage rate is constant for a test with fixed
+ * conditions, a cell's HCfirst is simply threshold * noise / rate. The
+ * analytic engine exploits this to evaluate BER tests and HCfirst
+ * searches over thousands of rows in microseconds, while remaining
+ * bit-exact with the cycle-accurate FaultInjector path (property-tested
+ * in tests/rhmodel_equivalence_test.cc).
+ */
+
+#ifndef RHS_RHMODEL_ANALYTIC_HH
+#define RHS_RHMODEL_ANALYTIC_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "rhmodel/cell_model.hh"
+#include "rhmodel/pattern.hh"
+
+namespace rhs::rhmodel
+{
+
+/**
+ * A hammer attack in physical row coordinates: every aggressor row is
+ * activated once per "hammer" (so the paper's double-sided attack has
+ * two aggressors and one hammer = one activation pair, §4.2).
+ */
+struct HammerAttack
+{
+    unsigned bank = 0;
+    //! Physical rows activated once per hammer.
+    std::vector<unsigned> aggressorRows;
+    //! Row around which the data pattern was written (the paper writes
+    //! the pattern to V and V±[1..8] relative to the double-sided
+    //! victim V).
+    unsigned patternCenter = 0;
+
+    /** The standard double-sided attack on victim V (aggressors V±1). */
+    static HammerAttack doubleSided(unsigned bank, unsigned victim_row);
+
+    /** Single-sided attack: one aggressor row. */
+    static HammerAttack singleSided(unsigned bank, unsigned aggressor_row);
+
+    /**
+     * TRRespass-style many-sided attack: `sides` aggressor rows at
+     * stride 2 starting from first_aggressor, sandwiching victims
+     * between them. Designed to overflow the capacity of in-DRAM TRR
+     * trackers (§2.3).
+     */
+    static HammerAttack manySided(unsigned bank, unsigned first_aggressor,
+                                  unsigned sides);
+
+    /** Victim rows sandwiched between this attack's aggressors. */
+    std::vector<unsigned> sandwichedVictims() const;
+};
+
+/** Outcome of an analytic BER test on one victim row. */
+struct RowBerResult
+{
+    //! Locations of the cells that flipped.
+    std::vector<dram::CellLocation> flips;
+    //! Number of vulnerable cells in the row (flipped or not).
+    unsigned vulnerableCells = 0;
+};
+
+/** Sentinel: the row/cell never flips under the given attack. */
+inline constexpr double kNeverFlips = std::numeric_limits<double>::infinity();
+
+/** Closed-form evaluation of hammer tests against a CellModel. */
+class AnalyticEngine
+{
+  public:
+    /** @param model Cell model of the module under test (not owned). */
+    explicit AnalyticEngine(const CellModel &model) : model(model) {}
+
+    /**
+     * Damage a cell in victim_row accrues per hammer of the attack,
+     * under the given conditions and written data pattern.
+     */
+    double hammerDamage(const VulnerableCell &cell, unsigned victim_row,
+                        const HammerAttack &attack,
+                        const Conditions &conditions,
+                        const DataPattern &pattern) const;
+
+    /**
+     * The hammer count at which a cell flips (kNeverFlips when the
+     * cell is ineligible under the pattern or receives no damage).
+     */
+    double cellHcFirst(const VulnerableCell &cell, unsigned victim_row,
+                       const HammerAttack &attack,
+                       const Conditions &conditions,
+                       const DataPattern &pattern, unsigned trial) const;
+
+    /**
+     * BER test: which cells of victim_row flip after `hammers` hammers.
+     */
+    RowBerResult berTest(unsigned victim_row, const HammerAttack &attack,
+                         const Conditions &conditions,
+                         const DataPattern &pattern, std::uint64_t hammers,
+                         unsigned trial) const;
+
+    /**
+     * Exact row HCfirst: the minimum cell HCfirst over the row
+     * (kNeverFlips when no cell can flip). The characterization
+     * toolkit instead measures this with the paper's binary search;
+     * tests compare the two.
+     */
+    double rowHcFirst(unsigned victim_row, const HammerAttack &attack,
+                      const Conditions &conditions,
+                      const DataPattern &pattern, unsigned trial) const;
+
+    const CellModel &cellModel() const { return model; }
+
+  private:
+    const CellModel &model;
+};
+
+} // namespace rhs::rhmodel
+
+#endif // RHS_RHMODEL_ANALYTIC_HH

@@ -1,0 +1,275 @@
+#include "rhmodel/cell_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace rhs::rhmodel
+{
+
+namespace
+{
+
+// Salt constants separating the independent hash streams.
+enum : std::uint64_t
+{
+    SaltCells = 0x1001,
+    SaltRow = 0x2002,
+    SaltWeakRow = 0x2003,
+    SaltSubarray = 0x3003,
+    SaltModule = 0x4004,
+    SaltDesignCol = 0x5005,
+    SaltProcessCol = 0x6006,
+    SaltTrial = 0x7007,
+    SaltData = 0x8008,
+};
+
+/** Deterministic standard-normal draw from a hash word. */
+double
+hashedGaussian(std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    return rng.gaussian();
+}
+
+} // namespace
+
+CellModel::CellModel(const ManufacturerProfile &profile,
+                     const dram::ModuleInfo &info,
+                     const dram::Geometry &geometry,
+                     const dram::TimingParams &timing)
+    : prof(profile), moduleInfo(info), geom(geometry), timing(timing)
+{
+    modFactor = std::exp(
+        prof.moduleSigma *
+        hashedGaussian(util::hashTuple(info.serial, SaltModule)));
+
+    // Build the per-chip column sampling CDFs. The weight of a column
+    // mixes a design-induced component (identical for every chip of
+    // every module of this manufacturer) with a process component
+    // (specific to this chip), in the proportion profile.designMix.
+    const auto mfr_seed = static_cast<std::uint64_t>(letterOf(prof.mfr));
+    columnCdf.resize(info.chips);
+    for (unsigned chip = 0; chip < info.chips; ++chip) {
+        auto &cdf = columnCdf[chip];
+        cdf.resize(geom.columnsPerRow);
+        double total = 0.0;
+        for (unsigned col = 0; col < geom.columnsPerRow; ++col) {
+            // Design-induced variation is spatially structured: the
+            // repeating analog elements (wordline drivers, voltage
+            // boosters) the paper's §7.4 hypothesizes span blocks of
+            // columns, so adjacent columns share their design weight.
+            const auto design_seed =
+                util::hashTuple(mfr_seed, SaltDesignCol, col / 8);
+            const auto process_seed = util::hashTuple(
+                info.serial, SaltProcessCol, chip, col);
+
+            double weight = 0.0;
+            const bool design_dead =
+                util::toUnitDouble(util::splitMix64(design_seed)) <
+                prof.designDeadFraction;
+            const bool process_dead =
+                util::toUnitDouble(util::splitMix64(process_seed)) <
+                prof.processDeadFraction;
+            if (!design_dead && !process_dead) {
+                const double g_design = hashedGaussian(design_seed);
+                const double g_process = hashedGaussian(process_seed);
+                weight = std::exp(
+                    prof.columnSigma * (prof.designMix * g_design +
+                                        (1.0 - prof.designMix) *
+                                            g_process));
+            }
+            total += weight;
+            cdf[col] = total;
+        }
+        RHS_ASSERT(total > 0.0, "all columns dead on chip ", chip);
+        for (auto &v : cdf)
+            v /= total;
+    }
+}
+
+double
+CellModel::sampleColumnFromCdf(unsigned chip, double u) const
+{
+    const auto &cdf = columnCdf[chip];
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto col = static_cast<unsigned>(
+        std::min<std::ptrdiff_t>(it - cdf.begin(),
+                                 static_cast<std::ptrdiff_t>(cdf.size()) -
+                                     1));
+    return col;
+}
+
+const std::vector<VulnerableCell> &
+CellModel::cellsOfRow(unsigned bank, unsigned physical_row) const
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(bank) << 32) | physical_row;
+    if (auto it = rowCache.find(key); it != rowCache.end())
+        return it->second;
+
+    if (rowCacheOrder.size() >= kCacheCapacity) {
+        rowCache.erase(rowCacheOrder.front());
+        rowCacheOrder.erase(rowCacheOrder.begin());
+    }
+    rowCacheOrder.push_back(key);
+    return rowCache.emplace(key, generateCells(bank, physical_row))
+        .first->second;
+}
+
+std::vector<VulnerableCell>
+CellModel::generateCells(unsigned bank, unsigned physical_row) const
+{
+    const auto row_seed =
+        util::hashTuple(moduleInfo.serial, SaltCells, bank, physical_row);
+    util::Rng counter(row_seed);
+    const unsigned count = counter.poisson(prof.cellsPerRowMean);
+
+    const double log_spatial =
+        std::log(rowFactor(bank, physical_row)) +
+        std::log(subarrayFactor(bank, geom.subarrayOf(physical_row))) +
+        std::log(modFactor);
+
+    std::vector<VulnerableCell> cells;
+    cells.reserve(count);
+    // A physical bit position can host at most one vulnerable cell.
+    std::unordered_map<std::uint64_t, bool> occupied;
+    for (unsigned i = 0; i < count; ++i) {
+        VulnerableCell cell;
+        cell.seed = util::hashTuple(row_seed, i + 1);
+        util::Rng rng(cell.seed);
+
+        cell.loc.chip = static_cast<unsigned>(
+            rng.uniformInt(moduleInfo.chips));
+        cell.loc.bank = bank;
+        cell.loc.row = physical_row;
+        cell.loc.column = static_cast<unsigned>(
+            sampleColumnFromCdf(cell.loc.chip, rng.uniform()));
+        cell.loc.bit = static_cast<unsigned>(
+            rng.uniformInt(geom.bitsPerColumn));
+        const std::uint64_t position =
+            (static_cast<std::uint64_t>(cell.loc.chip) << 24) |
+            (cell.loc.column << 4) | cell.loc.bit;
+        if (!occupied.emplace(position, true).second)
+            continue; // Collision: this position already has a cell.
+        cell.chargedValue = rng.bernoulli(0.5);
+
+        const double threshold_gauss = rng.gaussian();
+
+        // Pick a temperature-mixture component.
+        double pick = rng.uniform();
+        const TempComponent *comp = &prof.tempMixture.back();
+        for (const auto &candidate : prof.tempMixture) {
+            if (pick < candidate.fraction) {
+                comp = &candidate;
+                break;
+            }
+            pick -= candidate.fraction;
+        }
+        cell.tinf = rng.gaussian(comp->tinfMean, comp->tinfSigma);
+        cell.width = rng.uniform(comp->widthMin, comp->widthMax);
+
+        cell.threshold = std::exp(prof.hcMedianLog +
+                                  comp->logMedianShift +
+                                  prof.cellSigma * comp->sigmaScale *
+                                      threshold_gauss +
+                                  log_spatial);
+
+        cells.push_back(cell);
+    }
+    return cells;
+}
+
+double
+CellModel::timingFactor(const Conditions &conditions) const
+{
+    const double t_on =
+        conditions.tAggOn > 0.0 ? conditions.tAggOn : timing.tRAS;
+    const double t_off =
+        conditions.tAggOff > 0.0 ? conditions.tAggOff : timing.tRP;
+    RHS_ASSERT(t_on + 1e-9 >= timing.tRAS, "tAggOn below tRAS: ", t_on);
+    RHS_ASSERT(t_off + 1e-9 >= timing.tRP, "tAggOff below tRP: ", t_off);
+    const double g_on =
+        1.0 + prof.kOn * (t_on - timing.tRAS) / timing.tRAS;
+    const double g_off = timing.tRP / t_off;
+    return (1.0 - prof.wCouple) * g_on + prof.wCouple * g_off;
+}
+
+double
+CellModel::temperatureFactor(const VulnerableCell &cell,
+                             double temperature) const
+{
+    // Unimodal response around tinf, normalized to 1 at the 50 degC
+    // reference so cell.threshold is the 50 degC HCfirst.
+    constexpr double ref = 50.0;
+    const double a = ref - cell.tinf;
+    const double b = temperature - cell.tinf;
+    return std::exp((a * a - b * b) / (2.0 * cell.width * cell.width));
+}
+
+double
+CellModel::distanceFactor(unsigned distance) const
+{
+    switch (distance) {
+      case 1: return prof.distance1Damage;
+      case 2: return prof.distance2Damage;
+      default: return 0.0;
+    }
+}
+
+double
+CellModel::dataFactor(const VulnerableCell &cell,
+                      std::uint8_t aggressor_byte) const
+{
+    const double u = util::toUnitDouble(
+        util::hashTuple(cell.seed, SaltData, aggressor_byte));
+    return prof.dataFactorBase + (1.0 - prof.dataFactorBase) * u;
+}
+
+double
+CellModel::trialNoise(const VulnerableCell &cell, unsigned trial,
+                      double temperature) const
+{
+    const auto temp_key = static_cast<std::uint64_t>(
+        std::llround(temperature * 10.0));
+    const auto seed =
+        util::hashTuple(cell.seed, SaltTrial, trial, temp_key);
+    return std::exp(prof.trialNoiseSigma * hashedGaussian(seed));
+}
+
+double
+CellModel::rowFactor(unsigned bank, unsigned physical_row) const
+{
+    const auto seed = util::hashTuple(moduleInfo.serial, SaltRow, bank,
+                                      physical_row);
+    double factor = std::exp(prof.rowSigma * hashedGaussian(seed));
+    const double weak_draw = util::toUnitDouble(util::splitMix64(
+        util::hashTuple(moduleInfo.serial, SaltWeakRow, bank,
+                        physical_row)));
+    if (weak_draw < prof.weakRowFraction)
+        factor *= prof.weakRowFactor;
+    return factor;
+}
+
+double
+CellModel::subarrayFactor(unsigned bank, unsigned subarray) const
+{
+    const auto seed = util::hashTuple(moduleInfo.serial, SaltSubarray,
+                                      bank, subarray);
+    return std::exp(prof.subarraySigma * hashedGaussian(seed));
+}
+
+double
+CellModel::columnWeight(unsigned chip, unsigned column) const
+{
+    RHS_ASSERT(chip < columnCdf.size());
+    RHS_ASSERT(column < columnCdf[chip].size());
+    const auto &cdf = columnCdf[chip];
+    const double prev = column == 0 ? 0.0 : cdf[column - 1];
+    return cdf[column] - prev;
+}
+
+} // namespace rhs::rhmodel

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Procedural per-cell RowHammer vulnerability model.
+ *
+ * Every vulnerable cell of a simulated module is a pure function of the
+ * module serial and the cell's physical position; nothing is stored.
+ * A cell carries:
+ *
+ *  - threshold: its HCfirst at reference conditions (50 degC, baseline
+ *    tRAS/tRP double-sided hammering, ideal data coupling);
+ *  - (tinf, width): a temperature inflection point and response width
+ *    giving the unimodal temperature behaviour hypothesized by the
+ *    paper's circuit-level justification (Yang et al. charge-trap
+ *    model, Section 5.3) and hence the bounded vulnerable temperature
+ *    ranges of Obsvs. 1-3;
+ *  - chargedValue: the stored bit value that can be disturbed
+ *    (true-cell vs anti-cell), which creates the data-pattern
+ *    dependence the WCDP methodology (Section 4.2) probes.
+ *
+ * Damage accrues per aggressor activation as
+ *
+ *   damage = distanceFactor(|victim - aggressor|)
+ *          * [(1-wCouple)*gOn(tAggOn) + wCouple*gOff(tAggOff)]
+ *          * H(T; tinf, width)
+ *          * dataFactor(cell, aggressor byte)
+ *
+ * and the cell flips when accumulated damage crosses its threshold.
+ */
+
+#ifndef RHS_RHMODEL_CELL_MODEL_HH
+#define RHS_RHMODEL_CELL_MODEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/module.hh"
+#include "dram/organization.hh"
+#include "dram/timing.hh"
+#include "rhmodel/profile.hh"
+
+namespace rhs::rhmodel
+{
+
+/** Environmental/timing conditions of a hammer test. */
+struct Conditions
+{
+    double temperature = 50.0; //!< DRAM chip temperature (degC).
+    //! Aggressor row active time; 0 = the module's own tRAS
+    //! (34.5 ns for the DDR4 parts, 35 ns for DDR3).
+    dram::Ns tAggOn = 0.0;
+    //! Bank precharged time; 0 = the module's own tRP.
+    dram::Ns tAggOff = 0.0;
+};
+
+/** One vulnerable cell, fully described by procedural parameters. */
+struct VulnerableCell
+{
+    dram::CellLocation loc;   //!< Physical position (row = victim row).
+    std::uint64_t seed = 0;   //!< Stable identity for derived hashes.
+    double threshold = 0.0;   //!< HCfirst at reference conditions.
+    double tinf = 50.0;       //!< Temperature inflection point (degC).
+    double width = 40.0;      //!< Temperature response width (degC).
+    bool chargedValue = true; //!< Stored value that can flip away.
+};
+
+/** The generative vulnerability model of one module. */
+class CellModel
+{
+  public:
+    /**
+     * @param profile Manufacturer calibration (not owned; must outlive).
+     * @param info Module identity; info.serial seeds everything.
+     * @param geometry Chip geometry.
+     * @param timing Timing parameters (baseline tRAS/tRP).
+     */
+    CellModel(const ManufacturerProfile &profile,
+              const dram::ModuleInfo &info, const dram::Geometry &geometry,
+              const dram::TimingParams &timing);
+
+    const ManufacturerProfile &profile() const { return prof; }
+
+    /**
+     * Generate the vulnerable cells of one physical row. The result
+     * is memoized in a small LRU cache (generation is deterministic,
+     * so this is purely a speed optimization for the HCfirst binary
+     * search, which probes the same row many times).
+     */
+    const std::vector<VulnerableCell> &cellsOfRow(unsigned bank,
+                                                  unsigned physical_row)
+        const;
+
+    /** Timing damage multiplier (1.0 at baseline tRAS/tRP). */
+    double timingFactor(const Conditions &conditions) const;
+
+    /** Temperature damage multiplier (1.0 at the 50 degC reference). */
+    double temperatureFactor(const VulnerableCell &cell,
+                             double temperature) const;
+
+    /** Damage per activation at a victim-to-aggressor row distance. */
+    double distanceFactor(unsigned distance) const;
+
+    /**
+     * Data-coupling multiplier in [dataFactorBase, 1], a reproducible
+     * function of the aggressor's stored byte at the cell's column.
+     * Different data patterns excite a cell differently, which is what
+     * makes the worst-case data pattern module-specific.
+     */
+    double dataFactor(const VulnerableCell &cell,
+                      std::uint8_t aggressor_byte) const;
+
+    /**
+     * Per-trial multiplicative threshold noise (log-normal around 1),
+     * modelling measurement repeatability. Keyed on (cell, trial,
+     * temperature) so each repetition at each temperature point
+     * re-rolls, which is what produces the paper's ~1% of cells with
+     * gaps inside their vulnerable temperature range (Table 3).
+     *
+     * @param cell The cell under test.
+     * @param trial Repetition index (the paper repeats each test 5x).
+     * @param temperature Test temperature (degC).
+     */
+    double trialNoise(const VulnerableCell &cell, unsigned trial,
+                      double temperature) const;
+
+    /** Spatial threshold factor of a row (includes weak-row tail). */
+    double rowFactor(unsigned bank, unsigned physical_row) const;
+
+    /** Spatial threshold factor of a subarray. */
+    double subarrayFactor(unsigned bank, unsigned subarray) const;
+
+    /** Module-wide threshold factor. */
+    double moduleFactor() const { return modFactor; }
+
+    /**
+     * Relative likelihood that a vulnerable cell lands in a column
+     * (the design + process column weighting behind Figs. 12/13).
+     */
+    double columnWeight(unsigned chip, unsigned column) const;
+
+  private:
+    double sampleColumnFromCdf(unsigned chip, double u) const;
+    std::vector<VulnerableCell> generateCells(unsigned bank,
+                                              unsigned physical_row) const;
+
+    const ManufacturerProfile &prof;
+    const dram::ModuleInfo &moduleInfo;
+    const dram::Geometry &geom;
+    const dram::TimingParams &timing;
+    double modFactor = 1.0;
+    //! Per-chip cumulative distribution over column addresses.
+    std::vector<std::vector<double>> columnCdf;
+
+    // Tiny FIFO memo for cellsOfRow (bank<<32|row -> cells).
+    static constexpr std::size_t kCacheCapacity = 16;
+    mutable std::unordered_map<std::uint64_t,
+                               std::vector<VulnerableCell>> rowCache;
+    mutable std::vector<std::uint64_t> rowCacheOrder;
+};
+
+} // namespace rhs::rhmodel
+
+#endif // RHS_RHMODEL_CELL_MODEL_HH

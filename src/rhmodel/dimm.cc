@@ -1,0 +1,113 @@
+#include "rhmodel/dimm.hh"
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace rhs::rhmodel
+{
+
+namespace
+{
+
+dram::ModuleInfo
+makeModuleInfo(const ManufacturerProfile &profile, unsigned module_index,
+               const DimmOptions &options, unsigned chips)
+{
+    dram::ModuleInfo info;
+    info.label = std::string(1, letterOf(profile.mfr)) +
+                 std::to_string(module_index);
+    info.manufacturer = profile.name;
+    info.standard = options.standard;
+    info.chips = chips;
+    info.density = chips == 16 ? "8Gb" : "4Gb";
+    info.dieRevision = "S"; // Simulated die.
+    info.organization = chips == 16 ? "x4" : "x8";
+    info.serial = util::hashTuple(
+        static_cast<std::uint64_t>(letterOf(profile.mfr)), 0xd1aau,
+        module_index, static_cast<std::uint64_t>(options.standard));
+    return info;
+}
+
+} // namespace
+
+SimulatedDimm::SimulatedDimm(Mfr mfr, unsigned module_index,
+                             const DimmOptions &options)
+    : profileRef(options.customProfile ? *options.customProfile
+                                       : profileFor(mfr))
+{
+    const unsigned chips = options.chips != 0
+                               ? options.chips
+                               : defaultChipCount(mfr, options.standard);
+
+    dram::Geometry geometry;
+    geometry.banks = options.banks;
+    geometry.subarraysPerBank = options.subarraysPerBank;
+    geometry.rowsPerSubarray = options.rowsPerSubarray;
+    geometry.columnsPerRow = options.columnsPerRow;
+    geometry.bitsPerColumn = 8;
+
+    const dram::TimingParams timing = options.standard ==
+                                              dram::Standard::DDR4
+                                          ? dram::ddr4_2400()
+                                          : dram::ddr3_1600();
+
+    auto info = makeModuleInfo(profileRef, module_index, options, chips);
+    dimmLabel = info.label;
+
+    dramModule = std::make_unique<dram::Module>(
+        info, geometry, timing, dram::makeMapping(profileRef.mappingScheme));
+    cells = std::make_unique<CellModel>(profileRef, dramModule->info(),
+                                        dramModule->geometry(),
+                                        dramModule->timing());
+    faultInjector = std::make_unique<FaultInjector>(*cells, *dramModule);
+    analyticEngine = std::make_unique<AnalyticEngine>(*cells);
+}
+
+const std::vector<InventoryEntry> &
+paperInventory()
+{
+    static const std::vector<InventoryEntry> inventory = {
+        // DDR4 (Table 4, grouped per manufacturer).
+        {Mfr::A, dram::Standard::DDR4, "MT40A2G4WE-083E:B", "Micron",
+         "MTA18ASF2G72PZ-2G3B1QG", 2400, "1911/1843/1844", "8Gb", "B",
+         "x4", 9, 16},
+        {Mfr::B, dram::Standard::DDR4, "K4A4G085WF-BCTD", "G.SKILL",
+         "F4-2400C17S-8GNT", 2400, "2021 Jan", "4Gb", "F", "x8", 4, 8},
+        {Mfr::C, dram::Standard::DDR4, "DWCW (partial marking)",
+         "G.SKILL", "F4-2400C17S-8GNT", 2400, "2042", "4Gb", "B", "x8",
+         5, 8},
+        {Mfr::D, dram::Standard::DDR4, "D1028AN9CPGRK", "Kingston",
+         "KVR24N17S8/8", 2400, "2046", "8Gb", "C", "x8", 4, 8},
+        // DDR3 SODIMMs.
+        {Mfr::A, dram::Standard::DDR3, "MT41K512M8DA-107:P", "Crucial",
+         "CT51264BF160BJ.M8FP", 1600, "1703", "4Gb", "P", "x8", 1, 8},
+        {Mfr::B, dram::Standard::DDR3, "K4B4G0846Q", "Samsung",
+         "M471B5173QH0-YK0", 1600, "1416", "4Gb", "Q", "x8", 1, 8},
+        {Mfr::C, dram::Standard::DDR3, "H5TC4G83BFR-PBA", "SK Hynix",
+         "HMT451S6BFR8A-PB", 1600, "1535", "4Gb", "B", "x8", 1, 8},
+    };
+    return inventory;
+}
+
+unsigned
+defaultChipCount(Mfr mfr, dram::Standard standard)
+{
+    if (standard == dram::Standard::DDR3)
+        return 8;
+    return mfr == Mfr::A ? 16 : 8; // Mfr. A DDR4 parts are x4 (Table 4).
+}
+
+std::vector<std::unique_ptr<SimulatedDimm>>
+makeFleet(unsigned modules_per_mfr, const DimmOptions &options)
+{
+    RHS_ASSERT(modules_per_mfr > 0);
+    std::vector<std::unique_ptr<SimulatedDimm>> fleet;
+    for (Mfr mfr : allMfrs) {
+        for (unsigned i = 0; i < modules_per_mfr; ++i)
+            fleet.push_back(
+                std::make_unique<SimulatedDimm>(mfr, i, options));
+    }
+    return fleet;
+}
+
+} // namespace rhs::rhmodel

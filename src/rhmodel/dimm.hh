@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A complete simulated DIMM: device model + fault model + injector.
+ *
+ * Also provides the tested-module inventory of Table 4 and a fleet
+ * factory that instantiates the simulated counterparts of the paper's
+ * 21 DDR4 DIMMs and 3 DDR3 SODIMMs.
+ */
+
+#ifndef RHS_RHMODEL_DIMM_HH
+#define RHS_RHMODEL_DIMM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/module.hh"
+#include "rhmodel/analytic.hh"
+#include "rhmodel/cell_model.hh"
+#include "rhmodel/fault_injector.hh"
+#include "rhmodel/mfr.hh"
+
+namespace rhs::rhmodel
+{
+
+/** Construction options for a simulated DIMM. */
+struct DimmOptions
+{
+    dram::Standard standard = dram::Standard::DDR4;
+    unsigned banks = 4;            //!< Banks per chip (tests use bank 0).
+    unsigned subarraysPerBank = 16;
+    unsigned rowsPerSubarray = 512;
+    unsigned columnsPerRow = 1024;
+    unsigned chips = 0; //!< 0 = manufacturer default (Table 4 org).
+
+    //! Override the calibrated manufacturer profile (not owned; must
+    //! outlive the DIMM). Used by the model-ablation studies.
+    const ManufacturerProfile *customProfile = nullptr;
+};
+
+/** One simulated module with its vulnerability model attached. */
+class SimulatedDimm
+{
+  public:
+    /**
+     * @param mfr Manufacturer whose calibrated profile to use.
+     * @param module_index Index within the manufacturer's fleet; the
+     *        (mfr, index) pair seeds all procedural randomness.
+     * @param options Geometry/standard options.
+     */
+    SimulatedDimm(Mfr mfr, unsigned module_index,
+                  const DimmOptions &options = {});
+
+    /** Label such as "A0", "B3". */
+    const std::string &label() const { return dimmLabel; }
+
+    Mfr mfr() const { return profileRef.mfr; }
+    const ManufacturerProfile &profile() const { return profileRef; }
+    dram::Module &module() { return *dramModule; }
+    const dram::Module &module() const { return *dramModule; }
+    CellModel &cellModel() { return *cells; }
+    const CellModel &cellModel() const { return *cells; }
+    FaultInjector &injector() { return *faultInjector; }
+    AnalyticEngine &analytic() { return *analyticEngine; }
+    const AnalyticEngine &analytic() const { return *analyticEngine; }
+
+  private:
+    const ManufacturerProfile &profileRef;
+    std::string dimmLabel;
+    std::unique_ptr<dram::Module> dramModule;
+    std::unique_ptr<CellModel> cells;
+    std::unique_ptr<FaultInjector> faultInjector;
+    std::unique_ptr<AnalyticEngine> analyticEngine;
+};
+
+/** One row of the Table 4 inventory. */
+struct InventoryEntry
+{
+    Mfr mfr;
+    dram::Standard standard;
+    std::string chipIdentifier;
+    std::string moduleVendor;
+    std::string moduleIdentifier;
+    unsigned frequencyMTs;
+    std::string dateCode;
+    std::string density;
+    std::string dieRevision;
+    std::string organization;
+    unsigned modules;
+    unsigned chipsPerModule;
+};
+
+/** The paper's tested-module inventory (Table 4). */
+const std::vector<InventoryEntry> &paperInventory();
+
+/** Chips per module for a manufacturer's DDR4 parts (Table 4 org). */
+unsigned defaultChipCount(Mfr mfr, dram::Standard standard);
+
+/**
+ * Instantiate a fleet of simulated DIMMs.
+ *
+ * @param modules_per_mfr DDR4 modules per manufacturer (the paper has
+ *        9/4/5/4 for A/B/C/D; benches default to fewer for speed).
+ * @param options Geometry options shared by the fleet.
+ */
+std::vector<std::unique_ptr<SimulatedDimm>>
+makeFleet(unsigned modules_per_mfr, const DimmOptions &options = {});
+
+} // namespace rhs::rhmodel
+
+#endif // RHS_RHMODEL_DIMM_HH

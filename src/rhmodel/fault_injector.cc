@@ -1,0 +1,143 @@
+#include "rhmodel/fault_injector.hh"
+
+#include "util/logging.hh"
+
+namespace rhs::rhmodel
+{
+
+FaultInjector::FaultInjector(const CellModel &model, dram::Module &module)
+    : model(model), module(module)
+{
+    module.addListener(this);
+}
+
+void
+FaultInjector::beginTest()
+{
+    victims.clear();
+    flipCount = 0;
+}
+
+std::vector<FaultInjector::CellState> &
+FaultInjector::victimCells(unsigned bank, unsigned row)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(bank) << 32) | row;
+    auto it = victims.find(key);
+    if (it == victims.end()) {
+        std::vector<CellState> states;
+        for (auto &cell : model.cellsOfRow(bank, row)) {
+            CellState state;
+            state.cell = cell;
+            states.push_back(state);
+        }
+        it = victims.emplace(key, std::move(states)).first;
+    }
+    return it->second;
+}
+
+void
+FaultInjector::refreshRow(unsigned bank, unsigned physical_row)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(bank) << 32) | physical_row;
+    auto it = victims.find(key);
+    if (it == victims.end())
+        return;
+    for (auto &state : it->second)
+        state.damage = 0.0;
+}
+
+void
+FaultInjector::refreshAllRows()
+{
+    for (auto &[key, states] : victims) {
+        (void)key;
+        for (auto &state : states)
+            state.damage = 0.0;
+    }
+}
+
+void
+FaultInjector::onActivation(const dram::ActivationRecord &record)
+{
+    // Activating a row restores the charge of its own cells (an
+    // activation is a refresh), so an aggressor accumulates no
+    // disturbance itself.
+    refreshRow(record.bank, record.physicalRow);
+
+    const unsigned rows = module.geometry().rowsPerBank();
+    for (int delta : {-2, -1, 1, 2}) {
+        const long victim =
+            static_cast<long>(record.physicalRow) + delta;
+        if (victim < 0 || victim >= static_cast<long>(rows))
+            continue;
+        accumulate(record.bank, static_cast<unsigned>(victim),
+                   static_cast<unsigned>(std::abs(delta)), record);
+    }
+}
+
+void
+FaultInjector::accumulate(unsigned bank, unsigned victim_row,
+                          unsigned distance,
+                          const dram::ActivationRecord &record)
+{
+    const double dist_factor = model.distanceFactor(distance);
+    if (dist_factor == 0.0)
+        return;
+
+    Conditions conditions;
+    conditions.temperature = temperature;
+    conditions.tAggOn = record.onTime;
+    conditions.tAggOff = record.offTime;
+    const double env_factor = model.timingFactor(conditions);
+
+    for (auto &state : victimCells(bank, victim_row)) {
+        if (state.resolved)
+            continue;
+
+        if (state.tempFactor < 0.0) {
+            state.tempFactor =
+                model.temperatureFactor(state.cell, temperature);
+        }
+        auto data_it =
+            state.dataFactorByAggressor.find(record.physicalRow);
+        if (data_it == state.dataFactorByAggressor.end()) {
+            const std::uint8_t aggr_byte =
+                module.chip(state.cell.loc.chip)
+                    .readByte(bank, record.physicalRow,
+                              state.cell.loc.column);
+            data_it = state.dataFactorByAggressor
+                          .emplace(record.physicalRow,
+                                   model.dataFactor(state.cell,
+                                                    aggr_byte))
+                          .first;
+        }
+        state.damage +=
+            dist_factor * env_factor * state.tempFactor * data_it->second;
+
+        if (!state.thresholdKnown) {
+            state.noisyThreshold =
+                state.cell.threshold *
+                model.trialNoise(state.cell, trial, temperature);
+            state.thresholdKnown = true;
+        }
+
+        if (state.damage + 1e-12 >= state.noisyThreshold) {
+            // Threshold crossed: the flip manifests only if the stored
+            // bit currently holds the cell's charged value.
+            const std::uint8_t victim_byte =
+                module.chip(state.cell.loc.chip)
+                    .readByte(bank, victim_row, state.cell.loc.column);
+            const bool stored =
+                (victim_byte >> state.cell.loc.bit) & 1;
+            if (stored == state.cell.chargedValue) {
+                module.flipBit(state.cell.loc);
+                ++flipCount;
+            }
+            state.resolved = true;
+        }
+    }
+}
+
+} // namespace rhs::rhmodel

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cycle-accurate RowHammer fault injection.
+ *
+ * Subscribes to the module's activation stream and accumulates
+ * disturbance damage into the vulnerable cells of the rows neighbouring
+ * each activated row, using the *measured* per-activation on/off times
+ * (so a SoftMC program that stretches tAggOn with extra reads damages
+ * victims more, exactly as in §6). When a cell's accumulated damage
+ * crosses its noisy threshold and the stored victim bit holds the
+ * cell's charged value, the bit flips in the module's data store.
+ */
+
+#ifndef RHS_RHMODEL_FAULT_INJECTOR_HH
+#define RHS_RHMODEL_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/module.hh"
+#include "rhmodel/cell_model.hh"
+
+namespace rhs::rhmodel
+{
+
+/** Applies RowHammer bit flips to a module as commands execute. */
+class FaultInjector : public dram::ActivationListener
+{
+  public:
+    /**
+     * @param model Cell model (not owned).
+     * @param module Module whose data the flips corrupt (not owned).
+     *        The injector registers itself as an activation listener.
+     */
+    FaultInjector(const CellModel &model, dram::Module &module);
+
+    /** Set the DRAM chip temperature for subsequent activations. */
+    void setTemperature(double celsius) { temperature = celsius; }
+
+    /** Set the repetition index (selects the trial-noise stream). */
+    void setTrial(unsigned trial_index) { trial = trial_index; }
+
+    /**
+     * Begin a fresh test: clears accumulated damage and flip state.
+     * Call after installing the data pattern and before hammering.
+     */
+    void beginTest();
+
+    /** Number of flips applied since beginTest(). */
+    unsigned flipsApplied() const { return flipCount; }
+
+    /**
+     * Refresh a physical row: restores the charge of its cells,
+     * clearing accumulated disturbance (what a defense's victim
+     * refresh achieves). Already-flipped bits stay flipped — refresh
+     * rewrites whatever value the cell currently holds.
+     */
+    void refreshRow(unsigned bank, unsigned physical_row);
+
+    /**
+     * Refresh every tracked row: what a full auto-refresh cycle
+     * achieves. Clears all accumulated disturbance (already-flipped
+     * bits stay flipped).
+     */
+    void refreshAllRows();
+
+    void onActivation(const dram::ActivationRecord &record) override;
+
+  private:
+    struct CellState
+    {
+        VulnerableCell cell;
+        double damage = 0.0;
+        double noisyThreshold = 0.0;
+        bool thresholdKnown = false;
+        bool resolved = false; //!< Flipped, or suppressed by data value.
+
+        //! Memo of temperatureFactor (constant within a test).
+        double tempFactor = -1.0;
+        //! Memo of dataFactor per aggressor row (the aggressor's
+        //! stored byte is constant within a test).
+        std::unordered_map<unsigned, double> dataFactorByAggressor;
+    };
+
+    std::vector<CellState> &victimCells(unsigned bank, unsigned row);
+    void accumulate(unsigned bank, unsigned victim_row, unsigned distance,
+                    const dram::ActivationRecord &record);
+
+    const CellModel &model;
+    dram::Module &module;
+    double temperature = 50.0;
+    unsigned trial = 0;
+    unsigned flipCount = 0;
+    std::unordered_map<std::uint64_t, std::vector<CellState>> victims;
+};
+
+} // namespace rhs::rhmodel
+
+#endif // RHS_RHMODEL_FAULT_INJECTOR_HH

@@ -1,0 +1,26 @@
+#include "rhmodel/mfr.hh"
+
+#include "util/logging.hh"
+
+namespace rhs::rhmodel
+{
+
+std::string
+to_string(Mfr mfr)
+{
+    return std::string("Mfr. ") + letterOf(mfr);
+}
+
+char
+letterOf(Mfr mfr)
+{
+    switch (mfr) {
+      case Mfr::A: return 'A';
+      case Mfr::B: return 'B';
+      case Mfr::C: return 'C';
+      case Mfr::D: return 'D';
+    }
+    RHS_PANIC("unhandled manufacturer");
+}
+
+} // namespace rhs::rhmodel

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Manufacturer identifiers for the four anonymized vendors of the paper.
+ */
+
+#ifndef RHS_RHMODEL_MFR_HH
+#define RHS_RHMODEL_MFR_HH
+
+#include <array>
+#include <string>
+
+namespace rhs::rhmodel
+{
+
+/** The four DRAM manufacturers characterized in the paper (Table 4). */
+enum class Mfr { A, B, C, D };
+
+/** All manufacturers, for iteration. */
+inline constexpr std::array<Mfr, 4> allMfrs{Mfr::A, Mfr::B, Mfr::C, Mfr::D};
+
+/** Short name, e.g. "Mfr. A". */
+std::string to_string(Mfr mfr);
+
+/** Single letter, e.g. "A". */
+char letterOf(Mfr mfr);
+
+} // namespace rhs::rhmodel
+
+#endif // RHS_RHMODEL_MFR_HH

@@ -1,0 +1,51 @@
+#include "rhmodel/pattern.hh"
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace rhs::rhmodel
+{
+
+std::string
+to_string(PatternId id)
+{
+    switch (id) {
+      case PatternId::ColStripe: return "colstripe";
+      case PatternId::ColStripeInv: return "colstripe-inv";
+      case PatternId::Checkered: return "checkered";
+      case PatternId::CheckeredInv: return "checkered-inv";
+      case PatternId::RowStripe: return "rowstripe";
+      case PatternId::RowStripeInv: return "rowstripe-inv";
+      case PatternId::Random: return "random";
+    }
+    return "?";
+}
+
+std::uint8_t
+DataPattern::byteAt(unsigned physical_row, unsigned victim_row,
+                    unsigned column) const
+{
+    // Parity relative to the victim: 0 for V and V±even, 1 for V±odd.
+    const unsigned rel_parity = (physical_row ^ victim_row) & 1u;
+
+    switch (patternId) {
+      case PatternId::ColStripe:
+        return 0x55;
+      case PatternId::ColStripeInv:
+        return 0xaa;
+      case PatternId::Checkered:
+        return rel_parity ? 0xaa : 0x55;
+      case PatternId::CheckeredInv:
+        return rel_parity ? 0x55 : 0xaa;
+      case PatternId::RowStripe:
+        return rel_parity ? 0xff : 0x00;
+      case PatternId::RowStripeInv:
+        return rel_parity ? 0x00 : 0xff;
+      case PatternId::Random:
+        return static_cast<std::uint8_t>(
+            util::hashTuple(seed, physical_row, column) & 0xff);
+    }
+    RHS_PANIC("unhandled pattern id");
+}
+
+} // namespace rhs::rhmodel

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Data patterns of Table 1 in the paper.
+ *
+ * A RowHammer test writes a pattern to the victim row V and its
+ * physically-adjacent rows V±[1..8]. Rows with the same address parity
+ * as V receive one byte, the rows of opposite parity another:
+ *
+ *   pattern     V±even   V±odd
+ *   colstripe   0x55     0x55     (+ complement)
+ *   checkered   0x55     0xaa     (+ complement)
+ *   rowstripe   0x00     0xff     (+ complement)
+ *   random      per-cell pseudorandom
+ *
+ * The worst-case data pattern (WCDP) of a module is the one producing
+ * the most bit flips (§4.2); core::findWorstCasePattern measures it.
+ */
+
+#ifndef RHS_RHMODEL_PATTERN_HH
+#define RHS_RHMODEL_PATTERN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rhs::rhmodel
+{
+
+/** The seven patterns of Table 1. */
+enum class PatternId : std::uint8_t
+{
+    ColStripe,
+    ColStripeInv,
+    Checkered,
+    CheckeredInv,
+    RowStripe,
+    RowStripeInv,
+    Random,
+};
+
+/** All patterns, for WCDP scans. */
+inline constexpr std::array<PatternId, 7> allPatterns{
+    PatternId::ColStripe, PatternId::ColStripeInv, PatternId::Checkered,
+    PatternId::CheckeredInv, PatternId::RowStripe, PatternId::RowStripeInv,
+    PatternId::Random,
+};
+
+/** Pattern name for reports. */
+std::string to_string(PatternId id);
+
+/** A concrete data pattern instance (Random carries a seed). */
+class DataPattern
+{
+  public:
+    /**
+     * @param id Which Table 1 pattern.
+     * @param seed Seed for the Random pattern (ignored otherwise).
+     */
+    explicit DataPattern(PatternId id, std::uint64_t seed = 0)
+        : patternId(id), seed(seed)
+    {
+    }
+
+    PatternId id() const { return patternId; }
+
+    /**
+     * The byte this pattern stores at (physical row, column), for a
+     * test whose victim is victim_row (parity is relative to the
+     * victim's address, per Table 1).
+     */
+    std::uint8_t byteAt(unsigned physical_row, unsigned victim_row,
+                        unsigned column) const;
+
+    /** The stored value of one bit under this pattern. */
+    bool
+    bitAt(unsigned physical_row, unsigned victim_row, unsigned column,
+          unsigned bit) const
+    {
+        return (byteAt(physical_row, victim_row, column) >> bit) & 1;
+    }
+
+  private:
+    PatternId patternId;
+    std::uint64_t seed;
+};
+
+} // namespace rhs::rhmodel
+
+#endif // RHS_RHMODEL_PATTERN_HH

@@ -1,0 +1,253 @@
+#include "rhmodel/profile.hh"
+
+#include <cmath>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace rhs::rhmodel
+{
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+namespace
+{
+
+/**
+ * Solve z from phi(z + delta) = ratio * phi(z). The left/right ratio is
+ * continuous and strictly decreasing in z (from +inf to 1 for
+ * delta > 0), so bisection applies.
+ */
+double
+solveZ(double delta, double ratio)
+{
+    RHS_ASSERT(delta > 0.0 && ratio > 1.0, "invalid z-solve inputs");
+    double lo = -12.0, hi = 8.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double r = normalCdf(mid + delta) / normalCdf(mid);
+        if (r > ratio)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+/**
+ * Solve (cellSigma, zBase) from the two BER amplification targets.
+ * For each candidate sigma, z is pinned by the on-time ratio; the
+ * off-time ratio then monotonically decreases with sigma, so a second
+ * bisection (with clamping when the target is outside the reachable
+ * band) finds sigma.
+ */
+void
+solveBerShape(double d_on, double d_off, double ratio_on, double ratio_off,
+              double sigma_cap, double &sigma_out, double &z_out)
+{
+    auto off_ratio_at = [&](double sigma) {
+        const double z = solveZ(d_on / sigma, ratio_on);
+        return normalCdf(z) / normalCdf(z + d_off / sigma);
+    };
+
+    double lo = 0.10, hi = sigma_cap;
+    if (off_ratio_at(hi) >= ratio_off) {
+        sigma_out = hi; // Target unreachable within the cap; take cap.
+    } else if (off_ratio_at(lo) <= ratio_off) {
+        sigma_out = lo;
+    } else {
+        for (int i = 0; i < 100; ++i) {
+            const double mid = 0.5 * (lo + hi);
+            if (off_ratio_at(mid) > ratio_off)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        sigma_out = 0.5 * (lo + hi);
+    }
+    z_out = solveZ(d_on / sigma_out, ratio_on);
+}
+
+} // namespace
+
+void
+ManufacturerProfile::finalize(double t_ras, double t_rp, double t_on_max,
+                              double t_off_max, double ber_hammers)
+{
+    RHS_ASSERT(targets.hcOnReduction > 0.0 && targets.hcOnReduction < 1.0);
+    RHS_ASSERT(targets.hcOffIncrease > 0.0);
+    RHS_ASSERT(targets.berOnRatio > 1.0 && targets.berOffRatio > 1.0);
+
+    // --- Timing response: exact solve from the HCfirst endpoints. ---
+    // HCfirst scales as 1/damage, so the damage multipliers at the
+    // sweep endpoints are fixed by the paper's percentages.
+    const double d_on_target = 1.0 / (1.0 - targets.hcOnReduction);
+    const double d_off_target = 1.0 / (1.0 + targets.hcOffIncrease);
+    const double g_off_max = t_rp / t_off_max;
+
+    wCouple = (1.0 - d_off_target) / (1.0 - g_off_max);
+    RHS_ASSERT(wCouple > 0.0 && wCouple < 1.0,
+               "coupling weight out of range: ", wCouple);
+
+    const double g_on_max = (d_on_target - wCouple) / (1.0 - wCouple);
+    kOn = (g_on_max - 1.0) / ((t_on_max - t_ras) / t_ras);
+    RHS_ASSERT(kOn > 0.0, "on-time slope must be positive");
+
+    // --- Threshold-distribution shape from the BER ratios. ---
+    // Caps keep the absolute HCfirst level in the paper's range when
+    // the two ratio targets are not exactly consistent with a single
+    // log-normal (the solver then matches the on-time ratio exactly
+    // and gets as close as possible on the off-time ratio).
+    const double on_ratio = solveBerOnRatio > 0.0 ? solveBerOnRatio
+                                                  : targets.berOnRatio;
+    const double off_ratio = solveBerOffRatio > 0.0 ? solveBerOffRatio
+                                                    : targets.berOffRatio;
+    solveBerShape(std::log(d_on_target), std::log(d_off_target), on_ratio,
+                  off_ratio, sigmaCap, cellSigma, zBase);
+
+    // Position the distribution so that a ber_hammers-hammer test at
+    // reference conditions sits at zBase.
+    hcMedianLog = std::log(ber_hammers) - zBase * cellSigma;
+
+    // --- Sanity on the temperature mixture. ---
+    double total = 0.0;
+    for (const auto &comp : tempMixture) {
+        RHS_ASSERT(comp.fraction > 0.0 && comp.widthMax >= comp.widthMin);
+        total += comp.fraction;
+    }
+    RHS_ASSERT(std::abs(total - 1.0) < 1e-6,
+               "temperature mixture fractions must sum to 1, got ", total);
+}
+
+namespace
+{
+
+ManufacturerProfile
+makeProfileA()
+{
+    ManufacturerProfile p;
+    p.mfr = Mfr::A;
+    p.name = "Mfr. A";
+    p.mappingScheme = "xor";
+    p.targets = {0.400, 0.338, 10.2, 6.3}; // Obsvs. 8 and 10.
+    p.solveBerOnRatio = 400.0;
+    p.solveBerOffRatio = 200.0;
+    p.tempMixture = {
+        {0.565, 38.0, 6.0, 24.0, 36.0, 1.0, 0.0},
+        {0.33, 100.0, 12.0, 60.0, 75.0, 0.8, 0.0},
+        {0.08, 70.0, 10.0, 120.0, 200.0, 0.9, 0.0},
+        {0.025, 97.0, 3.0, 36.0, 40.0, 0.25, -0.12},
+    };
+    p.cellsPerRowMean = 400.0;
+    p.rowSigma = 0.16;
+    p.subarraySigma = 0.10;
+    p.moduleSigma = 0.22;
+    p.designMix = 0.2;
+    p.designDeadFraction = 0.0;
+    p.processDeadFraction = 0.28;
+    p.columnSigma = 1.0;
+    p.finalize();
+    return p;
+}
+
+ManufacturerProfile
+makeProfileB()
+{
+    ManufacturerProfile p;
+    p.mfr = Mfr::B;
+    p.name = "Mfr. B";
+    p.mappingScheme = "identity";
+    p.targets = {0.283, 0.247, 3.1, 2.9};
+    p.solveBerOnRatio = 2.7;
+    p.solveBerOffRatio = 3.2;
+    p.tempMixture = {
+        {0.60, 35.0, 10.0, 38.0, 55.0, 1.0, 0.0},
+        {0.396, 78.0, 8.0, 50.0, 70.0, 0.7, 0.0},
+        {0.004, 95.0, 3.0, 36.0, 40.0, 0.25, 0.25},
+    };
+    p.cellsPerRowMean = 300.0;
+    p.rowSigma = 0.15;
+    p.subarraySigma = 0.09;
+    p.moduleSigma = 0.28;
+    p.designMix = 0.85;
+    p.designDeadFraction = 0.0;
+    p.processDeadFraction = 0.0;
+    p.columnSigma = 0.8;
+    p.finalize();
+    return p;
+}
+
+ManufacturerProfile
+makeProfileC()
+{
+    ManufacturerProfile p;
+    p.mfr = Mfr::C;
+    p.name = "Mfr. C";
+    p.mappingScheme = "msb-pair";
+    p.targets = {0.327, 0.501, 4.4, 4.9};
+    p.solveBerOnRatio = 4.6;
+    p.sigmaCap = 0.50;
+    p.tempMixture = {
+        {0.612, 42.0, 8.0, 30.0, 48.0, 1.0, 0.0},
+        {0.38, 95.0, 12.0, 48.0, 62.0, 0.7, 0.0},
+        {0.008, 97.0, 3.0, 36.0, 40.0, 0.25, -0.25},
+    };
+    p.cellsPerRowMean = 400.0;
+    p.rowSigma = 0.17;
+    p.subarraySigma = 0.11;
+    p.moduleSigma = 0.35;
+    p.designMix = 0.5;
+    p.designDeadFraction = 0.20;
+    p.processDeadFraction = 0.12;
+    p.columnSigma = 0.9;
+    p.finalize();
+    return p;
+}
+
+ManufacturerProfile
+makeProfileD()
+{
+    ManufacturerProfile p;
+    p.mfr = Mfr::D;
+    p.name = "Mfr. D";
+    p.mappingScheme = "xor";
+    p.targets = {0.373, 0.337, 9.6, 5.0};
+    p.solveBerOnRatio = 14.0;
+    p.solveBerOffRatio = 10.0;
+    p.tempMixture = {
+        {0.375, 45.0, 8.0, 28.0, 40.0, 1.0, 0.0},
+        {0.335, 130.0, 15.0, 70.0, 95.0, 0.7, 0.0},
+        {0.28, 70.0, 10.0, 150.0, 250.0, 1.05, 0.0},
+        {0.01, 100.0, 3.0, 38.0, 42.0, 0.25, -0.08},
+    };
+    p.cellsPerRowMean = 420.0;
+    p.rowSigma = 0.12;
+    p.subarraySigma = 0.07;
+    p.moduleSigma = 0.04;
+    p.designMix = 0.3;
+    p.designDeadFraction = 0.02;
+    p.processDeadFraction = 0.08;
+    p.columnSigma = 0.9;
+    p.finalize();
+    return p;
+}
+
+} // namespace
+
+const ManufacturerProfile &
+profileFor(Mfr mfr)
+{
+    static const std::map<Mfr, ManufacturerProfile> profiles = {
+        {Mfr::A, makeProfileA()},
+        {Mfr::B, makeProfileB()},
+        {Mfr::C, makeProfileC()},
+        {Mfr::D, makeProfileD()},
+    };
+    return profiles.at(mfr);
+}
+
+} // namespace rhs::rhmodel

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Per-manufacturer RowHammer vulnerability profiles.
+ *
+ * A profile is calibrated to the paper's published per-manufacturer
+ * results and *derives* the internal model constants from them:
+ *
+ *  - The aggressor-timing response (coupling weight wCouple and on-time
+ *    slope kOn) is solved from the paper's HCfirst shifts at the sweep
+ *    endpoints (Obsv. 8/10: e.g. Mfr. A: HCfirst -40.0% at
+ *    tAggOn = 154.5 ns, +33.8% at tAggOff = 40.5 ns).
+ *  - The per-cell log-threshold dispersion (cellSigma) and the position
+ *    of the 150K-hammer BER operating point (zBase) are solved from the
+ *    paper's BER amplification factors (Obsv. 8/10: e.g. Mfr. A:
+ *    BER x10.2 at max on-time, /6.3 at max off-time) by inverting the
+ *    log-normal tail ratios.
+ *
+ * The damage model (see CellModel) is
+ *
+ *   damage/hammer = [(1-wCouple)*gOn(tOn) + wCouple*gOff(tOff)]
+ *                   * H(T; cell) * distanceFactor * dataFactor
+ *
+ * with gOn(t) = 1 + kOn*(t-tRAS)/tRAS, gOff(t) = tRP/t, and H a
+ * unimodal response around the cell's temperature inflection point,
+ * normalized to 1 at the 50 degC reference (so a cell's threshold *is*
+ * its HCfirst at reference conditions).
+ */
+
+#ifndef RHS_RHMODEL_PROFILE_HH
+#define RHS_RHMODEL_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "rhmodel/mfr.hh"
+
+namespace rhs::rhmodel
+{
+
+/** Published endpoint numbers the timing/BER response is derived from. */
+struct CalibrationTargets
+{
+    double hcOnReduction;  //!< HCfirst drop at tAggOn=154.5ns (0.400 = 40%).
+    double hcOffIncrease;  //!< HCfirst rise at tAggOff=40.5ns (0.338 = 33.8%).
+    double berOnRatio;     //!< BER multiplier at max on-time (10.2).
+    double berOffRatio;    //!< BER divisor at max off-time (6.3).
+};
+
+/**
+ * One component of the temperature-inflection-point mixture. The
+ * diversity of (T_inf, width) across cells produces the bounded
+ * per-cell vulnerable temperature ranges of Obsvs. 1-3 and the
+ * manufacturer-dependent BER trends of Obsv. 4.
+ */
+struct TempComponent
+{
+    double fraction;   //!< Mixture weight.
+    double tinfMean;   //!< Mean inflection temperature (degC).
+    double tinfSigma;  //!< Std-dev of the inflection temperature.
+    double widthMin;   //!< Min response width (degC).
+    double widthMax;   //!< Max response width (degC).
+    //! Scale on cellSigma for this component's thresholds. A scale
+    //! below 1 thins the component's deep tail, so a bank row's
+    //! minimum-HCfirst cell is usually a reference-temperature cell,
+    //! and the *governing* cell can switch as temperature rises --
+    //! the mechanism behind the mixed HCfirst shifts of Obsv. 5.
+    double sigmaScale = 1.0;
+    //! Additive shift on the component's median log-threshold. A
+    //! positive shift with a small sigmaScale builds a "booster"
+    //! population: cells far above the threshold at 50 degC that drop
+    //! into reach only when their temperature response peaks, raising
+    //! hot-temperature BER without dominating row minima.
+    double logMedianShift = 0.0;
+};
+
+/** Full per-manufacturer model parameterization. */
+struct ManufacturerProfile
+{
+    Mfr mfr = Mfr::A;
+    std::string name;          //!< "Mfr. A".
+    std::string mappingScheme; //!< Row remapping ("identity", ...).
+
+    CalibrationTargets targets{};
+
+    //! BER-ratio targets handed to the shape solver. The measured
+    //! module-level ratios come out *below* the per-cell solve targets
+    //! because row/subarray variation flattens the log-normal tail, so
+    //! these are set above `targets` such that the measured ratios land
+    //! on the published numbers (0 = use `targets` unmodified).
+    double solveBerOnRatio = 0.0;
+    double solveBerOffRatio = 0.0;
+
+    //! Upper bound on cellSigma given to the shape solver; keeps the
+    //! absolute HCfirst level in the paper's range when the two ratio
+    //! targets cannot be met simultaneously by one log-normal.
+    double sigmaCap = 0.65;
+
+    //! Temperature inflection mixture (fractions sum to 1).
+    std::vector<TempComponent> tempMixture;
+
+    // --- Cell population -------------------------------------------------
+    double cellsPerRowMean = 240.0; //!< Mean vulnerable cells per row.
+    double rowSigma = 0.16;      //!< Log-sigma of the per-row factor.
+    double weakRowFraction = 0.05; //!< Fraction of extra-weak rows.
+    double weakRowFactor = 0.55; //!< Threshold multiplier for weak rows.
+    double subarraySigma = 0.10; //!< Log-sigma of the subarray factor.
+    double moduleSigma = 0.12;   //!< Log-sigma of the module factor.
+
+    // --- Column placement (Fig. 12/13) -----------------------------------
+    double designMix = 0.5;      //!< Weight of design-induced variation.
+    double designDeadFraction = 0.0;  //!< Columns dead by design.
+    double processDeadFraction = 0.0; //!< Columns dead per chip (process).
+    double columnSigma = 0.9;    //!< Log-sigma of column weights.
+
+    // --- Noise ------------------------------------------------------------
+    double trialNoiseSigma = 0.012; //!< Per-trial threshold noise (log).
+
+    // --- Blast radius -----------------------------------------------------
+    double distance1Damage = 0.5;   //!< Damage per ACT at distance 1.
+    double distance2Damage = 0.075; //!< Damage per ACT at distance 2.
+
+    // --- Data-pattern coupling --------------------------------------------
+    double dataFactorBase = 0.7; //!< Floor of the data-dependent factor.
+
+    // --- Derived by finalize() --------------------------------------------
+    double wCouple = 0.0;    //!< Cross-talk (off-time) damage weight.
+    double kOn = 0.0;        //!< On-time damage slope.
+    double cellSigma = 0.45; //!< Log-sigma of per-cell thresholds.
+    double zBase = -2.2;     //!< z of the 150K BER point at reference.
+    double hcMedianLog = 0;  //!< Mean log-threshold (from zBase).
+
+    /**
+     * Solve the derived constants from the calibration targets.
+     *
+     * @param t_ras Baseline on-time (ns).
+     * @param t_rp Baseline off-time (ns).
+     * @param t_on_max Sweep-endpoint on-time (154.5 ns).
+     * @param t_off_max Sweep-endpoint off-time (40.5 ns).
+     * @param ber_hammers BER test hammer count the z-point refers to.
+     */
+    void finalize(double t_ras = 34.5, double t_rp = 16.5,
+                  double t_on_max = 154.5, double t_off_max = 40.5,
+                  double ber_hammers = 150e3);
+};
+
+/** Calibrated profile for one manufacturer. */
+const ManufacturerProfile &profileFor(Mfr mfr);
+
+/** Standard normal CDF (exposed for tests). */
+double normalCdf(double z);
+
+} // namespace rhs::rhmodel
+
+#endif // RHS_RHMODEL_PROFILE_HH

@@ -1,0 +1,128 @@
+#include "rhmodel/retention.hh"
+
+#include <cmath>
+
+#include "rhmodel/profile.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace rhs::rhmodel
+{
+
+namespace
+{
+
+enum : std::uint64_t
+{
+    SaltRetention = 0x9009,
+    SaltRetentionBulk = 0x900A,
+};
+
+} // namespace
+
+RetentionModel::RetentionModel(std::uint64_t serial,
+                               const dram::Geometry &geometry,
+                               unsigned chips,
+                               const RetentionParams &params)
+    : serial(serial), geometry(geometry), chips(chips), params(params)
+{
+    RHS_ASSERT(chips > 0);
+}
+
+double
+RetentionModel::temperatureDerating(double temperature) const
+{
+    // Retention shortens exponentially with temperature (leakage
+    // roughly doubles every ~10 degC).
+    return std::exp(-params.temperatureSlopePerDegC *
+                    (temperature - 50.0));
+}
+
+double
+RetentionModel::retentionMsAt50C(const dram::CellLocation &location) const
+{
+    const auto seed =
+        util::hashTuple(serial, SaltRetention, location.chip,
+                        location.bank, location.row, location.column,
+                        location.bit);
+    util::Rng rng(seed);
+    if (rng.uniform() < params.weakFraction)
+        return rng.uniform(params.weakMinMs, params.weakMaxMs);
+    return std::exp(std::log(params.medianMs) +
+                    params.sigma * rng.gaussian());
+}
+
+std::vector<RetentionFailure>
+RetentionModel::failuresInRow(unsigned bank, unsigned physical_row,
+                              double elapsed_ms,
+                              double temperature) const
+{
+    std::vector<RetentionFailure> failures;
+    const double derate = temperatureDerating(temperature);
+
+    // Weak-tail cells, sampled procedurally per row (checking all
+    // bit positions individually would dominate the cost for a tail
+    // this sparse).
+    const double positions = static_cast<double>(chips) *
+                             geometry.bitsPerRow();
+    const auto row_seed = util::hashTuple(serial, SaltRetention, bank,
+                                          physical_row);
+    util::Rng rng(row_seed);
+    const unsigned weak_count =
+        rng.poisson(positions * params.weakFraction);
+    for (unsigned i = 0; i < weak_count; ++i) {
+        RetentionFailure failure;
+        failure.location.chip =
+            static_cast<unsigned>(rng.uniformInt(chips));
+        failure.location.bank = bank;
+        failure.location.row = physical_row;
+        failure.location.column = static_cast<unsigned>(
+            rng.uniformInt(geometry.columnsPerRow));
+        failure.location.bit = static_cast<unsigned>(
+            rng.uniformInt(geometry.bitsPerColumn));
+        failure.retentionMs =
+            rng.uniform(params.weakMinMs, params.weakMaxMs) * derate;
+        if (failure.retentionMs <= elapsed_ms)
+            failures.push_back(failure);
+    }
+
+    // Bulk population: only relevant for very long refresh-free
+    // intervals. Expected failure count via the log-normal CDF.
+    const double effective = elapsed_ms / derate;
+    if (effective > params.weakMaxMs) {
+        const double z = (std::log(effective) -
+                          std::log(params.medianMs)) /
+                         params.sigma;
+        const double bulk_fraction = normalCdf(z);
+        util::Rng bulk_rng(util::hashTuple(serial, SaltRetentionBulk,
+                                           bank, physical_row));
+        const unsigned bulk_count =
+            bulk_rng.poisson(positions * bulk_fraction);
+        for (unsigned i = 0; i < bulk_count; ++i) {
+            RetentionFailure failure;
+            failure.location.chip =
+                static_cast<unsigned>(bulk_rng.uniformInt(chips));
+            failure.location.bank = bank;
+            failure.location.row = physical_row;
+            failure.location.column = static_cast<unsigned>(
+                bulk_rng.uniformInt(geometry.columnsPerRow));
+            failure.location.bit = static_cast<unsigned>(
+                bulk_rng.uniformInt(geometry.bitsPerColumn));
+            failure.retentionMs = effective * derate;
+            failures.push_back(failure);
+        }
+    }
+    return failures;
+}
+
+bool
+RetentionModel::testIsRetentionSafe(unsigned bank, unsigned physical_row,
+                                    double elapsed_ms,
+                                    double temperature) const
+{
+    return failuresInRow(bank, physical_row, elapsed_ms, temperature)
+        .empty();
+}
+
+} // namespace rhs::rhmodel

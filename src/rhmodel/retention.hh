@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DRAM retention-error model.
+ *
+ * §4.2: "we ensure that all RowHammer tests are conducted within a
+ * relatively short period of time such that we do not observe
+ * retention errors". With refresh disabled, cells leak; the weakest
+ * cells lose their data within a few refresh windows. This model
+ * makes that methodological constraint *checkable*: a test that runs
+ * longer than the weakest touched cell's retention time gets
+ * contaminated by flips that have nothing to do with hammering.
+ */
+
+#ifndef RHS_RHMODEL_RETENTION_HH
+#define RHS_RHMODEL_RETENTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/organization.hh"
+#include "dram/timing.hh"
+
+namespace rhs::rhmodel
+{
+
+/** Parameters of the retention-time population. */
+struct RetentionParams
+{
+    //! Median retention time (ms). Real chips retain for tens of
+    //! seconds at 50 degC; only the tail approaches the refresh
+    //! window.
+    double medianMs = 30'000.0;
+    //! Log-sigma of the retention-time distribution.
+    double sigma = 0.8;
+    //! Fraction of cells in the weak tail.
+    double weakFraction = 1e-5;
+    //! Weak-tail retention times (ms) at 50 degC. Chosen so that the
+    //! paper's 64 ms test budget is retention-safe across the whole
+    //! 50-90 degC range, as the paper observed, while refresh-free
+    //! intervals of seconds are visibly contaminated.
+    double weakMinMs = 1'024.0;
+    double weakMaxMs = 8'192.0;
+    //! Retention shortens ~2x per ~12.6 degC above the reference.
+    double temperatureSlopePerDegC = 0.055;
+};
+
+/** A cell that lost its charge during a refresh-free interval. */
+struct RetentionFailure
+{
+    dram::CellLocation location;
+    double retentionMs = 0.0;
+};
+
+/** Procedural per-cell retention times over a module. */
+class RetentionModel
+{
+  public:
+    /**
+     * @param serial Module serial (seeds the population).
+     * @param geometry Chip geometry.
+     * @param chips Chips on the module.
+     * @param params Distribution parameters.
+     */
+    RetentionModel(std::uint64_t serial, const dram::Geometry &geometry,
+                   unsigned chips, const RetentionParams &params = {});
+
+    /**
+     * Cells of a physical row whose retention time at `temperature`
+     * is below `elapsed_ms` — the retention failures a refresh-free
+     * test of that duration would observe.
+     */
+    std::vector<RetentionFailure>
+    failuresInRow(unsigned bank, unsigned physical_row, double elapsed_ms,
+                  double temperature) const;
+
+    /**
+     * True when a test of the given duration is retention-safe for a
+     * row at a temperature (the §4.2 precondition; the paper caps
+     * HCfirst tests at 512K hammers ≈ 52 ms for this reason).
+     */
+    bool testIsRetentionSafe(unsigned bank, unsigned physical_row,
+                             double elapsed_ms, double temperature) const;
+
+    /** Retention time (ms) of one cell position at 50 degC. */
+    double retentionMsAt50C(const dram::CellLocation &location) const;
+
+    /** Temperature derating factor (1.0 at 50 degC, < 1 above). */
+    double temperatureDerating(double temperature) const;
+
+  private:
+    std::uint64_t serial;
+    const dram::Geometry &geometry;
+    unsigned chips;
+    RetentionParams params;
+};
+
+} // namespace rhs::rhmodel
+
+#endif // RHS_RHMODEL_RETENTION_HH

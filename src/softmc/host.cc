@@ -1,0 +1,46 @@
+#include "softmc/host.hh"
+
+#include "util/logging.hh"
+
+namespace rhs::softmc
+{
+
+RunResult
+Host::run(const Program &program)
+{
+    RunResult result;
+    for (const auto &instruction : program.instructions) {
+        dram::Command command;
+        command.type = instruction.op;
+        command.bank = instruction.bank;
+        command.row = instruction.row;
+        command.column = instruction.column;
+        command.cycle = currentCycle;
+
+        if (instruction.op == dram::CommandType::Rd) {
+            result.readData.push_back(module.readColumn(
+                instruction.bank, instruction.column, currentCycle));
+        } else if (instruction.op != dram::CommandType::Nop) {
+            module.issue(command);
+        }
+        currentCycle += 1 + instruction.idle;
+    }
+    result.endCycle = currentCycle;
+    result.elapsedNs = module.timing().toNs(program.durationCycles());
+    return result;
+}
+
+void
+Host::writeRowImage(unsigned bank, unsigned logical_row,
+                    const std::vector<std::vector<std::uint8_t>> &data)
+{
+    module.storeRowDirect(bank, logical_row, data);
+}
+
+std::vector<std::vector<std::uint8_t>>
+Host::readRowImage(unsigned bank, unsigned logical_row)
+{
+    return module.loadRowDirect(bank, logical_row);
+}
+
+} // namespace rhs::softmc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The SoftMC host: executes programs against a DRAM module.
+ *
+ * Replaces the FPGA + PCIe path of the paper's infrastructure (Fig. 2b/c)
+ * with a cycle-counting software executor. The host never issues
+ * refresh, matching the paper's methodology of disabling all DRAM
+ * self-regulation events during tests (§4.2).
+ */
+
+#ifndef RHS_SOFTMC_HOST_HH
+#define RHS_SOFTMC_HOST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/module.hh"
+#include "softmc/instruction.hh"
+
+namespace rhs::softmc
+{
+
+/** Result of executing one program. */
+struct RunResult
+{
+    //! Data returned by each RD, in program order (one byte per chip).
+    std::vector<std::vector<std::uint8_t>> readData;
+    dram::Cycles endCycle = 0; //!< Host cycle after the last slot.
+    dram::Ns elapsedNs = 0.0;  //!< Wall-clock the program occupied.
+};
+
+/** Executes SoftMC programs on a module with cycle bookkeeping. */
+class Host
+{
+  public:
+    /** @param module Module under test (not owned). */
+    explicit Host(dram::Module &module) : module(module) {}
+
+    /**
+     * Execute a program starting at the current host cycle.
+     *
+     * @throws dram::TimingError if the program violates DRAM timing.
+     */
+    RunResult run(const Program &program);
+
+    /** Advance the host clock without issuing commands. */
+    void idle(dram::Cycles cycles) { currentCycle += cycles; }
+
+    /** Current host cycle. */
+    dram::Cycles cycle() const { return currentCycle; }
+
+    /**
+     * Convenience: install a full row image (all chips) using the
+     * host's bulk-write path (models SoftMC's buffered row writes).
+     */
+    void writeRowImage(unsigned bank, unsigned logical_row,
+                       const std::vector<std::vector<std::uint8_t>> &data);
+
+    /** Convenience: read back a full row image through the bulk path. */
+    std::vector<std::vector<std::uint8_t>>
+    readRowImage(unsigned bank, unsigned logical_row);
+
+  private:
+    dram::Module &module;
+    dram::Cycles currentCycle = 0;
+};
+
+} // namespace rhs::softmc
+
+#endif // RHS_SOFTMC_HOST_HH

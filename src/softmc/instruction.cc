@@ -1,0 +1,43 @@
+#include "softmc/instruction.hh"
+
+#include "util/logging.hh"
+
+namespace rhs::softmc
+{
+
+std::uint64_t
+encode(const Instruction &instruction)
+{
+    RHS_ASSERT(instruction.bank < (1u << 8), "bank field overflow");
+    RHS_ASSERT(instruction.row < (1u << 24), "row field overflow");
+    RHS_ASSERT(instruction.column < (1u << 12), "column field overflow");
+    RHS_ASSERT(instruction.idle < (1u << 16), "idle field overflow");
+    return (static_cast<std::uint64_t>(instruction.op) << 60) |
+           (static_cast<std::uint64_t>(instruction.bank) << 52) |
+           (static_cast<std::uint64_t>(instruction.row) << 28) |
+           (static_cast<std::uint64_t>(instruction.column) << 16) |
+           static_cast<std::uint64_t>(instruction.idle);
+}
+
+Instruction
+decode(std::uint64_t word)
+{
+    Instruction instruction;
+    instruction.op = static_cast<dram::CommandType>((word >> 60) & 0xf);
+    instruction.bank = static_cast<unsigned>((word >> 52) & 0xff);
+    instruction.row = static_cast<unsigned>((word >> 28) & 0xffffff);
+    instruction.column = static_cast<unsigned>((word >> 16) & 0xfff);
+    instruction.idle = static_cast<unsigned>(word & 0xffff);
+    return instruction;
+}
+
+dram::Cycles
+Program::durationCycles() const
+{
+    dram::Cycles total = 0;
+    for (const auto &instruction : instructions)
+        total += 1 + instruction.idle;
+    return total;
+}
+
+} // namespace rhs::softmc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SoftMC-style instruction encoding and programs.
+ *
+ * Mirrors the programming model of the SoftMC host library (Hassan et
+ * al., HPCA 2017) the paper's infrastructure is built on: a test is a
+ * flat sequence of DDR commands with explicit idle cycles, giving the
+ * host precise control of command timing at the FPGA clock granularity
+ * (1.25 ns for DDR4, 2.5 ns for DDR3; §4.1).
+ */
+
+#ifndef RHS_SOFTMC_INSTRUCTION_HH
+#define RHS_SOFTMC_INSTRUCTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/command.hh"
+
+namespace rhs::softmc
+{
+
+/** One SoftMC instruction: a DDR command or an idle block. */
+struct Instruction
+{
+    dram::CommandType op = dram::CommandType::Nop;
+    unsigned bank = 0;
+    unsigned row = 0;     //!< Logical row (ACT).
+    unsigned column = 0;  //!< Column (RD/WR).
+    unsigned idle = 0;    //!< Extra idle cycles after issue (NOP count).
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/**
+ * Pack an instruction into the 64-bit on-the-wire form:
+ * [63:60] opcode, [59:52] bank, [51:28] row, [27:16] column,
+ * [15:0] idle count.
+ */
+std::uint64_t encode(const Instruction &instruction);
+
+/** Unpack an encoded instruction. */
+Instruction decode(std::uint64_t word);
+
+/** A complete SoftMC test program. */
+struct Program
+{
+    std::vector<Instruction> instructions;
+
+    /** Total host cycles the program occupies (1 per instr + idles). */
+    dram::Cycles durationCycles() const;
+};
+
+} // namespace rhs::softmc
+
+#endif // RHS_SOFTMC_INSTRUCTION_HH

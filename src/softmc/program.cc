@@ -1,0 +1,128 @@
+#include "softmc/program.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhs::softmc
+{
+
+ProgramBuilder &
+ProgramBuilder::push(Instruction instruction)
+{
+    program.instructions.push_back(instruction);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::act(unsigned bank, unsigned logical_row)
+{
+    return push({dram::CommandType::Act, bank, logical_row, 0, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::pre(unsigned bank)
+{
+    return push({dram::CommandType::Pre, bank, 0, 0, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::preAll()
+{
+    return push({dram::CommandType::PreA, 0, 0, 0, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::rd(unsigned bank, unsigned column)
+{
+    return push({dram::CommandType::Rd, bank, 0, column, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::wr(unsigned bank, unsigned column)
+{
+    return push({dram::CommandType::Wr, bank, 0, column, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::waitFromLast(dram::Ns total_ns)
+{
+    RHS_ASSERT(!program.instructions.empty(),
+               "waitFromLast with no prior command");
+    auto &last = program.instructions.back();
+    const auto cycles = timing.toCycles(total_ns);
+    // The command itself occupies one cycle.
+    const unsigned required = cycles > 0 ? static_cast<unsigned>(cycles) - 1
+                                         : 0;
+    last.idle = std::max(last.idle, required);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::idle(unsigned cycles)
+{
+    if (cycles == 0)
+        return *this;
+    return push({dram::CommandType::Nop, 0, 0, 0, cycles - 1});
+}
+
+Program
+makeHammerProgram(const dram::TimingParams &timing,
+                  const HammerProgramSpec &spec)
+{
+    const dram::Ns t_on = spec.tAggOn > 0.0 ? spec.tAggOn : timing.tRAS;
+    const dram::Ns t_off = spec.tAggOff > 0.0 ? spec.tAggOff : timing.tRP;
+    RHS_ASSERT(t_on + 1e-9 >= timing.tRAS, "tAggOn below tRAS");
+    RHS_ASSERT(t_off + 1e-9 >= timing.tRP, "tAggOff below tRP");
+
+    const auto on_cycles = timing.toCycles(t_on);
+    const auto off_cycles = timing.toCycles(t_off);
+    const auto rcd_cycles = timing.toCycles(timing.tRCD);
+    const auto ccd_cycles = timing.toCycles(timing.tCCD);
+    const auto rtp_cycles = timing.toCycles(timing.tRTP);
+
+    const bool double_sided = spec.aggressorB != spec.aggressorA;
+    std::vector<unsigned> rows{spec.aggressorA};
+    if (double_sided)
+        rows.push_back(spec.aggressorB);
+
+    Program program;
+    program.instructions.reserve(
+        spec.hammers * rows.size() * (2 + spec.readsPerActivation));
+
+    for (std::uint64_t h = 0; h < spec.hammers; ++h) {
+        for (unsigned row : rows) {
+            Instruction act{dram::CommandType::Act, spec.bank, row, 0, 0};
+            if (spec.readsPerActivation == 0) {
+                act.idle = static_cast<unsigned>(on_cycles - 1);
+                program.instructions.push_back(act);
+            } else {
+                // ACT .. tRCD .. RD xN (tCCD apart) .. PRE; the
+                // precharge honours both the requested on-time and the
+                // read burst's tRTP requirement, whichever is later.
+                act.idle = static_cast<unsigned>(rcd_cycles - 1);
+                program.instructions.push_back(act);
+                const dram::Cycles last_rd_offset =
+                    rcd_cycles +
+                    (spec.readsPerActivation - 1) * ccd_cycles;
+                const dram::Cycles pre_offset = std::max(
+                    on_cycles, last_rd_offset + rtp_cycles);
+                for (unsigned r = 0; r < spec.readsPerActivation; ++r) {
+                    Instruction rd{dram::CommandType::Rd, spec.bank, 0,
+                                   0, 0};
+                    const bool last = r + 1 == spec.readsPerActivation;
+                    const dram::Cycles here = rcd_cycles + r * ccd_cycles;
+                    rd.idle = static_cast<unsigned>(
+                        (last ? pre_offset - here : ccd_cycles) - 1);
+                    program.instructions.push_back(rd);
+                }
+            }
+            Instruction pre{dram::CommandType::Pre, spec.bank, 0, 0, 0};
+            pre.idle = static_cast<unsigned>(off_cycles - 1);
+            program.instructions.push_back(pre);
+        }
+    }
+    return program;
+}
+
+} // namespace rhs::softmc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Builders for the SoftMC test programs used by the characterization.
+ *
+ * The central pattern is the paper's double-sided hammer loop (Fig. 6):
+ *
+ *   ACT(RowA) .. tAggOn .. PRE .. tAggOff .. ACT(RowB) .. tAggOn .. PRE
+ *
+ * Baseline tests use tAggOn = tRAS and tAggOff = tRP; the Aggressor On
+ * (Off) tests stretch tAggOn (tAggOff) with idle cycles. The on-time
+ * can also be stretched implicitly by issuing READ bursts to the open
+ * aggressor row (attack improvement 3, §8.1).
+ */
+
+#ifndef RHS_SOFTMC_PROGRAM_HH
+#define RHS_SOFTMC_PROGRAM_HH
+
+#include "dram/timing.hh"
+#include "softmc/instruction.hh"
+
+namespace rhs::softmc
+{
+
+/** Fluent builder for SoftMC programs with nanosecond waits. */
+class ProgramBuilder
+{
+  public:
+    /** @param timing Timing set; converts nanoseconds to host cycles. */
+    explicit ProgramBuilder(const dram::TimingParams &timing)
+        : timing(timing)
+    {
+    }
+
+    ProgramBuilder &act(unsigned bank, unsigned logical_row);
+    ProgramBuilder &pre(unsigned bank);
+    ProgramBuilder &preAll();
+    ProgramBuilder &rd(unsigned bank, unsigned column);
+    ProgramBuilder &wr(unsigned bank, unsigned column);
+
+    /**
+     * Pad so the *next* command issues at least total_ns after the
+     * previous command's issue cycle (one cycle is consumed by the
+     * previous command itself).
+     */
+    ProgramBuilder &waitFromLast(dram::Ns total_ns);
+
+    /** Append raw idle cycles. */
+    ProgramBuilder &idle(unsigned cycles);
+
+    Program build() { return std::move(program); }
+
+  private:
+    ProgramBuilder &push(Instruction instruction);
+
+    const dram::TimingParams &timing;
+    Program program;
+};
+
+/** Parameters of a hammer loop program. */
+struct HammerProgramSpec
+{
+    unsigned bank = 0;
+    unsigned aggressorA = 0; //!< Logical row address.
+    unsigned aggressorB = 0; //!< Logical row; == aggressorA: single-sided.
+    std::uint64_t hammers = 1;
+    dram::Ns tAggOn = 0.0;  //!< 0 = baseline tRAS.
+    dram::Ns tAggOff = 0.0; //!< 0 = baseline tRP.
+    //! READ commands issued per activation; each read extends the
+    //! actual on-time when the requested tAggOn cannot contain them.
+    unsigned readsPerActivation = 0;
+};
+
+/**
+ * Build the paper's (double-sided) hammer loop. One hammer is one
+ * activation of each aggressor (§4.2).
+ */
+Program makeHammerProgram(const dram::TimingParams &timing,
+                          const HammerProgramSpec &spec);
+
+} // namespace rhs::softmc
+
+#endif // RHS_SOFTMC_PROGRAM_HH

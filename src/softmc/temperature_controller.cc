@@ -1,0 +1,72 @@
+#include "softmc/temperature_controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace rhs::softmc
+{
+
+TemperatureController::TemperatureController(const ThermalConfig &config,
+                                             unsigned seed)
+    : config(config), setpoint(config.ambient),
+      temperature(config.ambient), noiseState(seed)
+{
+}
+
+void
+TemperatureController::setTarget(double celsius)
+{
+    setpoint = celsius;
+    integral = 0.0;
+    lastError = setpoint - temperature;
+}
+
+void
+TemperatureController::step()
+{
+    const double error = setpoint - temperature;
+    integral += error * config.dt;
+    // Anti-windup: bound the integral term's contribution.
+    integral = std::clamp(integral, -10.0 / config.ki, 10.0 / config.ki);
+    const double derivative = (error - lastError) / config.dt;
+    lastError = error;
+
+    power = config.kp * error + config.ki * integral +
+            config.kd * derivative;
+    power = std::clamp(power, 0.0, 1.0);
+
+    // First-order plant update.
+    const double flow = (config.ambient - temperature) / config.tau +
+                        config.heaterGain * power;
+    temperature += flow * config.dt;
+}
+
+bool
+TemperatureController::settle(double tolerance, double hold_seconds,
+                              double timeout_seconds)
+{
+    double held = 0.0;
+    for (double elapsed = 0.0; elapsed < timeout_seconds;
+         elapsed += config.dt) {
+        step();
+        if (std::abs(temperature - setpoint) <= tolerance) {
+            held += config.dt;
+            if (held >= hold_seconds)
+                return true;
+        } else {
+            held = 0.0;
+        }
+    }
+    return false;
+}
+
+double
+TemperatureController::measure()
+{
+    util::Rng rng(noiseState++);
+    return temperature + rng.gaussian(0.0, config.sensorNoise);
+}
+
+} // namespace rhs::softmc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Simulated temperature controller (Maxwell FT200 analogue, §4.1).
+ *
+ * The paper clamps silicone rubber heaters to both sides of the module
+ * and regulates chip temperature with a closed-loop PID controller to
+ * within ±0.1 degC. This model couples a discrete PID loop to a
+ * first-order thermal plant:
+ *
+ *   dT/dt = (ambient - T) / tau + gain * power,  power in [0, 1]
+ */
+
+#ifndef RHS_SOFTMC_TEMPERATURE_CONTROLLER_HH
+#define RHS_SOFTMC_TEMPERATURE_CONTROLLER_HH
+
+namespace rhs::softmc
+{
+
+/** PID gains and plant constants. */
+struct ThermalConfig
+{
+    double ambient = 25.0;   //!< Room temperature (degC).
+    double tau = 60.0;       //!< Plant time constant (s).
+    double heaterGain = 2.5; //!< degC/s at full heater power.
+    double kp = 0.8;         //!< Proportional gain.
+    double ki = 0.08;        //!< Integral gain.
+    double kd = 0.5;         //!< Derivative gain.
+    double dt = 0.1;         //!< Control period (s).
+    double sensorNoise = 0.02; //!< Thermocouple noise std-dev (degC).
+};
+
+/** Closed-loop heater controller with a thermocouple readout. */
+class TemperatureController
+{
+  public:
+    explicit TemperatureController(const ThermalConfig &config = {},
+                                   unsigned seed = 1);
+
+    /** Set the reference temperature (degC). */
+    void setTarget(double celsius);
+
+    /** Advance the loop by one control period. */
+    void step();
+
+    /**
+     * Run the loop until the measurement stays within tolerance of the
+     * target for hold_seconds, or give up after timeout_seconds.
+     *
+     * @return True when the plant settled.
+     */
+    bool settle(double tolerance = 0.1, double hold_seconds = 5.0,
+                double timeout_seconds = 3600.0);
+
+    /** Thermocouple reading (plant temperature + sensor noise). */
+    double measure();
+
+    /** True plant temperature (for tests). */
+    double plantTemperature() const { return temperature; }
+
+    double target() const { return setpoint; }
+
+    /** Heater duty cycle of the last step, in [0, 1]. */
+    double heaterPower() const { return power; }
+
+  private:
+    ThermalConfig config;
+    double setpoint;
+    double temperature;
+    double integral = 0.0;
+    double lastError = 0.0;
+    double power = 0.0;
+    unsigned long long noiseState;
+};
+
+} // namespace rhs::softmc
+
+#endif // RHS_SOFTMC_TEMPERATURE_CONTROLLER_HH

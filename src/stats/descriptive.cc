@@ -1,0 +1,147 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace rhs::stats
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    RHS_ASSERT(!xs.empty());
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+coefficientOfVariation(const std::vector<double> &xs)
+{
+    const double m = mean(xs);
+    RHS_ASSERT(m != 0.0, "CV undefined for zero mean");
+    return stddev(xs) / m;
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    RHS_ASSERT(!xs.empty());
+    RHS_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1], got ", q);
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+median(const std::vector<double> &xs)
+{
+    return quantile(xs, 0.5);
+}
+
+double
+minValue(const std::vector<double> &xs)
+{
+    RHS_ASSERT(!xs.empty());
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxValue(const std::vector<double> &xs)
+{
+    RHS_ASSERT(!xs.empty());
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+confidenceInterval95(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+BoxSummary
+boxSummary(const std::vector<double> &xs)
+{
+    RHS_ASSERT(!xs.empty());
+    BoxSummary box;
+    box.q1 = quantile(xs, 0.25);
+    box.median = quantile(xs, 0.5);
+    box.q3 = quantile(xs, 0.75);
+    const double iqr = box.q3 - box.q1;
+    const double lo_fence = box.q1 - 1.5 * iqr;
+    const double hi_fence = box.q3 + 1.5 * iqr;
+
+    box.whiskerLow = box.q1;
+    box.whiskerHigh = box.q3;
+    for (double x : xs) {
+        if (x >= lo_fence && x < box.whiskerLow)
+            box.whiskerLow = x;
+        if (x <= hi_fence && x > box.whiskerHigh)
+            box.whiskerHigh = x;
+    }
+    return box;
+}
+
+LetterValues
+letterValues(const std::vector<double> &xs, std::size_t max_depth)
+{
+    RHS_ASSERT(!xs.empty());
+    LetterValues lv;
+    lv.median = median(xs);
+    double tail = 0.25;
+    for (std::size_t depth = 0; depth < max_depth; ++depth) {
+        // Stop once a tail would contain fewer than two data points.
+        if (tail * static_cast<double>(xs.size()) < 2.0)
+            break;
+        lv.boxes.emplace_back(quantile(xs, tail), quantile(xs, 1.0 - tail));
+        tail /= 2.0;
+    }
+    return lv;
+}
+
+std::vector<double>
+sortedDescending(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end(), std::greater<double>());
+    return xs;
+}
+
+double
+fractionPositive(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    const auto count = std::count_if(xs.begin(), xs.end(),
+                                     [](double x) { return x > 0.0; });
+    return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+double
+cumulativeMagnitude(const std::vector<double> &xs)
+{
+    double sum = 0.0;
+    for (double x : xs)
+        sum += std::abs(x);
+    return sum;
+}
+
+} // namespace rhs::stats

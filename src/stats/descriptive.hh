@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the characterization analyses.
+ *
+ * The paper reports means with 95% confidence intervals (Fig. 4),
+ * box plots (Figs. 7, 9), letter-value plots (Figs. 8, 10), coefficients
+ * of variation (Obsvs. 9, 11, 14) and percentile curves (Figs. 5, 11, 15).
+ * This module implements those summaries over plain double vectors.
+ */
+
+#ifndef RHS_STATS_DESCRIPTIVE_HH
+#define RHS_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace rhs::stats
+{
+
+/** Arithmetic mean. @pre !xs.empty() */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator; 0 for n < 2). */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Coefficient of variation: stddev / mean.
+ * The paper uses CV to compare dispersion of BER and HCfirst
+ * distributions across conditions (Obsv. 9/11) and across chips
+ * (Obsv. 14). @pre mean(xs) != 0
+ */
+double coefficientOfVariation(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated quantile, q in [0, 1].
+ * Uses the common "linear" (type-7) definition. @pre !xs.empty()
+ */
+double quantile(std::vector<double> xs, double q);
+
+/** Median (quantile 0.5). */
+double median(const std::vector<double> &xs);
+
+/** Minimum. @pre !xs.empty() */
+double minValue(const std::vector<double> &xs);
+
+/** Maximum. @pre !xs.empty() */
+double maxValue(const std::vector<double> &xs);
+
+/** Half-width of the normal-approximation 95% confidence interval. */
+double confidenceInterval95(const std::vector<double> &xs);
+
+/**
+ * Tukey box-plot summary (Figs. 7 and 9).
+ * Whiskers extend 1.5 IQR beyond the quartiles, clamped to the data.
+ */
+struct BoxSummary
+{
+    double whiskerLow;  //!< Lowest datum within 1.5 IQR below Q1.
+    double q1;          //!< Lower quartile.
+    double median;      //!< Median.
+    double q3;          //!< Upper quartile.
+    double whiskerHigh; //!< Highest datum within 1.5 IQR above Q3.
+};
+
+/** Compute the Tukey box summary. @pre !xs.empty() */
+BoxSummary boxSummary(const std::vector<double> &xs);
+
+/**
+ * Letter-value summary (Figs. 8 and 10): median, fourths (quartiles),
+ * eighths (octiles), sixteenths, ... until boxes would cover fewer
+ * than two points.
+ */
+struct LetterValues
+{
+    double median;
+    //! Pairs (lower, upper) at depth 2^-k for k = 2, 3, ...
+    std::vector<std::pair<double, double>> boxes;
+};
+
+/** Compute letter values down to the requested depth. */
+LetterValues letterValues(const std::vector<double> &xs,
+                          std::size_t max_depth = 4);
+
+/**
+ * Empirical survival curve evaluated at evenly spaced rank positions,
+ * i.e. the values of xs sorted descending — the form of Figs. 5 and 11
+ * ("rows ordered from most positive to most negative change").
+ */
+std::vector<double> sortedDescending(std::vector<double> xs);
+
+/**
+ * Fraction of entries strictly greater than zero. Identifies the
+ * crossing point of Fig. 5 curves (e.g. "P45": 45% of rows have a
+ * positive HCfirst change).
+ */
+double fractionPositive(const std::vector<double> &xs);
+
+/** Sum of absolute values; the "cumulative magnitude" of Obsv. 7. */
+double cumulativeMagnitude(const std::vector<double> &xs);
+
+} // namespace rhs::stats
+
+#endif // RHS_STATS_DESCRIPTIVE_HH

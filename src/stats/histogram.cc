@@ -1,0 +1,103 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhs::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo(lo), width((hi - lo) / static_cast<double>(bins)), counts(bins, 0)
+{
+    RHS_ASSERT(hi > lo, "histogram range must be non-empty");
+    RHS_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    auto bin = static_cast<long>((x - lo) / width);
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts.size()) - 1);
+    ++counts[static_cast<std::size_t>(bin)];
+    ++totalCount;
+}
+
+void
+Histogram::addAll(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+std::size_t
+Histogram::count(std::size_t bin) const
+{
+    RHS_ASSERT(bin < counts.size());
+    return counts[bin];
+}
+
+std::vector<double>
+Histogram::normalized() const
+{
+    std::vector<double> out(counts.size(), 0.0);
+    if (totalCount == 0)
+        return out;
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        out[i] = static_cast<double>(counts[i]) /
+                 static_cast<double>(totalCount);
+    return out;
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    RHS_ASSERT(bin < counts.size());
+    return lo + (static_cast<double>(bin) + 0.5) * width;
+}
+
+Histogram2d::Histogram2d(double x_lo, double x_hi, std::size_t x_bins,
+                         double y_lo, double y_hi, std::size_t y_bins)
+    : xLo(x_lo), xWidth((x_hi - x_lo) / static_cast<double>(x_bins)),
+      yLo(y_lo), yWidth((y_hi - y_lo) / static_cast<double>(y_bins)),
+      xBins(x_bins), yBins(y_bins), counts(x_bins * y_bins, 0)
+{
+    RHS_ASSERT(x_hi > x_lo && y_hi > y_lo, "2d histogram range empty");
+    RHS_ASSERT(x_bins > 0 && y_bins > 0, "2d histogram needs bins");
+}
+
+void
+Histogram2d::add(double x, double y)
+{
+    auto xb = static_cast<long>((x - xLo) / xWidth);
+    auto yb = static_cast<long>((y - yLo) / yWidth);
+    xb = std::clamp<long>(xb, 0, static_cast<long>(xBins) - 1);
+    yb = std::clamp<long>(yb, 0, static_cast<long>(yBins) - 1);
+    ++counts[index(static_cast<std::size_t>(xb),
+                   static_cast<std::size_t>(yb))];
+    ++totalCount;
+}
+
+std::size_t
+Histogram2d::count(std::size_t x_bin, std::size_t y_bin) const
+{
+    return counts[index(x_bin, y_bin)];
+}
+
+double
+Histogram2d::fraction(std::size_t x_bin, std::size_t y_bin) const
+{
+    if (totalCount == 0)
+        return 0.0;
+    return static_cast<double>(count(x_bin, y_bin)) /
+           static_cast<double>(totalCount);
+}
+
+std::size_t
+Histogram2d::index(std::size_t x_bin, std::size_t y_bin) const
+{
+    RHS_ASSERT(x_bin < xBins && y_bin < yBins);
+    return y_bin * xBins + x_bin;
+}
+
+} // namespace rhs::stats

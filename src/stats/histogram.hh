@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fixed-range histogram with normalized-density access.
+ *
+ * Used for Fig. 3 (2-D population of vulnerable temperature ranges),
+ * Fig. 13 (2-D population of column vulnerability clusters), and as the
+ * discretization underlying the Bhattacharyya distance of Fig. 15.
+ */
+
+#ifndef RHS_STATS_HISTOGRAM_HH
+#define RHS_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace rhs::stats
+{
+
+/** One-dimensional equal-width histogram over [lo, hi]. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the covered range.
+     * @param hi Upper bound of the covered range. @pre hi > lo
+     * @param bins Number of equal-width bins. @pre bins > 0
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add a sample; out-of-range samples clamp to the edge bins. */
+    void add(double x);
+
+    /** Add every sample of a vector. */
+    void addAll(const std::vector<double> &xs);
+
+    /** Raw count in a bin. */
+    std::size_t count(std::size_t bin) const;
+
+    /** Total number of samples added. */
+    std::size_t total() const { return totalCount; }
+
+    /** Number of bins. */
+    std::size_t size() const { return counts.size(); }
+
+    /** Probability mass per bin (sums to 1; empty histogram -> zeros). */
+    std::vector<double> normalized() const;
+
+    /** Center of a bin's covered interval. */
+    double binCenter(std::size_t bin) const;
+
+  private:
+    double lo;
+    double width;
+    std::vector<std::size_t> counts;
+    std::size_t totalCount = 0;
+};
+
+/**
+ * Two-dimensional equal-width histogram; the Fig. 3 / Fig. 13 cluster
+ * maps are instances of this with percentages per bucket.
+ */
+class Histogram2d
+{
+  public:
+    Histogram2d(double x_lo, double x_hi, std::size_t x_bins,
+                double y_lo, double y_hi, std::size_t y_bins);
+
+    /** Add a sample; clamped to the covered rectangle. */
+    void add(double x, double y);
+
+    std::size_t count(std::size_t x_bin, std::size_t y_bin) const;
+    std::size_t total() const { return totalCount; }
+    std::size_t xSize() const { return xBins; }
+    std::size_t ySize() const { return yBins; }
+
+    /** Fraction of all samples in a bucket (0 when empty). */
+    double fraction(std::size_t x_bin, std::size_t y_bin) const;
+
+  private:
+    std::size_t index(std::size_t x_bin, std::size_t y_bin) const;
+
+    double xLo, xWidth;
+    double yLo, yWidth;
+    std::size_t xBins, yBins;
+    std::vector<std::size_t> counts;
+    std::size_t totalCount = 0;
+};
+
+} // namespace rhs::stats
+
+#endif // RHS_STATS_HISTOGRAM_HH

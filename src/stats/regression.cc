@@ -1,0 +1,43 @@
+#include "stats/regression.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rhs::stats
+{
+
+LinearFit
+linearFit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    RHS_ASSERT(xs.size() == ys.size(), "mismatched regression inputs");
+    RHS_ASSERT(xs.size() >= 2, "regression needs at least two points");
+
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+
+    const double denom = n * sxx - sx * sx;
+    RHS_ASSERT(denom != 0.0, "degenerate regression: constant x");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double y_mean = sy / n;
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double resid = ys[i] - fit.predict(xs[i]);
+        ss_res += resid * resid;
+        ss_tot += (ys[i] - y_mean) * (ys[i] - y_mean);
+    }
+    fit.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+    return fit;
+}
+
+} // namespace rhs::stats

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ordinary least-squares linear regression with R² score.
+ *
+ * Fig. 14 fits "minimum HCfirst in a subarray" against "average HCfirst
+ * in the subarray" per manufacturer and reports slope, intercept and
+ * the coefficient of determination.
+ */
+
+#ifndef RHS_STATS_REGRESSION_HH
+#define RHS_STATS_REGRESSION_HH
+
+#include <vector>
+
+namespace rhs::stats
+{
+
+/** Result of a simple y = slope * x + intercept least-squares fit. */
+struct LinearFit
+{
+    double slope;
+    double intercept;
+    double r2; //!< Coefficient of determination in [0, 1].
+
+    /** Predicted value at x. */
+    double predict(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Fit y against x by ordinary least squares.
+ *
+ * @pre xs.size() == ys.size() and xs.size() >= 2.
+ * @return Slope, intercept, and R².
+ */
+LinearFit linearFit(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+} // namespace rhs::stats
+
+#endif // RHS_STATS_REGRESSION_HH

@@ -1,0 +1,65 @@
+#include "util/cli.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace rhs::util
+{
+
+Cli::Cli(int argc, const char *const *argv,
+         const std::vector<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            RHS_FATAL("unexpected positional argument: ", arg);
+        arg = arg.substr(2);
+
+        std::string name = arg;
+        std::string value = "1";
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            RHS_FATAL("unknown option --", name);
+        values[name] = value;
+    }
+}
+
+bool
+Cli::has(const std::string &name) const
+{
+    return values.count(name) > 0;
+}
+
+std::string
+Cli::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+}
+
+long
+Cli::getInt(const std::string &name, long fallback) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? fallback : std::strtol(
+        it->second.c_str(), nullptr, 10);
+}
+
+double
+Cli::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? fallback : std::strtod(
+        it->second.c_str(), nullptr);
+}
+
+} // namespace rhs::util

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tiny command-line option parser used by benches and examples.
+ *
+ * Supports "--name value", "--name=value", and boolean "--flag" forms.
+ * Unknown options are fatal so typos surface immediately.
+ */
+
+#ifndef RHS_UTIL_CLI_HH
+#define RHS_UTIL_CLI_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rhs::util
+{
+
+/** Parsed command-line options with typed accessors and defaults. */
+class Cli
+{
+  public:
+    /**
+     * Parse argv.
+     *
+     * @param argc Argument count from main().
+     * @param argv Argument vector from main().
+     * @param known Names (without "--") this program accepts.
+     */
+    Cli(int argc, const char *const *argv,
+        const std::vector<std::string> &known);
+
+    /** True when "--name" was present (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of "--name", or fallback when absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback) const;
+
+    /** Integer value of "--name", or fallback when absent. */
+    long getInt(const std::string &name, long fallback) const;
+
+    /** Floating-point value of "--name", or fallback when absent. */
+    double getDouble(const std::string &name, double fallback) const;
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+} // namespace rhs::util
+
+#endif // RHS_UTIL_CLI_HH

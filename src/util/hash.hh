@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Stateless 64-bit hashing utilities.
+ *
+ * The RowHammer fault model generates per-cell parameters procedurally:
+ * every random quantity is a pure function of a seed tuple (module serial,
+ * bank, row, cell index, condition, ...). This keeps the model fully
+ * deterministic and storage-free. All hashing in the project funnels
+ * through this header so the derivation chain is auditable.
+ */
+
+#ifndef RHS_UTIL_HASH_HH
+#define RHS_UTIL_HASH_HH
+
+#include <cstdint>
+
+namespace rhs::util
+{
+
+/**
+ * SplitMix64 finalizer. A high-quality 64-bit mixing function
+ * (Steele et al., "Fast splittable pseudorandom number generators").
+ *
+ * @param x Input word.
+ * @return Avalanched output word.
+ */
+constexpr std::uint64_t
+splitMix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine a running hash with one more word. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t value)
+{
+    return splitMix64(seed ^ (value + 0x9e3779b97f4a7c15ULL +
+                              (seed << 6) + (seed >> 2)));
+}
+
+/** Hash an arbitrary-length tuple of 64-bit words. */
+template <typename... Ts>
+constexpr std::uint64_t
+hashTuple(std::uint64_t first, Ts... rest)
+{
+    std::uint64_t h = splitMix64(first);
+    ((h = hashCombine(h, static_cast<std::uint64_t>(rest))), ...);
+    return h;
+}
+
+/** Map a hash word to a double uniformly distributed in [0, 1). */
+constexpr double
+toUnitDouble(std::uint64_t h)
+{
+    // 53 mantissa bits give the densest uniform grid representable
+    // exactly in an IEEE double.
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace rhs::util
+
+#endif // RHS_UTIL_HASH_HH

@@ -1,0 +1,68 @@
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace rhs::util
+{
+
+namespace
+{
+LogLevel globalLevel = LogLevel::Info;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Info)
+        std::cout << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Debug)
+        std::cerr << "debug: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace rhs::util

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * panic()  - internal invariant violated; aborts (a framework bug).
+ * fatal()  - unrecoverable user/configuration error; exits with code 1.
+ * warn()   - suspicious but survivable condition.
+ * inform() - plain status output.
+ */
+
+#ifndef RHS_UTIL_LOGGING_HH
+#define RHS_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace rhs::util
+{
+
+/** Verbosity levels, ordered by severity. */
+enum class LogLevel { Silent, Fatal, Warn, Info, Debug };
+
+/** Process-wide verbosity threshold (default: Info). */
+LogLevel logLevel();
+
+/** Set the process-wide verbosity threshold. */
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Stream-concatenate arbitrary arguments into a string. */
+template <typename... Ts>
+std::string
+concat(Ts &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Ts>(args));
+    return oss.str();
+}
+} // namespace detail
+
+/** Abort on an internal invariant violation. */
+template <typename... Ts>
+[[noreturn]] void
+panic(const char *file, int line, Ts &&...args)
+{
+    detail::panicImpl(file, line, detail::concat(std::forward<Ts>(args)...));
+}
+
+/** Exit on an unrecoverable user error. */
+template <typename... Ts>
+[[noreturn]] void
+fatal(const char *file, int line, Ts &&...args)
+{
+    detail::fatalImpl(file, line, detail::concat(std::forward<Ts>(args)...));
+}
+
+template <typename... Ts>
+void
+warn(Ts &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Ts>(args)...));
+}
+
+template <typename... Ts>
+void
+inform(Ts &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Ts>(args)...));
+}
+
+template <typename... Ts>
+void
+debug(Ts &&...args)
+{
+    detail::debugImpl(detail::concat(std::forward<Ts>(args)...));
+}
+
+} // namespace rhs::util
+
+#define RHS_PANIC(...) ::rhs::util::panic(__FILE__, __LINE__, __VA_ARGS__)
+#define RHS_FATAL(...) ::rhs::util::fatal(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an internal invariant; compiled in all build types. */
+#define RHS_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            RHS_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);       \
+    } while (0)
+
+#endif // RHS_UTIL_LOGGING_HH

@@ -1,0 +1,52 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+namespace rhs::util
+{
+
+double
+Rng::gaussian()
+{
+    // Box-Muller transform. u1 is kept away from zero so that
+    // log(u1) is finite.
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return r * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+unsigned
+Rng::poisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+
+    if (mean < 30.0) {
+        // Knuth's multiplication method for small means.
+        const double limit = std::exp(-mean);
+        double product = uniform();
+        unsigned count = 0;
+        while (product > limit) {
+            product *= uniform();
+            ++count;
+        }
+        return count;
+    }
+
+    // Gaussian approximation for large means; adequate for cell-count
+    // generation where mean is already a modelled quantity.
+    const double value = gaussian(mean, std::sqrt(mean));
+    return value < 0.0 ? 0u : static_cast<unsigned>(value + 0.5);
+}
+
+} // namespace rhs::util

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Seeded stream RNG and stateless distribution helpers.
+ */
+
+#ifndef RHS_UTIL_RNG_HH
+#define RHS_UTIL_RNG_HH
+
+#include <cstdint>
+
+#include "util/hash.hh"
+
+namespace rhs::util
+{
+
+/**
+ * Counter-based pseudorandom stream built on SplitMix64.
+ *
+ * Unlike std::mt19937 the stream is trivially seedable from a hash tuple,
+ * cheap to construct, and its output is reproducible across platforms
+ * and standard-library versions (the C++ distributions are not).
+ */
+class Rng
+{
+  public:
+    /** Construct from an already-mixed seed word. */
+    explicit Rng(std::uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit word. */
+    std::uint64_t
+    next()
+    {
+        state += 0x9e3779b97f4a7c15ULL;
+        return splitMix64(state);
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return toUnitDouble(next()); }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        // Multiply-shift; bias is negligible for n << 2^64.
+        return static_cast<std::uint64_t>(uniform() *
+                                          static_cast<double>(n));
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        return mean + sigma * gaussian();
+    }
+
+    /** Log-normal: exp(N(mu, sigma)). */
+    double logNormal(double mu, double sigma);
+
+    /** Poisson-distributed count with the given mean. */
+    unsigned poisson(double mean);
+
+    /** Bernoulli trial. */
+    bool bernoulli(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace rhs::util
+
+#endif // RHS_UTIL_RNG_HH

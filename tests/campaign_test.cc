@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the one-call characterization campaign.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::core;
+
+class CampaignTest : public ::testing::TestWithParam<rhmodel::Mfr>
+{
+};
+
+TEST_P(CampaignTest, ProducesACompleteReport)
+{
+    rhmodel::SimulatedDimm dimm(GetParam(), 0);
+    Tester tester(dimm);
+    CampaignConfig config;
+    config.maxRows = 30;
+    config.rowsPerRegion = 10;
+    const auto report = runCampaign(tester, config);
+
+    EXPECT_EQ(report.moduleLabel, dimm.label());
+    EXPECT_GT(report.temperatureRanges.vulnerableCells, 0u);
+    EXPECT_GT(report.onTimeSweep.berRatio(), 1.0);
+    EXPECT_LT(report.offTimeSweep.berRatio(), 1.0);
+    EXPECT_FALSE(report.rowHcFirst.empty());
+    EXPECT_GE(report.subarrays.size(), 3u);
+    EXPECT_LE(report.profile.rows.size(), 30u);
+    EXPECT_GE(report.profile.rows.size(), 20u);
+    EXPECT_GT(report.profile.worstCase(), 0u);
+
+    const auto text = report.summary();
+    EXPECT_NE(text.find(dimm.label()), std::string::npos);
+    EXPECT_NE(text.find("tAggOn"), std::string::npos);
+}
+
+TEST_P(CampaignTest, ProfileRoundTripsThroughPersistence)
+{
+    rhmodel::SimulatedDimm dimm(GetParam(), 0);
+    Tester tester(dimm);
+    CampaignConfig config;
+    config.maxRows = 15;
+    config.rowsPerRegion = 5;
+    const auto report = runCampaign(tester, config);
+
+    const auto reloaded =
+        loadProfileFromString(saveProfileToString(report.profile));
+    EXPECT_EQ(reloaded.serial, dimm.module().info().serial);
+    EXPECT_EQ(reloaded.worstCase(), report.profile.worstCase());
+    EXPECT_EQ(reloaded.wcdp, report.wcdp);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMfrs, CampaignTest,
+                         ::testing::ValuesIn(rhmodel::allMfrs));
+
+TEST(CampaignTest, RejectsTinySamples)
+{
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::A, 0);
+    Tester tester(dimm);
+    CampaignConfig config;
+    config.maxRows = 3;
+    EXPECT_DEATH(runCampaign(tester, config), "usable sample");
+}
+
+} // namespace

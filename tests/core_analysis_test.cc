@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the analysis modules: temperature ranges, BER/HCfirst
+ * temperature trends, timing sweeps, spatial variation, subarray
+ * statistics, and the sampling profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/profiler.hh"
+#include "core/spatial.hh"
+#include "core/temp_analysis.hh"
+#include "core/timing_analysis.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::core;
+using namespace rhs::rhmodel;
+
+std::vector<unsigned>
+sampleRows(unsigned from, unsigned count)
+{
+    std::vector<unsigned> rows(count);
+    std::iota(rows.begin(), rows.end(), from);
+    return rows;
+}
+
+class AnalysisTest : public ::testing::Test
+{
+  protected:
+    AnalysisTest()
+        : dimm(Mfr::B, 0), tester(dimm), pattern(PatternId::Checkered)
+    {
+    }
+
+    SimulatedDimm dimm;
+    Tester tester;
+    DataPattern pattern;
+};
+
+TEST(TempAnalysisTest, StandardTemperaturesMatchPaper)
+{
+    const auto temps = standardTemperatures();
+    ASSERT_EQ(temps.size(), 9u);
+    EXPECT_DOUBLE_EQ(temps.front(), 50.0);
+    EXPECT_DOUBLE_EQ(temps.back(), 90.0);
+    for (std::size_t i = 1; i < temps.size(); ++i)
+        EXPECT_DOUBLE_EQ(temps[i] - temps[i - 1], 5.0);
+}
+
+TEST_F(AnalysisTest, TempRangeFractionsAreConsistent)
+{
+    const auto analysis =
+        analyzeTempRanges(tester, 0, sampleRows(100, 30), pattern);
+    ASSERT_GT(analysis.vulnerableCells, 0u);
+
+    // Bucket fractions over the upper triangle must sum to 1.
+    double total = 0.0;
+    for (std::size_t lo = 0; lo < analysis.temps.size(); ++lo)
+        for (std::size_t hi = lo; hi < analysis.temps.size(); ++hi)
+            total += analysis.rangeFraction(lo, hi);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+
+    EXPECT_LE(analysis.noGapCells, analysis.vulnerableCells);
+    EXPECT_GE(analysis.noGapFraction(), 0.9); // Obsv. 1 shape.
+    EXPECT_GT(analysis.fullRangeFraction(), 0.0); // Obsv. 2.
+    EXPECT_GT(analysis.singlePointFraction(), 0.0); // Obsv. 3.
+}
+
+TEST_F(AnalysisTest, TempRangeMergeAccumulates)
+{
+    auto a = analyzeTempRanges(tester, 0, sampleRows(100, 10), pattern);
+    const auto b =
+        analyzeTempRanges(tester, 0, sampleRows(200, 10), pattern);
+    const auto a_cells = a.vulnerableCells;
+    a.merge(b);
+    EXPECT_EQ(a.vulnerableCells, a_cells + b.vulnerableCells);
+    EXPECT_EQ(a.noGapCells >= b.noGapCells, true);
+}
+
+TEST_F(AnalysisTest, BerVsTemperatureStartsAtZeroChange)
+{
+    const auto result = analyzeBerVsTemperature(
+        tester, 0, sampleRows(300, 25), pattern);
+    for (int offset : {-2, 0, 2}) {
+        ASSERT_EQ(result.meanChangePct.at(offset).size(),
+                  result.temps.size());
+        EXPECT_NEAR(result.meanChangePct.at(offset).front(), 0.0, 15.0);
+    }
+}
+
+TEST_F(AnalysisTest, BerVsTemperatureTrendMatchesMfrB)
+{
+    // Mfr. B's BER decreases with temperature (Obsv. 4).
+    const auto result = analyzeBerVsTemperature(
+        tester, 0, sampleRows(300, 40), pattern);
+    EXPECT_LT(result.meanChangePct.at(0).back(), 0.0);
+}
+
+TEST(BerVsTempTest, TrendIncreasesForMfrD)
+{
+    SimulatedDimm dimm(Mfr::D, 0);
+    Tester tester(dimm);
+    DataPattern pattern(PatternId::Checkered);
+    const auto result = analyzeBerVsTemperature(
+        tester, 0, sampleRows(300, 40), pattern);
+    EXPECT_GT(result.meanChangePct.at(0).back(), 20.0);
+}
+
+TEST_F(AnalysisTest, HcShiftCrossingsAndMagnitude)
+{
+    const auto result = analyzeHcFirstVsTemperature(
+        tester, 0, sampleRows(500, 25), pattern);
+    ASSERT_FALSE(result.changePct55.empty());
+    EXPECT_EQ(result.changePct55.size(), result.changePct90.size());
+    EXPECT_GE(result.crossing55(), 0.0);
+    EXPECT_LE(result.crossing55(), 1.0);
+    // Obsv. 7: the 50->90 shift has larger cumulative magnitude.
+    EXPECT_GT(result.magnitudeRatio(), 1.0);
+}
+
+TEST_F(AnalysisTest, OnTimeSweepMatchesObsv8)
+{
+    const auto rows = sampleRows(700, 25);
+    const auto sweep = sweepAggressorOnTime(tester, 0, rows, pattern);
+    ASSERT_EQ(sweep.values.size(), 5u);
+    EXPECT_DOUBLE_EQ(sweep.values.front(), 34.5);
+    EXPECT_DOUBLE_EQ(sweep.values.back(), 154.5);
+
+    // BER grows and HCfirst falls with on-time.
+    EXPECT_GT(sweep.berRatio(), 1.5);
+    EXPECT_LT(sweep.hcFirstChange(), -0.15);
+
+    // Monotone across intermediate points.
+    for (std::size_t v = 1; v < sweep.values.size(); ++v) {
+        const double prev = std::accumulate(
+            sweep.flipsPerRowPerChip[v - 1].begin(),
+            sweep.flipsPerRowPerChip[v - 1].end(), 0.0);
+        const double now = std::accumulate(
+            sweep.flipsPerRowPerChip[v].begin(),
+            sweep.flipsPerRowPerChip[v].end(), 0.0);
+        EXPECT_GE(now, prev);
+    }
+}
+
+TEST_F(AnalysisTest, OffTimeSweepMatchesObsv10)
+{
+    const auto rows = sampleRows(900, 25);
+    const auto sweep = sweepAggressorOffTime(tester, 0, rows, pattern);
+    ASSERT_EQ(sweep.values.size(), 4u);
+    EXPECT_DOUBLE_EQ(sweep.values.front(), 16.5);
+    EXPECT_DOUBLE_EQ(sweep.values.back(), 40.5);
+    EXPECT_LT(sweep.berRatio(), 0.7);      // Fewer flips.
+    EXPECT_GT(sweep.hcFirstChange(), 0.1); // Higher HCfirst.
+}
+
+TEST_F(AnalysisTest, RowSurveySummary)
+{
+    const auto hcs =
+        rowHcFirstSurvey(tester, 0, sampleRows(1100, 60), pattern);
+    ASSERT_GT(hcs.size(), 10u);
+    const auto summary = summarizeRowVariation(hcs);
+    EXPECT_GT(summary.minHcFirst, 0.0);
+    EXPECT_GE(summary.p1Ratio, 1.0);
+    EXPECT_GE(summary.p5Ratio, summary.p1Ratio);
+    EXPECT_GE(summary.p10Ratio, summary.p5Ratio);
+}
+
+TEST_F(AnalysisTest, ColumnFlipSurveyCountsMatchBerTotals)
+{
+    const auto rows = sampleRows(1300, 20);
+    const auto counts = columnFlipSurvey(tester, 0, rows, pattern);
+    std::uint64_t from_columns = 0;
+    for (const auto &chip : counts.counts)
+        for (auto c : chip)
+            from_columns += c;
+
+    std::uint64_t from_rows = 0;
+    const auto conditions = spatialConditions();
+    for (unsigned row : rows)
+        from_rows += tester.berOfRow(0, row, conditions, pattern);
+    EXPECT_EQ(from_columns, from_rows);
+}
+
+TEST(ColumnVariationTest, HandCraftedCvClasses)
+{
+    // Two chips with identical counts -> CV 0; two chips with very
+    // different counts -> CV saturated.
+    ColumnFlipCounts counts;
+    counts.counts = {
+        {10, 0, 50, 2},
+        {10, 0, 1, 2},
+    };
+    const auto variation = analyzeColumnVariation(counts);
+    EXPECT_DOUBLE_EQ(variation.cvAcrossChips[0], 0.0);
+    EXPECT_DOUBLE_EQ(variation.cvAcrossChips[3], 0.0);
+    EXPECT_GT(variation.cvAcrossChips[2], 0.9);
+    EXPECT_DOUBLE_EQ(variation.relativeVulnerability[1], 0.0);
+    // Column 2's mean relative vulnerability: (50+1)/2/50.
+    EXPECT_NEAR(variation.relativeVulnerability[2], 0.51, 1e-9);
+    EXPECT_NEAR(variation.designConsistentFraction(), 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(variation.processDominatedFraction(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(ColumnVariationTest, EmptyCountsAreHandled)
+{
+    ColumnFlipCounts counts;
+    counts.counts = {{0, 0}, {0, 0}};
+    const auto variation = analyzeColumnVariation(counts);
+    EXPECT_DOUBLE_EQ(variation.designConsistentFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(counts.zeroFraction(), 1.0);
+}
+
+TEST_F(AnalysisTest, SubarraySurveyAndModelFit)
+{
+    const auto survey = subarraySurvey(tester, 0, 8, 6, pattern);
+    ASSERT_GE(survey.size(), 4u);
+    for (const auto &entry : survey) {
+        EXPECT_GE(entry.averageHcFirst, entry.minimumHcFirst);
+        EXPECT_FALSE(entry.hcFirstValues.empty());
+    }
+    const auto fit = fitSubarrayModel(survey);
+    EXPECT_GT(fit.slope, 0.0); // Obsv. 15: min grows with average.
+}
+
+TEST_F(AnalysisTest, ProfilerEstimateIsConservative)
+{
+    const auto survey = subarraySurvey(tester, 0, 8, 6, pattern);
+    const auto model = fitSubarrayModel(survey);
+    const auto estimate =
+        profileBySampling(tester, 0, 4, 4, pattern, model);
+    EXPECT_GT(estimate.rowsTested, 0u);
+    EXPECT_GT(estimate.sampledMinimumHcFirst, 0.0);
+    EXPECT_LE(estimate.recommendedThreshold(),
+              estimate.sampledMinimumHcFirst);
+    EXPECT_GE(estimate.sampledAverageHcFirst,
+              estimate.sampledMinimumHcFirst);
+}
+
+} // namespace

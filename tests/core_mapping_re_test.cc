@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the logical-to-physical row mapping reverse engineering
+ * (§4.2): single-sided hammering must identify the true physical
+ * neighbours for every mapping scheme the manufacturers use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/row_mapping_re.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::core;
+using namespace rhs::rhmodel;
+
+class MappingReTest : public ::testing::TestWithParam<Mfr>
+{
+};
+
+TEST_P(MappingReTest, RecoversPhysicalAdjacency)
+{
+    SimulatedDimm dimm(GetParam(), 0);
+    Tester tester(dimm);
+
+    std::vector<unsigned> probes;
+    for (unsigned row = 64; row < 96; ++row)
+        probes.push_back(row);
+
+    const auto inferred = inferAdjacency(tester, 0, probes);
+    ASSERT_EQ(inferred.size(), probes.size());
+    const double accuracy = adjacencyAccuracy(tester, inferred);
+    EXPECT_GE(accuracy, 0.9) << "mapping "
+                             << dimm.module().rowMapping().name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMfrs, MappingReTest,
+                         ::testing::ValuesIn(allMfrs));
+
+TEST(MappingReTest, NonTrivialMappingSeparatesLogicalNeighbours)
+{
+    // With the XOR swizzle, logically-adjacent rows are often not
+    // physically adjacent; the inference must find the remapped ones.
+    SimulatedDimm dimm(Mfr::A, 0); // Mfr. A uses the XOR swizzle.
+    Tester tester(dimm);
+
+    const auto inferred = inferAdjacency(tester, 0, {8});
+    ASSERT_EQ(inferred.size(), 1u);
+    const auto &mapping = dimm.module().rowMapping();
+    const unsigned phys = mapping.toPhysical(8);
+    ASSERT_TRUE(inferred[0].victimLow.has_value());
+    ASSERT_TRUE(inferred[0].victimHigh.has_value());
+    const std::set<unsigned> got{*inferred[0].victimLow,
+                                 *inferred[0].victimHigh};
+    const std::set<unsigned> expected{mapping.toLogical(phys - 1),
+                                      mapping.toLogical(phys + 1)};
+    EXPECT_EQ(got, expected);
+}
+
+} // namespace

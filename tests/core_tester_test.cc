@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the characterization tester: the paper's HCfirst binary
+ * search, the WCDP scan, and the tested-row sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tester.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::core;
+using namespace rhs::rhmodel;
+
+TEST(TestedRowsTest, ThreeRegionsWithoutEdges)
+{
+    dram::Geometry g;
+    g.banks = 1;
+    g.subarraysPerBank = 16;
+    g.rowsPerSubarray = 512;
+    const auto rows = testedRows(g, 100);
+    // Edge rows 0 and 1 excluded; last two rows excluded.
+    EXPECT_EQ(rows.front(), 2u);
+    EXPECT_EQ(rows.back(), g.rowsPerBank() - 3);
+    EXPECT_GE(rows.size(), 3u * 100u - 4u);
+    // Strictly increasing and unique.
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        EXPECT_LT(rows[i - 1], rows[i]);
+}
+
+TEST(TestedRowsDeathTest, OversizedRegionPanics)
+{
+    dram::Geometry g;
+    g.subarraysPerBank = 1;
+    g.rowsPerSubarray = 64;
+    EXPECT_DEATH(testedRows(g, 64), "per-region");
+}
+
+class TesterTest : public ::testing::TestWithParam<Mfr>
+{
+  protected:
+    TesterTest()
+        : dimm(GetParam(), 0), tester(dimm),
+          pattern(PatternId::Checkered)
+    {
+    }
+
+    SimulatedDimm dimm;
+    Tester tester;
+    DataPattern pattern;
+};
+
+TEST_P(TesterTest, BerMatchesAnalyticDetail)
+{
+    Conditions conditions;
+    const unsigned row = 300;
+    const auto detail =
+        tester.berDetail(0, row, conditions, pattern);
+    EXPECT_EQ(tester.berOfRow(0, row, conditions, pattern),
+              detail.flips.size());
+}
+
+TEST_P(TesterTest, HcFirstSearchBracketsExactValue)
+{
+    Conditions conditions;
+    const auto attack = HammerAttack::doubleSided(0, 0);
+    unsigned checked = 0;
+    for (unsigned row = 100; row < 140 && checked < 10; ++row) {
+        const auto exact = dimm.analytic().rowHcFirst(
+            row, HammerAttack::doubleSided(0, row), conditions, pattern,
+            0);
+        if (exact == kNeverFlips ||
+            exact > static_cast<double>(kMaxHammers)) {
+            continue;
+        }
+        ++checked;
+        const auto searched =
+            tester.hcFirstSearch(0, row, conditions, pattern, 0);
+        ASSERT_NE(searched, kNotVulnerable) << "row " << row;
+        // The search reports the smallest probed count with a flip:
+        // it can overshoot the exact value by at most the accuracy
+        // step and must never undershoot it.
+        EXPECT_GE(static_cast<double>(searched), exact - 1.0)
+            << "row " << row;
+        EXPECT_LE(static_cast<double>(searched),
+                  exact + 2.0 * kHcFirstAccuracy)
+            << "row " << row;
+    }
+    (void)attack;
+    EXPECT_GT(checked, 0u);
+}
+
+TEST_P(TesterTest, HcFirstMinIsMinOverTrials)
+{
+    Conditions conditions;
+    for (unsigned row = 200; row < 210; ++row) {
+        const auto min_hc =
+            tester.hcFirstMin(0, row, conditions, pattern);
+        if (min_hc == kNotVulnerable)
+            continue;
+        for (unsigned trial = 0; trial < kRepetitions; ++trial) {
+            const auto hc = tester.hcFirstSearch(0, row, conditions,
+                                                 pattern, trial);
+            if (hc != kNotVulnerable) {
+                EXPECT_LE(min_hc, hc);
+            }
+        }
+    }
+}
+
+TEST_P(TesterTest, WcdpMaximizesFlips)
+{
+    Conditions conditions;
+    std::vector<unsigned> sample{150, 151, 152, 153};
+    const auto wcdp =
+        tester.findWorstCasePattern(0, sample, conditions);
+
+    auto total = [&](const DataPattern &p) {
+        std::uint64_t flips = 0;
+        for (unsigned row : sample)
+            flips += tester.berOfRow(0, row, conditions, p);
+        return flips;
+    };
+
+    const auto best = total(wcdp);
+    for (auto id : allPatterns) {
+        DataPattern candidate(id, dimm.module().info().serial);
+        EXPECT_LE(total(candidate), best)
+            << "pattern " << to_string(id);
+    }
+}
+
+TEST_P(TesterTest, ComplementPatternsCoverOppositeCells)
+{
+    // Between a pattern and its complement, every cell's polarity
+    // requirement is satisfied once; the union of flips must be
+    // larger than either alone.
+    Conditions conditions;
+    const unsigned row = 400;
+    DataPattern a(PatternId::RowStripe);
+    DataPattern b(PatternId::RowStripeInv);
+    const auto fa = tester.berDetail(0, row, conditions, a,
+                                     kMaxHammers);
+    const auto fb = tester.berDetail(0, row, conditions, b,
+                                     kMaxHammers);
+    std::set<std::pair<unsigned, unsigned>> cells;
+    for (const auto &loc : fa.flips)
+        cells.insert({loc.column * 8 + loc.bit, loc.chip});
+    std::size_t overlap = 0;
+    for (const auto &loc : fb.flips) {
+        if (cells.count({loc.column * 8 + loc.bit, loc.chip}))
+            ++overlap;
+    }
+    EXPECT_EQ(overlap, 0u); // Opposite polarities never overlap.
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMfrs, TesterTest,
+                         ::testing::ValuesIn(allMfrs));
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Integration tests: defenses against a live double-sided attack on a
+ * simulated DIMM. A correctly-configured defense must prevent every
+ * bit flip the undefended attack achieves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tester.hh"
+#include "defense/blockhammer.hh"
+#include "defense/evaluate.hh"
+#include "defense/graphene.hh"
+#include "defense/para.hh"
+#include "defense/twice.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::defense;
+using namespace rhs::rhmodel;
+
+/** Find a clearly vulnerable victim row for Mfr. B. */
+unsigned
+vulnerableVictim(SimulatedDimm &dimm, std::uint64_t hammers)
+{
+    core::Tester tester(dimm);
+    DataPattern pattern(PatternId::Checkered);
+    Conditions conditions;
+    for (unsigned row = 100; row < 400; ++row) {
+        if (tester.berOfRow(0, row, conditions, pattern, hammers) >= 3)
+            return row;
+    }
+    ADD_FAILURE() << "no vulnerable row found";
+    return 100;
+}
+
+class EvaluateTest : public ::testing::Test
+{
+  protected:
+    EvaluateTest() : dimm(Mfr::B, 0, smallOptions()),
+                     pattern(PatternId::Checkered)
+    {
+        config.victimPhysicalRow = vulnerableVictim(dimm, config.hammers);
+    }
+
+    static DimmOptions
+    smallOptions()
+    {
+        DimmOptions options;
+        options.subarraysPerBank = 4;
+        return options;
+    }
+
+    SimulatedDimm dimm;
+    DataPattern pattern;
+    AttackConfig config;
+};
+
+TEST_F(EvaluateTest, UndefendedAttackFlipsBits)
+{
+    const auto result = evaluateUndefended(dimm, pattern, config);
+    EXPECT_GE(result.flips, 3u);
+    EXPECT_EQ(result.refreshes, 0u);
+    EXPECT_EQ(result.activations, 2 * config.hammers);
+}
+
+TEST_F(EvaluateTest, GrapheneStopsTheAttack)
+{
+    // Threshold far below any HCfirst in the module.
+    Graphene graphene(8'000, 2 * config.hammers);
+    const auto result = evaluateDefense(dimm, graphene, pattern, config);
+    EXPECT_EQ(result.flips, 0u);
+    EXPECT_GT(result.refreshes, 0u);
+    EXPECT_LT(result.refreshOverhead(), 0.01);
+}
+
+TEST_F(EvaluateTest, TwiceStopsTheAttack)
+{
+    Twice twice(8'000, 2 * config.hammers, 4'096);
+    const auto result = evaluateDefense(dimm, twice, pattern, config);
+    EXPECT_EQ(result.flips, 0u);
+    EXPECT_GT(result.refreshes, 0u);
+}
+
+TEST_F(EvaluateTest, ParaStopsTheAttackWithHighProbability)
+{
+    // Configure for a failure probability of 1e-12 at HCfirst 20K.
+    Para para(Para::probabilityFor(20'000.0, 1e-12), 17);
+    const auto result = evaluateDefense(dimm, para, pattern, config);
+    EXPECT_EQ(result.flips, 0u);
+    EXPECT_GT(result.refreshes, 0u);
+}
+
+TEST_F(EvaluateTest, BlockHammerThrottlesInsteadOfRefreshing)
+{
+    BlockHammer blockhammer(8'000, 2 * config.hammers);
+    const auto result =
+        evaluateDefense(dimm, blockhammer, pattern, config);
+    EXPECT_EQ(result.flips, 0u);
+    EXPECT_EQ(result.refreshes, 0u);
+    EXPECT_GT(result.throttledActs, 0u);
+    // Throttling suppressed nearly all aggressor activations beyond
+    // the blacklist threshold.
+    EXPECT_LT(result.activations, 2 * config.hammers);
+}
+
+TEST_F(EvaluateTest, UnderProvisionedGrapheneFails)
+{
+    // A threshold far above the row's HCfirst refreshes too late: the
+    // defense must NOT stop the attack (sanity check that the harness
+    // does not silently heal victims).
+    Graphene graphene(700'000, 4 * config.hammers);
+    const auto result = evaluateDefense(dimm, graphene, pattern, config);
+    EXPECT_GT(result.flips, 0u);
+}
+
+TEST_F(EvaluateTest, RefreshOverheadScalesWithThreshold)
+{
+    Graphene tight(4'000, 2 * config.hammers);
+    Graphene loose(64'000, 2 * config.hammers);
+    const auto tight_result =
+        evaluateDefense(dimm, tight, pattern, config);
+    const auto loose_result =
+        evaluateDefense(dimm, loose, pattern, config);
+    EXPECT_GT(tight_result.refreshes, loose_result.refreshes);
+    EXPECT_GT(tight.storageBits(), loose.storageBits());
+}
+
+} // namespace

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for the defense mechanisms: PARA probability math,
+ * Graphene's Misra-Gries guarantee, TWiCe pruning, BlockHammer's
+ * counting Bloom filters, and the non-uniform wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "defense/blockhammer.hh"
+#include "defense/graphene.hh"
+#include "defense/nonuniform.hh"
+#include "defense/para.hh"
+#include "defense/twice.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace rhs::defense;
+
+TEST(ParaTest, ProbabilityForFailureBound)
+{
+    const double p = Para::probabilityFor(50'000.0, 1e-15);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    // Check the bound: (1 - p/2)^HC <= failure.
+    const double log_survive = 50'000.0 * std::log1p(-p / 2.0);
+    EXPECT_LE(log_survive, std::log(1e-15) + 1e-6);
+}
+
+TEST(ParaTest, LowerThresholdNeedsHigherProbability)
+{
+    EXPECT_GT(Para::probabilityFor(10'000.0),
+              Para::probabilityFor(100'000.0));
+}
+
+TEST(ParaTest, RefreshRateMatchesProbability)
+{
+    Para para(0.25, 7);
+    unsigned refreshes = 0;
+    const unsigned acts = 20'000;
+    for (unsigned i = 0; i < acts; ++i)
+        refreshes += !para.onActivation({0, 100}).refreshRows.empty();
+    EXPECT_NEAR(static_cast<double>(refreshes) / acts, 0.25, 0.02);
+}
+
+TEST(ParaTest, RefreshTargetsAreNeighbours)
+{
+    Para para(1.0, 3);
+    for (int i = 0; i < 100; ++i) {
+        const auto action = para.onActivation({0, 50});
+        ASSERT_EQ(action.refreshRows.size(), 1u);
+        const unsigned row = action.refreshRows[0];
+        EXPECT_TRUE(row == 49 || row == 51);
+        EXPECT_FALSE(action.throttle);
+    }
+}
+
+TEST(GrapheneTest, TracksHotRowAndRefreshes)
+{
+    Graphene graphene(1000, 100'000);
+    unsigned refreshes = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const auto action = graphene.onActivation({0, 7});
+        refreshes += action.refreshRows.size();
+    }
+    // Threshold 1000: five trigger points, two victims each.
+    EXPECT_EQ(refreshes, 10u);
+}
+
+TEST(GrapheneTest, MisraGriesErrorBound)
+{
+    // Adversarial stream over many distinct rows: the estimate of any
+    // row may undercount its true frequency by at most the spillover.
+    Graphene graphene(100'000, 1'000'000); // Capacity ~11 entries.
+    std::map<unsigned, std::uint64_t> truth;
+    rhs::util::Rng rng(99);
+    for (int i = 0; i < 50'000; ++i) {
+        // Skewed access pattern across 64 rows.
+        const auto row =
+            static_cast<unsigned>(rng.uniformInt(8) * rng.uniformInt(8));
+        ++truth[row];
+        graphene.onActivation({0, row});
+    }
+    for (const auto &[row, count] : truth) {
+        const auto estimate = graphene.estimatedCount(0, row);
+        EXPECT_LE(estimate, count + graphene.spillover());
+        EXPECT_GE(estimate + graphene.spillover(), count);
+    }
+}
+
+TEST(GrapheneTest, CapacityFromWindowAndThreshold)
+{
+    Graphene graphene(1000, 32'000);
+    EXPECT_EQ(graphene.tableCapacity(), 33u);
+    EXPECT_GT(graphene.storageBits(), 0.0);
+}
+
+TEST(GrapheneTest, ResetClearsState)
+{
+    Graphene graphene(10, 1000);
+    for (int i = 0; i < 50; ++i)
+        graphene.onActivation({0, 3});
+    graphene.reset();
+    EXPECT_EQ(graphene.estimatedCount(0, 3), 0u);
+    EXPECT_EQ(graphene.spillover(), 0u);
+}
+
+TEST(TwiceTest, HotRowTriggersRefresh)
+{
+    Twice twice(500, 100'000, 1000);
+    unsigned refreshes = 0;
+    for (int i = 0; i < 1000; ++i)
+        refreshes += twice.onActivation({0, 9}).refreshRows.size();
+    EXPECT_EQ(refreshes, 4u); // Two triggers, two victims each.
+}
+
+TEST(TwiceTest, PruningDropsColdRows)
+{
+    Twice twice(10'000, 100'000, 512);
+    // Touch many cold rows once each; pruning keeps the table small.
+    for (unsigned row = 0; row < 4096; ++row)
+        twice.onActivation({0, row});
+    EXPECT_LT(twice.tableSize(), 1024u);
+    EXPECT_LE(twice.tableSize(), twice.tableHighWater());
+}
+
+TEST(TwiceTest, HotRowSurvivesPruning)
+{
+    Twice twice(2000, 100'000, 256);
+    unsigned refreshes = 0;
+    for (int round = 0; round < 3000; ++round) {
+        refreshes += twice.onActivation({0, 77}).refreshRows.size();
+        // Interleave cold noise.
+        twice.onActivation({0, 10'000u + static_cast<unsigned>(round % 512)});
+    }
+    EXPECT_GE(refreshes, 2u);
+}
+
+TEST(CountingBloomFilterTest, NeverUndercounts)
+{
+    CountingBloomFilter filter(256, 3, 42);
+    std::map<std::uint64_t, std::uint64_t> truth;
+    rhs::util::Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+        const auto key = rng.uniformInt(100);
+        ++truth[key];
+        filter.insert(key);
+    }
+    for (const auto &[key, count] : truth)
+        EXPECT_GE(filter.estimate(key), count);
+}
+
+TEST(CountingBloomFilterTest, ClearZeroes)
+{
+    CountingBloomFilter filter(64, 2, 1);
+    filter.insert(5);
+    filter.clear();
+    EXPECT_EQ(filter.estimate(5), 0u);
+}
+
+TEST(BlockHammerTest, ThrottlesHotRow)
+{
+    BlockHammer defense(1000, 1'000'000);
+    bool throttled = false;
+    for (int i = 0; i < 2000; ++i)
+        throttled |= defense.onActivation({0, 11}).throttle;
+    EXPECT_TRUE(throttled);
+    EXPECT_GT(defense.throttledCount(), 0u);
+}
+
+TEST(BlockHammerTest, ColdRowsPassFreely)
+{
+    BlockHammer defense(1000, 1'000'000);
+    for (unsigned row = 0; row < 500; ++row)
+        EXPECT_FALSE(defense.onActivation({0, row}).throttle);
+}
+
+TEST(BlockHammerTest, EpochRotationForgetsHistory)
+{
+    // With a short window, an old epoch's counts are cleared and a
+    // previously-hot row becomes activatable again.
+    BlockHammer defense(100, 400); // Epoch = 200 activations.
+    for (int i = 0; i < 150; ++i)
+        defense.onActivation({0, 3});
+    EXPECT_GE(defense.estimate(0, 3), 100u);
+    // Push two full epochs of other traffic.
+    for (int i = 0; i < 400; ++i)
+        defense.onActivation({0, 1000u + (i % 50)});
+    EXPECT_LT(defense.estimate(0, 3), 100u);
+}
+
+TEST(BlockHammerTest, ResetClears)
+{
+    BlockHammer defense(100, 1000);
+    for (int i = 0; i < 200; ++i)
+        defense.onActivation({0, 5});
+    defense.reset();
+    EXPECT_EQ(defense.estimate(0, 5), 0u);
+    EXPECT_EQ(defense.throttledCount(), 0u);
+}
+
+TEST(NonUniformTest, RoutesWeakRowsToTightPath)
+{
+    auto strong = std::make_unique<Graphene>(2000, 100'000);
+    auto weak = std::make_unique<Graphene>(1000, 100'000);
+    auto *weak_raw = weak.get();
+    NonUniform defense(std::move(strong), std::move(weak),
+                       {50u});
+
+    // Activations adjacent to the weak row go to the tight path.
+    for (int i = 0; i < 1500; ++i)
+        defense.onActivation({0, 49});
+    EXPECT_GE(weak_raw->estimatedCount(0, 49), 1000u);
+}
+
+TEST(NonUniformTest, StorageIncludesWeakRowList)
+{
+    auto strong = std::make_unique<Graphene>(2000, 100'000);
+    auto weak = std::make_unique<Graphene>(1000, 100'000);
+    const double strong_bits = strong->storageBits();
+    const double weak_bits = weak->storageBits();
+    NonUniform defense(std::move(strong), std::move(weak),
+                       {1u, 2u, 3u});
+    EXPECT_NEAR(defense.storageBits(),
+                strong_bits + weak_bits + 3 * 32.0, 1e-9);
+}
+
+TEST(AreaCostTest, Improvement1Savings)
+{
+    // Obsv. 12 configuration: 5% of rows at worst case, 95% at 2x.
+    const auto report =
+        counterAreaSavings(33'000.0, 0.05, 2.0, 1'000'000.0);
+    EXPECT_GT(report.savingsPct, 30.0);
+    EXPECT_LT(report.nonUniformBits, report.uniformBits);
+}
+
+TEST(AreaCostTest, NoWeakRowsHalvesTable)
+{
+    const auto report =
+        counterAreaSavings(50'000.0, 0.0, 2.0, 1'000'000.0);
+    EXPECT_NEAR(report.savingsPct, 50.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the in-DRAM mitigations: sampling TRR (and its
+ * TRRespass-style many-sided bypass) and DDR5 RFM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "defense/evaluate.hh"
+#include "defense/rfm.hh"
+#include "defense/trr.hh"
+#include "rhmodel/dimm.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::defense;
+using namespace rhs::rhmodel;
+
+TEST(TrrUnitTest, TracksDistinctRowsUpToCapacity)
+{
+    InDramTrr trr(2);
+    trr.onActivation({0, 10});
+    trr.onActivation({0, 12});
+    trr.onActivation({0, 10}); // Re-activation: refreshes recency.
+    EXPECT_EQ(trr.trackedCount(), 2u);
+    trr.onActivation({0, 14}); // Evicts the oldest (12).
+    EXPECT_EQ(trr.trackedCount(), 2u);
+
+    const auto victims = trr.onRefresh();
+    // Tracked rows 10 and 14 -> victims 9, 11, 13, 15.
+    EXPECT_EQ(victims.size(), 4u);
+    EXPECT_EQ(trr.trackedCount(), 0u);
+}
+
+TEST(TrrUnitTest, SamplingIntervalSkipsActivations)
+{
+    InDramTrr trr(8, 4); // Sample every 4th activation.
+    for (unsigned i = 0; i < 8; ++i)
+        trr.onActivation({0, 100 + i});
+    EXPECT_EQ(trr.trackedCount(), 2u);
+}
+
+TEST(TrrUnitTest, NeverActsOutsideRefresh)
+{
+    InDramTrr trr(4);
+    for (int i = 0; i < 100; ++i) {
+        const auto action = trr.onActivation({0, 7});
+        EXPECT_TRUE(action.refreshRows.empty());
+        EXPECT_FALSE(action.throttle);
+    }
+}
+
+TEST(RfmUnitTest, IssuesRfmAtRaaThreshold)
+{
+    Rfm rfm(32, 16);
+    unsigned refresh_batches = 0;
+    for (int i = 0; i < 96; ++i) {
+        const auto action = rfm.onActivation({0, 5});
+        if (!action.refreshRows.empty())
+            ++refresh_batches;
+    }
+    EXPECT_EQ(rfm.rfmCount(), 3u);
+    EXPECT_EQ(refresh_batches, 3u);
+}
+
+TEST(RfmUnitTest, RaaCountersArePerBank)
+{
+    Rfm rfm(10, 16);
+    for (int i = 0; i < 9; ++i) {
+        rfm.onActivation({0, 1});
+        rfm.onActivation({1, 2});
+    }
+    EXPECT_EQ(rfm.rfmCount(), 0u);
+    rfm.onActivation({0, 1});
+    EXPECT_EQ(rfm.rfmCount(), 1u);
+}
+
+TEST(RfmUnitTest, DeterministicProtectionPredicate)
+{
+    EXPECT_TRUE(Rfm(16, 16).providesDeterministicProtection());
+    EXPECT_FALSE(Rfm(64, 16).providesDeterministicProtection());
+}
+
+class TrrEvaluationTest : public ::testing::Test
+{
+  protected:
+    TrrEvaluationTest() : dimm(Mfr::B, 0, smallOptions()),
+                          pattern(PatternId::Checkered)
+    {
+        config.hammers = 80'000;
+        // tREFI-equivalent: one refresh command per ~150 activations.
+        config.refreshEveryActivations = 150;
+    }
+
+    /**
+     * Find a many-sided attack position whose sandwiched victims
+     * include a weak row (keeps the hammer budget small).
+     */
+    HammerAttack
+    weakManySided(unsigned sides)
+    {
+        Conditions conditions;
+        for (unsigned base = 100; base < 4000; base += 2 * sides) {
+            const auto attack =
+                HammerAttack::manySided(0, base, sides);
+            const auto victims = attack.sandwichedVictims();
+            // Only consider victims that are NOT adjacent to the two
+            // most-recently-hammered aggressors (those stay in a
+            // 2-entry tracker at REF time and get protected even by
+            // a synchronized attack).
+            for (std::size_t v = 0; v + 2 < victims.size(); ++v) {
+                const double hc = dimm.analytic().rowHcFirst(
+                    victims[v], attack, conditions, pattern, 0);
+                if (hc < 60'000.0)
+                    return attack;
+            }
+        }
+        ADD_FAILURE() << "no weak many-sided position found";
+        return HammerAttack::manySided(0, 100, sides);
+    }
+
+    static DimmOptions
+    smallOptions()
+    {
+        DimmOptions options;
+        options.subarraysPerBank = 4;
+        return options;
+    }
+
+    SimulatedDimm dimm;
+    DataPattern pattern;
+    AttackConfig config;
+};
+
+TEST_F(TrrEvaluationTest, TrrStopsTheDoubleSidedAttack)
+{
+    // Double-sided: 2 distinct aggressors fit a 4-entry tracker, so
+    // every victim is refreshed at every REF.
+    config.hammers = 120'000;
+    config.victimPhysicalRow = 200;
+    InDramTrr trr(4);
+    const auto result = evaluateDefense(dimm, trr, pattern, config);
+    EXPECT_EQ(result.flips, 0u);
+    EXPECT_GT(result.refreshes, 0u);
+}
+
+TEST_F(TrrEvaluationTest, SynchronizedManySidedAttackBypassesTrr)
+{
+    // TRRespass/SMASH: 8 aggressors against a 2-entry tracker, with
+    // the refresh period *synchronized* to the attack round (19 rounds
+    // of 8 activations per REF). The tracker then always holds the
+    // same two rows at REF time, so the victims of the other six
+    // accumulate disturbance unchecked.
+    config.attack = weakManySided(8);
+    config.refreshEveryActivations = 8 * 19;
+    InDramTrr trr(2);
+
+    const auto undefended =
+        evaluateUndefended(dimm, pattern, config);
+    ASSERT_GT(undefended.flips, 0u);
+
+    const auto result = evaluateDefense(dimm, trr, pattern, config);
+    EXPECT_GT(result.flips, 0u) << "TRR should NOT stop TRRespass";
+}
+
+TEST_F(TrrEvaluationTest, UnsynchronizedAttackIsLargelyMitigated)
+{
+    // Without tREFI synchronization the tracker phase rotates across
+    // the aggressor set, so every victim is refreshed now and then:
+    // the same attack loses most (here: all) of its flips.
+    config.attack = weakManySided(8);
+    config.refreshEveryActivations = 150; // Coprime to the round.
+    InDramTrr trr(2);
+    const auto undefended =
+        evaluateUndefended(dimm, pattern, config);
+    ASSERT_GT(undefended.flips, 0u);
+    const auto result = evaluateDefense(dimm, trr, pattern, config);
+    EXPECT_LT(result.flips, undefended.flips);
+}
+
+TEST_F(TrrEvaluationTest, BiggerTrackerRestoresProtection)
+{
+    config.attack = weakManySided(8);
+    config.refreshEveryActivations = 8 * 19; // Synchronized, but...
+    InDramTrr trr(8); // ...the tracker covers the whole attack.
+    const auto result = evaluateDefense(dimm, trr, pattern, config);
+    EXPECT_EQ(result.flips, 0u);
+}
+
+TEST_F(TrrEvaluationTest, RfmStopsTheManySidedAttack)
+{
+    // RFM's guaranteed-capacity queue (Silver Bullet style) does what
+    // sampling TRR cannot.
+    config.attack = weakManySided(8);
+    config.refreshEveryActivations = 0; // RFM needs no periodic REF.
+    Rfm rfm(16, 16);
+    ASSERT_TRUE(rfm.providesDeterministicProtection());
+    const auto result = evaluateDefense(dimm, rfm, pattern, config);
+    EXPECT_EQ(result.flips, 0u);
+    EXPECT_GT(rfm.rfmCount(), 0u);
+}
+
+TEST(ManySidedAttackTest, GeometryAndVictims)
+{
+    const auto attack = HammerAttack::manySided(0, 100, 4);
+    EXPECT_EQ(attack.aggressorRows,
+              (std::vector<unsigned>{100, 102, 104, 106}));
+    EXPECT_EQ(attack.sandwichedVictims(),
+              (std::vector<unsigned>{101, 103, 105}));
+    EXPECT_EQ(attack.patternCenter, 103u);
+}
+
+TEST(ManySidedAttackTest, SandwichedVictimsFlipLikeDoubleSided)
+{
+    // Each sandwiched victim has aggressors on both sides, so the
+    // per-victim damage rate equals the classic double-sided attack.
+    SimulatedDimm dimm(Mfr::B, 0);
+    const DataPattern pattern(PatternId::Checkered);
+    Conditions conditions;
+
+    const auto many = HammerAttack::manySided(0, 700, 4);
+    const unsigned victim = many.sandwichedVictims()[1];
+    const auto ds = HammerAttack::doubleSided(0, victim);
+
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, victim)) {
+        const double a = dimm.analytic().hammerDamage(
+            cell, victim, many, conditions, pattern);
+        const double b = dimm.analytic().hammerDamage(
+            cell, victim, ds, conditions, pattern);
+        // Many-sided adds small distance-2 contributions on top.
+        EXPECT_GE(a, b);
+        EXPECT_LE(a, b * 1.5);
+    }
+}
+
+} // namespace

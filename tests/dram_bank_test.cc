@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Exhaustive bank FSM timing-violation tests: every JEDEC constraint
+ * the model enforces has a passing and a violating case.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/bank.hh"
+#include "dram/timing.hh"
+
+namespace
+{
+
+using namespace rhs::dram;
+
+class BankTest : public ::testing::Test
+{
+  protected:
+    BankTest() : timing(ddr4_2400()), bank(timing, 0) {}
+
+    Cycles
+    cycles(Ns ns) const
+    {
+        return timing.toCycles(ns);
+    }
+
+    TimingParams timing;
+    Bank bank;
+};
+
+TEST_F(BankTest, ActivateOpensRow)
+{
+    bank.activate(42, 0);
+    EXPECT_TRUE(bank.isActive());
+    EXPECT_EQ(bank.openRow(), 42u);
+    EXPECT_EQ(bank.activationCount(), 1u);
+}
+
+TEST_F(BankTest, ActWhileActiveThrows)
+{
+    bank.activate(1, 0);
+    EXPECT_THROW(bank.activate(2, 100), TimingError);
+}
+
+TEST_F(BankTest, PreWhileIdleThrows)
+{
+    EXPECT_THROW(bank.precharge(0), TimingError);
+}
+
+TEST_F(BankTest, PreBeforeTrasThrows)
+{
+    bank.activate(1, 0);
+    EXPECT_THROW(bank.precharge(cycles(timing.tRAS) - 2), TimingError);
+}
+
+TEST_F(BankTest, PreAtTrasSucceeds)
+{
+    bank.activate(1, 0);
+    const auto record = bank.precharge(cycles(timing.tRAS));
+    EXPECT_GE(record.onTime, timing.tRAS);
+    EXPECT_FALSE(bank.isActive());
+}
+
+TEST_F(BankTest, ActBeforeTrpThrows)
+{
+    bank.activate(1, 0);
+    bank.precharge(cycles(timing.tRAS));
+    EXPECT_THROW(bank.activate(2, cycles(timing.tRAS) + 1), TimingError);
+}
+
+TEST_F(BankTest, ActAfterTrpSucceeds)
+{
+    bank.activate(1, 0);
+    const auto pre_at = cycles(timing.tRAS);
+    bank.precharge(pre_at);
+    bank.activate(2, pre_at + cycles(timing.tRP));
+    EXPECT_EQ(bank.openRow(), 2u);
+}
+
+TEST_F(BankTest, ReadWhileIdleThrows)
+{
+    EXPECT_THROW(bank.read(0, 0), TimingError);
+}
+
+TEST_F(BankTest, ReadBeforeTrcdThrows)
+{
+    bank.activate(1, 0);
+    EXPECT_THROW(bank.read(0, cycles(timing.tRCD) - 2), TimingError);
+}
+
+TEST_F(BankTest, ReadAfterTrcdSucceeds)
+{
+    bank.activate(1, 0);
+    EXPECT_NO_THROW(bank.read(0, cycles(timing.tRCD)));
+}
+
+TEST_F(BankTest, BackToBackReadsRespectTccd)
+{
+    bank.activate(1, 0);
+    const auto first = cycles(timing.tRCD);
+    bank.read(0, first);
+    EXPECT_THROW(bank.read(1, first + 1), TimingError);
+}
+
+TEST_F(BankTest, ReadsSpacedByTccdSucceed)
+{
+    bank.activate(1, 0);
+    const auto first = cycles(timing.tRCD);
+    bank.read(0, first);
+    EXPECT_NO_THROW(bank.read(1, first + cycles(timing.tCCD)));
+}
+
+TEST_F(BankTest, PreBeforeReadToPrechargeDelayThrows)
+{
+    bank.activate(1, 0);
+    const auto rd_at = cycles(timing.tRCD);
+    bank.read(0, rd_at);
+    // tRTP after the read is later than tRAS here.
+    EXPECT_THROW(bank.precharge(rd_at + 1), TimingError);
+}
+
+TEST_F(BankTest, PreAfterReadCompletes)
+{
+    bank.activate(1, 0);
+    const auto rd_at = cycles(timing.tRCD);
+    bank.read(0, rd_at);
+    const auto pre_at = std::max(cycles(timing.tRAS),
+                                 rd_at + cycles(timing.tRTP));
+    EXPECT_NO_THROW(bank.precharge(pre_at));
+}
+
+TEST_F(BankTest, WriteRequiresTwrBeforePre)
+{
+    bank.activate(1, 0);
+    const auto wr_at = cycles(timing.tRCD);
+    bank.write(0, wr_at);
+    EXPECT_THROW(bank.precharge(wr_at + cycles(timing.tRTP)),
+                 TimingError);
+    Bank fresh(timing, 1);
+    fresh.activate(1, 0);
+    fresh.write(0, wr_at);
+    EXPECT_NO_THROW(fresh.precharge(
+        std::max(cycles(timing.tRAS), wr_at + cycles(timing.tWR))));
+}
+
+TEST_F(BankTest, MeasuredOnAndOffTimes)
+{
+    // Two activations with stretched on/off windows: the second
+    // record must carry the stretched times.
+    const Cycles on = cycles(94.5), off = cycles(40.5);
+    bank.activate(1, 0);
+    bank.precharge(on);
+    bank.activate(2, on + off);
+    const auto record = bank.precharge(on + off + on);
+    EXPECT_DOUBLE_EQ(record.onTime, timing.toNs(on));
+    EXPECT_DOUBLE_EQ(record.offTime, timing.toNs(off));
+    EXPECT_EQ(record.physicalRow, 2u);
+    EXPECT_EQ(bank.activationCount(), 2u);
+}
+
+TEST_F(BankTest, HammerLoopAtSpecTimings)
+{
+    // A long baseline hammer loop never violates timing.
+    Cycles t = 0;
+    const auto on = cycles(timing.tRAS), off = cycles(timing.tRP);
+    for (int h = 0; h < 1000; ++h) {
+        bank.activate(h % 2 ? 100 : 102, t);
+        bank.precharge(t + on);
+        t += on + off;
+    }
+    EXPECT_EQ(bank.activationCount(), 1000u);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the channel/rank layer: shared-bus serialization across
+ * ranks (§2.1) on top of the per-rank FSMs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/channel.hh"
+
+namespace
+{
+
+using namespace rhs::dram;
+
+std::unique_ptr<Module>
+makeRank(std::uint64_t serial)
+{
+    Geometry g;
+    g.banks = 2;
+    g.subarraysPerBank = 2;
+    g.rowsPerSubarray = 64;
+    g.columnsPerRow = 32;
+    ModuleInfo info;
+    info.label = "R" + std::to_string(serial);
+    info.chips = 2;
+    info.serial = serial;
+    return std::make_unique<Module>(info, g, ddr4_2400(),
+                                    makeIdentityMapping());
+}
+
+TEST(ChannelTest, RanksAttachAndResolve)
+{
+    Channel channel("ch0");
+    const auto r0 = channel.addRank(makeRank(1));
+    const auto r1 = channel.addRank(makeRank(2));
+    EXPECT_EQ(r0, 0u);
+    EXPECT_EQ(r1, 1u);
+    EXPECT_EQ(channel.rankCount(), 2u);
+    EXPECT_EQ(channel.rank(0).info().serial, 1u);
+    EXPECT_EQ(channel.rank(1).info().serial, 2u);
+}
+
+TEST(ChannelTest, CommandsToDifferentRanksAreSerialized)
+{
+    Channel channel("ch0");
+    channel.addRank(makeRank(1));
+    channel.addRank(makeRank(2));
+
+    channel.issue(0, {CommandType::Act, 0, 10, 0, 100});
+    // Same bus cycle, different rank: the shared bus forbids it.
+    EXPECT_THROW(channel.issue(1, {CommandType::Act, 0, 20, 0, 100}),
+                 TimingError);
+    // One cycle later is fine.
+    EXPECT_NO_THROW(
+        channel.issue(1, {CommandType::Act, 0, 20, 0, 101}));
+}
+
+TEST(ChannelTest, BusTimeOnlyMovesForward)
+{
+    Channel channel("ch0");
+    channel.addRank(makeRank(1));
+    channel.issue(0, {CommandType::Act, 0, 10, 0, 50});
+    EXPECT_THROW(channel.issue(0, {CommandType::Pre, 0, 0, 0, 40}),
+                 TimingError);
+    EXPECT_EQ(channel.lastBusCycle(), 50u);
+}
+
+TEST(ChannelTest, PerRankTimingStillEnforced)
+{
+    Channel channel("ch0");
+    channel.addRank(makeRank(1));
+    const auto &timing = channel.rank(0).timing();
+    channel.issue(0, {CommandType::Act, 0, 10, 0, 0});
+    // The bus is free at cycle 5, but the rank's tRAS is not elapsed.
+    EXPECT_THROW(channel.issue(0, {CommandType::Pre, 0, 0, 0, 5}),
+                 TimingError);
+    EXPECT_NO_THROW(channel.issue(
+        0, {CommandType::Pre, 0, 0, 0, timing.toCycles(timing.tRAS)}));
+}
+
+TEST(ChannelTest, InterleavedRankHammering)
+{
+    // Hammering two ranks in alternation doubles throughput per rank
+    // bank budget while respecting the shared bus.
+    Channel channel("ch0");
+    channel.addRank(makeRank(1));
+    channel.addRank(makeRank(2));
+    const auto &timing = channel.rank(0).timing();
+    const auto on = timing.toCycles(timing.tRAS);
+    const auto off = timing.toCycles(timing.tRP);
+
+    Cycles base = 0;
+    for (int h = 0; h < 200; ++h) {
+        channel.issue(0, {CommandType::Act, 0, 10, 0, base});
+        channel.issue(1, {CommandType::Act, 0, 30, 0, base + 1});
+        channel.issue(0, {CommandType::Pre, 0, 0, 0, base + on});
+        channel.issue(1, {CommandType::Pre, 0, 0, 0, base + on + 1});
+        base += on + off + 2;
+    }
+    EXPECT_EQ(channel.rank(0).totalActivations(), 200u);
+    EXPECT_EQ(channel.rank(1).totalActivations(), 200u);
+    EXPECT_EQ(channel.busCommands(), 800u);
+}
+
+TEST(ChannelTest, ReadColumnUsesTheBus)
+{
+    Channel channel("ch0");
+    channel.addRank(makeRank(1));
+    const auto &timing = channel.rank(0).timing();
+    channel.issue(0, {CommandType::Act, 0, 3, 0, 0});
+    const auto at = timing.toCycles(timing.tRCD);
+    const auto data = channel.readColumn(0, 0, 5, at);
+    EXPECT_EQ(data.size(), 2u);
+    // The read occupied the bus at `at`.
+    EXPECT_THROW(channel.issue(0, {CommandType::Pre, 0, 0, 0, at}),
+                 TimingError);
+}
+
+TEST(ChannelTest, NopsDoNotOccupyTheBus)
+{
+    Channel channel("ch0");
+    channel.addRank(makeRank(1));
+    channel.issue(0, {CommandType::Act, 0, 1, 0, 10});
+    EXPECT_NO_THROW(
+        channel.issue(0, {CommandType::Nop, 0, 0, 0, 10}));
+    EXPECT_EQ(channel.busCommands(), 1u);
+}
+
+} // namespace

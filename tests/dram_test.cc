@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Unit tests for the DRAM substrate: geometry, timing conversion,
+ * address mappings, chip data store, and module command dispatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/address_mapping.hh"
+#include "dram/chip.hh"
+#include "dram/module.hh"
+#include "dram/timing.hh"
+
+namespace
+{
+
+using namespace rhs::dram;
+
+TEST(GeometryTest, DerivedQuantities)
+{
+    Geometry g;
+    g.banks = 4;
+    g.subarraysPerBank = 16;
+    g.rowsPerSubarray = 512;
+    g.columnsPerRow = 1024;
+    g.bitsPerColumn = 8;
+    EXPECT_EQ(g.rowsPerBank(), 8192u);
+    EXPECT_EQ(g.bitsPerRow(), 8192u);
+    EXPECT_EQ(g.bytesPerRow(), 1024u);
+    EXPECT_EQ(g.subarrayOf(0), 0u);
+    EXPECT_EQ(g.subarrayOf(511), 0u);
+    EXPECT_EQ(g.subarrayOf(512), 1u);
+    EXPECT_EQ(g.rowInSubarray(513), 1u);
+}
+
+TEST(TimingTest, Presets)
+{
+    const auto ddr4 = ddr4_2400();
+    EXPECT_EQ(ddr4.standard, Standard::DDR4);
+    EXPECT_DOUBLE_EQ(ddr4.tRAS, 34.5); // Paper baseline on-time.
+    EXPECT_DOUBLE_EQ(ddr4.tRP, 16.5);  // Paper baseline off-time.
+    EXPECT_DOUBLE_EQ(ddr4.clock, 1.25); // SoftMC DDR4 granularity.
+
+    const auto ddr3 = ddr3_1600();
+    EXPECT_EQ(ddr3.standard, Standard::DDR3);
+    EXPECT_DOUBLE_EQ(ddr3.clock, 2.5);
+}
+
+TEST(TimingTest, CycleConversionRoundsUp)
+{
+    const auto t = ddr4_2400();
+    EXPECT_EQ(t.toCycles(1.25), 1u);
+    EXPECT_EQ(t.toCycles(1.26), 2u);
+    EXPECT_EQ(t.toCycles(34.5), 28u); // 34.5 / 1.25 = 27.6 -> 28.
+    EXPECT_DOUBLE_EQ(t.toNs(28), 35.0);
+}
+
+TEST(TimingTest, HammerPeriod)
+{
+    const auto t = ddr4_2400();
+    EXPECT_DOUBLE_EQ(t.hammerPeriod(), 51.0);
+}
+
+class MappingTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MappingTest, BijectiveOverFirstRows)
+{
+    const auto mapping = makeMapping(GetParam());
+    std::set<unsigned> images;
+    for (unsigned row = 0; row < 4096; ++row) {
+        const unsigned phys = mapping->toPhysical(row);
+        EXPECT_EQ(mapping->toLogical(phys), row) << "row " << row;
+        images.insert(phys);
+    }
+    EXPECT_EQ(images.size(), 4096u); // Injective.
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, MappingTest,
+                         ::testing::Values("identity", "msb-pair", "xor"));
+
+TEST(MappingTest, IdentityIsIdentity)
+{
+    const auto mapping = makeIdentityMapping();
+    EXPECT_EQ(mapping->toPhysical(1234), 1234u);
+}
+
+TEST(MappingTest, MsbPairFoldsUpperHalf)
+{
+    const auto mapping = makeMsbPairMapping();
+    EXPECT_EQ(mapping->toPhysical(0x8), 0xFu);
+    EXPECT_EQ(mapping->toPhysical(0xF), 0x8u);
+    EXPECT_EQ(mapping->toPhysical(0x3), 0x3u);
+}
+
+TEST(MappingTest, XorSwizzleScramblesNeighbours)
+{
+    const auto mapping = makeXorSwizzleMapping(0x3);
+    // Logical 8 has (8>>3)&3 = 1 -> physical 9.
+    EXPECT_EQ(mapping->toPhysical(8), 9u);
+    EXPECT_EQ(mapping->toPhysical(9), 8u);
+}
+
+TEST(MappingDeathTest, UnknownSchemeIsFatal)
+{
+    EXPECT_EXIT(makeMapping("nonsense"), ::testing::ExitedWithCode(1),
+                "unknown row mapping");
+}
+
+Geometry
+testGeometry()
+{
+    Geometry g;
+    g.banks = 2;
+    g.subarraysPerBank = 2;
+    g.rowsPerSubarray = 64;
+    g.columnsPerRow = 32;
+    g.bitsPerColumn = 8;
+    return g;
+}
+
+TEST(ChipTest, UnwrittenRowsReadAsZero)
+{
+    const auto g = testGeometry();
+    Chip chip(g, 0);
+    EXPECT_FALSE(chip.hasRow(0, 5));
+    const auto row = chip.readRow(0, 5);
+    EXPECT_EQ(row.size(), g.bytesPerRow());
+    for (auto b : row)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(ChipTest, WriteReadRoundTrip)
+{
+    const auto g = testGeometry();
+    Chip chip(g, 0);
+    std::vector<std::uint8_t> data(g.bytesPerRow(), 0xA5);
+    chip.writeRow(1, 7, data);
+    EXPECT_TRUE(chip.hasRow(1, 7));
+    EXPECT_EQ(chip.readRow(1, 7), data);
+    EXPECT_EQ(chip.readByte(1, 7, 3), 0xA5);
+}
+
+TEST(ChipTest, FlipBitTogglesExactlyOneBit)
+{
+    const auto g = testGeometry();
+    Chip chip(g, 0);
+    chip.writeByte(0, 1, 2, 0x00);
+    chip.flipBit(0, 1, 2, 4);
+    EXPECT_EQ(chip.readByte(0, 1, 2), 0x10);
+    chip.flipBit(0, 1, 2, 4);
+    EXPECT_EQ(chip.readByte(0, 1, 2), 0x00);
+}
+
+TEST(ChipTest, FlipBitMaterializesRow)
+{
+    const auto g = testGeometry();
+    Chip chip(g, 0);
+    chip.flipBit(0, 9, 0, 0);
+    EXPECT_TRUE(chip.hasRow(0, 9));
+    EXPECT_EQ(chip.readByte(0, 9, 0), 0x01);
+}
+
+TEST(ChipTest, ClearDropsEverything)
+{
+    const auto g = testGeometry();
+    Chip chip(g, 0);
+    chip.writeByte(0, 1, 0, 0xFF);
+    chip.clear();
+    EXPECT_FALSE(chip.hasRow(0, 1));
+}
+
+TEST(ChipDeathTest, OutOfRangeAddressesPanic)
+{
+    const auto g = testGeometry();
+    Chip chip(g, 0);
+    EXPECT_DEATH(chip.readByte(5, 0, 0), "bank");
+    EXPECT_DEATH(chip.readByte(0, 9999, 0), "row");
+    EXPECT_DEATH(chip.readByte(0, 0, 9999), "column");
+}
+
+ModuleInfo
+testInfo()
+{
+    ModuleInfo info;
+    info.label = "T0";
+    info.manufacturer = "Test";
+    info.chips = 4;
+    info.serial = 0x1234;
+    return info;
+}
+
+TEST(ModuleTest, ActPreReadbackThroughBus)
+{
+    Module module(testInfo(), testGeometry(), ddr4_2400(),
+                  makeIdentityMapping());
+    // Install data directly, then read through the command interface.
+    std::vector<std::vector<std::uint8_t>> images(
+        4, std::vector<std::uint8_t>(module.geometry().bytesPerRow(),
+                                     0x5A));
+    module.storeRowDirect(0, 10, images);
+
+    Command act{CommandType::Act, 0, 10, 0, 100};
+    module.issue(act);
+    const auto t = module.timing();
+    const auto data =
+        module.readColumn(0, 3, 100 + t.toCycles(t.tRCD));
+    ASSERT_EQ(data.size(), 4u);
+    for (auto byte : data)
+        EXPECT_EQ(byte, 0x5A);
+}
+
+TEST(ModuleTest, WriteColumnThroughBus)
+{
+    Module module(testInfo(), testGeometry(), ddr4_2400(),
+                  makeIdentityMapping());
+    const auto t = module.timing();
+    module.issue({CommandType::Act, 0, 3, 0, 0});
+    module.writeColumn(0, 7, {1, 2, 3, 4}, t.toCycles(t.tRCD));
+    EXPECT_EQ(module.chip(0).readByte(0, 3, 7), 1);
+    EXPECT_EQ(module.chip(3).readByte(0, 3, 7), 4);
+}
+
+TEST(ModuleTest, MappingAppliedOnActivate)
+{
+    Module module(testInfo(), testGeometry(), ddr4_2400(),
+                  makeXorSwizzleMapping(0x3));
+    module.issue({CommandType::Act, 0, 8, 0, 0}); // Physical row 9.
+    EXPECT_EQ(module.bank(0).openRow(), 9u);
+}
+
+TEST(ModuleTest, RefreshIsRejectedDuringTests)
+{
+    Module module(testInfo(), testGeometry(), ddr4_2400(),
+                  makeIdentityMapping());
+    EXPECT_THROW(module.issue({CommandType::Ref, 0, 0, 0, 0}),
+                 TimingError);
+}
+
+TEST(ModuleTest, PreAllClosesEveryBank)
+{
+    Module module(testInfo(), testGeometry(), ddr4_2400(),
+                  makeIdentityMapping());
+    const auto t = module.timing();
+    module.issue({CommandType::Act, 0, 1, 0, 0});
+    module.issue({CommandType::Act, 1, 2, 0, t.toCycles(t.tRRD)});
+    module.issue(
+        {CommandType::PreA, 0, 0, 0,
+         t.toCycles(t.tRRD) + t.toCycles(t.tRAS)});
+    EXPECT_FALSE(module.bank(0).isActive());
+    EXPECT_FALSE(module.bank(1).isActive());
+    EXPECT_EQ(module.totalActivations(), 2u);
+}
+
+struct RecordingListener : ActivationListener
+{
+    std::vector<ActivationRecord> records;
+
+    void
+    onActivation(const ActivationRecord &record) override
+    {
+        records.push_back(record);
+    }
+};
+
+TEST(ModuleTest, ListenersSeeMeasuredTimes)
+{
+    Module module(testInfo(), testGeometry(), ddr4_2400(),
+                  makeIdentityMapping());
+    RecordingListener listener;
+    module.addListener(&listener);
+
+    const auto t = module.timing();
+    const Cycles on = t.toCycles(60.0);
+    module.issue({CommandType::Act, 0, 5, 0, 0});
+    module.issue({CommandType::Pre, 0, 0, 0, on});
+    ASSERT_EQ(listener.records.size(), 1u);
+    EXPECT_EQ(listener.records[0].physicalRow, 5u);
+    EXPECT_DOUBLE_EQ(listener.records[0].onTime, t.toNs(on));
+    // First activation reports the nominal tRP as its off-time.
+    EXPECT_DOUBLE_EQ(listener.records[0].offTime, t.tRP);
+}
+
+TEST(ModuleTest, RankTrrdIsEnforcedAcrossBanks)
+{
+    Module module(testInfo(), testGeometry(), ddr4_2400(),
+                  makeIdentityMapping());
+    const auto t = module.timing();
+    module.issue({CommandType::Act, 0, 1, 0, 100});
+    // An ACT to another bank inside tRRD is rejected.
+    EXPECT_THROW(module.issue({CommandType::Act, 1, 2, 0, 101}),
+                 TimingError);
+    EXPECT_NO_THROW(module.issue(
+        {CommandType::Act, 1, 2, 0, 100 + t.toCycles(t.tRRD)}));
+}
+
+TEST(ModuleTest, RankTfawLimitsActivationBursts)
+{
+    // Geometry with enough banks for a 5-ACT burst.
+    Geometry g = testGeometry();
+    g.banks = 8;
+    Module module(testInfo(), g, ddr4_2400(), makeIdentityMapping());
+    const auto t = module.timing();
+    const auto rrd = t.toCycles(t.tRRD);
+
+    Cycles cycle = 0;
+    for (unsigned bank = 0; bank < 4; ++bank) {
+        module.issue({CommandType::Act, bank, 1, 0, cycle});
+        cycle += rrd;
+    }
+    // The fifth ACT at tRRD pace falls inside the four-activation
+    // window (4 * tRRD = 20ns < tFAW = 25ns) and must wait.
+    EXPECT_THROW(module.issue({CommandType::Act, 4, 1, 0, cycle}),
+                 TimingError);
+    EXPECT_NO_THROW(module.issue(
+        {CommandType::Act, 4, 1, 0, module.earliestRankAct(cycle)}));
+}
+
+TEST(ModuleTest, EarliestRankActRespectsBothConstraints)
+{
+    Module module(testInfo(), testGeometry(), ddr4_2400(),
+                  makeIdentityMapping());
+    const auto t = module.timing();
+    EXPECT_EQ(module.earliestRankAct(7), 7u); // No history yet.
+    module.issue({CommandType::Act, 0, 1, 0, 10});
+    EXPECT_EQ(module.earliestRankAct(0), 10 + t.toCycles(t.tRRD));
+}
+
+TEST(ModuleTest, PowerCycleResetsState)
+{
+    Module module(testInfo(), testGeometry(), ddr4_2400(),
+                  makeIdentityMapping());
+    module.issue({CommandType::Act, 0, 1, 0, 0});
+    module.chip(0).writeByte(0, 1, 0, 0xFF);
+    module.powerCycle();
+    EXPECT_FALSE(module.bank(0).isActive());
+    EXPECT_EQ(module.chip(0).readByte(0, 1, 0), 0);
+    EXPECT_EQ(module.totalActivations(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the SEC-DED codec and the RowHammer-vs-ECC analysis
+ * (Defense Improvement 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/rowhammer_ecc.hh"
+#include "ecc/secded.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace rhs::ecc;
+
+TEST(SecDedTest, CleanRoundTrip)
+{
+    for (std::uint64_t data :
+         {0ull, ~0ull, 0xDEADBEEFCAFEF00Dull, 1ull, 1ull << 63}) {
+        const auto decoded = decode(encode(data));
+        EXPECT_EQ(decoded.status, DecodeStatus::Clean);
+        EXPECT_EQ(decoded.data, data);
+    }
+}
+
+class SingleBitTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SingleBitTest, EverySingleFlipIsCorrected)
+{
+    const std::uint64_t data = 0x0123456789ABCDEFull;
+    auto codeword = encode(data);
+    flipBit(codeword, GetParam());
+    const auto decoded = decode(codeword);
+    EXPECT_EQ(decoded.status, DecodeStatus::Corrected)
+        << "position " << GetParam();
+    EXPECT_EQ(decoded.data, data) << "position " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, SingleBitTest,
+                         ::testing::Range(0u, 72u));
+
+TEST(SecDedTest, EveryDoubleFlipIsDetected)
+{
+    const std::uint64_t data = 0xFEDCBA9876543210ull;
+    rhs::util::Rng rng(3);
+    for (int trial = 0; trial < 500; ++trial) {
+        const auto a = static_cast<unsigned>(rng.uniformInt(72));
+        auto b = static_cast<unsigned>(rng.uniformInt(72));
+        if (a == b)
+            continue;
+        auto codeword = encode(data);
+        flipBit(codeword, a);
+        flipBit(codeword, b);
+        EXPECT_EQ(decode(codeword).status,
+                  DecodeStatus::DetectedDouble)
+            << "positions " << a << "," << b;
+    }
+}
+
+TEST(SecDedTest, TripleFlipsCanSilentlyMiscorrect)
+{
+    // SEC-DED's known failure mode: odd flip counts >= 3 alias onto
+    // single-error syndromes and decode "successfully" with wrong
+    // data. At least some triples must do so.
+    const std::uint64_t data = 0x1111222233334444ull;
+    rhs::util::Rng rng(7);
+    unsigned miscorrections = 0;
+    for (int trial = 0; trial < 500; ++trial) {
+        auto codeword = encode(data);
+        unsigned a = static_cast<unsigned>(rng.uniformInt(72));
+        unsigned b = static_cast<unsigned>(rng.uniformInt(72));
+        unsigned c = static_cast<unsigned>(rng.uniformInt(72));
+        if (a == b || b == c || a == c)
+            continue;
+        flipBit(codeword, a);
+        flipBit(codeword, b);
+        flipBit(codeword, c);
+        const auto decoded = decode(codeword);
+        if (decoded.status == DecodeStatus::Corrected &&
+            decoded.data != data) {
+            ++miscorrections;
+        }
+    }
+    EXPECT_GT(miscorrections, 0u);
+}
+
+TEST(SecDedTest, DataBitPositionsAreDistinctNonParity)
+{
+    std::set<unsigned> positions;
+    for (unsigned i = 0; i < 64; ++i) {
+        const unsigned pos = dataBitPosition(i);
+        EXPECT_GE(pos, 1u);
+        EXPECT_LT(pos, 72u);
+        EXPECT_NE(pos & (pos - 1), 0u) << "parity position " << pos;
+        positions.insert(pos);
+    }
+    EXPECT_EQ(positions.size(), 64u);
+}
+
+TEST(WordLayoutTest, ContiguousMapping)
+{
+    EXPECT_EQ(wordOf(0, 1024, WordLayout::Contiguous), 0u);
+    EXPECT_EQ(wordOf(7, 1024, WordLayout::Contiguous), 0u);
+    EXPECT_EQ(wordOf(8, 1024, WordLayout::Contiguous), 1u);
+    EXPECT_EQ(byteSlotOf(13, 1024, WordLayout::Contiguous), 5u);
+}
+
+TEST(WordLayoutTest, InterleavedMappingIsABijection)
+{
+    const unsigned columns = 64; // 8 words.
+    std::set<std::pair<unsigned, unsigned>> seen;
+    for (unsigned col = 0; col < columns; ++col) {
+        const auto word = wordOf(col, columns, WordLayout::Interleaved);
+        const auto slot =
+            byteSlotOf(col, columns, WordLayout::Interleaved);
+        EXPECT_LT(word, 8u);
+        EXPECT_LT(slot, 8u);
+        EXPECT_TRUE(seen.insert({word, slot}).second)
+            << "collision at column " << col;
+    }
+}
+
+TEST(WordLayoutTest, InterleavingSeparatesAdjacentColumns)
+{
+    // Two flips in adjacent columns share a word under the contiguous
+    // layout but land in different words when interleaved.
+    const unsigned columns = 1024;
+    EXPECT_EQ(wordOf(16, columns, WordLayout::Contiguous),
+              wordOf(17, columns, WordLayout::Contiguous));
+    EXPECT_NE(wordOf(16, columns, WordLayout::Interleaved),
+              wordOf(17, columns, WordLayout::Interleaved));
+}
+
+TEST(AnalyzeFlipsTest, SingleFlipsAreCorrected)
+{
+    rhs::dram::Geometry geometry;
+    std::vector<rhs::dram::CellLocation> flips{
+        {0, 0, 100, 24, 3, }, // chip 0, column 24.
+        {1, 0, 100, 800, 0},  // chip 1.
+    };
+    const auto outcome =
+        analyzeFlips(flips, geometry, WordLayout::Contiguous);
+    EXPECT_EQ(outcome.words, 2u);
+    EXPECT_EQ(outcome.corrected, 2u);
+    EXPECT_EQ(outcome.silentCorruption, 0u);
+}
+
+TEST(AnalyzeFlipsTest, ClusteredFlipsAreDetectedContiguous)
+{
+    rhs::dram::Geometry geometry;
+    // Two flips in the same 8-column group of the same chip.
+    std::vector<rhs::dram::CellLocation> flips{
+        {0, 0, 100, 24, 3},
+        {0, 0, 100, 25, 6},
+    };
+    const auto contiguous =
+        analyzeFlips(flips, geometry, WordLayout::Contiguous);
+    EXPECT_EQ(contiguous.words, 1u);
+    EXPECT_EQ(contiguous.detected, 1u);
+
+    // Interleaving separates them into two correctable words.
+    const auto interleaved =
+        analyzeFlips(flips, geometry, WordLayout::Interleaved);
+    EXPECT_EQ(interleaved.words, 2u);
+    EXPECT_EQ(interleaved.corrected, 2u);
+}
+
+TEST(AnalyzeFlipsTest, TripleClusterRisksSilentCorruption)
+{
+    rhs::dram::Geometry geometry;
+    std::vector<rhs::dram::CellLocation> flips{
+        {0, 0, 100, 24, 1},
+        {0, 0, 100, 25, 2},
+        {0, 0, 100, 26, 3},
+    };
+    const auto outcome =
+        analyzeFlips(flips, geometry, WordLayout::Contiguous);
+    EXPECT_EQ(outcome.words, 1u);
+    // A triple either miscorrects silently or (rarely) hits an
+    // invalid syndrome and is detected.
+    EXPECT_EQ(outcome.silentCorruption + outcome.detected, 1u);
+}
+
+TEST(AnalyzeFlipsTest, MergeAccumulates)
+{
+    EccOutcome a{10, 6, 3, 1};
+    const EccOutcome b{5, 5, 0, 0};
+    a.merge(b);
+    EXPECT_EQ(a.words, 15u);
+    EXPECT_EQ(a.corrected, 11u);
+    EXPECT_NEAR(a.silentRate(), 1.0 / 15.0, 1e-12);
+    EXPECT_NEAR(a.correctedRate(), 11.0 / 15.0, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Randomized property tests: legally-scheduled command streams never
+ * trip the bank FSM, randomly perturbed streams are always caught,
+ * and the fault model stays internally consistent under random
+ * condition mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/module.hh"
+#include "rhmodel/dimm.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::dram;
+
+Module
+fuzzModule()
+{
+    Geometry g;
+    g.banks = 4;
+    g.subarraysPerBank = 2;
+    g.rowsPerSubarray = 256;
+    g.columnsPerRow = 64;
+    ModuleInfo info;
+    info.label = "F";
+    info.chips = 2;
+    info.serial = 0xF022;
+    return Module(info, g, ddr4_2400(), makeIdentityMapping());
+}
+
+/** Per-bank scheduler that tracks earliest-legal issue cycles. */
+struct LegalScheduler
+{
+    explicit LegalScheduler(const TimingParams &timing) : timing(timing)
+    {
+    }
+
+    Cycles
+    legalAct(unsigned bank) const
+    {
+        return nextAct[bank];
+    }
+
+    void
+    recordAct(unsigned bank, Cycles cycle)
+    {
+        open[bank] = true;
+        actAt[bank] = cycle;
+        nextColumn[bank] = cycle + timing.toCycles(timing.tRCD);
+        earliestPre[bank] =
+            std::max(earliestPre[bank],
+                     cycle + timing.toCycles(timing.tRAS));
+    }
+
+    void
+    recordColumn(unsigned bank, Cycles cycle, bool is_write)
+    {
+        const auto done = cycle + timing.toCycles(
+                                      is_write ? timing.tWR : timing.tRTP);
+        earliestPre[bank] = std::max(earliestPre[bank], done);
+        nextColumn[bank] = cycle + timing.toCycles(timing.tCCD);
+    }
+
+    void
+    recordPre(unsigned bank, Cycles cycle)
+    {
+        open[bank] = false;
+        nextAct[bank] = cycle + timing.toCycles(timing.tRP);
+        earliestPre[bank] = 0;
+    }
+
+    const TimingParams &timing;
+    bool open[4] = {false, false, false, false};
+    Cycles actAt[4] = {0, 0, 0, 0};
+    Cycles nextAct[4] = {0, 0, 0, 0};
+    Cycles nextColumn[4] = {0, 0, 0, 0};
+    Cycles earliestPre[4] = {0, 0, 0, 0};
+};
+
+class ScheduleFuzzTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ScheduleFuzzTest, LegalRandomSchedulesNeverThrow)
+{
+    auto module = fuzzModule();
+    const auto &timing = module.timing();
+    LegalScheduler sched(timing);
+    util::Rng rng(GetParam());
+
+    Cycles now = 0;
+    unsigned issued = 0;
+    for (int step = 0; step < 3000; ++step) {
+        const auto bank = static_cast<unsigned>(rng.uniformInt(4));
+        now += 1 + rng.uniformInt(4);
+
+        if (!sched.open[bank]) {
+            const Cycles at = module.earliestRankAct(
+                std::max(now, sched.legalAct(bank)));
+            const auto row =
+                static_cast<unsigned>(rng.uniformInt(512));
+            EXPECT_NO_THROW(module.issue(
+                {CommandType::Act, bank, row, 0, at}));
+            sched.recordAct(bank, at);
+            now = at;
+            ++issued;
+        } else if (rng.bernoulli(0.4)) {
+            const Cycles at = std::max(now, sched.nextColumn[bank]);
+            const bool write = rng.bernoulli(0.5);
+            const auto column =
+                static_cast<unsigned>(rng.uniformInt(64));
+            if (write) {
+                EXPECT_NO_THROW(module.writeColumn(
+                    bank, column, {0x11, 0x22}, at));
+            } else {
+                EXPECT_NO_THROW(module.readColumn(bank, column, at));
+            }
+            sched.recordColumn(bank, at, write);
+            now = at;
+            ++issued;
+        } else {
+            const Cycles at = std::max(now, sched.earliestPre[bank]);
+            EXPECT_NO_THROW(
+                module.issue({CommandType::Pre, bank, 0, 0, at}));
+            sched.recordPre(bank, at);
+            now = at;
+            ++issued;
+        }
+    }
+    EXPECT_GT(issued, 1000u);
+}
+
+TEST_P(ScheduleFuzzTest, PrematureCommandsAlwaysThrow)
+{
+    const auto &timing = ddr4_2400();
+    util::Rng rng(GetParam() + 1000);
+
+    for (int trial = 0; trial < 200; ++trial) {
+        auto module = fuzzModule();
+        // Open a row, then issue a PRE strictly inside tRAS.
+        module.issue({CommandType::Act, 0, 5, 0, 0});
+        const auto legal = timing.toCycles(timing.tRAS);
+        const Cycles premature = rng.uniformInt(legal - 1);
+        EXPECT_THROW(
+            module.issue({CommandType::Pre, 0, 0, 0, premature}),
+            TimingError)
+            << "PRE at " << premature << " of " << legal;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+class ModelConsistencyFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ModelConsistencyFuzz, HcFirstConsistentWithBerAtRandomConditions)
+{
+    // For random conditions, the row flips in a BER test iff the
+    // hammer count is at least the row's HCfirst.
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::C, 0);
+    util::Rng rng(GetParam());
+    const rhmodel::DataPattern pattern(rhmodel::PatternId::Checkered,
+                                       77);
+
+    for (int trial = 0; trial < 40; ++trial) {
+        rhmodel::Conditions conditions;
+        conditions.temperature = 50.0 + 5.0 * rng.uniformInt(9);
+        conditions.tAggOn = 34.5 + rng.uniform(0.0, 120.0);
+        conditions.tAggOff = 16.5 + rng.uniform(0.0, 24.0);
+        const auto row =
+            static_cast<unsigned>(100 + rng.uniformInt(4000));
+        const auto attack =
+            rhmodel::HammerAttack::doubleSided(0, row);
+
+        const double hc = dimm.analytic().rowHcFirst(
+            row, attack, conditions, pattern, 0);
+        if (hc == rhmodel::kNeverFlips)
+            continue;
+
+        const auto hammers = static_cast<std::uint64_t>(hc);
+        const auto below = dimm.analytic().berTest(
+            row, attack, conditions, pattern,
+            hammers > 1 ? hammers - 1 : 0, 0);
+        const auto above = dimm.analytic().berTest(
+            row, attack, conditions, pattern, hammers + 1, 0);
+        EXPECT_EQ(below.flips.size(), 0u);
+        EXPECT_GE(above.flips.size(), 1u);
+    }
+}
+
+TEST_P(ModelConsistencyFuzz, DamageScalesLinearlyWithHammerCount)
+{
+    // Flip sets are nested: flips(H1) ⊆ flips(H2) for H1 < H2.
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::A, 0);
+    util::Rng rng(GetParam() + 7);
+    const rhmodel::DataPattern pattern(rhmodel::PatternId::RowStripe);
+
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto row =
+            static_cast<unsigned>(100 + rng.uniformInt(4000));
+        const auto attack =
+            rhmodel::HammerAttack::doubleSided(0, row);
+        rhmodel::Conditions conditions;
+        conditions.temperature = 50.0 + 5.0 * rng.uniformInt(9);
+
+        std::set<std::uint64_t> previous;
+        for (std::uint64_t hammers :
+             {50'000ull, 150'000ull, 400'000ull}) {
+            const auto result = dimm.analytic().berTest(
+                row, attack, conditions, pattern, hammers, 0);
+            std::set<std::uint64_t> current;
+            for (const auto &loc : result.flips)
+                current.insert((static_cast<std::uint64_t>(loc.chip)
+                                << 32) |
+                               (loc.column << 8) | loc.bit);
+            for (auto key : previous)
+                EXPECT_TRUE(current.count(key));
+            previous = std::move(current);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelConsistencyFuzz,
+                         ::testing::Values(5u, 6u, 7u));
+
+} // namespace

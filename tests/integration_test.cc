@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Full-stack integration tests: temperature controller + SoftMC host +
+ * device model + fault injector, exercised the way the paper's
+ * infrastructure runs a characterization campaign.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/long_aggressor.hh"
+#include "core/hammer_session.hh"
+#include "core/tester.hh"
+#include "softmc/temperature_controller.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::rhmodel;
+
+DimmOptions
+smallBank()
+{
+    DimmOptions options;
+    options.subarraysPerBank = 4;
+    return options;
+}
+
+TEST(IntegrationTest, FullCampaignStep)
+{
+    // One full experimental step as the paper would run it: settle the
+    // temperature, install the pattern, hammer, read back, diff.
+    SimulatedDimm dimm(Mfr::B, 0, smallBank());
+
+    softmc::TemperatureController controller;
+    controller.setTarget(70.0);
+    ASSERT_TRUE(controller.settle(0.1));
+
+    core::CycleTestConfig config;
+    config.victimPhysicalRow = 300;
+    config.conditions.temperature = controller.measure();
+    config.hammers = 300'000;
+
+    const auto result = core::runCycleHammerTest(
+        dimm, DataPattern(PatternId::Checkered), config);
+
+    // The double-sided victim flips more than the single-sided ones.
+    EXPECT_GT(result.victimFlips(), 0u);
+    EXPECT_GE(result.victimFlips(), result.flipsByOffset.at(2));
+    EXPECT_GE(result.victimFlips(), result.flipsByOffset.at(-2));
+
+    // Attack duration: 300K hammers x 2 ACTs x ~51 ns ≈ 31 ms,
+    // within the 64 ms refresh window the paper's tests respect.
+    EXPECT_LT(result.elapsedNs, 64e6);
+    EXPECT_GT(result.elapsedNs, 10e6);
+}
+
+TEST(IntegrationTest, MoreHammersMoreFlips)
+{
+    SimulatedDimm dimm(Mfr::B, 0, smallBank());
+    DataPattern pattern(PatternId::Checkered);
+
+    core::CycleTestConfig few;
+    few.victimPhysicalRow = 500;
+    few.hammers = 60'000;
+    const auto few_flips =
+        core::runCycleHammerTest(dimm, pattern, few).victimFlips();
+
+    core::CycleTestConfig many = few;
+    many.hammers = 480'000;
+    const auto many_flips =
+        core::runCycleHammerTest(dimm, pattern, many).victimFlips();
+    EXPECT_GE(many_flips, few_flips);
+    EXPECT_GT(many_flips, 0u);
+}
+
+TEST(IntegrationTest, ReadBurstAttackBeatsBaseline)
+{
+    // Attack improvement 3 end-to-end: extending the on-time with
+    // READ bursts produces more flips for the same hammer count.
+    SimulatedDimm baseline_dimm(Mfr::A, 0, smallBank());
+    SimulatedDimm burst_dimm(Mfr::A, 0, smallBank());
+    DataPattern pattern(PatternId::Checkered);
+
+    core::CycleTestConfig config;
+    config.victimPhysicalRow = 700;
+    config.hammers = 150'000;
+
+    const auto baseline =
+        core::runCycleHammerTest(baseline_dimm, pattern, config);
+
+    config.readsPerActivation = 15;
+    config.conditions.tAggOn = attack::effectiveOnTime(
+        burst_dimm.module().timing(), 15);
+    const auto burst =
+        core::runCycleHammerTest(burst_dimm, pattern, config);
+
+    EXPECT_GE(burst.victimFlips(), baseline.victimFlips());
+    EXPECT_GT(burst.victimFlips(), 0u);
+}
+
+TEST(IntegrationTest, RepeatedTestsAreReproducible)
+{
+    SimulatedDimm a(Mfr::C, 0, smallBank());
+    SimulatedDimm b(Mfr::C, 0, smallBank());
+    DataPattern pattern(PatternId::RowStripe);
+
+    core::CycleTestConfig config;
+    config.victimPhysicalRow = 321;
+    config.hammers = 250'000;
+
+    const auto first = core::runCycleHammerTest(a, pattern, config);
+    const auto second = core::runCycleHammerTest(b, pattern, config);
+    EXPECT_EQ(first.victimFlips(), second.victimFlips());
+    EXPECT_EQ(first.flipsByOffset, second.flipsByOffset);
+}
+
+TEST(IntegrationTest, RefreshWindowBudget)
+{
+    // The paper caps HCfirst tests at 512K hammers so a test fits in
+    // 64 ms (footnote in §4.2): verify the timing arithmetic.
+    SimulatedDimm dimm(Mfr::A, 0, smallBank());
+    const auto &timing = dimm.module().timing();
+    const double hammer_ns =
+        timing.toNs(timing.toCycles(timing.tRAS) +
+                    timing.toCycles(timing.tRP)) *
+        2.0;
+    EXPECT_LT(512'000.0 * hammer_ns, 64e6);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Calibration regression suite: asserts, with tolerances, the
+ * paper-facing numbers EXPERIMENTS.md reports. If a model change
+ * drifts a reproduced observation, this suite fails before the bench
+ * output quietly changes.
+ *
+ * Tolerances are deliberately loose — these are statistical quantities
+ * at reduced sample sizes — but tight enough to catch a broken
+ * mechanism (sign flips, order-of-magnitude drifts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/spatial.hh"
+#include "core/temp_analysis.hh"
+#include "core/timing_analysis.hh"
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::core;
+using namespace rhs::rhmodel;
+
+/** Paper targets per manufacturer (see EXPERIMENTS.md). */
+struct PaperTargets
+{
+    Mfr mfr;
+    double berOnRatio;     //!< Obsv. 8.
+    double hcOnChangePct;  //!< Obsv. 8 (negative).
+    double hcOffChangePct; //!< Obsv. 10 (positive).
+    bool berRisesWithTemp; //!< Obsv. 4 sign at 90 degC.
+    double noGapMinPct;    //!< Table 3 lower bound.
+};
+
+const PaperTargets kTargets[] = {
+    {Mfr::A, 10.2, -40.0, 33.8, true, 97.0},
+    {Mfr::B, 3.1, -28.3, 24.7, false, 97.0},
+    {Mfr::C, 4.4, -32.7, 50.1, true, 97.0},
+    {Mfr::D, 9.6, -37.3, 33.7, true, 97.0},
+};
+
+class PaperClaimsTest : public ::testing::TestWithParam<PaperTargets>
+{
+  protected:
+    PaperClaimsTest() : dimm(GetParam().mfr, 0), tester(dimm)
+    {
+        const auto all = testedRows(dimm.module().geometry(), 50);
+        for (unsigned i = 0; i < 120; ++i)
+            rows.push_back(all[i * all.size() / 120]);
+        Conditions reference;
+        wcdp = tester.findWorstCasePattern(
+            0, {rows[0], rows[40], rows[80]}, reference);
+    }
+
+    SimulatedDimm dimm;
+    Tester tester;
+    std::vector<unsigned> rows;
+    DataPattern wcdp{PatternId::Checkered};
+};
+
+TEST_P(PaperClaimsTest, Observation8OnTimeSweep)
+{
+    const auto sweep = sweepAggressorOnTime(tester, 0, rows, wcdp);
+    const auto &target = GetParam();
+
+    // HCfirst endpoint change: calibrated, must track closely.
+    EXPECT_NEAR(100.0 * sweep.hcFirstChange(), target.hcOnChangePct,
+                4.0);
+
+    // BER amplification: emergent; within a factor band. Mfr. A's
+    // published pair is structurally unreachable (EXPERIMENTS.md),
+    // so its lower band is wider.
+    const double measured = sweep.berRatio();
+    const double lo = target.mfr == Mfr::A ? 0.55 * target.berOnRatio
+                                           : 0.7 * target.berOnRatio;
+    EXPECT_GE(measured, lo);
+    EXPECT_LE(measured, 1.6 * target.berOnRatio);
+}
+
+TEST_P(PaperClaimsTest, Observation10OffTimeSweep)
+{
+    const auto sweep = sweepAggressorOffTime(tester, 0, rows, wcdp);
+    EXPECT_NEAR(100.0 * sweep.hcFirstChange(),
+                GetParam().hcOffChangePct, 4.0);
+    // Obsv. 10 direction: fewer flips at longer off-time.
+    EXPECT_LT(sweep.berRatio(), 0.8);
+}
+
+TEST_P(PaperClaimsTest, Observation4TemperatureTrend)
+{
+    Conditions cold, hot;
+    hot.temperature = 90.0;
+    double ber_cold = 0.0, ber_hot = 0.0;
+    for (unsigned row : rows) {
+        ber_cold += tester.berOfRow(0, row, cold, wcdp);
+        ber_hot += tester.berOfRow(0, row, hot, wcdp);
+    }
+    ASSERT_GT(ber_cold, 0.0);
+    if (GetParam().berRisesWithTemp)
+        EXPECT_GT(ber_hot, ber_cold);
+    else
+        EXPECT_LT(ber_hot, ber_cold);
+}
+
+TEST_P(PaperClaimsTest, Table3Continuity)
+{
+    std::vector<unsigned> sample(rows.begin(), rows.begin() + 50);
+    const auto analysis = analyzeTempRanges(tester, 0, sample, wcdp);
+    ASSERT_GT(analysis.vulnerableCells, 0u);
+    EXPECT_GE(100.0 * analysis.noGapFraction(),
+              GetParam().noGapMinPct);
+    // Obsv. 2: full-range cells exist. Obsv. 3: narrow-range cells
+    // exist.
+    EXPECT_GT(analysis.fullRangeFraction(), 0.02);
+    EXPECT_GT(analysis.singlePointFraction(), 0.01);
+}
+
+TEST_P(PaperClaimsTest, Observations6And7TemperatureShifts)
+{
+    std::vector<unsigned> sample(rows.begin(), rows.begin() + 50);
+    const auto shift =
+        analyzeHcFirstVsTemperature(tester, 0, sample, wcdp);
+    ASSERT_FALSE(shift.changePct55.empty());
+    // Obsv. 6: fewer rows improve for the larger delta.
+    EXPECT_LE(shift.crossing90(), shift.crossing55() + 0.05);
+    // Obsv. 7: the larger delta moves HCfirst further.
+    EXPECT_GT(shift.magnitudeRatio(), 1.5);
+}
+
+TEST_P(PaperClaimsTest, Observation12RowVariation)
+{
+    const auto hcs = rowHcFirstSurvey(tester, 0, rows, wcdp);
+    ASSERT_GT(hcs.size(), 50u);
+    const auto summary = summarizeRowVariation(hcs);
+    // Paper scale: min ~33K-130K depending on manufacturer.
+    EXPECT_GT(summary.minHcFirst, 15e3);
+    EXPECT_LT(summary.minHcFirst, 250e3);
+    // The vulnerable tail exists even at this reduced sample.
+    EXPECT_GT(summary.p10Ratio, 1.15);
+}
+
+TEST_P(PaperClaimsTest, Observation15SubarrayStructure)
+{
+    const auto survey = subarraySurvey(tester, 0, 6, 10, wcdp);
+    ASSERT_GE(survey.size(), 4u);
+    for (const auto &entry : survey) {
+        // The most vulnerable row sits well below the average.
+        EXPECT_LT(entry.minimumHcFirst, entry.averageHcFirst);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMfrs, PaperClaimsTest, ::testing::ValuesIn(kTargets),
+    [](const ::testing::TestParamInfo<PaperTargets> &info) {
+        return std::string(1, letterOf(info.param.mfr));
+    });
+
+} // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for profile persistence and for the hammer-session pattern
+ * installation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/hammer_session.hh"
+#include "core/profile_io.hh"
+#include "core/spatial.hh"
+#include "rhmodel/dimm.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::core;
+
+ModuleProfile
+sampleProfile()
+{
+    ModuleProfile profile;
+    profile.moduleLabel = "B0";
+    profile.serial = 0xDEADBEEF;
+    profile.temperature = 75.0;
+    profile.wcdp = rhmodel::PatternId::CheckeredInv;
+    profile.rows = {
+        {0, 100, 45'000},
+        {0, 101, 0}, // Not vulnerable.
+        {0, 102, 130'000},
+        {0, 103, 88'000},
+        {1, 50, 52'000},
+    };
+    return profile;
+}
+
+TEST(ProfileIoTest, RoundTripPreservesEverything)
+{
+    const auto original = sampleProfile();
+    const auto parsed =
+        loadProfileFromString(saveProfileToString(original));
+
+    EXPECT_EQ(parsed.moduleLabel, original.moduleLabel);
+    EXPECT_EQ(parsed.serial, original.serial);
+    EXPECT_DOUBLE_EQ(parsed.temperature, original.temperature);
+    EXPECT_EQ(parsed.wcdp, original.wcdp);
+    ASSERT_EQ(parsed.rows.size(), original.rows.size());
+    for (std::size_t i = 0; i < parsed.rows.size(); ++i) {
+        EXPECT_EQ(parsed.rows[i].bank, original.rows[i].bank);
+        EXPECT_EQ(parsed.rows[i].physicalRow,
+                  original.rows[i].physicalRow);
+        EXPECT_EQ(parsed.rows[i].hcFirst, original.rows[i].hcFirst);
+    }
+}
+
+TEST(ProfileIoTest, WorstCaseIgnoresInvulnerableRows)
+{
+    const auto profile = sampleProfile();
+    EXPECT_EQ(profile.worstCase(), 45'000u);
+}
+
+TEST(ProfileIoTest, WeakRowsWithinFactor)
+{
+    const auto profile = sampleProfile();
+    // 2x worst case = 90K: rows 100 (45K), 103 (88K), bank1/50 (52K).
+    const auto weak = profile.weakRows(2.0);
+    EXPECT_EQ(weak, (std::vector<unsigned>{50, 100, 103}));
+}
+
+TEST(ProfileIoTest, EmptyProfileHasNoWorstCase)
+{
+    ModuleProfile profile;
+    EXPECT_EQ(profile.worstCase(), 0u);
+    EXPECT_TRUE(profile.weakRows().empty());
+}
+
+TEST(ProfileIoTest, RejectsWrongMagic)
+{
+    std::istringstream in("not a profile\n");
+    EXPECT_THROW(loadProfile(in), std::runtime_error);
+}
+
+TEST(ProfileIoTest, RejectsTruncatedRow)
+{
+    const std::string text = "rowhammer-profile v1\n"
+                             "module X serial 1 temperature 75 wcdp "
+                             "checkered\n"
+                             "row 0 100\n";
+    EXPECT_THROW(loadProfileFromString(text), std::runtime_error);
+}
+
+TEST(ProfileIoTest, RejectsUnknownPattern)
+{
+    const std::string text = "rowhammer-profile v1\n"
+                             "module X serial 1 temperature 75 wcdp "
+                             "plaid\n";
+    EXPECT_THROW(loadProfileFromString(text), std::runtime_error);
+}
+
+TEST(ProfileIoTest, RejectsMissingHeader)
+{
+    const std::string text = "rowhammer-profile v1\n"
+                             "row 0 1 2\n";
+    EXPECT_THROW(loadProfileFromString(text), std::runtime_error);
+}
+
+TEST(ProfileIoTest, CommentsAndBlankLinesIgnored)
+{
+    const std::string text = "rowhammer-profile v1\n"
+                             "# a comment\n"
+                             "\n"
+                             "module X serial ff temperature 60 wcdp "
+                             "rowstripe\n"
+                             "# another\n"
+                             "row 2 7 9000\n";
+    const auto profile = loadProfileFromString(text);
+    EXPECT_EQ(profile.serial, 0xFFu);
+    ASSERT_EQ(profile.rows.size(), 1u);
+    EXPECT_EQ(profile.rows[0].bank, 2u);
+}
+
+TEST(ProfileIoTest, SurveyToProfileToDefenseFlow)
+{
+    // End-to-end: characterize, persist, reload, and derive a defense
+    // configuration from the parsed profile.
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
+    Tester tester(dimm);
+    const rhmodel::DataPattern pattern(rhmodel::PatternId::Checkered);
+
+    ModuleProfile profile;
+    profile.moduleLabel = dimm.label();
+    profile.serial = dimm.module().info().serial;
+    profile.wcdp = pattern.id();
+    const auto conditions = spatialConditions();
+    for (unsigned row = 120; row < 170; ++row) {
+        profile.rows.push_back(
+            {0, row,
+             tester.hcFirstMin(0, row, conditions, pattern)});
+    }
+
+    const auto reloaded =
+        loadProfileFromString(saveProfileToString(profile));
+    EXPECT_EQ(reloaded.serial, dimm.module().info().serial);
+    EXPECT_GT(reloaded.worstCase(), 0u);
+    EXPECT_FALSE(reloaded.weakRows(2.0).empty());
+}
+
+TEST(InstallPatternTest, WritesPatternAroundVictim)
+{
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
+    const rhmodel::DataPattern pattern(rhmodel::PatternId::RowStripe);
+    const unsigned victim = 500;
+    installPattern(dimm, 0, victim, pattern, 3);
+
+    const auto &mapping = dimm.module().rowMapping();
+    for (unsigned phys = victim - 3; phys <= victim + 3; ++phys) {
+        const auto images =
+            dimm.module().loadRowDirect(0, mapping.toLogical(phys));
+        for (unsigned col = 0; col < 8; ++col) {
+            EXPECT_EQ(images[0][col], pattern.byteAt(phys, victim, col))
+                << "row " << phys << " col " << col;
+        }
+    }
+    // Outside the radius: untouched (default zero).
+    const auto outside = dimm.module().loadRowDirect(
+        0, mapping.toLogical(victim + 5));
+    EXPECT_EQ(outside[0][0], 0);
+}
+
+TEST(InstallPatternTest, ClampsAtBankEdges)
+{
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
+    const rhmodel::DataPattern pattern(rhmodel::PatternId::ColStripe);
+    EXPECT_NO_THROW(installPattern(dimm, 0, 1, pattern, 8));
+    EXPECT_NO_THROW(installPattern(
+        dimm, 0, dimm.module().geometry().rowsPerBank() - 2, pattern,
+        8));
+}
+
+} // namespace

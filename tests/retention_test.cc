@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the retention-error model that underpins the §4.2
+ * methodology constraint: every RowHammer test must complete within
+ * the refresh window (~64 ms) so retention errors cannot contaminate
+ * the measured bit flips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rhmodel/retention.hh"
+#include "rhmodel/dimm.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::rhmodel;
+
+class RetentionTest : public ::testing::Test
+{
+  protected:
+    RetentionTest()
+        : dimm(Mfr::A, 0),
+          model(dimm.module().info().serial, dimm.module().geometry(),
+                dimm.module().chipCount())
+    {
+    }
+
+    SimulatedDimm dimm;
+    RetentionModel model;
+};
+
+TEST_F(RetentionTest, PaperTestBudgetIsSafeAcrossTemperatures)
+{
+    // 512K hammers x ~51 ns x 2 activations ≈ 52 ms: the paper's
+    // largest test. It must be retention-clean at every tested
+    // temperature, matching the paper's observation of no retention
+    // errors.
+    for (double temp = 50.0; temp <= 90.0; temp += 5.0) {
+        for (unsigned row = 100; row < 400; ++row) {
+            EXPECT_TRUE(
+                model.testIsRetentionSafe(0, row, 52.0, temp))
+                << "row " << row << " at " << temp << " degC";
+        }
+    }
+}
+
+TEST_F(RetentionTest, LongRefreshFreeIntervalsLeakData)
+{
+    // Multiple seconds without refresh: the weak tail must surface.
+    unsigned rows_with_failures = 0;
+    for (unsigned row = 0; row < 2000; ++row) {
+        if (!model.failuresInRow(0, row, 8'000.0, 50.0).empty())
+            ++rows_with_failures;
+    }
+    EXPECT_GT(rows_with_failures, 0u);
+}
+
+TEST_F(RetentionTest, FailuresGrowWithElapsedTime)
+{
+    std::size_t at_2s = 0, at_30s = 0;
+    for (unsigned row = 0; row < 500; ++row) {
+        at_2s += model.failuresInRow(0, row, 2'000.0, 50.0).size();
+        at_30s += model.failuresInRow(0, row, 30'000.0, 50.0).size();
+    }
+    EXPECT_GE(at_30s, at_2s);
+    EXPECT_GT(at_30s, 0u);
+}
+
+TEST_F(RetentionTest, TemperatureShortensRetention)
+{
+    EXPECT_DOUBLE_EQ(model.temperatureDerating(50.0), 1.0);
+    EXPECT_LT(model.temperatureDerating(90.0), 0.2);
+    EXPECT_GT(model.temperatureDerating(90.0), 0.05);
+
+    // The same interval fails more cells when hot.
+    std::size_t cold = 0, hot = 0;
+    for (unsigned row = 0; row < 500; ++row) {
+        cold += model.failuresInRow(0, row, 1'500.0, 50.0).size();
+        hot += model.failuresInRow(0, row, 1'500.0, 90.0).size();
+    }
+    EXPECT_GT(hot, cold);
+}
+
+TEST_F(RetentionTest, FailuresAreDeterministic)
+{
+    RetentionModel twin(dimm.module().info().serial,
+                        dimm.module().geometry(),
+                        dimm.module().chipCount());
+    for (unsigned row = 0; row < 50; ++row) {
+        const auto a = model.failuresInRow(0, row, 5'000.0, 70.0);
+        const auto b = twin.failuresInRow(0, row, 5'000.0, 70.0);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            EXPECT_EQ(a[i].location, b[i].location);
+    }
+}
+
+TEST_F(RetentionTest, PerCellRetentionIsPositiveAndStable)
+{
+    for (unsigned col = 0; col < 64; ++col) {
+        dram::CellLocation loc{0, 0, 123, col, 3};
+        const double r = model.retentionMsAt50C(loc);
+        EXPECT_GT(r, 0.0);
+        EXPECT_DOUBLE_EQ(r, model.retentionMsAt50C(loc));
+    }
+}
+
+TEST_F(RetentionTest, FailureLocationsAreInRange)
+{
+    const auto &geometry = dimm.module().geometry();
+    for (unsigned row = 0; row < 200; ++row) {
+        for (const auto &failure :
+             model.failuresInRow(0, row, 20'000.0, 90.0)) {
+            EXPECT_LT(failure.location.chip, dimm.module().chipCount());
+            EXPECT_EQ(failure.location.row, row);
+            EXPECT_LT(failure.location.column, geometry.columnsPerRow);
+            EXPECT_LT(failure.location.bit, geometry.bitsPerColumn);
+            EXPECT_LE(failure.retentionMs, 20'000.0);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the closed-form analytic engine: attack construction,
+ * damage monotonicity properties, and BER/HCfirst semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rhmodel/dimm.hh"
+
+namespace
+{
+
+using namespace rhs::rhmodel;
+
+TEST(HammerAttackTest, DoubleSidedHasBothNeighbours)
+{
+    const auto attack = HammerAttack::doubleSided(1, 100);
+    EXPECT_EQ(attack.bank, 1u);
+    EXPECT_EQ(attack.patternCenter, 100u);
+    ASSERT_EQ(attack.aggressorRows.size(), 2u);
+    EXPECT_EQ(attack.aggressorRows[0], 99u);
+    EXPECT_EQ(attack.aggressorRows[1], 101u);
+}
+
+TEST(HammerAttackTest, DoubleSidedAtEdgeDropsMissingNeighbour)
+{
+    const auto attack = HammerAttack::doubleSided(0, 0);
+    ASSERT_EQ(attack.aggressorRows.size(), 1u);
+    EXPECT_EQ(attack.aggressorRows[0], 1u);
+}
+
+TEST(HammerAttackTest, SingleSided)
+{
+    const auto attack = HammerAttack::singleSided(0, 42);
+    ASSERT_EQ(attack.aggressorRows.size(), 1u);
+    EXPECT_EQ(attack.aggressorRows[0], 42u);
+}
+
+class AnalyticTest : public ::testing::TestWithParam<Mfr>
+{
+  protected:
+    AnalyticTest() : dimm(GetParam(), 0), pattern(PatternId::Checkered)
+    {
+    }
+
+    SimulatedDimm dimm;
+    DataPattern pattern;
+};
+
+TEST_P(AnalyticTest, DoubleSidedVictimGetsMostDamage)
+{
+    const auto &engine = dimm.analytic();
+    const unsigned victim = 500;
+    const auto attack = HammerAttack::doubleSided(0, victim);
+    Conditions conditions;
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, victim)) {
+        const double centre = engine.hammerDamage(cell, victim, attack,
+                                                  conditions, pattern);
+        EXPECT_GT(centre, 0.0);
+    }
+    // A cell two rows away receives strictly less damage per hammer.
+    for (const auto &cell :
+         dimm.cellModel().cellsOfRow(0, victim + 2)) {
+        const double side = engine.hammerDamage(
+            cell, victim + 2, attack, conditions, pattern);
+        EXPECT_LT(side, 2.0 * dimm.profile().distance1Damage *
+                            dimm.cellModel().timingFactor(conditions));
+    }
+}
+
+TEST_P(AnalyticTest, FarRowsReceiveNoDamage)
+{
+    const auto &engine = dimm.analytic();
+    const auto attack = HammerAttack::doubleSided(0, 500);
+    Conditions conditions;
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, 510)) {
+        EXPECT_DOUBLE_EQ(engine.hammerDamage(cell, 510, attack,
+                                             conditions, pattern),
+                         0.0);
+        EXPECT_EQ(engine.cellHcFirst(cell, 510, attack, conditions,
+                                     pattern, 0),
+                  kNeverFlips);
+    }
+}
+
+TEST_P(AnalyticTest, DamageIncreasesWithOnTime)
+{
+    const auto &engine = dimm.analytic();
+    const unsigned victim = 600;
+    const auto attack = HammerAttack::doubleSided(0, victim);
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, victim)) {
+        double prev = 0.0;
+        for (double t_on : {34.5, 64.5, 94.5, 124.5, 154.5}) {
+            Conditions c;
+            c.tAggOn = t_on;
+            const double damage = engine.hammerDamage(cell, victim,
+                                                      attack, c,
+                                                      pattern);
+            EXPECT_GT(damage, prev);
+            prev = damage;
+        }
+    }
+}
+
+TEST_P(AnalyticTest, DamageDecreasesWithOffTime)
+{
+    const auto &engine = dimm.analytic();
+    const unsigned victim = 700;
+    const auto attack = HammerAttack::doubleSided(0, victim);
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, victim)) {
+        double prev = 1e18;
+        for (double t_off : {16.5, 24.5, 32.5, 40.5}) {
+            Conditions c;
+            c.tAggOff = t_off;
+            const double damage = engine.hammerDamage(cell, victim,
+                                                      attack, c,
+                                                      pattern);
+            EXPECT_LT(damage, prev);
+            prev = damage;
+        }
+    }
+}
+
+TEST_P(AnalyticTest, CellHcFirstMatchesThresholdOverDamage)
+{
+    const auto &engine = dimm.analytic();
+    const unsigned victim = 800;
+    const auto attack = HammerAttack::doubleSided(0, victim);
+    Conditions conditions;
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, victim)) {
+        const double hc = engine.cellHcFirst(cell, victim, attack,
+                                             conditions, pattern, 0);
+        if (hc == kNeverFlips)
+            continue;
+        const double damage = engine.hammerDamage(cell, victim, attack,
+                                                  conditions, pattern);
+        const double noise =
+            dimm.cellModel().trialNoise(cell, 0, 50.0);
+        EXPECT_NEAR(hc, cell.threshold * noise / damage,
+                    hc * 1e-12);
+    }
+}
+
+TEST_P(AnalyticTest, PatternPolarityGatesFlips)
+{
+    // Cells whose charged value does not match the stored pattern bit
+    // must never flip.
+    const auto &engine = dimm.analytic();
+    const unsigned victim = 900;
+    const auto attack = HammerAttack::doubleSided(0, victim);
+    Conditions conditions;
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, victim)) {
+        const bool stored = pattern.bitAt(victim, victim,
+                                          cell.loc.column, cell.loc.bit);
+        const double hc = engine.cellHcFirst(cell, victim, attack,
+                                             conditions, pattern, 0);
+        if (stored != cell.chargedValue) {
+            EXPECT_EQ(hc, kNeverFlips);
+        }
+    }
+}
+
+TEST_P(AnalyticTest, BerTestCountsCellsUnderHammerCount)
+{
+    const auto &engine = dimm.analytic();
+    const unsigned victim = 1000;
+    const auto attack = HammerAttack::doubleSided(0, victim);
+    Conditions conditions;
+    const auto result = engine.berTest(victim, attack, conditions,
+                                       pattern, 150'000, 0);
+    unsigned expected = 0;
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, victim)) {
+        const double hc = engine.cellHcFirst(cell, victim, attack,
+                                             conditions, pattern, 0);
+        if (hc <= 150'000.0)
+            ++expected;
+    }
+    EXPECT_EQ(result.flips.size(), expected);
+    EXPECT_EQ(result.vulnerableCells,
+              dimm.cellModel().cellsOfRow(0, victim).size());
+}
+
+TEST_P(AnalyticTest, BerMonotoneInHammerCount)
+{
+    const auto &engine = dimm.analytic();
+    const unsigned victim = 1100;
+    const auto attack = HammerAttack::doubleSided(0, victim);
+    Conditions conditions;
+    std::size_t prev = 0;
+    for (std::uint64_t hammers : {50'000ull, 150'000ull, 512'000ull}) {
+        const auto result = engine.berTest(victim, attack, conditions,
+                                           pattern, hammers, 0);
+        EXPECT_GE(result.flips.size(), prev);
+        prev = result.flips.size();
+    }
+}
+
+TEST_P(AnalyticTest, RowHcFirstIsMinOverCells)
+{
+    const auto &engine = dimm.analytic();
+    const unsigned victim = 1200;
+    const auto attack = HammerAttack::doubleSided(0, victim);
+    Conditions conditions;
+    const double row_hc = engine.rowHcFirst(victim, attack, conditions,
+                                            pattern, 0);
+    double expected = kNeverFlips;
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, victim)) {
+        expected = std::min(
+            expected, engine.cellHcFirst(cell, victim, attack,
+                                         conditions, pattern, 0));
+    }
+    EXPECT_DOUBLE_EQ(row_hc, expected);
+}
+
+TEST_P(AnalyticTest, HigherTemperatureChangesOutcomes)
+{
+    // At least some rows must have temperature-dependent flips.
+    const auto &engine = dimm.analytic();
+    Conditions cold, hot;
+    hot.temperature = 90.0;
+    unsigned differing = 0;
+    for (unsigned victim = 100; victim < 160; ++victim) {
+        const auto attack = HammerAttack::doubleSided(0, victim);
+        const auto a = engine.berTest(victim, attack, cold, pattern,
+                                      150'000, 0);
+        const auto b = engine.berTest(victim, attack, hot, pattern,
+                                      150'000, 0);
+        if (a.flips.size() != b.flips.size())
+            ++differing;
+    }
+    EXPECT_GT(differing, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMfrs, AnalyticTest,
+                         ::testing::ValuesIn(allMfrs));
+
+TEST(PatternTest, Table1Bytes)
+{
+    const unsigned victim = 1000; // Even victim row.
+    DataPattern colstripe(PatternId::ColStripe);
+    DataPattern checkered(PatternId::Checkered);
+    DataPattern rowstripe(PatternId::RowStripe);
+
+    // V and V±even share the victim's parity.
+    EXPECT_EQ(colstripe.byteAt(victim, victim, 0), 0x55);
+    EXPECT_EQ(colstripe.byteAt(victim + 1, victim, 0), 0x55);
+    EXPECT_EQ(checkered.byteAt(victim, victim, 0), 0x55);
+    EXPECT_EQ(checkered.byteAt(victim + 1, victim, 0), 0xaa);
+    EXPECT_EQ(checkered.byteAt(victim + 2, victim, 0), 0x55);
+    EXPECT_EQ(rowstripe.byteAt(victim, victim, 0), 0x00);
+    EXPECT_EQ(rowstripe.byteAt(victim - 1, victim, 0), 0xff);
+}
+
+TEST(PatternTest, ComplementsInvert)
+{
+    const unsigned victim = 501; // Odd victim row.
+    DataPattern checkered(PatternId::Checkered);
+    DataPattern inv(PatternId::CheckeredInv);
+    for (unsigned row = victim - 2; row <= victim + 2; ++row) {
+        EXPECT_EQ(checkered.byteAt(row, victim, 0) ^ 0xff,
+                  inv.byteAt(row, victim, 0));
+    }
+}
+
+TEST(PatternTest, RandomIsSeededAndStable)
+{
+    DataPattern a(PatternId::Random, 42);
+    DataPattern b(PatternId::Random, 42);
+    DataPattern c(PatternId::Random, 43);
+    EXPECT_EQ(a.byteAt(10, 10, 5), b.byteAt(10, 10, 5));
+    bool any_diff = false;
+    for (unsigned col = 0; col < 64 && !any_diff; ++col)
+        any_diff = a.byteAt(10, 10, col) != c.byteAt(10, 10, col);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(PatternTest, BitAtExtractsBits)
+{
+    DataPattern colstripe(PatternId::ColStripe); // 0x55.
+    EXPECT_TRUE(colstripe.bitAt(0, 0, 0, 0));
+    EXPECT_FALSE(colstripe.bitAt(0, 0, 0, 1));
+    EXPECT_TRUE(colstripe.bitAt(0, 0, 0, 2));
+}
+
+TEST(PatternTest, AllPatternsHaveNames)
+{
+    for (auto id : allPatterns)
+        EXPECT_FALSE(to_string(id).empty());
+}
+
+} // namespace

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the procedural cell model: determinism, parameter ranges,
+ * spatial factors, and the damage-model components.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rhmodel/dimm.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::rhmodel;
+
+class CellModelTest : public ::testing::TestWithParam<Mfr>
+{
+  protected:
+    CellModelTest() : dimm(GetParam(), 0) {}
+
+    SimulatedDimm dimm;
+};
+
+TEST_P(CellModelTest, GenerationIsDeterministic)
+{
+    const auto &a = dimm.cellModel().cellsOfRow(0, 100);
+    SimulatedDimm other(GetParam(), 0);
+    const auto &b = other.cellModel().cellsOfRow(0, 100);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        EXPECT_EQ(a[i].loc, b[i].loc);
+        EXPECT_DOUBLE_EQ(a[i].threshold, b[i].threshold);
+        EXPECT_DOUBLE_EQ(a[i].tinf, b[i].tinf);
+    }
+}
+
+TEST_P(CellModelTest, DifferentModulesDiffer)
+{
+    SimulatedDimm other(GetParam(), 1);
+    const auto &a = dimm.cellModel().cellsOfRow(0, 100);
+    const auto &b = other.cellModel().cellsOfRow(0, 100);
+    // Same profile, different serial: cell populations must differ.
+    bool different = a.size() != b.size();
+    for (std::size_t i = 0; !different && i < a.size(); ++i)
+        different = a[i].seed != b[i].seed;
+    EXPECT_TRUE(different);
+}
+
+TEST_P(CellModelTest, CacheReturnsConsistentResults)
+{
+    const auto &model = dimm.cellModel();
+    // Touch more rows than the cache holds, then re-query the first.
+    const auto first = model.cellsOfRow(0, 10);
+    for (unsigned row = 11; row < 40; ++row)
+        model.cellsOfRow(0, row);
+    const auto &again = model.cellsOfRow(0, 10);
+    ASSERT_EQ(first.size(), again.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i].seed, again[i].seed);
+}
+
+TEST_P(CellModelTest, CellFieldsInRange)
+{
+    const auto &geometry = dimm.module().geometry();
+    for (unsigned row : {5u, 777u, 4000u}) {
+        for (const auto &cell : dimm.cellModel().cellsOfRow(0, row)) {
+            EXPECT_LT(cell.loc.chip, dimm.module().chipCount());
+            EXPECT_EQ(cell.loc.bank, 0u);
+            EXPECT_EQ(cell.loc.row, row);
+            EXPECT_LT(cell.loc.column, geometry.columnsPerRow);
+            EXPECT_LT(cell.loc.bit, geometry.bitsPerColumn);
+            EXPECT_GT(cell.threshold, 0.0);
+            EXPECT_GT(cell.width, 0.0);
+        }
+    }
+}
+
+TEST_P(CellModelTest, CellCountNearPoissonMean)
+{
+    double total = 0.0;
+    const unsigned rows = 120;
+    for (unsigned row = 0; row < rows; ++row)
+        total += dimm.cellModel().cellsOfRow(0, row).size();
+    const double mean = total / rows;
+    const double expected = dimm.profile().cellsPerRowMean;
+    EXPECT_NEAR(mean, expected, expected * 0.1);
+}
+
+TEST_P(CellModelTest, TimingFactorIsOneAtBaseline)
+{
+    Conditions baseline;
+    EXPECT_NEAR(dimm.cellModel().timingFactor(baseline), 1.0, 1e-9);
+}
+
+TEST_P(CellModelTest, TimingFactorMonotoneInOnTime)
+{
+    double prev = 0.0;
+    for (double t_on : {34.5, 64.5, 94.5, 124.5, 154.5}) {
+        Conditions c;
+        c.tAggOn = t_on;
+        const double f = dimm.cellModel().timingFactor(c);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST_P(CellModelTest, TimingFactorMonotoneDecreasingInOffTime)
+{
+    double prev = 1e9;
+    for (double t_off : {16.5, 24.5, 32.5, 40.5}) {
+        Conditions c;
+        c.tAggOff = t_off;
+        const double f = dimm.cellModel().timingFactor(c);
+        EXPECT_LT(f, prev);
+        prev = f;
+    }
+}
+
+TEST_P(CellModelTest, TimingFactorRejectsSubSpecTimings)
+{
+    Conditions c;
+    c.tAggOn = 10.0; // Below tRAS.
+    EXPECT_DEATH(dimm.cellModel().timingFactor(c), "tAggOn");
+}
+
+TEST_P(CellModelTest, TemperatureFactorNormalizedAtReference)
+{
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, 50)) {
+        EXPECT_NEAR(dimm.cellModel().temperatureFactor(cell, 50.0), 1.0,
+                    1e-12);
+    }
+}
+
+TEST_P(CellModelTest, TemperatureFactorPeaksAtInflection)
+{
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, 51)) {
+        const auto &model = dimm.cellModel();
+        const double at_peak =
+            model.temperatureFactor(cell, cell.tinf);
+        EXPECT_GE(at_peak,
+                  model.temperatureFactor(cell, cell.tinf - 10.0));
+        EXPECT_GE(at_peak,
+                  model.temperatureFactor(cell, cell.tinf + 10.0));
+    }
+}
+
+TEST_P(CellModelTest, TemperatureFactorUnimodalOverWindow)
+{
+    // Along 50..90, the factor must rise then fall (no double peaks):
+    // count the sign changes of the discrete derivative.
+    for (const auto &cell : dimm.cellModel().cellsOfRow(0, 52)) {
+        int sign_changes = 0;
+        double prev_delta = 0.0;
+        double prev =
+            dimm.cellModel().temperatureFactor(cell, 50.0);
+        for (double t = 55.0; t <= 90.0; t += 5.0) {
+            const double now =
+                dimm.cellModel().temperatureFactor(cell, t);
+            const double delta = now - prev;
+            if (prev_delta != 0.0 && delta != 0.0 &&
+                (delta > 0) != (prev_delta > 0)) {
+                ++sign_changes;
+            }
+            if (delta != 0.0)
+                prev_delta = delta;
+            prev = now;
+        }
+        EXPECT_LE(sign_changes, 1);
+    }
+}
+
+TEST_P(CellModelTest, DistanceFactors)
+{
+    const auto &model = dimm.cellModel();
+    EXPECT_DOUBLE_EQ(model.distanceFactor(1),
+                     dimm.profile().distance1Damage);
+    EXPECT_DOUBLE_EQ(model.distanceFactor(2),
+                     dimm.profile().distance2Damage);
+    EXPECT_DOUBLE_EQ(model.distanceFactor(3), 0.0);
+    EXPECT_GT(model.distanceFactor(1), model.distanceFactor(2));
+}
+
+TEST_P(CellModelTest, DataFactorBoundedAndDeterministic)
+{
+    const auto &model = dimm.cellModel();
+    const auto &cells = model.cellsOfRow(0, 60);
+    ASSERT_FALSE(cells.empty());
+    for (int byte = 0; byte < 256; byte += 17) {
+        const double f = model.dataFactor(
+            cells[0], static_cast<std::uint8_t>(byte));
+        EXPECT_GE(f, dimm.profile().dataFactorBase);
+        EXPECT_LE(f, 1.0);
+        EXPECT_DOUBLE_EQ(f, model.dataFactor(
+                                cells[0],
+                                static_cast<std::uint8_t>(byte)));
+    }
+}
+
+TEST_P(CellModelTest, TrialNoiseReRollsPerTrialAndTemperature)
+{
+    const auto &model = dimm.cellModel();
+    const auto &cells = model.cellsOfRow(0, 61);
+    ASSERT_FALSE(cells.empty());
+    const auto &cell = cells[0];
+    EXPECT_DOUBLE_EQ(model.trialNoise(cell, 0, 50.0),
+                     model.trialNoise(cell, 0, 50.0));
+    EXPECT_NE(model.trialNoise(cell, 0, 50.0),
+              model.trialNoise(cell, 1, 50.0));
+    EXPECT_NE(model.trialNoise(cell, 0, 50.0),
+              model.trialNoise(cell, 0, 55.0));
+}
+
+TEST_P(CellModelTest, TrialNoiseIsSmall)
+{
+    const auto &model = dimm.cellModel();
+    for (const auto &cell : model.cellsOfRow(0, 62)) {
+        for (unsigned trial = 0; trial < 5; ++trial) {
+            const double noise = model.trialNoise(cell, trial, 70.0);
+            EXPECT_GT(noise, 0.9);
+            EXPECT_LT(noise, 1.1);
+        }
+    }
+}
+
+TEST_P(CellModelTest, WeakRowFractionApproximatelyCalibrated)
+{
+    const auto &model = dimm.cellModel();
+    unsigned weak = 0;
+    const unsigned rows = 4000;
+    for (unsigned row = 0; row < rows; ++row) {
+        // Weak rows have a distinctly lower row factor.
+        if (model.rowFactor(0, row) <
+            dimm.profile().weakRowFactor * 1.3) {
+            ++weak;
+        }
+    }
+    const double fraction = static_cast<double>(weak) / rows;
+    EXPECT_GT(fraction, 0.02);
+    EXPECT_LT(fraction, 0.12);
+}
+
+TEST_P(CellModelTest, ColumnWeightsFormDistribution)
+{
+    const auto &model = dimm.cellModel();
+    for (unsigned chip = 0; chip < dimm.module().chipCount(); ++chip) {
+        double total = 0.0;
+        for (unsigned col = 0;
+             col < dimm.module().geometry().columnsPerRow; ++col) {
+            const double w = model.columnWeight(chip, col);
+            EXPECT_GE(w, 0.0);
+            total += w;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+TEST_P(CellModelTest, SubarrayFactorsVary)
+{
+    const auto &model = dimm.cellModel();
+    const auto &geometry = dimm.module().geometry();
+    double lo = 1e9, hi = 0.0;
+    for (unsigned s = 0; s < geometry.subarraysPerBank; ++s) {
+        const double f = model.subarrayFactor(0, s);
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+        EXPECT_GT(f, 0.0);
+    }
+    EXPECT_GT(hi / lo, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMfrs, CellModelTest,
+                         ::testing::ValuesIn(allMfrs));
+
+TEST(DimmTest, InventoryMatchesTable4)
+{
+    const auto &inventory = paperInventory();
+    unsigned ddr4_chips = 0, ddr3_chips = 0;
+    for (const auto &entry : inventory) {
+        if (entry.standard == dram::Standard::DDR4)
+            ddr4_chips += entry.modules * entry.chipsPerModule;
+        else
+            ddr3_chips += entry.modules * entry.chipsPerModule;
+    }
+    EXPECT_EQ(ddr4_chips, 248u); // 248 DDR4 chips (abstract).
+    EXPECT_EQ(ddr3_chips, 24u);  // 24 DDR3 chips.
+}
+
+TEST(DimmTest, FleetLabelsAndProfiles)
+{
+    const auto fleet = rhs::rhmodel::makeFleet(2);
+    ASSERT_EQ(fleet.size(), 8u);
+    EXPECT_EQ(fleet[0]->label(), "A0");
+    EXPECT_EQ(fleet[1]->label(), "A1");
+    EXPECT_EQ(fleet[7]->label(), "D1");
+    EXPECT_EQ(fleet[2]->mfr(), Mfr::B);
+}
+
+TEST(DimmTest, MfrAChipCountIsX4)
+{
+    EXPECT_EQ(defaultChipCount(Mfr::A, dram::Standard::DDR4), 16u);
+    EXPECT_EQ(defaultChipCount(Mfr::B, dram::Standard::DDR4), 8u);
+    EXPECT_EQ(defaultChipCount(Mfr::A, dram::Standard::DDR3), 8u);
+}
+
+TEST(DimmTest, MappingSchemeFollowsProfile)
+{
+    SimulatedDimm dimm(Mfr::C, 0);
+    EXPECT_EQ(dimm.module().rowMapping().name(), "msb-pair");
+}
+
+} // namespace

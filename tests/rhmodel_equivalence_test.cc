@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The central equivalence property: the cycle-accurate execution path
+ * (SoftMC host -> module FSM -> fault injector) and the closed-form
+ * analytic engine predict the same bit flips for the same test.
+ *
+ * The benches rely on the analytic path for speed; this test is what
+ * makes that substitution sound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hammer_session.hh"
+#include "core/tester.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::rhmodel;
+
+/** Quantize nominal conditions to the host clock the cycle path uses. */
+Conditions
+quantized(const dram::TimingParams &timing, Conditions conditions)
+{
+    conditions.tAggOn = timing.toNs(timing.toCycles(
+        conditions.tAggOn > 0 ? conditions.tAggOn : timing.tRAS));
+    conditions.tAggOff = timing.toNs(timing.toCycles(
+        conditions.tAggOff > 0 ? conditions.tAggOff : timing.tRP));
+    return conditions;
+}
+
+struct Scenario
+{
+    Mfr mfr;
+    unsigned victim;
+    double temperature;
+    double tAggOn;
+    double tAggOff;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<Scenario>
+{
+};
+
+TEST_P(EquivalenceTest, CyclePathMatchesAnalyticPath)
+{
+    const auto scenario = GetParam();
+    DimmOptions options;
+    options.subarraysPerBank = 4; // Small bank keeps the test fast.
+    SimulatedDimm dimm(scenario.mfr, 0, options);
+    const auto &timing = dimm.module().timing();
+
+    Conditions nominal;
+    nominal.temperature = scenario.temperature;
+    nominal.tAggOn = scenario.tAggOn;
+    nominal.tAggOff = scenario.tAggOff;
+    const auto conditions = quantized(timing, nominal);
+
+    const DataPattern pattern(PatternId::Checkered);
+    constexpr std::uint64_t hammers = 150'000;
+
+    // --- Cycle path. ---
+    core::CycleTestConfig config;
+    config.victimPhysicalRow = scenario.victim;
+    config.conditions = conditions;
+    config.hammers = hammers;
+    const auto cycle =
+        core::runCycleHammerTest(dimm, pattern, config);
+
+    // --- Analytic path (same quantized conditions). ---
+    const auto attack =
+        HammerAttack::doubleSided(0, scenario.victim);
+    const auto analytic = dimm.analytic().berTest(
+        scenario.victim, attack, conditions, pattern, hammers, 0);
+
+    // The only legitimate disagreements are cells whose HCfirst sits
+    // within a whisker of the hammer count (the cycle path's first
+    // activation has a nominal rather than measured off-time).
+    const auto &engine = dimm.analytic();
+    std::set<std::uint64_t> near_boundary_free_mismatch;
+    unsigned analytic_robust = 0;
+    for (const auto &cell :
+         dimm.cellModel().cellsOfRow(0, scenario.victim)) {
+        const double hc = engine.cellHcFirst(
+            cell, scenario.victim, attack, conditions, pattern, 0);
+        if (hc == kNeverFlips)
+            continue;
+        const double margin =
+            std::abs(hc - static_cast<double>(hammers)) /
+            static_cast<double>(hammers);
+        if (hc <= hammers && margin > 0.001)
+            ++analytic_robust;
+    }
+
+    // Every robust analytic flip must appear in the cycle path, and
+    // the cycle path may only exceed the analytic count by boundary
+    // cells.
+    EXPECT_GE(cycle.victimFlips(), analytic_robust);
+    EXPECT_LE(cycle.victimFlips(), analytic.flips.size() + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, EquivalenceTest,
+    ::testing::Values(
+        Scenario{Mfr::A, 101, 50.0, 0.0, 0.0},
+        Scenario{Mfr::B, 257, 50.0, 0.0, 0.0},
+        Scenario{Mfr::B, 258, 70.0, 0.0, 0.0},
+        Scenario{Mfr::C, 333, 50.0, 94.5, 0.0},
+        Scenario{Mfr::D, 512, 50.0, 0.0, 32.5},
+        Scenario{Mfr::B, 771, 90.0, 154.5, 0.0},
+        Scenario{Mfr::A, 900, 85.0, 64.5, 24.5}));
+
+TEST(EquivalenceTest, SideVictimsMatchToo)
+{
+    DimmOptions options;
+    options.subarraysPerBank = 4;
+    SimulatedDimm dimm(Mfr::B, 0, options);
+    const auto &timing = dimm.module().timing();
+
+    Conditions conditions = quantized(timing, Conditions{});
+    const DataPattern pattern(PatternId::RowStripe);
+    const unsigned victim = 400;
+    constexpr std::uint64_t hammers = 400'000;
+
+    core::CycleTestConfig config;
+    config.victimPhysicalRow = victim;
+    config.conditions = conditions;
+    config.hammers = hammers;
+    const auto cycle = core::runCycleHammerTest(dimm, pattern, config);
+
+    const auto attack = HammerAttack::doubleSided(0, victim);
+    for (int offset : {-2, 2}) {
+        const auto analytic = dimm.analytic().berTest(
+            victim + offset, attack, conditions, pattern, hammers, 0);
+        const auto it = cycle.flipsByOffset.find(offset);
+        ASSERT_NE(it, cycle.flipsByOffset.end());
+        EXPECT_NEAR(static_cast<double>(it->second),
+                    static_cast<double>(analytic.flips.size()), 2.0)
+            << "offset " << offset;
+    }
+}
+
+TEST(EquivalenceTest, AggressorRowsAreImmune)
+{
+    // Activation restores the aggressor's own cells: the cycle path
+    // must report no flips in the aggressor rows.
+    DimmOptions options;
+    options.subarraysPerBank = 4;
+    SimulatedDimm dimm(Mfr::B, 0, options);
+    Conditions conditions =
+        quantized(dimm.module().timing(), Conditions{});
+
+    core::CycleTestConfig config;
+    config.victimPhysicalRow = 600;
+    config.conditions = conditions;
+    config.hammers = 400'000;
+    const auto cycle = core::runCycleHammerTest(
+        dimm, DataPattern(PatternId::Checkered), config);
+    EXPECT_EQ(cycle.flipsByOffset.at(-1), 0u);
+    EXPECT_EQ(cycle.flipsByOffset.at(1), 0u);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the manufacturer profiles and the calibration solver:
+ * the derived constants must reproduce the paper's HCfirst endpoint
+ * numbers exactly, by construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rhmodel/profile.hh"
+
+namespace
+{
+
+using namespace rhs::rhmodel;
+
+TEST(NormalCdfTest, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(normalCdf(-1.96), 0.025, 1e-3);
+    EXPECT_GT(normalCdf(8.0), 0.9999);
+}
+
+class ProfileTest : public ::testing::TestWithParam<Mfr>
+{
+  protected:
+    const ManufacturerProfile &profile() const
+    {
+        return profileFor(GetParam());
+    }
+};
+
+TEST_P(ProfileTest, DerivedConstantsAreSane)
+{
+    const auto &p = profile();
+    EXPECT_GT(p.wCouple, 0.0);
+    EXPECT_LT(p.wCouple, 1.0);
+    EXPECT_GT(p.kOn, 0.0);
+    EXPECT_GT(p.cellSigma, 0.0);
+    EXPECT_LE(p.cellSigma, p.sigmaCap + 1e-12);
+    EXPECT_LT(p.zBase, 0.0); // 150K sits in the lower tail.
+    EXPECT_GT(std::exp(p.hcMedianLog), 150e3);
+}
+
+TEST_P(ProfileTest, TimingDerivationReproducesHcFirstEndpoints)
+{
+    const auto &p = profile();
+    const double t_ras = 34.5, t_rp = 16.5;
+
+    // Damage at the on-time sweep endpoint.
+    const double g_on =
+        1.0 + p.kOn * (154.5 - t_ras) / t_ras;
+    const double d_on = (1.0 - p.wCouple) * g_on + p.wCouple * 1.0;
+    // HCfirst scales with 1/damage: reduction = 1 - 1/d_on.
+    EXPECT_NEAR(1.0 - 1.0 / d_on, p.targets.hcOnReduction, 1e-9);
+
+    // Damage at the off-time sweep endpoint.
+    const double g_off = t_rp / 40.5;
+    const double d_off = (1.0 - p.wCouple) * 1.0 + p.wCouple * g_off;
+    EXPECT_NEAR(1.0 / d_off - 1.0, p.targets.hcOffIncrease, 1e-9);
+}
+
+TEST_P(ProfileTest, MixtureFractionsSumToOne)
+{
+    double total = 0.0;
+    for (const auto &comp : profile().tempMixture)
+        total += comp.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(ProfileTest, MixtureWidthsOrdered)
+{
+    for (const auto &comp : profile().tempMixture) {
+        EXPECT_GT(comp.widthMin, 0.0);
+        EXPECT_GE(comp.widthMax, comp.widthMin);
+        EXPECT_GT(comp.sigmaScale, 0.0);
+    }
+}
+
+TEST_P(ProfileTest, BerSolveTargetsOrderedAbovePublished)
+{
+    const auto &p = profile();
+    if (p.solveBerOnRatio > 0.0) {
+        EXPECT_GE(p.solveBerOnRatio, p.targets.berOnRatio * 0.8);
+    }
+    if (p.solveBerOffRatio > 0.0) {
+        EXPECT_GE(p.solveBerOffRatio, p.targets.berOffRatio * 0.8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMfrs, ProfileTest,
+                         ::testing::ValuesIn(allMfrs));
+
+TEST(ProfileTest, PublishedTargetsMatchPaperTable)
+{
+    // Obsv. 8/10 endpoint numbers, straight from the paper.
+    EXPECT_NEAR(profileFor(Mfr::A).targets.hcOnReduction, 0.400, 1e-9);
+    EXPECT_NEAR(profileFor(Mfr::B).targets.hcOnReduction, 0.283, 1e-9);
+    EXPECT_NEAR(profileFor(Mfr::C).targets.hcOnReduction, 0.327, 1e-9);
+    EXPECT_NEAR(profileFor(Mfr::D).targets.hcOnReduction, 0.373, 1e-9);
+
+    EXPECT_NEAR(profileFor(Mfr::A).targets.hcOffIncrease, 0.338, 1e-9);
+    EXPECT_NEAR(profileFor(Mfr::B).targets.hcOffIncrease, 0.247, 1e-9);
+    EXPECT_NEAR(profileFor(Mfr::C).targets.hcOffIncrease, 0.501, 1e-9);
+    EXPECT_NEAR(profileFor(Mfr::D).targets.hcOffIncrease, 0.337, 1e-9);
+
+    EXPECT_NEAR(profileFor(Mfr::A).targets.berOnRatio, 10.2, 1e-9);
+    EXPECT_NEAR(profileFor(Mfr::B).targets.berOnRatio, 3.1, 1e-9);
+    EXPECT_NEAR(profileFor(Mfr::C).targets.berOnRatio, 4.4, 1e-9);
+    EXPECT_NEAR(profileFor(Mfr::D).targets.berOnRatio, 9.6, 1e-9);
+}
+
+TEST(ProfileTest, FinalizeRejectsBadTargets)
+{
+    ManufacturerProfile p = profileFor(Mfr::A);
+    p.targets.hcOnReduction = 1.5;
+    EXPECT_DEATH(p.finalize(), "assertion failed");
+}
+
+TEST(ProfileTest, FinalizeRejectsBadMixture)
+{
+    ManufacturerProfile p = profileFor(Mfr::A);
+    p.tempMixture = {{0.4, 50.0, 5.0, 10.0, 20.0, 1.0, 0.0}};
+    EXPECT_DEATH(p.finalize(), "sum to 1");
+}
+
+TEST(ProfileTest, MfrNames)
+{
+    EXPECT_EQ(to_string(Mfr::A), "Mfr. A");
+    EXPECT_EQ(letterOf(Mfr::D), 'D');
+    EXPECT_EQ(profileFor(Mfr::C).name, "Mfr. C");
+}
+
+TEST(ProfileTest, ProfilesAreSingletons)
+{
+    EXPECT_EQ(&profileFor(Mfr::B), &profileFor(Mfr::B));
+}
+
+} // namespace

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * SoftMC host tests: instruction encoding, program building, hammer
+ * program timing, and the PID temperature controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/module.hh"
+#include "softmc/host.hh"
+#include "softmc/program.hh"
+#include "softmc/temperature_controller.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::softmc;
+
+class EncodingTest : public ::testing::TestWithParam<Instruction>
+{
+};
+
+TEST_P(EncodingTest, RoundTrips)
+{
+    const auto instruction = GetParam();
+    EXPECT_EQ(decode(encode(instruction)), instruction);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, EncodingTest,
+    ::testing::Values(
+        Instruction{dram::CommandType::Act, 3, 12345, 0, 27},
+        Instruction{dram::CommandType::Pre, 7, 0, 0, 0},
+        Instruction{dram::CommandType::Rd, 0, 0, 1023, 3},
+        Instruction{dram::CommandType::Wr, 15, 0, 4095, 65535},
+        Instruction{dram::CommandType::Nop, 0, 0, 0, 100},
+        Instruction{dram::CommandType::PreA, 0, 0, 0, 1}));
+
+TEST(ProgramTest, DurationCountsIdles)
+{
+    Program program;
+    program.instructions = {
+        {dram::CommandType::Act, 0, 0, 0, 27},
+        {dram::CommandType::Pre, 0, 0, 0, 13},
+    };
+    EXPECT_EQ(program.durationCycles(), 42u);
+}
+
+TEST(ProgramBuilderTest, WaitFromLastPadsIdle)
+{
+    const auto timing = dram::ddr4_2400();
+    ProgramBuilder builder(timing);
+    builder.act(0, 5).waitFromLast(timing.tRAS).pre(0);
+    const auto program = builder.build();
+    ASSERT_EQ(program.instructions.size(), 2u);
+    // 34.5ns at 1.25ns = 28 cycles; ACT takes one, so 27 idles.
+    EXPECT_EQ(program.instructions[0].idle, 27u);
+}
+
+dram::Module
+makeModule()
+{
+    dram::Geometry g;
+    g.banks = 2;
+    g.subarraysPerBank = 4;
+    g.rowsPerSubarray = 128;
+    g.columnsPerRow = 64;
+
+    dram::ModuleInfo info;
+    info.label = "T";
+    info.chips = 2;
+    info.serial = 99;
+    return dram::Module(info, g, dram::ddr4_2400(),
+                        dram::makeIdentityMapping());
+}
+
+struct TimesListener : dram::ActivationListener
+{
+    std::vector<dram::ActivationRecord> records;
+
+    void
+    onActivation(const dram::ActivationRecord &record) override
+    {
+        records.push_back(record);
+    }
+};
+
+TEST(HammerProgramTest, BaselineLoopExecutesAtSpecTimings)
+{
+    auto module = makeModule();
+    TimesListener listener;
+    module.addListener(&listener);
+
+    HammerProgramSpec spec;
+    spec.aggressorA = 10;
+    spec.aggressorB = 12;
+    spec.hammers = 50;
+    const auto program = makeHammerProgram(module.timing(), spec);
+
+    Host host(module);
+    EXPECT_NO_THROW(host.run(program));
+    ASSERT_EQ(listener.records.size(), 100u);
+    const auto &timing = module.timing();
+    for (const auto &record : listener.records) {
+        EXPECT_GE(record.onTime, timing.tRAS);
+        // Quantized to the 1.25ns host clock: at most one cycle over.
+        EXPECT_LE(record.onTime, timing.tRAS + timing.clock);
+    }
+}
+
+class StretchedOnTimeTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(StretchedOnTimeTest, MeasuredOnTimeMatchesRequest)
+{
+    const double t_on = GetParam();
+    auto module = makeModule();
+    TimesListener listener;
+    module.addListener(&listener);
+
+    HammerProgramSpec spec;
+    spec.aggressorA = 20;
+    spec.aggressorB = 22;
+    spec.hammers = 5;
+    spec.tAggOn = t_on;
+    Host host(module);
+    host.run(makeHammerProgram(module.timing(), spec));
+
+    for (const auto &record : listener.records) {
+        EXPECT_GE(record.onTime, t_on - 1e-9);
+        EXPECT_LE(record.onTime, t_on + module.timing().clock);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSweep, StretchedOnTimeTest,
+                         ::testing::Values(34.5, 64.5, 94.5, 124.5,
+                                           154.5));
+
+class StretchedOffTimeTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(StretchedOffTimeTest, MeasuredOffTimeMatchesRequest)
+{
+    const double t_off = GetParam();
+    auto module = makeModule();
+    TimesListener listener;
+    module.addListener(&listener);
+
+    HammerProgramSpec spec;
+    spec.aggressorA = 30;
+    spec.aggressorB = 32;
+    spec.hammers = 5;
+    spec.tAggOff = t_off;
+    Host host(module);
+    host.run(makeHammerProgram(module.timing(), spec));
+
+    // Skip the first two records (no preceding precharge for each
+    // aggressor row's bank gap yet).
+    for (std::size_t i = 2; i < listener.records.size(); ++i) {
+        EXPECT_GE(listener.records[i].offTime, t_off - 1e-9);
+        EXPECT_LE(listener.records[i].offTime,
+                  t_off + module.timing().clock);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSweep, StretchedOffTimeTest,
+                         ::testing::Values(16.5, 24.5, 32.5, 40.5));
+
+TEST(HammerProgramTest, ReadBurstExtendsOnTime)
+{
+    auto module = makeModule();
+    TimesListener listener;
+    module.addListener(&listener);
+
+    HammerProgramSpec spec;
+    spec.aggressorA = 40;
+    spec.aggressorB = 42;
+    spec.hammers = 3;
+    spec.readsPerActivation = 12;
+    Host host(module);
+    host.run(makeHammerProgram(module.timing(), spec));
+
+    const auto &t = module.timing();
+    const double burst =
+        t.toNs(t.toCycles(t.tRCD) + 11 * t.toCycles(t.tCCD) +
+               t.toCycles(t.tRTP));
+    for (const auto &record : listener.records)
+        EXPECT_GE(record.onTime, burst - 1e-9);
+}
+
+TEST(HammerProgramTest, SingleSidedUsesOneRow)
+{
+    auto module = makeModule();
+    TimesListener listener;
+    module.addListener(&listener);
+
+    HammerProgramSpec spec;
+    spec.aggressorA = 50;
+    spec.aggressorB = 50; // Same row => single-sided.
+    spec.hammers = 4;
+    Host host(module);
+    host.run(makeHammerProgram(module.timing(), spec));
+    EXPECT_EQ(listener.records.size(), 4u);
+    for (const auto &record : listener.records)
+        EXPECT_EQ(record.physicalRow, 50u);
+}
+
+TEST(HostTest, ReadDataComesFromOpenRow)
+{
+    auto module = makeModule();
+    std::vector<std::vector<std::uint8_t>> images(
+        2, std::vector<std::uint8_t>(module.geometry().bytesPerRow(),
+                                     0x3C));
+    module.storeRowDirect(0, 6, images);
+
+    const auto &t = module.timing();
+    ProgramBuilder builder(t);
+    builder.act(0, 6).waitFromLast(t.tRCD).rd(0, 5);
+    Host host(module);
+    const auto result = host.run(builder.build());
+    ASSERT_EQ(result.readData.size(), 1u);
+    EXPECT_EQ(result.readData[0],
+              (std::vector<std::uint8_t>{0x3C, 0x3C}));
+}
+
+TEST(HostTest, RowImageHelpers)
+{
+    auto module = makeModule();
+    Host host(module);
+    std::vector<std::vector<std::uint8_t>> images(
+        2, std::vector<std::uint8_t>(module.geometry().bytesPerRow(),
+                                     0x77));
+    host.writeRowImage(0, 11, images);
+    EXPECT_EQ(host.readRowImage(0, 11), images);
+}
+
+TEST(TemperatureControllerTest, SettlesWithinTolerance)
+{
+    TemperatureController controller;
+    controller.setTarget(75.0);
+    ASSERT_TRUE(controller.settle(0.1));
+    EXPECT_NEAR(controller.plantTemperature(), 75.0, 0.1);
+}
+
+class TemperatureTargetTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TemperatureTargetTest, ReachesEveryPaperSetpoint)
+{
+    TemperatureController controller;
+    controller.setTarget(GetParam());
+    ASSERT_TRUE(controller.settle(0.1));
+    EXPECT_NEAR(controller.plantTemperature(), GetParam(), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, TemperatureTargetTest,
+                         ::testing::Values(50.0, 55.0, 60.0, 65.0, 70.0,
+                                           75.0, 80.0, 85.0, 90.0));
+
+TEST(TemperatureControllerTest, MeasurementNoiseIsSmall)
+{
+    TemperatureController controller;
+    controller.setTarget(60.0);
+    controller.settle(0.1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NEAR(controller.measure(), 60.0, 0.25);
+}
+
+TEST(TemperatureControllerTest, HeaterPowerIsBounded)
+{
+    TemperatureController controller;
+    controller.setTarget(90.0);
+    for (int i = 0; i < 1000; ++i) {
+        controller.step();
+        EXPECT_GE(controller.heaterPower(), 0.0);
+        EXPECT_LE(controller.heaterPower(), 1.0);
+    }
+}
+
+TEST(TemperatureControllerTest, CoolingIsPassive)
+{
+    // The controller can only heat; a target below ambient never
+    // settles (matches the heater-pad hardware).
+    ThermalConfig config;
+    config.ambient = 25.0;
+    TemperatureController controller(config);
+    controller.setTarget(10.0);
+    EXPECT_FALSE(controller.settle(0.1, 5.0, 60.0));
+}
+
+} // namespace

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the statistics library against hand-computed values
+ * and distribution-level properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/bhattacharyya.hh"
+#include "stats/descriptive.hh"
+#include "stats/histogram.hh"
+#include "stats/regression.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace rhs::stats;
+
+TEST(DescriptiveTest, MeanAndStddevHandValues)
+{
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    // Sample stddev with n-1: sqrt(32/7).
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, StddevOfSingletonIsZero)
+{
+    EXPECT_DOUBLE_EQ(stddev({42.0}), 0.0);
+}
+
+TEST(DescriptiveTest, CoefficientOfVariation)
+{
+    const std::vector<double> xs{10.0, 10.0, 10.0};
+    EXPECT_DOUBLE_EQ(coefficientOfVariation(xs), 0.0);
+
+    const std::vector<double> ys{5.0, 15.0};
+    EXPECT_NEAR(coefficientOfVariation(ys),
+                std::sqrt(50.0) / 10.0, 1e-12);
+}
+
+TEST(DescriptiveTest, QuantileInterpolates)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(median(xs), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+class QuantileMonotonicityTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(QuantileMonotonicityTest, QuantilesNeverDecrease)
+{
+    rhs::util::Rng rng(GetParam());
+    std::vector<double> xs;
+    for (int i = 0; i < 257; ++i)
+        xs.push_back(rng.gaussian(0.0, 10.0));
+    double prev = quantile(xs, 0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        const double v = quantile(xs, q);
+        EXPECT_GE(v, prev) << "at q=" << q;
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotonicityTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(DescriptiveTest, MinMax)
+{
+    const std::vector<double> xs{3.0, -1.0, 7.0};
+    EXPECT_DOUBLE_EQ(minValue(xs), -1.0);
+    EXPECT_DOUBLE_EQ(maxValue(xs), 7.0);
+}
+
+TEST(DescriptiveTest, ConfidenceIntervalShrinksWithSamples)
+{
+    rhs::util::Rng rng(9);
+    std::vector<double> small, large;
+    for (int i = 0; i < 20; ++i)
+        small.push_back(rng.gaussian());
+    for (int i = 0; i < 2000; ++i)
+        large.push_back(rng.gaussian());
+    EXPECT_GT(confidenceInterval95(small), confidenceInterval95(large));
+}
+
+TEST(DescriptiveTest, BoxSummaryOrdering)
+{
+    rhs::util::Rng rng(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i)
+        xs.push_back(rng.gaussian(100.0, 15.0));
+    const auto box = boxSummary(xs);
+    EXPECT_LE(box.whiskerLow, box.q1);
+    EXPECT_LE(box.q1, box.median);
+    EXPECT_LE(box.median, box.q3);
+    EXPECT_LE(box.q3, box.whiskerHigh);
+}
+
+TEST(DescriptiveTest, BoxWhiskersClampToData)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 100.0};
+    const auto box = boxSummary(xs);
+    // 100 is an outlier beyond 1.5 IQR; the whisker must not reach it.
+    EXPECT_LT(box.whiskerHigh, 100.0);
+    EXPECT_GE(box.whiskerLow, 1.0);
+}
+
+TEST(DescriptiveTest, LetterValuesNested)
+{
+    rhs::util::Rng rng(6);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(rng.gaussian());
+    const auto lv = letterValues(xs, 4);
+    ASSERT_GE(lv.boxes.size(), 2u);
+    for (std::size_t i = 1; i < lv.boxes.size(); ++i) {
+        EXPECT_LE(lv.boxes[i].first, lv.boxes[i - 1].first);
+        EXPECT_GE(lv.boxes[i].second, lv.boxes[i - 1].second);
+    }
+}
+
+TEST(DescriptiveTest, LetterValuesStopOnSmallData)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    const auto lv = letterValues(xs, 8);
+    EXPECT_LE(lv.boxes.size(), 1u);
+}
+
+TEST(DescriptiveTest, SortedDescending)
+{
+    const auto out = sortedDescending({1.0, 5.0, 3.0});
+    EXPECT_EQ(out, (std::vector<double>{5.0, 3.0, 1.0}));
+}
+
+TEST(DescriptiveTest, FractionPositive)
+{
+    EXPECT_DOUBLE_EQ(fractionPositive({1.0, -1.0, 2.0, 0.0}), 0.5);
+    EXPECT_DOUBLE_EQ(fractionPositive({}), 0.0);
+}
+
+TEST(DescriptiveTest, CumulativeMagnitude)
+{
+    EXPECT_DOUBLE_EQ(cumulativeMagnitude({1.0, -2.0, 3.0}), 6.0);
+}
+
+TEST(HistogramTest, CountsAndNormalization)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.addAll({0.5, 1.5, 1.6, 9.9});
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.total(), 4u);
+    const auto norm = h.normalized();
+    double sum = 0.0;
+    for (double v : norm)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, OutOfRangeClamps)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(5.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(HistogramTest, BinCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(Histogram2dTest, FractionsAndClamping)
+{
+    Histogram2d h(0.0, 1.0, 2, 0.0, 1.0, 2);
+    h.add(0.1, 0.1);
+    h.add(0.9, 0.9);
+    h.add(0.9, 0.9);
+    h.add(2.0, -1.0); // Clamps to (1,0) bucket.
+    EXPECT_EQ(h.count(0, 0), 1u);
+    EXPECT_EQ(h.count(1, 1), 2u);
+    EXPECT_EQ(h.count(1, 0), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(1, 1), 0.5);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(RegressionTest, ExactLineRecovered)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back(i);
+        ys.push_back(0.46 * i + 3773.0);
+    }
+    const auto fit = linearFit(xs, ys);
+    EXPECT_NEAR(fit.slope, 0.46, 1e-9);
+    EXPECT_NEAR(fit.intercept, 3773.0, 1e-6);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(RegressionTest, NoiseLowersR2)
+{
+    rhs::util::Rng rng(8);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        xs.push_back(i);
+        ys.push_back(2.0 * i + rng.gaussian(0.0, 100.0));
+    }
+    const auto fit = linearFit(xs, ys);
+    EXPECT_GT(fit.r2, 0.3);
+    EXPECT_LT(fit.r2, 0.99);
+    EXPECT_NEAR(fit.slope, 2.0, 0.5);
+}
+
+TEST(RegressionTest, PredictEvaluatesLine)
+{
+    const LinearFit fit{2.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(fit.predict(3.0), 7.0);
+}
+
+TEST(BhattacharyyaTest, IdenticalDistributionsHaveCoefficientOne)
+{
+    std::vector<double> a;
+    rhs::util::Rng rng(10);
+    for (int i = 0; i < 2000; ++i)
+        a.push_back(rng.gaussian(50.0, 5.0));
+    EXPECT_NEAR(bhattacharyyaCoefficient(a, a), 1.0, 1e-9);
+    EXPECT_NEAR(bhattacharyyaDistance(a, a), 0.0, 1e-9);
+}
+
+TEST(BhattacharyyaTest, DisjointSupportsAreFar)
+{
+    std::vector<double> a, b;
+    for (int i = 0; i < 100; ++i) {
+        a.push_back(i);
+        b.push_back(1000.0 + i);
+    }
+    EXPECT_GT(bhattacharyyaDistance(a, b), 5.0);
+}
+
+TEST(BhattacharyyaTest, NormalizedNearOneForSameDistribution)
+{
+    rhs::util::Rng rng(12);
+    std::vector<double> a, b;
+    for (int i = 0; i < 4000; ++i) {
+        a.push_back(rng.gaussian(100.0, 10.0));
+        b.push_back(rng.gaussian(100.0, 10.0));
+    }
+    const double norm = bhattacharyyaNormalized(a, b);
+    EXPECT_GT(norm, 0.7);
+    EXPECT_LE(norm, 1.2);
+}
+
+TEST(BhattacharyyaTest, NormalizedFallsForShiftedDistribution)
+{
+    rhs::util::Rng rng(14);
+    std::vector<double> a, b;
+    for (int i = 0; i < 4000; ++i) {
+        a.push_back(rng.gaussian(100.0, 10.0));
+        b.push_back(rng.gaussian(140.0, 10.0));
+    }
+    EXPECT_LT(bhattacharyyaNormalized(a, b),
+              bhattacharyyaNormalized(a, a));
+}
+
+} // namespace

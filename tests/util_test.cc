@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for util: hashing, RNG distributions, CLI parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/cli.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace rhs::util;
+
+TEST(HashTest, SplitMixIsDeterministic)
+{
+    EXPECT_EQ(splitMix64(42), splitMix64(42));
+    EXPECT_NE(splitMix64(42), splitMix64(43));
+}
+
+TEST(HashTest, TupleOrderMatters)
+{
+    EXPECT_NE(hashTuple(1, 2, 3), hashTuple(3, 2, 1));
+    EXPECT_NE(hashTuple(1, 2), hashTuple(1, 2, 0));
+}
+
+TEST(HashTest, AvalancheFlipsRoughlyHalfTheBits)
+{
+    // Flipping one input bit should flip ~32 of 64 output bits.
+    double total = 0.0;
+    const int samples = 200;
+    for (int i = 0; i < samples; ++i) {
+        const auto a = splitMix64(i);
+        const auto b = splitMix64(i ^ 1);
+        total += __builtin_popcountll(a ^ b);
+    }
+    const double avg = total / samples;
+    EXPECT_GT(avg, 24.0);
+    EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashTest, UnitDoubleInRange)
+{
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        const double u = toUnitDouble(splitMix64(i));
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMoments)
+{
+    Rng rng(7);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        sum += u;
+        sq += u * u;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.01);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianScaled)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, LogNormalIsPositive)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.logNormal(0.0, 1.0), 0.0);
+}
+
+class PoissonTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PoissonTest, MeanMatches)
+{
+    const double mean = GetParam();
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 8000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.poisson(mean);
+    EXPECT_NEAR(sum / n, mean, std::max(0.1, mean * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonTest,
+                         ::testing::Values(0.5, 2.0, 8.0, 30.0, 100.0,
+                                           400.0));
+
+TEST(PoissonTest, ZeroMeanGivesZero)
+{
+    Rng rng(29);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+    EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(RngTest, UniformIntInRange)
+{
+    Rng rng(31);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(8);
+        EXPECT_LT(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 8u); // All buckets hit.
+}
+
+TEST(RngTest, BernoulliRate)
+{
+    Rng rng(37);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(CliTest, ParsesSpaceSeparatedValues)
+{
+    const char *argv[] = {"prog", "--rows", "128", "--label", "abc"};
+    Cli cli(5, argv, {"rows", "label"});
+    EXPECT_EQ(cli.getInt("rows", 0), 128);
+    EXPECT_EQ(cli.get("label", ""), "abc");
+}
+
+TEST(CliTest, ParsesEqualsForm)
+{
+    const char *argv[] = {"prog", "--temp=72.5"};
+    Cli cli(2, argv, {"temp"});
+    EXPECT_DOUBLE_EQ(cli.getDouble("temp", 0.0), 72.5);
+}
+
+TEST(CliTest, BooleanFlagAndDefaults)
+{
+    const char *argv[] = {"prog", "--full"};
+    Cli cli(2, argv, {"full", "rows"});
+    EXPECT_TRUE(cli.has("full"));
+    EXPECT_FALSE(cli.has("rows"));
+    EXPECT_EQ(cli.getInt("rows", 64), 64);
+}
+
+TEST(CliDeathTest, UnknownOptionIsFatal)
+{
+    const char *argv[] = {"prog", "--bogus"};
+    EXPECT_EXIT((Cli(2, argv, {"rows"})),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(LoggingTest, LevelsAreOrdered)
+{
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+}
+
+TEST(LoggingDeathTest, AssertAborts)
+{
+    EXPECT_DEATH(RHS_ASSERT(1 == 2, "impossible"), "assertion failed");
+}
+
+} // namespace
