@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/thread_pool.hh"
+
 namespace rhs::bench
 {
 
@@ -9,7 +11,7 @@ BenchScale
 parseScale(int argc, const char *const *argv, unsigned full_rows,
            unsigned full_modules, unsigned default_rows)
 {
-    util::Cli cli(argc, argv, {"modules", "rows", "full"});
+    util::Cli cli(argc, argv, {"modules", "rows", "full", "jobs"});
     BenchScale scale;
     scale.maxRows = default_rows;
     scale.rowsPerRegion = default_rows / 3 + 1;
@@ -23,6 +25,8 @@ parseScale(int argc, const char *const *argv, unsigned full_rows,
     scale.maxRows =
         static_cast<unsigned>(cli.getInt("rows", scale.maxRows));
     scale.rowsPerRegion = scale.maxRows / 3 + 1;
+    scale.jobs = static_cast<unsigned>(cli.getInt("jobs", 0));
+    util::ThreadPool::configure(scale.jobs);
     return scale;
 }
 

@@ -28,9 +28,14 @@ struct BenchScale
     unsigned modulesPerMfr = 1; //!< DIMMs per manufacturer.
     unsigned rowsPerRegion = 40; //!< Rows per first/middle/last region.
     unsigned maxRows = 120;      //!< Cap on total rows per module.
+    unsigned jobs = 0;           //!< Worker count (0 = all hardware threads).
 };
 
-/** Parse the common CLI options (--modules, --rows, --full). */
+/**
+ * Parse the common CLI options (--modules, --rows, --full, --jobs)
+ * and configure the global thread pool to scale.jobs (default: one
+ * job per hardware thread; --jobs 1 forces fully serial runs).
+ */
 BenchScale parseScale(int argc, const char *const *argv,
                       unsigned full_rows = 400, unsigned full_modules = 2,
                       unsigned default_rows = 120);

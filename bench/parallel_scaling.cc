@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Parallel characterization engine scaling measurement.
+ *
+ * Runs the three headline workloads — the full campaign, the
+ * temperature sweep (§5 / Table 3) and the Fig. 11 per-row HCfirst
+ * scan — at 1, 2, 4 and 8 worker threads, verifies the results are
+ * byte-identical at every width, and writes the wall-clock numbers
+ * plus speedups to BENCH_parallel.json.
+ *
+ * Options:
+ *   --rows N    sample size per workload (default 30)
+ *   --out FILE  JSON output path (default BENCH_parallel.json)
+ *
+ * Determinism is checked, not assumed: each workload's result is
+ * serialized and the serialization at every thread count must equal
+ * the jobs=1 baseline exactly, or the bench aborts.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/campaign.hh"
+#include "core/profile_io.hh"
+#include "core/spatial.hh"
+#include "core/temp_analysis.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+constexpr unsigned kJobCounts[] = {1, 2, 4, 8};
+
+/** FNV-1a, reported in the JSON so runs can be compared offline. */
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+struct Measurement
+{
+    std::string name;
+    std::vector<double> seconds;  //!< Indexed like kJobCounts.
+    std::uint64_t digest = 0;     //!< FNV-1a of the serialized result.
+    bool deterministic = true;    //!< All widths byte-identical.
+};
+
+/**
+ * Time `work` (which returns the result serialized to a string) at
+ * every thread width and verify the bytes never change.
+ */
+template <typename Work>
+Measurement
+measure(const std::string &name, Work &&work)
+{
+    Measurement m;
+    m.name = name;
+    std::string baseline;
+    for (unsigned jobs : kJobCounts) {
+        util::ThreadPool::configure(jobs);
+        const auto start = std::chrono::steady_clock::now();
+        const std::string serialized = work();
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        m.seconds.push_back(elapsed.count());
+        if (jobs == 1) {
+            baseline = serialized;
+            m.digest = fnv1a(serialized);
+        } else if (serialized != baseline) {
+            m.deterministic = false;
+        }
+        std::printf("  %-18s jobs=%u  %8.3f s  digest %016llx%s\n",
+                    name.c_str(), jobs, elapsed.count(),
+                    static_cast<unsigned long long>(fnv1a(serialized)),
+                    serialized == baseline ? "" : "  MISMATCH");
+    }
+    util::ThreadPool::configure(0);
+    RHS_ASSERT(m.deterministic,
+               "parallel results diverged from the serial baseline");
+    return m;
+}
+
+std::string
+serializeTempRanges(const core::TempRangeAnalysis &analysis)
+{
+    std::ostringstream out;
+    out << analysis.vulnerableCells << ' ' << analysis.noGapCells << ' '
+        << analysis.oneGapCells << '\n';
+    for (const auto &row : analysis.rangeCount) {
+        for (auto count : row)
+            out << count << ' ';
+        out << '\n';
+    }
+    return out.str();
+}
+
+void
+writeJson(const std::string &path, unsigned hardware_threads,
+          const std::vector<Measurement> &measurements)
+{
+    std::ofstream out(path);
+    RHS_ASSERT(out.good(), "cannot open JSON output file");
+    out << "{\n";
+    out << "  \"bench\": \"parallel_scaling\",\n";
+    out << "  \"hardware_threads\": " << hardware_threads << ",\n";
+    out << "  \"job_counts\": [1, 2, 4, 8],\n";
+    out << "  \"workloads\": [\n";
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        const auto &m = measurements[i];
+        out << "    {\n";
+        out << "      \"name\": \"" << m.name << "\",\n";
+        out << "      \"seconds\": [";
+        for (std::size_t j = 0; j < m.seconds.size(); ++j)
+            out << (j ? ", " : "") << m.seconds[j];
+        out << "],\n";
+        out << "      \"speedup\": [";
+        for (std::size_t j = 0; j < m.seconds.size(); ++j)
+            out << (j ? ", " : "")
+                << (m.seconds[j] > 0.0 ? m.seconds[0] / m.seconds[j]
+                                       : 0.0);
+        out << "],\n";
+        char digest[32];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(m.digest));
+        out << "      \"digest\": \"" << digest << "\",\n";
+        out << "      \"deterministic\": "
+            << (m.deterministic ? "true" : "false") << "\n";
+        out << "    }" << (i + 1 < measurements.size() ? "," : "")
+            << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rhs;
+
+    const util::Cli cli(argc, argv, {"rows", "out"});
+    const auto max_rows =
+        static_cast<unsigned>(cli.getInt("rows", 30));
+    const std::string out_path =
+        cli.get("out", "BENCH_parallel.json");
+
+    bench::printHeader(
+        "Parallel engine scaling: campaign / temperature / row scan",
+        "tentpole measurement; results byte-identical at every width");
+    std::printf("hardware threads: %u\n\n",
+                util::ThreadPool::hardwareJobs());
+
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
+    core::Tester tester(dimm);
+
+    const auto all = core::testedRows(dimm.module().geometry(),
+                                      max_rows / 3 + 1);
+    std::vector<unsigned> rows;
+    for (std::size_t i = 0; i < max_rows && i < all.size(); ++i)
+        rows.push_back(all[i * all.size() / max_rows]);
+    rhmodel::Conditions reference;
+    const auto wcdp = tester.findWorstCasePattern(
+        0, {rows.front(), rows[rows.size() / 2], rows.back()},
+        reference);
+
+    std::vector<Measurement> measurements;
+
+    core::CampaignConfig config;
+    config.maxRows = max_rows;
+    config.rowsPerRegion = max_rows / 3 + 1;
+    measurements.push_back(measure("campaign", [&] {
+        const auto report = core::runCampaign(tester, config);
+        std::ostringstream out;
+        out << report.summary();
+        core::saveProfile(out, report.profile);
+        return out.str();
+    }));
+
+    measurements.push_back(measure("temperature_sweep", [&] {
+        return serializeTempRanges(
+            core::analyzeTempRanges(tester, 0, rows, wcdp));
+    }));
+
+    measurements.push_back(measure("fig11_row_scan", [&] {
+        const auto hcs = core::rowHcFirstSurvey(tester, 0, rows, wcdp);
+        std::ostringstream out;
+        for (double hc : hcs)
+            out << hc << '\n';
+        return out.str();
+    }));
+
+    writeJson(out_path, util::ThreadPool::hardwareJobs(),
+              measurements);
+    std::printf("\nwrote %s; all workloads byte-identical across "
+                "1/2/4/8 worker threads\n", out_path.c_str());
+    return 0;
+}

@@ -1,16 +1,26 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the simulator itself: cell
- * generation, analytic BER evaluation, HCfirst binary search, and
- * cycle-accurate hammer execution throughput. These establish the
- * cost model behind the bench harnesses' default scales.
+ * generation, analytic BER evaluation, HCfirst binary search,
+ * cycle-accurate hammer execution throughput, and the parallel
+ * characterization engine's scaling. These establish the cost model
+ * behind the bench harnesses' default scales.
+ *
+ * Usage: perf_microbench [google-benchmark flags] [--jobs N]
+ * --jobs pre-configures the global pool for the non-sweeping
+ * benchmarks; the *_Jobs benchmarks set their own width per Arg.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "core/campaign.hh"
 #include "core/hammer_session.hh"
+#include "core/spatial.hh"
+#include "core/temp_analysis.hh"
 #include "core/tester.hh"
 #include "rhmodel/dimm.hh"
+#include "util/cli.hh"
+#include "util/thread_pool.hh"
 
 namespace
 {
@@ -24,13 +34,54 @@ BM_CellGeneration(benchmark::State &state)
     SimulatedDimm dimm(Mfr::A, 0);
     unsigned row = 2;
     for (auto _ : state) {
-        // Rotate rows so the memo cache never hits.
         benchmark::DoNotOptimize(
             dimm.cellModel().cellsOfRow(0, row));
+        // Stride 97 is coprime to 8000, so the walk visits all 8000
+        // rows before repeating; CellModel::kCacheCapacity (256) is
+        // far smaller, so every access is a compulsory miss = pure
+        // generation cost. (This invariant holds only while the
+        // cache stays smaller than the 8000-row working set.)
+        static_assert(CellModel::kCacheCapacity < 8000,
+                      "row rotation no longer defeats the memo");
         row = (row + 97) % 8000;
     }
 }
 BENCHMARK(BM_CellGeneration);
+
+void
+BM_CellGenerationCached(benchmark::State &state)
+{
+    SimulatedDimm dimm(Mfr::A, 0);
+    // Working set of 64 rows fits the 256-entry LRU: after the first
+    // lap every access hits, measuring pure cache-lookup cost. Under
+    // the old FIFO memo (capacity 16, no promote-on-hit) this same
+    // loop missed on every access.
+    constexpr unsigned working_set = 64;
+    static_assert(working_set < CellModel::kCacheCapacity);
+    unsigned i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dimm.cellModel().cellsOfRow(0, 2 + (i % working_set)));
+        ++i;
+    }
+}
+BENCHMARK(BM_CellGenerationCached);
+
+void
+BM_CellGenerationConcurrent(benchmark::State &state)
+{
+    // Shared across benchmark threads: every thread reads the same
+    // CellModel through the sharded row cache.
+    static SimulatedDimm *dimm = new SimulatedDimm(Mfr::A, 0);
+    unsigned row = 2 + 97 * static_cast<unsigned>(state.thread_index());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dimm->cellModel().cellsOfRow(0, row % 8000));
+        row += 97;
+    }
+}
+BENCHMARK(BM_CellGenerationConcurrent)->ThreadRange(1, 8)
+    ->UseRealTime();
 
 void
 BM_AnalyticBerTest(benchmark::State &state)
@@ -96,6 +147,88 @@ BM_TemperatureSweepPoint(benchmark::State &state)
 }
 BENCHMARK(BM_TemperatureSweepPoint);
 
+// --- Parallel-engine scaling: Arg = thread-pool jobs. ---------------
+
+std::vector<unsigned>
+benchRows(const SimulatedDimm &dimm, unsigned count)
+{
+    const auto all =
+        core::testedRows(dimm.module().geometry(), count / 3 + 1);
+    std::vector<unsigned> rows;
+    for (std::size_t i = 0; i < count && i < all.size(); ++i)
+        rows.push_back(all[i * all.size() / count]);
+    return rows;
+}
+
+void
+BM_TemperatureSweep_Jobs(benchmark::State &state)
+{
+    util::ThreadPool::configure(
+        static_cast<unsigned>(state.range(0)));
+    SimulatedDimm dimm(Mfr::D, 0);
+    core::Tester tester(dimm);
+    const DataPattern pattern(PatternId::Checkered);
+    const auto rows = benchRows(dimm, 24);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::analyzeTempRanges(tester, 0, rows, pattern));
+    }
+    util::ThreadPool::configure(0);
+}
+BENCHMARK(BM_TemperatureSweep_Jobs)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_RowScan_Jobs(benchmark::State &state)
+{
+    util::ThreadPool::configure(
+        static_cast<unsigned>(state.range(0)));
+    SimulatedDimm dimm(Mfr::B, 0);
+    core::Tester tester(dimm);
+    const DataPattern pattern(PatternId::Checkered);
+    const auto rows = benchRows(dimm, 48);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::rowHcFirstSurvey(tester, 0, rows, pattern));
+    }
+    util::ThreadPool::configure(0);
+}
+BENCHMARK(BM_RowScan_Jobs)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Campaign_Jobs(benchmark::State &state)
+{
+    util::ThreadPool::configure(
+        static_cast<unsigned>(state.range(0)));
+    SimulatedDimm dimm(Mfr::B, 0);
+    core::Tester tester(dimm);
+    core::CampaignConfig config;
+    config.maxRows = 15;
+    config.rowsPerRegion = 5;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::runCampaign(tester, config));
+    }
+    util::ThreadPool::configure(0);
+}
+BENCHMARK(BM_Campaign_Jobs)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    // Remaining (non-benchmark) flags: --jobs N pre-configures the
+    // global pool for benchmarks that do not sweep it themselves.
+    rhs::util::Cli cli(argc, argv, {"jobs"});
+    rhs::util::ThreadPool::configure(
+        static_cast<unsigned>(cli.getInt("jobs", 0)));
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,6 +7,9 @@
  *   2. sweep temperature 50..90 degC and report BER / range stats,
  *   3. sweep the aggressor timings,
  *   4. survey per-row HCfirst.
+ *
+ * Options: --jobs N (worker threads; 0 or absent = all hardware
+ * threads, 1 = fully serial). Results are identical for any N.
  */
 
 #include <cstdio>
@@ -16,11 +19,17 @@
 #include "core/tester.hh"
 #include "core/timing_analysis.hh"
 #include "stats/descriptive.hh"
+#include "util/cli.hh"
+#include "util/thread_pool.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhs;
+
+    const util::Cli cli(argc, argv, {"jobs"});
+    util::ThreadPool::configure(
+        static_cast<unsigned>(cli.getInt("jobs", 0)));
 
     rhmodel::SimulatedDimm dimm(rhmodel::Mfr::A, 0);
     core::Tester tester(dimm);

@@ -4,6 +4,7 @@
 
 #include "stats/descriptive.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace rhs::core
 {
@@ -90,11 +91,12 @@ runCampaign(Tester &tester, const CampaignConfig &config)
     report.profile.wcdp = wcdp.id();
     const auto conditions = spatialConditions();
     report.profile.temperature = conditions.temperature;
-    for (unsigned row : rows) {
-        report.profile.rows.push_back(
-            {config.bank, row,
-             tester.hcFirstMin(config.bank, row, conditions, wcdp)});
-    }
+    report.profile.rows.resize(rows.size());
+    util::parallelFor(0, rows.size(), [&](std::size_t r) {
+        report.profile.rows[r] = {
+            config.bank, rows[r],
+            tester.hcFirstMin(config.bank, rows[r], conditions, wcdp)};
+    });
     return report;
 }
 

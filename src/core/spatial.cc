@@ -5,6 +5,7 @@
 
 #include "stats/descriptive.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace rhs::core
 {
@@ -23,10 +24,16 @@ rowHcFirstSurvey(const Tester &tester, unsigned bank,
                  const rhmodel::DataPattern &pattern)
 {
     const auto conditions = spatialConditions();
+    // Parallel per-row searches into pre-sized slots, compacted in
+    // row order (so the survey is bit-identical for any job count).
+    std::vector<std::uint64_t> raw(rows.size(), kNotVulnerable);
+    util::parallelFor(0, rows.size(), [&](std::size_t r) {
+        raw[r] = tester.hcFirstMin(bank, rows[r], conditions, pattern);
+    });
+
     std::vector<double> hcs;
     hcs.reserve(rows.size());
-    for (unsigned row : rows) {
-        const auto hc = tester.hcFirstMin(bank, row, conditions, pattern);
+    for (auto hc : raw) {
         if (hc != kNotVulnerable)
             hcs.push_back(static_cast<double>(hc));
     }
@@ -98,12 +105,17 @@ columnFlipSurvey(const Tester &tester, unsigned bank,
         module.chipCount(),
         std::vector<std::uint64_t>(module.geometry().columnsPerRow, 0));
 
-    for (unsigned row : rows) {
-        const auto detail =
-            tester.berDetail(bank, row, conditions, pattern, hammers);
-        for (const auto &loc : detail.flips)
+    // Per-row flip lists in parallel; the fold only increments
+    // integer counters, so accumulation order cannot change it.
+    std::vector<std::vector<dram::CellLocation>> flips(rows.size());
+    util::parallelFor(0, rows.size(), [&](std::size_t r) {
+        flips[r] = tester.berDetail(bank, rows[r], conditions, pattern,
+                                    hammers)
+                       .flips;
+    });
+    for (const auto &row_flips : flips)
+        for (const auto &loc : row_flips)
             ++result.counts[loc.chip][loc.column];
-    }
     return result;
 }
 
@@ -200,21 +212,32 @@ subarraySurvey(const Tester &tester, unsigned bank,
     const auto conditions = spatialConditions();
     std::vector<SubarrayStats> result;
     const unsigned stride = geometry.subarraysPerBank / subarray_count;
+    const unsigned row_stride =
+        geometry.rowsPerSubarray / rows_per_subarray;
+
+    // Flatten the (subarray, row) grid so small subarray counts still
+    // fill every job; each slot is an independent HCfirst search.
+    // kNotVulnerable doubles as the sentinel for rows skipped at the
+    // bank edge — the serial loop never measured those either.
+    const std::size_t total =
+        std::size_t{subarray_count} * rows_per_subarray;
+    std::vector<std::uint64_t> hc_grid(total, kNotVulnerable);
+    util::parallelFor(0, total, [&](std::size_t i) {
+        const unsigned s = static_cast<unsigned>(i / rows_per_subarray);
+        const unsigned r = static_cast<unsigned>(i % rows_per_subarray);
+        const unsigned base = s * stride * geometry.rowsPerSubarray;
+        const unsigned row = base + r * row_stride;
+        if (row < 2 || row + 2 >= geometry.rowsPerBank())
+            return;
+        hc_grid[i] = tester.hcFirstMin(bank, row, conditions, pattern);
+    });
 
     for (unsigned s = 0; s < subarray_count; ++s) {
         SubarrayStats stats_entry;
         stats_entry.subarray = s * stride;
-        const unsigned base =
-            stats_entry.subarray * geometry.rowsPerSubarray;
-        const unsigned row_stride =
-            geometry.rowsPerSubarray / rows_per_subarray;
-
         for (unsigned r = 0; r < rows_per_subarray; ++r) {
-            const unsigned row = base + r * row_stride;
-            if (row < 2 || row + 2 >= geometry.rowsPerBank())
-                continue;
             const auto hc =
-                tester.hcFirstMin(bank, row, conditions, pattern);
+                hc_grid[std::size_t{s} * rows_per_subarray + r];
             if (hc != kNotVulnerable)
                 stats_entry.hcFirstValues.push_back(
                     static_cast<double>(hc));

@@ -4,6 +4,7 @@
 
 #include "stats/descriptive.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace rhs::core
 {
@@ -74,13 +75,24 @@ analyzeTempRanges(const Tester &tester, unsigned bank,
     const std::size_t n = analysis.temps.size();
     analysis.rangeCount.assign(n, std::vector<std::uint64_t>(n, 0));
 
-    for (unsigned row : rows) {
+    // Every row's classification is independent, so rows are
+    // processed in parallel into per-row partial analyses (one
+    // pre-sized slot per row, never appended) and folded serially.
+    // The fold only adds integer counters, so the result is
+    // bit-identical for any job count.
+    std::vector<TempRangeAnalysis> partials(rows.size());
+    util::parallelFor(0, rows.size(), [&](std::size_t r) {
+        const unsigned row = rows[r];
+        auto &part = partials[r];
+        part.temps = analysis.temps;
+        part.rangeCount.assign(n, std::vector<std::uint64_t>(n, 0));
+
         // Per-cell bitmask of temperatures showing a flip. Keys are
         // cell positions within the row (chip, column, bit).
         std::unordered_map<std::uint64_t, std::uint32_t> masks;
         for (std::size_t t = 0; t < n; ++t) {
             rhmodel::Conditions conditions;
-            conditions.temperature = analysis.temps[t];
+            conditions.temperature = part.temps[t];
             const auto result = tester.berDetail(bank, row, conditions,
                                                  pattern, hammers);
             for (const auto &loc : result.flips) {
@@ -93,7 +105,7 @@ analyzeTempRanges(const Tester &tester, unsigned bank,
 
         for (const auto &[key, mask] : masks) {
             (void)key;
-            ++analysis.vulnerableCells;
+            ++part.vulnerableCells;
             // Observed range: lowest and highest set temperature.
             std::size_t lo = 0;
             while (!(mask & (1u << lo)))
@@ -101,7 +113,7 @@ analyzeTempRanges(const Tester &tester, unsigned bank,
             std::size_t hi = n - 1;
             while (!(mask & (1u << hi)))
                 --hi;
-            ++analysis.rangeCount[lo][hi];
+            ++part.rangeCount[lo][hi];
 
             unsigned gaps = 0;
             for (std::size_t t = lo; t <= hi; ++t) {
@@ -109,11 +121,14 @@ analyzeTempRanges(const Tester &tester, unsigned bank,
                     ++gaps;
             }
             if (gaps == 0)
-                ++analysis.noGapCells;
+                ++part.noGapCells;
             else if (gaps == 1)
-                ++analysis.oneGapCells;
+                ++part.oneGapCells;
         }
-    }
+    });
+
+    for (const auto &part : partials)
+        analysis.merge(part);
     return analysis;
 }
 
@@ -127,22 +142,25 @@ analyzeBerVsTemperature(const Tester &tester, unsigned bank,
     result.temps = standardTemperatures();
     const std::vector<int> offsets{-2, 0, 2};
 
-    // ber[offset][temp][row]
+    // ber[offset][temp][row]: pre-sized, written by row index from
+    // the parallel loop — identical layout for any job count.
     std::map<int, std::vector<std::vector<double>>> ber;
     for (int offset : offsets)
-        ber[offset].assign(result.temps.size(), {});
+        ber[offset].assign(result.temps.size(),
+                           std::vector<double>(rows.size(), 0.0));
 
-    for (unsigned row : rows) {
+    util::parallelFor(0, rows.size(), [&](std::size_t r) {
+        const unsigned row = rows[r];
         for (std::size_t t = 0; t < result.temps.size(); ++t) {
             rhmodel::Conditions conditions;
             conditions.temperature = result.temps[t];
             for (int offset : offsets) {
-                ber[offset][t].push_back(static_cast<double>(
+                ber.at(offset)[t][r] = static_cast<double>(
                     tester.berAtDistance(bank, row, offset, conditions,
-                                         pattern, hammers)));
+                                         pattern, hammers));
             }
         }
-    }
+    });
 
     for (int offset : offsets) {
         const double base = stats::mean(ber[offset][0]);
@@ -192,7 +210,20 @@ analyzeHcFirstVsTemperature(const Tester &tester, unsigned bank,
                             const rhmodel::DataPattern &pattern)
 {
     HcShiftResult result;
-    for (unsigned row : rows) {
+
+    // Per-row shifts into pre-sized slots; compacted serially in row
+    // order below so the output vectors match the serial loop
+    // byte-for-byte.
+    struct RowShift
+    {
+        bool vulnerable = false;
+        double pct55 = 0.0;
+        double pct90 = 0.0;
+    };
+    std::vector<RowShift> shifts(rows.size());
+
+    util::parallelFor(0, rows.size(), [&](std::size_t r) {
+        const unsigned row = rows[r];
         rhmodel::Conditions at50, at55, at90;
         at50.temperature = 50.0;
         at55.temperature = 55.0;
@@ -200,7 +231,7 @@ analyzeHcFirstVsTemperature(const Tester &tester, unsigned bank,
 
         const auto hc50 = tester.hcFirstMin(bank, row, at50, pattern);
         if (hc50 == kNotVulnerable)
-            continue;
+            return;
         const auto hc55 = tester.hcFirstMin(bank, row, at55, pattern);
         const auto hc90 = tester.hcFirstMin(bank, row, at90, pattern);
 
@@ -213,8 +244,14 @@ analyzeHcFirstVsTemperature(const Tester &tester, unsigned bank,
             return 100.0 * (to - static_cast<double>(hc50)) /
                    static_cast<double>(hc50);
         };
-        result.changePct55.push_back(change_pct(hc55));
-        result.changePct90.push_back(change_pct(hc90));
+        shifts[r] = {true, change_pct(hc55), change_pct(hc90)};
+    });
+
+    for (const auto &shift : shifts) {
+        if (!shift.vulnerable)
+            continue;
+        result.changePct55.push_back(shift.pct55);
+        result.changePct90.push_back(shift.pct90);
     }
     return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace rhs::core
 {
@@ -102,17 +103,32 @@ Tester::findWorstCasePattern(unsigned bank,
                              const rhmodel::Conditions &conditions) const
 {
     RHS_ASSERT(!sample_rows.empty(), "WCDP needs sample rows");
+    const auto pattern_count = std::size(rhmodel::allPatterns);
+
+    // Every (pattern, row) BER test is independent: flatten the grid,
+    // test in parallel, reduce serially. The winner is selected by
+    // the same first-strictly-greater scan as the serial loop, so tie
+    // handling (first pattern in allPatterns order wins) is unchanged.
+    std::vector<std::uint64_t> grid(pattern_count * sample_rows.size(),
+                                    0);
+    util::parallelFor(0, grid.size(), [&](std::size_t i) {
+        const std::size_t p = i / sample_rows.size();
+        const unsigned row = sample_rows[i % sample_rows.size()];
+        const rhmodel::DataPattern pattern(
+            rhmodel::allPatterns[p], dimm.module().info().serial);
+        grid[i] = berOfRow(bank, row, conditions, pattern);
+    });
+
     rhmodel::DataPattern best(rhmodel::PatternId::ColStripe);
     std::uint64_t best_flips = 0;
     bool first = true;
-    for (auto id : rhmodel::allPatterns) {
-        const rhmodel::DataPattern pattern(
-            id, dimm.module().info().serial);
+    for (std::size_t p = 0; p < pattern_count; ++p) {
         std::uint64_t flips = 0;
-        for (unsigned row : sample_rows)
-            flips += berOfRow(bank, row, conditions, pattern);
+        for (std::size_t r = 0; r < sample_rows.size(); ++r)
+            flips += grid[p * sample_rows.size() + r];
         if (first || flips > best_flips) {
-            best = pattern;
+            best = rhmodel::DataPattern(rhmodel::allPatterns[p],
+                                        dimm.module().info().serial);
             best_flips = flips;
             first = false;
         }

@@ -2,6 +2,7 @@
 
 #include "stats/descriptive.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace rhs::core
 {
@@ -83,7 +84,21 @@ sweepImpl(const Tester &tester, unsigned bank,
     std::vector<std::vector<std::uint64_t>> flips_per_chip(
         values.size(), std::vector<std::uint64_t>(chips, 0));
 
-    for (unsigned row : rows) {
+    // Every (row, sweep point) is independent. Rows run in parallel
+    // into per-row slots; the serial fold below accumulates flip
+    // counts (order-independent integer sums) and appends HCfirst
+    // values in row order, matching the serial loop byte-for-byte.
+    struct RowPoint
+    {
+        std::vector<std::uint64_t> flipsPerChip;
+        std::uint64_t hcFirst = kNotVulnerable;
+    };
+    std::vector<std::vector<RowPoint>> per_row(rows.size());
+
+    util::parallelFor(0, rows.size(), [&](std::size_t r) {
+        const unsigned row = rows[r];
+        auto &points = per_row[r];
+        points.resize(values.size());
         for (std::size_t v = 0; v < values.size(); ++v) {
             rhmodel::Conditions conditions;
             conditions.temperature = 50.0; // §6 runs at 50 degC.
@@ -92,16 +107,24 @@ sweepImpl(const Tester &tester, unsigned bank,
             else
                 conditions.tAggOff = values[v];
 
+            points[v].flipsPerChip.assign(chips, 0);
             const auto detail =
                 tester.berDetail(bank, row, conditions, pattern);
             for (const auto &loc : detail.flips)
-                ++flips_per_chip[v][loc.chip];
+                ++points[v].flipsPerChip[loc.chip];
 
-            const auto hc = tester.hcFirstMin(bank, row, conditions,
-                                              pattern);
-            if (hc != kNotVulnerable)
+            points[v].hcFirst = tester.hcFirstMin(bank, row, conditions,
+                                                  pattern);
+        }
+    });
+
+    for (const auto &points : per_row) {
+        for (std::size_t v = 0; v < values.size(); ++v) {
+            for (unsigned chip = 0; chip < chips; ++chip)
+                flips_per_chip[v][chip] += points[v].flipsPerChip[chip];
+            if (points[v].hcFirst != kNotVulnerable)
                 result.hcFirstPerRow[v].push_back(
-                    static_cast<double>(hc));
+                    static_cast<double>(points[v].hcFirst));
         }
     }
 

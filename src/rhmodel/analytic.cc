@@ -108,7 +108,9 @@ AnalyticEngine::berTest(unsigned victim_row, const HammerAttack &attack,
                         unsigned trial) const
 {
     RowBerResult result;
-    const auto cells = model.cellsOfRow(attack.bank, victim_row);
+    // Reference, not copy: valid for this scope per the cellsOfRow
+    // keep-alive contract.
+    const auto &cells = model.cellsOfRow(attack.bank, victim_row);
     result.vulnerableCells = static_cast<unsigned>(cells.size());
     for (const auto &cell : cells) {
         const double hc = cellHcFirst(cell, victim_row, attack,

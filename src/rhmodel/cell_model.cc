@@ -103,21 +103,71 @@ CellModel::sampleColumnFromCdf(unsigned chip, double u) const
     return col;
 }
 
+namespace
+{
+
+/**
+ * Pin the returned shared_ptr in a per-thread ring so the reference
+ * handed to the caller cannot dangle if a concurrent thread evicts
+ * the entry from its LRU shard. A row vector stays alive until the
+ * calling thread makes CellModel::kKeepAlive further cellsOfRow
+ * calls (or longer, while still cached).
+ */
+const std::vector<VulnerableCell> &
+pinRowCells(std::shared_ptr<const std::vector<VulnerableCell>> cells)
+{
+    thread_local std::array<
+        std::shared_ptr<const std::vector<VulnerableCell>>,
+        CellModel::kKeepAlive>
+        ring;
+    thread_local std::size_t slot = 0;
+    auto &pinned = ring[slot];
+    slot = (slot + 1) % ring.size();
+    pinned = std::move(cells);
+    return *pinned;
+}
+
+} // namespace
+
 const std::vector<VulnerableCell> &
 CellModel::cellsOfRow(unsigned bank, unsigned physical_row) const
 {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(bank) << 32) | physical_row;
-    if (auto it = rowCache.find(key); it != rowCache.end())
-        return it->second;
+    auto &shard = cacheShards[util::splitMix64(key) % kCacheShards];
+    constexpr std::size_t shard_capacity = kCacheCapacity / kCacheShards;
 
-    if (rowCacheOrder.size() >= kCacheCapacity) {
-        rowCache.erase(rowCacheOrder.front());
-        rowCacheOrder.erase(rowCacheOrder.begin());
+    {
+        std::lock_guard lock(shard.mutex);
+        if (auto it = shard.index.find(key); it != shard.index.end()) {
+            // Promote on hit: re-hit entries move to the LRU front
+            // (the old FIFO memo never did, so strided access whose
+            // working set exceeded the capacity evicted its hottest
+            // rows first).
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            return pinRowCells(it->second->second);
+        }
     }
-    rowCacheOrder.push_back(key);
-    return rowCache.emplace(key, generateCells(bank, physical_row))
-        .first->second;
+
+    // Miss: generate outside the lock so other threads' lookups (and
+    // generations of other rows in this shard) proceed concurrently.
+    auto cells = std::make_shared<const std::vector<VulnerableCell>>(
+        generateCells(bank, physical_row));
+
+    std::lock_guard lock(shard.mutex);
+    if (auto it = shard.index.find(key); it != shard.index.end()) {
+        // Another thread generated this row while we did: keep the
+        // incumbent (generation is deterministic, both are equal).
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return pinRowCells(it->second->second);
+    }
+    shard.lru.emplace_front(key, std::move(cells));
+    shard.index.emplace(key, shard.lru.begin());
+    if (shard.lru.size() > shard_capacity) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+    }
+    return pinRowCells(shard.lru.front().second);
 }
 
 std::vector<VulnerableCell>

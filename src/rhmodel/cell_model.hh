@@ -30,8 +30,13 @@
 #ifndef RHS_RHMODEL_CELL_MODEL_HH
 #define RHS_RHMODEL_CELL_MODEL_HH
 
+#include <array>
 #include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dram/module.hh"
@@ -82,9 +87,19 @@ class CellModel
 
     /**
      * Generate the vulnerable cells of one physical row. The result
-     * is memoized in a small LRU cache (generation is deterministic,
-     * so this is purely a speed optimization for the HCfirst binary
-     * search, which probes the same row many times).
+     * is memoized in a sharded, promote-on-hit LRU cache (generation
+     * is deterministic, so this is purely a speed optimization for
+     * the HCfirst binary search, which probes the same row many
+     * times). Safe to call concurrently from any number of threads:
+     * each shard is guarded by its own mutex and rows map to shards
+     * by hash(bank, row).
+     *
+     * Reference validity: the returned reference stays valid until
+     * the *calling thread* performs kKeepAlive further cellsOfRow
+     * calls (a per-thread ring of strong references pins recently
+     * returned rows against concurrent eviction). Use the cells
+     * immediately or copy them; do not stash the reference across
+     * unrelated batches of calls.
      */
     const std::vector<VulnerableCell> &cellsOfRow(unsigned bank,
                                                   unsigned physical_row)
@@ -138,7 +153,34 @@ class CellModel
      */
     double columnWeight(unsigned chip, unsigned column) const;
 
+    //! Row-cache geometry: kCacheShards independent LRU shards of
+    //! kCacheCapacity / kCacheShards entries each. Public so benches
+    //! can size their working sets against it explicitly.
+    static constexpr std::size_t kCacheShards = 16;
+    static constexpr std::size_t kCacheCapacity = 256;
+    //! Per-thread strong references pinning the most recently
+    //! returned rows (see cellsOfRow reference-validity contract).
+    static constexpr std::size_t kKeepAlive = 8;
+
   private:
+    using RowCells = std::shared_ptr<const std::vector<VulnerableCell>>;
+
+    /**
+     * One LRU shard: list front = most recently used; the map holds
+     * iterators into the list. The mutex guards both. Shards are
+     * independent, so concurrent lookups of different rows rarely
+     * contend.
+     */
+    struct CacheShard
+    {
+        mutable std::mutex mutex;
+        mutable std::list<std::pair<std::uint64_t, RowCells>> lru;
+        mutable std::unordered_map<
+            std::uint64_t,
+            std::list<std::pair<std::uint64_t, RowCells>>::iterator>
+            index;
+    };
+
     double sampleColumnFromCdf(unsigned chip, double u) const;
     std::vector<VulnerableCell> generateCells(unsigned bank,
                                               unsigned physical_row) const;
@@ -151,11 +193,7 @@ class CellModel
     //! Per-chip cumulative distribution over column addresses.
     std::vector<std::vector<double>> columnCdf;
 
-    // Tiny FIFO memo for cellsOfRow (bank<<32|row -> cells).
-    static constexpr std::size_t kCacheCapacity = 16;
-    mutable std::unordered_map<std::uint64_t,
-                               std::vector<VulnerableCell>> rowCache;
-    mutable std::vector<std::uint64_t> rowCacheOrder;
+    mutable std::array<CacheShard, kCacheShards> cacheShards;
 };
 
 } // namespace rhs::rhmodel

@@ -1,0 +1,193 @@
+#include "util/thread_pool.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace rhs::util
+{
+
+namespace
+{
+
+//! Set while a thread is executing pool tasks; nested parallelFor
+//! calls from such a thread run inline instead of re-entering the
+//! queue (a fixed-width pool waiting on its own workers deadlocks).
+thread_local bool t_inside_pool_task = false;
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    std::mutex mutex;
+    std::condition_variable_any cv;
+    std::deque<std::function<void()>> queue;
+    bool stopping = false;
+    std::vector<std::jthread> workers;
+};
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobCount(jobs == 0 ? 1 : jobs), impl(nullptr)
+{
+    if (jobCount == 1)
+        return;
+    impl = new Impl;
+    impl->workers.reserve(jobCount - 1);
+    for (unsigned w = 0; w + 1 < jobCount; ++w)
+        impl->workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (!impl)
+        return;
+    {
+        std::lock_guard lock(impl->mutex);
+        impl->stopping = true;
+    }
+    impl->cv.notify_all();
+    impl->workers.clear(); // jthread joins on destruction.
+    delete impl;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_inside_pool_task = true;
+    std::unique_lock lock(impl->mutex);
+    for (;;) {
+        impl->cv.wait(lock, [this] {
+            return impl->stopping || !impl->queue.empty();
+        });
+        if (impl->queue.empty()) {
+            if (impl->stopping)
+                return;
+            continue;
+        }
+        auto task = std::move(impl->queue.front());
+        impl->queue.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+    }
+}
+
+bool
+ThreadPool::runOneTask()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard lock(impl->mutex);
+        if (impl->queue.empty())
+            return false;
+        task = std::move(impl->queue.front());
+        impl->queue.pop_front();
+    }
+    task();
+    return true;
+}
+
+void
+ThreadPool::parallelFor(std::size_t first, std::size_t last,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (first >= last)
+        return;
+    const std::size_t range = last - first;
+    if (jobCount == 1 || range == 1 || t_inside_pool_task) {
+        for (std::size_t i = first; i < last; ++i)
+            fn(i);
+        return;
+    }
+
+    // Static chunking: a few slices per job gives balance without
+    // per-index queue traffic. Slice boundaries never affect results
+    // (the determinism contract: fn writes per-index state only).
+    const std::size_t chunks =
+        std::min<std::size_t>(range, std::size_t{jobCount} * 4);
+    const std::size_t base = range / chunks;
+    const std::size_t extra = range % chunks;
+
+    struct Sync
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::size_t remaining;
+    };
+    auto sync = std::make_shared<Sync>();
+    sync->remaining = chunks;
+
+    std::size_t begin = first;
+    {
+        std::lock_guard lock(impl->mutex);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const std::size_t len = base + (c < extra ? 1 : 0);
+            const std::size_t end = begin + len;
+            impl->queue.emplace_back([&fn, begin, end, sync] {
+                const bool was_inside = t_inside_pool_task;
+                t_inside_pool_task = true;
+                for (std::size_t i = begin; i < end; ++i)
+                    fn(i);
+                t_inside_pool_task = was_inside;
+                std::lock_guard done_lock(sync->mutex);
+                if (--sync->remaining == 0)
+                    sync->cv.notify_all();
+            });
+            begin = end;
+        }
+    }
+    impl->cv.notify_all();
+
+    // The caller participates instead of idling. It may execute
+    // chunks of unrelated concurrent parallelFor calls; that only
+    // helps drain the queue.
+    while (runOneTask()) {
+        std::lock_guard lock(sync->mutex);
+        if (sync->remaining == 0)
+            break;
+    }
+    std::unique_lock lock(sync->mutex);
+    sync->cv.wait(lock, [&] { return sync->remaining == 0; });
+}
+
+namespace
+{
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+unsigned g_configured_jobs = 0; // 0 = hardwareJobs().
+
+} // namespace
+
+ThreadPool &
+ThreadPool::instance()
+{
+    std::lock_guard lock(g_pool_mutex);
+    if (!g_pool) {
+        const unsigned jobs = g_configured_jobs == 0
+                                  ? hardwareJobs()
+                                  : g_configured_jobs;
+        g_pool = std::make_unique<ThreadPool>(jobs);
+    }
+    return *g_pool;
+}
+
+void
+ThreadPool::configure(unsigned jobs)
+{
+    std::lock_guard lock(g_pool_mutex);
+    g_configured_jobs = jobs;
+    g_pool.reset();
+}
+
+unsigned
+ThreadPool::hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace rhs::util

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Work-sharing thread pool for the characterization toolkit.
+ *
+ * The paper's methodology is embarrassingly parallel: every BER test,
+ * HCfirst binary search and sweep point is an independent pure
+ * function of (module, row, condition, trial). The pool exploits that
+ * with two primitives:
+ *
+ *  - parallelFor(first, last, fn): call fn(i) for every index in
+ *    [first, last), distributed over the worker threads in statically
+ *    chunked slices;
+ *  - parallelMap(n, fn): collect fn(i) into a pre-sized vector.
+ *
+ * Determinism contract: results are bit-identical for ANY job count
+ * as long as fn writes only to per-index state (pre-sized output
+ * slots, never appends) and derives any randomness from per-item seed
+ * tuples — which is how the whole rhmodel:: derivation chain already
+ * works (see docs/MODEL.md, "Determinism under parallel execution").
+ *
+ * A single global pool (ThreadPool::instance()) is shared by all
+ * analyses; configure its width once at startup with
+ * ThreadPool::configure(jobs). jobs == 1 degrades to plain serial
+ * loops on the calling thread — no worker threads are created — so a
+ * result difference between jobs == 1 and jobs > 1 pins a bug to the
+ * threading layer.
+ */
+
+#ifndef RHS_UTIL_THREAD_POOL_HH
+#define RHS_UTIL_THREAD_POOL_HH
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace rhs::util
+{
+
+/** Fixed-width pool of std::jthread workers with a shared task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param jobs Total execution width including the calling thread;
+     *        clamped to >= 1. jobs - 1 workers are spawned (none for
+     *        jobs == 1: every parallelFor then runs inline).
+     */
+    explicit ThreadPool(unsigned jobs);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Execution width this pool was built with. */
+    unsigned jobs() const { return jobCount; }
+
+    /**
+     * Invoke fn(i) for every i in [first, last) and block until all
+     * calls returned. Indices are processed in statically chunked
+     * contiguous slices; the calling thread participates. Calls from
+     * inside a pool task run inline (serially) so nested parallelism
+     * cannot deadlock the fixed-width pool.
+     */
+    void parallelFor(std::size_t first, std::size_t last,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Collect fn(i) for i in [0, n) into a vector, in index order.
+     * The element type must be default-constructible (slots are
+     * pre-sized and written by index, per the determinism contract).
+     */
+    template <typename Fn>
+    auto
+    parallelMap(std::size_t n, Fn &&fn)
+        -> std::vector<std::decay_t<std::invoke_result_t<Fn &, std::size_t>>>
+    {
+        using T = std::decay_t<std::invoke_result_t<Fn &, std::size_t>>;
+        std::vector<T> out(n);
+        parallelFor(0, n,
+                    [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /**
+     * The process-wide pool used by core:: analyses. Created on first
+     * use with the configured width (default: hardwareJobs()).
+     */
+    static ThreadPool &instance();
+
+    /**
+     * Set the global pool width. Destroys any existing global pool
+     * and rebuilds it lazily on next use; must not be called while
+     * parallel work is in flight. jobs == 0 resets to hardwareJobs().
+     */
+    static void configure(unsigned jobs);
+
+    /** Width configure()/instance() default to. */
+    static unsigned hardwareJobs();
+
+  private:
+    struct Impl;
+    void workerLoop();
+    bool runOneTask();
+
+    unsigned jobCount;
+    Impl *impl; //!< Queue + workers; null when jobCount == 1.
+};
+
+/** Shorthand for ThreadPool::instance().parallelFor(...). */
+inline void
+parallelFor(std::size_t first, std::size_t last,
+            const std::function<void(std::size_t)> &fn)
+{
+    ThreadPool::instance().parallelFor(first, last, fn);
+}
+
+} // namespace rhs::util
+
+#endif // RHS_UTIL_THREAD_POOL_HH

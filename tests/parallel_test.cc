@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Parallel characterization engine tests: the thread pool itself,
+ * determinism of the parallel sweeps (byte-identical results at any
+ * worker count), and concurrent access to the sharded cellsOfRow
+ * cache. These are the tests the TSan preset (`cmake --preset tsan`)
+ * runs under ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "core/profile_io.hh"
+#include "core/spatial.hh"
+#include "core/temp_analysis.hh"
+#include "core/tester.hh"
+#include "core/timing_analysis.hh"
+#include "rhmodel/dimm.hh"
+#include "util/hash.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+/** Restore the global pool to its default width after each test. */
+class ParallelTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { util::ThreadPool::configure(0); }
+};
+
+// --- ThreadPool unit tests -----------------------------------------
+
+TEST_F(ParallelTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        util::ThreadPool pool(jobs);
+        std::vector<std::atomic<int>> hits(1000);
+        pool.parallelFor(0, hits.size(), [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i
+                                         << " jobs " << jobs;
+    }
+}
+
+TEST_F(ParallelTest, ParallelForEmptyAndSingleRanges)
+{
+    util::ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(5, 5, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(7, 8, [&](std::size_t i) {
+        EXPECT_EQ(i, 7u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ParallelTest, ParallelMapPreservesIndexOrder)
+{
+    util::ThreadPool pool(8);
+    const auto squares = pool.parallelMap(
+        100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 100u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], i * i);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    util::ThreadPool::configure(4);
+    std::atomic<int> total{0};
+    util::parallelFor(0, 8, [&](std::size_t) {
+        // Inner call must not wait on pool workers that are all busy
+        // running the outer loop — it runs inline on this thread.
+        util::parallelFor(0, 8, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST_F(ParallelTest, ConfigureOneForcesSerialExecution)
+{
+    util::ThreadPool::configure(1);
+    const auto main_id = std::this_thread::get_id();
+    util::parallelFor(0, 32, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), main_id);
+    });
+}
+
+// --- Determinism: identical bytes at jobs=1 and jobs=8 -------------
+
+std::string
+campaignDigest(unsigned jobs)
+{
+    util::ThreadPool::configure(jobs);
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
+    core::Tester tester(dimm);
+    core::CampaignConfig config;
+    config.maxRows = 12;
+    config.rowsPerRegion = 4;
+    const auto report = core::runCampaign(tester, config);
+    std::ostringstream out;
+    out << report.summary();
+    core::saveProfile(out, report.profile);
+    for (double hc : report.rowHcFirst)
+        out << hc << '\n';
+    return out.str();
+}
+
+TEST_F(ParallelTest, CampaignByteIdenticalAcrossThreadCounts)
+{
+    const auto serial = campaignDigest(1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(campaignDigest(8), serial);
+}
+
+std::string
+sweepDigest(unsigned jobs)
+{
+    util::ThreadPool::configure(jobs);
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::D, 0);
+    core::Tester tester(dimm);
+    const rhmodel::DataPattern wcdp(rhmodel::PatternId::Checkered,
+                                    dimm.module().info().serial);
+    const auto all = core::testedRows(dimm.module().geometry(), 6);
+    const std::vector<unsigned> rows(all.begin(), all.begin() + 12);
+
+    std::ostringstream out;
+    const auto ranges = core::analyzeTempRanges(tester, 0, rows, wcdp);
+    out << ranges.vulnerableCells << ' ' << ranges.noGapCells << ' '
+        << ranges.oneGapCells << '\n';
+    for (const auto &bucket : ranges.rangeCount)
+        for (auto count : bucket)
+            out << count << ' ';
+
+    const auto shift =
+        core::analyzeHcFirstVsTemperature(tester, 0, rows, wcdp);
+    for (double pct : shift.changePct55)
+        out << pct << ' ';
+    for (double pct : shift.changePct90)
+        out << pct << ' ';
+
+    const auto on_sweep =
+        core::sweepAggressorOnTime(tester, 0, rows, wcdp);
+    out << on_sweep.berRatio() << ' ' << on_sweep.hcFirstChange();
+    return out.str();
+}
+
+TEST_F(ParallelTest, TemperatureAndTimingSweepsByteIdentical)
+{
+    const auto serial = sweepDigest(1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(sweepDigest(8), serial);
+}
+
+TEST_F(ParallelTest, SubarraySurveyIdenticalAcrossThreadCounts)
+{
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::C, 0);
+    core::Tester tester(dimm);
+    const rhmodel::DataPattern wcdp(rhmodel::PatternId::Checkered,
+                                    dimm.module().info().serial);
+    util::ThreadPool::configure(1);
+    const auto serial = core::subarraySurvey(tester, 0, 4, 6, wcdp);
+    util::ThreadPool::configure(8);
+    const auto parallel = core::subarraySurvey(tester, 0, 4, 6, wcdp);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+        EXPECT_EQ(parallel[s].subarray, serial[s].subarray);
+        EXPECT_EQ(parallel[s].averageHcFirst, serial[s].averageHcFirst);
+        EXPECT_EQ(parallel[s].minimumHcFirst, serial[s].minimumHcFirst);
+        EXPECT_EQ(parallel[s].hcFirstValues, serial[s].hcFirstValues);
+    }
+}
+
+// --- Concurrent cellsOfRow cache stress ----------------------------
+
+std::uint64_t
+rowChecksum(const std::vector<rhmodel::VulnerableCell> &cells)
+{
+    std::uint64_t sum = 0;
+    for (const auto &cell : cells)
+        sum = util::hashTuple(sum, cell.loc.column, cell.loc.bit,
+                              cell.seed);
+    return sum;
+}
+
+TEST_F(ParallelTest, ConcurrentCellsOfRowMatchesSerialChecksums)
+{
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::A, 0);
+    const auto &model = dimm.cellModel();
+    constexpr unsigned kRows = 200;
+
+    // Serial reference checksums, computed before any concurrency.
+    std::vector<std::uint64_t> expected(kRows);
+    for (unsigned r = 0; r < kRows; ++r)
+        expected[r] = rowChecksum(model.cellsOfRow(0, 2 + r));
+
+    // 8 threads hammer the same rows through the sharded LRU; the
+    // walk is longer than kCacheCapacity so eviction happens under
+    // contention while other threads still read their pinned rows.
+    static_assert(kRows > rhmodel::CellModel::kCacheCapacity / 2);
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned pass = 0; pass < 3; ++pass) {
+                for (unsigned i = 0; i < kRows; ++i) {
+                    const unsigned r = (i * (t + 1) + pass) % kRows;
+                    const auto &cells = model.cellsOfRow(0, 2 + r);
+                    if (rowChecksum(cells) != expected[r])
+                        mismatches.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ParallelTest, CellsOfRowReferenceSurvivesKeepAliveWindow)
+{
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::A, 0);
+    const auto &model = dimm.cellModel();
+    const auto &pinned = model.cellsOfRow(0, 50);
+    const auto snapshot = pinned; // deep copy
+    // Up to kKeepAlive-1 further calls may not invalidate `pinned`,
+    // even though the touched rows evict it from the shared cache.
+    for (unsigned i = 1; i < rhmodel::CellModel::kKeepAlive; ++i)
+        model.cellsOfRow(0, 1000 + i * 16);
+    EXPECT_EQ(pinned.size(), snapshot.size());
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        EXPECT_EQ(pinned[i].loc, snapshot[i].loc);
+        EXPECT_EQ(pinned[i].seed, snapshot[i].seed);
+    }
+}
+
+} // namespace
