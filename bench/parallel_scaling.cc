@@ -17,6 +17,7 @@
  * the jobs=1 baseline exactly, or the bench aborts.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -118,6 +119,14 @@ writeJson(const std::string &path, unsigned hardware_threads,
     out << "  \"bench\": \"parallel_scaling\",\n";
     out << "  \"hardware_threads\": " << hardware_threads << ",\n";
     out << "  \"job_counts\": [1, 2, 4, 8],\n";
+    // On machines with fewer hardware threads than the widest job
+    // count, the wide-job numbers measure oversubscription, not
+    // scaling: flag them unreliable rather than letting them read as
+    // regressions. Determinism checks are unaffected.
+    const unsigned max_jobs =
+        *std::max_element(std::begin(kJobCounts), std::end(kJobCounts));
+    out << "  \"speedups_reliable\": "
+        << (hardware_threads >= max_jobs ? "true" : "false") << ",\n";
     out << "  \"workloads\": [\n";
     for (std::size_t i = 0; i < measurements.size(); ++i) {
         const auto &m = measurements[i];
@@ -162,8 +171,16 @@ main(int argc, char **argv)
     bench::printHeader(
         "Parallel engine scaling: campaign / temperature / row scan",
         "tentpole measurement; results byte-identical at every width");
-    std::printf("hardware threads: %u\n\n",
-                util::ThreadPool::hardwareJobs());
+    const unsigned hw = util::ThreadPool::hardwareJobs();
+    std::printf("hardware threads: %u\n", hw);
+    const unsigned max_jobs =
+        *std::max_element(std::begin(kJobCounts), std::end(kJobCounts));
+    if (hw < max_jobs) {
+        std::printf("warning: only %u hardware threads for jobs<=%u — "
+                    "wide-job speedups measure oversubscription and are "
+                    "flagged unreliable in the JSON\n", hw, max_jobs);
+    }
+    std::printf("\n");
 
     rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
     core::Tester tester(dimm);

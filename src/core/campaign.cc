@@ -78,14 +78,12 @@ runCampaign(Tester &tester, const CampaignConfig &config)
     report.offTimeSweep =
         sweepAggressorOffTime(tester, config.bank, rows, wcdp);
 
-    // 4. Spatial variation (§7, at 75 degC).
-    report.rowHcFirst =
-        rowHcFirstSurvey(tester, config.bank, rows, wcdp);
-    report.subarrays =
-        subarraySurvey(tester, config.bank, config.subarrays,
-                       config.rowsPerSubarray, wcdp);
-
-    // 5. Defense-facing profile.
+    // 4+5. Spatial variation (§7, at 75 degC) and the defense-facing
+    // profile. The Fig. 11 row survey and the profile measure the
+    // same (bank, row, conditions, pattern) HCfirst keys, so run the
+    // search once into the profile and derive the survey from it —
+    // rowHcFirstSurvey compacts hcFirstMin values in row order, which
+    // is exactly the profile rows with kNotVulnerable skipped.
     report.profile.moduleLabel = report.moduleLabel;
     report.profile.serial = module.info().serial;
     report.profile.wcdp = wcdp.id();
@@ -97,6 +95,15 @@ runCampaign(Tester &tester, const CampaignConfig &config)
             config.bank, rows[r],
             tester.hcFirstMin(config.bank, rows[r], conditions, wcdp)};
     });
+    report.rowHcFirst.reserve(rows.size());
+    for (const auto &entry : report.profile.rows) {
+        if (entry.hcFirst != kNotVulnerable)
+            report.rowHcFirst.push_back(
+                static_cast<double>(entry.hcFirst));
+    }
+    report.subarrays =
+        subarraySurvey(tester, config.bank, config.subarrays,
+                       config.rowsPerSubarray, wcdp);
     return report;
 }
 

@@ -27,14 +27,17 @@ installPattern(rhmodel::SimulatedDimm &dimm, unsigned bank,
             continue;
         const auto phys_row = static_cast<unsigned>(phys);
 
-        std::vector<std::vector<std::uint8_t>> images(chips);
-        for (unsigned chip = 0; chip < chips; ++chip) {
-            auto &image = images[chip];
-            image.resize(geometry.bytesPerRow());
-            for (unsigned col = 0; col < geometry.columnsPerRow; ++col)
-                image[col] = pattern.byteAt(phys_row,
-                                            victim_physical_row, col);
-        }
+        // Every chip of the lock-step rank stores the same row image:
+        // build it once and replicate, instead of regenerating it
+        // column-by-column per chip.
+        std::vector<std::uint8_t> image;
+        image.reserve(geometry.bytesPerRow());
+        for (unsigned col = 0; col < geometry.columnsPerRow; ++col)
+            image.push_back(
+                pattern.byteAt(phys_row, victim_physical_row, col));
+        image.resize(geometry.bytesPerRow());
+
+        const std::vector<std::vector<std::uint8_t>> images(chips, image);
         module.storeRowDirect(bank, mapping.toLogical(phys_row), images);
     }
 }

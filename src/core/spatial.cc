@@ -105,13 +105,17 @@ columnFlipSurvey(const Tester &tester, unsigned bank,
         module.chipCount(),
         std::vector<std::uint64_t>(module.geometry().columnsPerRow, 0));
 
-    // Per-row flip lists in parallel; the fold only increments
-    // integer counters, so accumulation order cannot change it.
+    // Per-row flip lists in parallel, read straight off the cached
+    // row-evaluation curves; the fold only increments integer
+    // counters, so accumulation order cannot change it.
     std::vector<std::vector<dram::CellLocation>> flips(rows.size());
     util::parallelFor(0, rows.size(), [&](std::size_t r) {
-        flips[r] = tester.berDetail(bank, rows[r], conditions, pattern,
-                                    hammers)
-                       .flips;
+        const auto eval =
+            tester.rowEval(bank, rows[r], conditions, pattern);
+        eval->forEachFlip(static_cast<double>(hammers),
+                          [&](const dram::CellLocation &loc) {
+                              flips[r].push_back(loc);
+                          });
     });
     for (const auto &row_flips : flips)
         for (const auto &loc : row_flips)

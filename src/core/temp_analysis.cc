@@ -88,19 +88,23 @@ analyzeTempRanges(const Tester &tester, unsigned bank,
         part.rangeCount.assign(n, std::vector<std::uint64_t>(n, 0));
 
         // Per-cell bitmask of temperatures showing a flip. Keys are
-        // cell positions within the row (chip, column, bit).
+        // cell positions within the row (chip, column, bit). Flips
+        // come straight off the cached row-evaluation curve — no
+        // RowBerResult materialized per temperature point.
         std::unordered_map<std::uint64_t, std::uint32_t> masks;
         for (std::size_t t = 0; t < n; ++t) {
             rhmodel::Conditions conditions;
             conditions.temperature = part.temps[t];
-            const auto result = tester.berDetail(bank, row, conditions,
-                                                 pattern, hammers);
-            for (const auto &loc : result.flips) {
-                const std::uint64_t key =
-                    (static_cast<std::uint64_t>(loc.chip) << 32) |
-                    (loc.column << 8) | loc.bit;
-                masks[key] |= 1u << t;
-            }
+            const auto eval =
+                tester.rowEval(bank, row, conditions, pattern);
+            eval->forEachFlip(
+                static_cast<double>(hammers),
+                [&](const dram::CellLocation &loc) {
+                    const std::uint64_t key =
+                        (static_cast<std::uint64_t>(loc.chip) << 32) |
+                        (loc.column << 8) | loc.bit;
+                    masks[key] |= 1u << t;
+                });
         }
 
         for (const auto &[key, mask] : masks) {

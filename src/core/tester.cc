@@ -8,16 +8,26 @@
 namespace rhs::core
 {
 
+rhmodel::RowEvalPtr
+Tester::rowEval(unsigned bank, unsigned victim_physical_row,
+                const rhmodel::Conditions &conditions,
+                const rhmodel::DataPattern &pattern, unsigned trial) const
+{
+    const auto attack =
+        rhmodel::HammerAttack::doubleSided(bank, victim_physical_row);
+    return dimm.analytic().rowEval(victim_physical_row, attack,
+                                   conditions, pattern, trial);
+}
+
 unsigned
 Tester::berOfRow(unsigned bank, unsigned victim_physical_row,
                  const rhmodel::Conditions &conditions,
                  const rhmodel::DataPattern &pattern,
                  std::uint64_t hammers, unsigned trial) const
 {
-    return static_cast<unsigned>(
-        berDetail(bank, victim_physical_row, conditions, pattern, hammers,
-                  trial)
-            .flips.size());
+    // Count straight off the cached curve — no flip-location vector.
+    return rowEval(bank, victim_physical_row, conditions, pattern, trial)
+        ->flipsAt(static_cast<double>(hammers));
 }
 
 rhmodel::RowBerResult
@@ -56,9 +66,17 @@ Tester::hcFirstSearch(unsigned bank, unsigned victim_physical_row,
                       const rhmodel::DataPattern &pattern,
                       unsigned trial) const
 {
+    // One kernel pass per (row, conditions, pattern, trial) key; the
+    // paper's probe sequence below replays unchanged against the cached
+    // curve, so each probe is one comparison instead of a full O(cells)
+    // model evaluation. The row flips at H hammers iff its minimum cell
+    // HCfirst is <= H — exactly the berOfRow(...) > 0 predicate the
+    // per-probe path evaluated.
+    const auto eval =
+        rowEval(bank, victim_physical_row, conditions, pattern, trial);
+    const double row_hc = eval->minHcFirst;
     auto flips_at = [&](std::uint64_t hammers) {
-        return berOfRow(bank, victim_physical_row, conditions, pattern,
-                        hammers, trial) > 0;
+        return row_hc <= static_cast<double>(hammers);
     };
 
     // Quick reject: not vulnerable within the 512K-hammer budget.
@@ -106,8 +124,10 @@ Tester::findWorstCasePattern(unsigned bank,
     const auto pattern_count = std::size(rhmodel::allPatterns);
 
     // Every (pattern, row) BER test is independent: flatten the grid,
-    // test in parallel, reduce serially. The winner is selected by
-    // the same first-strictly-greater scan as the serial loop, so tie
+    // test in parallel, reduce serially. Each grid slot runs the
+    // row-evaluation kernel exactly once for its (pattern, row) key
+    // and counts flips off the curve. The winner is selected by the
+    // same first-strictly-greater scan as the serial loop, so tie
     // handling (first pattern in allPatterns order wins) is unchanged.
     std::vector<std::uint64_t> grid(pattern_count * sample_rows.size(),
                                     0);

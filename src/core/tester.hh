@@ -45,6 +45,18 @@ class Tester
     const rhmodel::SimulatedDimm &module() const { return dimm; }
 
     /**
+     * The cached per-row HCfirst curve of a double-sided attack on the
+     * victim (see rhmodel::AnalyticEngine::rowEval). Every other query
+     * of this class is a view of this curve; analyses that need flip
+     * locations without a materialized RowBerResult consume it
+     * directly via RowEval::forEachFlip.
+     */
+    rhmodel::RowEvalPtr
+    rowEval(unsigned bank, unsigned victim_physical_row,
+            const rhmodel::Conditions &conditions,
+            const rhmodel::DataPattern &pattern, unsigned trial = 0) const;
+
+    /**
      * BER test: double-sided hammer on the victim's neighbours, count
      * flips in the victim row.
      *

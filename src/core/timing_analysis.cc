@@ -108,10 +108,15 @@ sweepImpl(const Tester &tester, unsigned bank,
                 conditions.tAggOff = values[v];
 
             points[v].flipsPerChip.assign(chips, 0);
-            const auto detail =
-                tester.berDetail(bank, row, conditions, pattern);
-            for (const auto &loc : detail.flips)
-                ++points[v].flipsPerChip[loc.chip];
+            // Count per-chip flips off the cached curve; the trial-0
+            // evaluation fetched here is the same key the trial-0
+            // HCfirst search below replays, so it is computed once.
+            const auto eval =
+                tester.rowEval(bank, row, conditions, pattern);
+            eval->forEachFlip(static_cast<double>(kBerHammers),
+                              [&](const dram::CellLocation &loc) {
+                                  ++points[v].flipsPerChip[loc.chip];
+                              });
 
             points[v].hcFirst = tester.hcFirstMin(bank, row, conditions,
                                                   pattern);

@@ -1,8 +1,11 @@
 #include "rhmodel/analytic.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace rhs::rhmodel
@@ -11,11 +14,16 @@ namespace rhs::rhmodel
 HammerAttack
 HammerAttack::doubleSided(unsigned bank, unsigned victim_row)
 {
+    // Same precondition as core::runCycleHammerTest: silently dropping
+    // the missing neighbour would degrade to a single-sided attack the
+    // caller did not ask for.
+    RHS_ASSERT(victim_row >= 1,
+               "double-sided victim needs both neighbours: row ",
+               victim_row);
     HammerAttack attack;
     attack.bank = bank;
     attack.patternCenter = victim_row;
-    if (victim_row > 0)
-        attack.aggressorRows.push_back(victim_row - 1);
+    attack.aggressorRows.push_back(victim_row - 1);
     attack.aggressorRows.push_back(victim_row + 1);
     return attack;
 }
@@ -101,23 +109,249 @@ AnalyticEngine::cellHcFirst(const VulnerableCell &cell,
            model.trialNoise(cell, trial, conditions.temperature) / rate;
 }
 
+namespace
+{
+
+/**
+ * Per-thread scratch deduplicating pattern-byte lookups by column.
+ * Slot (stream, column) is valid for the current epoch only; begin()
+ * bumps the epoch, so no per-eval clearing is needed. Only the Random
+ * pattern reaches this path — every other Table 1 pattern is
+ * column-invariant and resolves to one byte per row outside the cell
+ * loop.
+ */
+struct PatternByteMemo
+{
+    std::vector<std::uint32_t> epoch;
+    std::vector<std::uint8_t> bytes;
+    std::uint32_t current = 0;
+
+    void
+    begin(std::size_t slots)
+    {
+        if (epoch.size() < slots) {
+            epoch.assign(slots, 0);
+            bytes.resize(slots);
+        }
+        if (++current == 0) {
+            // Epoch counter wrapped: invalidate every slot once.
+            std::fill(epoch.begin(), epoch.end(), 0);
+            current = 1;
+        }
+    }
+
+    template <typename Gen>
+    std::uint8_t
+    at(std::size_t slot, Gen &&gen)
+    {
+        if (epoch[slot] != current) {
+            epoch[slot] = current;
+            bytes[slot] = gen();
+        }
+        return bytes[slot];
+    }
+};
+
+thread_local PatternByteMemo g_byte_memo;
+
+} // namespace
+
+RowEval
+AnalyticEngine::evaluateRow(unsigned victim_row,
+                            const HammerAttack &attack,
+                            const Conditions &conditions,
+                            const DataPattern &pattern,
+                            unsigned trial) const
+{
+    RowEval eval;
+    // Reference, not copy: valid for this scope per the cellsOfRow
+    // keep-alive contract.
+    const auto &cells = model.cellsOfRow(attack.bank, victim_row);
+    eval.vulnerableCells = static_cast<unsigned>(cells.size());
+    if (cells.empty())
+        return eval;
+
+    // --- Row-invariant factors, hoisted out of the cell loop. ---
+    // Each value is computed exactly as the per-cell reference path
+    // (cellHcFirst) computes it, so the per-cell arithmetic below is
+    // bit-identical; only the redundant recomputation is removed.
+    const double timing = model.timingFactor(conditions);
+
+    struct ActiveAggressor
+    {
+        unsigned row;
+        double distFactor;
+        std::uint8_t constByte; //!< Row byte when column-invariant.
+    };
+    std::vector<ActiveAggressor> active;
+    active.reserve(attack.aggressorRows.size());
+    const bool invariant = pattern.columnInvariant();
+    for (unsigned aggressor : attack.aggressorRows) {
+        const unsigned distance =
+            aggressor > victim_row ? aggressor - victim_row
+                                   : victim_row - aggressor;
+        const double dist_factor = model.distanceFactor(distance);
+        if (dist_factor == 0.0)
+            continue; // Out of coupling range: contributes nothing.
+        ActiveAggressor entry{aggressor, dist_factor, 0};
+        if (invariant) {
+            entry.constByte =
+                pattern.byteAt(aggressor, attack.patternCenter, 0);
+        }
+        active.push_back(entry);
+    }
+
+    const std::uint8_t victim_const_byte =
+        invariant ? pattern.byteAt(victim_row, attack.patternCenter, 0)
+                  : 0;
+
+    // Column-dependent (Random) patterns deduplicate byteAt by column:
+    // memo stream 0 holds the victim row, streams 1..k the active
+    // aggressors.
+    const std::size_t columns = model.columnsPerRow();
+    PatternByteMemo *memo = nullptr;
+    if (!invariant) {
+        memo = &g_byte_memo;
+        memo->begin((active.size() + 1) * columns);
+    }
+
+    // --- The per-cell kernel: SoA output, branch-light loop. ---
+    eval.hcFirst.reserve(cells.size());
+    eval.loc.reserve(cells.size());
+    for (const auto &cell : cells) {
+        const unsigned col = cell.loc.column;
+        const std::uint8_t victim_byte =
+            invariant ? victim_const_byte
+                      : memo->at(col, [&] {
+                            return pattern.byteAt(
+                                victim_row, attack.patternCenter, col);
+                        });
+        // A cell only flips when the pattern stores its charged value.
+        if (static_cast<bool>((victim_byte >> cell.loc.bit) & 1u) !=
+            cell.chargedValue) {
+            continue;
+        }
+
+        double positional = 0.0;
+        for (std::size_t a = 0; a < active.size(); ++a) {
+            const std::uint8_t aggr_byte =
+                invariant ? active[a].constByte
+                          : memo->at((a + 1) * columns + col, [&] {
+                                return pattern.byteAt(
+                                    active[a].row, attack.patternCenter,
+                                    col);
+                            });
+            positional +=
+                active[a].distFactor * model.dataFactor(cell, aggr_byte);
+        }
+        if (positional == 0.0)
+            continue;
+        const double rate =
+            positional * timing *
+            model.temperatureFactor(cell, conditions.temperature);
+        if (rate <= 0.0)
+            continue;
+        const double hc =
+            cell.threshold *
+            model.trialNoise(cell, trial, conditions.temperature) / rate;
+        eval.hcFirst.push_back(hc);
+        eval.loc.push_back(cell.loc);
+        if (hc < eval.minHcFirst)
+            eval.minHcFirst = hc;
+    }
+    return eval;
+}
+
+std::uint64_t
+AnalyticEngine::evalKeyHash(const EvalKey &key)
+{
+    std::uint64_t h = util::hashTuple(
+        key.bank, key.victimRow, key.patternCenter, key.trial,
+        static_cast<std::uint64_t>(key.patternId), key.patternSeed,
+        std::bit_cast<std::uint64_t>(key.temperature),
+        std::bit_cast<std::uint64_t>(key.tAggOn),
+        std::bit_cast<std::uint64_t>(key.tAggOff),
+        static_cast<std::uint64_t>(key.aggressors.size()));
+    for (unsigned aggressor : key.aggressors)
+        h = util::hashCombine(h, aggressor);
+    return h;
+}
+
+RowEvalPtr
+AnalyticEngine::rowEval(unsigned victim_row, const HammerAttack &attack,
+                        const Conditions &conditions,
+                        const DataPattern &pattern, unsigned trial) const
+{
+    EvalKey key;
+    key.bank = attack.bank;
+    key.victimRow = victim_row;
+    key.patternCenter = attack.patternCenter;
+    key.trial = trial;
+    key.patternId = pattern.id();
+    key.patternSeed =
+        pattern.columnInvariant() ? 0 : pattern.patternSeed();
+    key.temperature = conditions.temperature;
+    key.tAggOn = conditions.tAggOn;
+    key.tAggOff = conditions.tAggOff;
+    key.aggressors = attack.aggressorRows;
+
+    const std::uint64_t hash = evalKeyHash(key);
+    auto &shard = evalShards[hash % kEvalCacheShards];
+    constexpr std::size_t shard_capacity =
+        kEvalCacheCapacity / kEvalCacheShards;
+
+    {
+        std::lock_guard lock(shard.mutex);
+        if (auto it = shard.index.find(hash);
+            it != shard.index.end() && it->second->key == key) {
+            // Promote on hit, like the cellsOfRow LRU.
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            return shard.lru.front().eval;
+        }
+    }
+
+    // Miss: run the kernel outside the lock so other threads' lookups
+    // (and evaluations of other keys in this shard) proceed
+    // concurrently.
+    auto eval = std::make_shared<const RowEval>(
+        evaluateRow(victim_row, attack, conditions, pattern, trial));
+
+    std::lock_guard lock(shard.mutex);
+    if (auto it = shard.index.find(hash); it != shard.index.end()) {
+        if (it->second->key == key) {
+            // Another thread evaluated this key while we did: keep the
+            // incumbent (the kernel is deterministic, both are equal).
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            return shard.lru.front().eval;
+        }
+        // 64-bit hash collision between different keys: replace the
+        // incumbent. Results stay exact — only the hit rate suffers.
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+    }
+    shard.lru.push_front({hash, std::move(key), eval});
+    shard.index.emplace(hash, shard.lru.begin());
+    if (shard.lru.size() > shard_capacity) {
+        shard.index.erase(shard.lru.back().hash);
+        shard.lru.pop_back();
+    }
+    return eval;
+}
+
 RowBerResult
 AnalyticEngine::berTest(unsigned victim_row, const HammerAttack &attack,
                         const Conditions &conditions,
                         const DataPattern &pattern, std::uint64_t hammers,
                         unsigned trial) const
 {
+    const auto eval =
+        rowEval(victim_row, attack, conditions, pattern, trial);
     RowBerResult result;
-    // Reference, not copy: valid for this scope per the cellsOfRow
-    // keep-alive contract.
-    const auto &cells = model.cellsOfRow(attack.bank, victim_row);
-    result.vulnerableCells = static_cast<unsigned>(cells.size());
-    for (const auto &cell : cells) {
-        const double hc = cellHcFirst(cell, victim_row, attack,
-                                      conditions, pattern, trial);
-        if (hc <= static_cast<double>(hammers))
-            result.flips.push_back(cell.loc);
-    }
+    result.vulnerableCells = eval->vulnerableCells;
+    eval->forEachFlip(static_cast<double>(hammers),
+                      [&](const dram::CellLocation &loc) {
+                          result.flips.push_back(loc);
+                      });
     return result;
 }
 
@@ -126,14 +360,8 @@ AnalyticEngine::rowHcFirst(unsigned victim_row, const HammerAttack &attack,
                            const Conditions &conditions,
                            const DataPattern &pattern, unsigned trial) const
 {
-    double best = kNeverFlips;
-    for (const auto &cell : model.cellsOfRow(attack.bank, victim_row)) {
-        const double hc = cellHcFirst(cell, victim_row, attack,
-                                      conditions, pattern, trial);
-        if (hc < best)
-            best = hc;
-    }
-    return best;
+    return rowEval(victim_row, attack, conditions, pattern, trial)
+        ->minHcFirst;
 }
 
 } // namespace rhs::rhmodel

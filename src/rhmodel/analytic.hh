@@ -4,17 +4,37 @@
  *
  * Because the per-hammer damage rate is constant for a test with fixed
  * conditions, a cell's HCfirst is simply threshold * noise / rate. The
- * analytic engine exploits this to evaluate BER tests and HCfirst
- * searches over thousands of rows in microseconds, while remaining
- * bit-exact with the cycle-accurate FaultInjector path (property-tested
- * in tests/rhmodel_equivalence_test.cc).
+ * analytic engine exploits this twice over:
+ *
+ *  1. Outcomes are closed-form, so BER tests and HCfirst searches over
+ *     thousands of rows evaluate in microseconds while remaining
+ *     bit-exact with the cycle-accurate FaultInjector path
+ *     (property-tested in tests/rhmodel_equivalence_test.cc).
+ *
+ *  2. Every per-cell HCfirst of a row is a pure function of one
+ *     (bank, row, attack, conditions, pattern, trial) key, so a single
+ *     batched kernel pass (rowEval) computes the whole per-row curve
+ *     once — with the row-invariant factors hoisted out of the cell
+ *     loop — and memoizes it in a sharded LRU. The paper's HCfirst
+ *     step search then replays its ~12 probes against the cached curve
+ *     instead of regenerating and re-scoring the identical cell
+ *     population per probe (see docs/MODEL.md, "The row-evaluation
+ *     kernel").
+ *
+ * cellHcFirst/hammerDamage remain the single-cell reference path; the
+ * kernel is property-tested byte-identical against them.
  */
 
 #ifndef RHS_RHMODEL_ANALYTIC_HH
 #define RHS_RHMODEL_ANALYTIC_HH
 
+#include <array>
 #include <cstdint>
 #include <limits>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "rhmodel/cell_model.hh"
@@ -38,7 +58,12 @@ struct HammerAttack
     //! victim V).
     unsigned patternCenter = 0;
 
-    /** The standard double-sided attack on victim V (aggressors V±1). */
+    /**
+     * The standard double-sided attack on victim V (aggressors V±1).
+     * @pre victim_row >= 1 — the same precondition the cycle path
+     *      (core::runCycleHammerTest) asserts; a victim without both
+     *      neighbours must use singleSided explicitly.
+     */
     static HammerAttack doubleSided(unsigned bank, unsigned victim_row);
 
     /** Single-sided attack: one aggressor row. */
@@ -69,6 +94,53 @@ struct RowBerResult
 /** Sentinel: the row/cell never flips under the given attack. */
 inline constexpr double kNeverFlips = std::numeric_limits<double>::infinity();
 
+/**
+ * The batched evaluation of one (bank, row, attack, conditions,
+ * pattern, trial) key: the closed-form flip hammer count of every
+ * eligible cell of the row, laid out SoA (hcFirst[i] belongs to
+ * loc[i]) in the cell model's generation order. Ineligible cells
+ * (wrong stored polarity, or out of coupling range) are omitted — they
+ * would carry kNeverFlips and can never appear in a flip list.
+ *
+ * Any probe of the key is O(1)/O(cells) against this curve:
+ * "does the row flip at H hammers" is minHcFirst <= H, and the flip
+ * list at H hammers is {loc[i] : hcFirst[i] <= H} in stored order —
+ * exactly the order the per-probe reference path reports.
+ */
+struct RowEval
+{
+    std::vector<double> hcFirst;         //!< Per eligible cell HCfirst.
+    std::vector<dram::CellLocation> loc; //!< Parallel to hcFirst.
+    //! All vulnerable cells of the row, eligible or not.
+    unsigned vulnerableCells = 0;
+    //! Minimum over hcFirst (kNeverFlips when no cell is eligible).
+    double minHcFirst = kNeverFlips;
+
+    /** Number of cells flipped after `hammers` hammers. */
+    unsigned
+    flipsAt(double hammers) const
+    {
+        unsigned flips = 0;
+        for (double hc : hcFirst)
+            flips += hc <= hammers ? 1u : 0u;
+        return flips;
+    }
+
+    /** Invoke fn(loc) for every cell flipped after `hammers` hammers. */
+    template <typename Fn>
+    void
+    forEachFlip(double hammers, Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < hcFirst.size(); ++i) {
+            if (hcFirst[i] <= hammers)
+                fn(loc[i]);
+        }
+    }
+};
+
+/** Shared handle to a cached row evaluation. */
+using RowEvalPtr = std::shared_ptr<const RowEval>;
+
 /** Closed-form evaluation of hammer tests against a CellModel. */
 class AnalyticEngine
 {
@@ -79,6 +151,10 @@ class AnalyticEngine
     /**
      * Damage a cell in victim_row accrues per hammer of the attack,
      * under the given conditions and written data pattern.
+     *
+     * Single-cell reference path: rowEval computes the same value with
+     * the row-invariant factors hoisted; the equivalence tests compare
+     * the two.
      */
     double hammerDamage(const VulnerableCell &cell, unsigned victim_row,
                         const HammerAttack &attack,
@@ -88,9 +164,26 @@ class AnalyticEngine
     /**
      * The hammer count at which a cell flips (kNeverFlips when the
      * cell is ineligible under the pattern or receives no damage).
+     * Single-cell reference path, like hammerDamage.
      */
     double cellHcFirst(const VulnerableCell &cell, unsigned victim_row,
                        const HammerAttack &attack,
+                       const Conditions &conditions,
+                       const DataPattern &pattern, unsigned trial) const;
+
+    /**
+     * The row-evaluation kernel: compute (or fetch from the sharded
+     * LRU cache) the per-cell HCfirst curve of victim_row under the
+     * given attack/conditions/pattern/trial. All other queries —
+     * berTest, rowHcFirst, the Tester's step search — consume this
+     * curve, so a key probed N times costs one O(cells) kernel pass
+     * instead of N.
+     *
+     * Thread-safe (the cache mirrors CellModel::cellsOfRow's sharded
+     * design) and deterministic: cached values are pure functions of
+     * the key, so hit/miss order cannot change any result.
+     */
+    RowEvalPtr rowEval(unsigned victim_row, const HammerAttack &attack,
                        const Conditions &conditions,
                        const DataPattern &pattern, unsigned trial) const;
 
@@ -114,8 +207,65 @@ class AnalyticEngine
 
     const CellModel &cellModel() const { return model; }
 
+    //! RowEval cache geometry: kEvalCacheShards independent LRU shards
+    //! of kEvalCacheCapacity / kEvalCacheShards entries each. Public
+    //! so benches can size working sets against it explicitly.
+    static constexpr std::size_t kEvalCacheShards = 16;
+    static constexpr std::size_t kEvalCacheCapacity = 1024;
+
   private:
+    /**
+     * Full identity of a row evaluation. Compared for equality on
+     * every cache hit, so a 64-bit hash collision degrades to a miss
+     * instead of returning a wrong curve.
+     */
+    struct EvalKey
+    {
+        unsigned bank = 0;
+        unsigned victimRow = 0;
+        unsigned patternCenter = 0;
+        unsigned trial = 0;
+        PatternId patternId = PatternId::ColStripe;
+        //! Pattern seed, normalized to 0 for column-invariant patterns
+        //! (their bytes ignore the seed, so normalizing widens reuse).
+        std::uint64_t patternSeed = 0;
+        double temperature = 0.0;
+        double tAggOn = 0.0;
+        double tAggOff = 0.0;
+        std::vector<unsigned> aggressors;
+
+        bool operator==(const EvalKey &) const = default;
+    };
+
+    /**
+     * One LRU shard, mirroring CellModel::CacheShard: list front =
+     * most recently used; the index maps the key hash to its list
+     * node. The mutex guards both.
+     */
+    struct EvalShard
+    {
+        struct Entry
+        {
+            std::uint64_t hash;
+            EvalKey key;
+            RowEvalPtr eval;
+        };
+        mutable std::mutex mutex;
+        mutable std::list<Entry> lru;
+        mutable std::unordered_map<std::uint64_t,
+                                   std::list<Entry>::iterator>
+            index;
+    };
+
+    static std::uint64_t evalKeyHash(const EvalKey &key);
+
+    /** The kernel pass itself (uncached). */
+    RowEval evaluateRow(unsigned victim_row, const HammerAttack &attack,
+                        const Conditions &conditions,
+                        const DataPattern &pattern, unsigned trial) const;
+
     const CellModel &model;
+    mutable std::array<EvalShard, kEvalCacheShards> evalShards;
 };
 
 } // namespace rhs::rhmodel

@@ -105,6 +105,9 @@ class CellModel
                                                   unsigned physical_row)
         const;
 
+    /** Column addresses per row (memo sizing for the eval kernel). */
+    unsigned columnsPerRow() const { return geom.columnsPerRow; }
+
     /** Timing damage multiplier (1.0 at baseline tRAS/tRP). */
     double timingFactor(const Conditions &conditions) const;
 

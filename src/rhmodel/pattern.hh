@@ -64,6 +64,17 @@ class DataPattern
     PatternId id() const { return patternId; }
 
     /**
+     * True when byteAt ignores the column — every Table 1 pattern but
+     * Random. The row-evaluation kernel hoists such patterns' bytes
+     * out of its per-cell loop (one byte per row instead of one lookup
+     * per cell).
+     */
+    bool columnInvariant() const { return patternId != PatternId::Random; }
+
+    /** The Random pattern's seed (pattern identity for cache keys). */
+    std::uint64_t patternSeed() const { return seed; }
+
+    /**
      * The byte this pattern stores at (physical row, column), for a
      * test whose victim is victim_row (parity is relative to the
      * victim's address, per Table 1).

@@ -66,7 +66,6 @@ TEST_P(TesterTest, BerMatchesAnalyticDetail)
 TEST_P(TesterTest, HcFirstSearchBracketsExactValue)
 {
     Conditions conditions;
-    const auto attack = HammerAttack::doubleSided(0, 0);
     unsigned checked = 0;
     for (unsigned row = 100; row < 140 && checked < 10; ++row) {
         const auto exact = dimm.analytic().rowHcFirst(
@@ -89,7 +88,6 @@ TEST_P(TesterTest, HcFirstSearchBracketsExactValue)
                   exact + 2.0 * kHcFirstAccuracy)
             << "row " << row;
     }
-    (void)attack;
     EXPECT_GT(checked, 0u);
 }
 

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <numeric>
 #include <sstream>
 #include <thread>
@@ -184,6 +185,53 @@ TEST_F(ParallelTest, SubarraySurveyIdenticalAcrossThreadCounts)
     }
 }
 
+/**
+ * Digest of every kernel-backed query the RowEval cache serves:
+ * hcFirstSearch (all trials), berDetail flip locations, and the WCDP
+ * scan. Hit/miss and eviction order differ between thread counts; the
+ * bytes must not.
+ */
+std::string
+searchDigest(unsigned jobs)
+{
+    util::ThreadPool::configure(jobs);
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::A, 0);
+    core::Tester tester(dimm);
+    const auto all = core::testedRows(dimm.module().geometry(), 8);
+    const std::vector<unsigned> rows(all.begin(), all.begin() + 16);
+    rhmodel::Conditions conditions;
+
+    std::ostringstream out;
+    const auto wcdp = tester.findWorstCasePattern(0, rows, conditions);
+    out << to_string(wcdp.id()) << '\n';
+
+    std::vector<std::string> slots(rows.size() * core::kRepetitions);
+    util::parallelFor(0, slots.size(), [&](std::size_t i) {
+        const unsigned row = rows[i / core::kRepetitions];
+        const auto trial =
+            static_cast<unsigned>(i % core::kRepetitions);
+        std::ostringstream line;
+        line << tester.hcFirstSearch(0, row, conditions, wcdp, trial);
+        const auto detail = tester.berDetail(
+            0, row, conditions, wcdp, core::kBerHammers, trial);
+        line << ' ' << detail.vulnerableCells;
+        for (const auto &loc : detail.flips)
+            line << ' ' << loc.chip << ':' << loc.column << ':'
+                 << static_cast<unsigned>(loc.bit);
+        slots[i] = line.str();
+    });
+    for (const auto &slot : slots)
+        out << slot << '\n';
+    return out.str();
+}
+
+TEST_F(ParallelTest, SearchBerAndWcdpByteIdenticalAcrossThreadCounts)
+{
+    const auto serial = searchDigest(1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(searchDigest(8), serial);
+}
+
 // --- Concurrent cellsOfRow cache stress ----------------------------
 
 std::uint64_t
@@ -220,6 +268,66 @@ TEST_F(ParallelTest, ConcurrentCellsOfRowMatchesSerialChecksums)
                     const unsigned r = (i * (t + 1) + pass) % kRows;
                     const auto &cells = model.cellsOfRow(0, 2 + r);
                     if (rowChecksum(cells) != expected[r])
+                        mismatches.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- Concurrent RowEval cache stress -------------------------------
+
+std::uint64_t
+evalChecksum(const rhmodel::RowEval &eval)
+{
+    std::uint64_t sum = util::hashTuple(
+        eval.vulnerableCells,
+        std::bit_cast<std::uint64_t>(eval.minHcFirst));
+    for (std::size_t i = 0; i < eval.hcFirst.size(); ++i) {
+        sum = util::hashTuple(
+            sum, std::bit_cast<std::uint64_t>(eval.hcFirst[i]),
+            eval.loc[i].chip, eval.loc[i].column, eval.loc[i].bit);
+    }
+    return sum;
+}
+
+TEST_F(ParallelTest, ConcurrentRowEvalMatchesSerialChecksums)
+{
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
+    core::Tester tester(dimm);
+    const rhmodel::DataPattern pattern(rhmodel::PatternId::Checkered);
+    rhmodel::Conditions conditions;
+
+    // More keys than the whole eval cache holds, so eviction and
+    // re-evaluation happen under contention.
+    constexpr unsigned kRows = 220;
+    constexpr unsigned kTrials = 5;
+    static_assert(kRows * kTrials >
+                  rhmodel::AnalyticEngine::kEvalCacheCapacity);
+
+    std::vector<std::uint64_t> expected(kRows * kTrials);
+    for (unsigned i = 0; i < expected.size(); ++i) {
+        expected[i] = evalChecksum(*tester.rowEval(
+            0, 2 + i / kTrials, conditions, pattern, i % kTrials));
+    }
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned pass = 0; pass < 2; ++pass) {
+                for (unsigned i = 0; i < expected.size(); ++i) {
+                    // Per-thread visit order: different threads collide
+                    // on different keys at any instant.
+                    const unsigned k = (i * (t + 1) + pass) %
+                                       (kRows * kTrials);
+                    const auto eval = tester.rowEval(
+                        0, 2 + k / kTrials, conditions, pattern,
+                        k % kTrials);
+                    if (evalChecksum(*eval) != expected[k])
                         mismatches.fetch_add(1);
                 }
             }

@@ -23,11 +23,12 @@ TEST(HammerAttackTest, DoubleSidedHasBothNeighbours)
     EXPECT_EQ(attack.aggressorRows[1], 101u);
 }
 
-TEST(HammerAttackTest, DoubleSidedAtEdgeDropsMissingNeighbour)
+TEST(HammerAttackDeathTest, DoubleSidedAtEdgePanics)
 {
-    const auto attack = HammerAttack::doubleSided(0, 0);
-    ASSERT_EQ(attack.aggressorRows.size(), 1u);
-    EXPECT_EQ(attack.aggressorRows[0], 1u);
+    // Row 0 has no lower neighbour. The attack must not silently
+    // degrade to single-sided — the cycle path (runCycleHammerTest)
+    // asserts the same precondition.
+    EXPECT_DEATH(HammerAttack::doubleSided(0, 0), "both neighbours");
 }
 
 TEST(HammerAttackTest, SingleSided)

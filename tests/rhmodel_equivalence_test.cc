@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "core/hammer_session.hh"
@@ -141,6 +142,206 @@ TEST(EquivalenceTest, SideVictimsMatchToo)
                     static_cast<double>(analytic.flips.size()), 2.0)
             << "offset " << offset;
     }
+}
+
+// --- The row-evaluation kernel vs the probe-per-call reference -----
+//
+// The batched kernel (AnalyticEngine::rowEval) replaced a path that
+// re-evaluated cellHcFirst for every cell on every probe. These tests
+// re-implement that old path verbatim on top of cellHcFirst — which is
+// still the property-tested single-cell reference — and require the
+// kernel-backed berTest / rowHcFirst / hcFirstSearch /
+// findWorstCasePattern to be byte-identical: same flip locations in
+// the same order, bit-equal HCfirst doubles, same search results.
+
+RowBerResult
+referenceBerTest(const AnalyticEngine &engine, unsigned victim,
+                 const HammerAttack &attack, const Conditions &conditions,
+                 const DataPattern &pattern, std::uint64_t hammers,
+                 unsigned trial)
+{
+    RowBerResult result;
+    const auto &cells =
+        engine.cellModel().cellsOfRow(attack.bank, victim);
+    result.vulnerableCells = static_cast<unsigned>(cells.size());
+    for (const auto &cell : cells) {
+        const double hc = engine.cellHcFirst(cell, victim, attack,
+                                             conditions, pattern, trial);
+        if (hc <= static_cast<double>(hammers))
+            result.flips.push_back(cell.loc);
+    }
+    return result;
+}
+
+double
+referenceRowHcFirst(const AnalyticEngine &engine, unsigned victim,
+                    const HammerAttack &attack,
+                    const Conditions &conditions,
+                    const DataPattern &pattern, unsigned trial)
+{
+    double best = kNeverFlips;
+    for (const auto &cell :
+         engine.cellModel().cellsOfRow(attack.bank, victim)) {
+        best = std::min(best,
+                        engine.cellHcFirst(cell, victim, attack,
+                                           conditions, pattern, trial));
+    }
+    return best;
+}
+
+std::uint64_t
+referenceHcFirstSearch(const AnalyticEngine &engine, unsigned bank,
+                       unsigned victim, const Conditions &conditions,
+                       const DataPattern &pattern, unsigned trial)
+{
+    const auto attack = HammerAttack::doubleSided(bank, victim);
+    auto flips_at = [&](std::uint64_t hammers) {
+        return !referenceBerTest(engine, victim, attack, conditions,
+                                 pattern, hammers, trial)
+                    .flips.empty();
+    };
+    if (!flips_at(core::kMaxHammers))
+        return core::kNotVulnerable;
+    std::uint64_t hammers = core::kHcFirstInitial;
+    std::uint64_t best = core::kMaxHammers;
+    for (std::uint64_t delta = core::kHcFirstInitialDelta;
+         delta >= core::kHcFirstAccuracy; delta /= 2) {
+        if (flips_at(hammers)) {
+            best = std::min(best, hammers);
+            hammers = hammers > delta ? hammers - delta
+                                      : core::kHcFirstAccuracy;
+        } else {
+            hammers = std::min(hammers + delta, core::kMaxHammers);
+        }
+    }
+    if (flips_at(hammers))
+        best = std::min(best, hammers);
+    return best;
+}
+
+struct KernelScenario
+{
+    Mfr mfr;
+    PatternId pattern;
+    std::uint64_t seed;
+    double temperature;
+    double tAggOn;  //!< 0 = keep the default.
+    double tAggOff; //!< 0 = keep the default.
+};
+
+class RowEvalKernelTest : public ::testing::TestWithParam<KernelScenario>
+{
+  protected:
+    RowEvalKernelTest()
+        : dimm(GetParam().mfr, 0, smallBank()), tester(dimm)
+    {
+        const auto s = GetParam();
+        pattern = DataPattern(s.pattern, s.seed);
+        conditions.temperature = s.temperature;
+        if (s.tAggOn > 0)
+            conditions.tAggOn = s.tAggOn;
+        if (s.tAggOff > 0)
+            conditions.tAggOff = s.tAggOff;
+    }
+
+    static DimmOptions
+    smallBank()
+    {
+        DimmOptions options;
+        options.subarraysPerBank = 4; // Small bank keeps the test fast.
+        return options;
+    }
+
+    SimulatedDimm dimm;
+    core::Tester tester;
+    DataPattern pattern{PatternId::Checkered};
+    Conditions conditions;
+};
+
+TEST_P(RowEvalKernelTest, BerAndHcFirstByteIdenticalToReference)
+{
+    const auto &engine = dimm.analytic();
+    const std::vector<unsigned> rows{2, 150, 151, 152, 153, 1021};
+    for (unsigned row : rows) {
+        const auto attack = HammerAttack::doubleSided(0, row);
+        for (unsigned trial = 0; trial < core::kRepetitions; ++trial) {
+            for (std::uint64_t hammers :
+                 {50'000ull, 150'000ull, 512'000ull}) {
+                const auto kernel = engine.berTest(
+                    row, attack, conditions, pattern, hammers, trial);
+                const auto reference =
+                    referenceBerTest(engine, row, attack, conditions,
+                                     pattern, hammers, trial);
+                EXPECT_EQ(kernel.vulnerableCells,
+                          reference.vulnerableCells);
+                ASSERT_EQ(kernel.flips.size(), reference.flips.size())
+                    << "row " << row << " trial " << trial << " hammers "
+                    << hammers;
+                for (std::size_t i = 0; i < kernel.flips.size(); ++i)
+                    EXPECT_EQ(kernel.flips[i], reference.flips[i]);
+            }
+            // Bit-equal doubles, not just close: the kernel hoists
+            // factors but must not reassociate the arithmetic.
+            EXPECT_EQ(engine.rowHcFirst(row, attack, conditions, pattern,
+                                        trial),
+                      referenceRowHcFirst(engine, row, attack, conditions,
+                                          pattern, trial))
+                << "row " << row << " trial " << trial;
+            EXPECT_EQ(tester.hcFirstSearch(0, row, conditions, pattern,
+                                           trial),
+                      referenceHcFirstSearch(engine, 0, row, conditions,
+                                             pattern, trial))
+                << "row " << row << " trial " << trial;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, RowEvalKernelTest,
+    ::testing::Values(
+        KernelScenario{Mfr::A, PatternId::Checkered, 0, 50.0, 0.0, 0.0},
+        KernelScenario{Mfr::B, PatternId::CheckeredInv, 0, 70.0, 0.0,
+                       0.0},
+        KernelScenario{Mfr::C, PatternId::RowStripe, 0, 90.0, 154.5,
+                       0.0},
+        KernelScenario{Mfr::D, PatternId::ColStripe, 0, 50.0, 0.0, 40.5},
+        KernelScenario{Mfr::B, PatternId::Random, 7, 50.0, 0.0, 0.0},
+        KernelScenario{Mfr::B, PatternId::Random, 12345, 85.0, 64.5,
+                       24.5}));
+
+TEST(RowEvalWcdpTest, FindWorstCasePatternMatchesSerialReference)
+{
+    DimmOptions options;
+    options.subarraysPerBank = 4;
+    SimulatedDimm dimm(Mfr::B, 0, options);
+    core::Tester tester(dimm);
+    const auto &engine = dimm.analytic();
+    const std::vector<unsigned> sample{150, 151, 152, 153};
+    Conditions conditions;
+
+    // The old serial scan: total reference-path flips per Table 1
+    // pattern, first strictly greater total wins.
+    DataPattern best(PatternId::ColStripe);
+    std::uint64_t best_flips = 0;
+    bool first = true;
+    for (auto id : allPatterns) {
+        const DataPattern candidate(id, dimm.module().info().serial);
+        std::uint64_t flips = 0;
+        for (unsigned row : sample) {
+            const auto attack = HammerAttack::doubleSided(0, row);
+            flips += referenceBerTest(engine, row, attack, conditions,
+                                      candidate, core::kBerHammers, 0)
+                         .flips.size();
+        }
+        if (first || flips > best_flips) {
+            best = candidate;
+            best_flips = flips;
+            first = false;
+        }
+    }
+
+    const auto wcdp = tester.findWorstCasePattern(0, sample, conditions);
+    EXPECT_EQ(wcdp.id(), best.id());
 }
 
 TEST(EquivalenceTest, AggressorRowsAreImmune)
