@@ -2,66 +2,8 @@
 
 #include <cstdio>
 
-#include "util/thread_pool.hh"
-
 namespace rhs::bench
 {
-
-BenchScale
-parseScale(int argc, const char *const *argv, unsigned full_rows,
-           unsigned full_modules, unsigned default_rows)
-{
-    util::Cli cli(argc, argv, {"modules", "rows", "full", "jobs"});
-    BenchScale scale;
-    scale.maxRows = default_rows;
-    scale.rowsPerRegion = default_rows / 3 + 1;
-    if (cli.has("full")) {
-        scale.rowsPerRegion = full_rows / 3 + 1;
-        scale.maxRows = full_rows;
-        scale.modulesPerMfr = full_modules;
-    }
-    scale.modulesPerMfr = static_cast<unsigned>(
-        cli.getInt("modules", scale.modulesPerMfr));
-    scale.maxRows =
-        static_cast<unsigned>(cli.getInt("rows", scale.maxRows));
-    scale.rowsPerRegion = scale.maxRows / 3 + 1;
-    scale.jobs = static_cast<unsigned>(cli.getInt("jobs", 0));
-    util::ThreadPool::configure(scale.jobs);
-    return scale;
-}
-
-std::vector<BenchModule>
-makeBenchFleet(const BenchScale &scale)
-{
-    std::vector<BenchModule> fleet;
-    for (auto mfr : rhmodel::allMfrs) {
-        for (unsigned index = 0; index < scale.modulesPerMfr; ++index) {
-            BenchModule entry;
-            entry.dimm =
-                std::make_unique<rhmodel::SimulatedDimm>(mfr, index);
-            entry.tester =
-                std::make_unique<core::Tester>(*entry.dimm);
-
-            const auto all = core::testedRows(
-                entry.dimm->module().geometry(), scale.rowsPerRegion);
-            const std::size_t take =
-                std::min<std::size_t>(scale.maxRows, all.size());
-            entry.rows.reserve(take);
-            for (std::size_t i = 0; i < take; ++i)
-                entry.rows.push_back(all[i * all.size() / take]);
-
-            // Determine the module's WCDP on a small sample (§4.2).
-            rhmodel::Conditions reference;
-            std::vector<unsigned> sample{
-                entry.rows[0], entry.rows[entry.rows.size() / 2],
-                entry.rows.back()};
-            entry.wcdp = entry.tester->findWorstCasePattern(0, sample,
-                                                            reference);
-            fleet.push_back(std::move(entry));
-        }
-    }
-    return fleet;
-}
 
 void
 printHeader(const std::string &title, const std::string &source)

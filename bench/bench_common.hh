@@ -1,59 +1,21 @@
 /**
  * @file
- * Shared scaffolding for the per-figure bench harnesses.
+ * Shared table-printing helpers for the experiment harness.
  *
- * Every bench binary regenerates one table or figure of the paper's
- * evaluation at a reduced default scale (pass --full for larger runs,
- * --rows/--modules to control the sample directly) and prints the
- * same rows/series the paper reports.
+ * Every experiment regenerates one table or figure of the paper's
+ * evaluation and, under `--format table`, prints the same rows/series
+ * the paper reports. Scale resolution lives in exp/scale.hh and fleet
+ * construction in exp/fleet_cache.hh; this header only owns the
+ * classic stdout formatting.
  */
 
 #ifndef RHS_BENCH_COMMON_HH
 #define RHS_BENCH_COMMON_HH
 
-#include <memory>
 #include <string>
-#include <vector>
-
-#include "core/tester.hh"
-#include "rhmodel/dimm.hh"
-#include "util/cli.hh"
 
 namespace rhs::bench
 {
-
-/** Scale options common to all benches. */
-struct BenchScale
-{
-    unsigned modulesPerMfr = 1; //!< DIMMs per manufacturer.
-    unsigned rowsPerRegion = 40; //!< Rows per first/middle/last region.
-    unsigned maxRows = 120;      //!< Cap on total rows per module.
-    unsigned jobs = 0;           //!< Worker count (0 = all hardware threads).
-};
-
-/**
- * Parse the common CLI options (--modules, --rows, --full, --jobs)
- * and configure the global thread pool to scale.jobs (default: one
- * job per hardware thread; --jobs 1 forces fully serial runs).
- */
-BenchScale parseScale(int argc, const char *const *argv,
-                      unsigned full_rows = 400, unsigned full_modules = 2,
-                      unsigned default_rows = 120);
-
-/** One module under test with its tester and WCDP resolved. */
-struct BenchModule
-{
-    std::unique_ptr<rhmodel::SimulatedDimm> dimm;
-    std::unique_ptr<core::Tester> tester;
-    rhmodel::DataPattern wcdp{rhmodel::PatternId::Checkered};
-    std::vector<unsigned> rows; //!< Tested victim rows.
-};
-
-/**
- * Build the fleet: `scale.modulesPerMfr` modules per manufacturer,
- * each with its WCDP determined per §4.2 and its tested-row sample.
- */
-std::vector<BenchModule> makeBenchFleet(const BenchScale &scale);
 
 /** Section header. */
 void printHeader(const std::string &title, const std::string &source);

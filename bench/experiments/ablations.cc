@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Model ablations: switch off one mechanism of the fault model at a
+ * time and show which paper observation it carries. This is the
+ * validation DESIGN.md calls for — each observation must hinge on the
+ * mechanism we attribute it to, not fall out of everything at once.
+ *
+ *   ablation                      -> observation that collapses
+ *   ------------------------------------------------------------------
+ *   trial noise off               -> Table 3's ~1% in-range gap cells
+ *   weak-row tail off             -> Obsv. 12's 2x-vulnerable rows
+ *   flat temperature response     -> Obsvs. 1-4 (ranges, BER trends)
+ *   design column component off   -> Obsv. 14's CV~0 column mass
+ */
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "bench_common.hh"
+#include "core/spatial.hh"
+#include "core/temp_analysis.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::bench;
+
+std::vector<unsigned>
+sampleRows(unsigned from, unsigned count)
+{
+    std::vector<unsigned> rows(count);
+    std::iota(rows.begin(), rows.end(), from);
+    return rows;
+}
+
+struct Variant
+{
+    std::string name;
+    rhmodel::ManufacturerProfile profile;
+};
+
+class Ablations final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "ablations";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Model ablations";
+    }
+
+    std::string
+    source() const override
+    {
+        return "validation of the DESIGN.md mechanism attributions";
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        if (ctx.table)
+            printHeader(title(), source());
+
+        const auto &baseline = rhmodel::profileFor(rhmodel::Mfr::B);
+
+        std::vector<Variant> variants;
+        variants.push_back({"baseline", baseline});
+
+        {
+            auto p = baseline;
+            p.trialNoiseSigma = 0.0;
+            variants.push_back({"no trial noise", p});
+        }
+        {
+            auto p = baseline;
+            p.weakRowFraction = 0.0;
+            variants.push_back({"no weak-row tail", p});
+        }
+        {
+            auto p = baseline;
+            // Flatten every temperature response: huge widths, one
+            // mode.
+            p.tempMixture = {
+                {1.0, 70.0, 10.0, 500.0, 600.0, 1.0, 0.0}};
+            variants.push_back({"flat temperature", p});
+        }
+        {
+            auto p = baseline;
+            p.designMix = 0.0; // Process-only column variation.
+            variants.push_back({"no design columns", p});
+        }
+
+        if (ctx.table) {
+            std::printf("%-18s %-10s %-10s %-12s %-10s %-10s\n",
+                        "variant", "noGap%", "fullRange%",
+                        "P5/min ratio", "CV0 cols%", "BER@90/50");
+            printRule();
+        }
+
+        std::vector<std::string> labels;
+        std::vector<double> no_gap_pct, p5_ratios, cv0_pct,
+            ber_trends;
+        for (auto &variant : variants) {
+            rhmodel::DimmOptions options;
+            options.customProfile = &variant.profile;
+            rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0, options);
+            core::Tester tester(dimm);
+            const rhmodel::DataPattern pattern(
+                rhmodel::PatternId::Checkered);
+
+            // Temperature structure.
+            const auto rows = sampleRows(100, 60);
+            const auto ranges =
+                core::analyzeTempRanges(tester, 0, rows, pattern);
+
+            // Row-variation structure.
+            const auto hcs = core::rowHcFirstSurvey(
+                tester, 0, sampleRows(300, 150), pattern);
+            const double p5_ratio =
+                hcs.empty() ? 0.0
+                            : stats::quantile(hcs, 0.05) /
+                                  stats::minValue(hcs);
+
+            // Column structure (needs volume).
+            const auto counts = core::columnFlipSurvey(
+                tester, 0, sampleRows(500, 1500), pattern);
+            const auto variation =
+                core::analyzeColumnVariation(counts);
+
+            // Temperature trend.
+            rhmodel::Conditions cold, hot;
+            hot.temperature = 90.0;
+            double ber_cold = 0.0, ber_hot = 0.0;
+            for (unsigned row : rows) {
+                ber_cold += tester.berOfRow(0, row, cold, pattern);
+                ber_hot += tester.berOfRow(0, row, hot, pattern);
+            }
+
+            const double ber_trend =
+                ber_cold > 0.0 ? ber_hot / ber_cold : 0.0;
+            if (ctx.table)
+                std::printf("%-18s %-10.2f %-10.1f %-12.2f %-10.1f "
+                            "%-10.2f\n",
+                            variant.name.c_str(),
+                            100.0 * ranges.noGapFraction(),
+                            100.0 * ranges.fullRangeFraction(),
+                            p5_ratio,
+                            100.0 *
+                                variation.designConsistentFraction(),
+                            ber_trend);
+
+            labels.push_back(variant.name);
+            no_gap_pct.push_back(100.0 * ranges.noGapFraction());
+            p5_ratios.push_back(p5_ratio);
+            cv0_pct.push_back(
+                100.0 * variation.designConsistentFraction());
+            ber_trends.push_back(ber_trend);
+        }
+
+        if (ctx.table) {
+            std::printf("\nReading: 'no trial noise' -> noGap hits "
+                        "100%% (gaps are measurement noise). 'no "
+                        "weak-row tail' -> P5/min falls toward 1 (the "
+                        "2x rows are the tail). 'flat temperature' -> "
+                        "fullRange saturates and the 90/50 trend "
+                        "vanishes. 'no design columns' -> the CV~0 "
+                        "column mass disappears.\n");
+        }
+
+        doc.addSeries("no_gap_pct", labels, no_gap_pct);
+        doc.addSeries("p5_min_ratio", labels, p5_ratios);
+        doc.addSeries("cv0_columns_pct", labels, cv0_pct);
+        doc.addSeries("ber_90_over_50", labels, ber_trends);
+        // Index 0 is the baseline; 1-4 the ablated variants above.
+        doc.check("ablation_trial_noise", "Table 3 takeaway",
+                  "removing trial noise closes the in-range gaps "
+                  "(noGap reaches 100%)",
+                  no_gap_pct[1] >= 100.0 - 1e-9 &&
+                      no_gap_pct[1] >= no_gap_pct[0]);
+        doc.check("ablation_weak_rows", "Obsv. 12",
+                  "removing the weak-row tail shrinks the P5/min "
+                  "ratio toward 1",
+                  p5_ratios[2] <= p5_ratios[0]);
+        doc.check("ablation_design_columns", "Obsv. 14",
+                  "removing the design component erases the CV~0 "
+                  "column mass",
+                  cv0_pct[4] <= cv0_pct[0]);
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerAblations()
+{
+    exp::Registry::add(std::make_unique<Ablations>());
+}
+
+} // namespace rhs::bench

@@ -1,0 +1,41 @@
+#include "experiments/all.hh"
+
+namespace rhs::bench
+{
+
+void
+registerAllExperiments()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+
+    registerTable2Modules();
+    registerTable3TempContinuity();
+    registerFig3TempRanges();
+    registerFig4BerVsTemp();
+    registerFig5HcFirstVsTemp();
+    registerFig6CommandTiming();
+    registerFig7BerVsTaggOn();
+    registerFig8HcFirstVsTaggOn();
+    registerFig9BerVsTaggOff();
+    registerFig10HcFirstVsTaggOff();
+    registerFig11HcFirstRows();
+    registerFig12ColumnFlips();
+    registerFig13ColumnVariation();
+    registerFig14Subarrays();
+    registerFig15Bhattacharyya();
+    registerAblations();
+    registerAttacksImprovements();
+    registerEccImprovement();
+    registerTrrespassBypass();
+    registerDefenseMatrix();
+    registerDefensesImprovements();
+    registerRefreshRate();
+    registerRowPolicy();
+    registerParallelScaling();
+    registerRowEvalKernel();
+}
+
+} // namespace rhs::bench

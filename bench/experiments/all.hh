@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Explicit registration of every experiment.
+ *
+ * One function per experiment TU, called by registerAllExperiments()
+ * in registration order — which is also the stable `--list` / `--all`
+ * execution order. Explicit calls (rather than static-initializer
+ * self-registration) survive static-library linking and keep the
+ * order deterministic.
+ */
+
+#ifndef RHS_BENCH_EXPERIMENTS_ALL_HH
+#define RHS_BENCH_EXPERIMENTS_ALL_HH
+
+namespace rhs::bench
+{
+
+void registerTable2Modules();
+void registerTable3TempContinuity();
+void registerFig3TempRanges();
+void registerFig4BerVsTemp();
+void registerFig5HcFirstVsTemp();
+void registerFig6CommandTiming();
+void registerFig7BerVsTaggOn();
+void registerFig8HcFirstVsTaggOn();
+void registerFig9BerVsTaggOff();
+void registerFig10HcFirstVsTaggOff();
+void registerFig11HcFirstRows();
+void registerFig12ColumnFlips();
+void registerFig13ColumnVariation();
+void registerFig14Subarrays();
+void registerFig15Bhattacharyya();
+void registerAblations();
+void registerAttacksImprovements();
+void registerEccImprovement();
+void registerTrrespassBypass();
+void registerDefenseMatrix();
+void registerDefensesImprovements();
+void registerRefreshRate();
+void registerRowPolicy();
+void registerParallelScaling();
+void registerRowEvalKernel();
+
+/** Register every experiment exactly once (idempotent). */
+void registerAllExperiments();
+
+} // namespace rhs::bench
+
+#endif // RHS_BENCH_EXPERIMENTS_ALL_HH

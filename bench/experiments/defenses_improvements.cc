@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Regenerates the §8.2 defense-improvement analyses:
+ *  1. non-uniform per-row thresholds shrink counter structures,
+ *  2. subarray-sampled profiling predicts the worst-case HCfirst,
+ *  4. cooling reduces BER for increasing-trend manufacturers,
+ *  5. bounding the aggressor active time restores the baseline
+ *     threshold.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/profiler.hh"
+#include "core/spatial.hh"
+#include "defense/nonuniform.hh"
+#include "defense/para.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::bench;
+
+class DefensesImprovements final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "defenses_improvements";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Section 8.2: defense improvements";
+    }
+
+    std::string
+    source() const override
+    {
+        return "Improvements 1, 2, 4, 5 (paper: Graphene area -80%, "
+               "BlockHammer -33%; 8-of-128 subarray profiling; "
+               "cooling cuts Mfr. A BER ~25%)";
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        if (ctx.table)
+            printHeader(title(), source());
+
+        const auto &fleet = ctx.fleet.fleet(ctx.scale);
+
+        if (ctx.table) {
+            std::printf("Improvement 1: per-row-class thresholds "
+                        "(Obsv. 12)\n");
+            std::printf("%-8s %-12s %-14s %-14s %-9s\n", "Module",
+                        "worst HC", "uniform bits", "split bits",
+                        "savings");
+            printRule();
+        }
+        std::vector<std::string> labels;
+        std::vector<double> savings_pct;
+        bool split_saves = true;
+        bool any_counter = false;
+        for (const auto &entry : fleet) {
+            const auto hcs = core::rowHcFirstSurvey(
+                *entry.tester, 0, entry.rows, entry.wcdp);
+            if (hcs.empty())
+                continue;
+            const double worst = stats::minValue(hcs);
+            // Refresh-window activation budget: 64 ms of back-to-back
+            // activations at ~51 ns each.
+            const double window = 64e6 / 51.0;
+            const auto report = defense::counterAreaSavings(
+                worst, 0.05, 2.0, window);
+            if (ctx.table)
+                std::printf("%-8s %9.1fK %11.0f b %11.0f b %7.0f%%\n",
+                            entry.dimm->label().c_str(), worst / 1e3,
+                            report.uniformBits, report.nonUniformBits,
+                            report.savingsPct);
+            any_counter = true;
+            labels.push_back(entry.dimm->label());
+            savings_pct.push_back(report.savingsPct);
+            if (report.savingsPct < 0.0)
+                split_saves = false;
+        }
+        if (ctx.table)
+            std::printf("PARA analogue: probability for worst-case "
+                        "vs 2x threshold: p=%.4f vs p=%.4f (refresh "
+                        "rate halves for 95%% of rows)\n",
+                        defense::Para::probabilityFor(33'000.0),
+                        defense::Para::probabilityFor(66'000.0));
+
+        if (ctx.table) {
+            std::printf("\nImprovement 2: profiling by subarray "
+                        "sampling (Obsvs. 15-16)\n");
+            std::printf("%-8s %-10s %-12s %-12s %-12s %-12s\n",
+                        "Module", "rows", "sampled avg",
+                        "sampled min", "predicted", "full-scan min");
+            printRule();
+        }
+        std::vector<std::string> profiled_labels;
+        std::vector<double> predicted, full_scan_min;
+        bool prediction_safe = true;
+        bool any_profiled = false;
+        for (const auto &entry : fleet) {
+            const auto survey = core::subarraySurvey(
+                *entry.tester, 0, 8, 8, entry.wcdp);
+            if (survey.size() < 2)
+                continue;
+            const auto model = core::fitSubarrayModel(survey);
+            const auto estimate = core::profileBySampling(
+                *entry.tester, 0, 4, 6, entry.wcdp, model);
+            const auto full = core::rowHcFirstSurvey(
+                *entry.tester, 0, entry.rows, entry.wcdp);
+            if (ctx.table)
+                std::printf("%-8s %-10u %9.1fK %9.1fK %9.1fK "
+                            "%9.1fK\n",
+                            entry.dimm->label().c_str(),
+                            estimate.rowsTested,
+                            estimate.sampledAverageHcFirst / 1e3,
+                            estimate.sampledMinimumHcFirst / 1e3,
+                            estimate.predictedWorstCase / 1e3,
+                            full.empty()
+                                ? 0.0
+                                : stats::minValue(full) / 1e3);
+            profiled_labels.push_back(entry.dimm->label());
+            predicted.push_back(estimate.predictedWorstCase);
+            full_scan_min.push_back(
+                full.empty() ? 0.0 : stats::minValue(full));
+            if (!full.empty()) {
+                any_profiled = true;
+                // The linear model refines the sampled average into a
+                // worst-case estimate; demand it lands within 2x of
+                // the true (full-scan) minimum in either direction —
+                // the accuracy that makes sampled profiling usable,
+                // and one the model delivers from smoke scale up.
+                const double full_min = stats::minValue(full);
+                if (full_min > 0.0 &&
+                    (estimate.predictedWorstCase < 0.5 * full_min ||
+                     estimate.predictedWorstCase > 2.0 * full_min))
+                    prediction_safe = false;
+            }
+        }
+
+        if (ctx.table) {
+            std::printf("\nImprovement 4: cooling as mitigation "
+                        "(Obsv. 4)\n");
+            printRule();
+        }
+        std::vector<std::string> cooling_labels;
+        std::vector<double> cooling_change_pct;
+        for (const auto &entry : fleet) {
+            rhmodel::Conditions cold, hot;
+            cold.temperature = 50.0;
+            hot.temperature = 90.0;
+            double ber_cold = 0.0, ber_hot = 0.0;
+            for (unsigned row : entry.rows) {
+                ber_cold += entry.tester->berOfRow(0, row, cold,
+                                                   entry.wcdp);
+                ber_hot += entry.tester->berOfRow(0, row, hot,
+                                                  entry.wcdp);
+            }
+            if (ber_hot <= 0.0)
+                continue;
+            const double change =
+                100.0 * (ber_cold - ber_hot) / ber_hot;
+            if (ctx.table)
+                std::printf("%-8s cooling 90->50 degC changes BER by "
+                            "%+.0f%%\n",
+                            entry.dimm->label().c_str(), change);
+            cooling_labels.push_back(entry.dimm->label());
+            cooling_change_pct.push_back(change);
+        }
+
+        if (ctx.table) {
+            std::printf("\nImprovement 5: bounding aggressor active "
+                        "time (Obsv. 8)\n");
+            printRule();
+        }
+        std::vector<std::string> bounding_labels;
+        std::vector<double> avoided_pct;
+        bool bounding_helps = true;
+        bool any_bounding = false;
+        for (const auto &entry : fleet) {
+            rhmodel::Conditions base, open_page;
+            open_page.tAggOn = 154.5; // Unbounded open-page policy.
+            double flips_bound = 0.0, flips_open = 0.0;
+            for (unsigned row : entry.rows) {
+                flips_bound += entry.tester->berOfRow(0, row, base,
+                                                      entry.wcdp);
+                flips_open += entry.tester->berOfRow(0, row,
+                                                     open_page,
+                                                     entry.wcdp);
+            }
+            const double avoided =
+                flips_open > 0.0 ? 100.0 * (flips_open - flips_bound) /
+                                       flips_open
+                                 : 0.0;
+            if (ctx.table)
+                std::printf("%-8s closing rows promptly avoids "
+                            "%.0f%% of the open-page flips\n",
+                            entry.dimm->label().c_str(), avoided);
+            bounding_labels.push_back(entry.dimm->label());
+            avoided_pct.push_back(avoided);
+            if (flips_open > 0.0) {
+                any_bounding = true;
+                if (avoided < 0.0)
+                    bounding_helps = false;
+            }
+        }
+
+        doc.addSeries("counter_savings_pct", labels, savings_pct);
+        doc.addSeries("predicted_worst_case", profiled_labels,
+                      predicted);
+        doc.addSeries("full_scan_min", profiled_labels,
+                      full_scan_min);
+        doc.addSeries("cooling_ber_change_pct", cooling_labels,
+                      cooling_change_pct);
+        doc.addSeries("bounded_taggon_avoided_pct", bounding_labels,
+                      avoided_pct);
+        doc.check("impr1_counter_savings", "Section 8.2, Impr. 1",
+                  "per-row-class thresholds never cost more counter "
+                  "bits than the uniform design",
+                  !any_counter || split_saves,
+                  any_counter ? "savings in series counter_savings_pct"
+                              : "no vulnerable rows at this scale");
+        doc.check("impr2_profiling_safe", "Section 8.2, Impr. 2",
+                  "subarray-sampled profiling predicts the worst-case "
+                  "HCfirst within 2x of the full scan",
+                  !any_profiled || prediction_safe,
+                  any_profiled
+                      ? "predictions in series predicted_worst_case"
+                      : "not enough subarray data at this scale");
+        doc.check("impr5_bounded_taggon", "Section 8.2, Impr. 5",
+                  "closing aggressor rows promptly never increases "
+                  "flips vs the open-page policy",
+                  !any_bounding || bounding_helps,
+                  any_bounding ? "fractions in series "
+                                 "bounded_taggon_avoided_pct"
+                               : "no open-page flips at this scale");
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerDefensesImprovements()
+{
+    exp::Registry::add(std::make_unique<DefensesImprovements>());
+}
+
+} // namespace rhs::bench

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Regenerates Defense Improvement 6 (§8.2): ECC against RowHammer's
+ * non-uniform column error distribution.
+ *
+ * Because flips cluster in vulnerable columns (Obsvs. 13-14), a
+ * SEC-DED word built from 8 consecutive columns sees correlated
+ * multi-bit errors. Interleaving each word's bytes across distant
+ * columns ("ECC schemes optimized for non-uniform bit error
+ * probability distributions across columns") converts detected /
+ * silently mis-corrected words back into correctable single-bit
+ * errors.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "ecc/rowhammer_ecc.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::bench;
+
+class EccImprovement final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "ecc_improvement";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Defense Improvement 6: SEC-DED vs RowHammer flips";
+    }
+
+    std::string
+    source() const override
+    {
+        return "Section 8.2 Improvement 6 (column-aware ECC)";
+    }
+
+    exp::ScaleDefaults
+    scaleDefaults() const override
+    {
+        // The word-level outcome mix needs row volume; 30 rows keeps
+        // the smoke run meaningful.
+        return {6'000, 2, 2'000, 30};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        if (ctx.table)
+            printHeader(title(), source());
+
+        const auto &fleet = ctx.fleet.fleet(ctx.scale);
+        if (ctx.table) {
+            std::printf("Aggressive attack conditions: "
+                        "tAggOn=154.5ns, 75 degC, 512K hammers "
+                        "(maximizes multi-bit words)\n\n");
+            std::printf("%-8s %-13s %-8s %-10s %-10s %-10s %-9s\n",
+                        "Module", "layout", "words", "corrected",
+                        "detected", "silent", "silent%");
+            printRule();
+        }
+
+        std::vector<std::string> labels;
+        std::vector<double> contiguous_silent_pct,
+            interleaved_silent_pct;
+        std::uint64_t total_words[2] = {0, 0};
+        std::uint64_t total_silent[2] = {0, 0};
+        bool any_words = false;
+        for (const auto &entry : fleet) {
+            rhmodel::Conditions conditions;
+            conditions.temperature = 75.0;
+            conditions.tAggOn = 154.5;
+
+            double silent_rates[2] = {0.0, 0.0};
+            std::uint64_t words_seen = 0;
+            for (auto layout : {ecc::WordLayout::Contiguous,
+                                ecc::WordLayout::Interleaved}) {
+                ecc::EccOutcome outcome;
+                for (unsigned row : entry.rows) {
+                    const auto detail = entry.tester->berDetail(
+                        0, row, conditions, entry.wcdp,
+                        core::kMaxHammers);
+                    outcome.merge(ecc::analyzeFlips(
+                        detail.flips,
+                        entry.dimm->module().geometry(), layout));
+                }
+                if (ctx.table)
+                    std::printf(
+                        "%-8s %-13s %-8llu %-10llu %-10llu %-10llu "
+                        "%8.3f%%\n",
+                        entry.dimm->label().c_str(),
+                        layout == ecc::WordLayout::Contiguous
+                            ? "contiguous"
+                            : "interleaved",
+                        static_cast<unsigned long long>(
+                            outcome.words),
+                        static_cast<unsigned long long>(
+                            outcome.corrected),
+                        static_cast<unsigned long long>(
+                            outcome.detected),
+                        static_cast<unsigned long long>(
+                            outcome.silentCorruption),
+                        100.0 * outcome.silentRate());
+                const std::size_t which =
+                    layout == ecc::WordLayout::Interleaved;
+                silent_rates[which] = 100.0 * outcome.silentRate();
+                total_words[which] += outcome.words;
+                total_silent[which] += outcome.silentCorruption;
+                words_seen = outcome.words;
+            }
+            if (ctx.table)
+                printRule();
+
+            labels.push_back(entry.dimm->label());
+            contiguous_silent_pct.push_back(silent_rates[0]);
+            interleaved_silent_pct.push_back(silent_rates[1]);
+            if (words_seen > 0)
+                any_words = true;
+        }
+
+        // A single module's silent rate at reduced scale rides on a
+        // handful of words; Improvement 6 is a claim about the error
+        // population, so compare the fleet-wide rates.
+        const double contiguous_rate =
+            total_words[0] > 0 ? static_cast<double>(total_silent[0]) /
+                                     static_cast<double>(total_words[0])
+                               : 0.0;
+        const double interleaved_rate =
+            total_words[1] > 0 ? static_cast<double>(total_silent[1]) /
+                                     static_cast<double>(total_words[1])
+                               : 0.0;
+
+        if (ctx.table) {
+            std::printf("Column-aware interleaving shifts "
+                        "detected/silent words into the corrected "
+                        "column: the Improvement 6 claim.\n");
+        }
+
+        doc.addSeries("contiguous_silent_pct", labels,
+                      contiguous_silent_pct);
+        doc.addSeries("interleaved_silent_pct", labels,
+                      interleaved_silent_pct);
+        char aggregate[96];
+        std::snprintf(aggregate, sizeof aggregate,
+                      "fleet silent rate: contiguous %.4f%% vs "
+                      "interleaved %.4f%%",
+                      100.0 * contiguous_rate,
+                      100.0 * interleaved_rate);
+        doc.data.set("fleet_contiguous_silent_rate", contiguous_rate);
+        doc.data.set("fleet_interleaved_silent_rate",
+                     interleaved_rate);
+        doc.check("impr6_column_aware_ecc", "Section 8.2, Impr. 6",
+                  "interleaving ECC words across distant columns "
+                  "does not raise the fleet-wide silent-corruption "
+                  "rate",
+                  !any_words || interleaved_rate <= contiguous_rate,
+                  any_words
+                      ? aggregate
+                      : "no ECC words with flips at this scale");
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerEccImprovement()
+{
+    exp::Registry::add(std::make_unique<EccImprovement>());
+}
+
+} // namespace rhs::bench

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Regenerates Fig. 13: DRAM columns clustered by relative RowHammer
+ * vulnerability (y) and its coefficient of variation across chips (x).
+ * Columns with CV ~ 0 indicate design-induced variation; CV ~ 1
+ * indicates manufacturing-process variation (Obsv. 14).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/spatial.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "stats/histogram.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::bench;
+
+class Fig13ColumnVariation final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "fig13_column_variation";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Fig. 13: columns clustered by relative vulnerability "
+               "and cross-chip variation";
+    }
+
+    std::string
+    source() const override
+    {
+        return "Fig. 13 (paper: CV=0 mass 50.9% for Mfr. B / 16.6% "
+               "for C; CV=1 mass 59.8/30.6/29.1 % for A/C/D)";
+    }
+
+    exp::ScaleDefaults
+    scaleDefaults() const override
+    {
+        // Same row-volume requirement as Fig. 12: the cross-chip CV
+        // needs columns with flips on every chip.
+        return {24'000, 2, 8'000, 60};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        if (ctx.table)
+            printHeader(title(), source());
+
+        const auto &fleet = ctx.fleet.fleet(ctx.scale);
+        std::vector<std::string> labels;
+        std::vector<double> design_pct, process_pct;
+        bool fractions_bounded = true;
+        bool any_data = false;
+        for (const auto &entry : fleet) {
+            const auto counts = core::columnFlipSurvey(
+                *entry.tester, 0, entry.rows, entry.wcdp);
+            const auto variation =
+                core::analyzeColumnVariation(counts);
+
+            stats::Histogram2d buckets(0.0, 1.0001, 11, 0.0, 1.0001,
+                                       11);
+            bool module_has_data = false;
+            for (std::size_t col = 0;
+                 col < variation.relativeVulnerability.size();
+                 ++col) {
+                if (variation.relativeVulnerability[col] <= 0.0)
+                    continue;
+                module_has_data = true;
+                buckets.add(variation.cvExcessAcrossChips[col],
+                            variation.relativeVulnerability[col]);
+            }
+
+            if (ctx.table) {
+                std::printf("\n%s  RelVuln \\ noise-corrected CV ->\n",
+                            entry.dimm->label().c_str());
+                for (std::size_t y = buckets.ySize(); y-- > 0;) {
+                    std::printf("  %4.1f ",
+                                (static_cast<double>(y) + 0.5) / 11);
+                    for (std::size_t x = 0; x < buckets.xSize();
+                         ++x) {
+                        const double f =
+                            100.0 * buckets.fraction(x, y);
+                        if (f == 0.0)
+                            std::printf("      ");
+                        else
+                            std::printf("%5.1f%%", f);
+                    }
+                    std::printf("\n");
+                }
+                std::printf("  design-consistent columns (CV~0): "
+                            "%5.1f%%   process-dominated (CV~1): "
+                            "%5.1f%%\n",
+                            100.0 *
+                                variation.designConsistentFraction(),
+                            100.0 *
+                                variation.processDominatedFraction());
+            }
+
+            labels.push_back(entry.dimm->label());
+            const double design =
+                100.0 * variation.designConsistentFraction();
+            const double process =
+                100.0 * variation.processDominatedFraction();
+            design_pct.push_back(design);
+            process_pct.push_back(process);
+            if (module_has_data)
+                any_data = true;
+            if (design + process > 100.0 + 1e-9)
+                fractions_bounded = false;
+        }
+
+        if (ctx.table) {
+            std::printf("\nObsv. 14 check: Mfr. B is design-dominated "
+                        "(large CV~0 mass), Mfr. A process-dominated "
+                        "(large CV~1 mass).\n");
+        }
+
+        doc.addSeries("design_consistent_pct", labels, design_pct);
+        doc.addSeries("process_dominated_pct", labels, process_pct);
+        doc.check("obsv14_variation_split", "Obsv. 14 / Fig. 13",
+                  "columns split into design-consistent (CV~0) and "
+                  "process-dominated (CV~1) masses that never exceed "
+                  "100% combined",
+                  any_data && fractions_bounded,
+                  any_data ? "per-module masses in series "
+                             "design_consistent_pct / "
+                             "process_dominated_pct"
+                           : "no flipping columns at this scale");
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerFig13ColumnVariation()
+{
+    exp::Registry::add(std::make_unique<Fig13ColumnVariation>());
+}
+
+} // namespace rhs::bench

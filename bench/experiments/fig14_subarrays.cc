@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Regenerates Fig. 14: per-subarray (average HCfirst, minimum HCfirst)
+ * points across modules of each manufacturer, with the linear fit and
+ * R2 score the paper reports.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/spatial.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::bench;
+
+class Fig14Subarrays final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "fig14_subarrays";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Fig. 14: HCfirst variation across subarrays";
+    }
+
+    std::string
+    source() const override
+    {
+        return "Fig. 14 (paper fits: A y=0.46x+3773 R2=.73, B "
+               "y=0.41x+2737 R2=.78, C y=0.42x+3833 R2=.93, D "
+               "y=0.67x-25410 R2=.42; Obsv. 15)";
+    }
+
+    std::vector<exp::OptionSpec>
+    options() const override
+    {
+        return {{"modules", "3", "modules per manufacturer"},
+                {"subarrays", "8", "subarrays surveyed per module"}};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        const unsigned modules_per_mfr = static_cast<unsigned>(
+            ctx.cli.getInt("modules", ctx.scale.smoke ? 1 : 3));
+        const unsigned subarrays = static_cast<unsigned>(
+            ctx.cli.getInt("subarrays", ctx.scale.smoke ? 2 : 8));
+
+        if (ctx.table)
+            printHeader(title(), source());
+
+        std::vector<std::string> fit_labels;
+        std::vector<double> fit_slopes, fit_r2;
+        bool min_below_avg = true;
+        bool any_data = false;
+        for (auto mfr : rhmodel::allMfrs) {
+            std::vector<core::SubarrayStats> all;
+            if (ctx.table) {
+                std::printf("\n%s\n",
+                            rhmodel::to_string(mfr).c_str());
+                std::printf("  %-8s %-10s %-14s %-14s\n", "Module",
+                            "subarray", "avg HCfirst", "min HCfirst");
+            }
+            for (unsigned index = 0; index < modules_per_mfr;
+                 ++index) {
+                auto &module = ctx.fleet.module(mfr, index);
+                const auto &wcdp = ctx.fleet.wcdp(
+                    module, 0, {100, 2000, 6000});
+                const auto survey = core::subarraySurvey(
+                    *module.tester, 0, subarrays, 24, wcdp);
+                for (const auto &entry : survey) {
+                    if (ctx.table)
+                        std::printf("  %-8s %-10u %11.1fK %11.1fK\n",
+                                    module.dimm->label().c_str(),
+                                    entry.subarray,
+                                    entry.averageHcFirst / 1e3,
+                                    entry.minimumHcFirst / 1e3);
+                    if (entry.minimumHcFirst >
+                        entry.averageHcFirst)
+                        min_below_avg = false;
+                    all.push_back(entry);
+                }
+            }
+            if (all.size() >= 2) {
+                const auto fit = core::fitSubarrayModel(all);
+                if (ctx.table)
+                    std::printf("  linear fit: min = %.2f * avg "
+                                "%+.0f   R2 = %.2f\n",
+                                fit.slope, fit.intercept, fit.r2);
+                any_data = true;
+                fit_labels.push_back(rhmodel::to_string(mfr));
+                fit_slopes.push_back(fit.slope);
+                fit_r2.push_back(fit.r2);
+            }
+        }
+
+        if (ctx.table) {
+            std::printf("\nObsv. 15 check: the most vulnerable row of "
+                        "a subarray sits far below the subarray "
+                        "average, and the relation is linear within a "
+                        "manufacturer.\n");
+        }
+
+        doc.addSeries("fit_slope", fit_labels, fit_slopes);
+        doc.addSeries("fit_r2", fit_labels, fit_r2);
+        doc.check("obsv15_subarray_minimum", "Obsv. 15 / Fig. 14",
+                  "every subarray's most vulnerable row flips at or "
+                  "below the subarray's average HCfirst",
+                  any_data && min_below_avg,
+                  any_data ? "per-mfr fits in series fit_slope / fit_r2"
+                           : "no subarray data at this scale");
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerFig14Subarrays()
+{
+    exp::Registry::add(std::make_unique<Fig14Subarrays>());
+}
+
+} // namespace rhs::bench

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Regenerates Fig. 15: the cumulative distribution of the normalized
+ * Bhattacharyya distance between the HCfirst distributions of subarray
+ * pairs from (1) the same module and (2) different modules.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/spatial.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "stats/bhattacharyya.hh"
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::bench;
+
+class Fig15Bhattacharyya final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "fig15_bhattacharyya";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Fig. 15: normalized Bhattacharyya distance between "
+               "subarray HCfirst distributions";
+    }
+
+    std::string
+    source() const override
+    {
+        return "Fig. 15 (paper: same-module pairs cluster near 1.0 "
+               "(P5 ~0.975 for Mfr. C); cross-module pairs spread "
+               "much wider (P5 ~0.66); Obsv. 16)";
+    }
+
+    std::vector<exp::OptionSpec>
+    options() const override
+    {
+        return {{"modules", "3", "modules per manufacturer"},
+                {"subarrays", "6", "subarrays surveyed per module"}};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        const unsigned modules_per_mfr = static_cast<unsigned>(
+            ctx.cli.getInt("modules", ctx.scale.smoke ? 2 : 3));
+        const unsigned subarrays = static_cast<unsigned>(
+            ctx.cli.getInt("subarrays", ctx.scale.smoke ? 2 : 6));
+
+        if (ctx.table) {
+            printHeader(title(), source());
+            std::printf("%-8s %-22s %-22s\n", "Mfr.",
+                        "same-module  P5/P50/P95",
+                        "diff-module  P5/P50/P95");
+            printRule();
+        }
+
+        std::vector<std::string> labels;
+        std::vector<double> same_p50, diff_p50;
+        bool same_tighter = true;
+        bool any_data = false;
+        for (auto mfr : rhmodel::allMfrs) {
+            // Collect per-subarray HCfirst samples of every module.
+            std::vector<std::vector<std::vector<double>>> modules;
+            for (unsigned index = 0; index < modules_per_mfr;
+                 ++index) {
+                auto &module = ctx.fleet.module(mfr, index);
+                const auto &wcdp = ctx.fleet.wcdp(
+                    module, 0, {100, 2000, 6000});
+                const auto survey = core::subarraySurvey(
+                    *module.tester, 0, subarrays, 32, wcdp);
+                std::vector<std::vector<double>> dists;
+                for (const auto &entry : survey)
+                    dists.push_back(entry.hcFirstValues);
+                modules.push_back(std::move(dists));
+            }
+
+            std::vector<double> same, different;
+            for (std::size_t m = 0; m < modules.size(); ++m) {
+                for (std::size_t a = 0; a < modules[m].size(); ++a) {
+                    for (std::size_t b = 0; b < modules[m].size();
+                         ++b) {
+                        if (a != b)
+                            same.push_back(
+                                stats::bhattacharyyaNormalized(
+                                    modules[m][a], modules[m][b],
+                                    12));
+                    }
+                    for (std::size_t n = 0; n < modules.size(); ++n) {
+                        if (n == m)
+                            continue;
+                        for (const auto &other : modules[n])
+                            different.push_back(
+                                stats::bhattacharyyaNormalized(
+                                    modules[m][a], other, 12));
+                    }
+                }
+            }
+
+            auto fmt = [](const std::vector<double> &xs) {
+                char buffer[64];
+                if (xs.empty())
+                    return std::string("-");
+                std::snprintf(buffer, sizeof(buffer),
+                              "%.3f/%.3f/%.3f",
+                              stats::quantile(xs, 0.05),
+                              stats::quantile(xs, 0.50),
+                              stats::quantile(xs, 0.95));
+                return std::string(buffer);
+            };
+            if (ctx.table)
+                std::printf("%-8s %-22s %-22s\n",
+                            rhmodel::to_string(mfr).c_str(),
+                            fmt(same).c_str(),
+                            fmt(different).c_str());
+
+            labels.push_back(rhmodel::to_string(mfr));
+            same_p50.push_back(
+                same.empty() ? 0.0 : stats::quantile(same, 0.50));
+            diff_p50.push_back(different.empty()
+                                   ? 0.0
+                                   : stats::quantile(different,
+                                                     0.50));
+            // Obsv. 16: same-module pairs are at least as similar
+            // (higher normalized distance) as cross-module pairs.
+            // Medians over a handful of pairs swing freely, so a
+            // manufacturer only votes once both populations are large
+            // enough for P50 to be stable.
+            if (same.size() >= 16 && different.size() >= 16) {
+                any_data = true;
+                if (stats::quantile(same, 0.50) <
+                    stats::quantile(different, 0.50))
+                    same_tighter = false;
+            }
+        }
+
+        if (ctx.table) {
+            std::printf("\nObsv. 16 check: a subarray's HCfirst "
+                        "distribution is representative of other "
+                        "subarrays of the SAME module, not of other "
+                        "modules.\n");
+        }
+
+        doc.addSeries("same_module_p50", labels, same_p50);
+        doc.addSeries("diff_module_p50", labels, diff_p50);
+        doc.check("obsv16_same_module_similarity",
+                  "Obsv. 16 / Fig. 15",
+                  "the median similarity of same-module subarray "
+                  "pairs is at least that of cross-module pairs",
+                  !any_data || same_tighter,
+                  any_data ? "per-mfr medians in series "
+                             "same_module_p50 / diff_module_p50"
+                           : "too few subarray pairs for stable "
+                             "medians at this scale");
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerFig15Bhattacharyya()
+{
+    exp::Registry::add(std::make_unique<Fig15Bhattacharyya>());
+}
+
+} // namespace rhs::bench

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Regenerates Fig. 5: the distribution of per-row HCfirst change as
+ * temperature rises from 50 degC to 55 and to 90 degC, with the
+ * crossing percentile (fraction of rows whose HCfirst increased) and
+ * the cumulative-magnitude ratio of Obsv. 7.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/temp_analysis.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::bench;
+
+class Fig5HcFirstVsTemp final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "fig5_hcfirst_vs_temp";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Fig. 5: distribution of HCfirst change across rows as "
+               "temperature increases";
+    }
+
+    std::string
+    source() const override
+    {
+        return "Fig. 5 (paper crossings: A P65/P45, D P63/P40; "
+               "magnitude ratio ~4x; Obsvs. 5-7)";
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        if (ctx.table) {
+            printHeader(title(), source());
+            std::printf("%-8s %-10s %-10s %-12s %-28s %-28s\n", "Mfr.",
+                        "P(55C)", "P(90C)", "mag ratio",
+                        "50->55 deciles (%)", "50->90 deciles (%)");
+            printRule();
+        }
+
+        const auto &fleet = ctx.fleet.fleet(ctx.scale);
+        std::vector<std::string> labels;
+        std::vector<double> crossing55, crossing90, mag_ratio;
+        bool crossings_drop = true;
+        bool ratios_exceed_one = true;
+        bool any_data = false;
+        for (const auto &entry : fleet) {
+            const auto result = core::analyzeHcFirstVsTemperature(
+                *entry.tester, 0, entry.rows, entry.wcdp);
+            if (result.changePct55.empty())
+                continue;
+
+            auto deciles = [](const std::vector<double> &xs) {
+                char buffer[64];
+                std::snprintf(buffer, sizeof(buffer),
+                              "%+6.0f %+6.0f %+6.0f",
+                              stats::quantile(xs, 0.9),
+                              stats::quantile(xs, 0.5),
+                              stats::quantile(xs, 0.1));
+                return std::string(buffer);
+            };
+
+            if (ctx.table) {
+                std::printf("%-8s P%-9.0f P%-9.0f %-12.1f %-28s "
+                            "%-28s\n",
+                            entry.dimm->label().c_str(),
+                            100.0 * result.crossing55(),
+                            100.0 * result.crossing90(),
+                            result.magnitudeRatio(),
+                            deciles(result.changePct55).c_str(),
+                            deciles(result.changePct90).c_str());
+            }
+
+            any_data = true;
+            labels.push_back(entry.dimm->label());
+            crossing55.push_back(100.0 * result.crossing55());
+            crossing90.push_back(100.0 * result.crossing90());
+            mag_ratio.push_back(result.magnitudeRatio());
+            if (result.crossing90() >= result.crossing55() &&
+                result.crossing55() > 0.0)
+                crossings_drop = false;
+            if (result.magnitudeRatio() <= 1.0)
+                ratios_exceed_one = false;
+        }
+
+        if (ctx.table) {
+            std::printf("\nObsv. 6 check: P(90C) < P(55C) for every "
+                        "module (fewer rows improve when the delta is "
+                        "larger).\n");
+            std::printf("Obsv. 7 check: magnitude ratio > 1 (larger "
+                        "temperature change => larger HCfirst "
+                        "change).\n");
+        }
+
+        doc.addSeries("crossing55_pct", labels, crossing55);
+        doc.addSeries("crossing90_pct", labels, crossing90);
+        doc.addSeries("magnitude_ratio", labels, mag_ratio);
+        doc.check("obsv6_crossing_drop", "Obsv. 6 / Fig. 5",
+                  "the crossing percentile at 90 degC is below the "
+                  "one at 55 degC for every module",
+                  any_data && crossings_drop,
+                  any_data ? "see series crossing55_pct/crossing90_pct"
+                           : "no vulnerable rows at this scale");
+        doc.check("obsv7_magnitude_ratio", "Obsv. 7 / Fig. 5",
+                  "a larger temperature change causes a larger "
+                  "HCfirst change (ratio > 1)",
+                  any_data && ratios_exceed_one,
+                  any_data ? "see series magnitude_ratio"
+                           : "no vulnerable rows at this scale");
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerFig5HcFirstVsTemp()
+{
+    exp::Registry::add(std::make_unique<Fig5HcFirstVsTemp>());
+}
+
+} // namespace rhs::bench

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Regenerates Fig. 8: the distribution of per-row HCfirst as the
+ * aggressor row on-time grows (letter-value summaries).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/timing_analysis.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::bench;
+
+class Fig8HcFirstVsTaggOn final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "fig8_hcfirst_vs_taggon";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Fig. 8: per-row HCfirst vs aggressor row on-time "
+               "(tAggOn)";
+    }
+
+    std::string
+    source() const override
+    {
+        return "Fig. 8 (paper: HCfirst -40.0 / -28.3 / -32.7 / -37.3 "
+               "% for A/B/C/D at 154.5 ns; Obsv. 8)";
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        if (ctx.table) {
+            printHeader(title(), source());
+            std::printf("%-8s %-9s %-52s\n", "Module", "tAggOn",
+                        "letter values of HCfirst (K hammers)");
+            printRule();
+        }
+
+        const auto &fleet = ctx.fleet.fleet(ctx.scale);
+        std::vector<std::string> labels;
+        std::vector<double> hc_change_pct;
+        bool hcfirst_drops = true;
+        bool any_data = false;
+        for (const auto &entry : fleet) {
+            const auto sweep = core::sweepAggressorOnTime(
+                *entry.tester, 0, entry.rows, entry.wcdp);
+            std::vector<double> medians;
+            for (std::size_t v = 0; v < sweep.values.size(); ++v) {
+                const auto &data = sweep.hcFirstPerRow[v];
+                if (data.empty())
+                    continue;
+                const auto lv = stats::letterValues(data, 3);
+                medians.push_back(lv.median);
+                if (!ctx.table)
+                    continue;
+                std::printf("%-8s %6.1fns  median %7.1fK",
+                            entry.dimm->label().c_str(),
+                            sweep.values[v], lv.median / 1e3);
+                for (const auto &[lo, hi] : lv.boxes)
+                    std::printf("  [%7.1fK, %7.1fK]", lo / 1e3,
+                                hi / 1e3);
+                std::printf("\n");
+            }
+            if (ctx.table) {
+                std::printf("%-8s HCfirst change (154.5 vs 34.5): "
+                            "%+.1f%%   CV change: %+.0f%%\n",
+                            entry.dimm->label().c_str(),
+                            100.0 * sweep.hcFirstChange(),
+                            100.0 * sweep.hcFirstCvChange());
+                printRule();
+            }
+            if (!medians.empty()) {
+                any_data = true;
+                labels.push_back(entry.dimm->label());
+                hc_change_pct.push_back(100.0 *
+                                        sweep.hcFirstChange());
+                doc.addSeries("median_hcfirst_" + entry.dimm->label(),
+                              medians);
+                if (sweep.hcFirstChange() >= 0.0)
+                    hcfirst_drops = false;
+            }
+        }
+
+        if (ctx.table) {
+            std::printf("Takeaway 3: a longer-active aggressor row "
+                        "makes victims flip at smaller hammer "
+                        "counts.\n");
+        }
+
+        doc.addSeries("hcfirst_change_pct", labels, hc_change_pct);
+        doc.check("obsv8_hcfirst_drops", "Obsv. 8 / Fig. 8",
+                  "HCfirst at tAggOn=154.5 ns is below the tRAS "
+                  "baseline for every module",
+                  any_data && hcfirst_drops,
+                  any_data
+                      ? "per-module changes in series hcfirst_change_pct"
+                      : "no vulnerable rows at this scale");
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerFig8HcFirstVsTaggOn()
+{
+    exp::Registry::add(std::make_unique<Fig8HcFirstVsTaggOn>());
+}
+
+} // namespace rhs::bench

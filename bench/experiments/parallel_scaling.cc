@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Parallel characterization engine scaling measurement.
+ *
+ * Runs the three headline workloads — the full campaign, the
+ * temperature sweep (§5 / Table 3) and the Fig. 11 per-row HCfirst
+ * scan — at 1, 2, 4 and 8 worker threads, verifies the results are
+ * byte-identical at every width, and writes the wall-clock numbers
+ * plus speedups (in the shared rhs-report envelope) to the --out path.
+ *
+ * Options:
+ *   --rows N    sample size per workload (default 30; 6 under --smoke)
+ *   --out FILE  JSON output path (default BENCH_parallel.json)
+ *
+ * Determinism is checked, not assumed: each workload's result is
+ * serialized and the serialization at every thread count must equal
+ * the jobs=1 baseline exactly, or the bench aborts.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/campaign.hh"
+#include "core/profile_io.hh"
+#include "core/spatial.hh"
+#include "core/temp_analysis.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "report/writer.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+constexpr unsigned kJobCounts[] = {1, 2, 4, 8};
+
+/** FNV-1a, reported in the JSON so runs can be compared offline. */
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+struct Measurement
+{
+    std::string name;
+    std::vector<double> seconds;  //!< Indexed like kJobCounts.
+    std::uint64_t digest = 0;     //!< FNV-1a of the serialized result.
+    bool deterministic = true;    //!< All widths byte-identical.
+};
+
+std::string
+serializeTempRanges(const core::TempRangeAnalysis &analysis)
+{
+    std::ostringstream out;
+    out << analysis.vulnerableCells << ' ' << analysis.noGapCells << ' '
+        << analysis.oneGapCells << '\n';
+    for (const auto &row : analysis.rangeCount) {
+        for (auto count : row)
+            out << count << ' ';
+        out << '\n';
+    }
+    return out.str();
+}
+
+class ParallelScaling final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "parallel_scaling";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Parallel engine scaling: campaign / temperature / "
+               "row scan";
+    }
+
+    std::string
+    source() const override
+    {
+        return "tentpole measurement; results byte-identical at "
+               "every width";
+    }
+
+    std::vector<exp::OptionSpec>
+    options() const override
+    {
+        return {{"rows", "30", "sample size per workload"},
+                {"out", "BENCH_parallel.json", "JSON output path"}};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        // The campaign workload refuses samples under 10 rows, so the
+        // smoke default stays just above that floor.
+        const auto max_rows = static_cast<unsigned>(ctx.cli.getInt(
+            "rows", ctx.scale.smoke ? 12 : 30));
+        const std::string out_path =
+            ctx.cli.get("out", "BENCH_parallel.json");
+        const bool table = ctx.table;
+
+        if (table)
+            bench::printHeader(title(), source());
+        const unsigned hw = util::ThreadPool::hardwareJobs();
+        if (table)
+            std::printf("hardware threads: %u\n", hw);
+        const unsigned max_jobs = *std::max_element(
+            std::begin(kJobCounts), std::end(kJobCounts));
+        if (hw < max_jobs && table) {
+            std::printf("warning: only %u hardware threads for "
+                        "jobs<=%u — wide-job speedups measure "
+                        "oversubscription and are flagged unreliable "
+                        "in the JSON\n",
+                        hw, max_jobs);
+        }
+        if (table)
+            std::printf("\n");
+
+        // Time `work` (which returns the result serialized to a
+        // string) at every thread width and verify the bytes never
+        // change.
+        auto measure = [&](const std::string &workload_name,
+                           auto &&work) {
+            Measurement m;
+            m.name = workload_name;
+            std::string baseline;
+            for (unsigned jobs : kJobCounts) {
+                util::ThreadPool::configure(jobs);
+                const auto start = std::chrono::steady_clock::now();
+                const std::string serialized = work();
+                const std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - start;
+                m.seconds.push_back(elapsed.count());
+                if (jobs == 1) {
+                    baseline = serialized;
+                    m.digest = fnv1a(serialized);
+                } else if (serialized != baseline) {
+                    m.deterministic = false;
+                }
+                if (table)
+                    std::printf(
+                        "  %-18s jobs=%u  %8.3f s  digest %016llx%s\n",
+                        workload_name.c_str(), jobs, elapsed.count(),
+                        static_cast<unsigned long long>(
+                            fnv1a(serialized)),
+                        serialized == baseline ? "" : "  MISMATCH");
+            }
+            RHS_ASSERT(m.deterministic, "parallel results diverged "
+                                        "from the serial baseline");
+            return m;
+        };
+
+        rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
+        core::Tester tester(dimm);
+
+        const auto all = core::testedRows(dimm.module().geometry(),
+                                          max_rows / 3 + 1);
+        std::vector<unsigned> rows;
+        for (std::size_t i = 0; i < max_rows && i < all.size(); ++i)
+            rows.push_back(all[i * all.size() / max_rows]);
+        rhmodel::Conditions reference;
+        const auto wcdp = tester.findWorstCasePattern(
+            0, {rows.front(), rows[rows.size() / 2], rows.back()},
+            reference);
+
+        std::vector<Measurement> measurements;
+
+        core::CampaignConfig config;
+        config.maxRows = max_rows;
+        config.rowsPerRegion = max_rows / 3 + 1;
+        measurements.push_back(measure("campaign", [&] {
+            const auto report = core::runCampaign(tester, config);
+            std::ostringstream out;
+            out << report.summary();
+            core::saveProfile(out, report.profile);
+            return out.str();
+        }));
+
+        measurements.push_back(measure("temperature_sweep", [&] {
+            return serializeTempRanges(
+                core::analyzeTempRanges(tester, 0, rows, wcdp));
+        }));
+
+        measurements.push_back(measure("fig11_row_scan", [&] {
+            const auto hcs =
+                core::rowHcFirstSurvey(tester, 0, rows, wcdp);
+            std::ostringstream out;
+            for (double hc : hcs)
+                out << hc << '\n';
+            return out.str();
+        }));
+
+        // The measurements reconfigured the global pool; restore the
+        // width the driver selected for the remaining experiments.
+        util::ThreadPool::configure(ctx.scale.jobs);
+
+        // Fill the document: one series per workload plus the shared
+        // metadata the old hand-rolled emitter carried.
+        std::vector<std::string> job_labels;
+        for (unsigned jobs : kJobCounts)
+            job_labels.push_back("jobs=" + std::to_string(jobs));
+        bool all_deterministic = true;
+        auto workloads = report::Json::array();
+        for (const auto &m : measurements) {
+            doc.addSeries("seconds_" + m.name, job_labels, m.seconds);
+            std::vector<double> speedup;
+            for (double s : m.seconds)
+                speedup.push_back(s > 0.0 ? m.seconds.front() / s
+                                          : 0.0);
+            doc.addSeries("speedup_" + m.name, job_labels, speedup);
+            char digest[32];
+            std::snprintf(digest, sizeof digest, "%016llx",
+                          static_cast<unsigned long long>(m.digest));
+            auto entry = report::Json::object();
+            entry.set("name", m.name);
+            entry.set("digest", digest);
+            entry.set("deterministic", m.deterministic);
+            workloads.push(std::move(entry));
+            if (!m.deterministic)
+                all_deterministic = false;
+        }
+        doc.data.set("hardware_threads", hw);
+        auto job_counts = report::Json::array();
+        for (unsigned jobs : kJobCounts)
+            job_counts.push(jobs);
+        doc.data.set("job_counts", std::move(job_counts));
+        // On machines with fewer hardware threads than the widest job
+        // count, the wide-job numbers measure oversubscription, not
+        // scaling: flag them unreliable rather than letting them read
+        // as regressions. Determinism checks are unaffected.
+        doc.data.set("speedups_reliable", hw >= max_jobs);
+        doc.data.set("workloads", std::move(workloads));
+        doc.check("parallel_determinism", "engine contract",
+                  "every workload's result is byte-identical at 1, "
+                  "2, 4 and 8 worker threads",
+                  all_deterministic,
+                  "digests in data.workloads");
+
+        report::JsonWriter().writeFile(out_path, doc.toJson());
+        if (table)
+            std::printf("\nwrote %s; all workloads byte-identical "
+                        "across 1/2/4/8 worker threads\n",
+                        out_path.c_str());
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerParallelScaling()
+{
+    exp::Registry::add(std::make_unique<ParallelScaling>());
+}
+
+} // namespace rhs::bench

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Supporting experiment: attack success vs refresh rate.
+ *
+ * §2.3: RowHammer "happens when a DRAM row is repeatedly activated
+ * enough times before its neighboring rows get refreshed". This bench
+ * drives the double-sided attack under progressively faster
+ * auto-refresh and shows the flip count collapse once the refresh
+ * interval drops below the victim's HCfirst-equivalent time — the
+ * classic (and increasingly expensive, §3) refresh-rate mitigation.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "defense/evaluate.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::bench;
+using namespace rhs::defense;
+
+class RefreshRate final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "refresh_rate";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Attack success vs refresh rate";
+    }
+
+    std::string
+    source() const override
+    {
+        return "context for §2.3/§3 (refresh-based mitigation and "
+               "its worsening cost)";
+    }
+
+    std::vector<exp::OptionSpec>
+    options() const override
+    {
+        return {{"hammers", "300000", "hammers on the victim row"}};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        const auto hammers = static_cast<std::uint64_t>(
+            ctx.cli.getInt("hammers", 300'000));
+
+        if (ctx.table)
+            printHeader(title(), source());
+
+        auto &module = ctx.fleet.module(rhmodel::Mfr::B, 0, 4);
+        auto &dimm = *module.dimm;
+        auto &tester = *module.tester;
+        const rhmodel::DataPattern pattern(
+            rhmodel::PatternId::Checkered);
+
+        AttackConfig config;
+        config.hammers = hammers;
+        config.refreshRestoresAllRows = true;
+        rhmodel::Conditions reference;
+        for (unsigned row = 100; row < 400; ++row) {
+            if (tester.berOfRow(0, row, reference, pattern,
+                                hammers) >= 3) {
+                config.victimPhysicalRow = row;
+                break;
+            }
+        }
+
+        // One activation pair ~102 ns; the nominal 64 ms window holds
+        // ~628K activations. Sweep refresh rates from nominal (1x) to
+        // 64x.
+        const double acts_per_window = 64e6 / 51.0;
+
+        if (ctx.table) {
+            std::printf("Victim row %u, %llu hammers; auto-refresh "
+                        "restores all rows each interval.\n\n",
+                        config.victimPhysicalRow,
+                        static_cast<unsigned long long>(hammers));
+            std::printf("%-14s %-22s %-8s %-16s\n", "refresh rate",
+                        "interval (activations)", "flips",
+                        "refresh passes");
+            printRule();
+        }
+
+        unsigned undefended_flips = 0;
+        {
+            AttackConfig none = config;
+            none.refreshEveryActivations = 0;
+            const auto result =
+                evaluateUndefended(dimm, pattern, none);
+            undefended_flips = result.flips;
+            if (ctx.table)
+                std::printf("%-14s %-22s %-8u %-16s\n", "disabled",
+                            "-", result.flips, "-");
+        }
+
+        std::vector<std::string> labels;
+        std::vector<double> flips;
+        for (unsigned multiplier : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+            AttackConfig swept = config;
+            swept.refreshEveryActivations =
+                static_cast<std::uint64_t>(acts_per_window /
+                                           multiplier);
+            const auto result =
+                evaluateUndefended(dimm, pattern, swept);
+            if (ctx.table)
+                std::printf("%-13ux %-22llu %-8u %-16llu\n",
+                            multiplier,
+                            static_cast<unsigned long long>(
+                                swept.refreshEveryActivations),
+                            result.flips,
+                            static_cast<unsigned long long>(
+                                result.refreshes));
+            labels.push_back(std::to_string(multiplier) + "x");
+            flips.push_back(static_cast<double>(result.flips));
+        }
+
+        if (ctx.table) {
+            std::printf("\nFlips vanish once the refresh interval "
+                        "holds fewer activations than the victim's "
+                        "HCfirst — but chips with ~10K HCfirst would "
+                        "need >60x refresh (§3: prohibitive "
+                        "performance/energy cost).\n");
+        }
+
+        doc.addSeries("flips_vs_refresh_rate", labels, flips);
+        doc.data.set("undefended_flips",
+                     report::Json(undefended_flips));
+        // Faster refresh must never make the attack stronger, and the
+        // fastest sweep point must defeat it entirely.
+        bool monotone_ok = true;
+        for (std::size_t i = 1; i < flips.size(); ++i)
+            if (flips[i] > flips[i - 1])
+                monotone_ok = false;
+        doc.check("refresh_rate_collapse", "Sections 2.3 / 3",
+                  "flip counts never rise with the refresh rate and "
+                  "reach zero at the 64x rate",
+                  monotone_ok && !flips.empty() && flips.back() == 0.0,
+                  "flips in series flips_vs_refresh_rate");
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerRefreshRate()
+{
+    exp::Registry::add(std::make_unique<RefreshRate>());
+}
+
+} // namespace rhs::bench

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Row-evaluation kernel throughput measurement.
+ *
+ * The paper's characterization sweeps are built on millions of HCfirst
+ * searches and BER tests; before the RowEval kernel, every probe of
+ * the step search regenerated and re-scored the identical cell
+ * population. This bench times the kernel-backed engine against a
+ * faithful re-implementation of that probe-per-call reference path
+ * (built on the engine's own single-cell cellHcFirst, which is still
+ * the property-tested reference), verifies the results are
+ * byte-identical, and writes before/after throughput at jobs=1 and
+ * jobs=8 (in the shared rhs-report envelope) to the --out path.
+ *
+ * Options:
+ *   --rows N    victim rows per workload (default 40; 6 under --smoke)
+ *   --trials N  repetitions per row for the HCfirst workload
+ *               (default core::kRepetitions; 2 under --smoke)
+ *   --out FILE  JSON output path (default BENCH_roweval.json)
+ *
+ * Each (path, jobs) measurement runs against a fresh SimulatedDimm
+ * with its cellsOfRow cache pre-warmed, so the timed region isolates
+ * probe arithmetic for both paths and no RowEval survives from one
+ * measurement into the next.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/tester.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "report/writer.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+constexpr unsigned kJobCounts[] = {1, 8};
+
+/** FNV-1a, reported in the JSON so runs can be compared offline. */
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+// --- The pre-kernel reference path -----------------------------------
+// A faithful re-implementation of the engine before the RowEval
+// kernel: every BER probe walks the row's cells and evaluates each
+// cell's closed form from scratch via cellHcFirst.
+
+unsigned
+referenceBerOfRow(const rhmodel::AnalyticEngine &engine, unsigned bank,
+                  unsigned row, const rhmodel::Conditions &conditions,
+                  const rhmodel::DataPattern &pattern,
+                  std::uint64_t hammers, unsigned trial)
+{
+    const auto attack = rhmodel::HammerAttack::doubleSided(bank, row);
+    unsigned flips = 0;
+    for (const auto &cell : engine.cellModel().cellsOfRow(bank, row)) {
+        const double hc = engine.cellHcFirst(cell, row, attack,
+                                             conditions, pattern, trial);
+        if (hc <= static_cast<double>(hammers))
+            ++flips;
+    }
+    return flips;
+}
+
+std::uint64_t
+referenceHcFirstSearch(const rhmodel::AnalyticEngine &engine,
+                       unsigned bank, unsigned row,
+                       const rhmodel::Conditions &conditions,
+                       const rhmodel::DataPattern &pattern, unsigned trial)
+{
+    auto flips_at = [&](std::uint64_t hammers) {
+        return referenceBerOfRow(engine, bank, row, conditions, pattern,
+                                 hammers, trial) > 0;
+    };
+    if (!flips_at(core::kMaxHammers))
+        return core::kNotVulnerable;
+
+    std::uint64_t hammers = core::kHcFirstInitial;
+    std::uint64_t best = core::kMaxHammers;
+    for (std::uint64_t delta = core::kHcFirstInitialDelta;
+         delta >= core::kHcFirstAccuracy; delta /= 2) {
+        if (flips_at(hammers)) {
+            best = std::min(best, hammers);
+            hammers = hammers > delta ? hammers - delta
+                                      : core::kHcFirstAccuracy;
+        } else {
+            hammers = std::min(hammers + delta, core::kMaxHammers);
+        }
+    }
+    if (flips_at(hammers))
+        best = std::min(best, hammers);
+    return best;
+}
+
+// --- Measurement scaffolding -----------------------------------------
+
+struct Workload
+{
+    std::string name;
+    //! Serialized result of one full pass; digests must match between
+    //! the reference and kernel paths and across job counts.
+    std::function<std::string(core::Tester &, unsigned jobs)> reference;
+    std::function<std::string(core::Tester &, unsigned jobs)> kernel;
+};
+
+struct Measurement
+{
+    std::string name;
+    std::vector<double> referenceSeconds; //!< Indexed like kJobCounts.
+    std::vector<double> kernelSeconds;
+    std::uint64_t referenceDigest = 0;
+    std::uint64_t kernelDigest = 0;
+    bool identical = true;
+};
+
+double
+timeOnFreshDimm(
+    const std::function<std::string(core::Tester &, unsigned)> &work,
+    unsigned jobs, const std::vector<unsigned> &rows,
+    std::string &serialized)
+{
+    util::ThreadPool::configure(jobs);
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
+    core::Tester tester(dimm);
+    // Pre-warm the cellsOfRow cache so both paths' timed regions
+    // isolate probe arithmetic from cell generation.
+    for (unsigned row : rows)
+        dimm.cellModel().cellsOfRow(0, row);
+
+    const auto start = std::chrono::steady_clock::now();
+    serialized = work(tester, jobs);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+class RowEvalKernel final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "roweval_kernel";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Row-evaluation kernel: probe throughput before/after";
+    }
+
+    std::string
+    source() const override
+    {
+        return "one kernel pass per (row, conditions, pattern, "
+               "trial) key";
+    }
+
+    std::vector<exp::OptionSpec>
+    options() const override
+    {
+        return {{"rows", "40", "victim rows per workload"},
+                {"trials", "kRepetitions",
+                 "repetitions per row for the HCfirst workload"},
+                {"out", "BENCH_roweval.json", "JSON output path"}};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        const auto max_rows = static_cast<unsigned>(ctx.cli.getInt(
+            "rows", ctx.scale.smoke ? 6 : 40));
+        const auto trials = static_cast<unsigned>(ctx.cli.getInt(
+            "trials", ctx.scale.smoke
+                          ? 2
+                          : static_cast<int>(core::kRepetitions)));
+        const std::string out_path =
+            ctx.cli.get("out", "BENCH_roweval.json");
+        const bool table = ctx.table;
+
+        if (table)
+            bench::printHeader(title(), source());
+        const unsigned hw = util::ThreadPool::hardwareJobs();
+        if (table)
+            std::printf("hardware threads: %u\n\n", hw);
+
+        // Shared sample: rows, conditions and pattern fixed up front
+        // so every measurement evaluates identical keys.
+        rhmodel::SimulatedDimm sample_dimm(rhmodel::Mfr::B, 0);
+        const auto all = core::testedRows(
+            sample_dimm.module().geometry(), max_rows / 3 + 1);
+        std::vector<unsigned> rows;
+        for (std::size_t i = 0; i < max_rows && i < all.size(); ++i)
+            rows.push_back(all[i * all.size() / max_rows]);
+        RHS_ASSERT(!rows.empty(), "no tested rows at this scale");
+        const rhmodel::DataPattern pattern(
+            rhmodel::PatternId::Checkered,
+            sample_dimm.module().info().serial);
+        rhmodel::Conditions conditions;
+        conditions.temperature = 75.0;
+
+        auto measure = [&](const Workload &workload) {
+            Measurement m;
+            m.name = workload.name;
+            std::string baseline;
+            for (unsigned jobs : kJobCounts) {
+                std::string ref_bytes, kernel_bytes;
+                m.referenceSeconds.push_back(timeOnFreshDimm(
+                    workload.reference, jobs, rows, ref_bytes));
+                m.kernelSeconds.push_back(timeOnFreshDimm(
+                    workload.kernel, jobs, rows, kernel_bytes));
+                if (baseline.empty()) {
+                    baseline = ref_bytes;
+                    m.referenceDigest = fnv1a(ref_bytes);
+                    m.kernelDigest = fnv1a(kernel_bytes);
+                }
+                if (ref_bytes != baseline || kernel_bytes != baseline)
+                    m.identical = false;
+                if (table)
+                    std::printf(
+                        "  %-16s jobs=%u  reference %8.3f s  kernel "
+                        "%8.3f s  speedup %5.2fx%s\n",
+                        m.name.c_str(), jobs,
+                        m.referenceSeconds.back(),
+                        m.kernelSeconds.back(),
+                        m.kernelSeconds.back() > 0.0
+                            ? m.referenceSeconds.back() /
+                                  m.kernelSeconds.back()
+                            : 0.0,
+                        ref_bytes == kernel_bytes ? "" : "  MISMATCH");
+            }
+            RHS_ASSERT(m.identical, "kernel results diverged from "
+                                    "the reference path");
+            return m;
+        };
+
+        std::vector<Workload> workloads;
+
+        // 1. The paper's HCfirst step search, rows x trials. The
+        // reference pays ~12 O(cells) probes per search; the kernel
+        // pays one O(cells) pass and replays the probes against the
+        // curve.
+        workloads.push_back(
+            {"hcfirst_search",
+             [&](core::Tester &tester, unsigned) {
+                 const auto &engine = tester.module().analytic();
+                 std::vector<std::uint64_t> hc(rows.size() * trials,
+                                               0);
+                 util::parallelFor(0, hc.size(), [&](std::size_t i) {
+                     hc[i] = referenceHcFirstSearch(
+                         engine, 0, rows[i / trials], conditions,
+                         pattern, static_cast<unsigned>(i % trials));
+                 });
+                 std::ostringstream out;
+                 for (auto value : hc)
+                     out << value << '\n';
+                 return out.str();
+             },
+             [&](core::Tester &tester, unsigned) {
+                 std::vector<std::uint64_t> hc(rows.size() * trials,
+                                               0);
+                 util::parallelFor(0, hc.size(), [&](std::size_t i) {
+                     hc[i] = tester.hcFirstSearch(
+                         0, rows[i / trials], conditions, pattern,
+                         static_cast<unsigned>(i % trials));
+                 });
+                 std::ostringstream out;
+                 for (auto value : hc)
+                     out << value << '\n';
+                 return out.str();
+             }});
+
+        // 2. A BER staircase: each row probed at four hammer counts.
+        // The reference re-scores the row per count; the kernel
+        // evaluates the key once and counts off the curve.
+        const std::vector<std::uint64_t> staircase{
+            50'000, 150'000, 300'000, 512'000};
+        workloads.push_back(
+            {"ber_staircase",
+             [&](core::Tester &tester, unsigned) {
+                 const auto &engine = tester.module().analytic();
+                 std::vector<unsigned> flips(rows.size(), 0);
+                 util::parallelFor(0, rows.size(), [&](std::size_t r) {
+                     unsigned total = 0;
+                     for (auto hammers : staircase)
+                         total += referenceBerOfRow(
+                             engine, 0, rows[r], conditions, pattern,
+                             hammers, 0);
+                     flips[r] = total;
+                 });
+                 std::ostringstream out;
+                 for (auto value : flips)
+                     out << value << '\n';
+                 return out.str();
+             },
+             [&](core::Tester &tester, unsigned) {
+                 std::vector<unsigned> flips(rows.size(), 0);
+                 util::parallelFor(0, rows.size(), [&](std::size_t r) {
+                     unsigned total = 0;
+                     for (auto hammers : staircase)
+                         total += tester.berOfRow(0, rows[r],
+                                                  conditions, pattern,
+                                                  hammers, 0);
+                     flips[r] = total;
+                 });
+                 std::ostringstream out;
+                 for (auto value : flips)
+                     out << value << '\n';
+                 return out.str();
+             }});
+
+        std::vector<Measurement> measurements;
+        measurements.reserve(workloads.size());
+        for (const auto &workload : workloads)
+            measurements.push_back(measure(workload));
+
+        // The measurements reconfigured the global pool; restore the
+        // width the driver selected for the remaining experiments.
+        util::ThreadPool::configure(ctx.scale.jobs);
+
+        const unsigned max_jobs = *std::max_element(
+            std::begin(kJobCounts), std::end(kJobCounts));
+
+        std::vector<std::string> job_labels;
+        for (unsigned jobs : kJobCounts)
+            job_labels.push_back("jobs=" + std::to_string(jobs));
+        bool all_identical = true;
+        auto workloads_json = report::Json::array();
+        for (const auto &m : measurements) {
+            doc.addSeries("reference_seconds_" + m.name, job_labels,
+                          m.referenceSeconds);
+            doc.addSeries("kernel_seconds_" + m.name, job_labels,
+                          m.kernelSeconds);
+            std::vector<double> speedup;
+            for (std::size_t j = 0; j < m.referenceSeconds.size();
+                 ++j)
+                speedup.push_back(m.kernelSeconds[j] > 0.0
+                                      ? m.referenceSeconds[j] /
+                                            m.kernelSeconds[j]
+                                      : 0.0);
+            doc.addSeries("speedup_" + m.name, job_labels, speedup);
+            char digest[32];
+            auto entry = report::Json::object();
+            entry.set("name", m.name);
+            std::snprintf(digest, sizeof digest, "%016llx",
+                          static_cast<unsigned long long>(
+                              m.referenceDigest));
+            entry.set("reference_digest", digest);
+            std::snprintf(digest, sizeof digest, "%016llx",
+                          static_cast<unsigned long long>(
+                              m.kernelDigest));
+            entry.set("kernel_digest", digest);
+            entry.set("identical", m.identical);
+            workloads_json.push(std::move(entry));
+            if (!m.identical)
+                all_identical = false;
+        }
+        doc.data.set("hardware_threads", hw);
+        auto job_counts = report::Json::array();
+        for (unsigned jobs : kJobCounts)
+            job_counts.push(jobs);
+        doc.data.set("job_counts", std::move(job_counts));
+        // Multi-thread numbers are only meaningful when the hardware
+        // can actually run that many threads; single-thread speedups
+        // are always valid.
+        doc.data.set("multithread_numbers_reliable", hw >= max_jobs);
+        doc.data.set("workloads", std::move(workloads_json));
+        doc.check("roweval_equivalence", "engine contract",
+                  "the RowEval kernel reproduces the probe-per-call "
+                  "reference byte for byte at every thread width",
+                  all_identical, "digests in data.workloads");
+
+        report::JsonWriter().writeFile(out_path, doc.toJson());
+        if (table)
+            std::printf("\nwrote %s; kernel results byte-identical "
+                        "to the probe-per-call reference at every "
+                        "width\n",
+                        out_path.c_str());
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerRowEvalKernel()
+{
+    exp::Registry::add(std::make_unique<RowEvalKernel>());
+}
+
+} // namespace rhs::bench

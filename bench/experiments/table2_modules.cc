@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Regenerates Tables 2 and 4: the tested DRAM module inventory.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::bench;
+
+class Table2Modules final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "table2_modules";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Table 2/4: Characteristics of the tested DRAM modules";
+    }
+
+    std::string
+    source() const override
+    {
+        return "Table 2 and Table 4 (Appendix A)";
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        if (ctx.table) {
+            printHeader(title(), source());
+            std::printf("%-5s %-5s %-26s %-10s %-22s %-6s %-10s %-5s "
+                        "%-4s %-5s %-7s %-7s\n",
+                        "Mfr.", "Type", "Chip Identifier", "Vendor",
+                        "Module Identifier", "MT/s", "Date", "Dens",
+                        "Die", "Org", "#Mods", "#Chips");
+            printRule();
+        }
+
+        unsigned ddr4_chips = 0, ddr3_chips = 0;
+        for (const auto &entry : rhmodel::paperInventory()) {
+            const unsigned chips = entry.modules * entry.chipsPerModule;
+            if (entry.standard == dram::Standard::DDR4)
+                ddr4_chips += chips;
+            else
+                ddr3_chips += chips;
+            if (ctx.table) {
+                std::printf("%-5s %-5s %-26s %-10s %-22s %-6u %-10s "
+                            "%-5s %-4s %-5s %-7u %-7u\n",
+                            rhmodel::to_string(entry.mfr).c_str(),
+                            dram::to_string(entry.standard).c_str(),
+                            entry.chipIdentifier.c_str(),
+                            entry.moduleVendor.c_str(),
+                            entry.moduleIdentifier.c_str(),
+                            entry.frequencyMTs, entry.dateCode.c_str(),
+                            entry.density.c_str(),
+                            entry.dieRevision.c_str(),
+                            entry.organization.c_str(), entry.modules,
+                            chips);
+            }
+        }
+        if (ctx.table) {
+            printRule();
+            std::printf("Totals: %u DDR4 chips, %u DDR3 chips "
+                        "(paper: 248 DDR4 + 24 DDR3)\n",
+                        ddr4_chips, ddr3_chips);
+            std::printf("\nSimulated counterparts instantiated per "
+                        "profile:\n");
+        }
+
+        std::vector<std::string> mfr_labels;
+        std::vector<double> chip_counts;
+        for (auto mfr : rhmodel::allMfrs) {
+            rhmodel::SimulatedDimm dimm(mfr, 0);
+            const auto &p = dimm.profile();
+            if (ctx.table) {
+                std::printf("  %s  chips=%u  mapping=%s  (derived: "
+                            "wCouple=%.3f kOn=%.3f cellSigma=%.3f)\n",
+                            dimm.label().c_str(),
+                            dimm.module().chipCount(),
+                            dimm.module().rowMapping().name().c_str(),
+                            p.wCouple, p.kOn, p.cellSigma);
+            }
+            mfr_labels.push_back(rhmodel::to_string(mfr));
+            chip_counts.push_back(dimm.module().chipCount());
+        }
+
+        doc.addSeries("chips_per_simulated_module", mfr_labels,
+                      chip_counts);
+        doc.addSeries("inventory_chip_totals", {"ddr4", "ddr3"},
+                      {static_cast<double>(ddr4_chips),
+                       static_cast<double>(ddr3_chips)});
+        doc.check("inventory_totals", "Table 2 / Table 4",
+                  "the inventory sums to the paper's 248 DDR4 and 24 "
+                  "DDR3 chips",
+                  ddr4_chips == 248 && ddr3_chips == 24,
+                  std::to_string(ddr4_chips) + " DDR4 + " +
+                      std::to_string(ddr3_chips) + " DDR3 chips");
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerTable2Modules()
+{
+    exp::Registry::add(std::make_unique<Table2Modules>());
+}
+
+} // namespace rhs::bench

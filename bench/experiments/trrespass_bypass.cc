@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Supporting experiment for §2.3/§3: in-DRAM TRR (the mitigation the
+ * paper's methodology disables) is defeated by many-sided patterns
+ * that overflow its tracker — the reason "RowHammer-free" DDR4 chips
+ * still flip (TRRespass). Also shows the DDR5 RFM + guaranteed-queue
+ * route the paper points to for future defenses.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "defense/evaluate.hh"
+#include "defense/rfm.hh"
+#include "defense/trr.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+
+namespace
+{
+
+using namespace rhs;
+using namespace rhs::bench;
+using namespace rhs::defense;
+
+class TrrespassBypass final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "trrespass_bypass";
+    }
+
+    std::string
+    title() const override
+    {
+        return "TRRespass: many-sided attacks vs in-DRAM TRR";
+    }
+
+    std::string
+    source() const override
+    {
+        return "context for §2.3 (TRR 'without success, as shown by "
+               "[27,39]') and §3 (9.6K-25K HCfirst on TRR chips)";
+    }
+
+    std::vector<exp::OptionSpec>
+    options() const override
+    {
+        return {{"hammers", "80000", "hammer rounds per attack"}};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        const auto hammers = static_cast<std::uint64_t>(
+            ctx.cli.getInt("hammers", 80'000));
+
+        if (ctx.table)
+            printHeader(title(), source());
+
+        auto &module = ctx.fleet.module(rhmodel::Mfr::B, 0, 4);
+        auto &dimm = *module.dimm;
+        const rhmodel::DataPattern pattern(
+            rhmodel::PatternId::Checkered);
+
+        if (ctx.table)
+            std::printf("Attack: synchronized many-sided hammering, "
+                        "%llu rounds, Mfr. B module\n\n",
+                        static_cast<unsigned long long>(hammers));
+
+        // Pick, per attack width, a position whose *unprotected*
+        // victims (not adjacent to the two most recent aggressors,
+        // which even a 2-entry tracker always protects) include a
+        // weak row.
+        const rhmodel::DataPattern scan_pattern(
+            rhmodel::PatternId::Checkered);
+        auto weak_position = [&](unsigned sides) {
+            rhmodel::Conditions conditions;
+            for (unsigned base = 100; base < 4000;
+                 base += 2 * sides) {
+                const auto attack =
+                    rhmodel::HammerAttack::manySided(0, base, sides);
+                const auto victims = attack.sandwichedVictims();
+                // For wide attacks, skip the victims a 2-entry
+                // tracker always protects (those next to the last
+                // two aggressors).
+                const std::size_t scanned =
+                    victims.size() > 2 ? victims.size() - 2
+                                       : victims.size();
+                for (std::size_t v = 0; v < scanned; ++v) {
+                    const double hc = dimm.analytic().rowHcFirst(
+                        victims[v], attack, conditions, scan_pattern,
+                        0);
+                    if (hc < 0.75 * static_cast<double>(hammers))
+                        return base;
+                }
+            }
+            return 100u;
+        };
+        if (ctx.table) {
+            std::printf("%-8s %-22s %-8s %-11s\n", "sides",
+                        "mitigation", "flips", "refreshes");
+            printRule();
+        }
+
+        std::vector<std::string> labels;
+        std::vector<double> undefended_flips, small_trr_flips,
+            rfm_flips;
+        bool rfm_holds = true;
+        for (unsigned sides : {2u, 4u, 8u}) {
+            AttackConfig config;
+            config.attack = rhmodel::HammerAttack::manySided(
+                0, weak_position(sides), sides);
+            config.hammers = hammers;
+            // REF period synchronized with the attack round
+            // (SMASH-style).
+            config.refreshEveryActivations = sides * 19;
+
+            const auto none =
+                evaluateUndefended(dimm, pattern, config);
+            if (ctx.table)
+                std::printf("%-8u %-22s %-8u %-11s\n", sides, "none",
+                            none.flips, "-");
+
+            unsigned tracker2_flips = 0;
+            for (unsigned capacity : {2u, 8u}) {
+                InDramTrr trr(capacity);
+                const auto result =
+                    evaluateDefense(dimm, trr, pattern, config);
+                char label[32];
+                std::snprintf(label, sizeof(label),
+                              "TRR (tracker=%u)", capacity);
+                if (ctx.table)
+                    std::printf("%-8u %-22s %-8u %-11llu\n", sides,
+                                label, result.flips,
+                                static_cast<unsigned long long>(
+                                    result.refreshes));
+                if (capacity == 2)
+                    tracker2_flips = result.flips;
+            }
+
+            Rfm rfm(16, 16);
+            AttackConfig rfm_config = config;
+            rfm_config.refreshEveryActivations = 0;
+            const auto rfm_result =
+                evaluateDefense(dimm, rfm, pattern, rfm_config);
+            if (ctx.table) {
+                std::printf("%-8u %-22s %-8u %-11llu\n", sides,
+                            "RFM+SilverBullet", rfm_result.flips,
+                            static_cast<unsigned long long>(
+                                rfm_result.refreshes));
+                printRule();
+            }
+
+            labels.push_back(std::to_string(sides) + "-sided");
+            undefended_flips.push_back(
+                static_cast<double>(none.flips));
+            small_trr_flips.push_back(
+                static_cast<double>(tracker2_flips));
+            rfm_flips.push_back(
+                static_cast<double>(rfm_result.flips));
+            if (rfm_result.flips > 0)
+                rfm_holds = false;
+        }
+
+        if (ctx.table) {
+            std::printf("Takeaway: a sampling tracker smaller than "
+                        "the attack's aggressor set leaks flips under "
+                        "synchronized patterns; RFM's "
+                        "guaranteed-capacity queue does not.\n");
+        }
+
+        doc.addSeries("undefended_flips", labels, undefended_flips);
+        doc.addSeries("trr2_flips", labels, small_trr_flips);
+        doc.addSeries("rfm_flips", labels, rfm_flips);
+        doc.check("trrespass_rfm_holds", "Sections 2.3 / 3",
+                  "the RFM guaranteed-capacity queue admits zero "
+                  "flips where a 2-entry TRR tracker leaks",
+                  rfm_holds, "flips in series rfm_flips");
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerTrrespassBypass()
+{
+    exp::Registry::add(std::make_unique<TrrespassBypass>());
+}
+
+} // namespace rhs::bench

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * `rhs-bench`: the single driver binary behind every figure/table
+ * reproduction.
+ *
+ *   rhs-bench --list [--filter SUBSTR]       enumerate experiments
+ *   rhs-bench NAME [options]                 run one experiment
+ *   rhs-bench --all [options]                run every experiment
+ *   rhs-bench --filter SUBSTR [options]      run the matching subset
+ *
+ * Shared options:
+ *   --format table|json|both   output form (default table)
+ *   --out-dir DIR              where JSON documents go (default .)
+ *   --check                    re-parse and validate every emitted
+ *                              document; fail on malformed documents
+ *                              or failed paper-expectation checks
+ *   --smoke                    reduced-scale CI run
+ *   --rows N / --modules N / --full / --jobs N / --seed N
+ *                              scale options (see exp/scale.hh)
+ *
+ * Experiment-specific options (see --list) are accepted as well; with
+ * --all the union of every experiment's options is accepted.
+ *
+ * All driver status goes to stderr; stdout carries only the classic
+ * experiment tables, byte-identical to the retired standalone
+ * binaries at the same scale/seed/jobs.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "exp/fleet_cache.hh"
+#include "exp/registry.hh"
+#include "exp/scale.hh"
+#include "experiments/all.hh"
+#include "report/document.hh"
+#include "report/writer.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+#ifndef RHS_GIT_DESCRIBE
+#define RHS_GIT_DESCRIBE "unknown"
+#endif
+
+/** Options the driver itself understands. */
+const std::vector<std::string> kDriverOptions = {
+    "list", "filter", "all",  "smoke", "out-dir",
+    "format", "check", "help",
+};
+
+/** Shared scale options every experiment accepts. */
+const std::vector<std::string> kScaleOptions = {
+    "rows", "modules", "full", "jobs", "seed",
+};
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: rhs-bench --list [--filter SUBSTR]\n"
+        "       rhs-bench NAME [options]\n"
+        "       rhs-bench --all [options]\n"
+        "       rhs-bench --filter SUBSTR [options]\n"
+        "\n"
+        "options: --format table|json|both  --out-dir DIR  --check\n"
+        "         --smoke  --rows N  --modules N  --full  --jobs N\n"
+        "         --seed N  plus per-experiment options (--list)\n");
+}
+
+void
+printList(const std::vector<exp::Experiment *> &selected)
+{
+    for (const auto *experiment : selected) {
+        std::printf("%-24s %s\n", experiment->name().c_str(),
+                    experiment->title().c_str());
+        for (const auto &option : experiment->options())
+            std::printf("%-24s   --%s (default %s): %s\n", "",
+                        option.name.c_str(), option.fallback.c_str(),
+                        option.help.c_str());
+    }
+}
+
+/** Validate one emitted document file; returns false with a message. */
+bool
+checkDocument(const std::string &path, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        error = "cannot read " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    report::Json parsed;
+    std::string parse_error;
+    if (!report::Json::parse(buffer.str(), parsed, parse_error)) {
+        error = path + ": malformed JSON: " + parse_error;
+        return false;
+    }
+    std::string schema_error;
+    if (!report::Document::validate(parsed, schema_error)) {
+        error = path + ": schema violation: " + schema_error;
+        return false;
+    }
+    for (std::size_t i = 0; i < parsed.at("checks").size(); ++i) {
+        const auto &check = parsed.at("checks").at(i);
+        if (!check.at("pass").asBool()) {
+            error = path + ": check failed: " +
+                    check.at("id").asString() + " (" +
+                    check.at("description").asString() + ")";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerAllExperiments();
+
+    // Split off a leading experiment-name positional; everything else
+    // must be --options.
+    std::vector<std::string> args;
+    std::string subcommand;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (i == 1 && !arg.empty() && arg[0] != '-') {
+            subcommand = arg;
+            continue;
+        }
+        args.push_back(arg);
+    }
+
+    // Selection: an explicit name, --all, or --filter.
+    std::vector<exp::Experiment *> selected;
+    {
+        // Pre-scan for the selection options only; full option
+        // validation happens below once the selection (and therefore
+        // the set of legal options) is known.
+        std::string filter;
+        bool all = false, list = false, help = false;
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            if (args[i] == "--all")
+                all = true;
+            else if (args[i] == "--list")
+                list = true;
+            else if (args[i] == "--help")
+                help = true;
+            else if (args[i] == "--filter" && i + 1 < args.size())
+                filter = args[i + 1];
+            else if (args[i].rfind("--filter=", 0) == 0)
+                filter = args[i].substr(9);
+        }
+        if (help) {
+            printUsage(stdout);
+            return 0;
+        }
+        if (!subcommand.empty()) {
+            auto *experiment = exp::Registry::find(subcommand);
+            if (experiment == nullptr) {
+                std::fprintf(stderr,
+                             "rhs-bench: unknown experiment '%s' "
+                             "(try --list)\n",
+                             subcommand.c_str());
+                return 1;
+            }
+            selected.push_back(experiment);
+        } else if (all || list || !filter.empty()) {
+            selected = exp::Registry::filter(filter);
+            if (selected.empty()) {
+                std::fprintf(stderr,
+                             "rhs-bench: no experiment matches "
+                             "--filter '%s'\n",
+                             filter.c_str());
+                return 1;
+            }
+        } else {
+            printUsage(stderr);
+            return 1;
+        }
+        if (list) {
+            printList(selected);
+            return 0;
+        }
+    }
+
+    // Parse options against the union of driver, scale, and selected
+    // experiments' options — typos stay fatal.
+    std::set<std::string> known(kDriverOptions.begin(),
+                                kDriverOptions.end());
+    known.insert(kScaleOptions.begin(), kScaleOptions.end());
+    for (const auto *experiment : selected)
+        for (const auto &option : experiment->options())
+            known.insert(option.name);
+    const util::Cli cli(
+        args, std::vector<std::string>(known.begin(), known.end()));
+
+    const std::string format = cli.get("format", "table");
+    if (format != "table" && format != "json" && format != "both") {
+        std::fprintf(stderr,
+                     "rhs-bench: --format must be table, json, or "
+                     "both (got '%s')\n",
+                     format.c_str());
+        return 1;
+    }
+    const bool want_table = format == "table" || format == "both";
+    const bool want_json = format == "json" || format == "both";
+    const bool check = cli.has("check");
+    const std::string out_dir = cli.get("out-dir", ".");
+    if (want_json || check)
+        std::filesystem::create_directories(out_dir);
+
+    exp::FleetCache fleet_cache;
+    std::vector<std::string> failures;
+    unsigned index = 0;
+    for (auto *experiment : selected) {
+        ++index;
+        const auto scale =
+            exp::resolveScale(cli, experiment->scaleDefaults());
+        util::ThreadPool::configure(scale.jobs);
+        std::fprintf(stderr, "[%2u/%zu] %s (rows=%u modules=%u%s)\n",
+                     index, selected.size(),
+                     experiment->name().c_str(), scale.maxRows,
+                     scale.modulesPerMfr, scale.smoke ? " smoke" : "");
+
+        exp::RunContext ctx{scale, fleet_cache, cli, want_table};
+        const auto start = std::chrono::steady_clock::now();
+        auto doc = experiment->run(ctx);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+
+        // Provenance.
+        doc.git = RHS_GIT_DESCRIBE;
+        doc.modulesPerMfr = scale.modulesPerMfr;
+        doc.maxRows = scale.maxRows;
+        doc.rowsPerRegion = scale.rowsPerRegion;
+        doc.jobs = scale.jobs;
+        doc.seed = scale.seed;
+        doc.smoke = scale.smoke;
+        doc.wallSeconds = elapsed.count();
+
+        if (want_json || check) {
+            const auto path = std::filesystem::path(out_dir) /
+                              (experiment->name() + ".json");
+            report::JsonWriter().writeFile(path.string(),
+                                           doc.toJson());
+            if (check) {
+                std::string error;
+                if (!checkDocument(path.string(), error))
+                    failures.push_back(error);
+            }
+            std::fprintf(stderr, "        %.1fs  %zu checks  %s\n",
+                         elapsed.count(), doc.checks.size(),
+                         path.string().c_str());
+        } else {
+            std::fprintf(stderr, "        %.1fs  %zu checks  %s\n",
+                         elapsed.count(), doc.checks.size(),
+                         doc.allChecksPass() ? "pass" : "FAIL");
+        }
+        if (!doc.allChecksPass() && !check)
+            failures.push_back(experiment->name() +
+                               ": a paper-expectation check failed");
+    }
+
+    std::fprintf(stderr,
+                 "ran %zu experiment(s); fleet cache: %u module(s) "
+                 "built, %u fleet hit(s), %u/%u WCDP cache hit(s)\n",
+                 selected.size(), fleet_cache.modulesBuilt(),
+                 fleet_cache.fleetHits(), fleet_cache.wcdpHits(),
+                 fleet_cache.wcdpSearches());
+    if (!failures.empty()) {
+        for (const auto &failure : failures)
+            std::fprintf(stderr, "rhs-bench: %s\n", failure.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Experiment interface: one registered figure/table reproduction.
+ *
+ * An experiment declares its identity (registry name, the header title
+ * and paper-source line its table output prints), its CLI options, and
+ * its scale defaults; `run` executes it against the shared FleetCache
+ * and returns a report::Document carrying named data series and the
+ * paper-expectation checks.
+ *
+ * Contract for `run`:
+ *  - print the classic human-readable table to stdout only when
+ *    `ctx.table` is set, byte-identical to the pre-registry standalone
+ *    binary at the same scale/seed/jobs (header included);
+ *  - fill the document's series/data/checks regardless of format;
+ *  - read experiment-specific options from `ctx.cli` with the same
+ *    defaults the standalone binary used.
+ */
+
+#ifndef RHS_EXP_EXPERIMENT_HH
+#define RHS_EXP_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/fleet_cache.hh"
+#include "exp/scale.hh"
+#include "report/document.hh"
+#include "util/cli.hh"
+
+namespace rhs::exp
+{
+
+/** One experiment-specific CLI option (for --list and parsing). */
+struct OptionSpec
+{
+    std::string name;     //!< Without the leading "--".
+    std::string fallback; //!< Default, as printed by --list.
+    std::string help;
+};
+
+/** Everything an experiment needs to run. */
+struct RunContext
+{
+    Scale scale;
+    FleetCache &fleet;
+    const util::Cli &cli;
+    bool table = false; //!< Print the classic stdout table.
+};
+
+/** Base class of every registered experiment. */
+class Experiment
+{
+  public:
+    virtual ~Experiment() = default;
+
+    /** Registry id, e.g. "fig4_ber_vs_temp". */
+    virtual std::string name() const = 0;
+
+    /** Header title (first printHeader argument). */
+    virtual std::string title() const = 0;
+
+    /** Paper source line (second printHeader argument). */
+    virtual std::string source() const = 0;
+
+    /** Experiment-specific options beyond the shared scale options. */
+    virtual std::vector<OptionSpec> options() const { return {}; }
+
+    /** Scale defaults (the pre-registry parseScale arguments). */
+    virtual ScaleDefaults scaleDefaults() const { return {}; }
+
+    /** Execute and return the structured result. */
+    virtual report::Document run(RunContext &ctx) = 0;
+
+  protected:
+    /** A document pre-filled with this experiment's identity. */
+    report::Document
+    makeDocument() const
+    {
+        report::Document doc;
+        doc.experiment = name();
+        doc.title = title();
+        doc.source = source();
+        return doc;
+    }
+};
+
+} // namespace rhs::exp
+
+#endif // RHS_EXP_EXPERIMENT_HH

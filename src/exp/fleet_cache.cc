@@ -1,0 +1,98 @@
+#include "exp/fleet_cache.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rhs::exp
+{
+
+Module &
+FleetCache::module(rhmodel::Mfr mfr, unsigned index,
+                   unsigned subarrays_per_bank)
+{
+    const ModuleKey key{static_cast<unsigned>(mfr), index,
+                        subarrays_per_bank};
+    auto it = modules.find(key);
+    if (it == modules.end()) {
+        Module entry;
+        if (subarrays_per_bank == 0) {
+            entry.dimm =
+                std::make_unique<rhmodel::SimulatedDimm>(mfr, index);
+        } else {
+            rhmodel::DimmOptions options;
+            options.subarraysPerBank = subarrays_per_bank;
+            entry.dimm = std::make_unique<rhmodel::SimulatedDimm>(
+                mfr, index, options);
+        }
+        entry.tester = std::make_unique<core::Tester>(*entry.dimm);
+        ++modules_built;
+        it = modules.emplace(key, std::move(entry)).first;
+    }
+    return it->second;
+}
+
+const std::vector<FleetEntry> &
+FleetCache::fleet(const Scale &scale)
+{
+    const FleetKey key{scale.modulesPerMfr, scale.maxRows,
+                       scale.rowsPerRegion, scale.seed};
+    auto it = fleets.find(key);
+    if (it != fleets.end()) {
+        ++fleet_hits;
+        return it->second;
+    }
+
+    std::vector<FleetEntry> fleet;
+    for (auto mfr : rhmodel::allMfrs) {
+        for (unsigned i = 0; i < scale.modulesPerMfr; ++i) {
+            Module &cached = module(mfr, scale.seed + i);
+            FleetEntry entry;
+            entry.dimm = cached.dimm.get();
+            entry.tester = cached.tester.get();
+
+            const auto all = core::testedRows(
+                entry.dimm->module().geometry(), scale.rowsPerRegion);
+            const std::size_t take =
+                std::min<std::size_t>(scale.maxRows, all.size());
+            RHS_ASSERT(take > 0, "no tested rows at this scale");
+            entry.rows.reserve(take);
+            for (std::size_t r = 0; r < take; ++r)
+                entry.rows.push_back(all[r * all.size() / take]);
+
+            // Determine the module's WCDP on a small sample (§4.2).
+            const std::vector<unsigned> sample{
+                entry.rows[0], entry.rows[entry.rows.size() / 2],
+                entry.rows.back()};
+            entry.wcdp = wcdp(cached, 0, sample);
+            fleet.push_back(std::move(entry));
+        }
+    }
+    ++fleets_built;
+    return fleets.emplace(key, std::move(fleet)).first->second;
+}
+
+const rhmodel::DataPattern &
+FleetCache::wcdp(Module &module, unsigned bank,
+                 const std::vector<unsigned> &sample_rows)
+{
+    std::ostringstream sample_key;
+    sample_key << bank;
+    for (unsigned row : sample_rows)
+        sample_key << ',' << row;
+    const WcdpKey key{&module, sample_key.str()};
+    ++wcdp_searches;
+    auto it = wcdps.find(key);
+    if (it != wcdps.end()) {
+        ++wcdp_hits;
+        return it->second;
+    }
+    rhmodel::Conditions reference;
+    const auto pattern =
+        module.tester->findWorstCasePattern(bank, sample_rows,
+                                            reference);
+    return wcdps.emplace(key, pattern).first->second;
+}
+
+} // namespace rhs::exp

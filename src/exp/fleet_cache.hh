@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared module/fleet construction for the experiment driver.
+ *
+ * Before this layer, every bench binary rebuilt its SimulatedDimms,
+ * Testers, tested-row samples, and worst-case data patterns (WCDP,
+ * §4.2) from scratch. One `rhs-bench` invocation runs many experiments
+ * in one process, so the cache builds each of those once and hands the
+ * same instances to every experiment that requests the same scale.
+ *
+ * Sharing is sound because the analytic engine's caches are
+ * value-preserving: a warm cache returns byte-identical numbers (see
+ * docs/MODEL.md, "Determinism under parallel execution"), so an
+ * experiment cannot observe whether another ran before it.
+ */
+
+#ifndef RHS_EXP_FLEET_CACHE_HH
+#define RHS_EXP_FLEET_CACHE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/tester.hh"
+#include "exp/scale.hh"
+#include "rhmodel/dimm.hh"
+
+namespace rhs::exp
+{
+
+/** One cached module under test. */
+struct Module
+{
+    std::unique_ptr<rhmodel::SimulatedDimm> dimm;
+    std::unique_ptr<core::Tester> tester;
+};
+
+/** One fleet entry: a cached module plus its sample and WCDP. */
+struct FleetEntry
+{
+    rhmodel::SimulatedDimm *dimm = nullptr;
+    core::Tester *tester = nullptr;
+    rhmodel::DataPattern wcdp{rhmodel::PatternId::Checkered};
+    std::vector<unsigned> rows; //!< Tested victim rows.
+};
+
+/** Builds and shares modules, fleets, and WCDPs across experiments. */
+class FleetCache
+{
+  public:
+    /**
+     * The module for (mfr, index), building it on first use.
+     *
+     * @param subarrays_per_bank 0 = the model default; nonzero selects
+     *        a custom geometry (cached separately).
+     */
+    Module &module(rhmodel::Mfr mfr, unsigned index,
+                   unsigned subarrays_per_bank = 0);
+
+    /**
+     * The standard fleet at a scale: `modulesPerMfr` modules per
+     * manufacturer (module indices seed..seed+n-1), each with its
+     * tested-row sample and its WCDP determined on a three-row sample
+     * per §4.2. Cached per (modulesPerMfr, maxRows, rowsPerRegion,
+     * seed).
+     */
+    const std::vector<FleetEntry> &fleet(const Scale &scale);
+
+    /**
+     * The worst-case data pattern of a module on an explicit sample,
+     * cached per (module, bank, sample).
+     */
+    const rhmodel::DataPattern &
+    wcdp(Module &module, unsigned bank,
+         const std::vector<unsigned> &sample_rows);
+
+    // --- Statistics (driver status output and tests) ----------------
+    unsigned modulesBuilt() const { return modules_built; }
+    unsigned fleetsBuilt() const { return fleets_built; }
+    unsigned fleetHits() const { return fleet_hits; }
+    unsigned wcdpSearches() const { return wcdp_searches; }
+    unsigned wcdpHits() const { return wcdp_hits; }
+
+  private:
+    using ModuleKey = std::tuple<unsigned, unsigned, unsigned>;
+    using FleetKey = std::tuple<unsigned, unsigned, unsigned, unsigned>;
+    using WcdpKey = std::pair<const Module *, std::string>;
+
+    std::map<ModuleKey, Module> modules;
+    std::map<FleetKey, std::vector<FleetEntry>> fleets;
+    std::map<WcdpKey, rhmodel::DataPattern> wcdps;
+
+    unsigned modules_built = 0;
+    unsigned fleets_built = 0;
+    unsigned fleet_hits = 0;
+    unsigned wcdp_searches = 0;
+    unsigned wcdp_hits = 0;
+};
+
+} // namespace rhs::exp
+
+#endif // RHS_EXP_FLEET_CACHE_HH

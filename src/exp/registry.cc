@@ -1,0 +1,62 @@
+#include "exp/registry.hh"
+
+#include "util/logging.hh"
+
+namespace rhs::exp
+{
+
+namespace
+{
+
+std::vector<std::unique_ptr<Experiment>> &
+experiments()
+{
+    static std::vector<std::unique_ptr<Experiment>> registry;
+    return registry;
+}
+
+} // namespace
+
+void
+Registry::add(std::unique_ptr<Experiment> experiment)
+{
+    RHS_ASSERT(experiment, "null experiment registration");
+    const std::string name = experiment->name();
+    RHS_ASSERT(!name.empty(), "experiment with an empty name");
+    if (find(name))
+        RHS_FATAL("duplicate experiment registration: ", name);
+    experiments().push_back(std::move(experiment));
+}
+
+const std::vector<std::unique_ptr<Experiment>> &
+Registry::all()
+{
+    return experiments();
+}
+
+Experiment *
+Registry::find(const std::string &name)
+{
+    for (const auto &experiment : experiments())
+        if (experiment->name() == name)
+            return experiment.get();
+    return nullptr;
+}
+
+std::vector<Experiment *>
+Registry::filter(const std::string &substring)
+{
+    std::vector<Experiment *> matches;
+    for (const auto &experiment : experiments())
+        if (experiment->name().find(substring) != std::string::npos)
+            matches.push_back(experiment.get());
+    return matches;
+}
+
+void
+Registry::clearForTest()
+{
+    experiments().clear();
+}
+
+} // namespace rhs::exp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The static experiment registry behind `rhs-bench`.
+ *
+ * Experiments register explicitly (bench/experiments/all.cc calls one
+ * registration function per experiment), not via static initializers:
+ * explicit registration survives static-library linking, and the
+ * registration order is the stable `--list` / `--all` execution order.
+ */
+
+#ifndef RHS_EXP_REGISTRY_HH
+#define RHS_EXP_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+
+namespace rhs::exp
+{
+
+/** Process-wide experiment registry. */
+class Registry
+{
+  public:
+    /** Register an experiment; fatal on duplicate names. */
+    static void add(std::unique_ptr<Experiment> experiment);
+
+    /** All experiments, in registration order. */
+    static const std::vector<std::unique_ptr<Experiment>> &all();
+
+    /** Exact-name lookup; nullptr when absent. */
+    static Experiment *find(const std::string &name);
+
+    /**
+     * Experiments whose name contains `substring` (empty matches
+     * all), in registration order.
+     */
+    static std::vector<Experiment *>
+    filter(const std::string &substring);
+
+    /** Drop all registrations (tests only). */
+    static void clearForTest();
+};
+
+} // namespace rhs::exp
+
+#endif // RHS_EXP_REGISTRY_HH

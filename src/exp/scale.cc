@@ -1,0 +1,37 @@
+#include "exp/scale.hh"
+
+#include <algorithm>
+
+namespace rhs::exp
+{
+
+Scale
+resolveScale(const util::Cli &cli, const ScaleDefaults &defaults)
+{
+    Scale scale;
+    scale.maxRows = defaults.defaultRows;
+    if (cli.has("full")) {
+        scale.maxRows = defaults.fullRows;
+        scale.modulesPerMfr = defaults.fullModules;
+    }
+    if (cli.has("modules"))
+        scale.modulesPerMfr = static_cast<unsigned>(
+            cli.getInt("modules", scale.modulesPerMfr));
+    if (cli.has("rows"))
+        scale.maxRows =
+            static_cast<unsigned>(cli.getInt("rows", scale.maxRows));
+    if (cli.has("smoke")) {
+        scale.smoke = true;
+        // A smoke run caps the sample unless the user pinned it.
+        if (!cli.has("rows") && !cli.has("full"))
+            scale.maxRows = std::min(scale.maxRows, defaults.smokeRows);
+        if (!cli.has("modules") && !cli.has("full"))
+            scale.modulesPerMfr = 1;
+    }
+    scale.rowsPerRegion = scale.maxRows / 3 + 1;
+    scale.jobs = static_cast<unsigned>(cli.getInt("jobs", 0));
+    scale.seed = static_cast<unsigned>(cli.getInt("seed", 0));
+    return scale;
+}
+
+} // namespace rhs::exp

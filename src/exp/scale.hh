@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The scale at which an experiment runs, and its resolution from CLI
+ * options.
+ *
+ * The --full / --rows interaction is explicit and documented here:
+ *
+ *  - default:        maxRows = the experiment's defaultRows, one
+ *                    module per manufacturer.
+ *  - --full:         maxRows = the experiment's fullRows and
+ *                    modulesPerMfr = fullModules (a paper-scale run).
+ *  - --rows N:       overrides maxRows, whether or not --full was
+ *                    given (so "--full --rows N" is a full-module-count
+ *                    run at a custom row sample).
+ *  - --modules N:    overrides modulesPerMfr likewise.
+ *  - rowsPerRegion is always derived from the final maxRows
+ *                    (maxRows / 3 + 1): the first/middle/last regions
+ *                    together cover the sample.
+ */
+
+#ifndef RHS_EXP_SCALE_HH
+#define RHS_EXP_SCALE_HH
+
+#include "util/cli.hh"
+
+namespace rhs::exp
+{
+
+/** Per-experiment scale defaults (the pre-refactor parseScale args). */
+struct ScaleDefaults
+{
+    unsigned fullRows = 400;    //!< maxRows under --full.
+    unsigned fullModules = 2;   //!< modulesPerMfr under --full.
+    unsigned defaultRows = 120; //!< maxRows otherwise.
+    unsigned smokeRows = 18;    //!< maxRows cap under --smoke.
+};
+
+/** Resolved scale shared by the fleet cache and every experiment. */
+struct Scale
+{
+    unsigned modulesPerMfr = 1;  //!< DIMMs per manufacturer.
+    unsigned rowsPerRegion = 41; //!< Rows per first/middle/last region.
+    unsigned maxRows = 120;      //!< Cap on total rows per module.
+    unsigned jobs = 0;    //!< Worker count (0 = all hardware threads).
+    unsigned seed = 0;    //!< Base module index (fleet identity).
+    bool smoke = false;   //!< Reduced-scale CI run.
+
+    bool
+    operator==(const Scale &other) const
+    {
+        return modulesPerMfr == other.modulesPerMfr &&
+               rowsPerRegion == other.rowsPerRegion &&
+               maxRows == other.maxRows && seed == other.seed;
+    }
+};
+
+/**
+ * Resolve the common scale options (--modules, --rows, --full,
+ * --smoke, --jobs, --seed) against an experiment's defaults. Does NOT
+ * touch the global thread pool; the caller owns that.
+ */
+Scale resolveScale(const util::Cli &cli, const ScaleDefaults &defaults);
+
+} // namespace rhs::exp
+
+#endif // RHS_EXP_SCALE_HH

@@ -1,0 +1,202 @@
+#include "report/document.hh"
+
+namespace rhs::report
+{
+
+void
+Document::addSeries(const std::string &name,
+                    const std::vector<double> &values)
+{
+    series.push_back({name, {}, values});
+}
+
+void
+Document::addSeries(const std::string &name,
+                    const std::vector<std::string> &labels,
+                    const std::vector<double> &values)
+{
+    series.push_back({name, labels, values});
+}
+
+bool
+Document::check(const std::string &id, const std::string &reference,
+                const std::string &description, bool pass,
+                const std::string &observed)
+{
+    checks.push_back({id, description, reference, pass, observed});
+    return pass;
+}
+
+bool
+Document::allChecksPass() const
+{
+    for (const auto &entry : checks)
+        if (!entry.pass)
+            return false;
+    return true;
+}
+
+Json
+Document::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("schema", kSchema);
+    doc.set("experiment", experiment);
+    doc.set("title", title);
+    doc.set("source", source);
+    doc.set("git", git);
+
+    Json scale = Json::object();
+    scale.set("modules_per_mfr", modulesPerMfr);
+    scale.set("max_rows", maxRows);
+    scale.set("rows_per_region", rowsPerRegion);
+    scale.set("smoke", smoke);
+    doc.set("scale", std::move(scale));
+
+    doc.set("seed", seed);
+    doc.set("jobs", jobs);
+    doc.set("wall_seconds", wallSeconds);
+
+    Json series_json = Json::array();
+    for (const auto &entry : series) {
+        Json one = Json::object();
+        one.set("name", entry.name);
+        if (!entry.labels.empty()) {
+            Json labels = Json::array();
+            for (const auto &label : entry.labels)
+                labels.push(label);
+            one.set("labels", std::move(labels));
+        }
+        Json values = Json::array();
+        for (double value : entry.values)
+            values.push(value);
+        one.set("values", std::move(values));
+        series_json.push(std::move(one));
+    }
+    doc.set("series", std::move(series_json));
+
+    doc.set("data", data);
+
+    Json checks_json = Json::array();
+    for (const auto &entry : checks) {
+        Json one = Json::object();
+        one.set("id", entry.id);
+        one.set("reference", entry.reference);
+        one.set("description", entry.description);
+        one.set("pass", entry.pass);
+        if (!entry.observed.empty())
+            one.set("observed", entry.observed);
+        checks_json.push(std::move(one));
+    }
+    doc.set("checks", std::move(checks_json));
+    return doc;
+}
+
+namespace
+{
+
+bool
+requireMember(const Json &doc, const char *name, Json::Type type,
+              std::string &error)
+{
+    const Json *member = doc.find(name);
+    if (!member) {
+        error = std::string("missing member \"") + name + "\"";
+        return false;
+    }
+    if (member->type() != type &&
+        !(type == Json::Type::Double && member->isNumber())) {
+        error = std::string("member \"") + name + "\" has wrong type";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+Document::validate(const Json &doc, std::string &error)
+{
+    if (doc.type() != Json::Type::Object) {
+        error = "document is not an object";
+        return false;
+    }
+    if (!requireMember(doc, "schema", Json::Type::String, error))
+        return false;
+    if (doc.at("schema").asString() != kSchema) {
+        error = "unknown schema \"" + doc.at("schema").asString() +
+                "\" (expected " + kSchema + ")";
+        return false;
+    }
+    for (const char *name : {"experiment", "title", "source", "git"})
+        if (!requireMember(doc, name, Json::Type::String, error))
+            return false;
+    if (doc.at("experiment").asString().empty()) {
+        error = "empty experiment id";
+        return false;
+    }
+    if (!requireMember(doc, "scale", Json::Type::Object, error))
+        return false;
+    const Json &scale = doc.at("scale");
+    for (const char *name :
+         {"modules_per_mfr", "max_rows", "rows_per_region"})
+        if (!requireMember(scale, name, Json::Type::Int, error))
+            return false;
+    if (!requireMember(scale, "smoke", Json::Type::Bool, error))
+        return false;
+    for (const char *name : {"seed", "jobs"})
+        if (!requireMember(doc, name, Json::Type::Int, error))
+            return false;
+    if (!requireMember(doc, "wall_seconds", Json::Type::Double, error))
+        return false;
+
+    if (!requireMember(doc, "series", Json::Type::Array, error))
+        return false;
+    const Json &series = doc.at("series");
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const Json &entry = series.at(i);
+        if (!requireMember(entry, "name", Json::Type::String, error) ||
+            !requireMember(entry, "values", Json::Type::Array, error))
+            return false;
+        const Json &values = entry.at("values");
+        for (std::size_t j = 0; j < values.size(); ++j) {
+            if (!values.at(j).isNumber()) {
+                error = "series \"" + entry.at("name").asString() +
+                        "\" holds a non-numeric value";
+                return false;
+            }
+        }
+        if (const Json *labels = entry.find("labels")) {
+            if (labels->type() != Json::Type::Array ||
+                labels->size() != values.size()) {
+                error = "series \"" + entry.at("name").asString() +
+                        "\" labels do not match values";
+                return false;
+            }
+        }
+    }
+
+    if (!requireMember(doc, "data", Json::Type::Object, error))
+        return false;
+
+    if (!requireMember(doc, "checks", Json::Type::Array, error))
+        return false;
+    const Json &checks = doc.at("checks");
+    if (checks.size() == 0) {
+        error = "document carries no paper-expectation checks";
+        return false;
+    }
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+        const Json &entry = checks.at(i);
+        if (!requireMember(entry, "id", Json::Type::String, error) ||
+            !requireMember(entry, "reference", Json::Type::String,
+                           error) ||
+            !requireMember(entry, "description", Json::Type::String,
+                           error) ||
+            !requireMember(entry, "pass", Json::Type::Bool, error))
+            return false;
+    }
+    return true;
+}
+
+} // namespace rhs::report

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The versioned result schema every experiment emits.
+ *
+ * A Document is the machine-readable counterpart of one figure/table
+ * reproduction: identity (experiment id, title, paper source), run
+ * provenance (git describe, scale, seed, jobs, wall time), named data
+ * series, a free-form experiment-specific payload, and the list of
+ * paper-expectation checks — the executable form of the paper's
+ * observations, each carrying its observation/figure reference and a
+ * pass/fail verdict CI can gate on.
+ *
+ * Schema versioning: `kSchema` names the envelope revision. Consumers
+ * must reject documents whose schema string they do not know.
+ */
+
+#ifndef RHS_REPORT_DOCUMENT_HH
+#define RHS_REPORT_DOCUMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "report/json.hh"
+
+namespace rhs::report
+{
+
+/** Envelope revision emitted in every document's "schema" member. */
+inline constexpr const char *kSchema = "rhs-report/1";
+
+/** One named data series of a figure (labels optional). */
+struct Series
+{
+    std::string name;
+    std::vector<std::string> labels; //!< Optional per-point labels.
+    std::vector<double> values;
+};
+
+/** One executable paper expectation. */
+struct Check
+{
+    std::string id;          //!< Stable machine name, e.g. "obsv4_sign".
+    std::string description; //!< What the paper expects.
+    std::string reference;   //!< Observation/figure, e.g. "Obsv. 4 / Fig. 4".
+    bool pass = false;
+    std::string observed;    //!< What this run measured (free text).
+};
+
+/** One experiment's structured result. */
+class Document
+{
+  public:
+    // Identity (filled by the experiment or the driver).
+    std::string experiment;
+    std::string title;
+    std::string source;
+
+    // Provenance (filled by the driver).
+    std::string git;
+    unsigned modulesPerMfr = 0;
+    unsigned maxRows = 0;
+    unsigned rowsPerRegion = 0;
+    unsigned jobs = 0;
+    unsigned seed = 0;
+    bool smoke = false;
+    double wallSeconds = 0.0;
+
+    std::vector<Series> series;
+    Json data = Json::object(); //!< Experiment-specific payload.
+    std::vector<Check> checks;
+
+    /** Append a series with values only. */
+    void addSeries(const std::string &name,
+                   const std::vector<double> &values);
+
+    /** Append a labelled series. */
+    void addSeries(const std::string &name,
+                   const std::vector<std::string> &labels,
+                   const std::vector<double> &values);
+
+    /** Record one expectation check and return its verdict. */
+    bool check(const std::string &id, const std::string &reference,
+               const std::string &description, bool pass,
+               const std::string &observed = "");
+
+    /** True when every recorded check passed. */
+    bool allChecksPass() const;
+
+    /** Serialize the full envelope. */
+    Json toJson() const;
+
+    /**
+     * Validate a parsed document against the envelope schema:
+     * schema string, required members, member types, at least one
+     * check, and well-formed series/check entries.
+     *
+     * @param value The parsed document.
+     * @param error Filled with the first violation found.
+     */
+    static bool validate(const Json &value, std::string &error);
+};
+
+} // namespace rhs::report
+
+#endif // RHS_REPORT_DOCUMENT_HH

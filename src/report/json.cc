@@ -1,0 +1,461 @@
+#include "report/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace rhs::report
+{
+
+Json
+Json::array()
+{
+    Json value;
+    value.type_ = Type::Array;
+    return value;
+}
+
+Json
+Json::object()
+{
+    Json value;
+    value.type_ = Type::Object;
+    return value;
+}
+
+bool
+Json::asBool() const
+{
+    RHS_ASSERT(type_ == Type::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    RHS_ASSERT(type_ == Type::Int, "JSON value is not an integer");
+    return int_;
+}
+
+double
+Json::asDouble() const
+{
+    RHS_ASSERT(isNumber(), "JSON value is not a number");
+    return type_ == Type::Int ? static_cast<double>(int_) : double_;
+}
+
+const std::string &
+Json::asString() const
+{
+    RHS_ASSERT(type_ == Type::String, "JSON value is not a string");
+    return string_;
+}
+
+Json &
+Json::push(Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    RHS_ASSERT(type_ == Type::Array, "push on a non-array JSON value");
+    array_.push_back(std::move(value));
+    return *this;
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return array_.size();
+    if (type_ == Type::Object)
+        return object_.size();
+    RHS_PANIC("size of a non-composite JSON value");
+}
+
+const Json &
+Json::at(std::size_t index) const
+{
+    RHS_ASSERT(type_ == Type::Array, "index into a non-array");
+    RHS_ASSERT(index < array_.size(), "JSON array index out of range");
+    return array_[index];
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    RHS_ASSERT(type_ == Type::Object, "set on a non-object JSON value");
+    for (auto &member : object_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return *this;
+        }
+    }
+    object_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *value = find(key);
+    RHS_ASSERT(value, "missing JSON member: ", key);
+    return *value;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &member : object_)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    RHS_ASSERT(type_ == Type::Object, "members of a non-object");
+    return object_;
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::Null:
+        return true;
+      case Type::Bool:
+        return bool_ == other.bool_;
+      case Type::Int:
+        return int_ == other.int_;
+      case Type::Double:
+        return double_ == other.double_ ||
+               (std::isnan(double_) && std::isnan(other.double_));
+      case Type::String:
+        return string_ == other.string_;
+      case Type::Array:
+        return array_ == other.array_;
+      case Type::Object:
+        return object_ == other.object_;
+    }
+    return false;
+}
+
+std::string
+formatDouble(double value)
+{
+    // Non-finite values have no JSON representation; emit null-safe
+    // sentinels rather than invalid tokens.
+    if (std::isnan(value))
+        return "null";
+    if (std::isinf(value))
+        return value > 0 ? "1e999" : "-1e999";
+    char buffer[32];
+    const auto result =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    RHS_ASSERT(result.ec == std::errc(), "double formatting failed");
+    std::string text(buffer, result.ptr);
+    // Keep doubles distinguishable from integers on re-parse.
+    if (text.find('.') == std::string::npos &&
+        text.find('e') == std::string::npos &&
+        text.find("inf") == std::string::npos)
+        text += ".0";
+    return text;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a complete text. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : text_(text) {}
+
+    bool
+    run(Json &out, std::string &error)
+    {
+        if (!parseValue(out, error))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size()) {
+            error = fail("trailing bytes after the document");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string
+    fail(const std::string &what) const
+    {
+        return what + " at offset " + std::to_string(pos_);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(Json &out, std::string &error)
+    {
+        skipSpace();
+        if (pos_ >= text_.size()) {
+            error = fail("unexpected end of document");
+            return false;
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out, error);
+        if (c == '[')
+            return parseArray(out, error);
+        if (c == '"') {
+            std::string value;
+            if (!parseString(value, error))
+                return false;
+            out = Json(std::move(value));
+            return true;
+        }
+        if (literal("true")) {
+            out = Json(true);
+            return true;
+        }
+        if (literal("false")) {
+            out = Json(false);
+            return true;
+        }
+        if (literal("null")) {
+            out = Json();
+            return true;
+        }
+        return parseNumber(out, error);
+    }
+
+    bool
+    parseNumber(Json &out, std::string &error)
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        const std::string token = text_.substr(start, pos_ - start);
+        if (token.empty()) {
+            error = fail("expected a value");
+            return false;
+        }
+        if (token.find('.') == std::string::npos &&
+            token.find('e') == std::string::npos &&
+            token.find('E') == std::string::npos) {
+            std::int64_t value = 0;
+            const auto result = std::from_chars(
+                token.data(), token.data() + token.size(), value);
+            if (result.ec != std::errc() ||
+                result.ptr != token.data() + token.size()) {
+                error = fail("malformed integer '" + token + "'");
+                return false;
+            }
+            out = Json(value);
+            return true;
+        }
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) {
+            error = fail("malformed number '" + token + "'");
+            return false;
+        }
+        out = Json(value);
+        return true;
+    }
+
+    bool
+    parseString(std::string &out, std::string &error)
+    {
+        ++pos_; // Opening quote.
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                error = fail("raw control character in string");
+                return false;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (pos_ + 4 > text_.size()) {
+                      error = fail("truncated \\u escape");
+                      return false;
+                  }
+                  unsigned code = 0;
+                  const auto result = std::from_chars(
+                      text_.data() + pos_, text_.data() + pos_ + 4,
+                      code, 16);
+                  if (result.ec != std::errc() ||
+                      result.ptr != text_.data() + pos_ + 4) {
+                      error = fail("malformed \\u escape");
+                      return false;
+                  }
+                  pos_ += 4;
+                  // The writer only emits \u00XX for control bytes;
+                  // decode the BMP code point as UTF-8.
+                  if (code < 0x80) {
+                      out += static_cast<char>(code);
+                  } else if (code < 0x800) {
+                      out += static_cast<char>(0xC0 | (code >> 6));
+                      out += static_cast<char>(0x80 | (code & 0x3F));
+                  } else {
+                      out += static_cast<char>(0xE0 | (code >> 12));
+                      out += static_cast<char>(
+                          0x80 | ((code >> 6) & 0x3F));
+                      out += static_cast<char>(0x80 | (code & 0x3F));
+                  }
+                  break;
+              }
+              default:
+                  error = fail("unknown escape");
+                  return false;
+            }
+        }
+        error = fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parseArray(Json &out, std::string &error)
+    {
+        ++pos_; // '['.
+        out = Json::array();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Json element;
+            if (!parseValue(element, error))
+                return false;
+            out.push(std::move(element));
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                error = fail("unterminated array");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            error = fail("expected ',' or ']'");
+            return false;
+        }
+    }
+
+    bool
+    parseObject(Json &out, std::string &error)
+    {
+        ++pos_; // '{'.
+        out = Json::object();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                error = fail("expected a member name");
+                return false;
+            }
+            std::string key;
+            if (!parseString(key, error))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                error = fail("expected ':'");
+                return false;
+            }
+            ++pos_;
+            Json value;
+            if (!parseValue(value, error))
+                return false;
+            out.set(key, std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                error = fail("unterminated object");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            error = fail("expected ',' or '}'");
+            return false;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json &out, std::string &error)
+{
+    return Parser(text).run(out, error);
+}
+
+} // namespace rhs::report

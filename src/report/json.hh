@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Minimal JSON document model shared by every result emitter.
+ *
+ * A `Json` value is a tagged union of null, bool, integer, double,
+ * string, array, and object. Objects preserve insertion order so
+ * emitted documents are stable and diffable across runs. Serialization
+ * lives in writer.hh; `Json::parse` is the inverse and is used by the
+ * round-trip tests and by `rhs-bench --check` to prove every emitted
+ * document is well formed.
+ *
+ * Number formatting is part of the contract: doubles are written with
+ * `std::to_chars` (shortest form that round-trips exactly), integers
+ * as plain decimal, so a parse-then-write cycle reproduces the value
+ * bit for bit.
+ */
+
+#ifndef RHS_REPORT_JSON_HH
+#define RHS_REPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rhs::report
+{
+
+/** One JSON value; composite values own their children. */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+    Json() : type_(Type::Null) {}
+    Json(bool value) : type_(Type::Bool), bool_(value) {}
+    Json(std::int64_t value) : type_(Type::Int), int_(value) {}
+    Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+    Json(unsigned value) : Json(static_cast<std::int64_t>(value)) {}
+    Json(std::uint64_t value)
+        : Json(static_cast<std::int64_t>(value)) {}
+    Json(double value) : type_(Type::Double), double_(value) {}
+    Json(std::string value)
+        : type_(Type::String), string_(std::move(value)) {}
+    Json(const char *value) : Json(std::string(value)) {}
+
+    /** An empty array value. */
+    static Json array();
+    /** An empty object value. */
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Double;
+    }
+
+    /** Typed accessors; panic when the type does not match. */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    /** Numeric value of an Int or Double node. */
+    double asDouble() const;
+    const std::string &asString() const;
+
+    // --- Array interface ----------------------------------------------
+    /** Append to an array (converts a fresh null to an array). */
+    Json &push(Json value);
+    std::size_t size() const;
+    const Json &at(std::size_t index) const;
+
+    // --- Object interface ---------------------------------------------
+    /** Set a member, preserving first-insertion order. */
+    Json &set(const std::string &key, Json value);
+    bool contains(const std::string &key) const;
+    /** Member lookup; panics when absent. */
+    const Json &at(const std::string &key) const;
+    /** Member lookup; nullptr when absent. */
+    const Json *find(const std::string &key) const;
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /**
+     * Parse a complete JSON text.
+     *
+     * @param text The document.
+     * @param error Filled with a message on failure.
+     * @return The parsed value, or nullopt-like null with error set.
+     */
+    static bool parse(const std::string &text, Json &out,
+                      std::string &error);
+
+    bool operator==(const Json &other) const;
+
+  private:
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+};
+
+/** Format a double exactly as the writer emits it. */
+std::string formatDouble(double value);
+
+} // namespace rhs::report
+
+#endif // RHS_REPORT_JSON_HH

@@ -1,0 +1,139 @@
+#include "report/writer.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rhs::report
+{
+
+std::string
+JsonWriter::escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+              if (c < 0x20) {
+                  char buffer[8];
+                  std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                  out += buffer;
+              } else {
+                  out += static_cast<char>(c);
+              }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::writeValue(std::ostream &out, const Json &value,
+                       unsigned depth) const
+{
+    const std::string indent(2 * depth, ' ');
+    const std::string inner(2 * (depth + 1), ' ');
+    switch (value.type()) {
+      case Json::Type::Null:
+        out << "null";
+        break;
+      case Json::Type::Bool:
+        out << (value.asBool() ? "true" : "false");
+        break;
+      case Json::Type::Int:
+        out << value.asInt();
+        break;
+      case Json::Type::Double:
+        out << formatDouble(value.asDouble());
+        break;
+      case Json::Type::String:
+        out << '"' << escape(value.asString()) << '"';
+        break;
+      case Json::Type::Array: {
+          if (value.size() == 0) {
+              out << "[]";
+              break;
+          }
+          // Scalar-only arrays (data series) stay on one line.
+          bool flat = true;
+          for (std::size_t i = 0; i < value.size(); ++i) {
+              const auto type = value.at(i).type();
+              if (type == Json::Type::Array ||
+                  type == Json::Type::Object)
+                  flat = false;
+          }
+          if (flat) {
+              out << '[';
+              for (std::size_t i = 0; i < value.size(); ++i) {
+                  if (i)
+                      out << ", ";
+                  writeValue(out, value.at(i), 0);
+              }
+              out << ']';
+              break;
+          }
+          out << "[\n";
+          for (std::size_t i = 0; i < value.size(); ++i) {
+              out << inner;
+              writeValue(out, value.at(i), depth + 1);
+              out << (i + 1 < value.size() ? ",\n" : "\n");
+          }
+          out << indent << ']';
+          break;
+      }
+      case Json::Type::Object: {
+          if (value.size() == 0) {
+              out << "{}";
+              break;
+          }
+          out << "{\n";
+          const auto &members = value.members();
+          for (std::size_t i = 0; i < members.size(); ++i) {
+              out << inner << '"' << escape(members[i].first)
+                  << "\": ";
+              writeValue(out, members[i].second, depth + 1);
+              out << (i + 1 < members.size() ? ",\n" : "\n");
+          }
+          out << indent << '}';
+          break;
+      }
+    }
+}
+
+void
+JsonWriter::write(std::ostream &out, const Json &value) const
+{
+    writeValue(out, value, 0);
+}
+
+std::string
+JsonWriter::toString(const Json &value) const
+{
+    std::ostringstream out;
+    write(out, value);
+    return out.str();
+}
+
+void
+JsonWriter::writeFile(const std::string &path, const Json &value) const
+{
+    std::ofstream out(path);
+    if (!out.good())
+        RHS_FATAL("cannot open JSON output file: ", path);
+    write(out, value);
+    out << '\n';
+    out.flush();
+    if (!out.good())
+        RHS_FATAL("failed writing JSON output file: ", path);
+}
+
+} // namespace rhs::report

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Serializer for report::Json values.
+ *
+ * One writer, used by every emitter, so all machine-readable output of
+ * the project shares escaping and number-formatting behavior. Output
+ * is pretty-printed with two-space indentation and a trailing newline,
+ * matching the style of the original hand-rolled BENCH_*.json files.
+ */
+
+#ifndef RHS_REPORT_WRITER_HH
+#define RHS_REPORT_WRITER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "report/json.hh"
+
+namespace rhs::report
+{
+
+/** Writes Json values to streams, strings, and files. */
+class JsonWriter
+{
+  public:
+    /** Serialize to a stream (no trailing newline). */
+    void write(std::ostream &out, const Json &value) const;
+
+    /** Serialize to a string (no trailing newline). */
+    std::string toString(const Json &value) const;
+
+    /**
+     * Serialize to a file with a trailing newline.
+     * RHS_FATAL when the file cannot be written.
+     */
+    void writeFile(const std::string &path, const Json &value) const;
+
+    /** Escape a string's contents (no surrounding quotes). */
+    static std::string escape(const std::string &text);
+
+  private:
+    void writeValue(std::ostream &out, const Json &value,
+                    unsigned depth) const;
+};
+
+} // namespace rhs::report
+
+#endif // RHS_REPORT_WRITER_HH

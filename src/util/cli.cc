@@ -1,6 +1,7 @@
 #include "util/cli.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/logging.hh"
@@ -8,11 +9,33 @@
 namespace rhs::util
 {
 
+namespace
+{
+
+/** Tokenize argv (skipping the program name) into strings. */
+std::vector<std::string>
+tokenize(int argc, const char *const *argv)
+{
+    std::vector<std::string> args;
+    args.reserve(argc > 0 ? argc - 1 : 0);
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return args;
+}
+
+} // namespace
+
 Cli::Cli(int argc, const char *const *argv,
          const std::vector<std::string> &known)
+    : Cli(tokenize(argc, argv), known)
 {
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
+}
+
+Cli::Cli(const std::vector<std::string> &args,
+         const std::vector<std::string> &known)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string arg = args[i];
         if (arg.rfind("--", 0) != 0)
             RHS_FATAL("unexpected positional argument: ", arg);
         arg = arg.substr(2);
@@ -22,9 +45,9 @@ Cli::Cli(int argc, const char *const *argv,
         if (auto eq = arg.find('='); eq != std::string::npos) {
             name = arg.substr(0, eq);
             value = arg.substr(eq + 1);
-        } else if (i + 1 < argc &&
-                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
-            value = argv[++i];
+        } else if (i + 1 < args.size() &&
+                   args[i + 1].rfind("--", 0) != 0) {
+            value = args[++i];
         }
 
         if (std::find(known.begin(), known.end(), name) == known.end())
@@ -50,16 +73,32 @@ long
 Cli::getInt(const std::string &name, long fallback) const
 {
     auto it = values.find(name);
-    return it == values.end() ? fallback : std::strtol(
-        it->second.c_str(), nullptr, 10);
+    if (it == values.end())
+        return fallback;
+    const std::string &text = it->second;
+    char *end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (text.empty() || end != text.c_str() + text.size() ||
+        errno == ERANGE)
+        RHS_FATAL("malformed integer for --", name, ": '", text, "'");
+    return value;
 }
 
 double
 Cli::getDouble(const std::string &name, double fallback) const
 {
     auto it = values.find(name);
-    return it == values.end() ? fallback : std::strtod(
-        it->second.c_str(), nullptr);
+    if (it == values.end())
+        return fallback;
+    const std::string &text = it->second;
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size() ||
+        errno == ERANGE)
+        RHS_FATAL("malformed number for --", name, ": '", text, "'");
+    return value;
 }
 
 } // namespace rhs::util

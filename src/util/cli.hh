@@ -30,6 +30,14 @@ class Cli
     Cli(int argc, const char *const *argv,
         const std::vector<std::string> &known);
 
+    /**
+     * Parse an already-tokenized argument list (no program name).
+     * Used by subcommand-style drivers that strip the leading
+     * positional before parsing options.
+     */
+    Cli(const std::vector<std::string> &args,
+        const std::vector<std::string> &known);
+
     /** True when "--name" was present (with or without a value). */
     bool has(const std::string &name) const;
 
@@ -37,10 +45,18 @@ class Cli
     std::string get(const std::string &name,
                     const std::string &fallback) const;
 
-    /** Integer value of "--name", or fallback when absent. */
+    /**
+     * Integer value of "--name", or fallback when absent. Fatal when
+     * the value is present but not a complete decimal integer
+     * ("--rows 40x" and "--rows abc" are rejected, not truncated).
+     */
     long getInt(const std::string &name, long fallback) const;
 
-    /** Floating-point value of "--name", or fallback when absent. */
+    /**
+     * Floating-point value of "--name", or fallback when absent.
+     * Fatal when the value is present but malformed, exactly like
+     * getInt.
+     */
     double getDouble(const std::string &name, double fallback) const;
 
   private:

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests for the experiment layer: registry lookup and filtering,
+ * scale resolution, and FleetCache instance sharing (the tentpole
+ * guarantee that one rhs-bench invocation builds each module, fleet,
+ * and WCDP once).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "exp/fleet_cache.hh"
+#include "exp/registry.hh"
+#include "exp/scale.hh"
+#include "util/cli.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+/** Minimal registrable experiment for registry tests. */
+class StubExperiment final : public exp::Experiment
+{
+  public:
+    explicit StubExperiment(std::string name) : name_(std::move(name))
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return name_;
+    }
+
+    std::string
+    title() const override
+    {
+        return "stub: " + name_;
+    }
+
+    std::string
+    source() const override
+    {
+        return "tests/exp_test.cc";
+    }
+
+    report::Document
+    run(exp::RunContext &) override
+    {
+        auto doc = makeDocument();
+        doc.check("stub", "test", "always passes", true);
+        return doc;
+    }
+
+  private:
+    std::string name_;
+};
+
+/** The registry is process-global; isolate every test. */
+class RegistryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        exp::Registry::clearForTest();
+    }
+
+    void
+    TearDown() override
+    {
+        exp::Registry::clearForTest();
+    }
+};
+
+TEST_F(RegistryTest, FindReturnsRegisteredExperiment)
+{
+    exp::Registry::add(std::make_unique<StubExperiment>("fig1_stub"));
+    auto *found = exp::Registry::find("fig1_stub");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name(), "fig1_stub");
+    EXPECT_EQ(exp::Registry::find("nonexistent"), nullptr);
+}
+
+TEST_F(RegistryTest, AllPreservesRegistrationOrder)
+{
+    exp::Registry::add(std::make_unique<StubExperiment>("zeta"));
+    exp::Registry::add(std::make_unique<StubExperiment>("alpha"));
+    exp::Registry::add(std::make_unique<StubExperiment>("mid"));
+    const auto &all = exp::Registry::all();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0]->name(), "zeta");
+    EXPECT_EQ(all[1]->name(), "alpha");
+    EXPECT_EQ(all[2]->name(), "mid");
+}
+
+TEST_F(RegistryTest, FilterMatchesSubstringInOrder)
+{
+    exp::Registry::add(std::make_unique<StubExperiment>("fig4_temp"));
+    exp::Registry::add(std::make_unique<StubExperiment>("fig5_temp"));
+    exp::Registry::add(std::make_unique<StubExperiment>("ablations"));
+
+    const auto temps = exp::Registry::filter("temp");
+    ASSERT_EQ(temps.size(), 2u);
+    EXPECT_EQ(temps[0]->name(), "fig4_temp");
+    EXPECT_EQ(temps[1]->name(), "fig5_temp");
+
+    // The empty filter selects everything (the --all behavior).
+    EXPECT_EQ(exp::Registry::filter("").size(), 3u);
+    EXPECT_TRUE(exp::Registry::filter("nomatch").empty());
+}
+
+using RegistryDeathTest = RegistryTest;
+
+TEST_F(RegistryDeathTest, DuplicateNameIsFatal)
+{
+    exp::Registry::add(std::make_unique<StubExperiment>("twin"));
+    EXPECT_EXIT(exp::Registry::add(
+                    std::make_unique<StubExperiment>("twin")),
+                ::testing::ExitedWithCode(1),
+                "duplicate experiment registration");
+}
+
+// --- Scale resolution -----------------------------------------------
+
+exp::Scale
+resolve(const std::vector<std::string> &args,
+        const exp::ScaleDefaults &defaults = {})
+{
+    const util::Cli cli(
+        args, {"rows", "modules", "full", "smoke", "jobs", "seed"});
+    return exp::resolveScale(cli, defaults);
+}
+
+TEST(ScaleTest, DefaultsComeFromTheExperiment)
+{
+    const auto scale = resolve({}, {400, 2, 120, 18});
+    EXPECT_EQ(scale.maxRows, 120u);
+    EXPECT_EQ(scale.modulesPerMfr, 1u);
+    EXPECT_EQ(scale.rowsPerRegion, 120u / 3 + 1);
+    EXPECT_FALSE(scale.smoke);
+}
+
+TEST(ScaleTest, FullSelectsPaperScale)
+{
+    const auto scale = resolve({"--full"}, {400, 2, 120, 18});
+    EXPECT_EQ(scale.maxRows, 400u);
+    EXPECT_EQ(scale.modulesPerMfr, 2u);
+}
+
+TEST(ScaleTest, ExplicitRowsOverrideFull)
+{
+    const auto scale =
+        resolve({"--full", "--rows", "50"}, {400, 2, 120, 18});
+    EXPECT_EQ(scale.maxRows, 50u);
+    EXPECT_EQ(scale.modulesPerMfr, 2u); // --full still sets modules.
+    EXPECT_EQ(scale.rowsPerRegion, 50u / 3 + 1);
+}
+
+TEST(ScaleTest, SmokeCapsUnlessPinned)
+{
+    const auto capped = resolve({"--smoke"}, {400, 2, 120, 18});
+    EXPECT_TRUE(capped.smoke);
+    EXPECT_EQ(capped.maxRows, 18u);
+    EXPECT_EQ(capped.modulesPerMfr, 1u);
+
+    // An explicit --rows wins over the smoke cap.
+    const auto pinned =
+        resolve({"--smoke", "--rows", "64"}, {400, 2, 120, 18});
+    EXPECT_TRUE(pinned.smoke);
+    EXPECT_EQ(pinned.maxRows, 64u);
+}
+
+// --- FleetCache sharing ---------------------------------------------
+
+exp::Scale
+tinyScale()
+{
+    exp::Scale scale;
+    scale.modulesPerMfr = 1;
+    scale.maxRows = 6;
+    scale.rowsPerRegion = 3;
+    return scale;
+}
+
+TEST(FleetCacheTest, ModuleIsBuiltOnceAndShared)
+{
+    exp::FleetCache cache;
+    auto &first = cache.module(rhmodel::Mfr::B, 0);
+    auto &second = cache.module(rhmodel::Mfr::B, 0);
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(first.dimm.get(), second.dimm.get());
+    EXPECT_EQ(cache.modulesBuilt(), 1u);
+
+    // A different index or a custom geometry is a different module.
+    cache.module(rhmodel::Mfr::B, 1);
+    cache.module(rhmodel::Mfr::B, 0, 4);
+    EXPECT_EQ(cache.modulesBuilt(), 3u);
+}
+
+TEST(FleetCacheTest, FleetIsCachedPerScale)
+{
+    exp::FleetCache cache;
+    const auto scale = tinyScale();
+    const auto &first = cache.fleet(scale);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(cache.fleetsBuilt(), 1u);
+    EXPECT_EQ(cache.fleetHits(), 0u);
+
+    const auto &second = cache.fleet(scale);
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(cache.fleetsBuilt(), 1u);
+    EXPECT_EQ(cache.fleetHits(), 1u);
+
+    // A different scale builds a fresh fleet over the same modules.
+    auto wider = scale;
+    wider.maxRows = 9;
+    wider.rowsPerRegion = 4;
+    const auto &third = cache.fleet(wider);
+    EXPECT_NE(&first, &third);
+    EXPECT_EQ(cache.fleetsBuilt(), 2u);
+}
+
+TEST(FleetCacheTest, WcdpIsCachedPerSample)
+{
+    exp::FleetCache cache;
+    auto &module = cache.module(rhmodel::Mfr::A, 0);
+    const std::vector<unsigned> sample{100, 2000, 6000};
+
+    const auto &first = cache.wcdp(module, 0, sample);
+    EXPECT_EQ(cache.wcdpSearches(), 1u);
+    EXPECT_EQ(cache.wcdpHits(), 0u);
+
+    const auto &second = cache.wcdp(module, 0, sample);
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(cache.wcdpSearches(), 2u);
+    EXPECT_EQ(cache.wcdpHits(), 1u);
+
+    // Another sample triggers a fresh search.
+    const auto &other = cache.wcdp(module, 0, {1, 2, 3});
+    EXPECT_EQ(cache.wcdpSearches(), 3u);
+    EXPECT_EQ(cache.wcdpHits(), 1u);
+    (void)other;
+}
+
+TEST(FleetCacheTest, SharedFleetIsValuePreserving)
+{
+    // Two consumers of one cache must see the numbers a cold cache
+    // would produce: the engine's caches are value-preserving, which
+    // is what makes cross-experiment sharing sound.
+    const auto scale = tinyScale();
+
+    exp::FleetCache shared;
+    const auto &warm = shared.fleet(scale);
+    rhmodel::Conditions reference;
+    std::vector<double> first_pass, second_pass;
+    for (const auto &entry : warm)
+        for (unsigned row : entry.rows)
+            first_pass.push_back(entry.tester->berOfRow(
+                0, row, reference, entry.wcdp));
+    for (const auto &entry : shared.fleet(scale))
+        for (unsigned row : entry.rows)
+            second_pass.push_back(entry.tester->berOfRow(
+                0, row, reference, entry.wcdp));
+    EXPECT_EQ(first_pass, second_pass);
+
+    exp::FleetCache cold;
+    std::vector<double> cold_pass;
+    for (const auto &entry : cold.fleet(scale))
+        for (unsigned row : entry.rows)
+            cold_pass.push_back(entry.tester->berOfRow(
+                0, row, reference, entry.wcdp));
+    EXPECT_EQ(first_pass, cold_pass);
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the report layer: JSON model, escaping, number
+ * formatting, parse/write round-trips, and the rhs-report/1 envelope
+ * schema validation that `rhs-bench --check` gates on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "report/document.hh"
+#include "report/json.hh"
+#include "report/writer.hh"
+
+namespace
+{
+
+using namespace rhs::report;
+
+// --- Json model -----------------------------------------------------
+
+TEST(JsonTest, TypesAndAccessors)
+{
+    EXPECT_TRUE(Json().isNull());
+    EXPECT_TRUE(Json(true).asBool());
+    EXPECT_EQ(Json(42).asInt(), 42);
+    EXPECT_DOUBLE_EQ(Json(2.5).asDouble(), 2.5);
+    EXPECT_EQ(Json("abc").asString(), "abc");
+    EXPECT_TRUE(Json(7).isNumber());
+    EXPECT_TRUE(Json(7.0).isNumber());
+    // An Int node is readable as a double without loss.
+    EXPECT_DOUBLE_EQ(Json(7).asDouble(), 7.0);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder)
+{
+    auto object = Json::object();
+    object.set("zulu", 1);
+    object.set("alpha", 2);
+    object.set("mike", 3);
+    ASSERT_EQ(object.members().size(), 3u);
+    EXPECT_EQ(object.members()[0].first, "zulu");
+    EXPECT_EQ(object.members()[1].first, "alpha");
+    EXPECT_EQ(object.members()[2].first, "mike");
+    // Re-setting an existing key keeps its original slot.
+    object.set("alpha", 9);
+    EXPECT_EQ(object.members()[1].first, "alpha");
+    EXPECT_EQ(object.at("alpha").asInt(), 9);
+}
+
+TEST(JsonTest, ArrayPushAndIndex)
+{
+    auto array = Json::array();
+    array.push(1);
+    array.push("two");
+    array.push(3.0);
+    ASSERT_EQ(array.size(), 3u);
+    EXPECT_EQ(array.at(0).asInt(), 1);
+    EXPECT_EQ(array.at(1).asString(), "two");
+    EXPECT_DOUBLE_EQ(array.at(2).asDouble(), 3.0);
+}
+
+// --- Escaping -------------------------------------------------------
+
+TEST(WriterTest, EscapesControlAndSpecialCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("a\nb\tc"), "a\\nb\\tc");
+    // Bare control characters must come out as \u escapes.
+    EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(WriterTest, EscapedStringsRoundTrip)
+{
+    const std::string nasty = "q\"uo\\te\n\r\t\x01 end";
+    auto object = Json::object();
+    object.set("text", nasty);
+
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(
+        Json::parse(JsonWriter().toString(object), parsed, error))
+        << error;
+    EXPECT_EQ(parsed.at("text").asString(), nasty);
+}
+
+// --- Number formatting ----------------------------------------------
+
+TEST(WriterTest, FormatDoubleRoundTripsExactly)
+{
+    for (double value : {0.0, 1.0, -1.5, 0.1, 1e-12, 3.0e20,
+                         0.30000000000000004, 154.5}) {
+        const std::string text = formatDouble(value);
+        EXPECT_DOUBLE_EQ(std::stod(text), value) << text;
+    }
+}
+
+TEST(WriterTest, DocumentRoundTripIsIdentical)
+{
+    auto object = Json::object();
+    object.set("int", 7);
+    object.set("neg", -3);
+    object.set("real", 0.1);
+    object.set("flag", true);
+    object.set("nothing", Json());
+    auto array = Json::array();
+    array.push(1.5);
+    array.push("x");
+    object.set("list", std::move(array));
+
+    const std::string first = JsonWriter().toString(object);
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(first, parsed, error)) << error;
+    EXPECT_TRUE(parsed == object);
+    // write(parse(write(x))) is byte-stable.
+    EXPECT_EQ(JsonWriter().toString(parsed), first);
+}
+
+TEST(JsonTest, ParseRejectsMalformedDocuments)
+{
+    Json parsed;
+    std::string error;
+    EXPECT_FALSE(Json::parse("", parsed, error));
+    EXPECT_FALSE(Json::parse("{", parsed, error));
+    EXPECT_FALSE(Json::parse("{\"a\":}", parsed, error));
+    EXPECT_FALSE(Json::parse("[1,]", parsed, error));
+    EXPECT_FALSE(Json::parse("{} trailing", parsed, error));
+    EXPECT_FALSE(Json::parse("\"unterminated", parsed, error));
+}
+
+// --- Document envelope ----------------------------------------------
+
+/** A minimal but complete document, as the driver would emit it. */
+Document
+sampleDocument()
+{
+    Document doc;
+    doc.experiment = "unit_test";
+    doc.title = "Unit test document";
+    doc.source = "tests/report_test.cc";
+    doc.git = "deadbeef";
+    doc.modulesPerMfr = 1;
+    doc.maxRows = 18;
+    doc.rowsPerRegion = 7;
+    doc.jobs = 2;
+    doc.seed = 0;
+    doc.smoke = true;
+    doc.wallSeconds = 0.25;
+    doc.addSeries("plain", {1.0, 2.0, 3.0});
+    doc.addSeries("labelled", {"a", "b"}, {4.0, 5.0});
+    doc.data.set("extra", 11);
+    doc.check("unit_check", "Obsv. 0", "one equals one", true, "1==1");
+    return doc;
+}
+
+TEST(DocumentTest, EmittedEnvelopeValidates)
+{
+    const auto doc = sampleDocument();
+    const auto json = doc.toJson();
+    EXPECT_EQ(json.at("schema").asString(), kSchema);
+
+    std::string error;
+    EXPECT_TRUE(Document::validate(json, error)) << error;
+
+    // And it still validates after a serialize/parse cycle.
+    Json parsed;
+    ASSERT_TRUE(
+        Json::parse(JsonWriter().toString(json), parsed, error))
+        << error;
+    EXPECT_TRUE(Document::validate(parsed, error)) << error;
+}
+
+TEST(DocumentTest, CheckRecordsVerdicts)
+{
+    Document doc;
+    EXPECT_TRUE(doc.check("a", "ref", "passes", true));
+    EXPECT_TRUE(doc.allChecksPass());
+    EXPECT_FALSE(doc.check("b", "ref", "fails", false, "saw 2"));
+    EXPECT_FALSE(doc.allChecksPass());
+    ASSERT_EQ(doc.checks.size(), 2u);
+    EXPECT_EQ(doc.checks[1].observed, "saw 2");
+}
+
+TEST(DocumentTest, ValidateRejectsBadEnvelopes)
+{
+    std::string error;
+
+    // Unknown schema revision.
+    auto wrong_schema = sampleDocument().toJson();
+    wrong_schema.set("schema", "rhs-report/999");
+    EXPECT_FALSE(Document::validate(wrong_schema, error));
+
+    // A document with no checks is not a reproduction.
+    Document unchecked = sampleDocument();
+    unchecked.checks.clear();
+    EXPECT_FALSE(Document::validate(unchecked.toJson(), error));
+
+    // Non-objects and empty objects fail on the first required member.
+    EXPECT_FALSE(Document::validate(Json("not an object"), error));
+    EXPECT_FALSE(Document::validate(Json::object(), error));
+
+    // A labels array whose length disagrees with values is rejected.
+    Document skewed = sampleDocument();
+    skewed.series[1].labels.push_back("extra");
+    EXPECT_FALSE(Document::validate(skewed.toJson(), error));
+}
+
+} // namespace

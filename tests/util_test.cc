@@ -174,11 +174,65 @@ TEST(CliTest, BooleanFlagAndDefaults)
     EXPECT_EQ(cli.getInt("rows", 64), 64);
 }
 
+TEST(CliTest, TokenizedArgumentListForm)
+{
+    // Subcommand drivers strip the positional and hand the rest over
+    // pre-tokenized; both constructors must parse identically.
+    Cli cli(std::vector<std::string>{"--rows", "12", "--full",
+                                     "--temp=60"},
+            {"rows", "full", "temp"});
+    EXPECT_EQ(cli.getInt("rows", 0), 12);
+    EXPECT_TRUE(cli.has("full"));
+    EXPECT_DOUBLE_EQ(cli.getDouble("temp", 0.0), 60.0);
+}
+
+TEST(CliTest, NegativeAndSignedNumbers)
+{
+    const char *argv[] = {"prog", "--offset=-3", "--gain=+2.5"};
+    Cli cli(3, argv, {"offset", "gain"});
+    EXPECT_EQ(cli.getInt("offset", 0), -3);
+    EXPECT_DOUBLE_EQ(cli.getDouble("gain", 0.0), 2.5);
+}
+
 TEST(CliDeathTest, UnknownOptionIsFatal)
 {
     const char *argv[] = {"prog", "--bogus"};
     EXPECT_EXIT((Cli(2, argv, {"rows"})),
                 ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(CliDeathTest, TrailingGarbageIntegerIsFatal)
+{
+    // "40x" must be rejected, not truncated to 40.
+    const char *argv[] = {"prog", "--rows", "40x"};
+    Cli cli(3, argv, {"rows"});
+    EXPECT_EXIT(cli.getInt("rows", 0), ::testing::ExitedWithCode(1),
+                "malformed integer for --rows");
+}
+
+TEST(CliDeathTest, NonNumericIntegerIsFatal)
+{
+    const char *argv[] = {"prog", "--rows=abc"};
+    Cli cli(2, argv, {"rows"});
+    EXPECT_EXIT(cli.getInt("rows", 0), ::testing::ExitedWithCode(1),
+                "malformed integer for --rows");
+}
+
+TEST(CliDeathTest, MalformedDoubleIsFatal)
+{
+    const char *argv[] = {"prog", "--temp", "72.5C"};
+    Cli cli(3, argv, {"temp"});
+    EXPECT_EXIT(cli.getDouble("temp", 0.0),
+                ::testing::ExitedWithCode(1),
+                "malformed number for --temp");
+}
+
+TEST(CliDeathTest, PositionalArgumentIsFatal)
+{
+    const char *argv[] = {"prog", "stray"};
+    EXPECT_EXIT((Cli(2, argv, {"rows"})),
+                ::testing::ExitedWithCode(1),
+                "unexpected positional argument");
 }
 
 TEST(LoggingTest, LevelsAreOrdered)
