@@ -1,0 +1,431 @@
+/**
+ * @file
+ * `rhs-loadgen`: the load generator for the rhs-serve query service.
+ *
+ * Phase 1 (throughput/correctness): starts an in-process Server on an
+ * ephemeral port, drives N concurrent connections of M requests each
+ * (a deterministic mix of row_hcfirst / ber / profile_slice /
+ * worst_pattern / ping), and byte-compares every response against the
+ * same request executed on a private QueryEngine — the whole server
+ * data path minus the socket. p50/p99 latency and throughput land in
+ * BENCH_serve.json.
+ *
+ * Phase 2 (robustness): a second server with a deliberately undersized
+ * queue (capacity 1, batch 1) and an artificial service stall; the
+ * connections pipeline floods at it to exercise the backpressure path
+ * (overloaded replies, never silent drops) and send deadline_ms
+ * requests that lapse mid-batch. Every pipelined request must still
+ * receive exactly one response, and after stop() the server must have
+ * answered everything it ever enqueued — the clean-drain invariant.
+ *
+ * Options:
+ *   --connections N  concurrent connections (default 32; 8 in --smoke)
+ *   --requests N     requests per connection (default 32; 6 in --smoke)
+ *   --queue N        phase-1 queue capacity (default 256)
+ *   --batch N        phase-1 batch size cap (default 16)
+ *   --out FILE       JSON output path (default BENCH_serve.json)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "report/writer.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/query_engine.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace rhs;
+using Clock = std::chrono::steady_clock;
+
+/** Deterministic request mix; row space is kept small enough that the
+ *  rowEval cache sees real sharing across connections. */
+report::Json
+makeRequest(unsigned conn, unsigned index)
+{
+    auto request = report::Json::object();
+    const std::int64_t id = static_cast<std::int64_t>(conn) * 100000 +
+                            index;
+    const unsigned row = 1 + (conn * 37 + index * 11) % 120;
+    const char mfr[2] = {"ABCD"[(conn + index) % 4], '\0'};
+
+    switch (index % 5) {
+      case 0:
+        request.set("op", "row_hcfirst");
+        request.set("id", id);
+        request.set("mfr", mfr);
+        request.set("row", row);
+        request.set("temperature", 50.0 + 5.0 * (index % 9));
+        request.set("trial", index % 3);
+        break;
+      case 1:
+        request.set("op", "ber");
+        request.set("id", id);
+        request.set("mfr", mfr);
+        request.set("row", row);
+        request.set("hammers", 150'000);
+        break;
+      case 2:
+        request.set("op", "profile_slice");
+        request.set("id", id);
+        request.set("mfr", mfr);
+        request.set("row0", 1 + (conn * 13 + index * 7) % 100);
+        request.set("count", 4);
+        break;
+      case 3:
+        request.set("op", "ping");
+        request.set("id", id);
+        break;
+      default:
+        request.set("op", "worst_pattern");
+        request.set("id", id);
+        request.set("mfr", mfr);
+        {
+            auto rows = report::Json::array();
+            rows.push(row);
+            rows.push(row + 2);
+            rows.push(row + 4);
+            request.set("rows", std::move(rows));
+        }
+        break;
+    }
+    return request;
+}
+
+/** The response bytes phase 1 must observe for `body`. */
+std::string
+expectedResponse(serve::QueryEngine &direct, const report::Json &request,
+                 const std::string &body)
+{
+    if (request.at("op").asString() == "ping") {
+        auto result = report::Json::object();
+        result.set("protocol", serve::kProtocol);
+        return serve::serialize(serve::makeResult(
+            request.at("id").asInt(), std::move(result)));
+    }
+    return direct.executeRaw(body);
+}
+
+class ServeLoadgen final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "serve_loadgen";
+    }
+
+    std::string
+    title() const override
+    {
+        return "rhs-serve load generator: batched query service under "
+               "concurrent clients";
+    }
+
+    std::string
+    source() const override
+    {
+        return "rhs-rpc/1 responses byte-identical to direct engine "
+               "calls";
+    }
+
+    std::vector<exp::OptionSpec>
+    options() const override
+    {
+        return {{"connections", "32",
+                 "concurrent client connections (8 under --smoke)"},
+                {"requests", "32",
+                 "requests per connection (6 under --smoke)"},
+                {"queue", "256", "phase-1 request queue capacity"},
+                {"batch", "16", "phase-1 batch size cap"},
+                {"out", "BENCH_serve.json", "JSON output path"}};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        const auto connections = static_cast<unsigned>(ctx.cli.getInt(
+            "connections", ctx.scale.smoke ? 8 : 32));
+        const auto requests = static_cast<unsigned>(
+            ctx.cli.getInt("requests", ctx.scale.smoke ? 6 : 32));
+        const auto queue_capacity = static_cast<unsigned>(
+            ctx.cli.getInt("queue", 256));
+        const auto batch_max =
+            static_cast<unsigned>(ctx.cli.getInt("batch", 16));
+        const std::string out_path =
+            ctx.cli.get("out", "BENCH_serve.json");
+        RHS_ASSERT(connections > 0 && requests > 0,
+                   "need at least one connection and request");
+
+        if (ctx.table) {
+            bench::printHeader(title(), source());
+            std::printf("connections %u, requests/connection %u, "
+                        "queue %u, batch %u\n\n",
+                        connections, requests, queue_capacity,
+                        batch_max);
+        }
+
+        // --- Phase 1: correctness + latency/throughput --------------
+        serve::ServerConfig config;
+        config.queueCapacity = queue_capacity;
+        config.batchMax = batch_max;
+        config.maxConnections = connections + 8;
+        serve::Server server(config);
+        server.start();
+
+        std::vector<std::vector<std::string>> bodies(connections);
+        std::vector<std::vector<report::Json>> parsed(connections);
+        for (unsigned c = 0; c < connections; ++c) {
+            for (unsigned k = 0; k < requests; ++k) {
+                auto request = makeRequest(c, k);
+                bodies[c].push_back(serve::serialize(request));
+                parsed[c].push_back(std::move(request));
+            }
+        }
+
+        std::vector<std::vector<std::string>> replies(
+            connections, std::vector<std::string>(requests));
+        std::vector<std::vector<double>> latencies(
+            connections, std::vector<double>(requests, 0.0));
+        std::vector<unsigned> transport_errors(connections, 0);
+
+        const auto sweep_start = Clock::now();
+        {
+            std::vector<std::thread> drivers;
+            drivers.reserve(connections);
+            for (unsigned c = 0; c < connections; ++c) {
+                drivers.emplace_back([&, c] {
+                    serve::Client client;
+                    if (!client.connect("127.0.0.1", server.port())) {
+                        transport_errors[c] = requests;
+                        return;
+                    }
+                    for (unsigned k = 0; k < requests; ++k) {
+                        const auto t0 = Clock::now();
+                        replies[c][k] = client.callRaw(bodies[c][k]);
+                        const std::chrono::duration<double> dt =
+                            Clock::now() - t0;
+                        latencies[c][k] = dt.count() * 1e3;
+                        if (replies[c][k].empty())
+                            ++transport_errors[c];
+                    }
+                });
+            }
+            for (auto &driver : drivers)
+                driver.join();
+        }
+        const std::chrono::duration<double> sweep_wall =
+            Clock::now() - sweep_start;
+
+        // Shut phase 1 down through the protocol, then drain.
+        bool shutdown_acked = false;
+        {
+            serve::Client control;
+            if (control.connect("127.0.0.1", server.port()))
+                shutdown_acked = control.shutdownServer();
+        }
+        server.waitForStopRequest();
+        server.stop();
+        const auto stats1 = server.stats();
+
+        // Verify every reply against the direct engine path.
+        serve::QueryEngine direct;
+        unsigned mismatches = 0, transports = 0;
+        for (unsigned c = 0; c < connections; ++c) {
+            transports += transport_errors[c];
+            for (unsigned k = 0; k < requests; ++k) {
+                if (replies[c][k].empty())
+                    continue; // Counted as a transport error already.
+                if (replies[c][k] !=
+                    expectedResponse(direct, parsed[c][k],
+                                     bodies[c][k]))
+                    ++mismatches;
+            }
+        }
+
+        std::vector<double> all_latencies;
+        all_latencies.reserve(connections * requests);
+        for (const auto &per_conn : latencies)
+            all_latencies.insert(all_latencies.end(),
+                                 per_conn.begin(), per_conn.end());
+        std::sort(all_latencies.begin(), all_latencies.end());
+        auto percentile = [&](double p) {
+            const auto last = all_latencies.size() - 1;
+            return all_latencies[static_cast<std::size_t>(
+                p * static_cast<double>(last))];
+        };
+        const double p50 = percentile(0.50);
+        const double p99 = percentile(0.99);
+        const double throughput =
+            static_cast<double>(connections) * requests /
+            sweep_wall.count();
+
+        if (ctx.table) {
+            std::printf("  sweep    %u requests in %.3f s  "
+                        "(%.0f req/s)\n",
+                        connections * requests, sweep_wall.count(),
+                        throughput);
+            std::printf("  latency  p50 %.3f ms  p99 %.3f ms  "
+                        "max %.3f ms\n",
+                        p50, p99, all_latencies.back());
+            std::printf("  verify   %u mismatches, %u transport "
+                        "errors, %llu batches (max %llu)\n\n",
+                        mismatches, transports,
+                        static_cast<unsigned long long>(
+                            stats1.batches),
+                        static_cast<unsigned long long>(
+                            stats1.maxBatch));
+        }
+
+        // --- Phase 2: backpressure + deadlines ----------------------
+        // Capacity 1 and a stalled dispatcher guarantee the queue is
+        // full while a flood is in flight, so `overloaded` replies are
+        // deterministic to provoke, and a 1 ms deadline lapses before
+        // its batch runs.
+        serve::ServerConfig tiny;
+        tiny.queueCapacity = 1;
+        tiny.batchMax = 1;
+        tiny.serviceDelayUs = 5000;
+        tiny.maxConnections = connections + 8;
+        serve::Server bp_server(tiny);
+        bp_server.start();
+
+        const unsigned bp_connections = std::min(connections, 8u);
+        const unsigned bp_requests = 16;
+        std::vector<unsigned> overloaded_per_conn(bp_connections, 0),
+            deadline_per_conn(bp_connections, 0),
+            answered_per_conn(bp_connections, 0);
+        {
+            std::vector<std::thread> drivers;
+            for (unsigned c = 0; c < bp_connections; ++c) {
+                drivers.emplace_back([&, c] {
+                    serve::Client client;
+                    if (!client.connect("127.0.0.1",
+                                        bp_server.port()))
+                        return;
+                    for (unsigned k = 0; k < bp_requests; ++k) {
+                        auto request = makeRequest(c, 5 * k + 1);
+                        if (k % 4 == 3)
+                            request.set("deadline_ms", 1);
+                        client.sendRaw(serve::serialize(request));
+                    }
+                    std::string reply;
+                    while (answered_per_conn[c] < bp_requests &&
+                           client.recvRaw(reply)) {
+                        ++answered_per_conn[c];
+                        report::Json response;
+                        std::string parse_error;
+                        if (!report::Json::parse(reply, response,
+                                                 parse_error))
+                            continue;
+                        if (serve::isError(response,
+                                           serve::err::kOverloaded))
+                            ++overloaded_per_conn[c];
+                        if (serve::isError(
+                                response,
+                                serve::err::kDeadlineExceeded))
+                            ++deadline_per_conn[c];
+                    }
+                });
+            }
+            for (auto &driver : drivers)
+                driver.join();
+        }
+        bp_server.stop();
+        const auto stats2 = bp_server.stats();
+
+        unsigned overloaded = 0, deadline_expired = 0, answered = 0;
+        for (unsigned c = 0; c < bp_connections; ++c) {
+            overloaded += overloaded_per_conn[c];
+            deadline_expired += deadline_per_conn[c];
+            answered += answered_per_conn[c];
+        }
+        const bool all_answered =
+            answered == bp_connections * bp_requests;
+        const bool drained =
+            stats1.requestsEnqueued == stats1.responsesSent &&
+            stats2.requestsEnqueued == stats2.responsesSent;
+
+        if (ctx.table)
+            std::printf("  backpressure  %u/%u answered, %u "
+                        "overloaded, %u deadline_exceeded\n",
+                        answered, bp_connections * bp_requests,
+                        overloaded, deadline_expired);
+
+        // --- Document -----------------------------------------------
+        doc.addSeries("latency_ms", {"p50", "p99", "max"},
+                      {p50, p99, all_latencies.back()});
+        doc.addSeries("throughput_rps", {throughput});
+        doc.data.set("connections", connections);
+        doc.data.set("requests_per_connection", requests);
+        doc.data.set("total_requests", connections * requests);
+        doc.data.set("mismatches", mismatches);
+        doc.data.set("transport_errors", transports);
+        doc.data.set("shutdown_acked", shutdown_acked);
+        doc.data.set("overloaded_replies", overloaded);
+        doc.data.set("deadline_replies", deadline_expired);
+        doc.data.set("backpressure_answered", answered);
+        doc.data.set("backpressure_expected",
+                     bp_connections * bp_requests);
+        auto server_stats = report::Json::object();
+        server_stats.set("sweep", server.statsJson());
+        server_stats.set("backpressure", bp_server.statsJson());
+        doc.data.set("server", std::move(server_stats));
+
+        doc.check("serve_identical", "serving contract",
+                  "every served response is byte-identical to the "
+                  "direct engine call",
+                  mismatches == 0 && transports == 0,
+                  std::to_string(mismatches) + " mismatches, " +
+                      std::to_string(transports) +
+                      " transport errors over " +
+                      std::to_string(connections * requests) +
+                      " requests");
+        doc.check("serve_backpressure", "robustness invariant",
+                  "an undersized queue answers overflow with explicit "
+                  "'overloaded' errors, never silent drops",
+                  overloaded >= 1 && all_answered,
+                  std::to_string(overloaded) + " overloaded replies; " +
+                      std::to_string(answered) + "/" +
+                      std::to_string(bp_connections * bp_requests) +
+                      " pipelined requests answered");
+        doc.check("serve_clean_drain", "robustness invariant",
+                  "shutdown drains: every enqueued request is "
+                  "answered before the server stops",
+                  drained && shutdown_acked,
+                  "enqueued==responses for both servers; shutdown "
+                  "acked: " +
+                      std::string(shutdown_acked ? "yes" : "no"));
+
+        report::JsonWriter().writeFile(out_path, doc.toJson());
+        if (ctx.table)
+            std::printf("\nwrote %s\n", out_path.c_str());
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerServeLoadgen()
+{
+    exp::Registry::add(std::make_unique<ServeLoadgen>());
+}
+
+} // namespace rhs::bench

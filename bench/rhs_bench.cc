@@ -3,10 +3,13 @@
  * `rhs-bench`: the single driver binary behind every figure/table
  * reproduction.
  *
- *   rhs-bench --list [--filter SUBSTR]       enumerate experiments
+ *   rhs-bench --list [--filter PATTERNS]     enumerate experiments
  *   rhs-bench NAME [options]                 run one experiment
  *   rhs-bench --all [options]                run every experiment
- *   rhs-bench --filter SUBSTR [options]      run the matching subset
+ *   rhs-bench --filter PATTERNS [options]    run the matching subset
+ *
+ * PATTERNS is a comma-separated list of name substrings ("temp,fig4"
+ * selects every experiment whose name contains either).
  *
  * Shared options:
  *   --format table|json|both   output form (default table)
@@ -70,11 +73,12 @@ printUsage(std::FILE *out)
 {
     std::fprintf(
         out,
-        "usage: rhs-bench --list [--filter SUBSTR]\n"
+        "usage: rhs-bench --list [--filter PATTERNS]\n"
         "       rhs-bench NAME [options]\n"
         "       rhs-bench --all [options]\n"
-        "       rhs-bench --filter SUBSTR [options]\n"
+        "       rhs-bench --filter PATTERNS [options]\n"
         "\n"
+        "PATTERNS: comma-separated name substrings, e.g. temp,fig4\n"
         "options: --format table|json|both  --out-dir DIR  --check\n"
         "         --smoke  --rows N  --modules N  --full  --jobs N\n"
         "         --seed N  plus per-experiment options (--list)\n");
@@ -224,8 +228,19 @@ main(int argc, char **argv)
     const bool want_json = format == "json" || format == "both";
     const bool check = cli.has("check");
     const std::string out_dir = cli.get("out-dir", ".");
-    if (want_json || check)
-        std::filesystem::create_directories(out_dir);
+    if (want_json || check) {
+        // Create the output directory if missing; report a real error
+        // (e.g. the path names an existing file) instead of throwing.
+        std::error_code ec;
+        std::filesystem::create_directories(out_dir, ec);
+        if (ec && !std::filesystem::is_directory(out_dir)) {
+            std::fprintf(stderr,
+                         "rhs-bench: cannot create --out-dir '%s': "
+                         "%s\n",
+                         out_dir.c_str(), ec.message().c_str());
+            return 1;
+        }
+    }
 
     exp::FleetCache fleet_cache;
     std::vector<std::string> failures;

@@ -44,12 +44,29 @@ Registry::find(const std::string &name)
 }
 
 std::vector<Experiment *>
-Registry::filter(const std::string &substring)
+Registry::filter(const std::string &patterns)
 {
+    // Comma-separated substring alternatives; empty segments (as in
+    // "temp,") are ignored, and no pattern at all matches everything.
+    std::vector<std::string> parts;
+    for (std::size_t begin = 0; begin <= patterns.size();) {
+        std::size_t end = patterns.find(',', begin);
+        if (end == std::string::npos)
+            end = patterns.size();
+        if (end > begin)
+            parts.push_back(patterns.substr(begin, end - begin));
+        begin = end + 1;
+    }
+
     std::vector<Experiment *> matches;
-    for (const auto &experiment : experiments())
-        if (experiment->name().find(substring) != std::string::npos)
+    for (const auto &experiment : experiments()) {
+        const std::string &name = experiment->name();
+        bool matched = parts.empty();
+        for (const auto &part : parts)
+            matched = matched || name.find(part) != std::string::npos;
+        if (matched)
             matches.push_back(experiment.get());
+    }
     return matches;
 }
 

@@ -34,11 +34,12 @@ class Registry
     static Experiment *find(const std::string &name);
 
     /**
-     * Experiments whose name contains `substring` (empty matches
-     * all), in registration order.
+     * Experiments whose name contains any of the comma-separated
+     * substring patterns ("temp,fig4"); an empty pattern list matches
+     * all. Registration order, each experiment at most once.
      */
     static std::vector<Experiment *>
-    filter(const std::string &substring);
+    filter(const std::string &patterns);
 
     /** Drop all registrations (tests only). */
     static void clearForTest();

@@ -1,6 +1,7 @@
 #include "report/writer.hh"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -126,6 +127,14 @@ JsonWriter::toString(const Json &value) const
 void
 JsonWriter::writeFile(const std::string &path, const Json &value) const
 {
+    // Create missing parent directories ("--out nested/dir/x.json" is
+    // a user convenience, not an error); a failure here falls through
+    // to the open error below with the precise path.
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
     std::ofstream out(path);
     if (!out.good())
         RHS_FATAL("cannot open JSON output file: ", path);

@@ -30,8 +30,8 @@ class JsonWriter
     std::string toString(const Json &value) const;
 
     /**
-     * Serialize to a file with a trailing newline.
-     * RHS_FATAL when the file cannot be written.
+     * Serialize to a file with a trailing newline, creating missing
+     * parent directories. RHS_FATAL when the file cannot be written.
      */
     void writeFile(const std::string &path, const Json &value) const;
 

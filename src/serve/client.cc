@@ -1,0 +1,128 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+
+namespace rhs::serve
+{
+
+bool
+Client::connect(const std::string &host, unsigned short port,
+                std::string *error)
+{
+    close();
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error != nullptr)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        if (error != nullptr)
+            *error = "bad host address: " + host;
+        close();
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        if (error != nullptr)
+            *error = std::string("connect(): ") + std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+Client::sendRaw(const std::string &body)
+{
+    return fd >= 0 && writeFrame(fd, body);
+}
+
+bool
+Client::recvRaw(std::string &body)
+{
+    return fd >= 0 && readFrame(fd, body) == FrameStatus::Ok;
+}
+
+std::string
+Client::callRaw(const std::string &body)
+{
+    if (!sendRaw(body))
+        return {};
+    std::string response;
+    if (!recvRaw(response))
+        return {};
+    return response;
+}
+
+bool
+Client::call(const report::Json &request, report::Json &response)
+{
+    const std::string reply = callRaw(serialize(request));
+    if (reply.empty())
+        return false;
+    std::string parse_error;
+    return report::Json::parse(reply, response, parse_error);
+}
+
+bool
+Client::ping(std::int64_t id)
+{
+    auto request = report::Json::object();
+    request.set("op", "ping");
+    request.set("id", id);
+    report::Json response;
+    if (!call(request, response))
+        return false;
+    const auto *ok = response.find("ok");
+    if (ok == nullptr || !ok->asBool())
+        return false;
+    return response.at("result").at("protocol").asString() == kProtocol;
+}
+
+report::Json
+Client::stats(std::int64_t id)
+{
+    auto request = report::Json::object();
+    request.set("op", "stats");
+    request.set("id", id);
+    report::Json response;
+    if (!call(request, response))
+        return {};
+    const auto *result = response.find("result");
+    return result != nullptr ? *result : report::Json();
+}
+
+bool
+Client::shutdownServer(std::int64_t id)
+{
+    auto request = report::Json::object();
+    request.set("op", "shutdown");
+    request.set("id", id);
+    report::Json response;
+    if (!call(request, response))
+        return false;
+    const auto *ok = response.find("ok");
+    return ok != nullptr && ok->asBool();
+}
+
+} // namespace rhs::serve

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * serve::Client — the rhs-rpc/1 client library.
+ *
+ * A Client is one blocking TCP connection. `call` is the simple
+ * one-outstanding-request form; `sendRaw`/`recvRaw` expose the frame
+ * stream directly for pipelining (many requests in flight on one
+ * connection, responses matched by id). Not thread-safe: one Client
+ * per thread, which is how the load generator uses it.
+ */
+
+#ifndef RHS_SERVE_CLIENT_HH
+#define RHS_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "report/json.hh"
+
+namespace rhs::serve
+{
+
+/** One rhs-rpc/1 connection. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Connect to a server.
+     * @return false with `error` filled on failure.
+     */
+    bool connect(const std::string &host, unsigned short port,
+                 std::string *error = nullptr);
+
+    bool connected() const { return fd >= 0; }
+    void close();
+
+    /**
+     * Send one request and wait for its response.
+     * @return false on a transport error (response left null).
+     */
+    bool call(const report::Json &request, report::Json &response);
+
+    /**
+     * Raw form of call(): send `body` as one frame, return the
+     * response frame's bytes verbatim (empty on transport error).
+     * This is what the load generator byte-compares against
+     * QueryEngine::executeRaw.
+     */
+    std::string callRaw(const std::string &body);
+
+    /** Write one request frame without waiting (pipelining). */
+    bool sendRaw(const std::string &body);
+
+    /** Read one response frame (pipelining). */
+    bool recvRaw(std::string &body);
+
+    // --- Conveniences over call() -----------------------------------
+    /** True when the server answers ping with the known protocol. */
+    bool ping(std::int64_t id = 0);
+
+    /** The server's stats payload (null on failure). */
+    report::Json stats(std::int64_t id = 0);
+
+    /** Ask the server to drain and stop; true when acknowledged. */
+    bool shutdownServer(std::int64_t id = 0);
+
+  private:
+    int fd = -1;
+};
+
+} // namespace rhs::serve
+
+#endif // RHS_SERVE_CLIENT_HH

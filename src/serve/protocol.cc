@@ -1,0 +1,155 @@
+#include "serve/protocol.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <sys/socket.h>
+
+#include "report/writer.hh"
+
+namespace rhs::serve
+{
+
+namespace
+{
+
+/**
+ * Read exactly `count` bytes into `out` (may be null to discard).
+ * @return bytes read before the stream ended; count on full success.
+ */
+std::size_t
+readExact(int fd, char *out, std::size_t count)
+{
+    std::size_t done = 0;
+    char discard[4096];
+    while (done < count) {
+        char *dst = out != nullptr ? out + done : discard;
+        const std::size_t want =
+            out != nullptr ? count - done
+                           : std::min(count - done, sizeof discard);
+        const ssize_t got = ::recv(fd, dst, want, 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (got == 0)
+            break;
+        done += static_cast<std::size_t>(got);
+    }
+    return done;
+}
+
+} // namespace
+
+std::array<unsigned char, 4>
+encodeLength(std::uint32_t length)
+{
+    return {static_cast<unsigned char>(length >> 24),
+            static_cast<unsigned char>(length >> 16),
+            static_cast<unsigned char>(length >> 8),
+            static_cast<unsigned char>(length)};
+}
+
+std::uint32_t
+decodeLength(const unsigned char *prefix)
+{
+    return (static_cast<std::uint32_t>(prefix[0]) << 24) |
+           (static_cast<std::uint32_t>(prefix[1]) << 16) |
+           (static_cast<std::uint32_t>(prefix[2]) << 8) |
+           static_cast<std::uint32_t>(prefix[3]);
+}
+
+std::string
+encodeFrame(const std::string &body)
+{
+    const auto prefix =
+        encodeLength(static_cast<std::uint32_t>(body.size()));
+    std::string frame(reinterpret_cast<const char *>(prefix.data()),
+                      prefix.size());
+    frame += body;
+    return frame;
+}
+
+FrameStatus
+readFrame(int fd, std::string &body, std::size_t max_bytes)
+{
+    body.clear();
+    unsigned char prefix[4];
+    const std::size_t got =
+        readExact(fd, reinterpret_cast<char *>(prefix), sizeof prefix);
+    if (got == 0)
+        return FrameStatus::Closed;
+    if (got < sizeof prefix)
+        return FrameStatus::Truncated;
+
+    const std::uint32_t length = decodeLength(prefix);
+    if (length > max_bytes) {
+        // Drain the declared payload so the next frame stays aligned.
+        if (readExact(fd, nullptr, length) < length)
+            return FrameStatus::Truncated;
+        return FrameStatus::Oversize;
+    }
+    body.resize(length);
+    if (length > 0 && readExact(fd, body.data(), length) < length)
+        return FrameStatus::Truncated;
+    return FrameStatus::Ok;
+}
+
+bool
+writeFrame(int fd, const std::string &body)
+{
+    const std::string frame = encodeFrame(body);
+    std::size_t done = 0;
+    while (done < frame.size()) {
+        const ssize_t sent = ::send(fd, frame.data() + done,
+                                    frame.size() - done, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+report::Json
+makeResult(std::int64_t id, report::Json result)
+{
+    auto response = report::Json::object();
+    response.set("id", id);
+    response.set("ok", true);
+    response.set("result", std::move(result));
+    return response;
+}
+
+report::Json
+makeError(std::int64_t id, const std::string &code,
+          const std::string &message)
+{
+    auto response = report::Json::object();
+    response.set("id", id);
+    response.set("ok", false);
+    response.set("error", code);
+    response.set("message", message);
+    return response;
+}
+
+std::string
+serialize(const report::Json &value)
+{
+    return report::JsonWriter().toString(value);
+}
+
+bool
+isError(const report::Json &response, const std::string &code)
+{
+    if (response.type() != report::Json::Type::Object)
+        return false;
+    const auto *ok = response.find("ok");
+    const auto *error = response.find("error");
+    return ok != nullptr && !ok->asBool() && error != nullptr &&
+           error->asString() == code;
+}
+
+} // namespace rhs::serve

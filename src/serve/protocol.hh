@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The `rhs-rpc/1` wire protocol of the characterization query service.
+ *
+ * A connection carries a stream of frames in both directions. One
+ * frame is a 4-byte big-endian payload length followed by that many
+ * bytes of UTF-8 JSON (the report::Json model, serialized by
+ * report::JsonWriter so responses are byte-stable across runs).
+ *
+ * Requests are objects with at least {"op": string, "id": int};
+ * operation parameters ride alongside. Responses echo the id:
+ *
+ *   {"id": 7, "ok": true,  "result": {...}}
+ *   {"id": 7, "ok": false, "error": "overloaded", "message": "..."}
+ *
+ * Protocol-level failures that occur before an id can be read
+ * (malformed JSON, empty body, oversize frame) are answered with
+ * id -1. Framing errors never tear the connection down: an oversize
+ * frame's declared payload is consumed and discarded so the stream
+ * stays synchronized, and the next frame is processed normally. Only
+ * a truncated frame (the peer died mid-frame) ends the connection.
+ *
+ * Error codes, fixed by the protocol:
+ *   bad_request        malformed frame body or invalid parameters
+ *   frame_too_large    declared payload exceeds kMaxFrameBytes
+ *   unknown_op         the op is not served
+ *   overloaded         the bounded request queue is full (backpressure)
+ *   deadline_exceeded  the request's deadline lapsed before execution
+ *   shutting_down      the server is draining and accepts no new work
+ *   internal           unexpected server-side failure
+ */
+
+#ifndef RHS_SERVE_PROTOCOL_HH
+#define RHS_SERVE_PROTOCOL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "report/json.hh"
+
+namespace rhs::serve
+{
+
+/** Protocol revision announced by ping and documented in USAGE.md. */
+inline constexpr const char *kProtocol = "rhs-rpc/1";
+
+/** Hard cap on one frame's payload. */
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/** Response id used when the request's own id could not be read. */
+inline constexpr std::int64_t kNoRequestId = -1;
+
+namespace err
+{
+inline constexpr const char *kBadRequest = "bad_request";
+inline constexpr const char *kFrameTooLarge = "frame_too_large";
+inline constexpr const char *kUnknownOp = "unknown_op";
+inline constexpr const char *kOverloaded = "overloaded";
+inline constexpr const char *kDeadlineExceeded = "deadline_exceeded";
+inline constexpr const char *kShuttingDown = "shutting_down";
+inline constexpr const char *kInternal = "internal";
+} // namespace err
+
+/** Encode a frame length as the 4-byte big-endian prefix. */
+std::array<unsigned char, 4> encodeLength(std::uint32_t length);
+
+/** Decode the 4-byte big-endian prefix. */
+std::uint32_t decodeLength(const unsigned char *prefix);
+
+/** A complete frame (prefix + payload) ready to write to a socket. */
+std::string encodeFrame(const std::string &body);
+
+/** Outcome of reading one frame from a socket. */
+enum class FrameStatus
+{
+    Ok,        //!< `body` holds the payload (possibly empty).
+    Closed,    //!< Clean end of stream between frames.
+    Truncated, //!< End of stream inside a frame: the peer died.
+    Oversize,  //!< Declared payload > max; it was consumed and dropped.
+};
+
+/**
+ * Read one frame from a blocking socket.
+ *
+ * Oversize frames are drained byte for byte so the stream stays
+ * framed; the caller should answer with err::kFrameTooLarge and keep
+ * reading. Retries EINTR; any other read error reports Truncated.
+ */
+FrameStatus readFrame(int fd, std::string &body,
+                      std::size_t max_bytes = kMaxFrameBytes);
+
+/**
+ * Write one complete frame to a blocking socket (MSG_NOSIGNAL, so a
+ * dead peer yields `false`, not SIGPIPE).
+ */
+bool writeFrame(int fd, const std::string &body);
+
+/** Build a success response envelope. */
+report::Json makeResult(std::int64_t id, report::Json result);
+
+/** Build an error response envelope. */
+report::Json makeError(std::int64_t id, const std::string &code,
+                       const std::string &message);
+
+/**
+ * Serialize a response exactly as the server writes it (the
+ * report::JsonWriter form) — the byte-identity contract the load
+ * generator checks against direct engine calls.
+ */
+std::string serialize(const report::Json &value);
+
+/** True when `response` is an error carrying `code`. */
+bool isError(const report::Json &response, const std::string &code);
+
+} // namespace rhs::serve
+
+#endif // RHS_SERVE_PROTOCOL_HH

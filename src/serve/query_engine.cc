@@ -1,0 +1,256 @@
+#include "serve/query_engine.hh"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/tester.hh"
+#include "rhmodel/pattern.hh"
+#include "serve/protocol.hh"
+
+namespace rhs::serve
+{
+
+namespace
+{
+
+/** Thrown by the parameter accessors; becomes one bad_request reply. */
+struct ParamError
+{
+    std::string message;
+};
+
+std::int64_t
+requestId(const report::Json &request)
+{
+    if (request.type() != report::Json::Type::Object)
+        return kNoRequestId;
+    const auto *id = request.find("id");
+    if (id == nullptr || id->type() != report::Json::Type::Int)
+        return kNoRequestId;
+    return id->asInt();
+}
+
+std::int64_t
+requiredIntParam(const report::Json &request, const std::string &name,
+                 std::int64_t min, std::int64_t max)
+{
+    const auto *value = request.find(name);
+    if (value == nullptr)
+        throw ParamError{"'" + name + "' is required"};
+    if (value->type() != report::Json::Type::Int)
+        throw ParamError{"'" + name + "' must be an integer"};
+    const std::int64_t parsed = value->asInt();
+    if (parsed < min || parsed > max)
+        throw ParamError{"'" + name + "' out of range [" +
+                         std::to_string(min) + ", " +
+                         std::to_string(max) + "]"};
+    return parsed;
+}
+
+std::int64_t
+intParam(const report::Json &request, const std::string &name,
+         std::int64_t fallback, std::int64_t min, std::int64_t max)
+{
+    if (request.find(name) == nullptr)
+        return fallback;
+    return requiredIntParam(request, name, min, max);
+}
+
+double
+doubleParam(const report::Json &request, const std::string &name,
+            double fallback, double min, double max)
+{
+    const auto *value = request.find(name);
+    if (value == nullptr)
+        return fallback;
+    if (!value->isNumber())
+        throw ParamError{"'" + name + "' must be a number"};
+    const double parsed = value->asDouble();
+    if (parsed < min || parsed > max)
+        throw ParamError{"'" + name + "' out of range"};
+    return parsed;
+}
+
+rhmodel::Mfr
+mfrParam(const report::Json &request)
+{
+    const auto *value = request.find("mfr");
+    if (value == nullptr)
+        return rhmodel::Mfr::A;
+    if (value->type() != report::Json::Type::String)
+        throw ParamError{"'mfr' must be a string"};
+    const std::string &name = value->asString();
+    for (auto mfr : rhmodel::allMfrs)
+        if (name.size() == 1 && name[0] == rhmodel::letterOf(mfr))
+            return mfr;
+    throw ParamError{"'mfr' must be one of A, B, C, D"};
+}
+
+rhmodel::DataPattern
+patternParam(const report::Json &request)
+{
+    const auto seed = static_cast<std::uint64_t>(intParam(
+        request, "pattern_seed", 0, 0,
+        std::numeric_limits<std::int64_t>::max()));
+    const auto *value = request.find("pattern");
+    if (value == nullptr)
+        return rhmodel::DataPattern(rhmodel::PatternId::Checkered, seed);
+    if (value->type() != report::Json::Type::String)
+        throw ParamError{"'pattern' must be a string"};
+    for (auto id : rhmodel::allPatterns)
+        if (value->asString() == rhmodel::to_string(id))
+            return rhmodel::DataPattern(id, seed);
+    throw ParamError{"unknown 'pattern' (Table 1 names, e.g. "
+                     "\"checkered\", \"rowstripe-inv\", \"random\")"};
+}
+
+rhmodel::Conditions
+conditionsParam(const report::Json &request)
+{
+    rhmodel::Conditions conditions;
+    conditions.temperature =
+        doubleParam(request, "temperature", 50.0, -40.0, 150.0);
+    conditions.tAggOn = doubleParam(request, "t_agg_on", 0.0, 0.0, 1e6);
+    conditions.tAggOff = doubleParam(request, "t_agg_off", 0.0, 0.0, 1e6);
+    return conditions;
+}
+
+/** A double-sided victim needs both physical neighbours in the bank. */
+unsigned
+victimRowParam(const report::Json &request, const std::string &name,
+               const dram::Geometry &geometry)
+{
+    const unsigned last = geometry.rowsPerBank() - 2;
+    return static_cast<unsigned>(
+        requiredIntParam(request, name, 1, last));
+}
+
+} // namespace
+
+bool
+QueryEngine::isEngineOp(const std::string &op)
+{
+    return op == "row_hcfirst" || op == "ber" || op == "worst_pattern" ||
+           op == "profile_slice";
+}
+
+core::Tester &
+QueryEngine::tester(rhmodel::Mfr mfr, unsigned module_index)
+{
+    std::lock_guard lock(buildMutex);
+    return *fleet.module(mfr, module_index).tester;
+}
+
+report::Json
+QueryEngine::execute(const report::Json &request)
+{
+    const std::int64_t id = requestId(request);
+    if (request.type() != report::Json::Type::Object)
+        return makeError(id, err::kBadRequest,
+                         "request must be a JSON object");
+    const auto *op_value = request.find("op");
+    if (op_value == nullptr ||
+        op_value->type() != report::Json::Type::String)
+        return makeError(id, err::kBadRequest,
+                         "request needs a string 'op'");
+    const std::string &op = op_value->asString();
+    if (!isEngineOp(op))
+        return makeError(id, err::kUnknownOp, "unknown op '" + op + "'");
+    if (id == kNoRequestId)
+        return makeError(id, err::kBadRequest,
+                         "request needs an integer 'id'");
+
+    try {
+        const auto mfr = mfrParam(request);
+        const auto module_index = static_cast<unsigned>(
+            intParam(request, "module", 0, 0, 63));
+        auto &tester = this->tester(mfr, module_index);
+        const auto &geometry = tester.module().module().geometry();
+        const auto bank = static_cast<unsigned>(intParam(
+            request, "bank", 0, 0, geometry.banks - 1));
+        const auto conditions = conditionsParam(request);
+        const auto pattern = patternParam(request);
+        const auto trial = static_cast<unsigned>(
+            intParam(request, "trial", 0, 0, 1023));
+
+        auto result = report::Json::object();
+        if (op == "row_hcfirst") {
+            const unsigned row =
+                victimRowParam(request, "row", geometry);
+            result.set("row", row);
+            result.set("hcfirst",
+                       tester.hcFirstSearch(bank, row, conditions,
+                                            pattern, trial));
+        } else if (op == "ber") {
+            const unsigned row =
+                victimRowParam(request, "row", geometry);
+            const auto hammers = static_cast<std::uint64_t>(
+                intParam(request, "hammers",
+                         static_cast<std::int64_t>(core::kBerHammers),
+                         1, 100'000'000));
+            result.set("row", row);
+            result.set("hammers", hammers);
+            result.set("flips",
+                       tester.berOfRow(bank, row, conditions, pattern,
+                                       hammers, trial));
+        } else if (op == "worst_pattern") {
+            const auto *rows_value = request.find("rows");
+            if (rows_value == nullptr ||
+                rows_value->type() != report::Json::Type::Array ||
+                rows_value->size() == 0)
+                throw ParamError{"'rows' must be a non-empty array"};
+            if (rows_value->size() > kMaxWcdpRows)
+                throw ParamError{"'rows' is capped at " +
+                                 std::to_string(kMaxWcdpRows) +
+                                 " sample rows"};
+            std::vector<unsigned> rows;
+            const unsigned last = geometry.rowsPerBank() - 2;
+            for (std::size_t i = 0; i < rows_value->size(); ++i) {
+                const auto &entry = rows_value->at(i);
+                if (entry.type() != report::Json::Type::Int ||
+                    entry.asInt() < 1 || entry.asInt() > last)
+                    throw ParamError{"'rows' entries must be victim "
+                                     "rows in [1, " +
+                                     std::to_string(last) + "]"};
+                rows.push_back(static_cast<unsigned>(entry.asInt()));
+            }
+            const auto wcdp =
+                tester.findWorstCasePattern(bank, rows, conditions);
+            result.set("pattern", rhmodel::to_string(wcdp.id()));
+            result.set("pattern_seed", wcdp.patternSeed());
+        } else { // profile_slice
+            const unsigned row0 =
+                victimRowParam(request, "row0", geometry);
+            const auto count = static_cast<unsigned>(
+                requiredIntParam(request, "count", 1, kMaxSliceRows));
+            const unsigned last = geometry.rowsPerBank() - 2;
+            if (row0 + count - 1 > last)
+                throw ParamError{"slice [row0, row0+count) exceeds the "
+                                 "bank's last victim row " +
+                                 std::to_string(last)};
+            auto curve = report::Json::array();
+            for (unsigned row = row0; row < row0 + count; ++row)
+                curve.push(tester.hcFirstSearch(bank, row, conditions,
+                                                pattern, trial));
+            result.set("row0", row0);
+            result.set("hcfirst", std::move(curve));
+        }
+        return makeResult(id, std::move(result));
+    } catch (const ParamError &error) {
+        return makeError(id, err::kBadRequest, error.message);
+    }
+}
+
+std::string
+QueryEngine::executeRaw(const std::string &body)
+{
+    report::Json request;
+    std::string parse_error;
+    if (!report::Json::parse(body, request, parse_error))
+        return serialize(makeError(kNoRequestId, err::kBadRequest,
+                                   "malformed JSON: " + parse_error));
+    return serialize(execute(request));
+}
+
+} // namespace rhs::serve

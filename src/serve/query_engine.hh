@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Execution of rhs-rpc/1 characterization queries against the engine.
+ *
+ * The QueryEngine owns one exp::FleetCache and maps each query onto
+ * the same Tester calls the experiments use, so a served result is the
+ * direct-call result byte for byte (the load generator proves this by
+ * running every request through a second, private QueryEngine and
+ * comparing serialized responses).
+ *
+ * Thread safety: module construction is serialized behind a mutex
+ * (FleetCache's maps are not concurrent); everything after the lookup
+ * runs lock-free on the engine's own thread-safe caches, so a batch of
+ * queries executes in parallel on the PR 2 rowEval kernel.
+ *
+ * Served operations (all parameters optional unless noted):
+ *
+ *   row_hcfirst    {mfr, module, bank, row*, temperature, t_agg_on,
+ *                   t_agg_off, pattern, pattern_seed, trial}
+ *                  -> {row, hcfirst}            (0 = not vulnerable)
+ *   ber            {..., row*, hammers, trial}  -> {row, hammers, flips}
+ *   worst_pattern  {..., rows*: [r...]}         -> {pattern, pattern_seed}
+ *   profile_slice  {..., row0*, count*, trial}  -> {row0, hcfirst: [...]}
+ */
+
+#ifndef RHS_SERVE_QUERY_ENGINE_HH
+#define RHS_SERVE_QUERY_ENGINE_HH
+
+#include <mutex>
+#include <string>
+
+#include "exp/fleet_cache.hh"
+#include "report/json.hh"
+
+namespace rhs::serve
+{
+
+/** Executes engine-backed rhs-rpc/1 operations. */
+class QueryEngine
+{
+  public:
+    /** Cap on a profile_slice's row count (one response frame). */
+    static constexpr unsigned kMaxSliceRows = 512;
+    /** Cap on a worst_pattern sample (each row scans 7 patterns). */
+    static constexpr unsigned kMaxWcdpRows = 64;
+
+    /** True when `op` is executed here (vs served inline). */
+    static bool isEngineOp(const std::string &op);
+
+    /**
+     * Execute one parsed request object; always returns a complete
+     * response envelope (invalid parameters become bad_request).
+     */
+    report::Json execute(const report::Json &request);
+
+    /**
+     * Parse and execute a raw frame body; the serialized response.
+     * This is the whole server data path minus the socket, which is
+     * what the load generator compares against.
+     */
+    std::string executeRaw(const std::string &body);
+
+  private:
+    core::Tester &tester(rhmodel::Mfr mfr, unsigned module_index);
+
+    std::mutex buildMutex; //!< Guards the FleetCache maps only.
+    exp::FleetCache fleet;
+};
+
+} // namespace rhs::serve
+
+#endif // RHS_SERVE_QUERY_ENGINE_HH

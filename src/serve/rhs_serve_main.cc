@@ -1,0 +1,116 @@
+/**
+ * @file
+ * `rhs-serve` — the standalone characterization query server.
+ *
+ *   rhs-serve [--host H] [--port P] [--queue N] [--batch N]
+ *             [--max-conns N] [--jobs N] [--log LEVEL]
+ *
+ * --port 0 (the default) binds an ephemeral port; the bound port is
+ * announced on stderr ("listening on ..."), which is how scripted
+ * clients discover it. The server runs until SIGTERM/SIGINT or an
+ * rhs-rpc/1 `shutdown` request, then drains: every queued request is
+ * answered before the process exits 0.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+#include <unistd.h>
+
+#include "report/writer.hh"
+#include "serve/server.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+// Self-pipe: the signal handler may only touch async-signal-safe
+// calls, so it writes one byte and a watcher thread does the rest.
+int signalPipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] const auto ignored =
+        ::write(signalPipe[1], &byte, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const util::Cli cli(argc, argv,
+                        {"host", "port", "queue", "batch", "max-conns",
+                         "jobs", "log", "help"});
+    if (cli.has("help")) {
+        std::printf(
+            "usage: rhs-serve [--host H] [--port P] [--queue N] "
+            "[--batch N]\n"
+            "                 [--max-conns N] [--jobs N] "
+            "[--log silent|warn|info|debug]\n");
+        return 0;
+    }
+
+    const std::string log = cli.get("log", "info");
+    if (log == "silent")
+        util::setLogLevel(util::LogLevel::Silent);
+    else if (log == "warn")
+        util::setLogLevel(util::LogLevel::Warn);
+    else if (log == "debug")
+        util::setLogLevel(util::LogLevel::Debug);
+    else if (log != "info")
+        RHS_FATAL("--log must be silent, warn, info, or debug");
+
+    util::setLogThreadTag("main");
+    util::ThreadPool::configure(
+        static_cast<unsigned>(cli.getInt("jobs", 0)));
+
+    serve::ServerConfig config;
+    config.host = cli.get("host", "127.0.0.1");
+    config.port = static_cast<unsigned short>(cli.getInt("port", 0));
+    config.queueCapacity =
+        static_cast<unsigned>(cli.getInt("queue", 256));
+    config.batchMax = static_cast<unsigned>(cli.getInt("batch", 16));
+    config.maxConnections =
+        static_cast<unsigned>(cli.getInt("max-conns", 128));
+
+    serve::Server server(config);
+    server.start();
+
+    if (::pipe(signalPipe) != 0)
+        RHS_FATAL("rhs-serve: pipe(): cannot set up signal handling");
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::thread watcher([&server] {
+        util::setLogThreadTag("signals");
+        char byte;
+        if (::read(signalPipe[0], &byte, 1) == 1) {
+            util::inform("rhs-serve: signal received; draining");
+            server.requestStop();
+        }
+    });
+
+    server.waitForStopRequest();
+    server.stop();
+
+    // Wake the watcher if the stop came from a shutdown request.
+    const char byte = 0;
+    [[maybe_unused]] const auto ignored =
+        ::write(signalPipe[1], &byte, 1);
+    watcher.join();
+    ::close(signalPipe[0]);
+    ::close(signalPipe[1]);
+
+    std::fprintf(stderr, "%s\n",
+                 report::JsonWriter()
+                     .toString(server.statsJson())
+                     .c_str());
+    return 0;
+}

@@ -1,0 +1,429 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace rhs::serve
+{
+
+Server::Connection::~Connection()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+Server::Server(ServerConfig config) : config(std::move(config))
+{
+    RHS_ASSERT(this->config.queueCapacity > 0,
+               "queueCapacity must be positive");
+    RHS_ASSERT(this->config.batchMax > 0, "batchMax must be positive");
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        RHS_FATAL("rhs-serve: socket(): ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config.port);
+    if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1)
+        RHS_FATAL("rhs-serve: bad host address: ", config.host);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        RHS_FATAL("rhs-serve: bind(", config.host, ":", config.port,
+                  "): ", std::strerror(errno));
+    if (::listen(listenFd, 128) != 0)
+        RHS_FATAL("rhs-serve: listen(): ", std::strerror(errno));
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof bound;
+    ::getsockname(listenFd, reinterpret_cast<sockaddr *>(&bound),
+                  &bound_len);
+    boundPort = ntohs(bound.sin_port);
+    util::inform("rhs-serve: listening on ", config.host, ":",
+                 boundPort, " (queue ", config.queueCapacity,
+                 ", batch ", config.batchMax, ")");
+
+    acceptThread = std::thread([this] { acceptLoop(); });
+    dispatchThread = std::thread([this] { dispatchLoop(); });
+}
+
+void
+Server::requestStop()
+{
+    if (stopping.exchange(true))
+        return;
+    {
+        std::lock_guard lock(stopMutex);
+    }
+    stopCv.notify_all();
+    queueCv.notify_all();
+    // Unblock accept(); the fd itself is closed in stop().
+    if (listenFd >= 0)
+        ::shutdown(listenFd, SHUT_RDWR);
+}
+
+void
+Server::waitForStopRequest()
+{
+    std::unique_lock lock(stopMutex);
+    stopCv.wait(lock, [this] { return stopping.load(); });
+}
+
+void
+Server::stop()
+{
+    requestStop();
+    {
+        std::lock_guard lock(stopMutex);
+        if (stopped)
+            return;
+        stopped = true;
+    }
+    if (acceptThread.joinable())
+        acceptThread.join();
+    // The dispatcher drains every queued request before exiting, so
+    // nothing accepted before the stop request goes unanswered.
+    queueCv.notify_all();
+    if (dispatchThread.joinable())
+        dispatchThread.join();
+    {
+        std::lock_guard lock(connectionsMutex);
+        for (auto &reader : readers) {
+            reader.conn->open.store(false);
+            ::shutdown(reader.conn->fd, SHUT_RDWR);
+        }
+    }
+    for (auto &reader : readers)
+        if (reader.thread.joinable())
+            reader.thread.join();
+    readers.clear(); // Connection destructors close the fds.
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    util::inform("rhs-serve: stopped (", nResponses.load(),
+                 " batch responses, ", nInline.load(),
+                 " inline replies)");
+}
+
+void
+Server::reapFinishedReaders()
+{
+    std::lock_guard lock(connectionsMutex);
+    for (auto it = readers.begin(); it != readers.end();) {
+        if (!it->conn->open.load()) {
+            it->thread.join();
+            it = readers.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    util::setLogThreadTag("accept");
+    while (!stopping.load()) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // Listener shut down (stop) or broken.
+        }
+        if (stopping.load()) {
+            ::close(fd);
+            break;
+        }
+        reapFinishedReaders();
+
+        std::lock_guard lock(connectionsMutex);
+        if (readers.size() >= config.maxConnections) {
+            nRejected.fetch_add(1);
+            writeFrame(fd, serialize(makeError(
+                               kNoRequestId, err::kOverloaded,
+                               "connection limit reached")));
+            ::close(fd);
+            continue;
+        }
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        conn->id =
+            static_cast<unsigned>(nConnections.fetch_add(1) + 1);
+        Reader reader;
+        reader.conn = conn;
+        reader.thread = std::thread([this, conn] { readerLoop(conn); });
+        readers.push_back(std::move(reader));
+    }
+}
+
+bool
+Server::send(Connection &conn, const report::Json &response)
+{
+    const std::string body = serialize(response);
+    std::lock_guard lock(conn.writeMutex);
+    if (conn.fd < 0)
+        return false;
+    return writeFrame(conn.fd, body);
+}
+
+void
+Server::handleFrame(const std::shared_ptr<Connection> &conn,
+                    const std::string &body)
+{
+    if (body.empty()) {
+        nMalformed.fetch_add(1);
+        nInline.fetch_add(1);
+        send(*conn, makeError(kNoRequestId, err::kBadRequest,
+                              "empty frame body"));
+        return;
+    }
+
+    report::Json request;
+    std::string parse_error;
+    if (!report::Json::parse(body, request, parse_error)) {
+        nMalformed.fetch_add(1);
+        nInline.fetch_add(1);
+        send(*conn, makeError(kNoRequestId, err::kBadRequest,
+                              "malformed JSON: " + parse_error));
+        return;
+    }
+
+    std::int64_t id = kNoRequestId;
+    if (request.type() == report::Json::Type::Object) {
+        if (const auto *id_value = request.find("id");
+            id_value != nullptr &&
+            id_value->type() == report::Json::Type::Int)
+            id = id_value->asInt();
+    }
+    const report::Json *op_value =
+        request.type() == report::Json::Type::Object
+            ? request.find("op")
+            : nullptr;
+    if (op_value == nullptr ||
+        op_value->type() != report::Json::Type::String) {
+        nInline.fetch_add(1);
+        send(*conn, makeError(id, err::kBadRequest,
+                              "request needs a string 'op'"));
+        return;
+    }
+    const std::string &op = op_value->asString();
+
+    if (op == "ping") {
+        auto result = report::Json::object();
+        result.set("protocol", kProtocol);
+        nInline.fetch_add(1);
+        send(*conn, makeResult(id, std::move(result)));
+        return;
+    }
+    if (op == "stats") {
+        nInline.fetch_add(1);
+        send(*conn, makeResult(id, statsJson()));
+        return;
+    }
+    if (op == "shutdown") {
+        auto result = report::Json::object();
+        result.set("draining", true);
+        nInline.fetch_add(1);
+        send(*conn, makeResult(id, std::move(result)));
+        util::inform("rhs-serve: shutdown requested by conn",
+                     conn->id);
+        requestStop();
+        return;
+    }
+    if (!QueryEngine::isEngineOp(op)) {
+        nInline.fetch_add(1);
+        send(*conn,
+             makeError(id, err::kUnknownOp, "unknown op '" + op + "'"));
+        return;
+    }
+
+    Pending pending;
+    pending.conn = conn;
+    pending.id = id;
+    if (const auto *deadline = request.find("deadline_ms");
+        deadline != nullptr) {
+        if (deadline->type() != report::Json::Type::Int ||
+            deadline->asInt() < 0) {
+            nInline.fetch_add(1);
+            send(*conn,
+                 makeError(id, err::kBadRequest,
+                           "'deadline_ms' must be a non-negative "
+                           "integer"));
+            return;
+        }
+        if (deadline->asInt() > 0)
+            pending.deadline =
+                Clock::now() +
+                std::chrono::milliseconds(deadline->asInt());
+    }
+    pending.body = std::move(request);
+
+    {
+        // stopping and the queue are checked under one lock so a
+        // request is either drained by the dispatcher or refused here
+        // — never both missed (see dispatchLoop's exit condition).
+        std::lock_guard lock(queueMutex);
+        if (stopping.load()) {
+            nInline.fetch_add(1);
+            send(*conn, makeError(id, err::kShuttingDown,
+                                  "server is draining"));
+            return;
+        }
+        if (queue.size() >= config.queueCapacity) {
+            nOverloaded.fetch_add(1);
+            nInline.fetch_add(1);
+            send(*conn, makeError(id, err::kOverloaded,
+                                  "request queue is full (capacity " +
+                                      std::to_string(
+                                          config.queueCapacity) +
+                                      ")"));
+            return;
+        }
+        queue.push_back(std::move(pending));
+        nEnqueued.fetch_add(1);
+    }
+    queueCv.notify_one();
+}
+
+void
+Server::readerLoop(const std::shared_ptr<Connection> &conn)
+{
+    util::setLogThreadTag("conn" + std::to_string(conn->id));
+    util::debug("connection open");
+    std::string body;
+    while (conn->open.load()) {
+        const FrameStatus status = readFrame(conn->fd, body);
+        if (status == FrameStatus::Closed) {
+            util::debug("connection closed by peer");
+            break;
+        }
+        if (status == FrameStatus::Truncated) {
+            nMalformed.fetch_add(1);
+            util::debug("truncated frame; closing connection");
+            break;
+        }
+        if (status == FrameStatus::Oversize) {
+            nMalformed.fetch_add(1);
+            nInline.fetch_add(1);
+            send(*conn,
+                 makeError(kNoRequestId, err::kFrameTooLarge,
+                           "frame exceeds " +
+                               std::to_string(kMaxFrameBytes) +
+                               " bytes"));
+            continue;
+        }
+        handleFrame(conn, body);
+    }
+    conn->open.store(false);
+}
+
+void
+Server::dispatchLoop()
+{
+    util::setLogThreadTag("dispatch");
+    std::vector<Pending> batch;
+    while (true) {
+        batch.clear();
+        {
+            std::unique_lock lock(queueMutex);
+            queueCv.wait(lock, [this] {
+                return !queue.empty() || stopping.load();
+            });
+            if (queue.empty() && stopping.load())
+                return; // Fully drained.
+            while (!queue.empty() && batch.size() < config.batchMax) {
+                batch.push_back(std::move(queue.front()));
+                queue.pop_front();
+            }
+        }
+        nBatches.fetch_add(1);
+        std::uint64_t seen = nMaxBatch.load();
+        while (seen < batch.size() &&
+               !nMaxBatch.compare_exchange_weak(seen, batch.size())) {
+        }
+        if (config.serviceDelayUs > 0)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(config.serviceDelayUs));
+
+        // One parallel pass over the whole batch: every query bottoms
+        // out in the rowEval kernel, whose caches are thread-safe and
+        // value-preserving, so concurrent evaluation cannot change any
+        // response byte.
+        const auto responses = util::ThreadPool::instance().parallelMap(
+            batch.size(), [&](std::size_t i) -> report::Json {
+                const Pending &pending = batch[i];
+                if (Clock::now() > pending.deadline) {
+                    nDeadline.fetch_add(1);
+                    return makeError(pending.id,
+                                     err::kDeadlineExceeded,
+                                     "deadline lapsed before "
+                                     "execution");
+                }
+                return engine.execute(pending.body);
+            });
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            send(*batch[i].conn, responses[i]);
+            nResponses.fetch_add(1);
+        }
+    }
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats out;
+    out.connectionsAccepted = nConnections.load();
+    out.connectionsRejected = nRejected.load();
+    out.requestsEnqueued = nEnqueued.load();
+    out.responsesSent = nResponses.load();
+    out.inlineReplies = nInline.load();
+    out.batches = nBatches.load();
+    out.maxBatch = nMaxBatch.load();
+    out.overloaded = nOverloaded.load();
+    out.deadlineExpired = nDeadline.load();
+    out.malformedFrames = nMalformed.load();
+    return out;
+}
+
+report::Json
+Server::statsJson() const
+{
+    const ServerStats s = stats();
+    auto json = report::Json::object();
+    json.set("protocol", kProtocol);
+    json.set("queue_capacity", config.queueCapacity);
+    json.set("batch_max", config.batchMax);
+    json.set("connections_accepted", s.connectionsAccepted);
+    json.set("connections_rejected", s.connectionsRejected);
+    json.set("requests_enqueued", s.requestsEnqueued);
+    json.set("responses_sent", s.responsesSent);
+    json.set("inline_replies", s.inlineReplies);
+    json.set("batches", s.batches);
+    json.set("max_batch", s.maxBatch);
+    json.set("overloaded", s.overloaded);
+    json.set("deadline_expired", s.deadlineExpired);
+    json.set("malformed_frames", s.malformedFrames);
+    return json;
+}
+
+} // namespace rhs::serve

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * `rhs-serve`: the batched characterization query server.
+ *
+ * One Server owns a loopback-only TCP listener, one reader thread per
+ * connection, and one dispatcher thread in front of a QueryEngine:
+ *
+ *   reader  --> bounded request queue --> dispatcher --> ThreadPool
+ *   threads     (backpressure)            (batching)     (rowEval)
+ *
+ * Readers parse rhs-rpc/1 frames and answer the cheap control ops
+ * (ping/stats/shutdown) inline; engine ops are enqueued. The
+ * dispatcher coalesces whatever is queued — up to `batchMax` requests
+ * — into one batch and evaluates it with util::parallelFor, so
+ * concurrent clients share one pass over the engine's thread-safe
+ * caches instead of serializing on a per-request lock.
+ *
+ * Robustness invariants (tested in tests/serve_test.cc):
+ *  - the request queue is bounded; when full the request is answered
+ *    with an `overloaded` error immediately — never silently dropped;
+ *  - a request's `deadline_ms` budget is checked when its batch starts
+ *    executing; lapsed requests get `deadline_exceeded`, not a stale
+ *    result;
+ *  - malformed frames (empty body, bad JSON, oversize payload) are
+ *    answered with an error on the same connection, which stays up;
+ *    only a truncated frame (dead peer) ends a connection;
+ *  - stop() drains: every queued request is answered before the
+ *    sockets shut down, and `shutting_down` is returned for work
+ *    arriving during the drain.
+ */
+
+#ifndef RHS_SERVE_SERVER_HH
+#define RHS_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/json.hh"
+#include "serve/query_engine.hh"
+
+namespace rhs::serve
+{
+
+/** Server tunables; defaults fit the load-generator scenarios. */
+struct ServerConfig
+{
+    std::string host = "127.0.0.1"; //!< Loopback only by default.
+    unsigned short port = 0;        //!< 0 = ephemeral (see port()).
+    unsigned queueCapacity = 256;   //!< Bounded request queue.
+    unsigned batchMax = 16;         //!< Max requests per batch.
+    unsigned maxConnections = 128;  //!< Accept cap.
+    //! Artificial stall before each batch executes (test hook: makes
+    //! the backpressure and deadline paths deterministic to exercise).
+    unsigned serviceDelayUs = 0;
+};
+
+/** Monotonic counter snapshot returned by stats(). */
+struct ServerStats
+{
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t connectionsRejected = 0; //!< Over maxConnections.
+    std::uint64_t requestsEnqueued = 0;    //!< Engine ops accepted.
+    std::uint64_t responsesSent = 0;       //!< Batch responses written.
+    std::uint64_t inlineReplies = 0;       //!< ping/stats/errors/... .
+    std::uint64_t batches = 0;
+    std::uint64_t maxBatch = 0;
+    std::uint64_t overloaded = 0;      //!< Backpressure replies.
+    std::uint64_t deadlineExpired = 0; //!< deadline_exceeded replies.
+    std::uint64_t malformedFrames = 0; //!< Rejected without teardown.
+};
+
+/** The multi-threaded rhs-rpc/1 TCP server. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, and spawn the accept/dispatch threads.
+     * RHS_FATAL on socket setup errors (address in use, bad host).
+     */
+    void start();
+
+    /** The bound port (the ephemeral choice when config.port == 0). */
+    unsigned short port() const { return boundPort; }
+
+    /**
+     * Ask the server to stop (idempotent, callable from any server
+     * thread — the shutdown op and the SIGTERM watcher use it). The
+     * actual drain happens in stop().
+     */
+    void requestStop();
+
+    bool stopRequested() const { return stopping.load(); }
+
+    /** Block until requestStop() is called (the rhs-serve main loop). */
+    void waitForStopRequest();
+
+    /**
+     * Drain and join: stop accepting, answer everything queued, shut
+     * the connections down, join all threads. Idempotent.
+     */
+    void stop();
+
+    ServerStats stats() const;
+
+    /** The stats op's payload (also handy for table output). */
+    report::Json statsJson() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        unsigned id = 0;
+        std::mutex writeMutex;
+        std::atomic<bool> open{true};
+
+        ~Connection();
+    };
+
+    using Clock = std::chrono::steady_clock;
+
+    /** One queued engine request. */
+    struct Pending
+    {
+        std::shared_ptr<Connection> conn;
+        std::int64_t id = -1;
+        report::Json body;
+        Clock::time_point deadline = Clock::time_point::max();
+    };
+
+    void acceptLoop();
+    void readerLoop(const std::shared_ptr<Connection> &conn);
+    void dispatchLoop();
+    void handleFrame(const std::shared_ptr<Connection> &conn,
+                     const std::string &body);
+    /** Serialize + frame + write under the connection's write lock. */
+    bool send(Connection &conn, const report::Json &response);
+    void reapFinishedReaders();
+
+    ServerConfig config;
+    QueryEngine engine;
+
+    int listenFd = -1;
+    unsigned short boundPort = 0;
+
+    std::atomic<bool> stopping{false};
+    bool stopped = false; //!< stop() completed (guarded by stopMutex).
+    std::mutex stopMutex;
+    std::condition_variable stopCv;
+
+    std::mutex queueMutex;
+    std::condition_variable queueCv;
+    std::deque<Pending> queue;
+
+    std::thread acceptThread;
+    std::thread dispatchThread;
+    std::mutex connectionsMutex;
+    struct Reader
+    {
+        std::shared_ptr<Connection> conn;
+        std::thread thread;
+    };
+    std::vector<Reader> readers;
+
+    // Counters (see ServerStats).
+    std::atomic<std::uint64_t> nConnections{0}, nRejected{0},
+        nEnqueued{0}, nResponses{0}, nInline{0}, nBatches{0},
+        nMaxBatch{0}, nOverloaded{0}, nDeadline{0}, nMalformed{0};
+};
+
+} // namespace rhs::serve
+
+#endif // RHS_SERVE_SERVER_HH

@@ -1,26 +1,67 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace rhs::util
 {
 
 namespace
 {
-LogLevel globalLevel = LogLevel::Info;
+
+std::atomic<LogLevel> globalLevel{LogLevel::Info};
+
+/** Serializes sink writes so concurrent lines never interleave. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::atomic<unsigned> nextThreadIndex{0};
+thread_local std::string threadTag;
+
+/** Compose one complete line, then append it under the sink lock. */
+void
+emitLine(std::ostream &out, const char *prefix, const std::string &msg,
+         const std::string &suffix = "")
+{
+    std::ostringstream line;
+    line << prefix << " [" << logThreadTag() << "] " << msg << suffix
+         << '\n';
+    std::lock_guard lock(sinkMutex());
+    out << line.str() << std::flush;
+}
+
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load();
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level);
+}
+
+void
+setLogThreadTag(const std::string &tag)
+{
+    threadTag = tag;
+}
+
+std::string
+logThreadTag()
+{
+    if (threadTag.empty())
+        threadTag = "t" + std::to_string(nextThreadIndex.fetch_add(1));
+    return threadTag;
 }
 
 namespace detail
@@ -29,38 +70,38 @@ namespace detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    emitLine(std::cerr, "panic:", msg,
+             std::string(" @ ") + file + ":" + std::to_string(line));
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    emitLine(std::cerr, "fatal:", msg,
+             std::string(" @ ") + file + ":" + std::to_string(line));
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Warn)
-        std::cerr << "warn: " << msg << std::endl;
+    if (logLevel() >= LogLevel::Warn)
+        emitLine(std::cerr, "warn:", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Info)
-        std::cout << "info: " << msg << std::endl;
+    if (logLevel() >= LogLevel::Info)
+        emitLine(std::cout, "info:", msg);
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Debug)
-        std::cerr << "debug: " << msg << std::endl;
+    if (logLevel() >= LogLevel::Debug)
+        emitLine(std::cerr, "debug:", msg);
 }
 
 } // namespace detail

@@ -6,6 +6,14 @@
  * fatal()  - unrecoverable user/configuration error; exits with code 1.
  * warn()   - suspicious but survivable condition.
  * inform() - plain status output.
+ *
+ * Sinks are thread-safe: each call composes its complete line first
+ * and appends it under one process-wide lock, so concurrent logging
+ * (the rhs-serve connection threads, the thread pool) never
+ * interleaves characters. Every line carries a thread tag —
+ * "warn: [conn3] ..." — auto-assigned ("t0", "t1", ...) in first-use
+ * order, or set explicitly with setLogThreadTag() so server log lines
+ * are attributable to their connection.
  */
 
 #ifndef RHS_UTIL_LOGGING_HH
@@ -25,6 +33,15 @@ LogLevel logLevel();
 
 /** Set the process-wide verbosity threshold. */
 void setLogLevel(LogLevel level);
+
+/**
+ * Name the calling thread in every log line it emits (e.g. "conn3",
+ * "dispatch"). An empty tag reverts to the auto-assigned "t<N>".
+ */
+void setLogThreadTag(const std::string &tag);
+
+/** The calling thread's tag, auto-assigning "t<N>" on first use. */
+std::string logThreadTag();
 
 namespace detail
 {

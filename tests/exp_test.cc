@@ -115,6 +115,31 @@ TEST_F(RegistryTest, FilterMatchesSubstringInOrder)
     EXPECT_TRUE(exp::Registry::filter("nomatch").empty());
 }
 
+TEST_F(RegistryTest, FilterAcceptsCommaSeparatedPatterns)
+{
+    exp::Registry::add(std::make_unique<StubExperiment>("fig4_temp"));
+    exp::Registry::add(std::make_unique<StubExperiment>("ablations"));
+    exp::Registry::add(std::make_unique<StubExperiment>("fig5_temp"));
+
+    // The union of both patterns, in registration order.
+    const auto both = exp::Registry::filter("ablat,temp");
+    ASSERT_EQ(both.size(), 3u);
+    EXPECT_EQ(both[0]->name(), "fig4_temp");
+    EXPECT_EQ(both[1]->name(), "ablations");
+    EXPECT_EQ(both[2]->name(), "fig5_temp");
+
+    // An experiment matching several patterns appears only once.
+    const auto once = exp::Registry::filter("fig4,temp");
+    ASSERT_EQ(once.size(), 2u);
+    EXPECT_EQ(once[0]->name(), "fig4_temp");
+    EXPECT_EQ(once[1]->name(), "fig5_temp");
+
+    // Empty segments (trailing or doubled commas) are ignored.
+    const auto trailing = exp::Registry::filter("ablat,,");
+    ASSERT_EQ(trailing.size(), 1u);
+    EXPECT_EQ(trailing[0]->name(), "ablations");
+}
+
 using RegistryDeathTest = RegistryTest;
 
 TEST_F(RegistryDeathTest, DuplicateNameIsFatal)

@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <string>
+#include <unistd.h>
 
 #include "report/document.hh"
 #include "report/json.hh"
@@ -98,6 +101,29 @@ TEST(WriterTest, FormatDoubleRoundTripsExactly)
         const std::string text = formatDouble(value);
         EXPECT_DOUBLE_EQ(std::stod(text), value) << text;
     }
+}
+
+TEST(WriterTest, WriteFileCreatesMissingDirectories)
+{
+    namespace fs = std::filesystem;
+    const fs::path root = fs::temp_directory_path() /
+        ("rhs-writer-test-" + std::to_string(::getpid()));
+    const fs::path nested = root / "a" / "b" / "out.json";
+    fs::remove_all(root);
+
+    auto value = Json::object();
+    value.set("ok", true);
+    JsonWriter().writeFile(nested.string(), value);
+
+    std::ifstream in(nested);
+    ASSERT_TRUE(in.is_open());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, parsed, error)) << error;
+    EXPECT_TRUE(parsed.at("ok").asBool());
+    fs::remove_all(root);
 }
 
 TEST(WriterTest, DocumentRoundTripIsIdentical)

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Tests for the rhs-serve subsystem: rhs-rpc/1 framing edge cases
+ * (truncated prefix, oversize frame, empty body, pipelining, deadline
+ * expiry mid-batch), the backpressure and clean-drain invariants, and
+ * the byte-identity of served responses against direct engine calls.
+ *
+ * Every server test binds an ephemeral loopback port, so tests can
+ * run in parallel. Suite names all start with "Serve" — the tsan
+ * test preset's filter selects them by that prefix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <chrono>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/query_engine.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+// --- Protocol unit tests ---------------------------------------------
+
+TEST(ServeProtocolTest, LengthPrefixRoundTrips)
+{
+    for (std::uint32_t length :
+         {0u, 1u, 255u, 256u, 70'000u, 0xdeadbeefu}) {
+        const auto prefix = serve::encodeLength(length);
+        EXPECT_EQ(serve::decodeLength(prefix.data()), length);
+    }
+    const std::string frame = serve::encodeFrame("abc");
+    ASSERT_EQ(frame.size(), 7u);
+    EXPECT_EQ(frame.substr(0, 4), std::string("\x00\x00\x00\x03", 4));
+    EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(ServeProtocolTest, ResponseEnvelopes)
+{
+    const auto ok = serve::makeResult(7, report::Json::object());
+    EXPECT_TRUE(ok.at("ok").asBool());
+    EXPECT_EQ(ok.at("id").asInt(), 7);
+    EXPECT_FALSE(serve::isError(ok, serve::err::kOverloaded));
+
+    const auto error =
+        serve::makeError(-1, serve::err::kOverloaded, "full");
+    EXPECT_FALSE(error.at("ok").asBool());
+    EXPECT_TRUE(serve::isError(error, serve::err::kOverloaded));
+    EXPECT_FALSE(serve::isError(error, serve::err::kBadRequest));
+}
+
+// --- Query engine parameter validation (no sockets) ------------------
+
+report::Json
+parseOrDie(const std::string &text)
+{
+    report::Json value;
+    std::string error;
+    EXPECT_TRUE(report::Json::parse(text, value, error)) << error;
+    return value;
+}
+
+TEST(ServeQueryEngineTest, RejectsInvalidParameters)
+{
+    serve::QueryEngine engine;
+
+    // A double-sided victim needs both neighbours: row 0 is invalid.
+    auto response = engine.execute(parseOrDie(
+        R"({"op": "row_hcfirst", "id": 1, "row": 0})"));
+    EXPECT_TRUE(serve::isError(response, serve::err::kBadRequest));
+
+    response = engine.execute(parseOrDie(
+        R"({"op": "row_hcfirst", "id": 2})"));
+    EXPECT_TRUE(serve::isError(response, serve::err::kBadRequest));
+
+    response = engine.execute(parseOrDie(
+        R"({"op": "ber", "id": 3, "row": 5, "pattern": "plaid"})"));
+    EXPECT_TRUE(serve::isError(response, serve::err::kBadRequest));
+
+    response = engine.execute(parseOrDie(
+        R"({"op": "worst_pattern", "id": 4, "rows": []})"));
+    EXPECT_TRUE(serve::isError(response, serve::err::kBadRequest));
+
+    response = engine.execute(parseOrDie(
+        R"({"op": "profile_slice", "id": 5, "row0": 8189,
+            "count": 10})"));
+    EXPECT_TRUE(serve::isError(response, serve::err::kBadRequest));
+
+    response = engine.execute(parseOrDie(
+        R"({"op": "levitate", "id": 6})"));
+    EXPECT_TRUE(serve::isError(response, serve::err::kUnknownOp));
+
+    // Engine ops demand an id so responses stay matchable.
+    response = engine.execute(parseOrDie(
+        R"({"op": "ber", "row": 5})"));
+    EXPECT_TRUE(serve::isError(response, serve::err::kBadRequest));
+}
+
+TEST(ServeQueryEngineTest, ServesDeterministicResults)
+{
+    serve::QueryEngine engine;
+    const std::string body =
+        R"({"op": "row_hcfirst", "id": 9, "mfr": "B", "row": 33,
+            "temperature": 75})";
+    const std::string first = engine.executeRaw(body);
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(engine.executeRaw(body), first);
+
+    // A second engine (fresh caches) produces the same bytes.
+    serve::QueryEngine other;
+    EXPECT_EQ(other.executeRaw(body), first);
+}
+
+// --- Server fixture and raw-socket helper ----------------------------
+
+/** A raw TCP connection for writing malformed bytes at the server. */
+class RawConn
+{
+  public:
+    ~RawConn() { close(); }
+
+    bool
+    connect(unsigned short port)
+    {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return false;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        return ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof addr) == 0;
+    }
+
+    bool
+    sendBytes(const std::string &bytes)
+    {
+        std::size_t done = 0;
+        while (done < bytes.size()) {
+            const ssize_t sent =
+                ::send(fd, bytes.data() + done, bytes.size() - done,
+                       MSG_NOSIGNAL);
+            if (sent <= 0)
+                return false;
+            done += static_cast<std::size_t>(sent);
+        }
+        return true;
+    }
+
+    /** Read and parse one response frame. */
+    bool
+    recvResponse(report::Json &out)
+    {
+        std::string body;
+        if (serve::readFrame(fd, body) != serve::FrameStatus::Ok)
+            return false;
+        std::string error;
+        return report::Json::parse(body, out, error);
+    }
+
+    void
+    close()
+    {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+  private:
+    int fd = -1;
+};
+
+class ServeServerTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(serve::ServerConfig config = {})
+    {
+        config.port = 0;
+        server = std::make_unique<serve::Server>(config);
+        server->start();
+        ASSERT_GT(server->port(), 0);
+    }
+
+    void
+    TearDown() override
+    {
+        if (server)
+            server->stop();
+    }
+
+    std::unique_ptr<serve::Server> server;
+};
+
+TEST_F(ServeServerTest, PingStatsAndUnknownOp)
+{
+    startServer();
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+    EXPECT_TRUE(client.ping(1));
+
+    const auto stats = client.stats(2);
+    ASSERT_FALSE(stats.isNull());
+    EXPECT_EQ(stats.at("protocol").asString(), serve::kProtocol);
+
+    auto request = report::Json::object();
+    request.set("op", "levitate");
+    request.set("id", 3);
+    report::Json response;
+    ASSERT_TRUE(client.call(request, response));
+    EXPECT_TRUE(serve::isError(response, serve::err::kUnknownOp));
+}
+
+TEST_F(ServeServerTest, ServedBytesMatchDirectEngineCalls)
+{
+    startServer();
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+
+    serve::QueryEngine direct;
+    const std::vector<std::string> bodies = {
+        R"({"op": "row_hcfirst", "id": 10, "mfr": "B", "row": 17,
+            "temperature": 70})",
+        R"({"op": "ber", "id": 11, "mfr": "C", "row": 40,
+            "hammers": 150000})",
+        R"({"op": "profile_slice", "id": 12, "row0": 5, "count": 3})",
+        R"({"op": "worst_pattern", "id": 13, "rows": [9, 11, 13]})",
+    };
+    for (const auto &body : bodies) {
+        const std::string served = client.callRaw(body);
+        ASSERT_FALSE(served.empty());
+        EXPECT_EQ(served, direct.executeRaw(body)) << body;
+    }
+}
+
+TEST_F(ServeServerTest, EmptyBodyRejectedWithoutTeardown)
+{
+    startServer();
+    RawConn raw;
+    ASSERT_TRUE(raw.connect(server->port()));
+
+    // Length prefix 0, no payload.
+    ASSERT_TRUE(raw.sendBytes(std::string(4, '\0')));
+    report::Json response;
+    ASSERT_TRUE(raw.recvResponse(response));
+    EXPECT_TRUE(serve::isError(response, serve::err::kBadRequest));
+    EXPECT_EQ(response.at("id").asInt(), serve::kNoRequestId);
+
+    // The connection survives: a valid request still works.
+    ASSERT_TRUE(raw.sendBytes(
+        serve::encodeFrame(R"({"op": "ping", "id": 1})")));
+    ASSERT_TRUE(raw.recvResponse(response));
+    EXPECT_TRUE(response.at("ok").asBool());
+}
+
+TEST_F(ServeServerTest, MalformedJsonRejectedWithoutTeardown)
+{
+    startServer();
+    RawConn raw;
+    ASSERT_TRUE(raw.connect(server->port()));
+
+    ASSERT_TRUE(raw.sendBytes(serve::encodeFrame("{not json")));
+    report::Json response;
+    ASSERT_TRUE(raw.recvResponse(response));
+    EXPECT_TRUE(serve::isError(response, serve::err::kBadRequest));
+
+    ASSERT_TRUE(raw.sendBytes(
+        serve::encodeFrame(R"({"op": "ping", "id": 2})")));
+    ASSERT_TRUE(raw.recvResponse(response));
+    EXPECT_TRUE(response.at("ok").asBool());
+}
+
+TEST_F(ServeServerTest, OversizeFrameRejectedWithoutTeardown)
+{
+    startServer();
+    RawConn raw;
+    ASSERT_TRUE(raw.connect(server->port()));
+
+    // Declare one byte over the cap and actually send it; the server
+    // must drain the payload to stay frame-aligned.
+    const std::uint32_t declared = serve::kMaxFrameBytes + 1;
+    const auto prefix = serve::encodeLength(declared);
+    ASSERT_TRUE(raw.sendBytes(std::string(
+        reinterpret_cast<const char *>(prefix.data()), 4)));
+    ASSERT_TRUE(raw.sendBytes(std::string(declared, 'x')));
+
+    report::Json response;
+    ASSERT_TRUE(raw.recvResponse(response));
+    EXPECT_TRUE(serve::isError(response, serve::err::kFrameTooLarge));
+
+    ASSERT_TRUE(raw.sendBytes(
+        serve::encodeFrame(R"({"op": "ping", "id": 3})")));
+    ASSERT_TRUE(raw.recvResponse(response));
+    EXPECT_TRUE(response.at("ok").asBool());
+}
+
+TEST_F(ServeServerTest, TruncatedPrefixClosesOnlyThatConnection)
+{
+    startServer();
+    {
+        RawConn dying;
+        ASSERT_TRUE(dying.connect(server->port()));
+        ASSERT_TRUE(dying.sendBytes(std::string(2, '\x01')));
+        dying.close(); // EOF mid-prefix: the peer died.
+    }
+
+    // The server keeps serving other connections, and eventually
+    // accounts the truncated frame as malformed.
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+    EXPECT_TRUE(client.ping(4));
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    std::int64_t malformed = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        const auto stats = client.stats(5);
+        malformed = stats.at("malformed_frames").asInt();
+        if (malformed >= 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(malformed, 1);
+}
+
+TEST_F(ServeServerTest, PipelinedRequestsAllAnswered)
+{
+    startServer();
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+
+    serve::QueryEngine direct;
+    std::vector<std::string> bodies;
+    for (int i = 0; i < 10; ++i) {
+        auto request = report::Json::object();
+        request.set("op", "ber");
+        request.set("id", 100 + i);
+        request.set("row", 5 + i);
+        bodies.push_back(serve::serialize(request));
+    }
+    for (const auto &body : bodies)
+        ASSERT_TRUE(client.sendRaw(body));
+
+    // Responses may be reordered across batches; match by id.
+    std::vector<bool> seen(bodies.size(), false);
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+        std::string reply;
+        ASSERT_TRUE(client.recvRaw(reply));
+        report::Json response;
+        std::string error;
+        ASSERT_TRUE(report::Json::parse(reply, response, error));
+        const auto id = response.at("id").asInt();
+        ASSERT_GE(id, 100);
+        ASSERT_LT(id, 110);
+        EXPECT_FALSE(seen[id - 100]) << "duplicate response " << id;
+        seen[id - 100] = true;
+        EXPECT_EQ(reply, direct.executeRaw(bodies[id - 100]));
+    }
+}
+
+TEST_F(ServeServerTest, DeadlineExpiresMidBatch)
+{
+    serve::ServerConfig config;
+    config.batchMax = 8;
+    config.serviceDelayUs = 20'000; // Every batch stalls 20 ms.
+    startServer(config);
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+
+    auto patient = report::Json::object();
+    patient.set("op", "ber");
+    patient.set("id", 1);
+    patient.set("row", 7);
+    auto hurried = report::Json::object();
+    hurried.set("op", "ber");
+    hurried.set("id", 2);
+    hurried.set("row", 8);
+    hurried.set("deadline_ms", 1); // Lapses during the batch stall.
+
+    ASSERT_TRUE(client.sendRaw(serve::serialize(patient)));
+    ASSERT_TRUE(client.sendRaw(serve::serialize(hurried)));
+
+    bool patient_ok = false, hurried_expired = false;
+    for (int i = 0; i < 2; ++i) {
+        std::string reply;
+        ASSERT_TRUE(client.recvRaw(reply));
+        report::Json response;
+        std::string error;
+        ASSERT_TRUE(report::Json::parse(reply, response, error));
+        if (response.at("id").asInt() == 1)
+            patient_ok = response.at("ok").asBool();
+        else
+            hurried_expired = serve::isError(
+                response, serve::err::kDeadlineExceeded);
+    }
+    EXPECT_TRUE(patient_ok);
+    EXPECT_TRUE(hurried_expired);
+}
+
+TEST_F(ServeServerTest, BackpressureAnswersOverloadedNeverDrops)
+{
+    serve::ServerConfig config;
+    config.queueCapacity = 1;
+    config.batchMax = 1;
+    config.serviceDelayUs = 5'000;
+    startServer(config);
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+
+    const unsigned flood = 12;
+    for (unsigned i = 0; i < flood; ++i) {
+        auto request = report::Json::object();
+        request.set("op", "ber");
+        request.set("id", static_cast<std::int64_t>(i));
+        request.set("row", 5);
+        ASSERT_TRUE(client.sendRaw(serve::serialize(request)));
+    }
+
+    unsigned answered = 0, overloaded = 0;
+    std::string reply;
+    while (answered < flood && client.recvRaw(reply)) {
+        ++answered;
+        report::Json response;
+        std::string error;
+        ASSERT_TRUE(report::Json::parse(reply, response, error));
+        if (serve::isError(response, serve::err::kOverloaded))
+            ++overloaded;
+    }
+    EXPECT_EQ(answered, flood);  // Nothing silently dropped.
+    EXPECT_GE(overloaded, 1u);   // The backpressure path fired.
+}
+
+TEST_F(ServeServerTest, ShutdownOpDrainsBeforeStopping)
+{
+    serve::ServerConfig config;
+    config.serviceDelayUs = 2'000;
+    startServer(config);
+
+    serve::Client worker;
+    ASSERT_TRUE(worker.connect("127.0.0.1", server->port()));
+    const unsigned in_flight = 6;
+    for (unsigned i = 0; i < in_flight; ++i) {
+        auto request = report::Json::object();
+        request.set("op", "row_hcfirst");
+        request.set("id", static_cast<std::int64_t>(i));
+        request.set("row", 11 + i);
+        ASSERT_TRUE(worker.sendRaw(serve::serialize(request)));
+    }
+
+    serve::Client control;
+    ASSERT_TRUE(control.connect("127.0.0.1", server->port()));
+    EXPECT_TRUE(control.shutdownServer(99));
+
+    server->waitForStopRequest();
+    server->stop();
+
+    // Clean drain: every request enqueued before the shutdown was
+    // answered by a batch response.
+    const auto stats = server->stats();
+    EXPECT_EQ(stats.requestsEnqueued, stats.responsesSent);
+
+    // And the worker can still read every response off its socket.
+    unsigned answered = 0;
+    std::string reply;
+    while (answered < in_flight && worker.recvRaw(reply))
+        ++answered;
+    EXPECT_EQ(answered, stats.requestsEnqueued);
+}
+
+} // namespace

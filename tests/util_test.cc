@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iostream>
 #include <set>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/cli.hh"
@@ -246,6 +249,65 @@ TEST(LoggingTest, LevelsAreOrdered)
 TEST(LoggingDeathTest, AssertAborts)
 {
     EXPECT_DEATH(RHS_ASSERT(1 == 2, "impossible"), "assertion failed");
+}
+
+TEST(LoggingTest, LinesCarryThreadTag)
+{
+    setLogLevel(LogLevel::Warn);
+    std::ostringstream captured;
+    auto *old = std::cerr.rdbuf(captured.rdbuf());
+    setLogThreadTag("main-tag");
+    warn("tagged line");
+    std::cerr.rdbuf(old);
+    EXPECT_NE(captured.str().find("warn: [main-tag] tagged line"),
+              std::string::npos);
+}
+
+TEST(LoggingTest, ConcurrentWritersNeverInterleave)
+{
+    setLogLevel(LogLevel::Warn);
+    std::ostringstream captured;
+    auto *old = std::cerr.rdbuf(captured.rdbuf());
+
+    const unsigned writers = 4, lines = 50;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < writers; ++t) {
+        threads.emplace_back([t] {
+            setLogThreadTag("w" + std::to_string(t));
+            for (unsigned i = 0; i < lines; ++i)
+                warn("payload-" + std::to_string(t));
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    std::cerr.rdbuf(old);
+
+    // Every line must be whole: "warn: [w<T>] payload-<T>", with the
+    // tag matching the payload (fragmented writes would mix them).
+    std::istringstream lines_in(captured.str());
+    std::string line;
+    unsigned count = 0;
+    while (std::getline(lines_in, line)) {
+        ++count;
+        ASSERT_EQ(line.rfind("warn: [w", 0), 0u) << line;
+        const auto close = line.find(']');
+        ASSERT_NE(close, std::string::npos) << line;
+        const std::string tag = line.substr(8, close - 8);
+        EXPECT_EQ(line.substr(close + 2), "payload-" + tag) << line;
+    }
+    EXPECT_EQ(count, writers * lines);
+}
+
+TEST(LoggingTest, UntaggedThreadsGetDistinctAutoTags)
+{
+    std::string first, second;
+    std::thread a([&first] { first = logThreadTag(); });
+    std::thread b([&second] { second = logThreadTag(); });
+    a.join();
+    b.join();
+    EXPECT_EQ(first.rfind("t", 0), 0u);
+    EXPECT_EQ(second.rfind("t", 0), 0u);
+    EXPECT_NE(first, second);
 }
 
 } // namespace
