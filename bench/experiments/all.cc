@@ -36,6 +36,7 @@ registerAllExperiments()
     registerRowPolicy();
     registerParallelScaling();
     registerRowEvalKernel();
+    registerObsOverhead();
     registerServeLoadgen();
 }
 

@@ -40,6 +40,7 @@ void registerRefreshRate();
 void registerRowPolicy();
 void registerParallelScaling();
 void registerRowEvalKernel();
+void registerObsOverhead();
 void registerServeLoadgen();
 
 /** Register every experiment exactly once (idempotent). */

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Observability overhead and determinism guard.
+ *
+ * The obs:: instrumentation (striped counters on the cache hot paths,
+ * pool task accounting, trace spans) is only acceptable if it is
+ * invisible twice over: the row-evaluation kernel must not slow down
+ * measurably, and no experiment byte may depend on whether metrics are
+ * recording. This experiment measures both on the HCfirst-search
+ * workload from the roweval_kernel bench:
+ *
+ *  1. Overhead: one loop of inner x reps sweeps alternates the
+ *     runtime kill-switch (obs::setEnabled) every sweep and times
+ *     each sweep individually. The checked estimate is the median
+ *     over adjacent (disabled, recording) sweep pairs of the pair's
+ *     time ratio: the two sweeps of a pair run back to back
+ *     (~100us-1ms apart), so background load — even a sustained
+ *     spike on a busy CI machine — inflates both sides of a pair
+ *     together, and pairs where a spike landed on exactly one side
+ *     are outliers the median discards. Per-state minimum sweep
+ *     times are also reported for context. The jobs=1 estimate is
+ *     the checked number — single-threaded timing is the least
+ *     noisy — and must come in under --max-overhead percent; a
+ *     first estimate over the threshold is re-measured twice and
+ *     the median of the three decides (noise passes, a genuine
+ *     regression fails all three).
+ *
+ *  2. Determinism: a separate pure-enabled and pure-disabled run of
+ *     the same workload are serialized and digest-compared, per job
+ *     count. Together with the RHS_OBS=OFF build configuration in CI
+ *     (which runs this bench compiled without spans), this enforces
+ *     the contract that metrics observe the computation and never
+ *     feed back into it.
+ *
+ * Options:
+ *   --rows N          victim rows (default 40; 6 under --smoke)
+ *   --trials N        repetitions per row (default core::kRepetitions;
+ *                     2 under --smoke)
+ *   --inner N         sweeps per timed region (default 100). Each
+ *                     sweep evaluates a fresh set of (row, trial)
+ *                     keys — full kernel work through the miss path,
+ *                     with inserts and (once the LRU fills) evictions
+ *                     — then re-probes the same keys, which resolve
+ *                     on the cache-hit path where the counter bumps
+ *                     are the only work beyond the probe arithmetic.
+ *                     One sweep finishes in single-digit milliseconds
+ *                     — far too short for a stable percentage — so
+ *                     the timed region repeats it with new keys.
+ *   --reps N          alternation rounds: the timed loop runs
+ *                     inner x reps sweeps per job count (default 5)
+ *   --max-overhead P  fail threshold for the jobs=1 overhead, in
+ *                     percent (default 2; CI passes a high value in
+ *                     sanitizer builds, where timing is meaningless)
+ *   --out FILE        JSON output path (default BENCH_obs.json)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/tester.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "obs/metrics.hh"
+#include "report/writer.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+constexpr unsigned kJobCounts[] = {1, 8};
+
+/** FNV-1a, reported in the JSON so runs can be compared offline. */
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+class ObsOverhead final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "obs_overhead";
+    }
+
+    std::string
+    title() const override
+    {
+        return "Observability overhead: instrumented kernel vs "
+               "recording disabled";
+    }
+
+    std::string
+    source() const override
+    {
+        return "metrics observe the computation, never feed back "
+               "into it";
+    }
+
+    std::vector<exp::OptionSpec>
+    options() const override
+    {
+        return {{"rows", "40", "victim rows"},
+                {"trials", "kRepetitions", "repetitions per row"},
+                {"inner", "100", "sweeps per timed region"},
+                {"reps", "5", "timing repetitions per state"},
+                {"max-overhead", "2",
+                 "jobs=1 overhead fail threshold, percent"},
+                {"out", "BENCH_obs.json", "JSON output path"}};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        const auto max_rows = static_cast<unsigned>(ctx.cli.getInt(
+            "rows", ctx.scale.smoke ? 6 : 40));
+        const auto trials = static_cast<unsigned>(ctx.cli.getInt(
+            "trials", ctx.scale.smoke
+                          ? 2
+                          : static_cast<int>(core::kRepetitions)));
+        const auto inner = static_cast<unsigned>(
+            ctx.cli.getInt("inner", 100));
+        const auto reps = static_cast<unsigned>(
+            ctx.cli.getInt("reps", 5));
+        const double max_overhead =
+            static_cast<double>(ctx.cli.getInt("max-overhead", 2));
+        const std::string out_path =
+            ctx.cli.get("out", "BENCH_obs.json");
+        RHS_ASSERT(reps > 0, "need at least one timing repetition");
+
+        if (ctx.table) {
+            bench::printHeader(title(), source());
+            std::printf("spans compiled %s; %u rows x %u trials x "
+                        "%u sweeps, min of %u reps\n\n",
+                        obs::kCompiledIn ? "in" : "out", max_rows,
+                        trials, inner, reps);
+        }
+
+        // The same HCfirst workload the roweval_kernel bench times:
+        // rows x trials step searches, each bottoming out in the
+        // instrumented rowEval/cellsOfRow caches.
+        rhmodel::SimulatedDimm sample_dimm(rhmodel::Mfr::B, 0);
+        const auto all = core::testedRows(
+            sample_dimm.module().geometry(), max_rows / 3 + 1);
+        std::vector<unsigned> rows;
+        for (std::size_t i = 0; i < max_rows && i < all.size(); ++i)
+            rows.push_back(all[i * all.size() / max_rows]);
+        RHS_ASSERT(!rows.empty(), "no tested rows at this scale");
+        const rhmodel::DataPattern pattern(
+            rhmodel::PatternId::Checkered,
+            sample_dimm.module().info().serial);
+        rhmodel::Conditions conditions;
+        conditions.temperature = 75.0;
+
+        // One sweep: a miss pass over fresh (row, trial) keys — full
+        // kernel work plus LRU inserts and, once the cache fills,
+        // evictions — then a hit pass re-probing the same keys off
+        // the cache, where the counter bumps are the only work
+        // beyond the probe arithmetic. Both passes fold into the
+        // determinism digest.
+        auto do_sweep = [&](core::Tester &tester, unsigned sweep,
+                            std::vector<std::uint64_t> &hc,
+                            std::vector<std::uint64_t> &folded) {
+            util::parallelFor(0, hc.size(), [&](std::size_t i) {
+                hc[i] = tester.hcFirstSearch(
+                    0, rows[i / trials], conditions, pattern,
+                    static_cast<unsigned>(sweep * trials +
+                                          i % trials));
+            });
+            util::parallelFor(0, hc.size(), [&](std::size_t i) {
+                folded[i] = folded[i] * 0x100000001b3ull + hc[i] +
+                            tester.hcFirstSearch(
+                                0, rows[i / trials], conditions,
+                                pattern,
+                                static_cast<unsigned>(
+                                    sweep * trials + i % trials));
+            });
+        };
+
+        // Pre-warm the per-row cell cache so the sweeps measure the
+        // rowEval kernel plus its cache traffic, not one-time cell
+        // synthesis.
+        auto prewarm = [&](rhmodel::SimulatedDimm &dimm) {
+            for (unsigned row : rows)
+                dimm.cellModel().cellsOfRow(0, row);
+        };
+
+        // Determinism probe: a pure run at one recording state.
+        auto run_pure = [&](unsigned jobs, bool record) {
+            util::ThreadPool::configure(jobs);
+            obs::setEnabled(record);
+            rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
+            core::Tester tester(dimm);
+            prewarm(dimm);
+            std::vector<std::uint64_t> hc(rows.size() * trials, 0);
+            std::vector<std::uint64_t> folded(hc.size(), 0);
+            for (unsigned sweep = 0; sweep < inner; ++sweep)
+                do_sweep(tester, sweep, hc, folded);
+            obs::setEnabled(true);
+            std::ostringstream out;
+            for (auto value : folded)
+                out << value << '\n';
+            return out.str();
+        };
+
+        // Overhead probe: alternate the recording state every sweep;
+        // estimate overhead as the median time ratio over adjacent
+        // (disabled, recording) pairs. A pair's two sweeps run back
+        // to back, so background load inflates both sides together,
+        // and the median discards pairs where a spike landed on one
+        // side only. Also keeps the minimum sweep time per state.
+        struct Measurement
+        {
+            double minOn, minOff, medianRatio;
+        };
+        auto measure = [&](unsigned jobs) {
+            util::ThreadPool::configure(jobs);
+            rhmodel::SimulatedDimm dimm(rhmodel::Mfr::B, 0);
+            core::Tester tester(dimm);
+            prewarm(dimm);
+            std::vector<std::uint64_t> hc(rows.size() * trials, 0);
+            std::vector<std::uint64_t> folded(hc.size(), 0);
+            Measurement m{std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::max(), 1.0};
+            // Per-orientation ratio samples: the second sweep of a
+            // pair runs measurably faster (CPU caches and branch
+            // predictors primed by the first), so "recording ran
+            // second" ratios are biased low and "recording ran
+            // first" ratios biased high by the same factor. Swap the
+            // order every pair, take each orientation's median, and
+            // average — the position bias cancels exactly.
+            std::vector<double> ratios[2];
+            double pair_first = 0.0;
+            for (unsigned sweep = 0; sweep < inner * reps; ++sweep) {
+                const unsigned pair = sweep >> 1;
+                const bool second = (sweep & 1) != 0;
+                const bool record = second != ((pair & 1) != 0);
+                obs::setEnabled(record);
+                const auto start = std::chrono::steady_clock::now();
+                do_sweep(tester, sweep, hc, folded);
+                const std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - start;
+                const double seconds = elapsed.count();
+                double &slot = record ? m.minOn : m.minOff;
+                slot = std::min(slot, seconds);
+                if (!second) {
+                    pair_first = seconds;
+                } else if (pair_first > 0.0) {
+                    const double on = record ? seconds : pair_first;
+                    const double off = record ? pair_first : seconds;
+                    ratios[record ? 1 : 0].push_back(on / off);
+                }
+            }
+            obs::setEnabled(true);
+            auto median = [](std::vector<double> &v) {
+                RHS_ASSERT(!v.empty(), "no timing pairs collected");
+                std::sort(v.begin(), v.end());
+                return v[v.size() / 2];
+            };
+            m.medianRatio =
+                (median(ratios[0]) + median(ratios[1])) / 2.0;
+            return m;
+        };
+
+        std::vector<double> seconds_on, seconds_off, overhead_pct;
+        std::string bytes_on, bytes_off;
+        bool identical = true;
+        for (unsigned jobs : kJobCounts) {
+            bytes_off = run_pure(jobs, false);
+            bytes_on = run_pure(jobs, true);
+            identical = identical && bytes_on == bytes_off;
+            const Measurement m = measure(jobs);
+            seconds_on.push_back(m.minOn);
+            seconds_off.push_back(m.minOff);
+            overhead_pct.push_back(100.0 * (m.medianRatio - 1.0));
+        }
+        // The true overhead is sub-percent, but wall-time noise on a
+        // loaded CI machine occasionally exceeds the threshold. A
+        // genuine regression fails every measurement; noise does not
+        // — so when the first jobs=1 estimate fails, re-measure
+        // twice and keep the median of the three.
+        double checked = overhead_pct[0]; // jobs=1.
+        unsigned retries = 0;
+        if (checked > max_overhead) {
+            std::vector<double> estimates{checked};
+            for (retries = 0; retries < 2; ++retries)
+                estimates.push_back(
+                    100.0 * (measure(kJobCounts[0]).medianRatio - 1.0));
+            std::sort(estimates.begin(), estimates.end());
+            checked = estimates[estimates.size() / 2];
+            overhead_pct[0] = checked;
+        }
+        // Restore the pool width the driver selected.
+        util::ThreadPool::configure(ctx.scale.jobs);
+
+        std::vector<std::string> job_labels;
+        for (unsigned jobs : kJobCounts)
+            job_labels.push_back("jobs=" + std::to_string(jobs));
+        if (ctx.table) {
+            for (std::size_t j = 0; j < std::size(kJobCounts); ++j)
+                std::printf("  %-8s recording %8.4f ms/sweep  "
+                            "disabled %8.4f ms/sweep  pair-median "
+                            "overhead %+6.2f%%\n",
+                            job_labels[j].c_str(),
+                            seconds_on[j] * 1e3,
+                            seconds_off[j] * 1e3, overhead_pct[j]);
+            std::printf("\n  results %s across recording states\n",
+                        identical ? "byte-identical" : "DIVERGED");
+        }
+
+        doc.addSeries("sweep_seconds_recording", job_labels, seconds_on);
+        doc.addSeries("sweep_seconds_disabled", job_labels, seconds_off);
+        doc.addSeries("overhead_pct", job_labels, overhead_pct);
+        doc.data.set("spans_compiled_in", obs::kCompiledIn);
+        doc.data.set("reps", reps);
+        doc.data.set("noise_retries", retries);
+        doc.data.set("max_overhead_pct", max_overhead);
+        char digest[32];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(fnv1a(bytes_on)));
+        doc.data.set("digest_recording", digest);
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(fnv1a(bytes_off)));
+        doc.data.set("digest_disabled", digest);
+
+        doc.check("obs_determinism", "determinism contract",
+                  "HCfirst results are byte-identical with metrics "
+                  "recording and disabled",
+                  identical, "digests in data");
+        doc.check("obs_overhead", "performance guard",
+                  "jobs=1 kernel overhead of recording stays under " +
+                      std::to_string(
+                          static_cast<long long>(max_overhead)) +
+                      "%",
+                  checked <= max_overhead,
+                  "measured " + std::to_string(checked) + "%");
+
+        report::JsonWriter().writeFile(out_path, doc.toJson());
+        if (ctx.table)
+            std::printf("\nwrote %s\n", out_path.c_str());
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerObsOverhead()
+{
+    exp::Registry::add(std::make_unique<ObsOverhead>());
+}
+
+} // namespace rhs::bench

@@ -37,6 +37,7 @@
 #include "exp/experiment.hh"
 #include "exp/registry.hh"
 #include "experiments/all.hh"
+#include "obs/metrics.hh"
 #include "report/writer.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
@@ -198,8 +199,13 @@ class ServeLoadgen final : public exp::Experiment
 
         std::vector<std::vector<std::string>> replies(
             connections, std::vector<std::string>(requests));
-        std::vector<std::vector<double>> latencies(
-            connections, std::vector<double>(requests, 0.0));
+        // Client-observed latency goes through the same histogram type
+        // and bucket layout as the server's latency_ms metric, so the
+        // loadgen's p50/p99 and the stats op's are computed by one
+        // quantile implementation (obs::HistogramData::quantile) and
+        // are comparable by construction. observe() is thread-safe, so
+        // the driver threads record directly.
+        obs::Histogram latency_hist(obs::latencyBoundsMs());
         std::vector<unsigned> transport_errors(connections, 0);
 
         const auto sweep_start = Clock::now();
@@ -218,7 +224,7 @@ class ServeLoadgen final : public exp::Experiment
                         replies[c][k] = client.callRaw(bodies[c][k]);
                         const std::chrono::duration<double> dt =
                             Clock::now() - t0;
-                        latencies[c][k] = dt.count() * 1e3;
+                        latency_hist.observe(dt.count() * 1e3);
                         if (replies[c][k].empty())
                             ++transport_errors[c];
                     }
@@ -256,19 +262,9 @@ class ServeLoadgen final : public exp::Experiment
             }
         }
 
-        std::vector<double> all_latencies;
-        all_latencies.reserve(connections * requests);
-        for (const auto &per_conn : latencies)
-            all_latencies.insert(all_latencies.end(),
-                                 per_conn.begin(), per_conn.end());
-        std::sort(all_latencies.begin(), all_latencies.end());
-        auto percentile = [&](double p) {
-            const auto last = all_latencies.size() - 1;
-            return all_latencies[static_cast<std::size_t>(
-                p * static_cast<double>(last))];
-        };
-        const double p50 = percentile(0.50);
-        const double p99 = percentile(0.99);
+        const obs::HistogramData latency = latency_hist.snapshot();
+        const double p50 = latency.quantile(0.50);
+        const double p99 = latency.quantile(0.99);
         const double throughput =
             static_cast<double>(connections) * requests /
             sweep_wall.count();
@@ -280,7 +276,7 @@ class ServeLoadgen final : public exp::Experiment
                         throughput);
             std::printf("  latency  p50 %.3f ms  p99 %.3f ms  "
                         "max %.3f ms\n",
-                        p50, p99, all_latencies.back());
+                        p50, p99, latency.max);
             std::printf("  verify   %u mismatches, %u transport "
                         "errors, %llu batches (max %llu)\n\n",
                         mismatches, transports,
@@ -367,7 +363,7 @@ class ServeLoadgen final : public exp::Experiment
 
         // --- Document -----------------------------------------------
         doc.addSeries("latency_ms", {"p50", "p99", "max"},
-                      {p50, p99, all_latencies.back()});
+                      {p50, p99, latency.max});
         doc.addSeries("throughput_rps", {throughput});
         doc.data.set("connections", connections);
         doc.data.set("requests_per_connection", requests);

@@ -40,6 +40,7 @@
 
 #include "exp/experiment.hh"
 #include "exp/fleet_cache.hh"
+#include "obs/export.hh"
 #include "exp/registry.hh"
 #include "exp/scale.hh"
 #include "experiments/all.hh"
@@ -60,7 +61,7 @@ using namespace rhs;
 /** Options the driver itself understands. */
 const std::vector<std::string> kDriverOptions = {
     "list", "filter", "all",  "smoke", "out-dir",
-    "format", "check", "help",
+    "format", "check", "help", "trace-out",
 };
 
 /** Shared scale options every experiment accepts. */
@@ -81,7 +82,10 @@ printUsage(std::FILE *out)
         "PATTERNS: comma-separated name substrings, e.g. temp,fig4\n"
         "options: --format table|json|both  --out-dir DIR  --check\n"
         "         --smoke  --rows N  --modules N  --full  --jobs N\n"
-        "         --seed N  plus per-experiment options (--list)\n");
+        "         --seed N  --trace-out FILE\n"
+        "         plus per-experiment options (--list)\n"
+        "--trace-out writes the obs spans recorded during the run as\n"
+        "a Chrome trace-event JSON file (chrome://tracing)\n");
 }
 
 void
@@ -300,6 +304,12 @@ main(int argc, char **argv)
                  selected.size(), fleet_cache.modulesBuilt(),
                  fleet_cache.fleetHits(), fleet_cache.wcdpHits(),
                  fleet_cache.wcdpSearches());
+    if (const std::string trace_out = cli.get("trace-out", "");
+        !trace_out.empty()) {
+        obs::writeChromeTrace(trace_out);
+        std::fprintf(stderr, "rhs-bench: trace written to %s\n",
+                     trace_out.c_str());
+    }
     if (!failures.empty()) {
         for (const auto &failure : failures)
             std::fprintf(stderr, "rhs-bench: %s\n", failure.c_str());

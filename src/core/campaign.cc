@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/trace.hh"
 #include "stats/descriptive.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -46,6 +47,7 @@ CampaignReport
 runCampaign(Tester &tester, const CampaignConfig &config)
 {
     RHS_ASSERT(config.maxRows >= 10, "campaign needs a usable sample");
+    OBS_SPAN("campaign.run");
     const auto &module = tester.module().module();
 
     CampaignReport report;
@@ -61,22 +63,31 @@ runCampaign(Tester &tester, const CampaignConfig &config)
 
     // 1. WCDP (§4.2).
     rhmodel::Conditions reference;
-    const auto wcdp = tester.findWorstCasePattern(
-        config.bank, {rows[0], rows[rows.size() / 2], rows.back()},
-        reference);
+    rhmodel::DataPattern wcdp = [&] {
+        OBS_SPAN("campaign.wcdp");
+        return tester.findWorstCasePattern(
+            config.bank, {rows[0], rows[rows.size() / 2], rows.back()},
+            reference);
+    }();
     report.wcdp = wcdp.id();
 
     // 2. Temperature (§5).
-    report.temperatureRanges =
-        analyzeTempRanges(tester, config.bank, rows, wcdp);
-    report.temperatureShift =
-        analyzeHcFirstVsTemperature(tester, config.bank, rows, wcdp);
+    {
+        OBS_SPAN("campaign.temperature");
+        report.temperatureRanges =
+            analyzeTempRanges(tester, config.bank, rows, wcdp);
+        report.temperatureShift =
+            analyzeHcFirstVsTemperature(tester, config.bank, rows, wcdp);
+    }
 
     // 3. Aggressor timings (§6).
-    report.onTimeSweep =
-        sweepAggressorOnTime(tester, config.bank, rows, wcdp);
-    report.offTimeSweep =
-        sweepAggressorOffTime(tester, config.bank, rows, wcdp);
+    {
+        OBS_SPAN("campaign.timing");
+        report.onTimeSweep =
+            sweepAggressorOnTime(tester, config.bank, rows, wcdp);
+        report.offTimeSweep =
+            sweepAggressorOffTime(tester, config.bank, rows, wcdp);
+    }
 
     // 4+5. Spatial variation (§7, at 75 degC) and the defense-facing
     // profile. The Fig. 11 row survey and the profile measure the
@@ -90,20 +101,27 @@ runCampaign(Tester &tester, const CampaignConfig &config)
     const auto conditions = spatialConditions();
     report.profile.temperature = conditions.temperature;
     report.profile.rows.resize(rows.size());
-    util::parallelFor(0, rows.size(), [&](std::size_t r) {
-        report.profile.rows[r] = {
-            config.bank, rows[r],
-            tester.hcFirstMin(config.bank, rows[r], conditions, wcdp)};
-    });
+    {
+        OBS_SPAN("campaign.spatial_profile");
+        util::parallelFor(0, rows.size(), [&](std::size_t r) {
+            report.profile.rows[r] = {
+                config.bank, rows[r],
+                tester.hcFirstMin(config.bank, rows[r], conditions,
+                                  wcdp)};
+        });
+    }
     report.rowHcFirst.reserve(rows.size());
     for (const auto &entry : report.profile.rows) {
         if (entry.hcFirst != kNotVulnerable)
             report.rowHcFirst.push_back(
                 static_cast<double>(entry.hcFirst));
     }
-    report.subarrays =
-        subarraySurvey(tester, config.bank, config.subarrays,
-                       config.rowsPerSubarray, wcdp);
+    {
+        OBS_SPAN("campaign.subarrays");
+        report.subarrays =
+            subarraySurvey(tester, config.bank, config.subarrays,
+                           config.rowsPerSubarray, wcdp);
+    }
     return report;
 }
 

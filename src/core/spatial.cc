@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hh"
 #include "stats/descriptive.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -23,6 +24,7 @@ rowHcFirstSurvey(const Tester &tester, unsigned bank,
                  const std::vector<unsigned> &rows,
                  const rhmodel::DataPattern &pattern)
 {
+    OBS_SPAN("sweep.row_survey");
     const auto conditions = spatialConditions();
     // Parallel per-row searches into pre-sized slots, compacted in
     // row order (so the survey is bit-identical for any job count).
@@ -207,6 +209,7 @@ subarraySurvey(const Tester &tester, unsigned bank,
                unsigned subarray_count, unsigned rows_per_subarray,
                const rhmodel::DataPattern &pattern)
 {
+    OBS_SPAN("sweep.subarrays");
     const auto &geometry = tester.module().module().geometry();
     RHS_ASSERT(subarray_count > 0 &&
                subarray_count <= geometry.subarraysPerBank);

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/trace.hh"
 #include "stats/descriptive.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -70,6 +71,7 @@ analyzeTempRanges(const Tester &tester, unsigned bank,
                   const rhmodel::DataPattern &pattern,
                   std::uint64_t hammers)
 {
+    OBS_SPAN("sweep.temp_ranges");
     TempRangeAnalysis analysis;
     analysis.temps = standardTemperatures();
     const std::size_t n = analysis.temps.size();
@@ -213,6 +215,7 @@ analyzeHcFirstVsTemperature(const Tester &tester, unsigned bank,
                             const std::vector<unsigned> &rows,
                             const rhmodel::DataPattern &pattern)
 {
+    OBS_SPAN("sweep.hcfirst_vs_temp");
     HcShiftResult result;
 
     // Per-row shifts into pre-sized slots; compacted serially in row

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -121,6 +122,7 @@ Tester::findWorstCasePattern(unsigned bank,
                              const rhmodel::Conditions &conditions) const
 {
     RHS_ASSERT(!sample_rows.empty(), "WCDP needs sample rows");
+    OBS_SPAN("tester.wcdp_search");
     const auto pattern_count = std::size(rhmodel::allPatterns);
 
     // Every (pattern, row) BER test is independent: flatten the grid,

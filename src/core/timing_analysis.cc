@@ -1,5 +1,6 @@
 #include "core/timing_analysis.hh"
 
+#include "obs/trace.hh"
 #include "stats/descriptive.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -151,6 +152,7 @@ sweepAggressorOnTime(const Tester &tester, unsigned bank,
                      const rhmodel::DataPattern &pattern,
                      std::vector<double> values)
 {
+    OBS_SPAN("sweep.tagg_on");
     if (values.empty())
         values = standardOnTimes();
     return sweepImpl(tester, bank, rows, pattern, values, true);
@@ -162,6 +164,7 @@ sweepAggressorOffTime(const Tester &tester, unsigned bank,
                       const rhmodel::DataPattern &pattern,
                       std::vector<double> values)
 {
+    OBS_SPAN("sweep.tagg_off");
     if (values.empty())
         values = standardOffTimes();
     return sweepImpl(tester, bank, rows, pattern, values, false);

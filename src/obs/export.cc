@@ -1,0 +1,99 @@
+#include "obs/export.hh"
+
+#include "obs/trace.hh"
+#include "report/writer.hh"
+
+namespace rhs::obs
+{
+
+namespace
+{
+
+report::Json
+histogramJson(const HistogramData &data)
+{
+    auto json = report::Json::object();
+    json.set("count", data.count);
+    json.set("sum", data.sum);
+    json.set("min", data.min);
+    json.set("max", data.max);
+    json.set("mean", data.mean());
+    json.set("p50", data.quantile(0.50));
+    json.set("p99", data.quantile(0.99));
+    auto buckets = report::Json::array();
+    for (std::size_t b = 0; b < data.counts.size(); ++b) {
+        auto bucket = report::Json::object();
+        if (b < data.bounds.size())
+            bucket.set("le", data.bounds[b]);
+        else
+            bucket.set("le", "+Inf");
+        bucket.set("count", data.counts[b]);
+        buckets.push(std::move(bucket));
+    }
+    json.set("buckets", std::move(buckets));
+    return json;
+}
+
+} // namespace
+
+report::Json
+metricsJson(const MetricsSnapshot &snapshot)
+{
+    auto json = report::Json::object();
+    json.set("compiled", kCompiledIn);
+    json.set("enabled", enabled());
+    auto counters = report::Json::object();
+    for (const auto &[name, value] : snapshot.counters)
+        counters.set(name, value);
+    json.set("counters", std::move(counters));
+    auto gauges = report::Json::object();
+    for (const auto &[name, value] : snapshot.gauges)
+        gauges.set(name, value);
+    json.set("gauges", std::move(gauges));
+    auto histograms = report::Json::object();
+    for (const auto &[name, data] : snapshot.histograms)
+        histograms.set(name, histogramJson(data));
+    json.set("histograms", std::move(histograms));
+    return json;
+}
+
+report::Json
+registryJson(const Registry &registry)
+{
+    return metricsJson(registry.snapshot());
+}
+
+report::Json
+chromeTraceJson()
+{
+    auto root = report::Json::object();
+    root.set("displayTimeUnit", "ms");
+    auto events = report::Json::array();
+    for (const auto &span : traceSnapshot()) {
+        auto event = report::Json::object();
+        event.set("name", span.name);
+        event.set("ph", "X");
+        event.set("ts", static_cast<double>(span.beginUs));
+        event.set("dur",
+                  static_cast<double>(span.endUs - span.beginUs));
+        event.set("pid", 1);
+        event.set("tid", span.tid);
+        events.push(std::move(event));
+    }
+    root.set("traceEvents", std::move(events));
+    auto other = report::Json::object();
+    other.set("recorded", traceRecorded());
+    other.set("dropped", traceDropped());
+    other.set("ring_capacity",
+              static_cast<std::uint64_t>(kTraceRingCapacity));
+    root.set("otherData", std::move(other));
+    return root;
+}
+
+void
+writeChromeTrace(const std::string &path)
+{
+    report::JsonWriter().writeFile(path, chromeTraceJson());
+}
+
+} // namespace rhs::obs

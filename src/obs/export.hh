@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Export of obs:: state into report::Json documents.
+ *
+ * Split from metrics/trace so the recording core (rhs_obs_core) stays
+ * dependency-free — rhs_util links it to instrument the thread pool,
+ * while this TU (rhs_obs) may link rhs_report without a cycle.
+ *
+ * Two exports:
+ *  - metricsJson: a MetricsSnapshot folded into a stable JSON object
+ *    (names sorted, histogram buckets with `le` upper edges plus
+ *    p50/p99 convenience quantiles) — the payload behind the serve
+ *    `stats` op's `metrics` member;
+ *  - chromeTraceJson / writeChromeTrace: the retained spans as a
+ *    Chrome trace-event document (load it at chrome://tracing or
+ *    https://ui.perfetto.dev) — the payload behind `--trace-out`.
+ */
+
+#ifndef RHS_OBS_EXPORT_HH
+#define RHS_OBS_EXPORT_HH
+
+#include <string>
+
+#include "obs/metrics.hh"
+#include "report/json.hh"
+
+namespace rhs::obs
+{
+
+/** Fold one metrics snapshot into a stable JSON object. */
+report::Json metricsJson(const MetricsSnapshot &snapshot);
+
+/** Shorthand: snapshot a registry and fold it. */
+report::Json registryJson(const Registry &registry);
+
+/**
+ * The retained spans as a Chrome trace-event document: one complete
+ * ("ph": "X") event per span with ts/dur in microseconds, plus the
+ * recorded/dropped totals under "otherData".
+ */
+report::Json chromeTraceJson();
+
+/** Write chromeTraceJson() to a file (creates parent directories). */
+void writeChromeTrace(const std::string &path);
+
+} // namespace rhs::obs
+
+#endif // RHS_OBS_EXPORT_HH

@@ -1,0 +1,207 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace rhs::obs
+{
+
+namespace
+{
+
+std::atomic<bool> g_enabled{true};
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+unsigned
+threadStripe()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+}
+
+} // namespace detail
+
+double
+HistogramData::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count);
+
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        const double before = static_cast<double>(cumulative);
+        cumulative += counts[i];
+        if (static_cast<double>(cumulative) < target)
+            continue;
+        // Interpolate inside bucket i. The first bucket's lower edge
+        // and the overflow bucket's upper edge are the observed
+        // extrema — the histogram covers [min, max] exactly.
+        const double lower = i == 0 ? min : bounds[i - 1];
+        const double upper = i < bounds.size() ? bounds[i] : max;
+        const double width = upper > lower ? upper - lower : 0.0;
+        const double within =
+            counts[i] > 0
+                ? (target - before) / static_cast<double>(counts[i])
+                : 0.0;
+        return std::clamp(lower + width * within, min, max);
+    }
+    return max;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds(std::move(bounds)),
+      minSeen(std::numeric_limits<double>::infinity()),
+      maxSeen(-std::numeric_limits<double>::infinity())
+{
+    if (this->bounds.empty() ||
+        !std::is_sorted(this->bounds.begin(), this->bounds.end()))
+        std::abort(); // Registration bug; no logging dep here.
+    stripes.reserve(kStripes);
+    for (unsigned s = 0; s < kStripes; ++s)
+        stripes.push_back(
+            std::make_unique<Stripe>(this->bounds.size() + 1));
+}
+
+void
+Histogram::observe(double x)
+{
+    if (!enabled())
+        return;
+    auto &stripe = *stripes[detail::threadStripe()];
+    const auto it =
+        std::lower_bound(bounds.begin(), bounds.end(), x);
+    const std::size_t bucket =
+        static_cast<std::size_t>(it - bounds.begin());
+    stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    stripe.sum.fetch_add(x, std::memory_order_relaxed);
+
+    double seen = minSeen.load(std::memory_order_relaxed);
+    while (x < seen && !minSeen.compare_exchange_weak(
+                           seen, x, std::memory_order_relaxed)) {
+    }
+    seen = maxSeen.load(std::memory_order_relaxed);
+    while (x > seen && !maxSeen.compare_exchange_weak(
+                           seen, x, std::memory_order_relaxed)) {
+    }
+}
+
+HistogramData
+Histogram::snapshot() const
+{
+    HistogramData data;
+    data.bounds = bounds;
+    data.counts.assign(bounds.size() + 1, 0);
+    for (const auto &stripe : stripes) {
+        for (std::size_t b = 0; b < data.counts.size(); ++b)
+            data.counts[b] +=
+                stripe->buckets[b].load(std::memory_order_relaxed);
+        data.sum += stripe->sum.load(std::memory_order_relaxed);
+    }
+    for (auto c : data.counts)
+        data.count += c;
+    if (data.count > 0) {
+        data.min = minSeen.load(std::memory_order_relaxed);
+        data.max = maxSeen.load(std::memory_order_relaxed);
+    } else {
+        data.sum = 0.0; // Never report -0.0 or rounding residue.
+    }
+    return data;
+}
+
+std::vector<double>
+exponentialBounds(double first, double factor, unsigned count)
+{
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double edge = first;
+    for (unsigned i = 0; i < count; ++i) {
+        bounds.push_back(edge);
+        edge *= factor;
+    }
+    return bounds;
+}
+
+std::vector<double>
+latencyBoundsMs()
+{
+    return exponentialBounds(0.05, 2.0, 21);
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard lock(mutex);
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard lock(mutex);
+    auto &slot = gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, std::vector<double> bounds)
+{
+    std::lock_guard lock(mutex);
+    auto &slot = histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard lock(mutex);
+    // std::map iterates in name order, so the snapshot (and the JSON
+    // document folded from it) is stable across runs and registration
+    // orders.
+    for (const auto &[name, counter] : counters)
+        snap.counters.emplace_back(name, counter->value());
+    for (const auto &[name, gauge] : gauges)
+        snap.gauges.emplace_back(name, gauge->value());
+    for (const auto &[name, histogram] : histograms)
+        snap.histograms.emplace_back(name, histogram->snapshot());
+    return snap;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry *instance = new Registry;
+    return *instance;
+}
+
+} // namespace rhs::obs

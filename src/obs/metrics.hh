@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Low-overhead process metrics: counters, gauges, and fixed-bucket
+ * histograms, grouped in named registries.
+ *
+ * The characterization engine runs millions of cache probes and pool
+ * tasks per campaign, so the recording paths are built to disappear
+ * into the noise of the work they measure:
+ *
+ *  - Counter::add is a wait-free fetch_add on one of kStripes
+ *    cache-line-padded atomics, selected per thread, so concurrent
+ *    increments of a hot counter (the RowEval cache hit counter under
+ *    an 8-wide sweep) never bounce one cache line between cores;
+ *  - Histogram::observe touches only the calling thread's stripe of
+ *    bucket counts; value sums and extrema use CAS loops that contend
+ *    only when a new extreme is observed;
+ *  - Registry::snapshot() folds the stripes into plain structs (and,
+ *    via obs/export.hh, into a stable report::Json document) without
+ *    stopping writers.
+ *
+ * Determinism contract (tested in tests/obs_test.cc and the
+ * obs_overhead bench): metrics observe the computation, they never
+ * feed back into it — no result anywhere may depend on a metric
+ * value, and a build with RHS_OBS=OFF (or a run with
+ * setEnabled(false)) produces byte-identical experiment output.
+ *
+ * RHS_OBS=OFF compiles out the *timing* instrumentation (trace spans
+ * and the clock reads behind duration histograms; see obs/trace.hh).
+ * Counters, gauges, and histograms stay functional in every build:
+ * the rhs-rpc/1 `stats` op is product surface, not telemetry, and its
+ * counters must keep counting. setEnabled(false) is the runtime
+ * kill-switch that freezes recording entirely (used by the
+ * obs_overhead bench to measure the cost of the instrumentation).
+ */
+
+#ifndef RHS_OBS_METRICS_HH
+#define RHS_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Defined (PUBLIC) by the rhs_obs_core CMake target: 1 unless the
+// build was configured with -DRHS_OBS=OFF. Default to "on" for TUs
+// compiled outside the CMake tree (editors, one-off tools).
+#ifndef RHS_OBS_ENABLED
+#define RHS_OBS_ENABLED 1
+#endif
+
+namespace rhs::obs
+{
+
+/** True when the build compiles in spans and timing instrumentation. */
+inline constexpr bool kCompiledIn = RHS_OBS_ENABLED != 0;
+
+/** Stripes per metric; a power of two keeps the modulo cheap. */
+inline constexpr unsigned kStripes = 16;
+
+/**
+ * Runtime recording switch (default on). When off, add/set/observe and
+ * span recording are no-ops; existing values freeze. Flipping it never
+ * loses recorded data.
+ */
+bool enabled();
+void setEnabled(bool on);
+
+/** True when duration/span recording is active (compiled in AND
+ *  enabled()): call sites gate their clock reads on this so a
+ *  disabled build never pays a steady_clock read. */
+inline bool
+timingActive()
+{
+    return kCompiledIn && enabled();
+}
+
+namespace detail
+{
+/** The calling thread's stripe index (assigned round-robin once). */
+unsigned threadStripe();
+
+struct alignas(64) PaddedCount
+{
+    std::atomic<std::uint64_t> v{0};
+};
+} // namespace detail
+
+/**
+ * Monotonic counter. add() is wait-free (one fetch_add on the calling
+ * thread's stripe); value() folds the stripes.
+ *
+ * Memory order: increments and folds are seq_cst, so two counters
+ * read in sequence observe a cross-counter-consistent order — reading
+ * `responses` before `enqueued` can never report more responses than
+ * enqueues (the torn-read bug the serve stats op used to have).
+ */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        if (!enabled())
+            return;
+        stripes[detail::threadStripe()].v.fetch_add(n);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &stripe : stripes)
+            total += stripe.v.load();
+        return total;
+    }
+
+  private:
+    detail::PaddedCount stripes[kStripes];
+};
+
+/** Last-writer-wins instantaneous value (also supports add/recordMax). */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        if (enabled())
+            value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta)
+    {
+        if (enabled())
+            value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** Raise the gauge to v if v exceeds the current value. */
+    void
+    recordMax(std::int64_t v)
+    {
+        if (!enabled())
+            return;
+        std::int64_t seen = value_.load(std::memory_order_relaxed);
+        while (seen < v && !value_.compare_exchange_weak(
+                               seen, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Folded histogram state: `bounds` holds the inclusive upper edges of
+ * the finite buckets, `counts` has one extra slot for the overflow
+ * bucket (> bounds.back()). This is the shared quantile helper — the
+ * serve stats op and the bench load generator both report latency
+ * through HistogramData::quantile, so their numbers are comparable by
+ * construction.
+ */
+struct HistogramData
+{
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts; //!< bounds.size() + 1 slots.
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0; //!< 0 when count == 0.
+    double max = 0.0; //!< 0 when count == 0.
+
+    double mean() const { return count ? sum / double(count) : 0.0; }
+
+    /**
+     * The q-quantile (q in [0, 1]) with linear interpolation inside
+     * the selected bucket, clamped to the observed [min, max]. A
+     * deterministic pure function of the folded state, so two
+     * consumers of the same snapshot always report the same value.
+     */
+    double quantile(double q) const;
+};
+
+/**
+ * Fixed-bucket histogram; bucket bounds are fixed at registration so
+ * observe() is one binary search plus striped atomic updates.
+ */
+class Histogram
+{
+  public:
+    /** @param bounds Strictly increasing finite upper edges. */
+    explicit Histogram(std::vector<double> bounds);
+
+    /** Record one sample (clamped into the overflow bucket above
+     *  bounds.back()). Thread-safe, stripe-local. */
+    void observe(double x);
+
+    /** Fold all stripes into a consistent-enough snapshot. */
+    HistogramData snapshot() const;
+
+    std::uint64_t
+    count() const
+    {
+        return snapshot().count;
+    }
+
+  private:
+    struct Stripe
+    {
+        std::vector<std::atomic<std::uint64_t>> buckets;
+        std::atomic<double> sum{0.0};
+        explicit Stripe(std::size_t slots) : buckets(slots) {}
+    };
+
+    std::vector<double> bounds;
+    std::vector<std::unique_ptr<Stripe>> stripes;
+    std::atomic<double> minSeen;
+    std::atomic<double> maxSeen;
+};
+
+/** Upper edges first, first*factor, ... (count finite buckets). */
+std::vector<double> exponentialBounds(double first, double factor,
+                                      unsigned count);
+
+/** The shared latency bucket layout: 0.05 ms .. ~52 s, x2 per bucket.
+ *  Used by the serve end-to-end latency histogram and the load
+ *  generator so both report from identical buckets. */
+std::vector<double> latencyBoundsMs();
+
+/** One registry's folded metrics, sorted by name (stable output). */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramData>> histograms;
+};
+
+/**
+ * A named family of metrics. Registration (the name lookup) takes a
+ * mutex and returns a stable reference — callers on hot paths resolve
+ * their metric once (function-local static or member) and keep the
+ * reference. Registry::global() is the process-wide instance used by
+ * the pool and the model caches; subsystems needing isolation (each
+ * serve::Server instance) own their own Registry.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /** bounds are fixed by the first registration of `name`;
+     *  subsequent calls return the existing histogram. */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds);
+
+    MetricsSnapshot snapshot() const;
+
+    /** The process-wide registry (leaky singleton: references stay
+     *  valid through static destruction). */
+    static Registry &global();
+
+  private:
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+} // namespace rhs::obs
+
+#endif // RHS_OBS_METRICS_HH

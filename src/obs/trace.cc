@@ -1,0 +1,166 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace rhs::obs
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** One thread's bounded span store. The mutex is taken by the owner
+ *  thread (record) and exporters (snapshot/clear) only. */
+struct TraceRing
+{
+    std::mutex mutex;
+    std::uint32_t tid = 0;
+    std::vector<SpanEvent> slots; //!< Ring storage, grows to capacity.
+    std::size_t next = 0;         //!< Overwrite position once full.
+    std::uint64_t recorded = 0;   //!< Spans ever pushed.
+};
+
+struct TraceSink
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<TraceRing>> rings;
+    std::atomic<std::uint32_t> nextTid{0};
+};
+
+TraceSink &
+sink()
+{
+    static TraceSink *instance = new TraceSink;
+    return *instance;
+}
+
+Clock::time_point
+traceEpoch()
+{
+    static const Clock::time_point epoch = Clock::now();
+    return epoch;
+}
+
+TraceRing &
+threadRing()
+{
+    thread_local std::shared_ptr<TraceRing> ring = [] {
+        auto created = std::make_shared<TraceRing>();
+        auto &s = sink();
+        created->tid =
+            s.nextTid.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard lock(s.mutex);
+        s.rings.push_back(created);
+        return created;
+    }();
+    return *ring;
+}
+
+} // namespace
+
+std::uint64_t
+traceNowUs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - traceEpoch())
+            .count());
+}
+
+std::uint32_t
+traceThreadId()
+{
+    return threadRing().tid;
+}
+
+void
+recordSpan(std::string name, std::uint64_t begin_us,
+           std::uint64_t end_us)
+{
+    auto &ring = threadRing();
+    SpanEvent event{std::move(name), begin_us, end_us, ring.tid};
+    std::lock_guard lock(ring.mutex);
+    if (ring.slots.size() < kTraceRingCapacity) {
+        ring.slots.push_back(std::move(event));
+    } else {
+        // Wraparound: overwrite the oldest retained span.
+        ring.slots[ring.next] = std::move(event);
+        ring.next = (ring.next + 1) % kTraceRingCapacity;
+    }
+    ++ring.recorded;
+}
+
+std::vector<SpanEvent>
+traceSnapshot()
+{
+    std::vector<SpanEvent> events;
+    {
+        auto &s = sink();
+        std::lock_guard sink_lock(s.mutex);
+        for (const auto &ring : s.rings) {
+            std::lock_guard ring_lock(ring->mutex);
+            if (ring->slots.empty())
+                continue;
+            // Oldest-first: [next, end) then [0, next).
+            for (std::size_t i = 0; i < ring->slots.size(); ++i) {
+                const std::size_t at =
+                    (ring->next + i) % ring->slots.size();
+                events.push_back(ring->slots[at]);
+            }
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const SpanEvent &a, const SpanEvent &b) {
+                  if (a.beginUs != b.beginUs)
+                      return a.beginUs < b.beginUs;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.name < b.name;
+              });
+    return events;
+}
+
+std::uint64_t
+traceDropped()
+{
+    std::uint64_t dropped = 0;
+    auto &s = sink();
+    std::lock_guard sink_lock(s.mutex);
+    for (const auto &ring : s.rings) {
+        std::lock_guard ring_lock(ring->mutex);
+        dropped += ring->recorded - ring->slots.size();
+    }
+    return dropped;
+}
+
+std::uint64_t
+traceRecorded()
+{
+    std::uint64_t recorded = 0;
+    auto &s = sink();
+    std::lock_guard sink_lock(s.mutex);
+    for (const auto &ring : s.rings) {
+        std::lock_guard ring_lock(ring->mutex);
+        recorded += ring->recorded;
+    }
+    return recorded;
+}
+
+void
+clearTrace()
+{
+    auto &s = sink();
+    std::lock_guard sink_lock(s.mutex);
+    for (const auto &ring : s.rings) {
+        std::lock_guard ring_lock(ring->mutex);
+        ring->slots.clear();
+        ring->next = 0;
+        ring->recorded = 0;
+    }
+}
+
+} // namespace rhs::obs

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Trace spans: named begin/end intervals recorded into per-thread
+ * ring buffers, exportable as Chrome trace-event JSON (obs/export.hh,
+ * `--trace-out` on rhs-bench and rhs-serve).
+ *
+ * A Span measures the lifetime of a scope:
+ *
+ *     void runCampaign(...) {
+ *         OBS_SPAN("campaign.run");
+ *         ...
+ *     }
+ *
+ * Recording goes to the calling thread's fixed-capacity ring
+ * (kTraceRingCapacity events); when a ring wraps, the oldest events
+ * of *that thread* are overwritten — tracing is a bounded-memory
+ * flight recorder, never an unbounded log. Each ring has its own
+ * mutex that only its owner thread and an exporter ever take, so
+ * recording is effectively uncontended; rings outlive their threads
+ * (the sink holds strong references) so a trace can be exported after
+ * worker threads joined.
+ *
+ * With RHS_OBS=OFF, OBS_SPAN compiles to nothing and the Span class
+ * body is empty — zero code, zero clock reads. With the runtime
+ * switch off (obs::setEnabled(false)) construction skips the clock
+ * read and the span is never recorded.
+ */
+
+#ifndef RHS_OBS_TRACE_HH
+#define RHS_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh" // kCompiledIn, enabled().
+
+namespace rhs::obs
+{
+
+/** Events each thread's ring holds before overwriting the oldest. */
+inline constexpr std::size_t kTraceRingCapacity = 4096;
+
+/** One completed span. Timestamps are microseconds since the process
+ *  trace epoch (the first clock read of the process). */
+struct SpanEvent
+{
+    std::string name;
+    std::uint64_t beginUs = 0;
+    std::uint64_t endUs = 0;
+    std::uint32_t tid = 0;
+};
+
+/** Microseconds since the process trace epoch (monotonic). */
+std::uint64_t traceNowUs();
+
+/** Small dense id of the calling thread (first-use order). */
+std::uint32_t traceThreadId();
+
+/** Append a completed span to the calling thread's ring. */
+void recordSpan(std::string name, std::uint64_t begin_us,
+                std::uint64_t end_us);
+
+/** All retained spans, oldest-first per thread, merged and sorted by
+ *  (beginUs, tid, name) for a stable export. */
+std::vector<SpanEvent> traceSnapshot();
+
+/** Spans overwritten by ring wraparound since the last clearTrace(). */
+std::uint64_t traceDropped();
+
+/** Spans ever recorded (retained + dropped) since last clearTrace(). */
+std::uint64_t traceRecorded();
+
+/** Drop every retained span and reset the drop counters (tests, and
+ *  long-lived servers exporting periodic traces). */
+void clearTrace();
+
+/** RAII span; see file comment. Usable with a dynamic name where
+ *  OBS_SPAN's literal is too static (e.g. per-experiment spans). */
+class Span
+{
+  public:
+    explicit Span(std::string name)
+    {
+        if constexpr (kCompiledIn) {
+            if (enabled()) {
+                name_ = std::move(name);
+                begin_ = traceNowUs();
+                active_ = true;
+            }
+        }
+    }
+
+    ~Span()
+    {
+        if constexpr (kCompiledIn) {
+            if (active_)
+                recordSpan(std::move(name_), begin_, traceNowUs());
+        }
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    std::string name_;
+    std::uint64_t begin_ = 0;
+    bool active_ = false;
+};
+
+} // namespace rhs::obs
+
+#define RHS_OBS_CONCAT_INNER(a, b) a##b
+#define RHS_OBS_CONCAT(a, b) RHS_OBS_CONCAT_INNER(a, b)
+
+#if RHS_OBS_ENABLED
+#define OBS_SPAN(name)                                                      \
+    ::rhs::obs::Span RHS_OBS_CONCAT(rhs_obs_span_, __LINE__)(name)
+#else
+#define OBS_SPAN(name) ((void)0)
+#endif
+
+#endif // RHS_OBS_TRACE_HH

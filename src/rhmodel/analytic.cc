@@ -1,15 +1,63 @@
 #include "rhmodel/analytic.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/metrics.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace rhs::rhmodel
 {
+
+namespace
+{
+
+/**
+ * RowEval cache metrics, aggregated over every AnalyticEngine in the
+ * process (the size gauge sums live entries across engines; the
+ * capacity gauge reports the per-engine capacity). Counter bumps are
+ * striped and wait-free, so they never serialize concurrent sweeps —
+ * and metrics never feed back into cache behaviour, per the obs
+ * determinism contract.
+ */
+struct EvalCacheMetrics
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &evictions;
+    obs::Gauge &size;
+
+    EvalCacheMetrics()
+        : hits(obs::Registry::global().counter("roweval.cache.hits")),
+          misses(
+              obs::Registry::global().counter("roweval.cache.misses")),
+          evictions(obs::Registry::global().counter(
+              "roweval.cache.evictions")),
+          size(obs::Registry::global().gauge("roweval.cache.size"))
+    {
+        obs::Registry::global()
+            .gauge("roweval.cache.capacity")
+            .set(AnalyticEngine::kEvalCacheCapacity);
+    }
+};
+
+EvalCacheMetrics &
+evalCacheMetrics()
+{
+    static EvalCacheMetrics metrics;
+    return metrics;
+}
+
+//! One warning per process on the first eviction: an evicting RowEval
+//! cache means HCfirst probes of a working set larger than the cache
+//! re-run the kernel, which is a sizing problem worth surfacing.
+std::atomic<bool> g_eval_evict_warned{false};
+
+} // namespace
 
 HammerAttack
 HammerAttack::doubleSided(unsigned bank, unsigned victim_row)
@@ -300,15 +348,18 @@ AnalyticEngine::rowEval(unsigned victim_row, const HammerAttack &attack,
     constexpr std::size_t shard_capacity =
         kEvalCacheCapacity / kEvalCacheShards;
 
+    auto &metrics = evalCacheMetrics();
     {
         std::lock_guard lock(shard.mutex);
         if (auto it = shard.index.find(hash);
             it != shard.index.end() && it->second->key == key) {
             // Promote on hit, like the cellsOfRow LRU.
             shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            metrics.hits.add(1);
             return shard.lru.front().eval;
         }
     }
+    metrics.misses.add(1);
 
     // Miss: run the kernel outside the lock so other threads' lookups
     // (and evaluations of other keys in this shard) proceed
@@ -328,12 +379,22 @@ AnalyticEngine::rowEval(unsigned victim_row, const HammerAttack &attack,
         // incumbent. Results stay exact — only the hit rate suffers.
         shard.lru.erase(it->second);
         shard.index.erase(it);
+        metrics.size.add(-1);
     }
     shard.lru.push_front({hash, std::move(key), eval});
     shard.index.emplace(hash, shard.lru.begin());
+    metrics.size.add(1);
     if (shard.lru.size() > shard_capacity) {
         shard.index.erase(shard.lru.back().hash);
         shard.lru.pop_back();
+        metrics.evictions.add(1);
+        metrics.size.add(-1);
+        if (!g_eval_evict_warned.exchange(true)) {
+            util::warn("roweval cache evicting (capacity ",
+                       kEvalCacheCapacity,
+                       "): working set exceeds the cache; repeated "
+                       "probes will re-run the kernel");
+        }
     }
     return eval;
 }

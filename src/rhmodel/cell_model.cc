@@ -1,8 +1,10 @@
 #include "rhmodel/cell_model.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -12,6 +14,46 @@ namespace rhs::rhmodel
 
 namespace
 {
+
+/**
+ * Row-cache metrics, aggregated over every CellModel in the process
+ * (the size gauge sums live entries across models; the capacity gauge
+ * reports the per-model capacity). Metrics never feed back into cache
+ * behaviour, per the obs determinism contract.
+ */
+struct RowCacheMetrics
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &evictions;
+    obs::Gauge &size;
+
+    RowCacheMetrics()
+        : hits(obs::Registry::global().counter(
+              "cellmodel.row_cache.hits")),
+          misses(obs::Registry::global().counter(
+              "cellmodel.row_cache.misses")),
+          evictions(obs::Registry::global().counter(
+              "cellmodel.row_cache.evictions")),
+          size(obs::Registry::global().gauge("cellmodel.row_cache.size"))
+    {
+        obs::Registry::global()
+            .gauge("cellmodel.row_cache.capacity")
+            .set(CellModel::kCacheCapacity);
+    }
+};
+
+RowCacheMetrics &
+rowCacheMetrics()
+{
+    static RowCacheMetrics metrics;
+    return metrics;
+}
+
+//! One warning per process on the first eviction: an evicting row
+//! cache regenerates cell populations on every revisit, which is a
+//! sizing problem worth surfacing.
+std::atomic<bool> g_row_evict_warned{false};
 
 // Salt constants separating the independent hash streams.
 enum : std::uint64_t
@@ -137,6 +179,7 @@ CellModel::cellsOfRow(unsigned bank, unsigned physical_row) const
     auto &shard = cacheShards[util::splitMix64(key) % kCacheShards];
     constexpr std::size_t shard_capacity = kCacheCapacity / kCacheShards;
 
+    auto &metrics = rowCacheMetrics();
     {
         std::lock_guard lock(shard.mutex);
         if (auto it = shard.index.find(key); it != shard.index.end()) {
@@ -145,9 +188,11 @@ CellModel::cellsOfRow(unsigned bank, unsigned physical_row) const
             // working set exceeded the capacity evicted its hottest
             // rows first).
             shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            metrics.hits.add(1);
             return pinRowCells(it->second->second);
         }
     }
+    metrics.misses.add(1);
 
     // Miss: generate outside the lock so other threads' lookups (and
     // generations of other rows in this shard) proceed concurrently.
@@ -163,9 +208,18 @@ CellModel::cellsOfRow(unsigned bank, unsigned physical_row) const
     }
     shard.lru.emplace_front(key, std::move(cells));
     shard.index.emplace(key, shard.lru.begin());
+    metrics.size.add(1);
     if (shard.lru.size() > shard_capacity) {
         shard.index.erase(shard.lru.back().first);
         shard.lru.pop_back();
+        metrics.evictions.add(1);
+        metrics.size.add(-1);
+        if (!g_row_evict_warned.exchange(true)) {
+            util::warn("cellmodel row cache evicting (capacity ",
+                       kCacheCapacity,
+                       "): working set exceeds the cache; revisited "
+                       "rows will regenerate their cells");
+        }
     }
     return pinRowCells(shard.lru.front().second);
 }

@@ -18,6 +18,7 @@
 #include <thread>
 #include <unistd.h>
 
+#include "obs/export.hh"
 #include "report/writer.hh"
 #include "serve/server.hh"
 #include "util/cli.hh"
@@ -48,13 +49,16 @@ main(int argc, char **argv)
 {
     const util::Cli cli(argc, argv,
                         {"host", "port", "queue", "batch", "max-conns",
-                         "jobs", "log", "help"});
+                         "jobs", "log", "trace-out", "help"});
     if (cli.has("help")) {
         std::printf(
             "usage: rhs-serve [--host H] [--port P] [--queue N] "
             "[--batch N]\n"
             "                 [--max-conns N] [--jobs N] "
-            "[--log silent|warn|info|debug]\n");
+            "[--log silent|warn|info|debug]\n"
+            "                 [--trace-out FILE]\n"
+            "--trace-out writes the retained obs spans as a Chrome\n"
+            "trace-event JSON file on shutdown (chrome://tracing).\n");
         return 0;
     }
 
@@ -112,5 +116,10 @@ main(int argc, char **argv)
                  report::JsonWriter()
                      .toString(server.statsJson())
                      .c_str());
+    if (const std::string trace_out = cli.get("trace-out", "");
+        !trace_out.empty()) {
+        obs::writeChromeTrace(trace_out);
+        util::inform("rhs-serve: trace written to ", trace_out);
+    }
     return 0;
 }

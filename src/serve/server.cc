@@ -7,6 +7,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/export.hh"
+#include "obs/trace.hh"
 #include "serve/protocol.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -120,8 +122,8 @@ Server::stop()
         ::close(listenFd);
         listenFd = -1;
     }
-    util::inform("rhs-serve: stopped (", nResponses.load(),
-                 " batch responses, ", nInline.load(),
+    util::inform("rhs-serve: stopped (", nResponses.value(),
+                 " batch responses, ", nInline.value(),
                  " inline replies)");
 }
 
@@ -158,7 +160,7 @@ Server::acceptLoop()
 
         std::lock_guard lock(connectionsMutex);
         if (readers.size() >= config.maxConnections) {
-            nRejected.fetch_add(1);
+            nRejected.add(1);
             writeFrame(fd, serialize(makeError(
                                kNoRequestId, err::kOverloaded,
                                "connection limit reached")));
@@ -167,8 +169,8 @@ Server::acceptLoop()
         }
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
-        conn->id =
-            static_cast<unsigned>(nConnections.fetch_add(1) + 1);
+        conn->id = nextConnId.fetch_add(1) + 1;
+        nConnections.add(1);
         Reader reader;
         reader.conn = conn;
         reader.thread = std::thread([this, conn] { readerLoop(conn); });
@@ -191,8 +193,8 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
                     const std::string &body)
 {
     if (body.empty()) {
-        nMalformed.fetch_add(1);
-        nInline.fetch_add(1);
+        nMalformed.add(1);
+        nInline.add(1);
         send(*conn, makeError(kNoRequestId, err::kBadRequest,
                               "empty frame body"));
         return;
@@ -201,8 +203,8 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
     report::Json request;
     std::string parse_error;
     if (!report::Json::parse(body, request, parse_error)) {
-        nMalformed.fetch_add(1);
-        nInline.fetch_add(1);
+        nMalformed.add(1);
+        nInline.add(1);
         send(*conn, makeError(kNoRequestId, err::kBadRequest,
                               "malformed JSON: " + parse_error));
         return;
@@ -221,7 +223,7 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
             : nullptr;
     if (op_value == nullptr ||
         op_value->type() != report::Json::Type::String) {
-        nInline.fetch_add(1);
+        nInline.add(1);
         send(*conn, makeError(id, err::kBadRequest,
                               "request needs a string 'op'"));
         return;
@@ -231,19 +233,19 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
     if (op == "ping") {
         auto result = report::Json::object();
         result.set("protocol", kProtocol);
-        nInline.fetch_add(1);
+        nInline.add(1);
         send(*conn, makeResult(id, std::move(result)));
         return;
     }
     if (op == "stats") {
-        nInline.fetch_add(1);
+        nInline.add(1);
         send(*conn, makeResult(id, statsJson()));
         return;
     }
     if (op == "shutdown") {
         auto result = report::Json::object();
         result.set("draining", true);
-        nInline.fetch_add(1);
+        nInline.add(1);
         send(*conn, makeResult(id, std::move(result)));
         util::inform("rhs-serve: shutdown requested by conn",
                      conn->id);
@@ -251,7 +253,7 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         return;
     }
     if (!QueryEngine::isEngineOp(op)) {
-        nInline.fetch_add(1);
+        nInline.add(1);
         send(*conn,
              makeError(id, err::kUnknownOp, "unknown op '" + op + "'"));
         return;
@@ -264,7 +266,7 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         deadline != nullptr) {
         if (deadline->type() != report::Json::Type::Int ||
             deadline->asInt() < 0) {
-            nInline.fetch_add(1);
+            nInline.add(1);
             send(*conn,
                  makeError(id, err::kBadRequest,
                            "'deadline_ms' must be a non-negative "
@@ -277,6 +279,8 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
                 std::chrono::milliseconds(deadline->asInt());
     }
     pending.body = std::move(request);
+    if (obs::timingActive())
+        pending.enqueuedAt = Clock::now();
 
     {
         // stopping and the queue are checked under one lock so a
@@ -284,14 +288,14 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         // — never both missed (see dispatchLoop's exit condition).
         std::lock_guard lock(queueMutex);
         if (stopping.load()) {
-            nInline.fetch_add(1);
+            nInline.add(1);
             send(*conn, makeError(id, err::kShuttingDown,
                                   "server is draining"));
             return;
         }
         if (queue.size() >= config.queueCapacity) {
-            nOverloaded.fetch_add(1);
-            nInline.fetch_add(1);
+            nOverloaded.add(1);
+            nInline.add(1);
             send(*conn, makeError(id, err::kOverloaded,
                                   "request queue is full (capacity " +
                                       std::to_string(
@@ -300,7 +304,8 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
             return;
         }
         queue.push_back(std::move(pending));
-        nEnqueued.fetch_add(1);
+        nEnqueued.add(1);
+        queueDepth.set(static_cast<std::int64_t>(queue.size()));
     }
     queueCv.notify_one();
 }
@@ -318,13 +323,13 @@ Server::readerLoop(const std::shared_ptr<Connection> &conn)
             break;
         }
         if (status == FrameStatus::Truncated) {
-            nMalformed.fetch_add(1);
+            nMalformed.add(1);
             util::debug("truncated frame; closing connection");
             break;
         }
         if (status == FrameStatus::Oversize) {
-            nMalformed.fetch_add(1);
-            nInline.fetch_add(1);
+            nMalformed.add(1);
+            nInline.add(1);
             send(*conn,
                  makeError(kNoRequestId, err::kFrameTooLarge,
                            "frame exceeds " +
@@ -355,12 +360,12 @@ Server::dispatchLoop()
                 batch.push_back(std::move(queue.front()));
                 queue.pop_front();
             }
+            queueDepth.set(static_cast<std::int64_t>(queue.size()));
         }
-        nBatches.fetch_add(1);
-        std::uint64_t seen = nMaxBatch.load();
-        while (seen < batch.size() &&
-               !nMaxBatch.compare_exchange_weak(seen, batch.size())) {
-        }
+        OBS_SPAN("serve.batch");
+        nBatches.add(1);
+        batchSizeHist.observe(static_cast<double>(batch.size()));
+        nMaxBatch.recordMax(static_cast<std::int64_t>(batch.size()));
         if (config.serviceDelayUs > 0)
             std::this_thread::sleep_for(
                 std::chrono::microseconds(config.serviceDelayUs));
@@ -373,7 +378,7 @@ Server::dispatchLoop()
             batch.size(), [&](std::size_t i) -> report::Json {
                 const Pending &pending = batch[i];
                 if (Clock::now() > pending.deadline) {
-                    nDeadline.fetch_add(1);
+                    nDeadline.add(1);
                     return makeError(pending.id,
                                      err::kDeadlineExceeded,
                                      "deadline lapsed before "
@@ -383,7 +388,14 @@ Server::dispatchLoop()
             });
         for (std::size_t i = 0; i < batch.size(); ++i) {
             send(*batch[i].conn, responses[i]);
-            nResponses.fetch_add(1);
+            nResponses.add(1);
+            if (batch[i].enqueuedAt != Clock::time_point::min() &&
+                obs::timingActive()) {
+                const auto elapsed = std::chrono::duration<double,
+                                                           std::milli>(
+                    Clock::now() - batch[i].enqueuedAt);
+                latencyHist.observe(elapsed.count());
+            }
         }
     }
 }
@@ -391,17 +403,26 @@ Server::dispatchLoop()
 ServerStats
 Server::stats() const
 {
+    // Torn-read fix: counters are bumped without a common lock, so
+    // the snapshot's only consistency tool is read order. A request's
+    // lifecycle bumps nEnqueued, then nBatches, then nResponses — and
+    // Counter ops are seq_cst — so reading *effects before causes*
+    // (responses, then batches, then enqueued) guarantees
+    // responsesSent <= requestsEnqueued and responsesSent <=
+    // batches * batchMax in every snapshot. The old order (enqueued
+    // first) could observe a response whose enqueue it had already
+    // missed and report responses > enqueued.
     ServerStats out;
-    out.connectionsAccepted = nConnections.load();
-    out.connectionsRejected = nRejected.load();
-    out.requestsEnqueued = nEnqueued.load();
-    out.responsesSent = nResponses.load();
-    out.inlineReplies = nInline.load();
-    out.batches = nBatches.load();
-    out.maxBatch = nMaxBatch.load();
-    out.overloaded = nOverloaded.load();
-    out.deadlineExpired = nDeadline.load();
-    out.malformedFrames = nMalformed.load();
+    out.responsesSent = nResponses.value();   // Effect ...
+    out.batches = nBatches.value();           // ... its cause ...
+    out.requestsEnqueued = nEnqueued.value(); // ... the first cause.
+    out.deadlineExpired = nDeadline.value();
+    out.overloaded = nOverloaded.value();
+    out.malformedFrames = nMalformed.value();
+    out.inlineReplies = nInline.value();
+    out.connectionsRejected = nRejected.value();
+    out.connectionsAccepted = nConnections.value();
+    out.maxBatch = static_cast<std::uint64_t>(nMaxBatch.value());
     return out;
 }
 
@@ -423,6 +444,15 @@ Server::statsJson() const
     json.set("overloaded", s.overloaded);
     json.set("deadline_expired", s.deadlineExpired);
     json.set("malformed_frames", s.malformedFrames);
+    // Full snapshots ride after the legacy fields so existing clients
+    // (and tests) keep their byte-stable view: this server's registry
+    // (queue/batch/latency histograms) plus the process-wide one (the
+    // pool and the model caches behind the engine).
+    auto metrics = report::Json::object();
+    metrics.set("server", obs::registryJson(registry_));
+    metrics.set("process",
+                obs::registryJson(obs::Registry::global()));
+    json.set("metrics", std::move(metrics));
     return json;
 }
 

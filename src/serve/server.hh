@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "report/json.hh"
 #include "serve/query_engine.hh"
 
@@ -116,8 +117,17 @@ class Server
 
     ServerStats stats() const;
 
-    /** The stats op's payload (also handy for table output). */
+    /**
+     * The stats op's payload: the legacy counter fields (byte-stable
+     * names, order, and meaning), followed by a "metrics" object with
+     * the full per-server and process-wide registry snapshots
+     * (histograms included).
+     */
     report::Json statsJson() const;
+
+    /** This server's metric registry (per-instance, so two servers in
+     *  one process — the loadgen scenarios — never mix counts). */
+    const obs::Registry &metricsRegistry() const { return registry_; }
 
   private:
     struct Connection
@@ -139,6 +149,9 @@ class Server
         std::int64_t id = -1;
         report::Json body;
         Clock::time_point deadline = Clock::time_point::max();
+        //! Enqueue instant for the latency_ms histogram; only stamped
+        //! while obs::timingActive() (min() otherwise = not recorded).
+        Clock::time_point enqueuedAt = Clock::time_point::min();
     };
 
     void acceptLoop();
@@ -175,10 +188,32 @@ class Server
     };
     std::vector<Reader> readers;
 
-    // Counters (see ServerStats).
-    std::atomic<std::uint64_t> nConnections{0}, nRejected{0},
-        nEnqueued{0}, nResponses{0}, nInline{0}, nBatches{0},
-        nMaxBatch{0}, nOverloaded{0}, nDeadline{0}, nMalformed{0};
+    // Per-server metrics (see ServerStats). The registry is declared
+    // before the references it hands out; Counter increments are
+    // striped, wait-free, and seq_cst, which is what makes stats()'s
+    // documented read order torn-read-free.
+    obs::Registry registry_;
+    obs::Counter &nConnections{registry_.counter("connections_accepted")};
+    obs::Counter &nRejected{registry_.counter("connections_rejected")};
+    obs::Counter &nEnqueued{registry_.counter("requests_enqueued")};
+    obs::Counter &nResponses{registry_.counter("responses_sent")};
+    obs::Counter &nInline{registry_.counter("inline_replies")};
+    obs::Counter &nBatches{registry_.counter("batches")};
+    obs::Counter &nOverloaded{registry_.counter("overloaded")};
+    obs::Counter &nDeadline{registry_.counter("deadline_expired")};
+    obs::Counter &nMalformed{registry_.counter("malformed_frames")};
+    obs::Gauge &nMaxBatch{registry_.gauge("max_batch")};
+    obs::Gauge &queueDepth{registry_.gauge("queue_depth")};
+    //! Requests coalesced per dispatch (1, 2, 4, ... overflow >1024).
+    obs::Histogram &batchSizeHist{registry_.histogram(
+        "batch_size", obs::exponentialBounds(1.0, 2.0, 11))};
+    //! Enqueue-to-response-write latency; only recorded while
+    //! obs::timingActive() (shared bucket layout with serve_loadgen).
+    obs::Histogram &latencyHist{
+        registry_.histogram("latency_ms", obs::latencyBoundsMs())};
+    //! Connection ids are not a metric (ids must be unique even if
+    //! recording is disabled), so they keep a plain atomic.
+    std::atomic<unsigned> nextConnId{0};
 };
 
 } // namespace rhs::serve

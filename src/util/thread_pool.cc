@@ -7,6 +7,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace rhs::util
 {
 
@@ -17,6 +20,35 @@ namespace
 //! calls from such a thread run inline instead of re-entering the
 //! queue (a fixed-width pool waiting on its own workers deadlocks).
 thread_local bool t_inside_pool_task = false;
+
+// Pool metrics (global registry; resolved once, references are
+// stable). Chunks are coarse — a parallelFor enqueues at most
+// jobs * 4 of them — so one counter bump and one clock read per chunk
+// never shows up next to the chunk's own work.
+obs::Counter &
+poolCallsCounter()
+{
+    static obs::Counter &counter =
+        obs::Registry::global().counter("pool.parallel_for_calls");
+    return counter;
+}
+
+obs::Counter &
+poolTasksCounter()
+{
+    static obs::Counter &counter =
+        obs::Registry::global().counter("pool.tasks_executed");
+    return counter;
+}
+
+obs::Histogram &
+poolWaitHistogram()
+{
+    static obs::Histogram &histogram =
+        obs::Registry::global().histogram(
+            "pool.queue_wait_us", obs::exponentialBounds(1.0, 4.0, 10));
+    return histogram;
+}
 
 } // namespace
 
@@ -32,6 +64,7 @@ struct ThreadPool::Impl
 ThreadPool::ThreadPool(unsigned jobs)
     : jobCount(jobs == 0 ? 1 : jobs), impl(nullptr)
 {
+    obs::Registry::global().gauge("pool.jobs").set(jobCount);
     if (jobCount == 1)
         return;
     impl = new Impl;
@@ -96,6 +129,7 @@ ThreadPool::parallelFor(std::size_t first, std::size_t last,
 {
     if (first >= last)
         return;
+    poolCallsCounter().add(1);
     const std::size_t range = last - first;
     if (jobCount == 1 || range == 1 || t_inside_pool_task) {
         for (std::size_t i = first; i < last; ++i)
@@ -120,13 +154,22 @@ ThreadPool::parallelFor(std::size_t first, std::size_t last,
     auto sync = std::make_shared<Sync>();
     sync->remaining = chunks;
 
+    // Clock reads for the queue-wait histogram are gated so a build
+    // with RHS_OBS=OFF (or a runtime-disabled run) pays nothing.
+    const std::uint64_t enqueued_us =
+        obs::timingActive() ? obs::traceNowUs() : 0;
     std::size_t begin = first;
     {
         std::lock_guard lock(impl->mutex);
         for (std::size_t c = 0; c < chunks; ++c) {
             const std::size_t len = base + (c < extra ? 1 : 0);
             const std::size_t end = begin + len;
-            impl->queue.emplace_back([&fn, begin, end, sync] {
+            impl->queue.emplace_back([&fn, begin, end, sync,
+                                      enqueued_us] {
+                poolTasksCounter().add(1);
+                if (enqueued_us != 0 && obs::timingActive())
+                    poolWaitHistogram().observe(static_cast<double>(
+                        obs::traceNowUs() - enqueued_us));
                 const bool was_inside = t_inside_pool_task;
                 t_inside_pool_task = true;
                 for (std::size_t i = begin; i < end; ++i)

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the obs:: metrics and trace subsystem: recording
+ * correctness under contention (run under the tsan preset — the
+ * "ObsT" filter matches this suite), snapshot stability, the Chrome
+ * trace-event export shape, and ring-buffer wraparound.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "report/writer.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+constexpr unsigned kThreads = 8;
+constexpr std::uint64_t kAddsPerThread = 20000;
+
+TEST(ObsTest, CounterContention)
+{
+    obs::Registry registry;
+    auto &counter = registry.counter("hits");
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kAddsPerThread; ++i)
+                counter.add(1);
+        });
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(counter.value(), kThreads * kAddsPerThread);
+}
+
+// The serve stats op reads `responses` before `enqueued` and relies on
+// seq_cst increments to never observe more responses than enqueues —
+// the torn-read bug the old hand-rolled ServerStats had. Model that
+// exact access pattern under contention.
+TEST(ObsTest, CounterPairNeverTearsAcrossReads)
+{
+    obs::Registry registry;
+    auto &enqueued = registry.counter("enqueued");
+    auto &responses = registry.counter("responses");
+    std::atomic<bool> done{false};
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < kThreads; ++t)
+        writers.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+                enqueued.add(1);
+                responses.add(1);
+            }
+        });
+    std::thread reader([&] {
+        while (!done.load()) {
+            const std::uint64_t r = responses.value();
+            const std::uint64_t e = enqueued.value();
+            ASSERT_LE(r, e);
+        }
+    });
+    for (auto &writer : writers)
+        writer.join();
+    done.store(true);
+    reader.join();
+    EXPECT_EQ(responses.value(), kThreads * kAddsPerThread);
+}
+
+TEST(ObsTest, HistogramContention)
+{
+    obs::Registry registry;
+    auto &histogram = registry.histogram(
+        "samples", obs::exponentialBounds(1.0, 2.0, 10));
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([t, &histogram] {
+            for (std::uint64_t i = 0; i < kAddsPerThread; ++i)
+                histogram.observe(double(1 + (t + i) % 100));
+        });
+    for (auto &thread : threads)
+        thread.join();
+
+    const obs::HistogramData data = histogram.snapshot();
+    EXPECT_EQ(data.count, kThreads * kAddsPerThread);
+    EXPECT_EQ(data.min, 1.0);
+    EXPECT_EQ(data.max, 100.0);
+    std::uint64_t bucket_total = 0;
+    for (auto count : data.counts)
+        bucket_total += count;
+    EXPECT_EQ(bucket_total, data.count);
+    EXPECT_GT(data.sum, 0.0);
+}
+
+TEST(ObsTest, HistogramQuantile)
+{
+    obs::Histogram histogram(obs::exponentialBounds(1.0, 2.0, 12));
+    for (int i = 1; i <= 1000; ++i)
+        histogram.observe(double(i));
+    const obs::HistogramData data = histogram.snapshot();
+    // Quantiles are monotone, clamped to the observed range, and a
+    // pure function of the folded state.
+    EXPECT_EQ(data.quantile(0.0), data.min);
+    EXPECT_EQ(data.quantile(1.0), data.max);
+    const double p50 = data.quantile(0.50);
+    const double p99 = data.quantile(0.99);
+    EXPECT_LE(p50, p99);
+    EXPECT_GE(p50, data.min);
+    EXPECT_LE(p99, data.max);
+    // Within bucket resolution of the true median (bucket [512, 1024]
+    // contains it, so interpolation cannot stray outside).
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1024.0);
+}
+
+TEST(ObsTest, GaugeRecordMaxUnderContention)
+{
+    obs::Registry registry;
+    auto &gauge = registry.gauge("max_batch");
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([t, &gauge] {
+            for (std::uint64_t i = 0; i < kAddsPerThread; ++i)
+                gauge.recordMax(
+                    std::int64_t(t * kAddsPerThread + i));
+        });
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(gauge.value(),
+              std::int64_t(kThreads * kAddsPerThread - 1));
+}
+
+TEST(ObsTest, RegistryReturnsStableReferences)
+{
+    obs::Registry registry;
+    auto &a = registry.counter("same");
+    auto &b = registry.counter("same");
+    EXPECT_EQ(&a, &b);
+    auto &h1 = registry.histogram("h", {1.0, 2.0});
+    // Bounds are fixed by the first registration.
+    auto &h2 = registry.histogram("h", {5.0, 6.0, 7.0});
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.snapshot().bounds.size(), 2u);
+}
+
+TEST(ObsTest, SnapshotStableWhenIdle)
+{
+    obs::Registry registry;
+    registry.counter("c").add(7);
+    registry.gauge("g").set(-3);
+    registry.histogram("h", obs::latencyBoundsMs()).observe(1.5);
+
+    const report::JsonWriter writer;
+    const std::string first =
+        writer.toString(obs::registryJson(registry));
+    const std::string second =
+        writer.toString(obs::registryJson(registry));
+    // No writers between snapshots: byte-identical output (names
+    // sorted, no iteration-order or timing dependence).
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first.find("\"c\": 7"), std::string::npos);
+}
+
+TEST(ObsTest, SetEnabledFreezesRecording)
+{
+    obs::Registry registry;
+    auto &counter = registry.counter("frozen");
+    auto &gauge = registry.gauge("frozen_gauge");
+    auto &histogram = registry.histogram("frozen_hist", {1.0});
+    counter.add(2);
+    obs::setEnabled(false);
+    counter.add(5);
+    gauge.set(9);
+    histogram.observe(0.5);
+    obs::setEnabled(true);
+    EXPECT_EQ(counter.value(), 2u);
+    EXPECT_EQ(gauge.value(), 0);
+    EXPECT_EQ(histogram.count(), 0u);
+    counter.add(1); // Flipping the switch never loses data.
+    EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(ObsTest, ChromeTraceJsonShape)
+{
+    if (!obs::kCompiledIn)
+        GTEST_SKIP() << "spans compiled out (RHS_OBS=OFF)";
+    obs::clearTrace();
+    {
+        OBS_SPAN("obs_test.outer");
+        obs::Span inner("obs_test.inner");
+    }
+    const report::Json trace = obs::chromeTraceJson();
+    const report::Json &events = trace.at("traceEvents");
+    ASSERT_GE(events.size(), 2u);
+    bool saw_outer = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const report::Json &event = events.at(i);
+        ASSERT_TRUE(event.contains("name"));
+        EXPECT_EQ(event.at("ph").asString(), "X");
+        EXPECT_GE(event.at("ts").asDouble(), 0.0);
+        EXPECT_GE(event.at("dur").asDouble(), 0.0);
+        EXPECT_EQ(event.at("pid").asInt(), 1);
+        EXPECT_GE(event.at("tid").asInt(), 0);
+        saw_outer = saw_outer ||
+                    event.at("name").asString() == "obs_test.outer";
+    }
+    EXPECT_TRUE(saw_outer);
+    EXPECT_EQ(trace.at("otherData").at("dropped").asInt(), 0);
+    obs::clearTrace();
+}
+
+TEST(ObsTest, TraceRingWraparoundDropsOldest)
+{
+    obs::clearTrace();
+    const std::uint64_t extra = 100;
+    const std::uint64_t total = obs::kTraceRingCapacity + extra;
+    // recordSpan appends to the calling thread's ring regardless of
+    // the enabled() switch (gating lives in Span), so this exercises
+    // wraparound deterministically in every build configuration.
+    for (std::uint64_t i = 0; i < total; ++i)
+        obs::recordSpan("wrap", i, i + 1);
+
+    const auto spans = obs::traceSnapshot();
+    ASSERT_EQ(spans.size(), obs::kTraceRingCapacity);
+    EXPECT_EQ(obs::traceDropped(), extra);
+    EXPECT_EQ(obs::traceRecorded(), total);
+    // The oldest `extra` events were overwritten; the retained ones
+    // are the newest, contiguous, and uncorrupted.
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].name, "wrap");
+        EXPECT_EQ(spans[i].beginUs, extra + i);
+        EXPECT_EQ(spans[i].endUs, extra + i + 1);
+    }
+    obs::clearTrace();
+}
+
+} // namespace

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <atomic>
 #include <chrono>
 #include <netinet/in.h>
 #include <string>
@@ -480,6 +481,70 @@ TEST_F(ServeServerTest, ShutdownOpDrainsBeforeStopping)
     while (answered < in_flight && worker.recvRaw(reply))
         ++answered;
     EXPECT_EQ(answered, stats.requestsEnqueued);
+}
+
+// The stats op races engine ops by design (counters are read without
+// stopping the writers), so each snapshot must still be causally
+// consistent: a response can never be observed without its enqueue.
+// The old implementation read requests_enqueued before responses_sent
+// off plain atomics and could report responses > enqueued; stats()
+// now reads effects before causes over seq_cst counters. This test
+// hammers both paths concurrently — it runs under ThreadSanitizer via
+// the tsan preset (filter includes "Serve").
+TEST_F(ServeServerTest, StatsSnapshotNeverTearsUnderLoad)
+{
+    startServer();
+
+    std::atomic<bool> done{false};
+    const unsigned writer_count = 4;
+    std::vector<std::thread> writers;
+    writers.reserve(writer_count);
+    for (unsigned w = 0; w < writer_count; ++w) {
+        writers.emplace_back([this, w] {
+            serve::Client client;
+            ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+            for (unsigned i = 0; i < 40; ++i) {
+                auto request = report::Json::object();
+                request.set("op", "row_hcfirst");
+                request.set("id",
+                            static_cast<std::int64_t>(w * 1000 + i));
+                request.set("row", 11 + (w * 40 + i) % 64);
+                report::Json response;
+                ASSERT_TRUE(client.call(request, response));
+            }
+        });
+    }
+
+    // Reader 1: the rhs-rpc stats op, as a real client sees it.
+    std::thread rpc_reader([this, &done] {
+        serve::Client client;
+        ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+        std::int64_t id = 50'000;
+        while (!done.load()) {
+            const auto stats = client.stats(id++);
+            ASSERT_FALSE(stats.isNull());
+            EXPECT_LE(stats.at("responses_sent").asInt(),
+                      stats.at("requests_enqueued").asInt());
+        }
+    });
+
+    // Reader 2: the in-process snapshot (the rhs-serve exit report),
+    // spun on this thread until every writer has been joined.
+    std::thread joiner([&writers, &done] {
+        for (auto &writer : writers)
+            writer.join();
+        done.store(true);
+    });
+    while (!done.load()) {
+        const auto stats = server->stats();
+        EXPECT_LE(stats.responsesSent, stats.requestsEnqueued);
+    }
+    joiner.join();
+    rpc_reader.join();
+
+    const auto stats = server->stats();
+    EXPECT_EQ(stats.requestsEnqueued, writer_count * 40);
+    EXPECT_EQ(stats.responsesSent, writer_count * 40);
 }
 
 } // namespace
