@@ -11,6 +11,15 @@
  * the property-tested reference), verifies the results are
  * byte-identical, and writes before/after throughput at jobs=1 and
  * jobs=8 (in the shared rhs-report envelope) to the --out path.
+ * Widths the host cannot actually run (hardware_threads < jobs) are
+ * still digest-checked but excluded from the timing series — an
+ * oversubscribed measurement is noise, not data.
+ *
+ * It also times the kernel pass once per SIMD variant supported on
+ * this host (forced through the dispatch override) and reports
+ * simd_seconds_<workload> / simd_speedup_<workload> series, with
+ * speedup relative to the portable scalar build — the number that
+ * justifies shipping the vector variants.
  *
  * Options:
  *   --rows N    victim rows per workload (default 40; 6 under --smoke)
@@ -40,6 +49,7 @@
 #include "exp/registry.hh"
 #include "experiments/all.hh"
 #include "report/writer.hh"
+#include "rhmodel/kernel.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -128,8 +138,12 @@ struct Workload
 struct Measurement
 {
     std::string name;
-    std::vector<double> referenceSeconds; //!< Indexed like kJobCounts.
+    //! Indexed like the timed job list (widths with enough hardware
+    //! threads); digest checks still cover every width in kJobCounts.
+    std::vector<double> referenceSeconds;
     std::vector<double> kernelSeconds;
+    //! Kernel-path seconds per supported SIMD variant, jobs=1.
+    std::vector<double> simdSeconds;
     std::uint64_t referenceDigest = 0;
     std::uint64_t kernelDigest = 0;
     bool identical = true;
@@ -222,16 +236,36 @@ class RowEvalKernel final : public exp::Experiment
         rhmodel::Conditions conditions;
         conditions.temperature = 75.0;
 
+        // The per-variant rows below force the dispatch; remember the
+        // driver-selected variant (--simd / RHS_SIMD / auto) so the
+        // rest of the run keeps it.
+        const rhmodel::kern::Simd entry_variant =
+            rhmodel::kern::active().id;
+
+        // Only widths the hardware can actually run produce timing
+        // rows; wider configurations still run for the digest check.
+        std::vector<unsigned> timed_jobs;
+        for (unsigned jobs : kJobCounts) {
+            if (hw >= jobs)
+                timed_jobs.push_back(jobs);
+        }
+        const auto simd_variants = rhmodel::kern::supportedVariants();
+
         auto measure = [&](const Workload &workload) {
             Measurement m;
             m.name = workload.name;
             std::string baseline;
             for (unsigned jobs : kJobCounts) {
+                const bool timed = hw >= jobs;
                 std::string ref_bytes, kernel_bytes;
-                m.referenceSeconds.push_back(timeOnFreshDimm(
-                    workload.reference, jobs, rows, ref_bytes));
-                m.kernelSeconds.push_back(timeOnFreshDimm(
-                    workload.kernel, jobs, rows, kernel_bytes));
+                const double ref_s = timeOnFreshDimm(
+                    workload.reference, jobs, rows, ref_bytes);
+                const double kernel_s = timeOnFreshDimm(
+                    workload.kernel, jobs, rows, kernel_bytes);
+                if (timed) {
+                    m.referenceSeconds.push_back(ref_s);
+                    m.kernelSeconds.push_back(kernel_s);
+                }
                 if (baseline.empty()) {
                     baseline = ref_bytes;
                     m.referenceDigest = fnv1a(ref_bytes);
@@ -239,19 +273,44 @@ class RowEvalKernel final : public exp::Experiment
                 }
                 if (ref_bytes != baseline || kernel_bytes != baseline)
                     m.identical = false;
-                if (table)
+                if (!table)
+                    continue;
+                if (timed)
                     std::printf(
                         "  %-16s jobs=%u  reference %8.3f s  kernel "
                         "%8.3f s  speedup %5.2fx%s\n",
-                        m.name.c_str(), jobs,
-                        m.referenceSeconds.back(),
-                        m.kernelSeconds.back(),
-                        m.kernelSeconds.back() > 0.0
-                            ? m.referenceSeconds.back() /
-                                  m.kernelSeconds.back()
-                            : 0.0,
+                        m.name.c_str(), jobs, ref_s, kernel_s,
+                        kernel_s > 0.0 ? ref_s / kernel_s : 0.0,
+                        ref_bytes == kernel_bytes ? "" : "  MISMATCH");
+                else
+                    std::printf(
+                        "  %-16s jobs=%u  digest check only (%u "
+                        "hardware threads)%s\n",
+                        m.name.c_str(), jobs, hw,
                         ref_bytes == kernel_bytes ? "" : "  MISMATCH");
             }
+            // Kernel path per SIMD variant, jobs=1: the vector builds
+            // must match the scalar build byte for byte, and their
+            // speedup over it is the series the JSON reports.
+            for (rhmodel::kern::Simd simd : simd_variants) {
+                rhmodel::kern::forceVariant(simd);
+                std::string simd_bytes;
+                const double simd_s = timeOnFreshDimm(
+                    workload.kernel, 1, rows, simd_bytes);
+                m.simdSeconds.push_back(simd_s);
+                if (simd_bytes != baseline)
+                    m.identical = false;
+                if (table)
+                    std::printf(
+                        "  %-16s simd=%-7s kernel %8.3f s  vs scalar "
+                        "%5.2fx%s\n",
+                        m.name.c_str(), rhmodel::kern::name(simd),
+                        simd_s,
+                        simd_s > 0.0 ? m.simdSeconds.front() / simd_s
+                                     : 0.0,
+                        simd_bytes == baseline ? "" : "  MISMATCH");
+            }
+            rhmodel::kern::forceVariant(entry_variant);
             RHS_ASSERT(m.identical, "kernel results diverged from "
                                     "the reference path");
             return m;
@@ -345,8 +404,11 @@ class RowEvalKernel final : public exp::Experiment
             std::begin(kJobCounts), std::end(kJobCounts));
 
         std::vector<std::string> job_labels;
-        for (unsigned jobs : kJobCounts)
+        for (unsigned jobs : timed_jobs)
             job_labels.push_back("jobs=" + std::to_string(jobs));
+        std::vector<std::string> simd_labels;
+        for (rhmodel::kern::Simd simd : simd_variants)
+            simd_labels.push_back(rhmodel::kern::name(simd));
         bool all_identical = true;
         auto workloads_json = report::Json::array();
         for (const auto &m : measurements) {
@@ -362,6 +424,15 @@ class RowEvalKernel final : public exp::Experiment
                                             m.kernelSeconds[j]
                                       : 0.0);
             doc.addSeries("speedup_" + m.name, job_labels, speedup);
+            doc.addSeries("simd_seconds_" + m.name, simd_labels,
+                          m.simdSeconds);
+            std::vector<double> simd_speedup;
+            for (double seconds : m.simdSeconds)
+                simd_speedup.push_back(
+                    seconds > 0.0 ? m.simdSeconds.front() / seconds
+                                  : 0.0);
+            doc.addSeries("simd_speedup_" + m.name, simd_labels,
+                          simd_speedup);
             char digest[32];
             auto entry = report::Json::object();
             entry.set("name", m.name);
@@ -383,10 +454,17 @@ class RowEvalKernel final : public exp::Experiment
         for (unsigned jobs : kJobCounts)
             job_counts.push(jobs);
         doc.data.set("job_counts", std::move(job_counts));
-        // Multi-thread numbers are only meaningful when the hardware
-        // can actually run that many threads; single-thread speedups
-        // are always valid.
+        auto timed_json = report::Json::array();
+        for (unsigned jobs : timed_jobs)
+            timed_json.push(jobs);
+        // Timing series only cover widths the hardware can actually
+        // run; wider configurations are digest-checked but not timed.
+        doc.data.set("timed_job_counts", std::move(timed_json));
         doc.data.set("multithread_numbers_reliable", hw >= max_jobs);
+        auto simd_json = report::Json::array();
+        for (const auto &label : simd_labels)
+            simd_json.push(label);
+        doc.data.set("simd_variants", std::move(simd_json));
         doc.data.set("workloads", std::move(workloads_json));
         doc.check("roweval_equivalence", "engine contract",
                   "the RowEval kernel reproduces the probe-per-call "

@@ -20,6 +20,9 @@
  *   --smoke                    reduced-scale CI run
  *   --rows N / --modules N / --full / --jobs N / --seed N
  *                              scale options (see exp/scale.hh)
+ *   --simd scalar|avx2|avx512|neon|auto
+ *                              pin the row-evaluation kernel variant
+ *                              (overrides RHS_SIMD; default auto)
  *
  * Experiment-specific options (see --list) are accepted as well; with
  * --all the union of every experiment's options is accepted.
@@ -46,6 +49,7 @@
 #include "experiments/all.hh"
 #include "report/document.hh"
 #include "report/writer.hh"
+#include "rhmodel/kernel.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -61,7 +65,7 @@ using namespace rhs;
 /** Options the driver itself understands. */
 const std::vector<std::string> kDriverOptions = {
     "list", "filter", "all",  "smoke", "out-dir",
-    "format", "check", "help", "trace-out",
+    "format", "check", "help", "trace-out", "simd",
 };
 
 /** Shared scale options every experiment accepts. */
@@ -83,9 +87,13 @@ printUsage(std::FILE *out)
         "options: --format table|json|both  --out-dir DIR  --check\n"
         "         --smoke  --rows N  --modules N  --full  --jobs N\n"
         "         --seed N  --trace-out FILE\n"
+        "         --simd scalar|avx2|avx512|neon|auto\n"
         "         plus per-experiment options (--list)\n"
         "--trace-out writes the obs spans recorded during the run as\n"
-        "a Chrome trace-event JSON file (chrome://tracing)\n");
+        "a Chrome trace-event JSON file (chrome://tracing)\n"
+        "--simd pins the row-evaluation kernel variant (default: the\n"
+        "RHS_SIMD environment variable, else the best the CPU "
+        "supports)\n");
 }
 
 void
@@ -231,6 +239,14 @@ main(int argc, char **argv)
     const bool want_table = format == "table" || format == "both";
     const bool want_json = format == "json" || format == "both";
     const bool check = cli.has("check");
+    if (const std::string simd = cli.get("simd", ""); !simd.empty()) {
+        std::string error;
+        if (!rhmodel::kern::setVariant(simd, &error)) {
+            std::fprintf(stderr, "rhs-bench: --simd %s: %s\n",
+                         simd.c_str(), error.c_str());
+            return 1;
+        }
+    }
     const std::string out_dir = cli.get("out-dir", ".");
     if (want_json || check) {
         // Create the output directory if missing; report a real error

@@ -54,6 +54,10 @@ metricsJson(const MetricsSnapshot &snapshot)
     for (const auto &[name, data] : snapshot.histograms)
         histograms.set(name, histogramJson(data));
     json.set("histograms", std::move(histograms));
+    auto infos = report::Json::object();
+    for (const auto &[name, value] : snapshot.infos)
+        infos.set(name, value);
+    json.set("info", std::move(infos));
     return json;
 }
 

@@ -170,6 +170,16 @@ Registry::gauge(const std::string &name)
     return *slot;
 }
 
+Info &
+Registry::info(const std::string &name)
+{
+    std::lock_guard lock(mutex);
+    auto &slot = infos[name];
+    if (!slot)
+        slot = std::make_unique<Info>();
+    return *slot;
+}
+
 Histogram &
 Registry::histogram(const std::string &name, std::vector<double> bounds)
 {
@@ -194,6 +204,8 @@ Registry::snapshot() const
         snap.gauges.emplace_back(name, gauge->value());
     for (const auto &[name, histogram] : histograms)
         snap.histograms.emplace_back(name, histogram->snapshot());
+    for (const auto &[name, info] : infos)
+        snap.infos.emplace_back(name, info->value());
     return snap;
 }
 

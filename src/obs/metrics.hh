@@ -191,6 +191,38 @@ struct HistogramData
 };
 
 /**
+ * String-valued annotation metric (a Prometheus-style "info" label):
+ * the selected SIMD kernel variant, a build identifier — facts that
+ * are labels, not numbers. set() is last-writer-wins under a mutex;
+ * reads snapshot the whole string, so concurrent set/value never
+ * observe a torn value. Like counters, infos stay functional with
+ * RHS_OBS=OFF but freeze under setEnabled(false).
+ */
+class Info
+{
+  public:
+    void
+    set(std::string v)
+    {
+        if (!enabled())
+            return;
+        std::lock_guard lock(mutex);
+        value_ = std::move(v);
+    }
+
+    std::string
+    value() const
+    {
+        std::lock_guard lock(mutex);
+        return value_;
+    }
+
+  private:
+    mutable std::mutex mutex;
+    std::string value_;
+};
+
+/**
  * Fixed-bucket histogram; bucket bounds are fixed at registration so
  * observe() is one binary search plus striped atomic updates.
  */
@@ -242,6 +274,7 @@ struct MetricsSnapshot
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, std::int64_t>> gauges;
     std::vector<std::pair<std::string, HistogramData>> histograms;
+    std::vector<std::pair<std::string, std::string>> infos;
 };
 
 /**
@@ -261,6 +294,7 @@ class Registry
 
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
+    Info &info(const std::string &name);
 
     /** bounds are fixed by the first registration of `name`;
      *  subsequent calls return the existing histogram. */
@@ -278,6 +312,7 @@ class Registry
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::map<std::string, std::unique_ptr<Info>> infos;
 };
 
 } // namespace rhs::obs

@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.hh"
+#include "rhmodel/kernel.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
 
@@ -161,46 +162,42 @@ namespace
 {
 
 /**
- * Per-thread scratch deduplicating pattern-byte lookups by column.
- * Slot (stream, column) is valid for the current epoch only; begin()
- * bumps the epoch, so no per-eval clearing is needed. Only the Random
- * pattern reaches this path — every other Table 1 pattern is
- * column-invariant and resolves to one byte per row outside the cell
- * loop.
+ * Per-thread SoA staging for one kernel pass: the per-cell parameter
+ * arrays the SIMD lanes stream through, plus the per-row pattern-byte
+ * tables of the Random pattern (stream 0 = victim row, streams 1..k =
+ * the active aggressors). Buffers only ever grow, so steady-state
+ * evaluation allocates nothing.
  */
-struct PatternByteMemo
+struct KernelScratch
 {
-    std::vector<std::uint32_t> epoch;
-    std::vector<std::uint8_t> bytes;
-    std::uint32_t current = 0;
+    std::vector<std::uint64_t> seedHash;
+    std::vector<double> threshold;
+    std::vector<double> tinf;
+    std::vector<double> width;
+    std::vector<std::uint32_t> column;
+    std::vector<std::uint64_t> bit;
+    std::vector<std::uint64_t> charged;
+    std::vector<double> outHc;
+    std::vector<std::uint8_t> byteTables;
+    std::vector<double> aggrDist;
+    std::vector<const std::uint8_t *> aggrBytes;
+    std::vector<std::uint8_t> aggrConstByte;
 
     void
-    begin(std::size_t slots)
+    resizeCells(std::size_t n)
     {
-        if (epoch.size() < slots) {
-            epoch.assign(slots, 0);
-            bytes.resize(slots);
-        }
-        if (++current == 0) {
-            // Epoch counter wrapped: invalidate every slot once.
-            std::fill(epoch.begin(), epoch.end(), 0);
-            current = 1;
-        }
-    }
-
-    template <typename Gen>
-    std::uint8_t
-    at(std::size_t slot, Gen &&gen)
-    {
-        if (epoch[slot] != current) {
-            epoch[slot] = current;
-            bytes[slot] = gen();
-        }
-        return bytes[slot];
+        seedHash.resize(n);
+        threshold.resize(n);
+        tinf.resize(n);
+        width.resize(n);
+        column.resize(n);
+        bit.resize(n);
+        charged.resize(n);
+        outHc.resize(n);
     }
 };
 
-thread_local PatternByteMemo g_byte_memo;
+thread_local KernelScratch g_scratch;
 
 } // namespace
 
@@ -219,9 +216,9 @@ AnalyticEngine::evaluateRow(unsigned victim_row,
     if (cells.empty())
         return eval;
 
-    // --- Row-invariant factors, hoisted out of the cell loop. ---
+    // --- Row-invariant factors, hoisted out of the kernel pass. ---
     // Each value is computed exactly as the per-cell reference path
-    // (cellHcFirst) computes it, so the per-cell arithmetic below is
+    // (cellHcFirst) computes it, so the kernel arithmetic is
     // bit-identical; only the redundant recomputation is removed.
     const double timing = model.timingFactor(conditions);
 
@@ -229,7 +226,6 @@ AnalyticEngine::evaluateRow(unsigned victim_row,
     {
         unsigned row;
         double distFactor;
-        std::uint8_t constByte; //!< Row byte when column-invariant.
     };
     std::vector<ActiveAggressor> active;
     active.reserve(attack.aggressorRows.size());
@@ -241,71 +237,92 @@ AnalyticEngine::evaluateRow(unsigned victim_row,
         const double dist_factor = model.distanceFactor(distance);
         if (dist_factor == 0.0)
             continue; // Out of coupling range: contributes nothing.
-        ActiveAggressor entry{aggressor, dist_factor, 0};
-        if (invariant) {
-            entry.constByte =
-                pattern.byteAt(aggressor, attack.patternCenter, 0);
-        }
-        active.push_back(entry);
+        active.push_back({aggressor, dist_factor});
     }
 
-    const std::uint8_t victim_const_byte =
-        invariant ? pattern.byteAt(victim_row, attack.patternCenter, 0)
-                  : 0;
+    // --- Stage the SoA cell arrays the SIMD lanes stream through. ---
+    const auto &kernel = kern::active();
+    auto &scratch = g_scratch;
+    const std::size_t n = cells.size();
+    scratch.resizeCells(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &cell = cells[i];
+        scratch.seedHash[i] = util::splitMix64(cell.seed);
+        scratch.threshold[i] = cell.threshold;
+        scratch.tinf[i] = cell.tinf;
+        scratch.width[i] = cell.width;
+        scratch.column[i] = cell.loc.column;
+        scratch.bit[i] = cell.loc.bit;
+        scratch.charged[i] = cell.chargedValue ? 1 : 0;
+    }
 
-    // Column-dependent (Random) patterns deduplicate byteAt by column:
-    // memo stream 0 holds the victim row, streams 1..k the active
-    // aggressors.
+    // Pattern bytes: column-invariant patterns collapse to one byte
+    // per row; the Random pattern gets per-row byte tables filled by
+    // the kernel's vectorized hash (one table per active stream).
     const std::size_t columns = model.columnsPerRow();
-    PatternByteMemo *memo = nullptr;
-    if (!invariant) {
-        memo = &g_byte_memo;
-        memo->begin((active.size() + 1) * columns);
+    scratch.aggrDist.resize(active.size());
+    scratch.aggrBytes.assign(active.size(), nullptr);
+    scratch.aggrConstByte.assign(active.size(), 0);
+    for (std::size_t a = 0; a < active.size(); ++a)
+        scratch.aggrDist[a] = active[a].distFactor;
+
+    kern::KernelArgs args;
+    if (invariant) {
+        args.victimConstByte =
+            pattern.byteAt(victim_row, attack.patternCenter, 0);
+        for (std::size_t a = 0; a < active.size(); ++a) {
+            scratch.aggrConstByte[a] =
+                pattern.byteAt(active[a].row, attack.patternCenter, 0);
+        }
+    } else {
+        scratch.byteTables.resize((active.size() + 1) * columns);
+        const std::uint64_t pattern_hash =
+            util::splitMix64(pattern.patternSeed());
+        std::uint8_t *victim_table = scratch.byteTables.data();
+        kernel.fill(util::hashCombine(pattern_hash, victim_row),
+                    victim_table, columns);
+        args.victimBytes = victim_table;
+        for (std::size_t a = 0; a < active.size(); ++a) {
+            std::uint8_t *table =
+                scratch.byteTables.data() + (a + 1) * columns;
+            kernel.fill(
+                util::hashCombine(pattern_hash, active[a].row),
+                table, columns);
+            scratch.aggrBytes[a] = table;
+        }
     }
 
-    // --- The per-cell kernel: SoA output, branch-light loop. ---
-    eval.hcFirst.reserve(cells.size());
-    eval.loc.reserve(cells.size());
-    for (const auto &cell : cells) {
-        const unsigned col = cell.loc.column;
-        const std::uint8_t victim_byte =
-            invariant ? victim_const_byte
-                      : memo->at(col, [&] {
-                            return pattern.byteAt(
-                                victim_row, attack.patternCenter, col);
-                        });
-        // A cell only flips when the pattern stores its charged value.
-        if (static_cast<bool>((victim_byte >> cell.loc.bit) & 1u) !=
-            cell.chargedValue) {
-            continue;
-        }
+    args.n = n;
+    args.seedHash = scratch.seedHash.data();
+    args.threshold = scratch.threshold.data();
+    args.tinf = scratch.tinf.data();
+    args.width = scratch.width.data();
+    args.column = scratch.column.data();
+    args.bit = scratch.bit.data();
+    args.charged = scratch.charged.data();
+    args.aggrCount = active.size();
+    args.aggrDist = scratch.aggrDist.data();
+    args.aggrBytes = scratch.aggrBytes.data();
+    args.aggrConstByte = scratch.aggrConstByte.data();
+    args.timing = timing;
+    args.temperature = conditions.temperature;
+    args.dataBase = model.profile().dataFactorBase;
+    args.trialSigma = model.profile().trialNoiseSigma;
+    args.trial = trial;
+    args.tempKey = static_cast<std::uint64_t>(
+        std::llround(conditions.temperature * 10.0));
+    args.outHc = scratch.outHc.data();
 
-        double positional = 0.0;
-        for (std::size_t a = 0; a < active.size(); ++a) {
-            const std::uint8_t aggr_byte =
-                invariant ? active[a].constByte
-                          : memo->at((a + 1) * columns + col, [&] {
-                                return pattern.byteAt(
-                                    active[a].row, attack.patternCenter,
-                                    col);
-                            });
-            positional +=
-                active[a].distFactor * model.dataFactor(cell, aggr_byte);
+    // --- One dispatched kernel pass, then compact the survivors. ---
+    eval.minHcFirst = kernel.kernel(args);
+    kernel.passes->add(1);
+    eval.hcFirst.reserve(n);
+    eval.loc.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (scratch.outHc[i] < kNeverFlips) {
+            eval.hcFirst.push_back(scratch.outHc[i]);
+            eval.loc.push_back(cells[i].loc);
         }
-        if (positional == 0.0)
-            continue;
-        const double rate =
-            positional * timing *
-            model.temperatureFactor(cell, conditions.temperature);
-        if (rate <= 0.0)
-            continue;
-        const double hc =
-            cell.threshold *
-            model.trialNoise(cell, trial, conditions.temperature) / rate;
-        eval.hcFirst.push_back(hc);
-        eval.loc.push_back(cell.loc);
-        if (hc < eval.minHcFirst)
-            eval.minHcFirst = hc;
     }
     return eval;
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/metrics.hh"
+#include "rhmodel/kernel_math.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -55,7 +56,9 @@ rowCacheMetrics()
 //! sizing problem worth surfacing.
 std::atomic<bool> g_row_evict_warned{false};
 
-// Salt constants separating the independent hash streams.
+// Salt constants separating the independent hash streams. The trial
+// and data streams are recomputed lane-parallel inside the SIMD
+// row-evaluation kernel, which carries its own copies of those salts.
 enum : std::uint64_t
 {
     SaltCells = 0x1001,
@@ -68,6 +71,9 @@ enum : std::uint64_t
     SaltTrial = 0x7007,
     SaltData = 0x8008,
 };
+static_assert(SaltTrial == kern::kSaltTrial &&
+                  SaltData == kern::kSaltData,
+              "kernel salt copies diverged from the model's streams");
 
 /** Deterministic standard-normal draw from a hash word. */
 double
@@ -307,11 +313,15 @@ CellModel::temperatureFactor(const VulnerableCell &cell,
                              double temperature) const
 {
     // Unimodal response around tinf, normalized to 1 at the 50 degC
-    // reference so cell.threshold is the 50 degC HCfirst.
+    // reference so cell.threshold is the 50 degC HCfirst. detExp (not
+    // std::exp) because this factor is recomputed inside the SIMD
+    // row-evaluation kernel, whose lanes must match this reference
+    // bit-for-bit on every ISA; kernel_math.hh explains the contract.
     constexpr double ref = 50.0;
     const double a = ref - cell.tinf;
     const double b = temperature - cell.tinf;
-    return std::exp((a * a - b * b) / (2.0 * cell.width * cell.width));
+    return kern::detExp((a * a - b * b) /
+                        ((2.0 * cell.width) * cell.width));
 }
 
 double
@@ -337,11 +347,15 @@ double
 CellModel::trialNoise(const VulnerableCell &cell, unsigned trial,
                       double temperature) const
 {
+    // detExp/detGaussian (not std::exp / Rng::gaussian) because this
+    // factor is recomputed inside the SIMD row-evaluation kernel; see
+    // temperatureFactor. Generation-time draws (hashedGaussian above)
+    // deliberately stay on libm — they never run in the kernel.
     const auto temp_key = static_cast<std::uint64_t>(
         std::llround(temperature * 10.0));
     const auto seed =
         util::hashTuple(cell.seed, SaltTrial, trial, temp_key);
-    return std::exp(prof.trialNoiseSigma * hashedGaussian(seed));
+    return kern::detExp(prof.trialNoiseSigma * kern::detGaussian(seed));
 }
 
 double

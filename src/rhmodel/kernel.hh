@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The row-evaluation kernel's SIMD dispatch surface.
+ *
+ * One binary carries several compilations of the same kernel — a
+ * portable scalar build plus AVX2/AVX-512 (x86-64) or NEON (aarch64)
+ * vector builds — and picks one at runtime from what the host CPU
+ * supports, so a heterogeneous fleet runs a single artifact instead of
+ * per-host -march=native builds.
+ *
+ * Determinism contract: every variant computes each cell with the same
+ * operation sequence over IEEE-754 doubles, and all transcendental
+ * math funnels through the deterministic implementations in
+ * kernel_math.hh (shared with the scalar reference path in
+ * cell_model.cc). Basic IEEE operations are exactly rounded on every
+ * ISA, so all variants produce byte-identical RowEval curves — the
+ * per-variant equivalence suite in tests/rhmodel_equivalence_test.cc
+ * asserts exactly that.
+ *
+ * Selection order: forceVariant()/setVariant() override (the --simd
+ * flag) > the RHS_SIMD environment variable > best supported vector
+ * ISA > scalar. The resolved choice is logged once and exported as
+ * obs metrics (gauge roweval.simd.variant = ordinal, info
+ * roweval.simd.variant = name), which the rhs-serve stats snapshot
+ * picks up from the global registry.
+ */
+
+#ifndef RHS_RHMODEL_KERNEL_HH
+#define RHS_RHMODEL_KERNEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rhs::obs
+{
+class Counter;
+} // namespace rhs::obs
+
+namespace rhs::rhmodel::kern
+{
+
+/** Kernel variants, ordered worst to best (auto picks the highest). */
+enum class Simd : int
+{
+    Scalar = 0,
+    Neon = 1,
+    Avx2 = 2,
+    Avx512 = 3,
+};
+
+/** Lower-case variant name ("scalar", "avx2", ...). */
+const char *name(Simd simd);
+
+/**
+ * One row evaluation, laid out SoA. All arrays hold `n` entries unless
+ * noted; byte tables hold one byte per column address. The kernel
+ * writes outHc[i] = the cell's HCfirst, or +inf when the cell is
+ * ineligible (wrong stored polarity or zero damage rate), and returns
+ * the minimum over all lanes (+inf when none is eligible).
+ */
+struct KernelArgs
+{
+    std::size_t n = 0;
+    const std::uint64_t *seedHash = nullptr; //!< splitMix64(cell.seed).
+    const double *threshold = nullptr;
+    const double *tinf = nullptr;
+    const double *width = nullptr;
+    const std::uint32_t *column = nullptr;
+    const std::uint64_t *bit = nullptr;     //!< Bit index within byte.
+    const std::uint64_t *charged = nullptr; //!< chargedValue, 0/1.
+
+    //! Victim-row pattern bytes by column (null = column-invariant
+    //! pattern; use victimConstByte).
+    const std::uint8_t *victimBytes = nullptr;
+    std::uint8_t victimConstByte = 0;
+
+    std::size_t aggrCount = 0;           //!< Active aggressors only.
+    const double *aggrDist = nullptr;    //!< [aggrCount] dist factors.
+    //! [aggrCount] per-column byte tables (entries null when the
+    //! pattern is column-invariant; use aggrConstByte).
+    const std::uint8_t *const *aggrBytes = nullptr;
+    const std::uint8_t *aggrConstByte = nullptr; //!< [aggrCount].
+
+    double timing = 1.0;      //!< Hoisted timingFactor(conditions).
+    double temperature = 50.0;
+    double dataBase = 0.0;    //!< profile.dataFactorBase.
+    double trialSigma = 0.0;  //!< profile.trialNoiseSigma.
+    std::uint64_t trial = 0;
+    std::uint64_t tempKey = 0; //!< llround(temperature * 10).
+
+    double *outHc = nullptr; //!< [n], written by the kernel.
+};
+
+/** A kernel pass: fill outHc, return the minimum HCfirst. */
+using KernelFn = double (*)(const KernelArgs &args);
+
+/**
+ * Fill dst[c] with the Random pattern byte of column c for the row
+ * whose pattern stream is rowHash = hashCombine(splitMix64(seed),
+ * physical_row) — the vectorized form of DataPattern::byteAt.
+ */
+using FillFn = void (*)(std::uint64_t rowHash, std::uint8_t *dst,
+                        std::size_t columns);
+
+/** The resolved kernel: entry points plus its obs pass counter. */
+struct Active
+{
+    Simd id = Simd::Scalar;
+    KernelFn kernel = nullptr;
+    FillFn fill = nullptr;
+    //! "roweval.kernel.passes.<name>" in the global registry.
+    obs::Counter *passes = nullptr;
+};
+
+// Per-variant entry points. Each pair is defined in its own TU
+// (kernel_<variant>.cc) compiled with that ISA's flags; only the
+// variants in compiledVariants() are linked into the binary.
+double runScalar(const KernelArgs &args);
+void fillScalar(std::uint64_t rowHash, std::uint8_t *dst,
+                std::size_t columns);
+double runAvx2(const KernelArgs &args);
+void fillAvx2(std::uint64_t rowHash, std::uint8_t *dst,
+              std::size_t columns);
+double runAvx512(const KernelArgs &args);
+void fillAvx512(std::uint64_t rowHash, std::uint8_t *dst,
+                std::size_t columns);
+double runNeon(const KernelArgs &args);
+void fillNeon(std::uint64_t rowHash, std::uint8_t *dst,
+              std::size_t columns);
+
+/** Variants compiled into this binary (always includes Scalar). */
+std::vector<Simd> compiledVariants();
+
+/** True when the host CPU can execute the variant. */
+bool cpuSupports(Simd simd);
+
+/** Compiled AND executable on this host (always includes Scalar). */
+std::vector<Simd> supportedVariants();
+
+/**
+ * The active kernel. First call resolves the choice (override > the
+ * RHS_SIMD environment variable > best supported), logs it once, and
+ * publishes the obs gauge/info metrics. RHS_SIMD naming an unknown or
+ * unsupported variant is a fatal configuration error.
+ */
+const Active &active();
+
+/**
+ * Set the variant by name ("scalar", "avx2", "avx512", "neon", or
+ * "auto"), as the --simd flag does. Returns false (with a message in
+ * *error) when the name is unknown or the variant is not supported on
+ * this host. Not thread-safe against kernel passes in flight: call it
+ * at startup or between experiment phases.
+ */
+bool setVariant(const std::string &spec, std::string *error = nullptr);
+
+/** Test/bench hook: force a specific supported variant. */
+void forceVariant(Simd simd);
+
+} // namespace rhs::rhmodel::kern
+
+#endif // RHS_RHMODEL_KERNEL_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The AVX2 kernel variant: 4 double lanes per vector. This TU is
+ * compiled with -mavx2 (see src/rhmodel/CMakeLists.txt) and must only
+ * be entered through the dispatch table after cpuSupports(Avx2)
+ * confirmed the host — including the scalar-backend tail loop
+ * instantiated here, which carries VEX encodings.
+ *
+ * AVX2 lacks a 64-bit lane multiply and an unsigned 64→double convert;
+ * both are emulated below with exact sequences (the convert is exact
+ * for inputs < 2^53, which every call site guarantees).
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "rhmodel/kernel.hh"
+#include "rhmodel/kernel_math.hh"
+
+namespace rhs::rhmodel::kern
+{
+
+namespace
+{
+
+struct Avx2Backend
+{
+    static constexpr std::size_t kLanes = 4;
+    using F = __m256d;
+    using U = __m256i;
+    using M = __m256d; //!< All-ones / all-zeros per lane.
+
+    static F fbroadcast(double v) { return _mm256_set1_pd(v); }
+    static F fload(const double *p) { return _mm256_loadu_pd(p); }
+    static void fstore(double *p, F v) { _mm256_storeu_pd(p, v); }
+    static F add(F a, F b) { return _mm256_add_pd(a, b); }
+    static F sub(F a, F b) { return _mm256_sub_pd(a, b); }
+    static F mul(F a, F b) { return _mm256_mul_pd(a, b); }
+    static F div(F a, F b) { return _mm256_div_pd(a, b); }
+    static F sqrt(F a) { return _mm256_sqrt_pd(a); }
+    static F fmin(F a, F b) { return _mm256_min_pd(a, b); }
+    static F fmax(F a, F b) { return _mm256_max_pd(a, b); }
+    static M gt(F a, F b) { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+    static M lt(F a, F b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+    static M le(F a, F b) { return _mm256_cmp_pd(a, b, _CMP_LE_OQ); }
+    static F select(M m, F a, F b) { return _mm256_blendv_pd(b, a, m); }
+    static M mand(M a, M b) { return _mm256_and_pd(a, b); }
+    static bool any(M m) { return _mm256_movemask_pd(m) != 0; }
+
+    static U ubroadcast(std::uint64_t v)
+    {
+        return _mm256_set1_epi64x(static_cast<long long>(v));
+    }
+    static U uload(const std::uint64_t *p)
+    {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+    }
+    static void ustore(std::uint64_t *p, U v)
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+    }
+    static U uadd(U a, U b) { return _mm256_add_epi64(a, b); }
+    static U usub(U a, U b) { return _mm256_sub_epi64(a, b); }
+    static U uand(U a, U b) { return _mm256_and_si256(a, b); }
+    static U uor(U a, U b) { return _mm256_or_si256(a, b); }
+    static U uxor(U a, U b) { return _mm256_xor_si256(a, b); }
+
+    //! 64x64→64 low product from three 32-bit partial products
+    //! (AVX2 has no vpmullq).
+    static U
+    umul(U a, U b)
+    {
+        const U lo = _mm256_mul_epu32(a, b);
+        const U a_hi_b = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+        const U a_b_hi = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+        const U cross =
+            _mm256_slli_epi64(_mm256_add_epi64(a_hi_b, a_b_hi), 32);
+        return _mm256_add_epi64(lo, cross);
+    }
+
+    template <int N> static U ushl(U a) { return _mm256_slli_epi64(a, N); }
+    template <int N> static U ushr(U a) { return _mm256_srli_epi64(a, N); }
+    static U ushrv(U a, U n) { return _mm256_srlv_epi64(a, n); }
+    static M ueq(U a, U b)
+    {
+        return _mm256_castsi256_pd(_mm256_cmpeq_epi64(a, b));
+    }
+
+    //! Unsigned 64→double via the split magic-number trick; exact for
+    //! v < 2^53 (the only inputs used), matching the scalar cast.
+    static F
+    u2f(U v)
+    {
+        const U hi = _mm256_or_si256(
+            _mm256_srli_epi64(v, 32),
+            _mm256_set1_epi64x(0x4530000000000000LL)); // 2^84 + hi
+        const U lo = _mm256_blend_epi32(
+            v, _mm256_set1_epi64x(0x4330000000000000LL),
+            0xaa); // 2^52 + lo
+        const F hi_f = _mm256_sub_pd(
+            _mm256_castsi256_pd(hi),
+            _mm256_set1_pd(19342813118337666422669312.0)); // 2^84+2^52
+        return _mm256_add_pd(hi_f, _mm256_castsi256_pd(lo));
+    }
+    static U f2bits(F v) { return _mm256_castpd_si256(v); }
+    static F bits2f(U v) { return _mm256_castsi256_pd(v); }
+};
+
+} // namespace
+
+double
+runAvx2(const KernelArgs &args)
+{
+    return kernelLoop<Avx2Backend>(args, 0, args.n);
+}
+
+void
+fillAvx2(std::uint64_t rowHash, std::uint8_t *dst, std::size_t columns)
+{
+    fillLoop<Avx2Backend>(rowHash, dst, columns);
+}
+
+} // namespace rhs::rhmodel::kern
+
+#endif // x86_64

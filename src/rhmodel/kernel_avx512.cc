@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The AVX-512 kernel variant: 8 double lanes per vector, using the F
+ * and DQ subsets (vpmullq for the hash chain, vcvtuqq2pd for the exact
+ * unsigned convert, mask registers for lane predicates). This TU is
+ * compiled with -mavx512f -mavx512dq and must only be entered through
+ * the dispatch table after cpuSupports(Avx512) confirmed the host.
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+// GCC 12's avx512fintrin.h trips -Wmaybe-uninitialized inside its own
+// maskless intrinsic wrappers (GCC PR 105593); the diagnostic points
+// at the system header, not this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include "rhmodel/kernel.hh"
+#include "rhmodel/kernel_math.hh"
+
+namespace rhs::rhmodel::kern
+{
+
+namespace
+{
+
+struct Avx512Backend
+{
+    static constexpr std::size_t kLanes = 8;
+    using F = __m512d;
+    using U = __m512i;
+    using M = __mmask8;
+
+    static F fbroadcast(double v) { return _mm512_set1_pd(v); }
+    static F fload(const double *p) { return _mm512_loadu_pd(p); }
+    static void fstore(double *p, F v) { _mm512_storeu_pd(p, v); }
+    static F add(F a, F b) { return _mm512_add_pd(a, b); }
+    static F sub(F a, F b) { return _mm512_sub_pd(a, b); }
+    static F mul(F a, F b) { return _mm512_mul_pd(a, b); }
+    static F div(F a, F b) { return _mm512_div_pd(a, b); }
+    static F sqrt(F a) { return _mm512_sqrt_pd(a); }
+    static F fmin(F a, F b) { return _mm512_min_pd(a, b); }
+    static F fmax(F a, F b) { return _mm512_max_pd(a, b); }
+    static M gt(F a, F b)
+    {
+        return _mm512_cmp_pd_mask(a, b, _CMP_GT_OQ);
+    }
+    static M lt(F a, F b)
+    {
+        return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ);
+    }
+    static M le(F a, F b)
+    {
+        return _mm512_cmp_pd_mask(a, b, _CMP_LE_OQ);
+    }
+    //! mask_blend picks b where the mask is set.
+    static F select(M m, F a, F b)
+    {
+        return _mm512_mask_blend_pd(m, b, a);
+    }
+    static M mand(M a, M b)
+    {
+        return static_cast<M>(a & b);
+    }
+    static bool any(M m) { return m != 0; }
+
+    static U ubroadcast(std::uint64_t v)
+    {
+        return _mm512_set1_epi64(static_cast<long long>(v));
+    }
+    static U uload(const std::uint64_t *p)
+    {
+        return _mm512_loadu_si512(p);
+    }
+    static void ustore(std::uint64_t *p, U v)
+    {
+        _mm512_storeu_si512(p, v);
+    }
+    static U uadd(U a, U b) { return _mm512_add_epi64(a, b); }
+    static U usub(U a, U b) { return _mm512_sub_epi64(a, b); }
+    static U uand(U a, U b) { return _mm512_and_si512(a, b); }
+    static U uor(U a, U b) { return _mm512_or_si512(a, b); }
+    static U uxor(U a, U b) { return _mm512_xor_si512(a, b); }
+    static U umul(U a, U b) { return _mm512_mullo_epi64(a, b); }
+    template <int N> static U ushl(U a) { return _mm512_slli_epi64(a, N); }
+    template <int N> static U ushr(U a) { return _mm512_srli_epi64(a, N); }
+    static U ushrv(U a, U n) { return _mm512_srlv_epi64(a, n); }
+    static M ueq(U a, U b) { return _mm512_cmpeq_epu64_mask(a, b); }
+
+    //! vcvtuqq2pd is exact below 2^53 (the only inputs used).
+    static F u2f(U v) { return _mm512_cvtepu64_pd(v); }
+    static U f2bits(F v) { return _mm512_castpd_si512(v); }
+    static F bits2f(U v) { return _mm512_castsi512_pd(v); }
+};
+
+} // namespace
+
+double
+runAvx512(const KernelArgs &args)
+{
+    return kernelLoop<Avx512Backend>(args, 0, args.n);
+}
+
+void
+fillAvx512(std::uint64_t rowHash, std::uint8_t *dst, std::size_t columns)
+{
+    fillLoop<Avx512Backend>(rowHash, dst, columns);
+}
+
+} // namespace rhs::rhmodel::kern
+
+#endif // x86_64

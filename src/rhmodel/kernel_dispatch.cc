@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Runtime resolution of the row-evaluation kernel variant.
+ *
+ * The selection is process-wide and sticky: the first kernel consumer
+ * (or an explicit setVariant/forceVariant call) resolves it, logs it
+ * once, and publishes it as obs metrics. Re-resolving mid-run is
+ * supported for tests and the --simd flag, but is not synchronized
+ * against kernel passes in flight — callers switch variants only at
+ * startup or between experiment phases.
+ */
+
+#include "rhmodel/kernel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+
+namespace rhs::rhmodel::kern
+{
+
+namespace
+{
+
+obs::Counter &
+passCounter(Simd simd)
+{
+    return obs::Registry::global().counter(
+        std::string("roweval.kernel.passes.") + name(simd));
+}
+
+/** Publish the resolved choice (idempotent; last writer wins). */
+void
+publish(Simd simd, const char *origin)
+{
+    obs::Registry::global()
+        .gauge("roweval.simd.variant")
+        .set(static_cast<std::int64_t>(simd));
+    obs::Registry::global().info("roweval.simd.variant").set(name(simd));
+    util::status("roweval kernel: ", name(simd), " (", origin, ")");
+}
+
+struct Resolved
+{
+    Active active;
+    std::mutex mutex; //!< Guards re-resolution, not reads.
+    std::atomic<bool> ready{false};
+};
+
+Resolved &
+resolved()
+{
+    static Resolved *instance = new Resolved;
+    return *instance;
+}
+
+Active
+makeActive(Simd simd)
+{
+    Active active;
+    active.id = simd;
+    active.passes = &passCounter(simd);
+    switch (simd) {
+      case Simd::Scalar:
+        active.kernel = &runScalar;
+        active.fill = &fillScalar;
+        break;
+#if defined(__x86_64__) || defined(_M_X64)
+      case Simd::Avx2:
+        active.kernel = &runAvx2;
+        active.fill = &fillAvx2;
+        break;
+      case Simd::Avx512:
+        active.kernel = &runAvx512;
+        active.fill = &fillAvx512;
+        break;
+#endif
+#if defined(__aarch64__)
+      case Simd::Neon:
+        active.kernel = &runNeon;
+        active.fill = &fillNeon;
+        break;
+#endif
+      default:
+        RHS_PANIC("variant not compiled in: ", name(simd));
+    }
+    return active;
+}
+
+/** Install a resolved choice and publish it. */
+void
+install(Simd simd, const char *origin)
+{
+    auto &r = resolved();
+    r.active = makeActive(simd);
+    publish(simd, origin);
+    r.ready.store(true, std::memory_order_release);
+}
+
+Simd
+best()
+{
+    const auto supported = supportedVariants();
+    Simd pick = Simd::Scalar;
+    for (Simd simd : supported) {
+        if (static_cast<int>(simd) > static_cast<int>(pick))
+            pick = simd;
+    }
+    return pick;
+}
+
+bool
+parseSpec(const std::string &spec, Simd *out)
+{
+    if (spec == "scalar") {
+        *out = Simd::Scalar;
+    } else if (spec == "neon") {
+        *out = Simd::Neon;
+    } else if (spec == "avx2") {
+        *out = Simd::Avx2;
+    } else if (spec == "avx512") {
+        *out = Simd::Avx512;
+    } else if (spec == "auto") {
+        *out = best();
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+isSupported(Simd simd)
+{
+    for (Simd candidate : supportedVariants()) {
+        if (candidate == simd)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+name(Simd simd)
+{
+    switch (simd) {
+      case Simd::Scalar: return "scalar";
+      case Simd::Neon: return "neon";
+      case Simd::Avx2: return "avx2";
+      case Simd::Avx512: return "avx512";
+    }
+    return "?";
+}
+
+std::vector<Simd>
+compiledVariants()
+{
+    std::vector<Simd> variants{Simd::Scalar};
+#if defined(__aarch64__)
+    variants.push_back(Simd::Neon);
+#endif
+#if defined(__x86_64__) || defined(_M_X64)
+    variants.push_back(Simd::Avx2);
+    variants.push_back(Simd::Avx512);
+#endif
+    return variants;
+}
+
+bool
+cpuSupports(Simd simd)
+{
+    switch (simd) {
+      case Simd::Scalar:
+        return true;
+      case Simd::Neon:
+#if defined(__aarch64__)
+        return true; // AdvSIMD is architectural on aarch64.
+#else
+        return false;
+#endif
+      case Simd::Avx2:
+#if defined(__x86_64__) || defined(_M_X64)
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+      case Simd::Avx512:
+#if defined(__x86_64__) || defined(_M_X64)
+        return __builtin_cpu_supports("avx512f") != 0 &&
+               __builtin_cpu_supports("avx512dq") != 0;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+std::vector<Simd>
+supportedVariants()
+{
+    std::vector<Simd> variants;
+    for (Simd simd : compiledVariants()) {
+        if (cpuSupports(simd))
+            variants.push_back(simd);
+    }
+    return variants;
+}
+
+const Active &
+active()
+{
+    auto &r = resolved();
+    if (!r.ready.load(std::memory_order_acquire)) {
+        std::lock_guard lock(r.mutex);
+        if (!r.ready.load(std::memory_order_relaxed)) {
+            if (const char *env = std::getenv("RHS_SIMD");
+                env != nullptr && *env != '\0') {
+                Simd simd = Simd::Scalar;
+                if (!parseSpec(env, &simd)) {
+                    RHS_FATAL("RHS_SIMD=", env,
+                              ": unknown variant (expected scalar, "
+                              "avx2, avx512, neon, or auto)");
+                }
+                if (!isSupported(simd)) {
+                    RHS_FATAL("RHS_SIMD=", env,
+                              ": variant not supported on this host");
+                }
+                install(simd, "RHS_SIMD");
+            } else {
+                install(best(), "auto");
+            }
+        }
+    }
+    return r.active;
+}
+
+bool
+setVariant(const std::string &spec, std::string *error)
+{
+    Simd simd = Simd::Scalar;
+    if (!parseSpec(spec, &simd)) {
+        if (error != nullptr) {
+            *error = "unknown SIMD variant '" + spec +
+                     "' (expected scalar, avx2, avx512, neon, or auto)";
+        }
+        return false;
+    }
+    if (!isSupported(simd)) {
+        if (error != nullptr) {
+            *error = std::string("SIMD variant '") + name(simd) +
+                     "' is not supported on this host";
+        }
+        return false;
+    }
+    auto &r = resolved();
+    std::lock_guard lock(r.mutex);
+    install(simd, "override");
+    return true;
+}
+
+void
+forceVariant(Simd simd)
+{
+    RHS_ASSERT(isSupported(simd), "forcing unsupported variant ",
+               name(simd));
+    auto &r = resolved();
+    std::lock_guard lock(r.mutex);
+    install(simd, "forced");
+}
+
+} // namespace rhs::rhmodel::kern

@@ -1,0 +1,607 @@
+/**
+ * @file
+ * Deterministic kernel math, written once and instantiated per ISA.
+ *
+ * The row-evaluation kernel's per-cell closed form needs exp (the
+ * temperature factor and the log-normal trial noise), log and cos (the
+ * Box-Muller gaussian behind the trial noise), and the SplitMix64 hash
+ * chain (data-coupling factors, trial-noise seeds). libm's exp/log/cos
+ * have no cross-implementation accuracy contract, so a vector lane
+ * cannot reproduce them bit-for-bit. Instead, every transcendental in
+ * the kernel goes through the implementations below:
+ *
+ *  - detExp: Cody-Waite reduction + the Cephes rational approximation,
+ *  - detLog: fdlibm-style atanh-series on the reduced mantissa,
+ *  - detCos: 3-term Cody-Waite pi/2 reduction + fdlibm sin/cos
+ *    polynomials (arguments are bounded to [0, 2*pi) by construction),
+ *
+ * each expressed as a fixed sequence of IEEE-754 basic operations
+ * (+, -, *, /, sqrt, exact integer conversions below 2^53). Basic
+ * operations are exactly rounded on every conforming CPU, so a given
+ * input produces bit-identical output in a scalar lane, an AVX2 lane,
+ * an AVX-512 lane, or a NEON lane. The scalar reference path
+ * (CellModel::temperatureFactor / trialNoise) calls the scalar
+ * instantiation of the very same templates, which is what makes the
+ * SIMD kernels byte-identical to the reference by construction rather
+ * than by tolerance.
+ *
+ * Two rules keep that property:
+ *
+ *  1. every TU that instantiates these templates is compiled with
+ *     -ffp-contract=off (the rhs_rhmodel CMakeLists enforces it), so
+ *     the compiler cannot fuse a written mul+add into an FMA in one
+ *     TU but not another;
+ *  2. the templates use only the Backend's op set — no libm calls, no
+ *     compiler-reassociable expressions.
+ *
+ * A Backend supplies fixed-width f64/u64 lane types and exactly-
+ * rounded ops; ScalarBackend (1 lane) is defined here, the vector
+ * backends live in their kernel_<isa>.cc TUs.
+ */
+
+#ifndef RHS_RHMODEL_KERNEL_MATH_HH
+#define RHS_RHMODEL_KERNEL_MATH_HH
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "rhmodel/kernel.hh"
+
+namespace rhs::rhmodel::kern
+{
+
+// Salt constants of the cell model's hash streams (values must match
+// the derivation chain documented in cell_model.cc).
+inline constexpr std::uint64_t kSaltTrial = 0x7007;
+inline constexpr std::uint64_t kSaltData = 0x8008;
+
+//! The Rng stream increment (util::Rng::next).
+inline constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+namespace consts
+{
+// exp: Cody-Waite ln2 split + Cephes expP/expQ rational coefficients.
+inline constexpr double kLog2E = 1.4426950408889634073599;
+inline constexpr double kExpC1 = 6.93145751953125e-1;
+inline constexpr double kExpC2 = 1.42860682030941723212e-6;
+inline constexpr double kExpP0 = 1.26177193074810590878e-4;
+inline constexpr double kExpP1 = 3.02994407707441961300e-2;
+inline constexpr double kExpP2 = 9.99999999999999999910e-1;
+inline constexpr double kExpQ0 = 3.00198505138664455042e-6;
+inline constexpr double kExpQ1 = 2.52448340349684104192e-3;
+inline constexpr double kExpQ2 = 2.27265548208155028766e-1;
+inline constexpr double kExpQ3 = 2.00000000000000000005e0;
+inline constexpr double kExpOverflow = 709.782712893384;
+inline constexpr double kExpUnderflow = -745.133219101941;
+//! 1.5 * 2^52: adding then subtracting rounds to nearest-even integer.
+inline constexpr double kShifter = 6755399441055744.0;
+
+// log: fdlibm e_log.c coefficients.
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kLg1 = 6.666666666666735130e-01;
+inline constexpr double kLg2 = 3.999999999940941908e-01;
+inline constexpr double kLg3 = 2.857142874366239149e-01;
+inline constexpr double kLg4 = 2.222219843214978396e-01;
+inline constexpr double kLg5 = 1.818357216161805012e-01;
+inline constexpr double kLg6 = 1.531383769920937332e-01;
+inline constexpr double kLg7 = 1.479819860511658591e-01;
+inline constexpr double kSqrt2 = 1.41421356237309514547;
+
+// cos: fdlibm k_sin.c / k_cos.c polynomials + 3-term pi/2 split.
+inline constexpr double kTwoOverPi = 6.36619772367581382433e-01;
+inline constexpr double kPio2_1 = 1.57079632673412561417e+00;
+inline constexpr double kPio2_2 = 6.07710050630396597660e-11;
+inline constexpr double kPio2_3 = 2.02226624871116645580e-21;
+inline constexpr double kS1 = -1.66666666666666324348e-01;
+inline constexpr double kS2 = 8.33333333332248946124e-03;
+inline constexpr double kS3 = -1.98412698298579493134e-04;
+inline constexpr double kS4 = 2.75573137070700676789e-06;
+inline constexpr double kS5 = -2.50507602534068634195e-08;
+inline constexpr double kS6 = 1.58969099521155010221e-10;
+inline constexpr double kC1 = 4.16666666666666019037e-02;
+inline constexpr double kC2 = -1.38888888888741095749e-03;
+inline constexpr double kC3 = 2.48015872894767294178e-05;
+inline constexpr double kC4 = -2.75573143513906633035e-07;
+inline constexpr double kC5 = 2.08757232129817482790e-09;
+inline constexpr double kC6 = -1.13596475577881948265e-11;
+
+inline constexpr double kTwoPi = 6.28318530717958647693e+00;
+inline constexpr double kInf =
+    std::numeric_limits<double>::infinity();
+} // namespace consts
+
+// Everything below is deliberately TU-local (anonymous namespace):
+// the kernel_<isa>.cc TUs are compiled with per-variant ISA flags, and
+// a shared (external, ODR-merged) instantiation would let the linker
+// keep, say, the AVX2-encoded copy of the scalar kernel loop and run
+// it on a host without AVX. Each TU instead owns its private copy,
+// built with its own flags; cross-TU value equality is guaranteed by
+// IEEE-754 exact rounding, not by sharing code.
+namespace
+{
+
+/**
+ * The 1-lane backend: plain doubles and uint64_t with the same op
+ * names the vector backends provide. The scalar kernel variant, the
+ * vector variants' tail loops, and the CellModel reference factors all
+ * run on this backend.
+ */
+struct ScalarBackend
+{
+    static constexpr std::size_t kLanes = 1;
+    using F = double;
+    using U = std::uint64_t;
+    using M = bool;
+
+    static F fbroadcast(double v) { return v; }
+    static F fload(const double *p) { return *p; }
+    static void fstore(double *p, F v) { *p = v; }
+    static F add(F a, F b) { return a + b; }
+    static F sub(F a, F b) { return a - b; }
+    static F mul(F a, F b) { return a * b; }
+    static F div(F a, F b) { return a / b; }
+    static F sqrt(F a) { return std::sqrt(a); }
+    static F fmin(F a, F b) { return b < a ? b : a; }
+    static F fmax(F a, F b) { return b > a ? b : a; }
+    static M gt(F a, F b) { return a > b; }
+    static M lt(F a, F b) { return a < b; }
+    static M le(F a, F b) { return a <= b; }
+    static F select(M m, F a, F b) { return m ? a : b; }
+    static M mand(M a, M b) { return a && b; }
+    static bool any(M m) { return m; }
+
+    static U ubroadcast(std::uint64_t v) { return v; }
+    static U uload(const std::uint64_t *p) { return *p; }
+    static U uadd(U a, U b) { return a + b; }
+    static U usub(U a, U b) { return a - b; }
+    static U uand(U a, U b) { return a & b; }
+    static U uor(U a, U b) { return a | b; }
+    static U uxor(U a, U b) { return a ^ b; }
+    static U umul(U a, U b) { return a * b; }
+    template <int N> static U ushl(U a) { return a << N; }
+    template <int N> static U ushr(U a) { return a >> N; }
+    static U ushrv(U a, U n) { return a >> n; }
+    static M ueq(U a, U b) { return a == b; }
+    static void ustore(std::uint64_t *p, U v) { *p = v; }
+
+    //! Exact for values < 2^53 (all call sites guarantee this).
+    static F u2f(U v) { return static_cast<double>(v); }
+    static U f2bits(F v) { return std::bit_cast<std::uint64_t>(v); }
+    static F bits2f(U v) { return std::bit_cast<double>(v); }
+};
+
+// --- The SplitMix64 chain, lane-wide (matches util/hash.hh). --------
+
+template <class B>
+inline typename B::U
+vSplitMix64(typename B::U x)
+{
+    x = B::uadd(x, B::ubroadcast(kGolden));
+    x = B::umul(B::uxor(x, B::template ushr<30>(x)),
+                B::ubroadcast(0xbf58476d1ce4e5b9ULL));
+    x = B::umul(B::uxor(x, B::template ushr<27>(x)),
+                B::ubroadcast(0x94d049bb133111ebULL));
+    return B::uxor(x, B::template ushr<31>(x));
+}
+
+template <class B>
+inline typename B::U
+vHashCombine(typename B::U seed, typename B::U value)
+{
+    using U = typename B::U;
+    const U mixed = B::uadd(value, B::ubroadcast(kGolden));
+    const U folded = B::uxor(
+        seed, B::uadd(mixed, B::uadd(B::template ushl<6>(seed),
+                                     B::template ushr<2>(seed))));
+    return vSplitMix64<B>(folded);
+}
+
+/** toUnitDouble: (h >> 11) * 2^-53, exact (see util/hash.hh). */
+template <class B>
+inline typename B::F
+vToUnit(typename B::U h)
+{
+    return B::mul(B::u2f(B::template ushr<11>(h)),
+                  B::fbroadcast(0x1.0p-53));
+}
+
+// --- Deterministic exp ----------------------------------------------
+
+template <class B>
+inline typename B::F
+vExp(typename B::F x)
+{
+    using F = typename B::F;
+    using U = typename B::U;
+    using M = typename B::M;
+    namespace c = consts;
+
+    const M over = B::gt(x, B::fbroadcast(c::kExpOverflow));
+    const M under = B::lt(x, B::fbroadcast(c::kExpUnderflow));
+    // Clamp so the 2^k construction below stays in range; the over/
+    // underflow lanes are overwritten by the selects at the end.
+    F xc = B::fmin(B::fmax(x, B::fbroadcast(-746.0)),
+                   B::fbroadcast(710.0));
+
+    // k = round-to-nearest-even(x * log2(e)) via the shifter trick;
+    // the integer value of k sits in the low mantissa bits of t.
+    const F shifter = B::fbroadcast(c::kShifter);
+    const F t = B::add(B::mul(xc, B::fbroadcast(c::kLog2E)), shifter);
+    const F k = B::sub(t, shifter);
+    const U ik = B::usub(B::f2bits(t), B::f2bits(shifter));
+
+    // r = x - k*ln2, Cody-Waite two-term split.
+    F r = B::sub(xc, B::mul(k, B::fbroadcast(c::kExpC1)));
+    r = B::sub(r, B::mul(k, B::fbroadcast(c::kExpC2)));
+
+    // Cephes rational: exp(r) = 1 + 2 r P(r^2) / (Q(r^2) - r P(r^2)).
+    const F rr = B::mul(r, r);
+    F p = B::fbroadcast(c::kExpP0);
+    p = B::add(B::mul(p, rr), B::fbroadcast(c::kExpP1));
+    p = B::add(B::mul(p, rr), B::fbroadcast(c::kExpP2));
+    const F rp = B::mul(r, p);
+    F q = B::fbroadcast(c::kExpQ0);
+    q = B::add(B::mul(q, rr), B::fbroadcast(c::kExpQ1));
+    q = B::add(B::mul(q, rr), B::fbroadcast(c::kExpQ2));
+    q = B::add(B::mul(q, rr), B::fbroadcast(c::kExpQ3));
+    F e = B::div(rp, B::sub(q, rp));
+    e = B::add(B::fbroadcast(1.0), B::mul(B::fbroadcast(2.0), e));
+
+    // Scale by 2^k in two exact power-of-two multiplies so the
+    // subnormal range (k < -1022) still rounds correctly. ik is in
+    // [-1075, 1075]; bias it positive, split, build exponent fields.
+    const U biased = B::uadd(ik, B::ubroadcast(2048));
+    const U k1 = B::template ushr<1>(biased);
+    const U k2 = B::usub(biased, k1);
+    // 2^(k1 - 1024): exponent field (k1 - 1024) + 1023 = k1 - 1.
+    const F s1 = B::bits2f(
+        B::template ushl<52>(B::usub(k1, B::ubroadcast(1))));
+    const F s2 = B::bits2f(
+        B::template ushl<52>(B::usub(k2, B::ubroadcast(1))));
+    F result = B::mul(B::mul(e, s1), s2);
+    result = B::select(over, B::fbroadcast(consts::kInf), result);
+    result = B::select(under, B::fbroadcast(0.0), result);
+    return result;
+}
+
+// --- Deterministic log (arguments are normal positive doubles) ------
+
+template <class B>
+inline typename B::F
+vLog(typename B::F x)
+{
+    using F = typename B::F;
+    using U = typename B::U;
+    using M = typename B::M;
+    namespace c = consts;
+
+    const U bits = B::f2bits(x);
+    // Mantissa rescaled into [1, 2), exponent as a double.
+    const U mbits =
+        B::uor(B::uand(bits, B::ubroadcast(0x000fffffffffffffULL)),
+               B::ubroadcast(0x3ff0000000000000ULL));
+    F m = B::bits2f(mbits);
+    F e = B::sub(B::u2f(B::template ushr<52>(bits)),
+                 B::fbroadcast(1023.0));
+    // Normalize into [sqrt2/2, sqrt2) for the series' sweet spot.
+    const M big = B::gt(m, B::fbroadcast(c::kSqrt2));
+    m = B::select(big, B::mul(m, B::fbroadcast(0.5)), m);
+    e = B::select(big, B::add(e, B::fbroadcast(1.0)), e);
+
+    const F f = B::sub(m, B::fbroadcast(1.0));
+    const F s = B::div(f, B::add(B::fbroadcast(2.0), f));
+    const F z = B::mul(s, s);
+    const F w = B::mul(z, z);
+    F t1 = B::fbroadcast(c::kLg6);
+    t1 = B::add(B::mul(t1, w), B::fbroadcast(c::kLg4));
+    t1 = B::add(B::mul(t1, w), B::fbroadcast(c::kLg2));
+    t1 = B::mul(t1, w);
+    F t2 = B::fbroadcast(c::kLg7);
+    t2 = B::add(B::mul(t2, w), B::fbroadcast(c::kLg5));
+    t2 = B::add(B::mul(t2, w), B::fbroadcast(c::kLg3));
+    t2 = B::add(B::mul(t2, w), B::fbroadcast(c::kLg1));
+    t2 = B::mul(t2, z);
+    const F rem = B::add(t1, t2);
+    const F hfsq =
+        B::mul(B::fbroadcast(0.5), B::mul(f, f));
+    const F logm =
+        B::sub(f, B::sub(hfsq, B::mul(s, B::add(hfsq, rem))));
+    return B::add(B::mul(e, B::fbroadcast(c::kLn2Hi)),
+                  B::add(logm, B::mul(e, B::fbroadcast(c::kLn2Lo))));
+}
+
+// --- Deterministic cos on [0, 2*pi) ---------------------------------
+
+template <class B>
+inline typename B::F
+vCos(typename B::F x)
+{
+    using F = typename B::F;
+    using U = typename B::U;
+    using M = typename B::M;
+    namespace c = consts;
+
+    // Quadrant q = round(x * 2/pi) in {0..4}; r = x - q*pi/2 via a
+    // 3-term Cody-Waite split (plenty for |q| <= 4).
+    const F shifter = B::fbroadcast(c::kShifter);
+    const F t =
+        B::add(B::mul(x, B::fbroadcast(c::kTwoOverPi)), shifter);
+    const F q = B::sub(t, shifter);
+    const U iq = B::usub(B::f2bits(t), B::f2bits(shifter));
+    F r = B::sub(x, B::mul(q, B::fbroadcast(c::kPio2_1)));
+    r = B::sub(r, B::mul(q, B::fbroadcast(c::kPio2_2)));
+    r = B::sub(r, B::mul(q, B::fbroadcast(c::kPio2_3)));
+
+    const F z = B::mul(r, r);
+    // fdlibm k_sin polynomial: r + r*z*(S1 + z*(... S6)).
+    F sp = B::fbroadcast(c::kS6);
+    sp = B::add(B::mul(sp, z), B::fbroadcast(c::kS5));
+    sp = B::add(B::mul(sp, z), B::fbroadcast(c::kS4));
+    sp = B::add(B::mul(sp, z), B::fbroadcast(c::kS3));
+    sp = B::add(B::mul(sp, z), B::fbroadcast(c::kS2));
+    sp = B::add(B::mul(sp, z), B::fbroadcast(c::kS1));
+    const F sinr = B::add(r, B::mul(B::mul(r, z), sp));
+    // fdlibm k_cos polynomial: 1 - z/2 + z^2*(C1 + z*(... C6)).
+    F cp = B::fbroadcast(c::kC6);
+    cp = B::add(B::mul(cp, z), B::fbroadcast(c::kC5));
+    cp = B::add(B::mul(cp, z), B::fbroadcast(c::kC4));
+    cp = B::add(B::mul(cp, z), B::fbroadcast(c::kC3));
+    cp = B::add(B::mul(cp, z), B::fbroadcast(c::kC2));
+    cp = B::add(B::mul(cp, z), B::fbroadcast(c::kC1));
+    const F cosr =
+        B::add(B::sub(B::fbroadcast(1.0),
+                      B::mul(B::fbroadcast(0.5), z)),
+               B::mul(B::mul(z, z), cp));
+
+    // cos(x) = [cos, -sin, -cos, sin][q mod 4](r).
+    const M odd =
+        B::ueq(B::uand(iq, B::ubroadcast(1)), B::ubroadcast(1));
+    const M neg =
+        B::ueq(B::uand(B::uadd(iq, B::ubroadcast(1)),
+                       B::ubroadcast(2)),
+               B::ubroadcast(2));
+    F value = B::select(odd, sinr, cosr);
+    const F negated = B::bits2f(B::uxor(
+        B::f2bits(value), B::ubroadcast(0x8000000000000000ULL)));
+    return B::select(neg, negated, value);
+}
+
+// --- The Box-Muller gaussian of the trial-noise stream --------------
+
+/**
+ * Scalar replica of util::Rng(seed).gaussian() with the
+ * transcendentals swapped for the deterministic ones: the redraw loop,
+ * stream order, and arithmetic shape are identical.
+ */
+[[maybe_unused]] inline double
+detGaussian(std::uint64_t seed)
+{
+    // util::Rng::next() advances state by kGolden, then applies the
+    // splitMix64 finalizer (which has its own internal golden pre-add):
+    // the first draw is splitMix64(seed + kGolden).
+    using B = ScalarBackend;
+    std::uint64_t state = seed;
+    double u1 = 0.0;
+    do {
+        state += kGolden;
+        u1 = vToUnit<B>(vSplitMix64<B>(state));
+    } while (u1 <= 1e-300);
+    state += kGolden;
+    const double u2 = vToUnit<B>(vSplitMix64<B>(state));
+    const double r = std::sqrt(-2.0 * vLog<B>(u1));
+    return r * vCos<B>(consts::kTwoPi * u2);
+}
+
+// Scalar conveniences for the CellModel reference factors.
+[[maybe_unused]] inline double
+detExp(double x)
+{
+    return vExp<ScalarBackend>(x);
+}
+
+[[maybe_unused]] inline double
+detLog(double x)
+{
+    return vLog<ScalarBackend>(x);
+}
+
+[[maybe_unused]] inline double
+detCos(double x)
+{
+    return vCos<ScalarBackend>(x);
+}
+
+// --- The generic kernel loop ----------------------------------------
+
+/**
+ * Evaluate cells [begin, end) of the row. Each lane computes, in this
+ * exact order (mirroring AnalyticEngine::cellHcFirst and the CellModel
+ * factor functions):
+ *
+ *   eligible0   = ((victimByte >> bit) & 1) == chargedValue
+ *   positional  = sum_a distFactor[a] * dataFactor(cell, byte[a])
+ *   rate        = (positional * timing) * temperatureFactor(cell, T)
+ *   hc          = (threshold * trialNoise(cell, trial, T)) / rate
+ *   outHc[i]    = eligible0 && rate > 0 ? hc : +inf
+ *
+ * and the return value is min(outHc[begin..end)), +inf when empty.
+ */
+template <class B>
+inline double
+kernelLoop(const KernelArgs &args, std::size_t begin, std::size_t end)
+{
+    using F = typename B::F;
+    using U = typename B::U;
+    using M = typename B::M;
+    constexpr std::size_t kLanes = B::kLanes;
+    namespace c = consts;
+
+    const F timing = B::fbroadcast(args.timing);
+    const F temperature = B::fbroadcast(args.temperature);
+    const F ref50 = B::fbroadcast(50.0);
+    const F dataBase = B::fbroadcast(args.dataBase);
+    const F dataScale = B::fbroadcast(1.0 - args.dataBase);
+    const F trialSigma = B::fbroadcast(args.trialSigma);
+    const F inf = B::fbroadcast(c::kInf);
+    const F zero = B::fbroadcast(0.0);
+    const U one = B::ubroadcast(1);
+    const U saltData = B::ubroadcast(kSaltData);
+    const U saltTrial = B::ubroadcast(kSaltTrial);
+    const U trial = B::ubroadcast(args.trial);
+    const U tempKey = B::ubroadcast(args.tempKey);
+
+    F minAcc = inf;
+    alignas(64) std::uint64_t lane[kLanes];
+    alignas(64) double dlane[kLanes];
+
+    for (std::size_t i = begin; i + kLanes <= end; i += kLanes) {
+        const U h0 = B::uload(args.seedHash + i);
+        const F threshold = B::fload(args.threshold + i);
+        const F tinf = B::fload(args.tinf + i);
+        const F width = B::fload(args.width + i);
+
+        // Per-lane table lookups (bit index, charged value, pattern
+        // bytes by column) go through small stack staging buffers; the
+        // heavy math below is all lane-parallel.
+        const U bit = B::uload(args.bit + i);
+        const U charged = B::uload(args.charged + i);
+        U victimByte;
+        if (args.victimBytes != nullptr) {
+            for (std::size_t l = 0; l < kLanes; ++l)
+                lane[l] = args.victimBytes[args.column[i + l]];
+            victimByte = B::uload(lane);
+        } else {
+            victimByte = B::ubroadcast(args.victimConstByte);
+        }
+
+        // Eligibility: the pattern must store the cell's charged
+        // value at (column, bit).
+        const M eligible0 = B::ueq(
+            B::uand(B::ushrv(victimByte, bit), one), charged);
+
+        // positional = sum over active aggressors of
+        // distFactor * dataFactor(cell, aggressor byte).
+        const U hData = vHashCombine<B>(h0, saltData);
+        F positional = zero;
+        for (std::size_t a = 0; a < args.aggrCount; ++a) {
+            U aggrByte;
+            if (args.aggrBytes[a] != nullptr) {
+                for (std::size_t l = 0; l < kLanes; ++l)
+                    lane[l] = args.aggrBytes[a][args.column[i + l]];
+                aggrByte = B::uload(lane);
+            } else {
+                aggrByte = B::ubroadcast(args.aggrConstByte[a]);
+            }
+            const F u = vToUnit<B>(vHashCombine<B>(hData, aggrByte));
+            const F dataF = B::add(dataBase, B::mul(dataScale, u));
+            positional = B::add(
+                positional,
+                B::mul(B::fbroadcast(args.aggrDist[a]), dataF));
+        }
+
+        // rate = (positional * timing) * temperatureFactor.
+        const F ta = B::sub(ref50, tinf);
+        const F tb = B::sub(temperature, tinf);
+        const F den =
+            B::mul(B::mul(B::fbroadcast(2.0), width), width);
+        const F tempF = vExp<B>(
+            B::div(B::sub(B::mul(ta, ta), B::mul(tb, tb)), den));
+        const F rate = B::mul(B::mul(positional, timing), tempF);
+
+        // Trial noise: exp(sigma * gaussian(trial seed)).
+        const U seed = vHashCombine<B>(
+            vHashCombine<B>(vHashCombine<B>(h0, saltTrial), trial),
+            tempKey);
+        // Rng(seed) stream: draw k is splitMix64(seed + k*kGolden).
+        const U golden = B::ubroadcast(kGolden);
+        const U u1h = vSplitMix64<B>(B::uadd(seed, golden));
+        const U u2h = vSplitMix64<B>(
+            B::uadd(seed, B::uadd(golden, golden)));
+        const F u1 = vToUnit<B>(u1h);
+        const F u2 = vToUnit<B>(u2h);
+        F gauss;
+        const M tiny = B::le(u1, B::fbroadcast(1e-300));
+        if (B::any(tiny)) {
+            // A zero draw (probability 2^-53 per lane) triggers the
+            // redraw loop, which advances the stream; replay the whole
+            // vector through the scalar helper (identical sequence).
+            for (std::size_t l = 0; l < kLanes; ++l) {
+                const std::uint64_t h = vHashCombine<ScalarBackend>(
+                    vHashCombine<ScalarBackend>(
+                        vHashCombine<ScalarBackend>(
+                            args.seedHash[i + l], kSaltTrial),
+                        args.trial),
+                    args.tempKey);
+                dlane[l] = detGaussian(h);
+            }
+            gauss = B::fload(dlane);
+        } else {
+            const F r =
+                B::sqrt(B::mul(B::fbroadcast(-2.0), vLog<B>(u1)));
+            gauss = B::mul(
+                r, vCos<B>(B::mul(B::fbroadcast(c::kTwoPi), u2)));
+        }
+        const F noise = vExp<B>(B::mul(trialSigma, gauss));
+
+        const F hc = B::div(B::mul(threshold, noise), rate);
+        const M eligible = B::mand(eligible0, B::gt(rate, zero));
+        const F out = B::select(eligible, hc, inf);
+        B::fstore(args.outHc + i, out);
+        minAcc = B::fmin(minAcc, out);
+    }
+
+    // Fold the lane minima; exact, so lane width cannot change it.
+    B::fstore(dlane, minAcc);
+    double result = dlane[0];
+    for (std::size_t l = 1; l < kLanes; ++l)
+        result = dlane[l] < result ? dlane[l] : result;
+
+    // Tail cells run on the scalar backend (identical op sequence).
+    if constexpr (kLanes > 1) {
+        const std::size_t done =
+            begin + (end - begin) / kLanes * kLanes;
+        if (done < end) {
+            const double tail =
+                kernelLoop<ScalarBackend>(args, done, end);
+            result = tail < result ? tail : result;
+        }
+    }
+    return result;
+}
+
+/** The Random pattern's per-column byte table, lane-parallel:
+ *  dst[c] = hashCombine(rowHash, c) & 0xff (see DataPattern::byteAt). */
+template <class B>
+inline void
+fillLoop(std::uint64_t rowHash, std::uint8_t *dst, std::size_t columns)
+{
+    using U = typename B::U;
+    constexpr std::size_t kLanes = B::kLanes;
+    alignas(64) std::uint64_t lane[kLanes];
+
+    const U row = B::ubroadcast(rowHash);
+    std::size_t c = 0;
+    for (; c + kLanes <= columns; c += kLanes) {
+        for (std::size_t l = 0; l < kLanes; ++l)
+            lane[l] = c + l;
+        const U bytes = B::uand(vHashCombine<B>(row, B::uload(lane)),
+                                B::ubroadcast(0xff));
+        B::ustore(lane, bytes);
+        for (std::size_t l = 0; l < kLanes; ++l)
+            dst[c + l] = static_cast<std::uint8_t>(lane[l]);
+    }
+    for (; c < columns; ++c) {
+        dst[c] = static_cast<std::uint8_t>(
+            vHashCombine<ScalarBackend>(rowHash, c) & 0xff);
+    }
+}
+
+} // namespace
+
+} // namespace rhs::rhmodel::kern
+
+#endif // RHS_RHMODEL_KERNEL_MATH_HH

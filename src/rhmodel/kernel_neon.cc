@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The NEON kernel variant: 2 double lanes per vector. AdvSIMD is
+ * architectural on aarch64, so this TU needs no extra ISA flags and
+ * the variant is always supported there.
+ *
+ * NEON has no 64-bit lane multiply; the hash chain's multiplies run
+ * per lane through the scalar unit (the f64 math stays vectorized,
+ * which is where the kernel's time goes).
+ */
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "rhmodel/kernel.hh"
+#include "rhmodel/kernel_math.hh"
+
+namespace rhs::rhmodel::kern
+{
+
+namespace
+{
+
+struct NeonBackend
+{
+    static constexpr std::size_t kLanes = 2;
+    using F = float64x2_t;
+    using U = uint64x2_t;
+    using M = uint64x2_t; //!< All-ones / all-zeros per lane.
+
+    static F fbroadcast(double v) { return vdupq_n_f64(v); }
+    static F fload(const double *p) { return vld1q_f64(p); }
+    static void fstore(double *p, F v) { vst1q_f64(p, v); }
+    static F add(F a, F b) { return vaddq_f64(a, b); }
+    static F sub(F a, F b) { return vsubq_f64(a, b); }
+    static F mul(F a, F b) { return vmulq_f64(a, b); }
+    static F div(F a, F b) { return vdivq_f64(a, b); }
+    static F sqrt(F a) { return vsqrtq_f64(a); }
+    static F fmin(F a, F b) { return vminq_f64(a, b); }
+    static F fmax(F a, F b) { return vmaxq_f64(a, b); }
+    static M gt(F a, F b) { return vcgtq_f64(a, b); }
+    static M lt(F a, F b) { return vcltq_f64(a, b); }
+    static M le(F a, F b) { return vcleq_f64(a, b); }
+    static F select(M m, F a, F b) { return vbslq_f64(m, a, b); }
+    static M mand(M a, M b) { return vandq_u64(a, b); }
+    static bool any(M m)
+    {
+        return (vgetq_lane_u64(m, 0) | vgetq_lane_u64(m, 1)) != 0;
+    }
+
+    static U ubroadcast(std::uint64_t v) { return vdupq_n_u64(v); }
+    static U uload(const std::uint64_t *p) { return vld1q_u64(p); }
+    static void ustore(std::uint64_t *p, U v) { vst1q_u64(p, v); }
+    static U uadd(U a, U b) { return vaddq_u64(a, b); }
+    static U usub(U a, U b) { return vsubq_u64(a, b); }
+    static U uand(U a, U b) { return vandq_u64(a, b); }
+    static U uor(U a, U b) { return vorrq_u64(a, b); }
+    static U uxor(U a, U b) { return veorq_u64(a, b); }
+
+    //! Per-lane scalar multiply (no 64-bit NEON lane multiply).
+    static U
+    umul(U a, U b)
+    {
+        U r = vdupq_n_u64(0);
+        r = vsetq_lane_u64(
+            vgetq_lane_u64(a, 0) * vgetq_lane_u64(b, 0), r, 0);
+        r = vsetq_lane_u64(
+            vgetq_lane_u64(a, 1) * vgetq_lane_u64(b, 1), r, 1);
+        return r;
+    }
+
+    template <int N> static U ushl(U a) { return vshlq_n_u64(a, N); }
+    template <int N> static U ushr(U a) { return vshrq_n_u64(a, N); }
+    static U ushrv(U a, U n)
+    {
+        return vshlq_u64(a, vnegq_s64(vreinterpretq_s64_u64(n)));
+    }
+    static M ueq(U a, U b) { return vceqq_u64(a, b); }
+
+    //! ucvtf is exact below 2^53 (the only inputs used).
+    static F u2f(U v) { return vcvtq_f64_u64(v); }
+    static U f2bits(F v) { return vreinterpretq_u64_f64(v); }
+    static F bits2f(U v) { return vreinterpretq_f64_u64(v); }
+};
+
+} // namespace
+
+double
+runNeon(const KernelArgs &args)
+{
+    return kernelLoop<NeonBackend>(args, 0, args.n);
+}
+
+void
+fillNeon(std::uint64_t rowHash, std::uint8_t *dst, std::size_t columns)
+{
+    fillLoop<NeonBackend>(rowHash, dst, columns);
+}
+
+} // namespace rhs::rhmodel::kern
+
+#endif // __aarch64__

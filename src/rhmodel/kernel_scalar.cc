@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The portable scalar kernel variant: the reference instantiation of
+ * the shared kernel templates, compiled with the baseline target flags
+ * so it runs on any host. Every vector variant's results are defined
+ * as "byte-identical to this".
+ */
+
+#include "rhmodel/kernel.hh"
+#include "rhmodel/kernel_math.hh"
+
+namespace rhs::rhmodel::kern
+{
+
+double
+runScalar(const KernelArgs &args)
+{
+    return kernelLoop<ScalarBackend>(args, 0, args.n);
+}
+
+void
+fillScalar(std::uint64_t rowHash, std::uint8_t *dst, std::size_t columns)
+{
+    fillLoop<ScalarBackend>(rowHash, dst, columns);
+}
+
+} // namespace rhs::rhmodel::kern

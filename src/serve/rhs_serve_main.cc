@@ -4,6 +4,12 @@
  *
  *   rhs-serve [--host H] [--port P] [--queue N] [--batch N]
  *             [--max-conns N] [--jobs N] [--log LEVEL]
+ *             [--simd scalar|avx2|avx512|neon|auto]
+ *
+ * --simd pins the row-evaluation kernel variant before the server
+ * starts (overrides the RHS_SIMD environment variable; default: best
+ * the CPU supports). The resolved variant appears in the `stats`
+ * snapshot as the roweval.simd.variant gauge/info metric.
  *
  * --port 0 (the default) binds an ephemeral port; the bound port is
  * announced on stderr ("listening on ..."), which is how scripted
@@ -20,6 +26,7 @@
 
 #include "obs/export.hh"
 #include "report/writer.hh"
+#include "rhmodel/kernel.hh"
 #include "serve/server.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -49,16 +56,20 @@ main(int argc, char **argv)
 {
     const util::Cli cli(argc, argv,
                         {"host", "port", "queue", "batch", "max-conns",
-                         "jobs", "log", "trace-out", "help"});
+                         "jobs", "log", "trace-out", "simd", "help"});
     if (cli.has("help")) {
         std::printf(
             "usage: rhs-serve [--host H] [--port P] [--queue N] "
             "[--batch N]\n"
             "                 [--max-conns N] [--jobs N] "
             "[--log silent|warn|info|debug]\n"
-            "                 [--trace-out FILE]\n"
+            "                 [--trace-out FILE]  "
+            "[--simd scalar|avx2|avx512|neon|auto]\n"
             "--trace-out writes the retained obs spans as a Chrome\n"
-            "trace-event JSON file on shutdown (chrome://tracing).\n");
+            "trace-event JSON file on shutdown (chrome://tracing).\n"
+            "--simd pins the row-evaluation kernel variant (default:\n"
+            "the RHS_SIMD environment variable, else the best the CPU\n"
+            "supports); the choice shows up in the stats snapshot.\n");
         return 0;
     }
 
@@ -75,6 +86,15 @@ main(int argc, char **argv)
     util::setLogThreadTag("main");
     util::ThreadPool::configure(
         static_cast<unsigned>(cli.getInt("jobs", 0)));
+    if (const std::string simd = cli.get("simd", ""); !simd.empty()) {
+        std::string error;
+        if (!rhmodel::kern::setVariant(simd, &error))
+            RHS_FATAL("--simd ", simd, ": ", error);
+    } else {
+        // Resolve (and log) the kernel choice now, not on the first
+        // query: operators should see it next to "listening on ...".
+        rhmodel::kern::active();
+    }
 
     serve::ServerConfig config;
     config.host = cli.get("host", "127.0.0.1");

@@ -98,6 +98,13 @@ informImpl(const std::string &msg)
 }
 
 void
+statusImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Info)
+        emitLine(std::cerr, "info:", msg);
+}
+
+void
 debugImpl(const std::string &msg)
 {
     if (logLevel() >= LogLevel::Debug)

@@ -5,7 +5,10 @@
  * panic()  - internal invariant violated; aborts (a framework bug).
  * fatal()  - unrecoverable user/configuration error; exits with code 1.
  * warn()   - suspicious but survivable condition.
- * inform() - plain status output.
+ * inform() - plain status output (stdout).
+ * status() - plain status output on stderr, for processes whose
+ *            stdout is a deliverable (rhs-bench tables must stay
+ *            byte-identical whatever the host logs).
  *
  * Sinks are thread-safe: each call composes its complete line first
  * and appends it under one process-wide lock, so concurrent logging
@@ -51,6 +54,7 @@ namespace detail
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void statusImpl(const std::string &msg);
 void debugImpl(const std::string &msg);
 
 /** Stream-concatenate arbitrary arguments into a string. */
@@ -92,6 +96,13 @@ void
 inform(Ts &&...args)
 {
     detail::informImpl(detail::concat(std::forward<Ts>(args)...));
+}
+
+template <typename... Ts>
+void
+status(Ts &&...args)
+{
+    detail::statusImpl(detail::concat(std::forward<Ts>(args)...));
 }
 
 template <typename... Ts>

@@ -11,10 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <set>
 
 #include "core/hammer_session.hh"
 #include "core/tester.hh"
+#include "rhmodel/kernel.hh"
+#include "util/hash.hh"
 
 namespace
 {
@@ -258,41 +262,124 @@ class RowEvalKernelTest : public ::testing::TestWithParam<KernelScenario>
     Conditions conditions;
 };
 
+/** Restore auto dispatch when a forcing test ends (even on failure). */
+struct SimdVariantGuard
+{
+    ~SimdVariantGuard() { kern::setVariant("auto"); }
+};
+
+/** Bit-exact digest of one RowEval (order-sensitive). */
+std::uint64_t
+digestEval(std::uint64_t digest, const RowEval &eval)
+{
+    digest = util::hashCombine(digest, eval.vulnerableCells);
+    digest = util::hashCombine(
+        digest, std::bit_cast<std::uint64_t>(eval.minHcFirst));
+    for (double hc : eval.hcFirst)
+        digest =
+            util::hashCombine(digest, std::bit_cast<std::uint64_t>(hc));
+    for (const auto &loc : eval.loc) {
+        digest = util::hashCombine(
+            digest, util::hashTuple(loc.chip, loc.bank, loc.row,
+                                    loc.column, loc.bit));
+    }
+    return digest;
+}
+
 TEST_P(RowEvalKernelTest, BerAndHcFirstByteIdenticalToReference)
 {
-    const auto &engine = dimm.analytic();
+    // The whole property matrix runs once per SIMD variant supported
+    // on this host, each against a fresh dimm (so the RowEval cache
+    // cannot launder results computed by another variant), and every
+    // variant must be byte-identical to the probe-per-call reference —
+    // which pins all variants to each other.
+    const SimdVariantGuard guard;
     const std::vector<unsigned> rows{2, 150, 151, 152, 153, 1021};
-    for (unsigned row : rows) {
-        const auto attack = HammerAttack::doubleSided(0, row);
-        for (unsigned trial = 0; trial < core::kRepetitions; ++trial) {
-            for (std::uint64_t hammers :
-                 {50'000ull, 150'000ull, 512'000ull}) {
-                const auto kernel = engine.berTest(
-                    row, attack, conditions, pattern, hammers, trial);
-                const auto reference =
-                    referenceBerTest(engine, row, attack, conditions,
-                                     pattern, hammers, trial);
-                EXPECT_EQ(kernel.vulnerableCells,
-                          reference.vulnerableCells);
-                ASSERT_EQ(kernel.flips.size(), reference.flips.size())
-                    << "row " << row << " trial " << trial << " hammers "
-                    << hammers;
-                for (std::size_t i = 0; i < kernel.flips.size(); ++i)
-                    EXPECT_EQ(kernel.flips[i], reference.flips[i]);
+
+    // The reference path (cellHcFirst) never enters the kernel; one
+    // pass over the matrix supplies the expectations for all variants.
+    struct Expected
+    {
+        std::vector<RowBerResult> ber;
+        double rowHcFirst = 0.0;
+        std::uint64_t search = 0;
+    };
+    const std::vector<std::uint64_t> hammer_counts{50'000, 150'000,
+                                                   512'000};
+    std::vector<Expected> expected;
+    {
+        const auto &engine = dimm.analytic();
+        for (unsigned row : rows) {
+            const auto attack = HammerAttack::doubleSided(0, row);
+            for (unsigned trial = 0; trial < core::kRepetitions;
+                 ++trial) {
+                Expected e;
+                for (std::uint64_t hammers : hammer_counts) {
+                    e.ber.push_back(referenceBerTest(engine, row, attack,
+                                                     conditions, pattern,
+                                                     hammers, trial));
+                }
+                e.rowHcFirst = referenceRowHcFirst(
+                    engine, row, attack, conditions, pattern, trial);
+                e.search = referenceHcFirstSearch(
+                    engine, 0, row, conditions, pattern, trial);
+                expected.push_back(std::move(e));
             }
-            // Bit-equal doubles, not just close: the kernel hoists
-            // factors but must not reassociate the arithmetic.
-            EXPECT_EQ(engine.rowHcFirst(row, attack, conditions, pattern,
-                                        trial),
-                      referenceRowHcFirst(engine, row, attack, conditions,
-                                          pattern, trial))
-                << "row " << row << " trial " << trial;
-            EXPECT_EQ(tester.hcFirstSearch(0, row, conditions, pattern,
-                                           trial),
-                      referenceHcFirstSearch(engine, 0, row, conditions,
-                                             pattern, trial))
-                << "row " << row << " trial " << trial;
         }
+    }
+
+    const auto variants = kern::supportedVariants();
+    ASSERT_FALSE(variants.empty());
+    std::vector<std::uint64_t> digests;
+    for (kern::Simd simd : variants) {
+        SCOPED_TRACE(kern::name(simd));
+        kern::forceVariant(simd);
+        SimulatedDimm fresh(GetParam().mfr, 0, smallBank());
+        core::Tester fresh_tester(fresh);
+        const auto &engine = fresh.analytic();
+        std::uint64_t digest = 0;
+        std::size_t at = 0;
+        for (unsigned row : rows) {
+            const auto attack = HammerAttack::doubleSided(0, row);
+            for (unsigned trial = 0; trial < core::kRepetitions;
+                 ++trial, ++at) {
+                const auto &e = expected[at];
+                for (std::size_t h = 0; h < hammer_counts.size(); ++h) {
+                    const auto kernel =
+                        engine.berTest(row, attack, conditions, pattern,
+                                       hammer_counts[h], trial);
+                    const auto &reference = e.ber[h];
+                    EXPECT_EQ(kernel.vulnerableCells,
+                              reference.vulnerableCells);
+                    ASSERT_EQ(kernel.flips.size(),
+                              reference.flips.size())
+                        << "row " << row << " trial " << trial
+                        << " hammers " << hammer_counts[h];
+                    for (std::size_t i = 0; i < kernel.flips.size(); ++i)
+                        EXPECT_EQ(kernel.flips[i], reference.flips[i]);
+                }
+                // Bit-equal doubles, not just close: the kernel hoists
+                // factors and runs wide lanes, but must not
+                // reassociate the arithmetic.
+                EXPECT_EQ(engine.rowHcFirst(row, attack, conditions,
+                                            pattern, trial),
+                          e.rowHcFirst)
+                    << "row " << row << " trial " << trial;
+                EXPECT_EQ(fresh_tester.hcFirstSearch(0, row, conditions,
+                                                     pattern, trial),
+                          e.search)
+                    << "row " << row << " trial " << trial;
+                digest = digestEval(
+                    digest, *engine.rowEval(row, attack, conditions,
+                                            pattern, trial));
+            }
+        }
+        digests.push_back(digest);
+    }
+    for (std::size_t v = 1; v < digests.size(); ++v) {
+        EXPECT_EQ(digests[0], digests[v])
+            << kern::name(variants[0]) << " vs "
+            << kern::name(variants[v]);
     }
 }
 
