@@ -38,6 +38,7 @@ registerAllExperiments()
     registerRowEvalKernel();
     registerObsOverhead();
     registerServeLoadgen();
+    registerSnapshotWarmstart();
 }
 
 } // namespace rhs::bench

@@ -42,6 +42,7 @@ void registerParallelScaling();
 void registerRowEvalKernel();
 void registerObsOverhead();
 void registerServeLoadgen();
+void registerSnapshotWarmstart();
 
 /** Register every experiment exactly once (idempotent). */
 void registerAllExperiments();

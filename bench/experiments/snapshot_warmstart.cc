@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Snapshot warm-start benchmark: proves the rhs-snap/1 store turns a
+ * cold fleet characterization into an mmap-and-serve warm start, and
+ * that the fast path never changes a single byte of any result.
+ *
+ * Phase 1 (cold + collect): a private FleetCache with a snapshot
+ * Builder attached computes one RowEval curve per (module, row) and
+ * chains a digest over every curve's raw bytes. The collected curves
+ * are then written as one rhs-snap/1 file (build time and bytes per
+ * curve reported).
+ *
+ * Phase 2 (warm): a fresh FleetCache with the snapshot Reader
+ * attached re-runs the identical workload. Every curve must come out
+ * of the mmap (reader hits == lookups) and the digest chain must be
+ * byte-identical to phase 1's. The headline number is
+ * cold_seconds / warm_seconds, gated by --min-speedup.
+ *
+ * Phase 3 (serving): the same requests through two QueryEngines —
+ * one plain, one with --snapshot-in — must serialize to identical
+ * response bytes (the serve_loadgen byte-compare, applied to the
+ * snapshot path).
+ *
+ * Phase 4 (degradation): a snapshot with a flipped payload byte still
+ * serves every curve correctly (the corrupt record falls back to live
+ * computation and is counted), and truncated / bad-magic files fail
+ * to open cleanly.
+ *
+ * Options:
+ *   --min-speedup N  minimum cold/warm ratio (default 20; 5 in
+ *                    --smoke — sanitizer CI overrides lower)
+ *   --snap-file F    where the snapshot is written (default
+ *                    rhs_warmstart.snap in the working directory)
+ *   --out FILE       JSON output path (default BENCH_snapshot.json)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "report/writer.hh"
+#include "serve/protocol.hh"
+#include "serve/query_engine.hh"
+#include "snap/reader.hh"
+#include "snap/store.hh"
+#include "snap/writer.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace rhs;
+using Clock = std::chrono::steady_clock;
+
+/** One (module, victim row) work item. */
+struct WorkItem
+{
+    rhmodel::Mfr mfr;
+    unsigned row;
+};
+
+/** Digest-chain one curve's raw bytes into `h` (order-sensitive). */
+std::uint64_t
+chainCurve(std::uint64_t h, const rhmodel::RowEval &eval)
+{
+    h = util::hashCombine(
+        h, util::bytesHash64(eval.hcFirst.data(),
+                             eval.hcFirst.size() * sizeof(double)));
+    h = util::hashCombine(
+        h, util::bytesHash64(eval.loc.data(), eval.loc.size() *
+                                                  sizeof(eval.loc[0])));
+    h = util::hashCombine(h, eval.vulnerableCells);
+    return util::hashCombine(
+        h, std::hash<double>{}(eval.minHcFirst));
+}
+
+/**
+ * Run the workload against a fleet: one rowEval per item under one
+ * fixed condition set. Returns the digest chain; `seconds` gets the
+ * wall time of the eval loop only (module construction is excluded
+ * by the caller warming the modules first).
+ */
+std::uint64_t
+runWorkload(exp::FleetCache &fleet, const std::vector<WorkItem> &work,
+            unsigned seed, double &seconds)
+{
+    const rhmodel::Conditions conditions;
+    const rhmodel::DataPattern pattern(rhmodel::PatternId::Checkered);
+    std::uint64_t chain = util::splitMix64(work.size());
+    const auto t0 = Clock::now();
+    for (const WorkItem &item : work) {
+        const auto eval = fleet.module(item.mfr, seed)
+                              .tester->rowEval(0, item.row, conditions,
+                                               pattern);
+        chain = chainCurve(chain, *eval);
+    }
+    const std::chrono::duration<double> dt = Clock::now() - t0;
+    seconds = dt.count();
+    return chain;
+}
+
+/** Pre-build the workload's modules so timing excludes construction. */
+void
+warmModules(exp::FleetCache &fleet, unsigned seed)
+{
+    for (const auto mfr : rhmodel::allMfrs)
+        fleet.module(mfr, seed);
+}
+
+/** Install `factory` as the fleet's store provider. */
+void
+attach(exp::FleetCache &fleet, const snap::StoreFactory &factory)
+{
+    fleet.setStoreProvider(
+        [factory](rhmodel::Mfr mfr, unsigned module_index,
+                  unsigned subarrays_per_bank) {
+            return factory.storeFor(mfr, module_index,
+                                    subarrays_per_bank);
+        });
+}
+
+/** The serving byte-compare request mix (all four engine ops). */
+std::vector<std::string>
+servingRequests(unsigned rows)
+{
+    std::vector<std::string> bodies;
+    for (unsigned k = 0; k < 12; ++k) {
+        auto request = report::Json::object();
+        const char mfr[2] = {"ABCD"[k % 4], '\0'};
+        request.set("id", static_cast<std::int64_t>(k));
+        request.set("mfr", mfr);
+        switch (k % 3) {
+          case 0:
+            request.set("op", "row_hcfirst");
+            request.set("row", 1 + k % rows);
+            break;
+          case 1:
+            request.set("op", "profile_slice");
+            request.set("row0", 1);
+            request.set("count", std::min(rows, 4u));
+            break;
+          default:
+            request.set("op", "ber");
+            request.set("row", 1 + k % rows);
+            break;
+        }
+        bodies.push_back(serve::serialize(request));
+    }
+    return bodies;
+}
+
+class SnapshotWarmstart final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "snapshot_warmstart";
+    }
+
+    std::string
+    title() const override
+    {
+        return "rhs-snap/1 warm start: mmap snapshot vs cold "
+               "computation";
+    }
+
+    std::string
+    source() const override
+    {
+        return "snapshot-served curves byte-identical to live "
+               "computation";
+    }
+
+    std::vector<exp::OptionSpec>
+    options() const override
+    {
+        return {{"min-speedup", "20",
+                 "minimum cold/warm wall-time ratio (5 under --smoke)"},
+                {"snap-file", "rhs_warmstart.snap",
+                 "snapshot file path (scratch)"},
+                {"out", "BENCH_snapshot.json", "JSON output path"}};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        const double min_speedup = static_cast<double>(ctx.cli.getInt(
+            "min-speedup", ctx.scale.smoke ? 5 : 20));
+        const std::string snap_path =
+            ctx.cli.get("snap-file", "rhs_warmstart.snap");
+        const std::string out_path =
+            ctx.cli.get("out", "BENCH_snapshot.json");
+
+        std::vector<WorkItem> work;
+        for (const auto mfr : rhmodel::allMfrs)
+            for (unsigned r = 0; r < ctx.scale.maxRows; ++r)
+                work.push_back({mfr, 1 + r});
+
+        if (ctx.table) {
+            bench::printHeader(title(), source());
+            std::printf("%zu curves (%u rows x %zu manufacturers), "
+                        "min speedup %.0fx\n\n",
+                        work.size(), ctx.scale.maxRows,
+                        rhmodel::allMfrs.size(), min_speedup);
+        }
+
+        // --- Phase 1: cold run, collecting curves -------------------
+        auto builder = std::make_shared<snap::Builder>();
+        snap::StoreFactory collect_factory;
+        collect_factory.attachBuilder(builder);
+        exp::FleetCache cold_fleet;
+        attach(cold_fleet, collect_factory);
+        warmModules(cold_fleet, ctx.scale.seed);
+        double cold_seconds = 0.0;
+        const std::uint64_t cold_chain =
+            runWorkload(cold_fleet, work, ctx.scale.seed, cold_seconds);
+
+        const auto build_start = Clock::now();
+        std::string write_error;
+        const bool written = builder->write(snap_path, write_error);
+        const std::chrono::duration<double> build_elapsed =
+            Clock::now() - build_start;
+        RHS_ASSERT(written, "snapshot write failed: ", write_error);
+        const auto snapshot_bytes = static_cast<std::uint64_t>(
+            std::filesystem::file_size(snap_path));
+
+        // --- Phase 2: warm run from the mmapped snapshot ------------
+        const auto open_start = Clock::now();
+        std::string open_error;
+        auto reader = snap::Reader::open(snap_path, open_error);
+        const std::chrono::duration<double> open_elapsed =
+            Clock::now() - open_start;
+        RHS_ASSERT(reader != nullptr,
+                   "snapshot open failed: ", open_error);
+        std::string deep_error;
+        const bool deep_ok = reader->verifyDeep(deep_error);
+
+        snap::StoreFactory warm_factory;
+        warm_factory.attachReader(reader);
+        exp::FleetCache warm_fleet;
+        attach(warm_fleet, warm_factory);
+        warmModules(warm_fleet, ctx.scale.seed);
+        double warm_seconds = 0.0;
+        const std::uint64_t warm_chain =
+            runWorkload(warm_fleet, work, ctx.scale.seed, warm_seconds);
+        const bool all_from_snapshot =
+            reader->hits() == work.size() && reader->misses() == 0;
+        const double speedup =
+            cold_seconds / std::max(warm_seconds, 1e-9);
+
+        if (ctx.table) {
+            std::printf("  cold   %9.3f ms  (%zu curves computed)\n",
+                        cold_seconds * 1e3, work.size());
+            std::printf("  build  %9.3f ms  (%llu bytes, %.0f "
+                        "bytes/curve)\n",
+                        build_elapsed.count() * 1e3,
+                        static_cast<unsigned long long>(snapshot_bytes),
+                        static_cast<double>(snapshot_bytes) /
+                            static_cast<double>(work.size()));
+            std::printf("  open   %9.3f ms  (deep verify %s)\n",
+                        open_elapsed.count() * 1e3,
+                        deep_ok ? "ok" : "FAILED");
+            std::printf("  warm   %9.3f ms  (%.1fx speedup, hits "
+                        "%llu)\n\n",
+                        warm_seconds * 1e3, speedup,
+                        static_cast<unsigned long long>(
+                            reader->hits()));
+        }
+
+        // --- Phase 3: served responses are byte-identical -----------
+        unsigned serve_mismatches = 0;
+        {
+            serve::QueryEngine plain;
+            serve::QueryEngine::EngineOptions options;
+            options.snapshotIn = snap_path;
+            serve::QueryEngine warmed(options);
+            for (const auto &body :
+                 servingRequests(std::min(ctx.scale.maxRows, 16u)))
+                if (plain.executeRaw(body) != warmed.executeRaw(body))
+                    ++serve_mismatches;
+        }
+
+        // --- Phase 4: corruption degrades, never lies ---------------
+        std::vector<char> image(snapshot_bytes);
+        {
+            std::ifstream in(snap_path, std::ios::binary);
+            in.read(image.data(),
+                    static_cast<std::streamsize>(image.size()));
+            RHS_ASSERT(in.gcount() ==
+                           static_cast<std::streamsize>(image.size()),
+                       "short snapshot read-back");
+        }
+        const auto write_variant =
+            [&](const std::string &path, const std::vector<char> &bytes) {
+                std::ofstream out(path, std::ios::binary |
+                                            std::ios::trunc);
+                out.write(bytes.data(), static_cast<std::streamsize>(
+                                            bytes.size()));
+            };
+
+        // (a) flipped payload byte: opens, serves, falls back once.
+        snap::FileHeader header;
+        std::memcpy(&header, image.data(), sizeof(header));
+        std::uint32_t first_key_bytes = 0;
+        std::memcpy(&first_key_bytes, image.data() + header.pagesOffset,
+                    sizeof(first_key_bytes));
+        const std::size_t flip_at =
+            header.pagesOffset + sizeof(rhmodel::curve_io::RecordHeader) +
+            ((first_key_bytes + 7) & ~std::size_t{7}) + 3;
+        auto corrupt_image = image;
+        corrupt_image[flip_at] =
+            static_cast<char>(corrupt_image[flip_at] ^ 0x40);
+        const std::string corrupt_path = snap_path + ".corrupt";
+        write_variant(corrupt_path, corrupt_image);
+
+        bool fallback_ok = false;
+        {
+            std::string error;
+            auto corrupt_reader =
+                snap::Reader::open(corrupt_path, error);
+            RHS_ASSERT(corrupt_reader != nullptr,
+                       "corrupt-payload snapshot must still open: ",
+                       error);
+            snap::StoreFactory corrupt_factory;
+            corrupt_factory.attachReader(corrupt_reader);
+            exp::FleetCache corrupt_fleet;
+            attach(corrupt_fleet, corrupt_factory);
+            warmModules(corrupt_fleet, ctx.scale.seed);
+            double corrupt_seconds = 0.0;
+            const std::uint64_t corrupt_chain = runWorkload(
+                corrupt_fleet, work, ctx.scale.seed, corrupt_seconds);
+            // The flipped byte hits exactly one record: its digest
+            // check must fail (counted), the curve must be recomputed
+            // live, and the results must still be byte-identical.
+            fallback_ok = corrupt_chain == cold_chain &&
+                          corrupt_reader->corrupt() >= 1;
+        }
+
+        // (b) truncation and (c) bad magic: must fail to open.
+        const std::string truncated_path = snap_path + ".truncated";
+        write_variant(truncated_path,
+                      {image.begin(),
+                       image.begin() +
+                           static_cast<std::ptrdiff_t>(image.size() / 2)});
+        std::string truncated_error;
+        const bool truncated_rejected =
+            snap::Reader::open(truncated_path, truncated_error) ==
+                nullptr &&
+            !truncated_error.empty();
+
+        auto bad_magic_image = image;
+        bad_magic_image[0] = static_cast<char>(bad_magic_image[0] ^ 0xff);
+        const std::string bad_magic_path = snap_path + ".badmagic";
+        write_variant(bad_magic_path, bad_magic_image);
+        std::string bad_magic_error;
+        const bool bad_magic_rejected =
+            snap::Reader::open(bad_magic_path, bad_magic_error) ==
+                nullptr &&
+            !bad_magic_error.empty();
+
+        for (const auto &scratch :
+             {corrupt_path, truncated_path, bad_magic_path}) {
+            std::error_code ec;
+            std::filesystem::remove(scratch, ec);
+        }
+
+        if (ctx.table)
+            std::printf("  degrade  flipped-byte fallback %s, "
+                        "truncated %s, bad magic %s\n",
+                        fallback_ok ? "ok" : "FAILED",
+                        truncated_rejected ? "rejected" : "ACCEPTED",
+                        bad_magic_rejected ? "rejected" : "ACCEPTED");
+
+        // --- Document -----------------------------------------------
+        doc.addSeries("wall_seconds", {"cold", "build", "open", "warm"},
+                      {cold_seconds, build_elapsed.count(),
+                       open_elapsed.count(), warm_seconds});
+        doc.data.set("curves", work.size());
+        doc.data.set("speedup", speedup);
+        doc.data.set("snapshot_bytes", snapshot_bytes);
+        doc.data.set("bytes_per_curve",
+                     static_cast<double>(snapshot_bytes) /
+                         static_cast<double>(work.size()));
+        doc.data.set("build_curves_per_second",
+                     static_cast<double>(work.size()) /
+                         std::max(build_elapsed.count(), 1e-9));
+        doc.data.set("load_curves_per_second",
+                     static_cast<double>(work.size()) /
+                         std::max(warm_seconds, 1e-9));
+        doc.data.set("reader_hits", reader->hits());
+        doc.data.set("reader_misses", reader->misses());
+        doc.data.set("serve_mismatches", serve_mismatches);
+        doc.data.set("deep_verify", deep_ok);
+
+        doc.check("snapshot_speedup", "perf target",
+                  "warm start from the mmapped snapshot beats cold "
+                  "computation by the required factor",
+                  speedup >= min_speedup,
+                  "speedup " + std::to_string(speedup) + "x (need " +
+                      std::to_string(min_speedup) + "x)");
+        doc.check("snapshot_identical", "serving contract",
+                  "snapshot-served curves and rhs-rpc responses are "
+                  "byte-identical to live computation",
+                  warm_chain == cold_chain && all_from_snapshot &&
+                      serve_mismatches == 0 && deep_ok,
+                  "digest chains " +
+                      std::string(warm_chain == cold_chain
+                                      ? "equal"
+                                      : "DIFFER") +
+                      ", " + std::to_string(serve_mismatches) +
+                      " serve mismatches, all-hits: " +
+                      (all_from_snapshot ? "yes" : "no"));
+        doc.check("snapshot_fallback", "robustness invariant",
+                  "corrupt or malformed snapshots degrade to live "
+                  "computation (flipped byte) or fail open cleanly "
+                  "(truncated, bad magic)",
+                  fallback_ok && truncated_rejected &&
+                      bad_magic_rejected,
+                  std::string("flipped-byte fallback: ") +
+                      (fallback_ok ? "ok" : "FAILED") +
+                      ", truncated: " +
+                      (truncated_rejected ? "rejected" : "ACCEPTED") +
+                      ", bad magic: " +
+                      (bad_magic_rejected ? "rejected" : "ACCEPTED"));
+
+        report::JsonWriter().writeFile(out_path, doc.toJson());
+        if (ctx.table)
+            std::printf("\nwrote %s\n", out_path.c_str());
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerSnapshotWarmstart()
+{
+    exp::Registry::add(std::make_unique<SnapshotWarmstart>());
+}
+
+} // namespace rhs::bench

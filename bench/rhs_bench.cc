@@ -33,9 +33,11 @@
  */
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -50,6 +52,10 @@
 #include "report/document.hh"
 #include "report/writer.hh"
 #include "rhmodel/kernel.hh"
+#include "snap/reader.hh"
+#include "snap/spill.hh"
+#include "snap/store.hh"
+#include "snap/writer.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -58,14 +64,11 @@ namespace
 
 using namespace rhs;
 
-#ifndef RHS_GIT_DESCRIBE
-#define RHS_GIT_DESCRIBE "unknown"
-#endif
-
 /** Options the driver itself understands. */
 const std::vector<std::string> kDriverOptions = {
     "list", "filter", "all",  "smoke", "out-dir",
     "format", "check", "help", "trace-out", "simd",
+    "snapshot-out", "snapshot-in", "spill-file", "spill-max-mb",
 };
 
 /** Shared scale options every experiment accepts. */
@@ -88,12 +91,20 @@ printUsage(std::FILE *out)
         "         --smoke  --rows N  --modules N  --full  --jobs N\n"
         "         --seed N  --trace-out FILE\n"
         "         --simd scalar|avx2|avx512|neon|auto\n"
+        "         --snapshot-out FILE  --snapshot-in FILE\n"
+        "         --spill-file FILE  --spill-max-mb N\n"
         "         plus per-experiment options (--list)\n"
         "--trace-out writes the obs spans recorded during the run as\n"
         "a Chrome trace-event JSON file (chrome://tracing)\n"
         "--simd pins the row-evaluation kernel variant (default: the\n"
         "RHS_SIMD environment variable, else the best the CPU "
-        "supports)\n");
+        "supports)\n"
+        "--snapshot-out collects every RowEval curve the run computes\n"
+        "and writes them as one rhs-snap/1 file; --snapshot-in warm-\n"
+        "starts from such a file (mismatches fall back to live\n"
+        "computation with a warning). --spill-file spills RowEval\n"
+        "cache evictions to a bounded scratch file (--spill-max-mb,\n"
+        "default 256)\n");
 }
 
 void
@@ -263,6 +274,54 @@ main(int argc, char **argv)
     }
 
     exp::FleetCache fleet_cache;
+
+    // Optional rhs-snap/1 tiers (see src/snap): warm-start curves from
+    // --snapshot-in, collect computed curves for --snapshot-out, spill
+    // cache evictions to --spill-file. All best-effort — any failure
+    // here degrades to plain live computation.
+    snap::StoreFactory store_factory;
+    std::shared_ptr<snap::Builder> snapshot_builder;
+    const std::string snapshot_out = cli.get("snapshot-out", "");
+    if (!snapshot_out.empty()) {
+        snapshot_builder = std::make_shared<snap::Builder>();
+        store_factory.attachBuilder(snapshot_builder);
+    }
+    if (const std::string snapshot_in = cli.get("snapshot-in", "");
+        !snapshot_in.empty()) {
+        std::string error;
+        if (auto reader = snap::Reader::open(snapshot_in, error)) {
+            std::fprintf(stderr,
+                         "rhs-bench: warm start from %s (%llu curves)\n",
+                         snapshot_in.c_str(),
+                         static_cast<unsigned long long>(
+                             reader->header().recordCount));
+            store_factory.attachReader(std::move(reader));
+        } else {
+            util::warn("snapshot ", snapshot_in, ": ", error,
+                       "; computing live");
+        }
+    }
+    if (const std::string spill_file = cli.get("spill-file", "");
+        !spill_file.empty()) {
+        std::string error;
+        if (auto spill = snap::SpillTier::create(
+                spill_file,
+                static_cast<std::uint64_t>(cli.getInt("spill-max-mb",
+                                                      256))
+                    << 20,
+                error))
+            store_factory.attachSpill(std::move(spill));
+        else
+            util::warn(error, "; evictions will not be spilled");
+    }
+    if (store_factory.any())
+        fleet_cache.setStoreProvider(
+            [&store_factory](rhmodel::Mfr mfr, unsigned module_index,
+                             unsigned subarrays_per_bank) {
+                return store_factory.storeFor(mfr, module_index,
+                                              subarrays_per_bank);
+            });
+
     std::vector<std::string> failures;
     unsigned index = 0;
     for (auto *experiment : selected) {
@@ -281,8 +340,7 @@ main(int argc, char **argv)
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start;
 
-        // Provenance.
-        doc.git = RHS_GIT_DESCRIBE;
+        // Provenance (doc.git is filled by the Document constructor).
         doc.modulesPerMfr = scale.modulesPerMfr;
         doc.maxRows = scale.maxRows;
         doc.rowsPerRegion = scale.rowsPerRegion;
@@ -320,6 +378,21 @@ main(int argc, char **argv)
                  selected.size(), fleet_cache.modulesBuilt(),
                  fleet_cache.fleetHits(), fleet_cache.wcdpHits(),
                  fleet_cache.wcdpSearches());
+
+    if (snapshot_builder) {
+        std::string error;
+        if (snapshot_builder->write(snapshot_out, error))
+            std::fprintf(
+                stderr,
+                "rhs-bench: snapshot written to %s (%zu curves, "
+                "%llu record bytes)\n",
+                snapshot_out.c_str(), snapshot_builder->records(),
+                static_cast<unsigned long long>(
+                    snapshot_builder->recordBytes()));
+        else
+            failures.push_back("snapshot-out: " + error);
+    }
+
     if (const std::string trace_out = cli.get("trace-out", "");
         !trace_out.empty()) {
         obs::writeChromeTrace(trace_out);

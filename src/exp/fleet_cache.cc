@@ -3,10 +3,61 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace rhs::exp
 {
+
+namespace
+{
+
+/**
+ * Fleet construction counters, published so a long-lived server's
+ * `stats` op shows how much of the fleet is materialized (the plain
+ * unsigned accessors on FleetCache stay per-instance for tests).
+ */
+struct FleetMetrics
+{
+    obs::Counter &modulesBuilt;
+    obs::Counter &fleetHits;
+    obs::Counter &fleetMisses;
+    obs::Counter &wcdpHits;
+    obs::Counter &wcdpMisses;
+
+    FleetMetrics()
+        : modulesBuilt(
+              obs::Registry::global().counter("fleet.modules.built")),
+          fleetHits(obs::Registry::global().counter("fleet.cache.hits")),
+          fleetMisses(
+              obs::Registry::global().counter("fleet.cache.misses")),
+          wcdpHits(obs::Registry::global().counter("fleet.wcdp.hits")),
+          wcdpMisses(obs::Registry::global().counter("fleet.wcdp.misses"))
+    {
+    }
+
+    static FleetMetrics &
+    get()
+    {
+        static FleetMetrics metrics;
+        return metrics;
+    }
+};
+
+} // namespace
+
+void
+FleetCache::setStoreProvider(StoreProvider provider)
+{
+    storeProvider = std::move(provider);
+    for (auto &[key, entry] : modules) {
+        if (!storeProvider)
+            break;
+        entry.dimm->analytic().setEvalStore(storeProvider(
+            static_cast<rhmodel::Mfr>(std::get<0>(key)),
+            std::get<1>(key), std::get<2>(key)));
+    }
+}
 
 Module &
 FleetCache::module(rhmodel::Mfr mfr, unsigned index,
@@ -27,7 +78,11 @@ FleetCache::module(rhmodel::Mfr mfr, unsigned index,
                 mfr, index, options);
         }
         entry.tester = std::make_unique<core::Tester>(*entry.dimm);
+        if (storeProvider)
+            entry.dimm->analytic().setEvalStore(
+                storeProvider(mfr, index, subarrays_per_bank));
         ++modules_built;
+        FleetMetrics::get().modulesBuilt.add();
         it = modules.emplace(key, std::move(entry)).first;
     }
     return it->second;
@@ -41,8 +96,10 @@ FleetCache::fleet(const Scale &scale)
     auto it = fleets.find(key);
     if (it != fleets.end()) {
         ++fleet_hits;
+        FleetMetrics::get().fleetHits.add();
         return it->second;
     }
+    FleetMetrics::get().fleetMisses.add();
 
     std::vector<FleetEntry> fleet;
     for (auto mfr : rhmodel::allMfrs) {
@@ -86,8 +143,10 @@ FleetCache::wcdp(Module &module, unsigned bank,
     auto it = wcdps.find(key);
     if (it != wcdps.end()) {
         ++wcdp_hits;
+        FleetMetrics::get().wcdpHits.add();
         return it->second;
     }
+    FleetMetrics::get().wcdpMisses.add();
     rhmodel::Conditions reference;
     const auto pattern =
         module.tester->findWorstCasePattern(bank, sample_rows,

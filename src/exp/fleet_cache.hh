@@ -17,6 +17,7 @@
 #ifndef RHS_EXP_FLEET_CACHE_HH
 #define RHS_EXP_FLEET_CACHE_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -50,6 +51,23 @@ struct FleetEntry
 class FleetCache
 {
   public:
+    /**
+     * Supplies a RowEval persistence store for a module about to be
+     * built (snapshot reader / builder / spill tier — see src/snap).
+     * May return nullptr for "no store for this module".
+     */
+    using StoreProvider =
+        std::function<std::shared_ptr<rhmodel::RowEvalStore>(
+            rhmodel::Mfr mfr, unsigned module_index,
+            unsigned subarrays_per_bank)>;
+
+    /**
+     * Install a store provider. Applies to modules built from now on
+     * AND retroactively to already-cached ones, so the call order
+     * against the first module() does not matter.
+     */
+    void setStoreProvider(StoreProvider provider);
+
     /**
      * The module for (mfr, index), building it on first use.
      *
@@ -91,6 +109,7 @@ class FleetCache
     std::map<ModuleKey, Module> modules;
     std::map<FleetKey, std::vector<FleetEntry>> fleets;
     std::map<WcdpKey, rhmodel::DataPattern> wcdps;
+    StoreProvider storeProvider;
 
     unsigned modules_built = 0;
     unsigned fleets_built = 0;

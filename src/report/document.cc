@@ -1,7 +1,11 @@
 #include "report/document.hh"
 
+#include "util/version.hh"
+
 namespace rhs::report
 {
+
+Document::Document() : git(util::gitDescribe()) {}
 
 void
 Document::addSeries(const std::string &name,

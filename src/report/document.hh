@@ -55,7 +55,9 @@ class Document
     std::string title;
     std::string source;
 
-    // Provenance (filled by the driver).
+    // Provenance. `git` defaults to the build's configure-time
+    // `git describe` (util::gitDescribe()), so documents written by
+    // an experiment itself — not just by the driver — carry it too.
     std::string git;
     unsigned modulesPerMfr = 0;
     unsigned maxRows = 0;
@@ -68,6 +70,8 @@ class Document
     std::vector<Series> series;
     Json data = Json::object(); //!< Experiment-specific payload.
     std::vector<Check> checks;
+
+    Document();
 
     /** Append a series with values only. */
     void addSeries(const std::string &name,

@@ -316,14 +316,17 @@ AnalyticEngine::evaluateRow(unsigned victim_row,
     // --- One dispatched kernel pass, then compact the survivors. ---
     eval.minHcFirst = kernel.kernel(args);
     kernel.passes->add(1);
-    eval.hcFirst.reserve(n);
-    eval.loc.reserve(n);
+    std::vector<double> hc;
+    std::vector<dram::CellLocation> loc;
+    hc.reserve(n);
+    loc.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         if (scratch.outHc[i] < kNeverFlips) {
-            eval.hcFirst.push_back(scratch.outHc[i]);
-            eval.loc.push_back(cells[i].loc);
+            hc.push_back(scratch.outHc[i]);
+            loc.push_back(cells[i].loc);
         }
     }
+    eval.adopt(std::move(hc), std::move(loc));
     return eval;
 }
 
@@ -342,10 +345,11 @@ AnalyticEngine::evalKeyHash(const EvalKey &key)
     return h;
 }
 
-RowEvalPtr
-AnalyticEngine::rowEval(unsigned victim_row, const HammerAttack &attack,
-                        const Conditions &conditions,
-                        const DataPattern &pattern, unsigned trial) const
+EvalKey
+AnalyticEngine::makeEvalKey(unsigned victim_row,
+                            const HammerAttack &attack,
+                            const Conditions &conditions,
+                            const DataPattern &pattern, unsigned trial)
 {
     EvalKey key;
     key.bank = attack.bank;
@@ -359,11 +363,21 @@ AnalyticEngine::rowEval(unsigned victim_row, const HammerAttack &attack,
     key.tAggOn = conditions.tAggOn;
     key.tAggOff = conditions.tAggOff;
     key.aggressors = attack.aggressorRows;
+    return key;
+}
+
+RowEvalPtr
+AnalyticEngine::rowEval(unsigned victim_row, const HammerAttack &attack,
+                        const Conditions &conditions,
+                        const DataPattern &pattern, unsigned trial) const
+{
+    EvalKey key =
+        makeEvalKey(victim_row, attack, conditions, pattern, trial);
 
     const std::uint64_t hash = evalKeyHash(key);
     auto &shard = evalShards[hash % kEvalCacheShards];
-    constexpr std::size_t shard_capacity =
-        kEvalCacheCapacity / kEvalCacheShards;
+    const std::size_t shard_capacity =
+        std::max<std::size_t>(1, evalCapacity / kEvalCacheShards);
 
     auto &metrics = evalCacheMetrics();
     {
@@ -378,41 +392,66 @@ AnalyticEngine::rowEval(unsigned victim_row, const HammerAttack &attack,
     }
     metrics.misses.add(1);
 
-    // Miss: run the kernel outside the lock so other threads' lookups
-    // (and evaluations of other keys in this shard) proceed
-    // concurrently.
-    auto eval = std::make_shared<const RowEval>(
-        evaluateRow(victim_row, attack, conditions, pattern, trial));
+    // Miss: consult the persistence tier, else run the kernel — both
+    // outside the lock so other threads' lookups (and evaluations of
+    // other keys in this shard) proceed concurrently. A store can only
+    // return a byte-identical curve or nullptr (its lookups are
+    // key-verified and digest-checked), so which path filled `eval`
+    // is unobservable in any result.
+    RowEvalPtr eval;
+    if (evalStore)
+        eval = evalStore->load(key);
+    if (!eval) {
+        eval = std::make_shared<const RowEval>(
+            evaluateRow(victim_row, attack, conditions, pattern, trial));
+        if (evalStore)
+            evalStore->computed(key, eval);
+    }
 
-    std::lock_guard lock(shard.mutex);
-    if (auto it = shard.index.find(hash); it != shard.index.end()) {
-        if (it->second->key == key) {
-            // Another thread evaluated this key while we did: keep the
-            // incumbent (the kernel is deterministic, both are equal).
-            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-            return shard.lru.front().eval;
+    // The evicted entry (if any) leaves the shard under the lock but
+    // is handed to the store after it, so a slow spill write never
+    // blocks other threads' probes of this shard.
+    EvalKey spilled_key;
+    RowEvalPtr spilled_eval;
+    {
+        std::lock_guard lock(shard.mutex);
+        if (auto it = shard.index.find(hash); it != shard.index.end()) {
+            if (it->second->key == key) {
+                // Another thread evaluated this key while we did: keep
+                // the incumbent (deterministic, both are equal).
+                shard.lru.splice(shard.lru.begin(), shard.lru,
+                                 it->second);
+                return shard.lru.front().eval;
+            }
+            // 64-bit hash collision between different keys: replace
+            // the incumbent. Results stay exact — only the hit rate
+            // suffers.
+            shard.lru.erase(it->second);
+            shard.index.erase(it);
+            metrics.size.add(-1);
         }
-        // 64-bit hash collision between different keys: replace the
-        // incumbent. Results stay exact — only the hit rate suffers.
-        shard.lru.erase(it->second);
-        shard.index.erase(it);
-        metrics.size.add(-1);
-    }
-    shard.lru.push_front({hash, std::move(key), eval});
-    shard.index.emplace(hash, shard.lru.begin());
-    metrics.size.add(1);
-    if (shard.lru.size() > shard_capacity) {
-        shard.index.erase(shard.lru.back().hash);
-        shard.lru.pop_back();
-        metrics.evictions.add(1);
-        metrics.size.add(-1);
-        if (!g_eval_evict_warned.exchange(true)) {
-            util::warn("roweval cache evicting (capacity ",
-                       kEvalCacheCapacity,
-                       "): working set exceeds the cache; repeated "
-                       "probes will re-run the kernel");
+        shard.lru.push_front({hash, std::move(key), eval});
+        shard.index.emplace(hash, shard.lru.begin());
+        metrics.size.add(1);
+        if (shard.lru.size() > shard_capacity) {
+            auto &victim = shard.lru.back();
+            spilled_key = std::move(victim.key);
+            spilled_eval = std::move(victim.eval);
+            shard.index.erase(victim.hash);
+            shard.lru.pop_back();
+            metrics.evictions.add(1);
+            metrics.size.add(-1);
+            if (!g_eval_evict_warned.exchange(true)) {
+                util::warn(
+                    "roweval cache evicting (capacity ", evalCapacity,
+                    "): working set exceeds the cache; repeated "
+                    "probes will re-run the kernel",
+                    evalStore ? " or hit the eviction store" : "");
+            }
         }
     }
+    if (spilled_eval && evalStore)
+        evalStore->evicted(spilled_key, spilled_eval);
     return eval;
 }
 

@@ -21,6 +21,13 @@
  *     population per probe (see docs/MODEL.md, "The row-evaluation
  *     kernel").
  *
+ * Because a curve is a pure function of its EvalKey, it is also
+ * *storable*: an engine may carry a RowEvalStore — a persistence tier
+ * consulted on RAM-cache misses (mmap snapshot, eviction spill file;
+ * see src/snap) and notified of fresh computations and evictions. The
+ * store returns curves byte-identical to a kernel pass or nothing at
+ * all, so attaching one can never change a result, only skip work.
+ *
  * cellHcFirst/hammerDamage remain the single-cell reference path; the
  * kernel is property-tested byte-identical against them.
  */
@@ -34,6 +41,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -95,6 +103,31 @@ struct RowBerResult
 inline constexpr double kNeverFlips = std::numeric_limits<double>::infinity();
 
 /**
+ * Full identity of a row evaluation: everything the kernel's output
+ * depends on. Compared for equality on every cache hit, so a 64-bit
+ * hash collision degrades to a miss instead of returning a wrong
+ * curve. Public because persistence tiers (src/snap) serialize it as
+ * the curve's lookup key.
+ */
+struct EvalKey
+{
+    unsigned bank = 0;
+    unsigned victimRow = 0;
+    unsigned patternCenter = 0;
+    unsigned trial = 0;
+    PatternId patternId = PatternId::ColStripe;
+    //! Pattern seed, normalized to 0 for column-invariant patterns
+    //! (their bytes ignore the seed, so normalizing widens reuse).
+    std::uint64_t patternSeed = 0;
+    double temperature = 0.0;
+    double tAggOn = 0.0;
+    double tAggOff = 0.0;
+    std::vector<unsigned> aggressors;
+
+    bool operator==(const EvalKey &) const = default;
+};
+
+/**
  * The batched evaluation of one (bank, row, attack, conditions,
  * pattern, trial) key: the closed-form flip hammer count of every
  * eligible cell of the row, laid out SoA (hcFirst[i] belongs to
@@ -106,15 +139,57 @@ inline constexpr double kNeverFlips = std::numeric_limits<double>::infinity();
  * "does the row flip at H hammers" is minHcFirst <= H, and the flip
  * list at H hammers is {loc[i] : hcFirst[i] <= H} in stored order —
  * exactly the order the per-probe reference path reports.
+ *
+ * Storage: the public members are views. A freshly computed curve
+ * adopt()s owned vectors; a curve served from an mmapped snapshot
+ * view()s the mapped pages directly (zero copy), pinned by a
+ * keep-alive handle. Move-only — moving transfers the owned buffers
+ * (heap storage is stable across vector moves, so the views stay
+ * valid); copying is deleted because it would alias the source.
  */
-struct RowEval
+class RowEval
 {
-    std::vector<double> hcFirst;         //!< Per eligible cell HCfirst.
-    std::vector<dram::CellLocation> loc; //!< Parallel to hcFirst.
+  public:
+    std::span<const double> hcFirst;         //!< Per eligible cell HCfirst.
+    std::span<const dram::CellLocation> loc; //!< Parallel to hcFirst.
     //! All vulnerable cells of the row, eligible or not.
     unsigned vulnerableCells = 0;
     //! Minimum over hcFirst (kNeverFlips when no cell is eligible).
     double minHcFirst = kNeverFlips;
+
+    RowEval() = default;
+    RowEval(RowEval &&) = default;
+    RowEval &operator=(RowEval &&) = default;
+    RowEval(const RowEval &) = delete;
+    RowEval &operator=(const RowEval &) = delete;
+
+    /** Take ownership of freshly computed arrays. */
+    void
+    adopt(std::vector<double> hc, std::vector<dram::CellLocation> cells)
+    {
+        ownedHc = std::move(hc);
+        ownedLoc = std::move(cells);
+        backing.reset();
+        hcFirst = ownedHc;
+        loc = ownedLoc;
+    }
+
+    /**
+     * View externally owned arrays (an mmapped snapshot page) without
+     * copying; `keep_alive` pins the mapping for this curve's
+     * lifetime.
+     */
+    void
+    view(std::span<const double> hc,
+         std::span<const dram::CellLocation> cells,
+         std::shared_ptr<const void> keep_alive)
+    {
+        ownedHc.clear();
+        ownedLoc.clear();
+        backing = std::move(keep_alive);
+        hcFirst = hc;
+        loc = cells;
+    }
 
     /** Number of cells flipped after `hammers` hammers. */
     unsigned
@@ -136,17 +211,77 @@ struct RowEval
                 fn(loc[i]);
         }
     }
+
+  private:
+    std::vector<double> ownedHc;
+    std::vector<dram::CellLocation> ownedLoc;
+    std::shared_ptr<const void> backing;
 };
 
 /** Shared handle to a cached row evaluation. */
 using RowEvalPtr = std::shared_ptr<const RowEval>;
 
+/**
+ * A persistence tier behind the RowEval RAM cache (snapshot reader,
+ * eviction spill file, snapshot collector — see src/snap).
+ *
+ * Contract: load() must return either nullptr or a curve
+ * byte-identical to what evaluateRow would compute for `key` — the
+ * implementations guarantee this with key-verified, digest-checked
+ * lookups that degrade to nullptr (live recompute) on any mismatch.
+ * All three hooks are called outside the engine's shard locks and
+ * must be thread-safe.
+ */
+class RowEvalStore
+{
+  public:
+    virtual ~RowEvalStore() = default;
+
+    /** A stored curve for `key`, or nullptr (= compute live). */
+    virtual RowEvalPtr load(const EvalKey &key) = 0;
+
+    /** `eval` was freshly computed (snapshot collection hook). */
+    virtual void computed(const EvalKey &key, const RowEvalPtr &eval) = 0;
+
+    /** `eval` fell off the RAM LRU (spill-to-disk hook). */
+    virtual void evicted(const EvalKey &key, const RowEvalPtr &eval) = 0;
+};
+
 /** Closed-form evaluation of hammer tests against a CellModel. */
 class AnalyticEngine
 {
   public:
-    /** @param model Cell model of the module under test (not owned). */
-    explicit AnalyticEngine(const CellModel &model) : model(model) {}
+    /**
+     * @param model Cell model of the module under test (not owned).
+     * @param eval_cache_capacity Total RowEval cache entries across
+     *        all shards (default kEvalCacheCapacity; tests shrink it
+     *        to force evictions through the spill tier).
+     */
+    explicit AnalyticEngine(const CellModel &model,
+                            std::size_t eval_cache_capacity =
+                                kEvalCacheCapacity)
+        : model(model), evalCapacity(eval_cache_capacity)
+    {
+    }
+
+    /**
+     * Attach (or detach, with nullptr) the persistence tier consulted
+     * on RowEval cache misses. Setup-time only: callers attach the
+     * store before concurrent evaluation starts (the FleetCache does
+     * so at module construction); it is not synchronized against
+     * in-flight rowEval calls.
+     */
+    void
+    setEvalStore(std::shared_ptr<RowEvalStore> store)
+    {
+        evalStore = std::move(store);
+    }
+
+    const std::shared_ptr<RowEvalStore> &
+    evalStoreRef() const
+    {
+        return evalStore;
+    }
 
     /**
      * Damage a cell in victim_row accrues per hammer of the attack,
@@ -173,15 +308,16 @@ class AnalyticEngine
 
     /**
      * The row-evaluation kernel: compute (or fetch from the sharded
-     * LRU cache) the per-cell HCfirst curve of victim_row under the
-     * given attack/conditions/pattern/trial. All other queries —
-     * berTest, rowHcFirst, the Tester's step search — consume this
-     * curve, so a key probed N times costs one O(cells) kernel pass
-     * instead of N.
+     * LRU cache, or load from the attached RowEvalStore) the per-cell
+     * HCfirst curve of victim_row under the given
+     * attack/conditions/pattern/trial. All other queries — berTest,
+     * rowHcFirst, the Tester's step search — consume this curve, so a
+     * key probed N times costs one O(cells) kernel pass instead of N.
      *
      * Thread-safe (the cache mirrors CellModel::cellsOfRow's sharded
-     * design) and deterministic: cached values are pure functions of
-     * the key, so hit/miss order cannot change any result.
+     * design) and deterministic: cached and stored values are pure
+     * functions of the key, so hit/miss order cannot change any
+     * result.
      */
     RowEvalPtr rowEval(unsigned victim_row, const HammerAttack &attack,
                        const Conditions &conditions,
@@ -213,30 +349,14 @@ class AnalyticEngine
     static constexpr std::size_t kEvalCacheShards = 16;
     static constexpr std::size_t kEvalCacheCapacity = 1024;
 
+    /** The cache key rowEval derives for its arguments (exposed so
+     *  persistence tiers and tests build byte-identical keys). */
+    static EvalKey makeEvalKey(unsigned victim_row,
+                               const HammerAttack &attack,
+                               const Conditions &conditions,
+                               const DataPattern &pattern, unsigned trial);
+
   private:
-    /**
-     * Full identity of a row evaluation. Compared for equality on
-     * every cache hit, so a 64-bit hash collision degrades to a miss
-     * instead of returning a wrong curve.
-     */
-    struct EvalKey
-    {
-        unsigned bank = 0;
-        unsigned victimRow = 0;
-        unsigned patternCenter = 0;
-        unsigned trial = 0;
-        PatternId patternId = PatternId::ColStripe;
-        //! Pattern seed, normalized to 0 for column-invariant patterns
-        //! (their bytes ignore the seed, so normalizing widens reuse).
-        std::uint64_t patternSeed = 0;
-        double temperature = 0.0;
-        double tAggOn = 0.0;
-        double tAggOff = 0.0;
-        std::vector<unsigned> aggressors;
-
-        bool operator==(const EvalKey &) const = default;
-    };
-
     /**
      * One LRU shard, mirroring CellModel::CacheShard: list front =
      * most recently used; the index maps the key hash to its list
@@ -265,6 +385,8 @@ class AnalyticEngine
                         const DataPattern &pattern, unsigned trial) const;
 
     const CellModel &model;
+    const std::size_t evalCapacity;
+    std::shared_ptr<RowEvalStore> evalStore;
     mutable std::array<EvalShard, kEvalCacheShards> evalShards;
 };
 

@@ -1,0 +1,217 @@
+#include "rhmodel/curve_io.hh"
+
+#include <bit>
+#include <cstring>
+#include <type_traits>
+
+#include "rhmodel/dimm.hh"
+#include "rhmodel/profile.hh"
+#include "util/hash.hh"
+
+namespace rhs::rhmodel::curve_io
+{
+
+namespace
+{
+
+static_assert(sizeof(dram::CellLocation) == 20,
+              "CellLocation layout is part of the record format");
+static_assert(std::is_trivially_copyable_v<dram::CellLocation>);
+
+constexpr std::size_t
+pad8(std::size_t n)
+{
+    return (n + 7) & ~std::size_t{7};
+}
+
+void
+appendRaw(std::vector<std::uint8_t> &out, const void *data,
+          std::size_t size)
+{
+    if (size == 0)
+        return;
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    out.insert(out.end(), bytes, bytes + size);
+}
+
+template <typename T>
+void
+append(std::vector<std::uint8_t> &out, T value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    appendRaw(out, &value, sizeof(value));
+}
+
+void
+appendPadding(std::vector<std::uint8_t> &out, std::size_t upto)
+{
+    out.resize(upto, 0);
+}
+
+} // namespace
+
+void
+encodeKey(const ModuleRef &module, const EvalKey &key,
+          std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    out.reserve(68 + 4 * key.aggressors.size());
+    append<std::uint32_t>(out, module.mfr);
+    append<std::uint32_t>(out, module.moduleIndex);
+    append<std::uint32_t>(out, module.subarrays);
+    append<std::uint32_t>(out, key.bank);
+    append<std::uint32_t>(out, key.victimRow);
+    append<std::uint32_t>(out, key.patternCenter);
+    append<std::uint32_t>(out, key.trial);
+    append<std::uint32_t>(out, static_cast<std::uint32_t>(key.patternId));
+    append<std::uint64_t>(out, key.patternSeed);
+    append<std::uint64_t>(out, std::bit_cast<std::uint64_t>(key.temperature));
+    append<std::uint64_t>(out, std::bit_cast<std::uint64_t>(key.tAggOn));
+    append<std::uint64_t>(out, std::bit_cast<std::uint64_t>(key.tAggOff));
+    append<std::uint32_t>(out,
+                          static_cast<std::uint32_t>(key.aggressors.size()));
+    for (const unsigned aggressor : key.aggressors)
+        append<std::uint32_t>(out, aggressor);
+}
+
+void
+encodeRecord(std::span<const std::uint8_t> key, const RowEval &eval,
+             std::vector<std::uint8_t> &out)
+{
+    const std::size_t n = eval.hcFirst.size();
+    RecordHeader header;
+    header.keyBytes = static_cast<std::uint32_t>(key.size());
+    header.cellCount = static_cast<std::uint32_t>(n);
+    header.vulnerableCells = eval.vulnerableCells;
+    header.minHcFirst = eval.minHcFirst;
+
+    out.clear();
+    const std::size_t body = sizeof(RecordHeader) + pad8(key.size()) +
+                             8 * n + pad8(20 * n);
+    out.reserve(body + 8);
+    append(out, header);
+    appendRaw(out, key.data(), key.size());
+    appendPadding(out, sizeof(RecordHeader) + pad8(key.size()));
+    appendRaw(out, eval.hcFirst.data(), 8 * n);
+    appendRaw(out, eval.loc.data(), 20 * n);
+    appendPadding(out, body);
+    append<std::uint64_t>(out, util::bytesHash64(out.data(), out.size()));
+}
+
+bool
+parseRecord(const std::uint8_t *data, std::size_t size, RecordView &view)
+{
+    if (data == nullptr || size < sizeof(RecordHeader) + 8)
+        return false;
+    RecordHeader header;
+    std::memcpy(&header, data, sizeof(header));
+    if (header.flags != 0)
+        return false;
+    const std::size_t key_end =
+        sizeof(RecordHeader) + pad8(header.keyBytes);
+    const std::size_t n = header.cellCount;
+    const std::size_t body = key_end + 8 * n + pad8(20 * n);
+    if (header.keyBytes == 0 || body + 8 != size)
+        return false;
+    const std::uint8_t *hc_bytes = data + key_end;
+    // A span<const double> view requires real 8-byte alignment; the
+    // snapshot writer and the spill buffer both provide it, so a
+    // misaligned pointer means the container is broken — miss.
+    if (reinterpret_cast<std::uintptr_t>(hc_bytes) % alignof(double) != 0)
+        return false;
+    view.key = {data + sizeof(RecordHeader), header.keyBytes};
+    view.hcFirst = {reinterpret_cast<const double *>(hc_bytes), n};
+    view.loc = {reinterpret_cast<const dram::CellLocation *>(
+                    hc_bytes + 8 * n),
+                n};
+    view.vulnerableCells = header.vulnerableCells;
+    view.minHcFirst = header.minHcFirst;
+    return true;
+}
+
+bool
+verifyRecordDigest(const std::uint8_t *data, std::size_t size)
+{
+    if (size < 8)
+        return false;
+    std::uint64_t stored;
+    std::memcpy(&stored, data + size - 8, 8);
+    return stored == util::bytesHash64(data, size - 8);
+}
+
+namespace
+{
+
+std::uint64_t
+hashProfile(std::uint64_t h, const ManufacturerProfile &profile)
+{
+    const auto mix = [&h](double v) {
+        h = util::hashCombine(h, std::bit_cast<std::uint64_t>(v));
+    };
+    h = util::hashCombine(h, static_cast<std::uint64_t>(profile.mfr));
+    h = util::hashCombine(
+        h, util::bytesHash64(profile.name.data(), profile.name.size()));
+    h = util::hashCombine(h,
+                          util::bytesHash64(profile.mappingScheme.data(),
+                                            profile.mappingScheme.size()));
+    mix(profile.targets.hcOnReduction);
+    mix(profile.targets.hcOffIncrease);
+    mix(profile.targets.berOnRatio);
+    mix(profile.targets.berOffRatio);
+    mix(profile.solveBerOnRatio);
+    mix(profile.solveBerOffRatio);
+    mix(profile.sigmaCap);
+    h = util::hashCombine(h, profile.tempMixture.size());
+    for (const auto &component : profile.tempMixture) {
+        mix(component.fraction);
+        mix(component.tinfMean);
+        mix(component.tinfSigma);
+        mix(component.widthMin);
+        mix(component.widthMax);
+        mix(component.sigmaScale);
+        mix(component.logMedianShift);
+    }
+    mix(profile.cellsPerRowMean);
+    mix(profile.rowSigma);
+    mix(profile.weakRowFraction);
+    mix(profile.weakRowFactor);
+    mix(profile.subarraySigma);
+    mix(profile.moduleSigma);
+    mix(profile.designMix);
+    mix(profile.designDeadFraction);
+    mix(profile.processDeadFraction);
+    mix(profile.columnSigma);
+    mix(profile.trialNoiseSigma);
+    mix(profile.distance1Damage);
+    mix(profile.distance2Damage);
+    mix(profile.dataFactorBase);
+    mix(profile.wCouple);
+    mix(profile.kOn);
+    mix(profile.cellSigma);
+    mix(profile.zBase);
+    mix(profile.hcMedianLog);
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+modelParamsFingerprint()
+{
+    // The format identity word seeds the chain so a fingerprint can
+    // never collide with a digest of unrelated bytes.
+    std::uint64_t h = util::splitMix64(0x52485353'4e415031ULL);
+    for (const auto mfr : allMfrs) {
+        h = hashProfile(h, profileFor(mfr));
+        h = util::hashCombine(
+            h, defaultChipCount(mfr, dram::Standard::DDR4));
+    }
+    const DimmOptions defaults;
+    h = util::hashTuple(h, static_cast<std::uint64_t>(defaults.standard),
+                        defaults.banks, defaults.subarraysPerBank,
+                        defaults.rowsPerSubarray, defaults.columnsPerRow,
+                        defaults.chips);
+    return h;
+}
+
+} // namespace rhs::rhmodel::curve_io

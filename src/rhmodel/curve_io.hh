@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Binary serialization of RowEval curves and their lookup keys — the
+ * record layer shared by the rhs-snap/1 snapshot format and the
+ * RowEval eviction spill file (src/snap).
+ *
+ * A stored curve is one self-describing *record*:
+ *
+ *   RecordHeader   24 B  {keyBytes, cellCount, vulnerableCells,
+ *                         flags, minHcFirst}
+ *   key            keyBytes, zero-padded to 8 B
+ *   hcFirst        cellCount * 8 B (f64, 8-byte aligned)
+ *   loc            cellCount * 20 B (dram::CellLocation, raw)
+ *   padding        to 8 B
+ *   digest         8 B (util::bytesHash64 over everything above)
+ *
+ * All integers are little-endian native; the container (snapshot file
+ * header) carries an endianness tag so a foreign-endian file is
+ * rejected instead of misread. Offsets are arranged so that when a
+ * record starts 8-byte aligned, the hcFirst array is 8-byte aligned
+ * in place — which is what lets the snapshot reader hand out
+ * std::span<const double> views straight into the mmap (zero copy).
+ *
+ * The key is the module-scoped EvalKey: ModuleRef (which simulated
+ * module) + every EvalKey field. Lookups compare full encoded key
+ * bytes, so a hash collision can never return a wrong curve, and the
+ * record digest is verified before a curve is served, so a flipped
+ * bit degrades to a miss (live recompute), never wrong data.
+ */
+
+#ifndef RHS_RHMODEL_CURVE_IO_HH
+#define RHS_RHMODEL_CURVE_IO_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rhmodel/analytic.hh"
+#include "rhmodel/mfr.hh"
+
+namespace rhs::rhmodel::curve_io
+{
+
+/** Identity of one simulated module (the key's global scope). */
+struct ModuleRef
+{
+    std::uint32_t mfr = 0;         //!< static_cast of rhmodel::Mfr.
+    std::uint32_t moduleIndex = 0; //!< Procedural-randomness seed.
+    std::uint32_t subarrays = 0;   //!< 0 = model-default geometry.
+
+    bool operator==(const ModuleRef &) const = default;
+};
+
+/** Fixed-size prefix of every record (see file comment for layout). */
+struct RecordHeader
+{
+    std::uint32_t keyBytes = 0;
+    std::uint32_t cellCount = 0;
+    std::uint32_t vulnerableCells = 0;
+    std::uint32_t flags = 0; //!< Reserved, must be 0 in rhs-snap/1.
+    double minHcFirst = 0.0;
+};
+static_assert(sizeof(RecordHeader) == 24);
+
+/** Zero-copy view into one parsed record. */
+struct RecordView
+{
+    std::span<const std::uint8_t> key;
+    std::span<const double> hcFirst;
+    std::span<const dram::CellLocation> loc;
+    unsigned vulnerableCells = 0;
+    double minHcFirst = 0.0;
+};
+
+/** Serialize the module-scoped key (replaces `out`). */
+void encodeKey(const ModuleRef &module, const EvalKey &key,
+               std::vector<std::uint8_t> &out);
+
+/** Serialize one full record, digest included (replaces `out`). */
+void encodeRecord(std::span<const std::uint8_t> key, const RowEval &eval,
+                  std::vector<std::uint8_t> &out);
+
+/**
+ * Parse a record in place. Validates structure (bounds, padding,
+ * alignment of the in-place f64 array) but NOT the digest — callers
+ * decide when to pay for verifyRecordDigest (the snapshot reader
+ * verifies once per record, the spill tier on every read).
+ *
+ * @return False when the bytes cannot be a well-formed record; the
+ *         caller treats that as a miss.
+ */
+bool parseRecord(const std::uint8_t *data, std::size_t size,
+                 RecordView &view);
+
+/** True when the record's trailing digest matches its contents. */
+bool verifyRecordDigest(const std::uint8_t *data, std::size_t size);
+
+/**
+ * Fingerprint of everything curve values depend on besides the key:
+ * all four calibrated manufacturer profiles (every field, mixture
+ * components included) and the default module geometry. A snapshot
+ * records it at build time; a reader rejects a file whose fingerprint
+ * differs — the model changed, so stored curves are stale.
+ */
+std::uint64_t modelParamsFingerprint();
+
+} // namespace rhs::rhmodel::curve_io
+
+#endif // RHS_RHMODEL_CURVE_IO_HH

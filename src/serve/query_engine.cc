@@ -7,6 +7,10 @@
 #include "core/tester.hh"
 #include "rhmodel/pattern.hh"
 #include "serve/protocol.hh"
+#include "snap/reader.hh"
+#include "snap/spill.hh"
+#include "snap/store.hh"
+#include "util/logging.hh"
 
 namespace rhs::serve
 {
@@ -127,6 +131,41 @@ victimRowParam(const report::Json &request, const std::string &name,
 }
 
 } // namespace
+
+QueryEngine::QueryEngine() : QueryEngine(EngineOptions{}) {}
+
+QueryEngine::QueryEngine(const EngineOptions &options)
+{
+    snap::StoreFactory factory;
+    if (!options.snapshotIn.empty()) {
+        std::string error;
+        if (auto reader = snap::Reader::open(options.snapshotIn, error)) {
+            util::inform("warm start: snapshot ", options.snapshotIn,
+                         " (", reader->header().recordCount,
+                         " curves, built at git ",
+                         reader->header().git, ")");
+            factory.attachReader(std::move(reader));
+        } else {
+            util::warn("snapshot ", options.snapshotIn, ": ", error,
+                       "; serving from live computation");
+        }
+    }
+    if (!options.spillFile.empty()) {
+        std::string error;
+        if (auto spill = snap::SpillTier::create(
+                options.spillFile, options.spillMaxBytes, error))
+            factory.attachSpill(std::move(spill));
+        else
+            util::warn(error, "; evictions will not be spilled");
+    }
+    if (factory.any())
+        fleet.setStoreProvider(
+            [factory](rhmodel::Mfr mfr, unsigned module_index,
+                      unsigned subarrays_per_bank) {
+                return factory.storeFor(mfr, module_index,
+                                        subarrays_per_bank);
+            });
+}
 
 bool
 QueryEngine::isEngineOp(const std::string &op)

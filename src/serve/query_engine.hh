@@ -26,6 +26,7 @@
 #ifndef RHS_SERVE_QUERY_ENGINE_HH
 #define RHS_SERVE_QUERY_ENGINE_HH
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 
@@ -43,6 +44,22 @@ class QueryEngine
     static constexpr unsigned kMaxSliceRows = 512;
     /** Cap on a worst_pattern sample (each row scans 7 patterns). */
     static constexpr unsigned kMaxWcdpRows = 64;
+
+    /**
+     * Optional persistence tiers (see src/snap). All best-effort: a
+     * snapshot that fails to open or a spill file that cannot be
+     * created logs one warning and the engine serves everything from
+     * live computation, exactly as with no options at all.
+     */
+    struct EngineOptions
+    {
+        std::string snapshotIn; //!< rhs-snap/1 file to warm-start from.
+        std::string spillFile;  //!< RowEval eviction spill file.
+        std::uint64_t spillMaxBytes = 256ull << 20;
+    };
+
+    QueryEngine();
+    explicit QueryEngine(const EngineOptions &options);
 
     /** True when `op` is executed here (vs served inline). */
     static bool isEngineOp(const std::string &op);

@@ -25,12 +25,14 @@
 #include <unistd.h>
 
 #include "obs/export.hh"
+#include "obs/metrics.hh"
 #include "report/writer.hh"
 #include "rhmodel/kernel.hh"
 #include "serve/server.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
+#include "util/version.hh"
 
 namespace
 {
@@ -56,7 +58,9 @@ main(int argc, char **argv)
 {
     const util::Cli cli(argc, argv,
                         {"host", "port", "queue", "batch", "max-conns",
-                         "jobs", "log", "trace-out", "simd", "help"});
+                         "jobs", "log", "trace-out", "simd",
+                         "snapshot-in", "spill-file", "spill-max-mb",
+                         "help"});
     if (cli.has("help")) {
         std::printf(
             "usage: rhs-serve [--host H] [--port P] [--queue N] "
@@ -65,11 +69,19 @@ main(int argc, char **argv)
             "[--log silent|warn|info|debug]\n"
             "                 [--trace-out FILE]  "
             "[--simd scalar|avx2|avx512|neon|auto]\n"
+            "                 [--snapshot-in FILE] [--spill-file FILE] "
+            "[--spill-max-mb N]\n"
             "--trace-out writes the retained obs spans as a Chrome\n"
             "trace-event JSON file on shutdown (chrome://tracing).\n"
             "--simd pins the row-evaluation kernel variant (default:\n"
             "the RHS_SIMD environment variable, else the best the CPU\n"
-            "supports); the choice shows up in the stats snapshot.\n");
+            "supports); the choice shows up in the stats snapshot.\n"
+            "--snapshot-in warm-starts the engine from an rhs-snap/1\n"
+            "file written by rhs-bench --snapshot-out; an unreadable\n"
+            "or mismatched snapshot logs one warning and the server\n"
+            "computes live. --spill-file spills RowEval cache\n"
+            "evictions to a bounded scratch file (default cap 256\n"
+            "MiB; override with --spill-max-mb).\n");
         return 0;
     }
 
@@ -104,6 +116,13 @@ main(int argc, char **argv)
     config.batchMax = static_cast<unsigned>(cli.getInt("batch", 16));
     config.maxConnections =
         static_cast<unsigned>(cli.getInt("max-conns", 128));
+    config.engine.snapshotIn = cli.get("snapshot-in", "");
+    config.engine.spillFile = cli.get("spill-file", "");
+    config.engine.spillMaxBytes =
+        static_cast<std::uint64_t>(cli.getInt("spill-max-mb", 256))
+        << 20;
+
+    obs::Registry::global().info("build.git").set(util::gitDescribe());
 
     serve::Server server(config);
     server.start();

@@ -22,7 +22,8 @@ Server::Connection::~Connection()
         ::close(fd);
 }
 
-Server::Server(ServerConfig config) : config(std::move(config))
+Server::Server(ServerConfig config)
+    : config(std::move(config)), engine(this->config.engine)
 {
     RHS_ASSERT(this->config.queueCapacity > 0,
                "queueCapacity must be positive");

@@ -61,6 +61,8 @@ struct ServerConfig
     //! Artificial stall before each batch executes (test hook: makes
     //! the backpressure and deadline paths deterministic to exercise).
     unsigned serviceDelayUs = 0;
+    //! Snapshot / spill tiers for the engine (see src/snap).
+    QueryEngine::EngineOptions engine;
 };
 
 /** Monotonic counter snapshot returned by stats(). */

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The rhs-snap/1 on-disk container format.
+ *
+ * A snapshot persists precomputed RowEval curves (the FleetCache /
+ * rowEval results) so a fresh process warm-starts by mmapping one
+ * file instead of re-running the model. Layout (all offsets from the
+ * start of the file):
+ *
+ *   [0, 4096)            FileHeader, zero-padded to one page
+ *   [indexOffset, +indexBytes)   IndexEntry[recordCount], sorted
+ *   [pagesOffset, +pagesBytes)   curve records (curve_io layout),
+ *                                each 64-byte aligned
+ *
+ * Every section is page-aligned so the kernel can fault it in
+ * lazily, and records are 64-byte aligned so the in-place f64 curve
+ * arrays can be served as std::span<const double> with zero copy.
+ *
+ * Integrity is layered:
+ *  - headerDigest (over the header with the field zeroed) and
+ *    indexDigest are verified at open() — cheap, and they protect
+ *    every offset the reader will ever trust;
+ *  - each record carries its own digest, verified once on first
+ *    access (lazy: opening a 10 GB snapshot stays milliseconds);
+ *  - pagesDigest/fileDigest cover the full sections for explicit
+ *    whole-file audits (Reader::verifyDeep).
+ *
+ * Compatibility: `magic` + `version` gate the envelope, `endianTag`
+ * rejects foreign-endian files, and `fingerprint`
+ * (curve_io::modelParamsFingerprint) rejects snapshots built by a
+ * model whose parameters have since changed. Any mismatch fails
+ * open() — the caller logs one warning and computes live.
+ */
+
+#ifndef RHS_SNAP_FORMAT_HH
+#define RHS_SNAP_FORMAT_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace rhs::snap
+{
+
+/** File magic: "RHSSNAP1". */
+inline constexpr char kMagic[8] = {'R', 'H', 'S', 'S', 'N', 'A', 'P', '1'};
+
+/** Envelope revision (the "1" in rhs-snap/1). */
+inline constexpr std::uint32_t kVersion = 1;
+
+/** Written natively; reads as 0x0807060504030201 on a foreign-endian
+ *  host, which open() rejects. */
+inline constexpr std::uint64_t kEndianTag = 0x0102030405060708ULL;
+
+/** Section alignment (header page size). */
+inline constexpr std::size_t kPageSize = 4096;
+
+/** Record alignment inside the pages section. */
+inline constexpr std::size_t kRecordAlign = 64;
+
+/** Fixed file header (one per snapshot, padded to kPageSize). */
+struct FileHeader
+{
+    char magic[8] = {};
+    std::uint32_t version = 0;
+    std::uint32_t headerBytes = 0; //!< sizeof(FileHeader).
+    std::uint64_t endianTag = 0;
+    std::uint64_t fingerprint = 0; //!< Model-parameter fingerprint.
+    std::uint64_t recordCount = 0;
+    std::uint64_t indexOffset = 0;
+    std::uint64_t indexBytes = 0;
+    std::uint64_t pagesOffset = 0;
+    std::uint64_t pagesBytes = 0;
+    std::uint64_t indexDigest = 0; //!< Over the index section.
+    std::uint64_t pagesDigest = 0; //!< Over the pages section.
+    std::uint64_t fileDigest = 0;  //!< Over [indexOffset, EOF).
+    char git[48] = {};             //!< Builder's git describe (NUL-padded).
+    std::uint64_t headerDigest = 0; //!< Over this struct, field zeroed.
+};
+static_assert(sizeof(FileHeader) == 152);
+
+/**
+ * One index entry: the key's 64-bit hash, and where its record lives
+ * in the pages section. Sorted by (hash, key bytes); lookups binary
+ * search the hash and resolve collisions by comparing full key bytes
+ * in the record, so a wrong curve can never be returned.
+ */
+struct IndexEntry
+{
+    std::uint64_t hash = 0;
+    std::uint64_t offset = 0; //!< Relative to pagesOffset.
+    std::uint32_t bytes = 0;  //!< Whole record, digest included.
+    std::uint32_t reserved = 0;
+};
+static_assert(sizeof(IndexEntry) == 24);
+
+/** Round `n` up to `align` (a power of two). */
+constexpr std::size_t
+alignUp(std::size_t n, std::size_t align)
+{
+    return (n + align - 1) & ~(align - 1);
+}
+
+} // namespace rhs::snap
+
+#endif // RHS_SNAP_FORMAT_HH

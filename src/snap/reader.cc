@@ -1,0 +1,215 @@
+#include "snap/reader.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.hh"
+#include "rhmodel/curve_io.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace rhs::snap
+{
+
+namespace
+{
+
+struct ReaderMetrics
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &corrupt;
+
+    ReaderMetrics()
+        : hits(obs::Registry::global().counter("snap.reader.hits")),
+          misses(obs::Registry::global().counter("snap.reader.misses")),
+          corrupt(obs::Registry::global().counter("snap.reader.corrupt"))
+    {
+    }
+
+    static ReaderMetrics &
+    get()
+    {
+        static ReaderMetrics metrics;
+        return metrics;
+    }
+};
+
+} // namespace
+
+std::shared_ptr<Reader>
+Reader::open(const std::string &path, std::string &error)
+{
+    // Private ctor: construct directly, not via make_shared.
+    std::shared_ptr<Reader> reader(new Reader);
+    if (!reader->file.open(path, error))
+        return nullptr;
+
+    const std::uint8_t *base = reader->base();
+    const std::size_t size = reader->file.size();
+    if (size < sizeof(FileHeader)) {
+        error = "file too small for an rhs-snap header";
+        return nullptr;
+    }
+    FileHeader &header = reader->fileHeader;
+    std::memcpy(&header, base, sizeof(header));
+
+    if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+        error = "bad magic (not an rhs-snap file)";
+        return nullptr;
+    }
+    if (header.version != kVersion) {
+        error = "unsupported snapshot version " +
+                std::to_string(header.version) + " (expected " +
+                std::to_string(kVersion) + ")";
+        return nullptr;
+    }
+    if (header.endianTag != kEndianTag) {
+        error = "endianness mismatch (snapshot written on a "
+                "foreign-endian host)";
+        return nullptr;
+    }
+    if (header.headerBytes != sizeof(FileHeader)) {
+        error = "header size mismatch";
+        return nullptr;
+    }
+    FileHeader unsigned_header = header;
+    unsigned_header.headerDigest = 0;
+    if (util::bytesHash64(&unsigned_header, sizeof(unsigned_header)) !=
+        header.headerDigest) {
+        error = "header digest mismatch (corrupt header)";
+        return nullptr;
+    }
+    const std::uint64_t expected_fingerprint =
+        rhmodel::curve_io::modelParamsFingerprint();
+    if (header.fingerprint != expected_fingerprint) {
+        error = "model fingerprint mismatch (snapshot built against "
+                "different model parameters)";
+        return nullptr;
+    }
+    if (header.indexBytes != header.recordCount * sizeof(IndexEntry)) {
+        error = "index size does not match record count";
+        return nullptr;
+    }
+    if (header.indexOffset < sizeof(FileHeader) ||
+        header.indexOffset % alignof(IndexEntry) != 0 ||
+        header.indexOffset + header.indexBytes > size ||
+        header.pagesOffset < header.indexOffset + header.indexBytes ||
+        header.pagesOffset % kPageSize != 0 ||
+        header.pagesOffset + header.pagesBytes > size) {
+        error = "section bounds exceed the file";
+        return nullptr;
+    }
+    if (util::bytesHash64(base + header.indexOffset, header.indexBytes) !=
+        header.indexDigest) {
+        error = "index digest mismatch (corrupt index)";
+        return nullptr;
+    }
+
+    reader->verifiedBits = std::vector<std::atomic<std::uint64_t>>(
+        (header.recordCount + 63) / 64);
+    return reader;
+}
+
+const std::uint8_t *
+Reader::base() const
+{
+    return static_cast<const std::uint8_t *>(file.data());
+}
+
+const IndexEntry *
+Reader::index() const
+{
+    return reinterpret_cast<const IndexEntry *>(base() +
+                                                fileHeader.indexOffset);
+}
+
+bool
+Reader::verified(std::size_t entry_index, const std::uint8_t *record,
+                 std::size_t bytes)
+{
+    const std::uint64_t mask = std::uint64_t{1} << (entry_index % 64);
+    std::atomic<std::uint64_t> &word = verifiedBits[entry_index / 64];
+    if (word.load(std::memory_order_acquire) & mask)
+        return true;
+    if (!rhmodel::curve_io::verifyRecordDigest(record, bytes)) {
+        corruptCount.fetch_add(1, std::memory_order_relaxed);
+        ReaderMetrics::get().corrupt.add();
+        if (!warnedCorrupt.exchange(true))
+            util::warn("snapshot record failed its digest check; "
+                       "serving that curve from live computation");
+        return false;
+    }
+    word.fetch_or(mask, std::memory_order_release);
+    return true;
+}
+
+rhmodel::RowEvalPtr
+Reader::lookup(std::span<const std::uint8_t> key)
+{
+    const std::uint64_t hash = util::bytesHash64(key.data(), key.size());
+    const IndexEntry *begin = index();
+    const IndexEntry *end = begin + fileHeader.recordCount;
+    const IndexEntry *lo = std::lower_bound(
+        begin, end, hash,
+        [](const IndexEntry &e, std::uint64_t h) { return e.hash < h; });
+
+    for (const IndexEntry *entry = lo;
+         entry != end && entry->hash == hash; ++entry) {
+        if (entry->offset + entry->bytes > fileHeader.pagesBytes ||
+            entry->offset % kRecordAlign != 0)
+            continue;
+        const std::uint8_t *record =
+            base() + fileHeader.pagesOffset + entry->offset;
+        rhmodel::curve_io::RecordView view;
+        if (!rhmodel::curve_io::parseRecord(record, entry->bytes, view))
+            continue;
+        if (view.key.size() != key.size() ||
+            std::memcmp(view.key.data(), key.data(), key.size()) != 0)
+            continue; // Hash collision: not our key.
+        if (!verified(static_cast<std::size_t>(entry - begin), record,
+                      entry->bytes))
+            break; // Corrupt record: fall back to live computation.
+
+        auto eval = std::make_shared<rhmodel::RowEval>();
+        eval->view(view.hcFirst, view.loc, shared_from_this());
+        eval->vulnerableCells = view.vulnerableCells;
+        eval->minHcFirst = view.minHcFirst;
+        hitCount.fetch_add(1, std::memory_order_relaxed);
+        ReaderMetrics::get().hits.add();
+        return eval;
+    }
+    missCount.fetch_add(1, std::memory_order_relaxed);
+    ReaderMetrics::get().misses.add();
+    return nullptr;
+}
+
+bool
+Reader::verifyDeep(std::string &error) const
+{
+    const std::uint8_t *b = base();
+    if (util::bytesHash64(b + fileHeader.pagesOffset,
+                          fileHeader.pagesBytes) != fileHeader.pagesDigest) {
+        error = "pages digest mismatch";
+        return false;
+    }
+    if (util::bytesHash64(b + fileHeader.indexOffset,
+                          file.size() - fileHeader.indexOffset) !=
+        fileHeader.fileDigest) {
+        error = "file digest mismatch";
+        return false;
+    }
+    const IndexEntry *entries = index();
+    for (std::uint64_t i = 0; i < fileHeader.recordCount; ++i) {
+        const IndexEntry &entry = entries[i];
+        if (entry.offset + entry.bytes > fileHeader.pagesBytes ||
+            !rhmodel::curve_io::verifyRecordDigest(
+                b + fileHeader.pagesOffset + entry.offset, entry.bytes)) {
+            error = "record " + std::to_string(i) + " digest mismatch";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace rhs::snap

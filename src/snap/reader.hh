@@ -1,0 +1,97 @@
+/**
+ * @file
+ * rhs-snap/1 snapshot reader: mmap the file once, then serve curve
+ * lookups with zero copy.
+ *
+ * open() validates the envelope up front — magic, version, endian
+ * tag, model fingerprint, header digest, section bounds, and the
+ * index digest — so every offset a lookup will ever trust is covered
+ * before the first query. Record payloads are verified lazily: each
+ * record's digest is checked once, on first access, and the result is
+ * remembered in an atomic bitmap, so opening a huge snapshot stays
+ * cheap and steady-state lookups pay no hashing at all.
+ *
+ * A lookup binary-searches the index by key hash, then compares the
+ * full encoded key bytes inside the candidate record — a hash
+ * collision is a miss, never a wrong curve. Served curves are
+ * RowEval views whose spans point straight into the mapping; each
+ * holds the Reader alive via shared_ptr, so the mapping outlives
+ * every curve handed out.
+ *
+ * Failure policy (the snapshot is an accelerator, not a source of
+ * truth): any validation failure — at open or per record — degrades
+ * to a miss and the caller computes live. Corrupt records bump
+ * `snap.reader.corrupt` and log one warning per reader.
+ */
+
+#ifndef RHS_SNAP_READER_HH
+#define RHS_SNAP_READER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rhmodel/analytic.hh"
+#include "snap/format.hh"
+#include "util/mmap_file.hh"
+
+namespace rhs::snap
+{
+
+class Reader : public std::enable_shared_from_this<Reader>
+{
+  public:
+    /**
+     * Map and validate a snapshot. Returns nullptr (with `error`
+     * explaining why) on I/O failure or any envelope mismatch.
+     */
+    static std::shared_ptr<Reader> open(const std::string &path,
+                                        std::string &error);
+
+    /**
+     * Look up one curve by its encoded key (curve_io::encodeKey).
+     * Returns a zero-copy RowEval view, or nullptr on miss or on a
+     * record that fails its digest. Thread-safe.
+     */
+    rhmodel::RowEvalPtr lookup(std::span<const std::uint8_t> key);
+
+    /**
+     * Re-verify the whole file: pages digest, file digest, and every
+     * record digest. Used by audits and the corruption tests; normal
+     * serving relies on the lazy per-record checks instead.
+     */
+    bool verifyDeep(std::string &error) const;
+
+    const FileHeader &header() const { return fileHeader; }
+    std::uint64_t hits() const { return hitCount.load(); }
+    std::uint64_t misses() const { return missCount.load(); }
+    std::uint64_t corrupt() const { return corruptCount.load(); }
+
+    Reader(const Reader &) = delete;
+    Reader &operator=(const Reader &) = delete;
+
+  private:
+    Reader() = default;
+
+    const std::uint8_t *base() const;
+    const IndexEntry *index() const;
+    /** Digest-check a record the first time it is touched. */
+    bool verified(std::size_t entry_index, const std::uint8_t *record,
+                  std::size_t bytes);
+
+    util::MappedFile file;
+    FileHeader fileHeader;
+    /** One bit per record: set once its digest has checked out. */
+    std::vector<std::atomic<std::uint64_t>> verifiedBits;
+    std::atomic<std::uint64_t> hitCount{0};
+    std::atomic<std::uint64_t> missCount{0};
+    std::atomic<std::uint64_t> corruptCount{0};
+    std::atomic<bool> warnedCorrupt{false};
+};
+
+} // namespace rhs::snap
+
+#endif // RHS_SNAP_READER_HH

@@ -1,0 +1,216 @@
+#include "snap/spill.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace rhs::snap
+{
+
+namespace
+{
+
+struct SpillMetrics
+{
+    obs::Counter &stores;
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &dropped;
+    obs::Counter &corrupt;
+
+    SpillMetrics()
+        : stores(obs::Registry::global().counter("snap.spill.stores")),
+          hits(obs::Registry::global().counter("snap.spill.hits")),
+          misses(obs::Registry::global().counter("snap.spill.misses")),
+          dropped(obs::Registry::global().counter("snap.spill.dropped")),
+          corrupt(obs::Registry::global().counter("snap.spill.corrupt"))
+    {
+    }
+
+    static SpillMetrics &
+    get()
+    {
+        static SpillMetrics metrics;
+        return metrics;
+    }
+};
+
+constexpr std::uint64_t
+alignUp8(std::uint64_t n)
+{
+    return (n + 7) & ~std::uint64_t{7};
+}
+
+} // namespace
+
+std::shared_ptr<SpillTier>
+SpillTier::create(const std::string &path, std::uint64_t max_bytes,
+                  std::string &error)
+{
+    const int fd = ::open(path.c_str(),
+                          O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        error = "cannot create spill file " + path + ": " +
+                std::strerror(errno);
+        return nullptr;
+    }
+    return std::shared_ptr<SpillTier>(
+        new SpillTier(fd, path, max_bytes));
+}
+
+SpillTier::SpillTier(int fd, std::string path, std::uint64_t max_bytes)
+    : fd(fd), path(std::move(path)), maxBytes(max_bytes)
+{
+}
+
+SpillTier::~SpillTier()
+{
+    ::close(fd);
+}
+
+std::uint64_t
+SpillTier::bytesUsed() const
+{
+    const std::lock_guard lock(mutex);
+    return nextOffset;
+}
+
+bool
+SpillTier::store(std::span<const std::uint8_t> key,
+                 const rhmodel::RowEval &eval)
+{
+    thread_local std::vector<std::uint8_t> record;
+    rhmodel::curve_io::encodeRecord(key, eval, record);
+    const std::uint64_t hash = util::bytesHash64(key.data(), key.size());
+
+    Slot slot;
+    {
+        const std::lock_guard lock(mutex);
+        // Same key evicted again after a reload: the first spilled
+        // copy already serves it, and records are immutable.
+        if (const auto it = slots.find(hash); it != slots.end()) {
+            thread_local std::vector<std::uint8_t> probe;
+            rhmodel::curve_io::RecordView view;
+            for (const Slot &existing : it->second)
+                if (readSlot(existing, probe, view) &&
+                    view.key.size() == key.size() &&
+                    std::memcmp(view.key.data(), key.data(),
+                                key.size()) == 0)
+                    return false;
+        }
+        const std::uint64_t offset = alignUp8(nextOffset);
+        if (offset + record.size() > maxBytes) {
+            droppedCount.fetch_add(1, std::memory_order_relaxed);
+            SpillMetrics::get().dropped.add();
+            if (!warnedFull.exchange(true))
+                util::warn("spill file ", path, " reached its ",
+                           maxBytes, "-byte cap; further evictions "
+                           "will be recomputed on demand");
+            return false;
+        }
+        slot = {offset, static_cast<std::uint32_t>(record.size())};
+        nextOffset = offset + record.size();
+    }
+
+    // Write outside the lock; the slot's byte range is reserved, and
+    // the index entry is only published once the bytes are durable,
+    // so a concurrent load can never read a half-written record.
+    std::size_t written = 0;
+    while (written < record.size()) {
+        const ssize_t n = ::pwrite(
+            fd, record.data() + written, record.size() - written,
+            static_cast<off_t>(slot.offset + written));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            droppedCount.fetch_add(1, std::memory_order_relaxed);
+            SpillMetrics::get().dropped.add();
+            if (!warnedFull.exchange(true))
+                util::warn("spill write to ", path,
+                           " failed: ", std::strerror(errno));
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+
+    {
+        const std::lock_guard lock(mutex);
+        slots[hash].push_back(slot);
+    }
+    storeCount.fetch_add(1, std::memory_order_relaxed);
+    SpillMetrics::get().stores.add();
+    return true;
+}
+
+bool
+SpillTier::readSlot(const Slot &slot, std::vector<std::uint8_t> &buffer,
+                    rhmodel::curve_io::RecordView &view)
+{
+    buffer.resize(slot.bytes);
+    std::size_t done = 0;
+    while (done < slot.bytes) {
+        const ssize_t n =
+            ::pread(fd, buffer.data() + done, slot.bytes - done,
+                    static_cast<off_t>(slot.offset + done));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        done += static_cast<std::size_t>(n);
+    }
+    // The spill is cheap scratch, so unlike the snapshot's
+    // verify-once bitmap the digest is checked on every read.
+    if (!rhmodel::curve_io::verifyRecordDigest(buffer.data(),
+                                               buffer.size()))
+        return false;
+    return rhmodel::curve_io::parseRecord(buffer.data(), buffer.size(),
+                                          view);
+}
+
+rhmodel::RowEvalPtr
+SpillTier::load(std::span<const std::uint8_t> key)
+{
+    const std::uint64_t hash = util::bytesHash64(key.data(), key.size());
+    std::vector<Slot> candidates;
+    {
+        const std::lock_guard lock(mutex);
+        if (const auto it = slots.find(hash); it != slots.end())
+            candidates = it->second;
+    }
+
+    thread_local std::vector<std::uint8_t> buffer;
+    for (const Slot &slot : candidates) {
+        rhmodel::curve_io::RecordView view;
+        if (!readSlot(slot, buffer, view)) {
+            corruptCount.fetch_add(1, std::memory_order_relaxed);
+            SpillMetrics::get().corrupt.add();
+            if (!warnedCorrupt.exchange(true))
+                util::warn("spilled curve in ", path,
+                           " failed verification; recomputing live");
+            continue;
+        }
+        if (view.key.size() != key.size() ||
+            std::memcmp(view.key.data(), key.data(), key.size()) != 0)
+            continue; // Hash collision: not our key.
+
+        auto eval = std::make_shared<rhmodel::RowEval>();
+        eval->adopt({view.hcFirst.begin(), view.hcFirst.end()},
+                    {view.loc.begin(), view.loc.end()});
+        eval->vulnerableCells = view.vulnerableCells;
+        eval->minHcFirst = view.minHcFirst;
+        hitCount.fetch_add(1, std::memory_order_relaxed);
+        SpillMetrics::get().hits.add();
+        return eval;
+    }
+    missCount.fetch_add(1, std::memory_order_relaxed);
+    SpillMetrics::get().misses.add();
+    return nullptr;
+}
+
+} // namespace rhs::snap

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Disk spill tier for the RowEval caches.
+ *
+ * When the sharded in-memory LRU evicts a curve, the spill tier
+ * appends its encoded record (curve_io layout, digest included) to a
+ * single bounded file; a later miss on the same key reads it back
+ * instead of re-running the model. The file is process-private scratch
+ * — truncated at open, indexed only in memory — so there is no
+ * cross-process reuse and nothing to invalidate.
+ *
+ * Size is bounded by `maxBytes`: once the next record would not fit,
+ * it is dropped (counted in `snap.spill.dropped`) — the spill is a
+ * best-effort second tier, never an obligation.
+ *
+ * Trust model matches the snapshot reader: every read-back verifies
+ * the record digest and compares full key bytes; a mismatch degrades
+ * to a miss (live recompute) with one warning. Unlike snapshot
+ * lookups, spilled curves are decoded into owned vectors — the file
+ * is written with plain pwrite and not mapped, so there is nothing to
+ * hold a zero-copy view on.
+ */
+
+#ifndef RHS_SNAP_SPILL_HH
+#define RHS_SNAP_SPILL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rhmodel/analytic.hh"
+#include "rhmodel/curve_io.hh"
+
+namespace rhs::snap
+{
+
+class SpillTier
+{
+  public:
+    /** Create (truncate) the spill file; nullptr + `error` on failure. */
+    static std::shared_ptr<SpillTier> create(const std::string &path,
+                                             std::uint64_t max_bytes,
+                                             std::string &error);
+    ~SpillTier();
+
+    /**
+     * Persist one evicted curve. Returns false when the record was
+     * dropped (file full) or already spilled. Thread-safe.
+     */
+    bool store(std::span<const std::uint8_t> key,
+               const rhmodel::RowEval &eval);
+
+    /** Read a spilled curve back (owned copy), or nullptr. */
+    rhmodel::RowEvalPtr load(std::span<const std::uint8_t> key);
+
+    std::uint64_t stores() const { return storeCount.load(); }
+    std::uint64_t hits() const { return hitCount.load(); }
+    std::uint64_t misses() const { return missCount.load(); }
+    std::uint64_t dropped() const { return droppedCount.load(); }
+    std::uint64_t corrupt() const { return corruptCount.load(); }
+    std::uint64_t bytesUsed() const;
+
+    SpillTier(const SpillTier &) = delete;
+    SpillTier &operator=(const SpillTier &) = delete;
+
+  private:
+    SpillTier(int fd, std::string path, std::uint64_t max_bytes);
+
+    struct Slot
+    {
+        std::uint64_t offset;
+        std::uint32_t bytes;
+    };
+
+    /** pread the slot and parse it; false on any I/O/format failure. */
+    bool readSlot(const Slot &slot, std::vector<std::uint8_t> &buffer,
+                  rhmodel::curve_io::RecordView &view);
+
+    const int fd;
+    const std::string path;
+    const std::uint64_t maxBytes;
+
+    mutable std::mutex mutex;
+    /** Key hash -> slots (collisions resolved by key-byte compare). */
+    std::unordered_map<std::uint64_t, std::vector<Slot>> slots;
+    std::uint64_t nextOffset = 0;
+
+    std::atomic<std::uint64_t> storeCount{0};
+    std::atomic<std::uint64_t> hitCount{0};
+    std::atomic<std::uint64_t> missCount{0};
+    std::atomic<std::uint64_t> droppedCount{0};
+    std::atomic<std::uint64_t> corruptCount{0};
+    std::atomic<bool> warnedCorrupt{false};
+    std::atomic<bool> warnedFull{false};
+};
+
+} // namespace rhs::snap
+
+#endif // RHS_SNAP_SPILL_HH

@@ -1,0 +1,74 @@
+#include "snap/store.hh"
+
+#include <vector>
+
+namespace rhs::snap
+{
+
+namespace
+{
+
+/** Per-thread scratch for the encoded module-scoped key. */
+std::vector<std::uint8_t> &
+encodedKey(const rhmodel::curve_io::ModuleRef &module,
+           const rhmodel::EvalKey &key)
+{
+    thread_local std::vector<std::uint8_t> buffer;
+    rhmodel::curve_io::encodeKey(module, key, buffer);
+    return buffer;
+}
+
+} // namespace
+
+ModuleStore::ModuleStore(rhmodel::curve_io::ModuleRef module,
+                         std::shared_ptr<Reader> reader,
+                         std::shared_ptr<Builder> builder,
+                         std::shared_ptr<SpillTier> spill)
+    : module(module), reader(std::move(reader)),
+      builder(std::move(builder)), spill(std::move(spill))
+{
+}
+
+rhmodel::RowEvalPtr
+ModuleStore::load(const rhmodel::EvalKey &key)
+{
+    const auto &encoded = encodedKey(module, key);
+    if (reader)
+        if (auto eval = reader->lookup(encoded))
+            return eval;
+    if (spill)
+        if (auto eval = spill->load(encoded))
+            return eval;
+    return nullptr;
+}
+
+void
+ModuleStore::computed(const rhmodel::EvalKey &key,
+                      const rhmodel::RowEvalPtr &eval)
+{
+    if (builder && eval)
+        builder->add(encodedKey(module, key), *eval);
+}
+
+void
+ModuleStore::evicted(const rhmodel::EvalKey &key,
+                     const rhmodel::RowEvalPtr &eval)
+{
+    if (spill && eval)
+        spill->store(encodedKey(module, key), *eval);
+}
+
+std::shared_ptr<rhmodel::RowEvalStore>
+StoreFactory::storeFor(rhmodel::Mfr mfr, unsigned module_index,
+                       unsigned subarrays_per_bank) const
+{
+    if (!any())
+        return nullptr;
+    rhmodel::curve_io::ModuleRef module;
+    module.mfr = static_cast<std::uint32_t>(mfr);
+    module.moduleIndex = module_index;
+    module.subarrays = subarrays_per_bank;
+    return std::make_shared<ModuleStore>(module, reader, builder, spill);
+}
+
+} // namespace rhs::snap

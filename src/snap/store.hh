@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Glue between the engine-side RowEvalStore hook (rhmodel) and the
+ * snapshot tiers (snap).
+ *
+ * The AnalyticEngine knows nothing about files: it calls an abstract
+ * RowEvalStore with module-local EvalKeys. The snapshot file and the
+ * spill tier are shared across the whole fleet and key curves by the
+ * *module-scoped* encoded key (curve_io::encodeKey). A ModuleStore is
+ * the per-module adapter that closes that gap — it carries the
+ * ModuleRef, prepends it to every key, and fans out to whichever
+ * tiers are attached:
+ *
+ *   load():     snapshot reader first, then the spill tier;
+ *   computed(): feeds the snapshot Builder (when one is collecting);
+ *   evicted():  feeds the spill tier.
+ *
+ * A StoreFactory owns the shared tiers and hands out ModuleStores.
+ * It is what rhs-bench / rhs-serve plug into
+ * FleetCache::setStoreProvider — keeping the dependency one-way
+ * (snap knows rhmodel; exp and serve know snap; rhmodel knows
+ * neither).
+ */
+
+#ifndef RHS_SNAP_STORE_HH
+#define RHS_SNAP_STORE_HH
+
+#include <memory>
+
+#include "rhmodel/analytic.hh"
+#include "rhmodel/curve_io.hh"
+#include "snap/reader.hh"
+#include "snap/spill.hh"
+#include "snap/writer.hh"
+
+namespace rhs::snap
+{
+
+/** Per-module RowEvalStore over the shared snapshot/spill tiers. */
+class ModuleStore : public rhmodel::RowEvalStore
+{
+  public:
+    ModuleStore(rhmodel::curve_io::ModuleRef module,
+                std::shared_ptr<Reader> reader,
+                std::shared_ptr<Builder> builder,
+                std::shared_ptr<SpillTier> spill);
+
+    rhmodel::RowEvalPtr load(const rhmodel::EvalKey &key) override;
+    void computed(const rhmodel::EvalKey &key,
+                  const rhmodel::RowEvalPtr &eval) override;
+    void evicted(const rhmodel::EvalKey &key,
+                 const rhmodel::RowEvalPtr &eval) override;
+
+  private:
+    const rhmodel::curve_io::ModuleRef module;
+    const std::shared_ptr<Reader> reader;
+    const std::shared_ptr<Builder> builder;
+    const std::shared_ptr<SpillTier> spill;
+};
+
+/**
+ * Shared tiers for a fleet. Attach whichever tiers the run uses
+ * (all optional), then install storeFor as the FleetCache's store
+ * provider.
+ */
+class StoreFactory
+{
+  public:
+    void attachReader(std::shared_ptr<Reader> r) { reader = std::move(r); }
+    void attachBuilder(std::shared_ptr<Builder> b)
+    {
+        builder = std::move(b);
+    }
+    void attachSpill(std::shared_ptr<SpillTier> s) { spill = std::move(s); }
+
+    /** True when at least one tier is attached. */
+    bool any() const { return reader || builder || spill; }
+
+    std::shared_ptr<rhmodel::RowEvalStore>
+    storeFor(rhmodel::Mfr mfr, unsigned module_index,
+             unsigned subarrays_per_bank) const;
+
+  private:
+    std::shared_ptr<Reader> reader;
+    std::shared_ptr<Builder> builder;
+    std::shared_ptr<SpillTier> spill;
+};
+
+} // namespace rhs::snap
+
+#endif // RHS_SNAP_STORE_HH

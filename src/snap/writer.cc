@@ -1,0 +1,142 @@
+#include "snap/writer.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "rhmodel/curve_io.hh"
+#include "util/hash.hh"
+#include "util/version.hh"
+
+namespace rhs::snap
+{
+
+Builder::Builder() : Builder(Options{}) {}
+
+Builder::Builder(Options options) : options(options) {}
+
+void
+Builder::add(std::span<const std::uint8_t> key,
+             const rhmodel::RowEval &eval)
+{
+    std::vector<std::uint8_t> key_copy(key.begin(), key.end());
+    std::vector<std::uint8_t> record;
+    rhmodel::curve_io::encodeRecord(key, eval, record);
+
+    const std::lock_guard lock(mutex);
+    const auto [it, inserted] =
+        curves.try_emplace(std::move(key_copy), std::move(record));
+    if (inserted)
+        totalRecordBytes += it->second.size();
+}
+
+std::size_t
+Builder::records() const
+{
+    const std::lock_guard lock(mutex);
+    return curves.size();
+}
+
+std::uint64_t
+Builder::recordBytes() const
+{
+    const std::lock_guard lock(mutex);
+    return totalRecordBytes;
+}
+
+bool
+Builder::write(const std::string &path, std::string &error) const
+{
+    const std::lock_guard lock(mutex);
+
+    // Index order: (key hash, key bytes). std::map already sorts by
+    // key bytes, so a stable sort by hash gives the final order.
+    struct Entry
+    {
+        std::uint64_t hash;
+        const std::vector<std::uint8_t> *record;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(curves.size());
+    for (const auto &[key, record] : curves)
+        entries.push_back(
+            {util::bytesHash64(key.data(), key.size()), &record});
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry &a, const Entry &b) {
+                         return a.hash < b.hash;
+                     });
+
+    FileHeader header;
+    std::memcpy(header.magic, kMagic, sizeof(kMagic));
+    header.version = options.version;
+    header.headerBytes = sizeof(FileHeader);
+    header.endianTag = kEndianTag;
+    header.fingerprint = options.fingerprint != 0
+                             ? options.fingerprint
+                             : rhmodel::curve_io::modelParamsFingerprint();
+    header.recordCount = entries.size();
+    header.indexOffset = kPageSize;
+    header.indexBytes = entries.size() * sizeof(IndexEntry);
+    header.pagesOffset =
+        alignUp(header.indexOffset + header.indexBytes, kPageSize);
+    std::strncpy(header.git, util::gitDescribe(), sizeof(header.git) - 1);
+
+    std::vector<IndexEntry> index(entries.size());
+    std::uint64_t pages_bytes = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        pages_bytes = alignUp(pages_bytes, kRecordAlign);
+        index[i].hash = entries[i].hash;
+        index[i].offset = pages_bytes;
+        index[i].bytes =
+            static_cast<std::uint32_t>(entries[i].record->size());
+        pages_bytes += entries[i].record->size();
+    }
+    header.pagesBytes = pages_bytes;
+
+    std::vector<std::uint8_t> file(header.pagesOffset + pages_bytes, 0);
+    if (!index.empty())
+        std::memcpy(file.data() + header.indexOffset, index.data(),
+                    header.indexBytes);
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        std::memcpy(file.data() + header.pagesOffset + index[i].offset,
+                    entries[i].record->data(), entries[i].record->size());
+
+    header.indexDigest = util::bytesHash64(
+        file.data() + header.indexOffset, header.indexBytes);
+    header.pagesDigest = util::bytesHash64(
+        file.data() + header.pagesOffset, header.pagesBytes);
+    header.fileDigest =
+        util::bytesHash64(file.data() + header.indexOffset,
+                          file.size() - header.indexOffset);
+    header.headerDigest = 0;
+    header.headerDigest = util::bytesHash64(&header, sizeof(header));
+    std::memcpy(file.data(), &header, sizeof(header));
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            error = "cannot open " + tmp + " for writing";
+            return false;
+        }
+        out.write(reinterpret_cast<const char *>(file.data()),
+                  static_cast<std::streamsize>(file.size()));
+        out.flush();
+        if (!out) {
+            error = "short write to " + tmp;
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "rename " + tmp + " -> " + path + ": " +
+                std::strerror(errno);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace rhs::snap

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * rhs-snap/1 snapshot writer.
+ *
+ * A Builder is a thread-safe sink for computed RowEval curves: the
+ * store layer (snap::ModuleStore) feeds every freshly computed curve
+ * into it during a characterization run, and write() lays the whole
+ * collection out as one snapshot file (see format.hh). Duplicate keys
+ * are collapsed — the curve model is deterministic, so the first
+ * record for a key is as good as any.
+ *
+ * The file is assembled in memory and written through a temp file +
+ * rename, so a crashed or interrupted run never leaves a half-written
+ * snapshot at the target path.
+ */
+
+#ifndef RHS_SNAP_WRITER_HH
+#define RHS_SNAP_WRITER_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rhmodel/analytic.hh"
+#include "snap/format.hh"
+
+namespace rhs::snap
+{
+
+class Builder
+{
+  public:
+    struct Options
+    {
+        /** Overridable for compatibility tests only. */
+        std::uint32_t version = kVersion;
+        /** 0 = use curve_io::modelParamsFingerprint(). */
+        std::uint64_t fingerprint = 0;
+    };
+
+    Builder();
+    explicit Builder(Options options);
+
+    /** Record one computed curve (thread-safe; duplicates ignored). */
+    void add(std::span<const std::uint8_t> key,
+             const rhmodel::RowEval &eval);
+
+    /**
+     * Write the collected records as a snapshot. On failure the
+     * target path is left untouched and `error` says why.
+     */
+    bool write(const std::string &path, std::string &error) const;
+
+    std::size_t records() const;
+
+    /** Total encoded record bytes collected so far (digests included). */
+    std::uint64_t recordBytes() const;
+
+  private:
+    const Options options;
+    mutable std::mutex mutex;
+    /** Encoded key -> encoded record. Ordered so ties in the index
+     *  sort (equal hashes) resolve by key bytes deterministically. */
+    std::map<std::vector<std::uint8_t>, std::vector<std::uint8_t>> curves;
+    std::uint64_t totalRecordBytes = 0;
+};
+
+} // namespace rhs::snap
+
+#endif // RHS_SNAP_WRITER_HH

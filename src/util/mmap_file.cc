@@ -1,0 +1,57 @@
+#include "util/mmap_file.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace rhs::util
+{
+
+bool
+MappedFile::open(const std::string &path, std::string &error)
+{
+    reset();
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        error = path + ": " + std::strerror(errno);
+        return false;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        error = path + ": fstat: " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    if (st.st_size <= 0) {
+        error = path + ": empty file";
+        ::close(fd);
+        return false;
+    }
+    void *mapped = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                          PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping holds its own reference to the file; the descriptor
+    // is not needed past this point either way.
+    ::close(fd);
+    if (mapped == MAP_FAILED) {
+        error = path + ": mmap: " + std::strerror(errno);
+        return false;
+    }
+    base = static_cast<const std::uint8_t *>(mapped);
+    length = static_cast<std::size_t>(st.st_size);
+    return true;
+}
+
+void
+MappedFile::reset()
+{
+    if (base != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(base), length);
+    base = nullptr;
+    length = 0;
+}
+
+} // namespace rhs::util

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Read-only memory-mapped file access.
+ *
+ * The snapshot reader (src/snap) serves curve pages straight out of
+ * the kernel page cache: open() maps the whole file MAP_PRIVATE and
+ * hands out a stable byte span for the file's lifetime. Nothing is
+ * read eagerly — pages fault in on first access, which is what makes
+ * a multi-gigabyte snapshot load in milliseconds.
+ *
+ * A MappedFile is movable but not copyable; the mapping is released
+ * in the destructor. Consumers that need the bytes to outlive the
+ * object (zero-copy RowEval views into a snapshot) hold the owning
+ * std::shared_ptr<MappedFile> as their keep-alive token.
+ */
+
+#ifndef RHS_UTIL_MMAP_FILE_HH
+#define RHS_UTIL_MMAP_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rhs::util
+{
+
+/** One read-only mmap of a whole file. */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile() { reset(); }
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    MappedFile(MappedFile &&other) noexcept { swap(other); }
+    MappedFile &
+    operator=(MappedFile &&other) noexcept
+    {
+        reset();
+        swap(other);
+        return *this;
+    }
+
+    /**
+     * Map `path` read-only.
+     *
+     * @param error Filled with a description on failure (missing
+     *        file, empty file, mmap error).
+     * @return True when data()/size() are valid.
+     */
+    bool open(const std::string &path, std::string &error);
+
+    /** Unmap; the object returns to the default-constructed state. */
+    void reset();
+
+    bool valid() const { return base != nullptr; }
+    const std::uint8_t *data() const { return base; }
+    std::size_t size() const { return length; }
+
+  private:
+    void
+    swap(MappedFile &other) noexcept
+    {
+        const auto *b = base;
+        const auto l = length;
+        base = other.base;
+        length = other.length;
+        other.base = b;
+        other.length = l;
+    }
+
+    const std::uint8_t *base = nullptr;
+    std::size_t length = 0;
+};
+
+} // namespace rhs::util
+
+#endif // RHS_UTIL_MMAP_FILE_HH

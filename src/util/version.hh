@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Build provenance.
+ *
+ * gitDescribe() returns the `git describe --always --dirty --tags`
+ * of the source tree at configure time ("unknown" outside a git
+ * checkout). Centralized here so every producer of attributable
+ * artifacts — the rhs-report/1 envelope's "git" member, snapshot
+ * file headers, the serve stats build info — stamps the same string
+ * instead of each binary carrying its own compile definition.
+ */
+
+#ifndef RHS_UTIL_VERSION_HH
+#define RHS_UTIL_VERSION_HH
+
+namespace rhs::util
+{
+
+/** Configure-time `git describe` of the tree ("unknown" fallback). */
+const char *gitDescribe();
+
+} // namespace rhs::util
+
+#endif // RHS_UTIL_VERSION_HH

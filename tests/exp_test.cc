@@ -16,6 +16,7 @@
 #include "exp/fleet_cache.hh"
 #include "exp/registry.hh"
 #include "exp/scale.hh"
+#include "obs/metrics.hh"
 #include "util/cli.hh"
 
 namespace
@@ -271,6 +272,40 @@ TEST(FleetCacheTest, WcdpIsCachedPerSample)
     EXPECT_EQ(cache.wcdpSearches(), 3u);
     EXPECT_EQ(cache.wcdpHits(), 1u);
     (void)other;
+}
+
+TEST(FleetCacheTest, PublishesObsCounters)
+{
+    // The per-instance accessors above stay test-local; the same
+    // events also land in the global registry so a long-lived
+    // rhs-serve process can report fleet construction in `stats`.
+    // Counters are process-global and cumulative, so assert deltas.
+    auto &registry = obs::Registry::global();
+    const auto built0 = registry.counter("fleet.modules.built").value();
+    const auto fhits0 = registry.counter("fleet.cache.hits").value();
+    const auto fmiss0 = registry.counter("fleet.cache.misses").value();
+    const auto whits0 = registry.counter("fleet.wcdp.hits").value();
+    const auto wmiss0 = registry.counter("fleet.wcdp.misses").value();
+
+    exp::FleetCache cache;
+    const auto scale = tinyScale();
+    cache.fleet(scale); // miss: builds modules and runs WCDP searches
+    cache.fleet(scale); // hit
+    auto &module = cache.module(rhmodel::Mfr::A, 0);
+    const std::vector<unsigned> sample{100, 2000};
+    cache.wcdp(module, 0, sample); // miss
+    cache.wcdp(module, 0, sample); // hit
+
+    EXPECT_EQ(registry.counter("fleet.modules.built").value() - built0,
+              cache.modulesBuilt());
+    EXPECT_EQ(registry.counter("fleet.cache.hits").value() - fhits0,
+              cache.fleetHits());
+    EXPECT_EQ(registry.counter("fleet.cache.misses").value() - fmiss0,
+              cache.fleetsBuilt());
+    EXPECT_EQ(registry.counter("fleet.wcdp.hits").value() - whits0,
+              cache.wcdpHits());
+    EXPECT_EQ(registry.counter("fleet.wcdp.misses").value() - wmiss0,
+              cache.wcdpSearches() - cache.wcdpHits());
 }
 
 TEST(FleetCacheTest, SharedFleetIsValuePreserving)

@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Tests of the rhs-snap/1 store (src/snap): snapshot round-trips,
+ * every corruption/compatibility rejection path, the bounded eviction
+ * spill tier (standalone and behind a tiny-capacity AnalyticEngine),
+ * and concurrent readers over one mmapped snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "rhmodel/curve_io.hh"
+#include "rhmodel/dimm.hh"
+#include "util/hash.hh"
+#include "snap/format.hh"
+#include "snap/reader.hh"
+#include "snap/spill.hh"
+#include "snap/store.hh"
+#include "snap/writer.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("rhs_snap_test_" + std::to_string(::getpid()) + "_" + name))
+        .string();
+}
+
+/** RAII deletion of a test scratch file. */
+struct ScratchFile
+{
+    explicit ScratchFile(std::string name) : path(tempPath(std::move(name)))
+    {
+    }
+    ~ScratchFile() { std::remove(path.c_str()); }
+    const std::string path;
+};
+
+/** Deterministic synthetic curve #i (i % 7 cells; 0 cells at i == 0). */
+rhmodel::RowEval
+makeEval(unsigned i)
+{
+    const unsigned n = i % 7;
+    std::vector<double> hc;
+    std::vector<dram::CellLocation> loc;
+    double min_hc = rhmodel::kNeverFlips;
+    for (unsigned j = 0; j < n; ++j) {
+        hc.push_back(1000.0 + 13.5 * j + i);
+        loc.push_back({j % 4, 0, i, 17 * j, j % 8});
+        min_hc = std::min(min_hc, hc.back());
+    }
+    rhmodel::RowEval eval;
+    eval.adopt(std::move(hc), std::move(loc));
+    eval.vulnerableCells = n + 2;
+    eval.minHcFirst = min_hc;
+    return eval;
+}
+
+std::vector<std::uint8_t>
+makeKey(unsigned i)
+{
+    // Variable-length keys exercise the padding paths.
+    std::vector<std::uint8_t> key{static_cast<std::uint8_t>(i),
+                                  static_cast<std::uint8_t>(i >> 8),
+                                  0xab};
+    for (unsigned j = 0; j < i % 5; ++j)
+        key.push_back(static_cast<std::uint8_t>(j));
+    return key;
+}
+
+void
+expectSameCurve(const rhmodel::RowEval &expected,
+                const rhmodel::RowEvalPtr &actual)
+{
+    ASSERT_NE(actual, nullptr);
+    ASSERT_EQ(actual->hcFirst.size(), expected.hcFirst.size());
+    for (std::size_t i = 0; i < expected.hcFirst.size(); ++i) {
+        EXPECT_EQ(actual->hcFirst[i], expected.hcFirst[i]);
+        EXPECT_EQ(actual->loc[i], expected.loc[i]);
+    }
+    EXPECT_EQ(actual->vulnerableCells, expected.vulnerableCells);
+    EXPECT_EQ(actual->minHcFirst, expected.minHcFirst);
+}
+
+/** Write a snapshot with `count` synthetic curves; returns success. */
+bool
+writeSnapshot(const std::string &path, unsigned count,
+              snap::Builder::Options options = {})
+{
+    snap::Builder builder(options);
+    for (unsigned i = 0; i < count; ++i) {
+        const auto eval = makeEval(i);
+        builder.add(makeKey(i), eval);
+    }
+    std::string error;
+    return builder.write(path, error);
+}
+
+std::vector<char>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeFile(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SnapshotTest, RoundTripServesIdenticalCurves)
+{
+    const ScratchFile file("roundtrip.snap");
+    ASSERT_TRUE(writeSnapshot(file.path, 40));
+
+    std::string error;
+    auto reader = snap::Reader::open(file.path, error);
+    ASSERT_NE(reader, nullptr) << error;
+    EXPECT_EQ(reader->header().recordCount, 40u);
+
+    for (unsigned i = 0; i < 40; ++i) {
+        const auto expected = makeEval(i);
+        expectSameCurve(expected, reader->lookup(makeKey(i)));
+    }
+    EXPECT_EQ(reader->hits(), 40u);
+    EXPECT_EQ(reader->corrupt(), 0u);
+
+    // A key that was never stored is a miss, not an error.
+    EXPECT_EQ(reader->lookup(makeKey(999)), nullptr);
+    EXPECT_EQ(reader->misses(), 1u);
+
+    EXPECT_TRUE(reader->verifyDeep(error)) << error;
+}
+
+TEST(SnapshotTest, CurveOutlivesReaderHandle)
+{
+    const ScratchFile file("keepalive.snap");
+    ASSERT_TRUE(writeSnapshot(file.path, 8));
+
+    std::string error;
+    rhmodel::RowEvalPtr curve;
+    {
+        auto reader = snap::Reader::open(file.path, error);
+        ASSERT_NE(reader, nullptr) << error;
+        curve = reader->lookup(makeKey(3));
+        ASSERT_NE(curve, nullptr);
+    }
+    // The zero-copy view pins the mapping via shared_ptr even after
+    // the last explicit Reader handle is gone.
+    expectSameCurve(makeEval(3), curve);
+}
+
+TEST(SnapshotTest, EmptySnapshotOpensAndMisses)
+{
+    const ScratchFile file("empty.snap");
+    ASSERT_TRUE(writeSnapshot(file.path, 0));
+
+    std::string error;
+    auto reader = snap::Reader::open(file.path, error);
+    ASSERT_NE(reader, nullptr) << error;
+    EXPECT_EQ(reader->header().recordCount, 0u);
+    EXPECT_EQ(reader->lookup(makeKey(0)), nullptr);
+    EXPECT_TRUE(reader->verifyDeep(error)) << error;
+}
+
+TEST(SnapshotTest, BadMagicIsRejected)
+{
+    const ScratchFile file("badmagic.snap");
+    ASSERT_TRUE(writeSnapshot(file.path, 4));
+    auto bytes = readFile(file.path);
+    bytes[0] ^= 0x5a;
+    writeFile(file.path, bytes);
+
+    std::string error;
+    EXPECT_EQ(snap::Reader::open(file.path, error), nullptr);
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(SnapshotTest, TruncatedFileIsRejected)
+{
+    const ScratchFile file("truncated.snap");
+    ASSERT_TRUE(writeSnapshot(file.path, 16));
+    const auto bytes = readFile(file.path);
+
+    // Any truncation point must fail cleanly: below one header, and
+    // with the sections cut short.
+    for (const std::size_t keep :
+         {std::size_t{16}, sizeof(snap::FileHeader), bytes.size() / 2}) {
+        writeFile(file.path, {bytes.begin(),
+                              bytes.begin() +
+                                  static_cast<std::ptrdiff_t>(keep)});
+        std::string error;
+        EXPECT_EQ(snap::Reader::open(file.path, error), nullptr)
+            << "kept " << keep << " bytes";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(SnapshotTest, VersionMismatchIsRejected)
+{
+    const ScratchFile file("version.snap");
+    snap::Builder::Options options;
+    options.version = snap::kVersion + 1;
+    ASSERT_TRUE(writeSnapshot(file.path, 4, options));
+
+    std::string error;
+    EXPECT_EQ(snap::Reader::open(file.path, error), nullptr);
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(SnapshotTest, FingerprintMismatchIsRejected)
+{
+    const ScratchFile file("fingerprint.snap");
+    snap::Builder::Options options;
+    options.fingerprint = 0xdeadbeef;
+    ASSERT_TRUE(writeSnapshot(file.path, 4, options));
+
+    std::string error;
+    EXPECT_EQ(snap::Reader::open(file.path, error), nullptr);
+    EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+}
+
+TEST(SnapshotTest, CorruptHeaderIsRejected)
+{
+    const ScratchFile file("header.snap");
+    ASSERT_TRUE(writeSnapshot(file.path, 4));
+    auto bytes = readFile(file.path);
+    // Flip a bit in recordCount: the header digest must catch it.
+    bytes[offsetof(snap::FileHeader, recordCount)] ^= 0x01;
+    writeFile(file.path, bytes);
+
+    std::string error;
+    EXPECT_EQ(snap::Reader::open(file.path, error), nullptr);
+    EXPECT_NE(error.find("header digest"), std::string::npos) << error;
+}
+
+TEST(SnapshotTest, FlippedPayloadByteFallsBackToMiss)
+{
+    const ScratchFile file("payload.snap");
+    ASSERT_TRUE(writeSnapshot(file.path, 8));
+    auto bytes = readFile(file.path);
+
+    snap::FileHeader header;
+    std::memcpy(&header, bytes.data(), sizeof(header));
+    // Find the record of key #5 through the real index, then flip a
+    // byte in its curve payload (past header + padded key).
+    const auto *index = reinterpret_cast<const snap::IndexEntry *>(
+        bytes.data() + header.indexOffset);
+    const auto key = makeKey(5);
+    const std::uint64_t hash =
+        util::bytesHash64(key.data(), key.size());
+    std::size_t record_offset = SIZE_MAX;
+    for (std::uint64_t i = 0; i < header.recordCount; ++i)
+        if (index[i].hash == hash)
+            record_offset = header.pagesOffset + index[i].offset;
+    ASSERT_NE(record_offset, SIZE_MAX);
+    std::uint32_t key_bytes = 0;
+    std::memcpy(&key_bytes, bytes.data() + record_offset,
+                sizeof(key_bytes));
+    bytes[record_offset + sizeof(rhmodel::curve_io::RecordHeader) +
+          ((key_bytes + 7) & ~std::size_t{7}) + 1] ^= 0x10;
+    writeFile(file.path, bytes);
+
+    std::string error;
+    auto reader = snap::Reader::open(file.path, error);
+    ASSERT_NE(reader, nullptr) << error;
+
+    // The corrupt record degrades to a miss (twice: the verify-once
+    // bitmap must not mark failures as verified); other records and
+    // verifyDeep see the damage as expected.
+    EXPECT_EQ(reader->lookup(key), nullptr);
+    EXPECT_EQ(reader->lookup(key), nullptr);
+    EXPECT_EQ(reader->corrupt(), 2u);
+    expectSameCurve(makeEval(2), reader->lookup(makeKey(2)));
+    EXPECT_FALSE(reader->verifyDeep(error));
+}
+
+TEST(SnapshotTest, DuplicateAddsCollapse)
+{
+    snap::Builder builder;
+    const auto eval = makeEval(9);
+    builder.add(makeKey(9), eval);
+    builder.add(makeKey(9), eval);
+    EXPECT_EQ(builder.records(), 1u);
+}
+
+TEST(SnapshotSpillTest, StoreAndLoadRoundTrip)
+{
+    const ScratchFile file("spill.bin");
+    std::string error;
+    auto spill = snap::SpillTier::create(file.path, 1 << 20, error);
+    ASSERT_NE(spill, nullptr) << error;
+
+    for (unsigned i = 1; i < 20; ++i) {
+        const auto eval = makeEval(i);
+        EXPECT_TRUE(spill->store(makeKey(i), eval));
+    }
+    EXPECT_EQ(spill->stores(), 19u);
+    for (unsigned i = 1; i < 20; ++i)
+        expectSameCurve(makeEval(i), spill->load(makeKey(i)));
+    EXPECT_EQ(spill->hits(), 19u);
+
+    EXPECT_EQ(spill->load(makeKey(500)), nullptr);
+    EXPECT_EQ(spill->misses(), 1u);
+
+    // Re-spilling an already-stored key is skipped, not duplicated.
+    const std::uint64_t used = spill->bytesUsed();
+    EXPECT_FALSE(spill->store(makeKey(7), makeEval(7)));
+    EXPECT_EQ(spill->bytesUsed(), used);
+}
+
+TEST(SnapshotSpillTest, CapBoundsTheFileAndCountsDrops)
+{
+    const ScratchFile file("spill_cap.bin");
+    std::string error;
+    auto spill = snap::SpillTier::create(file.path, 160, error);
+    ASSERT_NE(spill, nullptr) << error;
+
+    // The first small record fits; later ones overflow the cap.
+    EXPECT_TRUE(spill->store(makeKey(1), makeEval(1)));
+    unsigned dropped = 0;
+    for (unsigned i = 2; i < 8; ++i)
+        dropped += spill->store(makeKey(i), makeEval(i)) ? 0 : 1;
+    EXPECT_GT(dropped, 0u);
+    EXPECT_EQ(spill->dropped(), dropped);
+    EXPECT_LE(spill->bytesUsed(), 160u);
+
+    // The stored record still loads; dropped ones are plain misses.
+    expectSameCurve(makeEval(1), spill->load(makeKey(1)));
+    EXPECT_EQ(spill->load(makeKey(2)), nullptr);
+}
+
+TEST(SnapshotSpillTest, CorruptReadBackDegradesToMiss)
+{
+    const ScratchFile file("spill_corrupt.bin");
+    std::string error;
+    auto spill = snap::SpillTier::create(file.path, 1 << 20, error);
+    ASSERT_NE(spill, nullptr) << error;
+    ASSERT_TRUE(spill->store(makeKey(4), makeEval(4)));
+
+    // Flip a payload byte through a second handle to the same file.
+    {
+        std::fstream patch(file.path, std::ios::binary | std::ios::in |
+                                          std::ios::out);
+        patch.seekg(30);
+        char byte = 0;
+        patch.get(byte);
+        patch.seekp(30);
+        patch.put(static_cast<char>(byte ^ 0x20));
+    }
+    EXPECT_EQ(spill->load(makeKey(4)), nullptr);
+    EXPECT_EQ(spill->corrupt(), 1u);
+}
+
+TEST(SnapshotSpillTest, EngineEvictionsSpillAndReload)
+{
+    // A 16-entry cache (one per shard) over a 40-row working set
+    // forces evictions through the store; the second sweep must be
+    // served back from the spill file byte-identically.
+    rhmodel::SimulatedDimm dimm(rhmodel::Mfr::A, 0);
+    rhmodel::AnalyticEngine engine(dimm.cellModel(), 16);
+    rhmodel::AnalyticEngine reference(dimm.cellModel());
+
+    const ScratchFile file("spill_engine.bin");
+    std::string error;
+    auto spill = snap::SpillTier::create(file.path, 64 << 20, error);
+    ASSERT_NE(spill, nullptr) << error;
+    snap::StoreFactory factory;
+    factory.attachSpill(spill);
+    engine.setEvalStore(factory.storeFor(rhmodel::Mfr::A, 0, 0));
+
+    const rhmodel::Conditions conditions;
+    const rhmodel::DataPattern pattern(rhmodel::PatternId::Checkered);
+    const auto sweep = [&](rhmodel::AnalyticEngine &e, unsigned row) {
+        return e.rowEval(row,
+                         rhmodel::HammerAttack::doubleSided(0, row),
+                         conditions, pattern, 0);
+    };
+
+    for (unsigned row = 1; row <= 40; ++row)
+        sweep(engine, row);
+    EXPECT_GT(spill->stores(), 0u);
+
+    for (unsigned row = 1; row <= 40; ++row) {
+        const auto stored = sweep(engine, row);
+        const auto expected = sweep(reference, row);
+        ASSERT_EQ(stored->hcFirst.size(), expected->hcFirst.size());
+        for (std::size_t i = 0; i < expected->hcFirst.size(); ++i) {
+            EXPECT_EQ(stored->hcFirst[i], expected->hcFirst[i]);
+            EXPECT_EQ(stored->loc[i], expected->loc[i]);
+        }
+        EXPECT_EQ(stored->minHcFirst, expected->minHcFirst);
+    }
+    EXPECT_GT(spill->hits(), 0u);
+}
+
+TEST(SnapshotConcurrencyTest, ParallelReadersOverOneSnapshot)
+{
+    const ScratchFile file("concurrent.snap");
+    constexpr unsigned kRecords = 64;
+    ASSERT_TRUE(writeSnapshot(file.path, kRecords));
+
+    std::string error;
+    auto reader = snap::Reader::open(file.path, error);
+    ASSERT_NE(reader, nullptr) << error;
+
+    // 8 threads hammer the same reader — every record (racing on the
+    // verify-once bitmap), plus guaranteed misses — and each verifies
+    // every curve it gets. Run under TSan via the tsan test preset.
+    std::atomic<unsigned> failures{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned pass = 0; pass < 6; ++pass) {
+                for (unsigned i = 0; i < kRecords; ++i) {
+                    const auto curve =
+                        reader->lookup(makeKey((i + 7 * t) % kRecords));
+                    const auto expected = makeEval((i + 7 * t) % kRecords);
+                    if (!curve ||
+                        curve->hcFirst.size() !=
+                            expected.hcFirst.size() ||
+                        curve->minHcFirst != expected.minHcFirst)
+                        failures.fetch_add(1);
+                }
+                if (reader->lookup(makeKey(4000 + t)) != nullptr)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(reader->corrupt(), 0u);
+    EXPECT_EQ(reader->hits(), 8u * 6u * kRecords);
+}
+
+TEST(SnapshotConcurrencyTest, ParallelSpillStoresAndLoads)
+{
+    const ScratchFile file("concurrent_spill.bin");
+    std::string error;
+    auto spill = snap::SpillTier::create(file.path, 8 << 20, error);
+    ASSERT_NE(spill, nullptr) << error;
+
+    std::atomic<unsigned> failures{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned i = 1; i <= 24; ++i) {
+                const unsigned id = t * 100 + i;
+                if (!spill->store(makeKey(id), makeEval(id)))
+                    failures.fetch_add(1);
+                const auto curve = spill->load(makeKey(id));
+                if (!curve ||
+                    curve->minHcFirst != makeEval(id).minHcFirst)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(spill->stores(), 8u * 24u);
+    EXPECT_EQ(spill->corrupt(), 0u);
+}
+
+} // namespace
