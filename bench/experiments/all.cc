@@ -37,6 +37,7 @@ registerAllExperiments()
     registerParallelScaling();
     registerRowEvalKernel();
     registerObsOverhead();
+    registerRouteLoadgen();
     registerServeLoadgen();
     registerSnapshotWarmstart();
 }

@@ -41,6 +41,7 @@ void registerRowPolicy();
 void registerParallelScaling();
 void registerRowEvalKernel();
 void registerObsOverhead();
+void registerRouteLoadgen();
 void registerServeLoadgen();
 void registerSnapshotWarmstart();
 

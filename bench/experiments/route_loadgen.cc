@@ -1,0 +1,571 @@
+/**
+ * @file
+ * `route_loadgen`: the load generator for the rhs-route sharded fleet.
+ *
+ * Phase 1 (routed correctness): starts a 4-shard in-process fleet
+ * (shard 0 with two replicas, one rhs-route Router in front) and
+ * drives N concurrent client connections of M requests each through
+ * the router. Every reply is byte-compared against the same request
+ * executed on a private QueryEngine — the router plus a full shard
+ * data path must be invisible. p50/p99 latency, throughput, and the
+ * router's fan-out metrics land in BENCH_route.json.
+ *
+ * Phase 2 (failover): a second identical sweep, except shard 0's
+ * primary replica is stopped once half the requests have completed.
+ * The router must fail the shard's traffic over to the standby
+ * mid-run: every request still gets exactly one byte-correct reply,
+ * zero error replies surface, and the router's failover counter
+ * proves the switch actually happened.
+ *
+ * Phase 3 (idle-connection scale): one shard must sustain >= 10000
+ * idle connections (256 in --smoke) while still answering pings.
+ * At full scale the client fds live in a helper process
+ * (`rhs-route-idle`): this container caps a process at 20000 fds and
+ * loopback sockets exist twice — 10k server-side + 10k client-side
+ * does not fit one fd table.
+ *
+ * Options:
+ *   --connections N  concurrent connections (default 16; 8 in --smoke)
+ *   --requests N     requests per connection (default 32; 6 in --smoke)
+ *   --idle N         idle-connection gate (default 10000; 256 smoke)
+ *   --out FILE       JSON output path (default BENCH_route.json)
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_common.hh"
+#include "exp/experiment.hh"
+#include "exp/registry.hh"
+#include "experiments/all.hh"
+#include "obs/metrics.hh"
+#include "report/writer.hh"
+#include "route/router.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/query_engine.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace rhs;
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Deterministic request mix. Unlike serve_loadgen's, every request
+ * carries an explicit bank so the (mfr, module, bank) routing keys
+ * spread across all four shards; the row space stays small enough
+ * that the rowEval caches see real sharing.
+ */
+report::Json
+makeRequest(unsigned conn, unsigned index)
+{
+    auto request = report::Json::object();
+    const std::int64_t id = static_cast<std::int64_t>(conn) * 100000 +
+                            index;
+    const unsigned row = 1 + (conn * 37 + index * 11) % 120;
+    const char mfr[2] = {"ABCD"[(conn + index) % 4], '\0'};
+    const unsigned bank = (conn * 3 + index) % 4; // 4 banks per chip.
+
+    switch (index % 5) {
+      case 0:
+        request.set("op", "row_hcfirst");
+        request.set("id", id);
+        request.set("mfr", mfr);
+        request.set("bank", bank);
+        request.set("row", row);
+        request.set("temperature", 50.0 + 5.0 * (index % 9));
+        request.set("trial", index % 3);
+        break;
+      case 1:
+        request.set("op", "ber");
+        request.set("id", id);
+        request.set("mfr", mfr);
+        request.set("bank", bank);
+        request.set("row", row);
+        request.set("hammers", 150'000);
+        break;
+      case 2:
+        request.set("op", "profile_slice");
+        request.set("id", id);
+        request.set("mfr", mfr);
+        request.set("bank", bank);
+        request.set("row0", 1 + (conn * 13 + index * 7) % 100);
+        request.set("count", 4);
+        break;
+      case 3:
+        request.set("op", "ping");
+        request.set("id", id);
+        break;
+      default:
+        request.set("op", "worst_pattern");
+        request.set("id", id);
+        request.set("mfr", mfr);
+        request.set("bank", bank);
+        {
+            auto rows = report::Json::array();
+            rows.push(row);
+            rows.push(row + 2);
+            rows.push(row + 4);
+            request.set("rows", std::move(rows));
+        }
+        break;
+    }
+    return request;
+}
+
+/** The response bytes a routed request must come back with. */
+std::string
+expectedResponse(serve::QueryEngine &direct, const report::Json &request,
+                 const std::string &body)
+{
+    if (request.at("op").asString() == "ping") {
+        auto result = report::Json::object();
+        result.set("protocol", serve::kProtocol);
+        return serve::serialize(serve::makeResult(
+            request.at("id").asInt(), std::move(result)));
+    }
+    return direct.executeRaw(body);
+}
+
+/** Raise the fd soft limit toward the hard cap (idle-scale phase). */
+void
+raiseFdLimit()
+{
+    rlimit limit{};
+    if (::getrlimit(RLIMIT_NOFILE, &limit) != 0)
+        return;
+    if (limit.rlim_cur < limit.rlim_max) {
+        limit.rlim_cur = limit.rlim_max;
+        ::setrlimit(RLIMIT_NOFILE, &limit);
+    }
+}
+
+/** Directory of the running binary (to find rhs-route-idle). */
+std::string
+selfDirectory()
+{
+    char buffer[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+    if (n <= 0)
+        return {};
+    buffer[n] = '\0';
+    std::string path(buffer);
+    const std::size_t slash = path.rfind('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash);
+}
+
+/** Sum of the router registry counters matching `prefix`/`suffix`. */
+std::uint64_t
+sumShardCounter(const report::Json &router_stats,
+                const std::string &suffix)
+{
+    std::uint64_t total = 0;
+    const auto *metrics = router_stats.find("metrics");
+    const auto *router = metrics ? metrics->find("router") : nullptr;
+    const auto *counters = router ? router->find("counters") : nullptr;
+    if (counters == nullptr)
+        return 0;
+    for (const auto &[name, value] : counters->members())
+        if (name.rfind("route.shard.", 0) == 0 &&
+            name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0 &&
+            value.type() == report::Json::Type::Int)
+            total += static_cast<std::uint64_t>(value.asInt());
+    return total;
+}
+
+/** One full sweep through the router; returns mismatches/transport. */
+struct SweepResult
+{
+    unsigned mismatches = 0;
+    unsigned transportErrors = 0;
+    unsigned errorReplies = 0; //!< ok:false replies (must not happen).
+    double wallSeconds = 0;
+};
+
+SweepResult
+runSweep(unsigned short router_port, unsigned connections,
+         unsigned requests, serve::QueryEngine &direct,
+         obs::Histogram *latency_hist,
+         const std::function<void(unsigned)> &on_progress)
+{
+    std::vector<std::vector<std::string>> bodies(connections);
+    std::vector<std::vector<report::Json>> parsed(connections);
+    for (unsigned c = 0; c < connections; ++c)
+        for (unsigned k = 0; k < requests; ++k) {
+            auto request = makeRequest(c, k);
+            bodies[c].push_back(serve::serialize(request));
+            parsed[c].push_back(std::move(request));
+        }
+
+    std::vector<std::vector<std::string>> replies(
+        connections, std::vector<std::string>(requests));
+    std::vector<unsigned> transport_errors(connections, 0);
+    std::atomic<unsigned> done{0};
+
+    const auto start = Clock::now();
+    {
+        std::vector<std::thread> drivers;
+        drivers.reserve(connections);
+        for (unsigned c = 0; c < connections; ++c) {
+            drivers.emplace_back([&, c] {
+                serve::Client client;
+                if (!client.connect("127.0.0.1", router_port)) {
+                    transport_errors[c] = requests;
+                    done.fetch_add(requests);
+                    return;
+                }
+                for (unsigned k = 0; k < requests; ++k) {
+                    const auto t0 = Clock::now();
+                    replies[c][k] = client.callRaw(bodies[c][k]);
+                    const std::chrono::duration<double> dt =
+                        Clock::now() - t0;
+                    if (latency_hist != nullptr)
+                        latency_hist->observe(dt.count() * 1e3);
+                    if (replies[c][k].empty())
+                        ++transport_errors[c];
+                    on_progress(done.fetch_add(1) + 1);
+                }
+            });
+        }
+        for (auto &driver : drivers)
+            driver.join();
+    }
+
+    SweepResult result;
+    result.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    for (unsigned c = 0; c < connections; ++c) {
+        result.transportErrors += transport_errors[c];
+        for (unsigned k = 0; k < requests; ++k) {
+            if (replies[c][k].empty())
+                continue;
+            if (replies[c][k] !=
+                expectedResponse(direct, parsed[c][k], bodies[c][k]))
+                ++result.mismatches;
+            report::Json response;
+            std::string parse_error;
+            if (report::Json::parse(replies[c][k], response,
+                                    parse_error)) {
+                const auto *ok = response.find("ok");
+                if (ok == nullptr || !ok->asBool())
+                    ++result.errorReplies;
+            }
+        }
+    }
+    return result;
+}
+
+class RouteLoadgen final : public exp::Experiment
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "route_loadgen";
+    }
+
+    std::string
+    title() const override
+    {
+        return "rhs-route load generator: sharded fleet with replica "
+               "failover";
+    }
+
+    std::string
+    source() const override
+    {
+        return "routed responses byte-identical to direct engine "
+               "calls, through a mid-run replica kill";
+    }
+
+    std::vector<exp::OptionSpec>
+    options() const override
+    {
+        return {{"connections", "16",
+                 "concurrent client connections (8 under --smoke)"},
+                {"requests", "32",
+                 "requests per connection (6 under --smoke)"},
+                {"idle", "10000",
+                 "idle connections one shard must sustain "
+                 "(256 under --smoke, held in-process)"},
+                {"out", "BENCH_route.json", "JSON output path"}};
+    }
+
+    report::Document
+    run(exp::RunContext &ctx) override
+    {
+        auto doc = makeDocument();
+        const auto connections = static_cast<unsigned>(ctx.cli.getInt(
+            "connections", ctx.scale.smoke ? 8 : 16));
+        const auto requests = static_cast<unsigned>(
+            ctx.cli.getInt("requests", ctx.scale.smoke ? 6 : 32));
+        const auto idle_target = static_cast<unsigned>(
+            ctx.cli.getInt("idle", ctx.scale.smoke ? 256 : 10000));
+        const std::string out_path =
+            ctx.cli.get("out", "BENCH_route.json");
+        RHS_ASSERT(connections > 0 && requests > 0,
+                   "need at least one connection and request");
+
+        if (ctx.table) {
+            bench::printHeader(title(), source());
+            std::printf("4 shards (shard 0 with standby replica), "
+                        "%u connections x %u requests, idle gate %u\n"
+                        "\n",
+                        connections, requests, idle_target);
+        }
+
+        // --- Fleet: 4 shards, shard 0 with a standby replica --------
+        std::vector<std::unique_ptr<serve::Server>> shards;
+        route::RouterConfig router_config;
+        for (unsigned shard = 0; shard < 4; ++shard) {
+            std::vector<route::Endpoint> replicas;
+            const unsigned replica_count = shard == 0 ? 2 : 1;
+            for (unsigned r = 0; r < replica_count; ++r) {
+                serve::ServerConfig config;
+                config.maxConnections = 64;
+                auto server =
+                    std::make_unique<serve::Server>(config);
+                server->start();
+                route::Endpoint endpoint;
+                endpoint.port = server->port();
+                replicas.push_back(std::move(endpoint));
+                shards.push_back(std::move(server));
+            }
+            router_config.shards.push_back(std::move(replicas));
+        }
+        router_config.maxConnections = connections + 8;
+        router_config.health.probeIntervalMs = 100;
+        router_config.redialBackoffMs = 20;
+        route::Router router(router_config);
+        router.start();
+
+        serve::QueryEngine direct;
+        obs::Histogram latency_hist(obs::latencyBoundsMs());
+
+        // --- Phase 1: routed correctness ----------------------------
+        const auto sweep1 =
+            runSweep(router.port(), connections, requests, direct,
+                     &latency_hist, [](unsigned) {});
+        const double throughput = connections * requests /
+                                  sweep1.wallSeconds;
+        const obs::HistogramData latency = latency_hist.snapshot();
+        const double p50 = latency.quantile(0.50);
+        const double p99 = latency.quantile(0.99);
+
+        if (ctx.table)
+            std::printf("  routed     %u requests in %.3f s "
+                        "(%.0f req/s)  p50 %.3f ms  p99 %.3f ms\n",
+                        connections * requests, sweep1.wallSeconds,
+                        throughput, p50, p99);
+
+        // --- Phase 2: kill shard 0's primary mid-sweep --------------
+        // shards[0] and shards[1] are shard 0's replicas; the
+        // forwarder dials replica 0 first, so stopping shards[0] once
+        // half the sweep has completed lands while its connection
+        // carries live traffic.
+        const unsigned total = connections * requests;
+        std::atomic<bool> killed{false};
+        std::thread killer;
+        const auto sweep2 = runSweep(
+            router.port(), connections, requests, direct, nullptr,
+            [&](unsigned done) {
+                if (done >= total / 2 && !killed.exchange(true))
+                    killer = std::thread(
+                        [&] { shards[0]->stop(); });
+            });
+        if (killer.joinable())
+            killer.join();
+        const auto router_stats = router.statsJson();
+        const std::uint64_t failovers =
+            sumShardCounter(router_stats, ".failover");
+        const std::uint64_t shard_failed =
+            sumShardCounter(router_stats, ".failed");
+
+        if (ctx.table)
+            std::printf("  failover   %u requests with replica kill: "
+                        "%u mismatches, %u error replies, "
+                        "%llu failovers\n",
+                        total, sweep2.mismatches, sweep2.errorReplies,
+                        static_cast<unsigned long long>(failovers));
+
+        // --- Phase 3: idle-connection scale on one shard ------------
+        raiseFdLimit();
+        serve::ServerConfig idle_config;
+        idle_config.maxConnections = idle_target + 16;
+        serve::Server idle_server(idle_config);
+        idle_server.start();
+
+        unsigned held = 0;
+        bool idle_ping_ok = false;
+        bool helper_ok = true;
+        if (ctx.scale.smoke) {
+            // Small gate: hold the connections in-process.
+            std::vector<std::unique_ptr<serve::Client>> idle;
+            for (unsigned i = 0; i < idle_target; ++i) {
+                auto client = std::make_unique<serve::Client>();
+                if (!client->connect("127.0.0.1",
+                                     idle_server.port()))
+                    break;
+                idle.push_back(std::move(client));
+            }
+            held = static_cast<unsigned>(idle.size());
+            serve::Client prober;
+            idle_ping_ok = prober.connect("127.0.0.1",
+                                          idle_server.port()) &&
+                           prober.ping(1);
+        } else {
+            // Full gate: the client fds live in rhs-route-idle.
+            const std::string helper =
+                selfDirectory() + "/rhs-route-idle";
+            int to_child[2];
+            if (::pipe(to_child) != 0)
+                RHS_FATAL("route_loadgen: pipe() failed");
+            const pid_t pid = ::fork();
+            if (pid == 0) {
+                ::dup2(to_child[0], STDIN_FILENO);
+                ::close(to_child[0]);
+                ::close(to_child[1]);
+                const std::string port_arg =
+                    std::to_string(idle_server.port());
+                const std::string count_arg =
+                    std::to_string(idle_target);
+                ::execl(helper.c_str(), "rhs-route-idle", "--port",
+                        port_arg.c_str(), "--count",
+                        count_arg.c_str(), "--ping-every", "1000",
+                        static_cast<char *>(nullptr));
+                std::fprintf(stderr,
+                             "route_loadgen: exec %s: %s\n",
+                             helper.c_str(), std::strerror(errno));
+                ::_exit(127);
+            }
+            ::close(to_child[0]);
+            // The helper connects sequentially; watch the server's
+            // own connection count converge on the target.
+            const auto deadline =
+                Clock::now() + std::chrono::seconds(120);
+            while (Clock::now() < deadline) {
+                held = static_cast<unsigned>(
+                    idle_server.connectionCount());
+                if (held >= idle_target)
+                    break;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+            }
+            // The server answers new work while the herd idles.
+            serve::Client prober;
+            idle_ping_ok = prober.connect("127.0.0.1",
+                                          idle_server.port()) &&
+                           prober.ping(1);
+            ::close(to_child[1]); // EOF: helper exits.
+            int status = 0;
+            ::waitpid(pid, &status, 0);
+            helper_ok =
+                WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        }
+        idle_server.stop();
+
+        if (ctx.table)
+            std::printf("  idle       %u/%u connections held on one "
+                        "shard; ping under load: %s\n",
+                        held, idle_target,
+                        idle_ping_ok ? "ok" : "FAILED");
+
+        // --- Teardown (shard 0 primary already stopped) -------------
+        router.stop();
+        for (auto &server : shards)
+            server->stop();
+
+        // --- Document -----------------------------------------------
+        doc.addSeries("latency_ms", {"p50", "p99", "max"},
+                      {p50, p99, latency.max});
+        doc.addSeries("throughput_rps", {throughput});
+        doc.data.set("shards", 4);
+        doc.data.set("replicas_shard0", 2);
+        doc.data.set("connections", connections);
+        doc.data.set("requests_per_connection", requests);
+        doc.data.set("total_requests", total);
+        doc.data.set("routed_mismatches", sweep1.mismatches);
+        doc.data.set("routed_transport_errors",
+                     sweep1.transportErrors);
+        doc.data.set("failover_mismatches", sweep2.mismatches);
+        doc.data.set("failover_transport_errors",
+                     sweep2.transportErrors);
+        doc.data.set("failover_error_replies", sweep2.errorReplies);
+        doc.data.set("failovers",
+                     static_cast<std::int64_t>(failovers));
+        doc.data.set("shard_internal_errors",
+                     static_cast<std::int64_t>(shard_failed));
+        doc.data.set("idle_target", idle_target);
+        doc.data.set("idle_held", held);
+        doc.data.set("idle_ping_ok", idle_ping_ok);
+        doc.data.set("idle_helper_ok", helper_ok);
+        doc.data.set("router", router_stats);
+
+        doc.check("route_identical", "routing contract",
+                  "every routed response is byte-identical to the "
+                  "direct engine call",
+                  sweep1.mismatches == 0 &&
+                      sweep1.transportErrors == 0 &&
+                      sweep1.errorReplies == 0,
+                  std::to_string(sweep1.mismatches) +
+                      " mismatches, " +
+                      std::to_string(sweep1.transportErrors) +
+                      " transport errors over " +
+                      std::to_string(total) + " requests");
+        doc.check("route_failover", "fleet robustness",
+                  "killing one replica mid-run is invisible: every "
+                  "request answered once, byte-correct, zero error "
+                  "replies, failover recorded",
+                  sweep2.mismatches == 0 &&
+                      sweep2.transportErrors == 0 &&
+                      sweep2.errorReplies == 0 && failovers >= 1,
+                  std::to_string(sweep2.mismatches) +
+                      " mismatches, " +
+                      std::to_string(sweep2.errorReplies) +
+                      " error replies, " +
+                      std::to_string(failovers) + " failovers");
+        doc.check("route_idle_scale", "connection scale",
+                  "one shard sustains the idle-connection gate on a "
+                  "fixed thread count and still answers pings",
+                  held >= idle_target && idle_ping_ok && helper_ok,
+                  std::to_string(held) + "/" +
+                      std::to_string(idle_target) +
+                      " idle connections held; ping " +
+                      (idle_ping_ok ? "ok" : "failed"));
+
+        report::JsonWriter().writeFile(out_path, doc.toJson());
+        if (ctx.table)
+            std::printf("\nwrote %s\n", out_path.c_str());
+        return doc;
+    }
+};
+
+} // namespace
+
+namespace rhs::bench
+{
+
+void
+registerRouteLoadgen()
+{
+    exp::Registry::add(std::make_unique<RouteLoadgen>());
+}
+
+} // namespace rhs::bench

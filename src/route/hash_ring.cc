@@ -1,0 +1,82 @@
+#include "route/hash_ring.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhs::route
+{
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+HashRing::HashRing(unsigned shard_count, unsigned vnodes_per_shard)
+    : shards(shard_count)
+{
+    RHS_ASSERT(shard_count > 0, "HashRing needs at least one shard");
+    RHS_ASSERT(vnodes_per_shard > 0,
+               "HashRing needs at least one vnode per shard");
+    ring.reserve(static_cast<std::size_t>(shard_count) *
+                 vnodes_per_shard);
+    for (unsigned shard = 0; shard < shard_count; ++shard)
+        for (unsigned vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+            const std::string point = "shard-" +
+                                      std::to_string(shard) + "#" +
+                                      std::to_string(vnode);
+            ring.emplace_back(mix64(fnv1a64(point)), shard);
+        }
+    std::sort(ring.begin(), ring.end());
+    // A position collision between two shards' vnodes would make
+    // ownership depend on sort tie-breaking; with 64-bit FNV over
+    // distinct strings it does not happen for any sane fleet size,
+    // but assert so a pathological config fails loudly.
+    for (std::size_t i = 1; i < ring.size(); ++i)
+        RHS_ASSERT(ring[i].first != ring[i - 1].first ||
+                       ring[i].second == ring[i - 1].second,
+                   "HashRing vnode position collision");
+}
+
+std::string
+HashRing::bankKey(char mfr_letter, unsigned module_index, unsigned bank)
+{
+    std::string key;
+    key += mfr_letter;
+    key += '/';
+    key += std::to_string(module_index);
+    key += '/';
+    key += std::to_string(bank);
+    return key;
+}
+
+unsigned
+HashRing::owner(std::uint64_t key_hash) const
+{
+    const auto it = std::lower_bound(
+        ring.begin(), ring.end(),
+        std::make_pair(key_hash, 0u),
+        [](const auto &a, const auto &b) { return a.first < b.first; });
+    if (it == ring.end())
+        return ring.front().second; // Wrap past the highest point.
+    return it->second;
+}
+
+} // namespace rhs::route

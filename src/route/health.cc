@@ -1,0 +1,218 @@
+#include "route/health.hh"
+
+#include <chrono>
+
+#include "serve/client.hh"
+#include "util/logging.hh"
+
+namespace rhs::route
+{
+
+HealthMonitor::HealthMonitor(HealthConfig config,
+                             std::vector<std::vector<Endpoint>> shards)
+    : config(config)
+{
+    RHS_ASSERT(config.failThreshold > 0,
+               "failThreshold must be positive");
+    RHS_ASSERT(config.riseThreshold > 0,
+               "riseThreshold must be positive");
+    state.resize(shards.size());
+    for (std::size_t shard = 0; shard < shards.size(); ++shard) {
+        RHS_ASSERT(!shards[shard].empty(),
+                   "every shard needs at least one replica");
+        for (const Endpoint &endpoint : shards[shard]) {
+            ReplicaHealth replica;
+            replica.endpoint = endpoint;
+            state[shard].push_back(std::move(replica));
+        }
+    }
+}
+
+HealthMonitor::~HealthMonitor()
+{
+    stop();
+}
+
+void
+HealthMonitor::start()
+{
+    started = true;
+    probeThread = std::thread([this] { probeLoop(); });
+}
+
+void
+HealthMonitor::stop()
+{
+    if (!stopping.exchange(true)) {
+        std::lock_guard lock(stopMutex);
+    }
+    stopCv.notify_all();
+    if (probeThread.joinable())
+        probeThread.join();
+}
+
+bool
+HealthMonitor::isUp(unsigned shard, unsigned replica) const
+{
+    std::lock_guard lock(mutex);
+    return state[shard][replica].up;
+}
+
+int
+HealthMonitor::pickUp(unsigned shard, unsigned preferred) const
+{
+    std::lock_guard lock(mutex);
+    const auto &replicas = state[shard];
+    for (std::size_t step = 0; step < replicas.size(); ++step) {
+        const std::size_t candidate =
+            (preferred + step) % replicas.size();
+        if (replicas[candidate].up)
+            return static_cast<int>(candidate);
+    }
+    return -1;
+}
+
+void
+HealthMonitor::reportFailure(unsigned shard, unsigned replica)
+{
+    std::lock_guard lock(mutex);
+    ReplicaHealth &r = state[shard][replica];
+    r.okStreak = 0;
+    r.failStreak += config.failThreshold; // Down *now*, not next probe.
+    if (r.up) {
+        r.up = false;
+        util::warn("rhs-route: shard ", shard, " replica ",
+                   r.endpoint.str(), " down (transport error)");
+    }
+}
+
+void
+HealthMonitor::reportSuccess(unsigned shard, unsigned replica)
+{
+    std::lock_guard lock(mutex);
+    ReplicaHealth &r = state[shard][replica];
+    r.failStreak = 0;
+}
+
+void
+HealthMonitor::applyProbe(unsigned shard, unsigned replica, bool ok,
+                          std::int64_t queue_depth,
+                          std::uint64_t overloaded)
+{
+    std::lock_guard lock(mutex);
+    ReplicaHealth &r = state[shard][replica];
+    r.probes += 1;
+    if (ok) {
+        r.failStreak = 0;
+        r.okStreak += 1;
+        r.queueDepth = queue_depth;
+        r.overloaded = overloaded;
+        if (!r.up && r.okStreak >= config.riseThreshold) {
+            r.up = true;
+            util::inform("rhs-route: shard ", shard, " replica ",
+                         r.endpoint.str(), " back up");
+        }
+    } else {
+        r.probeFailures += 1;
+        r.okStreak = 0;
+        r.failStreak += 1;
+        if (r.up && r.failStreak >= config.failThreshold) {
+            r.up = false;
+            util::warn("rhs-route: shard ", shard, " replica ",
+                       r.endpoint.str(), " down (probe failures)");
+        }
+    }
+}
+
+void
+HealthMonitor::probeSweep()
+{
+    for (std::size_t shard = 0; shard < state.size(); ++shard) {
+        std::size_t replicas;
+        {
+            std::lock_guard lock(mutex);
+            replicas = state[shard].size();
+        }
+        for (std::size_t replica = 0; replica < replicas; ++replica) {
+            Endpoint endpoint;
+            {
+                std::lock_guard lock(mutex);
+                endpoint = state[shard][replica].endpoint;
+            }
+            serve::Client probe;
+            bool ok = probe.connect(endpoint.host, endpoint.port) &&
+                      probe.ping(0);
+            std::int64_t queue_depth = 0;
+            std::uint64_t overloaded = 0;
+            if (ok) {
+                // Load signals ride on the same probe connection:
+                // the legacy `overloaded` counter plus the PR 5
+                // queue_depth gauge from the server's registry.
+                const report::Json stats = probe.stats(0);
+                if (const auto *v = stats.find("overloaded");
+                    v != nullptr &&
+                    v->type() == report::Json::Type::Int)
+                    overloaded =
+                        static_cast<std::uint64_t>(v->asInt());
+                if (const auto *metrics = stats.find("metrics"))
+                    if (const auto *server = metrics->find("server"))
+                        if (const auto *gauges =
+                                server->find("gauges"))
+                            if (const auto *depth =
+                                    gauges->find("queue_depth");
+                                depth != nullptr &&
+                                depth->type() ==
+                                    report::Json::Type::Int)
+                                queue_depth = depth->asInt();
+            }
+            applyProbe(static_cast<unsigned>(shard),
+                       static_cast<unsigned>(replica), ok,
+                       queue_depth, overloaded);
+        }
+    }
+}
+
+void
+HealthMonitor::probeLoop()
+{
+    util::setLogThreadTag("health");
+    while (!stopping.load()) {
+        probeSweep();
+        std::unique_lock lock(stopMutex);
+        stopCv.wait_for(lock,
+                        std::chrono::milliseconds(
+                            config.probeIntervalMs),
+                        [this] { return stopping.load(); });
+    }
+}
+
+std::vector<std::vector<ReplicaHealth>>
+HealthMonitor::snapshot() const
+{
+    std::lock_guard lock(mutex);
+    return state;
+}
+
+report::Json
+HealthMonitor::json() const
+{
+    const auto snap = snapshot();
+    auto shards = report::Json::array();
+    for (const auto &replicas : snap) {
+        auto shard = report::Json::array();
+        for (const ReplicaHealth &r : replicas) {
+            auto entry = report::Json::object();
+            entry.set("endpoint", r.endpoint.str());
+            entry.set("up", r.up);
+            entry.set("probes", r.probes);
+            entry.set("probe_failures", r.probeFailures);
+            entry.set("queue_depth", r.queueDepth);
+            entry.set("overloaded", r.overloaded);
+            shard.push(std::move(entry));
+        }
+        shards.push(std::move(shard));
+    }
+    return shards;
+}
+
+} // namespace rhs::route

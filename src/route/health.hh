@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Replica health tracking for the routed serving fleet.
+ *
+ * Each shard is a list of replicas (identical rhs-serve processes
+ * warmed for the same slice of the keyspace). The monitor keeps one
+ * up/down flag per replica, fed from two directions:
+ *
+ *  - a probe thread pings every replica each probeIntervalMs and also
+ *    reads its `stats` snapshot, recording the PR 5 load signals
+ *    (queue_depth gauge, overloaded counter) next to the flag;
+ *  - the data path calls reportFailure() the instant a forwarded
+ *    request hits a transport error, taking the replica down
+ *    *immediately* — failover must not wait out a probe interval.
+ *
+ * The up/down state machine is streak-based and asymmetric:
+ *
+ *        probe/data failure x failThreshold
+ *   UP ────────────────────────────────────▶ DOWN
+ *   UP ◀──────────────────────────────────── DOWN
+ *        probe success x riseThreshold
+ *
+ * (reportFailure counts as failThreshold failures at once.) Dropping
+ * fast and rising deliberately keeps a flapping replica from
+ * bouncing requests; the streak counters are the entire state, so
+ * the machine is trivially restartable.
+ */
+
+#ifndef RHS_ROUTE_HEALTH_HH
+#define RHS_ROUTE_HEALTH_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/json.hh"
+
+namespace rhs::route
+{
+
+/** One backend address. */
+struct Endpoint
+{
+    std::string host = "127.0.0.1";
+    unsigned short port = 0;
+
+    std::string str() const
+    {
+        return host + ":" + std::to_string(port);
+    }
+};
+
+/** Probe cadence and streak thresholds. */
+struct HealthConfig
+{
+    unsigned probeIntervalMs = 200;
+    unsigned failThreshold = 2; //!< Probe failures to take a replica down.
+    unsigned riseThreshold = 1; //!< Probe successes to bring it back.
+};
+
+/** One replica's view (snapshot copy; see HealthMonitor::snapshot). */
+struct ReplicaHealth
+{
+    Endpoint endpoint;
+    bool up = true;
+    unsigned failStreak = 0;
+    unsigned okStreak = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t probeFailures = 0;
+    // Last-probed load signals (serve stats: queue_depth gauge and
+    // the overloaded counter) — the fleet's backpressure at a glance.
+    std::int64_t queueDepth = 0;
+    std::uint64_t overloaded = 0;
+};
+
+/** Tracks replica liveness for every shard; one probe thread. */
+class HealthMonitor
+{
+  public:
+    HealthMonitor(HealthConfig config,
+                  std::vector<std::vector<Endpoint>> shards);
+    ~HealthMonitor();
+
+    HealthMonitor(const HealthMonitor &) = delete;
+    HealthMonitor &operator=(const HealthMonitor &) = delete;
+
+    void start();
+    void stop(); //!< Idempotent; joins the probe thread.
+
+    bool isUp(unsigned shard, unsigned replica) const;
+
+    /**
+     * The replica the data path should use for `shard`: `preferred`
+     * itself when it is up, else the next up replica clockwise from
+     * it. -1 when every replica of the shard is down (callers may
+     * still try a cold redial — see Router::connectShard).
+     */
+    int pickUp(unsigned shard, unsigned preferred) const;
+
+    /** Data-path transport error: take the replica down now. */
+    void reportFailure(unsigned shard, unsigned replica);
+
+    /** Data-path success (a completed call): clears the fail streak. */
+    void reportSuccess(unsigned shard, unsigned replica);
+
+    /** Copy of the full state (stats op / tests). */
+    std::vector<std::vector<ReplicaHealth>> snapshot() const;
+
+    /** The stats-op payload: per shard, per replica state objects. */
+    report::Json json() const;
+
+    /** Run one synchronous probe sweep (tests; no thread needed). */
+    void probeSweep();
+
+  private:
+    void probeLoop();
+    void applyProbe(unsigned shard, unsigned replica, bool ok,
+                    std::int64_t queue_depth, std::uint64_t overloaded);
+
+    HealthConfig config;
+    mutable std::mutex mutex; //!< Guards `state`.
+    std::vector<std::vector<ReplicaHealth>> state;
+
+    std::thread probeThread;
+    std::atomic<bool> stopping{false};
+    bool started = false;
+    std::mutex stopMutex;
+    std::condition_variable stopCv;
+};
+
+} // namespace rhs::route
+
+#endif // RHS_ROUTE_HEALTH_HH

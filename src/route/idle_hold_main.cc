@@ -1,0 +1,85 @@
+/**
+ * @file
+ * `rhs-route-idle` — connection-holding helper for fleet scale tests.
+ *
+ *   rhs-route-idle --port P [--host H] [--count N] [--ping-every N]
+ *
+ * Opens `count` rhs-rpc/1 connections to one server, verifies a ping
+ * on every ping-every'th of them, prints "HELD <n>" on stdout, then
+ * holds every connection open until stdin reaches EOF (the parent
+ * closes the pipe) or SIGTERM. Exit code 0 iff all `count`
+ * connections were established and every sampled ping succeeded.
+ *
+ * This exists because the "one shard holds >= 10k idle connections"
+ * gate cannot run in the load generator's own process: this
+ * container's fd ceiling is 20000, and 10k sockets exist *twice* on
+ * loopback (server end + client end). Holding the client ends in a
+ * child process gives each side its own fd table.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "serve/client.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rhs;
+    const util::Cli cli(
+        argc, argv, {"host", "port", "count", "ping-every", "help"});
+    if (cli.has("help")) {
+        std::printf("usage: rhs-route-idle --port P [--host H] "
+                    "[--count N] [--ping-every N]\n");
+        return 0;
+    }
+    std::signal(SIGPIPE, SIG_IGN);
+    util::setLogLevel(util::LogLevel::Warn);
+
+    const std::string host = cli.get("host", "127.0.0.1");
+    const auto port =
+        static_cast<unsigned short>(cli.getInt("port", 0));
+    const auto count =
+        static_cast<std::size_t>(cli.getInt("count", 10000));
+    const auto ping_every =
+        static_cast<std::size_t>(cli.getInt("ping-every", 1000));
+    if (port == 0)
+        RHS_FATAL("rhs-route-idle: --port is required");
+
+    std::vector<std::unique_ptr<serve::Client>> held;
+    held.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto client = std::make_unique<serve::Client>();
+        std::string error;
+        if (!client->connect(host, port, &error)) {
+            std::fprintf(stderr,
+                         "rhs-route-idle: connection %zu: %s\n", i,
+                         error.c_str());
+            return 1;
+        }
+        // Sampled liveness: every ping-every'th connection proves the
+        // server still answers while thousands sit idle around it.
+        if (ping_every > 0 && i % ping_every == 0 &&
+            !client->ping(static_cast<std::int64_t>(i))) {
+            std::fprintf(stderr,
+                         "rhs-route-idle: ping failed on "
+                         "connection %zu\n",
+                         i);
+            return 1;
+        }
+        held.push_back(std::move(client));
+    }
+
+    std::printf("HELD %zu\n", held.size());
+    std::fflush(stdout);
+
+    // Hold until the parent hangs up.
+    int c;
+    while ((c = std::getchar()) != EOF) {
+    }
+    return 0;
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * `rhs-route` — the standalone router for a sharded rhs-serve fleet.
+ *
+ *   rhs-route --shards "H:P[,H:P...][;H:P[,H:P...]]..."
+ *             [--host H] [--port P] [--max-conns N] [--vnodes N]
+ *             [--inbox N] [--pipeline N] [--attempts N]
+ *             [--probe-ms N] [--fail-threshold N] [--rise-threshold N]
+ *             [--log LEVEL]
+ *
+ * --shards is the routing table: shards are separated by ';', and a
+ * shard's replicas (identical rhs-serve processes) by ','. Example —
+ * two shards, the first with a standby replica:
+ *
+ *   rhs-route --shards "127.0.0.1:7001,127.0.0.1:7101;127.0.0.1:7002"
+ *
+ * The router speaks rhs-rpc/1 on its own port exactly like a shard
+ * (same ops, same error bytes), so any rhs-serve client works
+ * unchanged. --port 0 (default) binds an ephemeral port announced on
+ * stderr ("listening on ..."). Runs until SIGTERM/SIGINT or a
+ * `shutdown` request, then drains: every routed request in flight is
+ * answered before exit.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <thread>
+#include <unistd.h>
+
+#include "report/writer.hh"
+#include "route/router.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace rhs;
+
+// Self-pipe: the signal handler may only touch async-signal-safe
+// calls, so it writes one byte and a watcher thread does the rest.
+int signalPipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] const auto ignored =
+        ::write(signalPipe[1], &byte, 1);
+}
+
+/** "H:P,H:P;H:P" -> shards[i] = replica endpoint list. */
+std::vector<std::vector<route::Endpoint>>
+parseShards(const std::string &spec)
+{
+    std::vector<std::vector<route::Endpoint>> shards;
+    std::size_t shard_start = 0;
+    while (shard_start <= spec.size()) {
+        std::size_t shard_end = spec.find(';', shard_start);
+        if (shard_end == std::string::npos)
+            shard_end = spec.size();
+        const std::string shard_spec =
+            spec.substr(shard_start, shard_end - shard_start);
+        std::vector<route::Endpoint> replicas;
+        std::size_t replica_start = 0;
+        while (replica_start <= shard_spec.size()) {
+            std::size_t replica_end =
+                shard_spec.find(',', replica_start);
+            if (replica_end == std::string::npos)
+                replica_end = shard_spec.size();
+            const std::string entry = shard_spec.substr(
+                replica_start, replica_end - replica_start);
+            if (!entry.empty()) {
+                const std::size_t colon = entry.rfind(':');
+                if (colon == std::string::npos || colon == 0 ||
+                    colon + 1 == entry.size())
+                    RHS_FATAL("--shards entry '", entry,
+                              "' is not host:port");
+                route::Endpoint endpoint;
+                endpoint.host = entry.substr(0, colon);
+                try {
+                    endpoint.port = static_cast<unsigned short>(
+                        std::stoul(entry.substr(colon + 1)));
+                } catch (...) {
+                    RHS_FATAL("--shards entry '", entry,
+                              "' has a bad port");
+                }
+                replicas.push_back(std::move(endpoint));
+            }
+            if (replica_end == shard_spec.size())
+                break;
+            replica_start = replica_end + 1;
+        }
+        if (!replicas.empty())
+            shards.push_back(std::move(replicas));
+        if (shard_end == spec.size())
+            break;
+        shard_start = shard_end + 1;
+    }
+    return shards;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const util::Cli cli(argc, argv,
+                        {"shards", "host", "port", "max-conns",
+                         "vnodes", "inbox", "pipeline", "attempts",
+                         "probe-ms", "fail-threshold",
+                         "rise-threshold", "log", "help"});
+    if (cli.has("help")) {
+        std::printf(
+            "usage: rhs-route --shards \"H:P[,H:P...][;...]\"\n"
+            "                 [--host H] [--port P] [--max-conns N]\n"
+            "                 [--vnodes N] [--inbox N] [--pipeline N]\n"
+            "                 [--attempts N] [--probe-ms N]\n"
+            "                 [--fail-threshold N] "
+            "[--rise-threshold N]\n"
+            "                 [--log silent|warn|info|debug]\n"
+            "--shards lists the fleet: ';' separates shards, ','\n"
+            "separates a shard's replicas. The (mfr, module, bank)\n"
+            "keyspace is consistent-hashed across the shards; each\n"
+            "request is forwarded to its owning shard's live replica\n"
+            "with automatic failover between replicas.\n");
+        return 0;
+    }
+
+    const std::string log = cli.get("log", "info");
+    if (log == "silent")
+        util::setLogLevel(util::LogLevel::Silent);
+    else if (log == "warn")
+        util::setLogLevel(util::LogLevel::Warn);
+    else if (log == "debug")
+        util::setLogLevel(util::LogLevel::Debug);
+    else if (log != "info")
+        RHS_FATAL("--log must be silent, warn, info, or debug");
+    util::setLogThreadTag("main");
+
+    route::RouterConfig config;
+    config.shards = parseShards(cli.get("shards", ""));
+    if (config.shards.empty())
+        RHS_FATAL("rhs-route: --shards is required "
+                  "(\"host:port[,host:port...][;...]\")");
+    config.host = cli.get("host", "127.0.0.1");
+    config.port = static_cast<unsigned short>(cli.getInt("port", 0));
+    config.maxConnections =
+        static_cast<unsigned>(cli.getInt("max-conns", 1024));
+    config.vnodesPerShard =
+        static_cast<unsigned>(cli.getInt("vnodes", 64));
+    config.inboxCapacity =
+        static_cast<unsigned>(cli.getInt("inbox", 1024));
+    config.pipelineMax =
+        static_cast<unsigned>(cli.getInt("pipeline", 64));
+    config.maxAttempts =
+        static_cast<unsigned>(cli.getInt("attempts", 6));
+    config.health.probeIntervalMs =
+        static_cast<unsigned>(cli.getInt("probe-ms", 200));
+    config.health.failThreshold =
+        static_cast<unsigned>(cli.getInt("fail-threshold", 2));
+    config.health.riseThreshold =
+        static_cast<unsigned>(cli.getInt("rise-threshold", 1));
+
+    route::Router router(std::move(config));
+    router.start();
+
+    if (::pipe(signalPipe) != 0)
+        RHS_FATAL("rhs-route: pipe(): cannot set up signal handling");
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::thread watcher([&router] {
+        util::setLogThreadTag("signals");
+        char byte;
+        if (::read(signalPipe[0], &byte, 1) == 1) {
+            util::inform("rhs-route: signal received; draining");
+            router.requestStop();
+        }
+    });
+
+    router.waitForStopRequest();
+    router.stop();
+
+    // Wake the watcher if the stop came from a shutdown request.
+    const char byte = 0;
+    [[maybe_unused]] const auto ignored =
+        ::write(signalPipe[1], &byte, 1);
+    watcher.join();
+    ::close(signalPipe[0]);
+    ::close(signalPipe[1]);
+
+    std::fprintf(stderr, "%s\n",
+                 report::JsonWriter()
+                     .toString(router.statsJson())
+                     .c_str());
+    return 0;
+}

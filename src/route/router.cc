@@ -1,0 +1,510 @@
+#include "route/router.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/export.hh"
+#include "serve/protocol.hh"
+#include "serve/query_engine.hh"
+#include "util/logging.hh"
+
+namespace rhs::route
+{
+
+Router::Router(RouterConfig config_in)
+    : config(std::move(config_in)),
+      hashRing(static_cast<unsigned>(config.shards.size()),
+               config.vnodesPerShard)
+{
+    RHS_ASSERT(!config.shards.empty(),
+               "router needs at least one shard");
+    RHS_ASSERT(config.inboxCapacity > 0,
+               "inboxCapacity must be positive");
+    RHS_ASSERT(config.pipelineMax > 0, "pipelineMax must be positive");
+    monitor =
+        std::make_unique<HealthMonitor>(config.health, config.shards);
+    for (unsigned i = 0; i < config.shards.size(); ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->index = i;
+        const std::string prefix =
+            "route.shard." + std::to_string(i) + ".";
+        shard->nSent = &registry_.counter(prefix + "sent");
+        shard->nFailed = &registry_.counter(prefix + "failed");
+        shard->nFailover = &registry_.counter(prefix + "failover");
+        shardStates.push_back(std::move(shard));
+    }
+}
+
+Router::~Router()
+{
+    stop();
+}
+
+unsigned short
+Router::port() const
+{
+    return connLayer ? connLayer->port() : 0;
+}
+
+std::size_t
+Router::connectionCount() const
+{
+    return connLayer ? connLayer->connectionCount() : 0;
+}
+
+void
+Router::start()
+{
+    serve::ConnLayerConfig net;
+    net.host = config.host;
+    net.port = config.port;
+    net.maxConnections = config.maxConnections;
+    net.name = "rhs-route";
+
+    serve::ConnLayer::Events events;
+    events.onFrame = [this](const ConnPtr &conn, std::string &&body) {
+        handleFrame(conn, body);
+    };
+    events.onOversize = [this](const ConnPtr &conn) {
+        nMalformed.add(1);
+        nLocal.add(1);
+        send(conn,
+             serve::makeError(serve::kNoRequestId,
+                              serve::err::kFrameTooLarge,
+                              "frame exceeds " +
+                                  std::to_string(serve::kMaxFrameBytes) +
+                                  " bytes"));
+    };
+    events.onTruncated = [this] { nMalformed.add(1); };
+    events.onAccepted = [this](unsigned) { nConnections.add(1); };
+    events.onRejected = [this](int fd) {
+        nRejected.add(1);
+        serve::writeFrame(
+            fd, serve::serialize(serve::makeError(
+                    serve::kNoRequestId, serve::err::kOverloaded,
+                    "connection limit reached")));
+    };
+
+    connLayer = std::make_unique<serve::ConnLayer>(std::move(net),
+                                                   std::move(events));
+    connLayer->start();
+    monitor->start();
+    for (auto &shard : shardStates)
+        shard->thread =
+            std::thread([this, s = shard.get()] { forwarderLoop(*s); });
+    util::inform("rhs-route: listening on ", config.host, ":",
+                 connLayer->port(), " (", config.shards.size(),
+                 " shards, ", config.vnodesPerShard,
+                 " vnodes/shard)");
+}
+
+void
+Router::requestStop()
+{
+    if (stopping.exchange(true))
+        return;
+    {
+        std::lock_guard lock(stopMutex);
+    }
+    stopCv.notify_all();
+    for (auto &shard : shardStates) {
+        std::lock_guard lock(shard->mutex);
+        shard->cv.notify_all();
+    }
+    if (connLayer)
+        connLayer->stopAccepting();
+}
+
+void
+Router::waitForStopRequest()
+{
+    std::unique_lock lock(stopMutex);
+    stopCv.wait(lock, [this] { return stopping.load(); });
+}
+
+void
+Router::stop()
+{
+    requestStop();
+    {
+        std::lock_guard lock(stopMutex);
+        if (stopped)
+            return;
+        stopped = true;
+    }
+    // Forwarders drain their inboxes before exiting, so every routed
+    // request accepted before the stop request is answered; the event
+    // thread stays up underneath to flush those replies out.
+    for (auto &shard : shardStates)
+        if (shard->thread.joinable())
+            shard->thread.join();
+    monitor->stop();
+    if (connLayer)
+        connLayer->drainAndStop();
+    util::inform("rhs-route: stopped (", nRouted.value(),
+                 " requests routed, ", nLocal.value(),
+                 " local replies)");
+}
+
+bool
+Router::send(const ConnPtr &conn, const report::Json &response)
+{
+    return connLayer->send(conn, serve::serialize(response));
+}
+
+unsigned
+Router::shardOf(const report::Json &request) const
+{
+    // Routing is best-effort on the raw parameters: an out-of-range
+    // module or a bogus mfr still lands on *one deterministic* shard,
+    // whose engine produces the identical bad_request reply any other
+    // shard would have (validation is pure). Defaults mirror
+    // query_engine.cc: mfr A, module 0, bank 0.
+    char mfr = 'A';
+    if (const auto *value = request.find("mfr");
+        value != nullptr &&
+        value->type() == report::Json::Type::String &&
+        value->asString().size() == 1)
+        mfr = value->asString()[0];
+    std::int64_t module_index = 0;
+    if (const auto *value = request.find("module");
+        value != nullptr && value->type() == report::Json::Type::Int)
+        module_index = value->asInt();
+    std::int64_t bank = 0;
+    if (const auto *value = request.find("bank");
+        value != nullptr && value->type() == report::Json::Type::Int)
+        bank = value->asInt();
+    std::string key;
+    key += mfr;
+    key += '/';
+    key += std::to_string(module_index);
+    key += '/';
+    key += std::to_string(bank);
+    return hashRing.ownerOf(key);
+}
+
+void
+Router::handleFrame(const ConnPtr &conn, const std::string &body)
+{
+    // The control-plane surface is kept request-for-request identical
+    // to serve::Server::handleFrame (same checks, same order, same
+    // message bytes) so a client cannot tell a router from a shard.
+    if (body.empty()) {
+        nMalformed.add(1);
+        nLocal.add(1);
+        send(conn, serve::makeError(serve::kNoRequestId,
+                                    serve::err::kBadRequest,
+                                    "empty frame body"));
+        return;
+    }
+
+    report::Json request;
+    std::string parse_error;
+    if (!report::Json::parse(body, request, parse_error)) {
+        nMalformed.add(1);
+        nLocal.add(1);
+        send(conn, serve::makeError(serve::kNoRequestId,
+                                    serve::err::kBadRequest,
+                                    "malformed JSON: " + parse_error));
+        return;
+    }
+
+    std::int64_t id = serve::kNoRequestId;
+    bool has_id = false;
+    if (request.type() == report::Json::Type::Object) {
+        if (const auto *id_value = request.find("id");
+            id_value != nullptr &&
+            id_value->type() == report::Json::Type::Int) {
+            id = id_value->asInt();
+            has_id = true;
+        }
+    }
+    const report::Json *op_value =
+        request.type() == report::Json::Type::Object
+            ? request.find("op")
+            : nullptr;
+    if (op_value == nullptr ||
+        op_value->type() != report::Json::Type::String) {
+        nLocal.add(1);
+        send(conn, serve::makeError(id, serve::err::kBadRequest,
+                                    "request needs a string 'op'"));
+        return;
+    }
+    const std::string &op = op_value->asString();
+
+    if (op == "ping") {
+        auto result = report::Json::object();
+        result.set("protocol", serve::kProtocol);
+        nLocal.add(1);
+        send(conn, serve::makeResult(id, std::move(result)));
+        return;
+    }
+    if (op == "stats") {
+        nLocal.add(1);
+        send(conn, serve::makeResult(id, statsJson()));
+        return;
+    }
+    if (op == "shutdown") {
+        auto result = report::Json::object();
+        result.set("draining", true);
+        nLocal.add(1);
+        send(conn, serve::makeResult(id, std::move(result)));
+        util::inform("rhs-route: shutdown requested by conn",
+                     conn->id);
+        requestStop();
+        return;
+    }
+    if (!serve::QueryEngine::isEngineOp(op)) {
+        nLocal.add(1);
+        send(conn, serve::makeError(id, serve::err::kUnknownOp,
+                                    "unknown op '" + op + "'"));
+        return;
+    }
+
+    // Engine op. Check order matches the direct path: a shard
+    // validates deadline_ms in handleFrame *before* its engine
+    // notices a missing id, so the router must too.
+    if (const auto *deadline = request.find("deadline_ms");
+        deadline != nullptr &&
+        (deadline->type() != report::Json::Type::Int ||
+         deadline->asInt() < 0)) {
+        nLocal.add(1);
+        send(conn, serve::makeError(id, serve::err::kBadRequest,
+                                    "'deadline_ms' must be a "
+                                    "non-negative integer"));
+        return;
+    }
+    if (!has_id) {
+        // The id rewrite below would *insert* an id and mask the
+        // engine's contract; answer with the engine's exact reply.
+        nLocal.add(1);
+        send(conn, serve::makeError(serve::kNoRequestId,
+                                    serve::err::kBadRequest,
+                                    "request needs an integer 'id'"));
+        return;
+    }
+
+    Job job;
+    job.conn = conn;
+    job.originalId = id;
+    job.internalId = nextInternalId.fetch_add(1) + 1;
+    request.set("id", static_cast<std::int64_t>(job.internalId));
+    job.body = serve::serialize(request);
+
+    Shard &shard = *shardStates[shardOf(request)];
+    {
+        std::lock_guard lock(shard.mutex);
+        if (stopping.load()) {
+            nLocal.add(1);
+            send(conn, serve::makeError(id, serve::err::kShuttingDown,
+                                        "router is draining"));
+            return;
+        }
+        if (shard.inbox.size() >= config.inboxCapacity) {
+            nInboxFull.add(1);
+            nLocal.add(1);
+            send(conn,
+                 serve::makeError(
+                     id, serve::err::kOverloaded,
+                     "router inbox is full (capacity " +
+                         std::to_string(config.inboxCapacity) + ")"));
+            return;
+        }
+        shard.inbox.push_back(std::move(job));
+        nRouted.add(1);
+    }
+    shard.cv.notify_one();
+}
+
+bool
+Router::connectShard(Shard &shard)
+{
+    const auto &replicas = config.shards[shard.index];
+    const unsigned preferred =
+        shard.replica >= 0 ? static_cast<unsigned>(shard.replica) : 0;
+    const int pick = monitor->pickUp(shard.index, preferred);
+    // Dial the healthy pick first, then cold-dial the rest in ring
+    // order: a replica that restarted a millisecond ago is still
+    // marked down until the next probe sweep, but it answers a
+    // connect, and finding it here is what makes failback seamless.
+    std::vector<unsigned> order;
+    if (pick >= 0)
+        order.push_back(static_cast<unsigned>(pick));
+    for (unsigned step = 0; step < replicas.size(); ++step) {
+        const unsigned candidate =
+            (preferred + step) % replicas.size();
+        if (pick < 0 || candidate != static_cast<unsigned>(pick))
+            order.push_back(candidate);
+    }
+    for (const unsigned candidate : order) {
+        const Endpoint &endpoint = replicas[candidate];
+        if (shard.client.connect(endpoint.host, endpoint.port)) {
+            shard.replica = static_cast<int>(candidate);
+            monitor->reportSuccess(shard.index, candidate);
+            return true;
+        }
+        monitor->reportFailure(shard.index, candidate);
+    }
+    shard.replica = -1;
+    return false;
+}
+
+void
+Router::processGroup(Shard &shard, std::vector<Job> &group)
+{
+    std::vector<Job> remaining = std::move(group);
+    group.clear();
+    unsigned attempts = 0;
+    unsigned delay_ms = config.redialBackoffMs;
+    while (!remaining.empty()) {
+        if (!shard.client.connected()) {
+            if (attempts >= config.maxAttempts)
+                break;
+            if (attempts > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay_ms));
+                delay_ms *= 2;
+            }
+            ++attempts;
+            if (!connectShard(shard))
+                continue;
+        }
+
+        // Pipeline every unanswered request, then collect exactly as
+        // many replies as made it onto the wire, matching by the
+        // rewritten id (a shard interleaves inline error replies with
+        // batch replies, so arrival order proves nothing).
+        bool transport_ok = true;
+        std::size_t sent = 0;
+        for (const Job &job : remaining) {
+            if (!shard.client.sendRaw(job.body)) {
+                transport_ok = false;
+                break;
+            }
+            ++sent;
+        }
+        const std::size_t before = remaining.size();
+        bool saw_draining = false;
+        for (std::size_t i = 0; i < sent && transport_ok; ++i) {
+            std::string reply;
+            if (!shard.client.recvRaw(reply)) {
+                transport_ok = false;
+                break;
+            }
+            report::Json parsed;
+            std::string parse_error;
+            if (!report::Json::parse(reply, parsed, parse_error)) {
+                // A shard never emits unparseable bytes; treat as a
+                // corrupted connection and fail over.
+                transport_ok = false;
+                break;
+            }
+            const auto *id_value = parsed.find("id");
+            if (id_value == nullptr ||
+                id_value->type() != report::Json::Type::Int)
+                continue;
+            const auto internal =
+                static_cast<std::uint64_t>(id_value->asInt());
+            const auto it = std::find_if(
+                remaining.begin(), remaining.end(),
+                [internal](const Job &job) {
+                    return job.internalId == internal;
+                });
+            if (it == remaining.end())
+                continue;
+            if (serve::isError(parsed, serve::err::kShuttingDown)) {
+                // The replica is draining: it still answers work it
+                // already queued but refuses this request. Keep the
+                // job unanswered and fail over below — the drain of
+                // one replica must be invisible to the client. (Only
+                // when a whole shard is gone does the client see an
+                // error, and then it is `internal`.)
+                saw_draining = true;
+                continue;
+            }
+            parsed.set("id", it->originalId);
+            send(it->conn, parsed);
+            shard.nSent->add(1);
+            remaining.erase(it);
+        }
+        if (transport_ok && saw_draining)
+            transport_ok = false; // Redial away from the drain.
+        else if (transport_ok && remaining.size() == before) {
+            // Replies arrived but none matched: protocol violation;
+            // a retry loop here would spin, so treat it like a dead
+            // replica.
+            transport_ok = false;
+        }
+        if (!transport_ok) {
+            if (shard.replica >= 0)
+                monitor->reportFailure(
+                    shard.index,
+                    static_cast<unsigned>(shard.replica));
+            shard.client.close();
+            shard.replica = -1;
+            shard.nFailover->add(1);
+            // Unanswered requests are resent on the next replica:
+            // engine ops are idempotent and the dead connection can
+            // no longer deliver a reply, so this is exactly-once as
+            // observed by the client.
+        }
+    }
+    for (const Job &job : remaining) {
+        shard.nFailed->add(1);
+        send(job.conn,
+             serve::makeError(job.originalId, serve::err::kInternal,
+                              "shard " + std::to_string(shard.index) +
+                                  " unavailable"));
+    }
+}
+
+void
+Router::forwarderLoop(Shard &shard)
+{
+    util::setLogThreadTag("fwd" + std::to_string(shard.index));
+    std::vector<Job> group;
+    while (true) {
+        group.clear();
+        {
+            std::unique_lock lock(shard.mutex);
+            shard.cv.wait(lock, [this, &shard] {
+                return !shard.inbox.empty() || stopping.load();
+            });
+            if (shard.inbox.empty() && stopping.load())
+                return; // Fully drained.
+            while (!shard.inbox.empty() &&
+                   group.size() < config.pipelineMax) {
+                group.push_back(std::move(shard.inbox.front()));
+                shard.inbox.pop_front();
+            }
+        }
+        fanoutHist.observe(static_cast<double>(group.size()));
+        processGroup(shard, group);
+    }
+}
+
+report::Json
+Router::statsJson() const
+{
+    auto json = report::Json::object();
+    json.set("protocol", serve::kProtocol);
+    json.set("role", "router");
+    json.set("shards",
+             static_cast<std::int64_t>(config.shards.size()));
+    json.set("vnodes_per_shard",
+             static_cast<std::int64_t>(config.vnodesPerShard));
+    json.set("requests_routed", nRouted.value());
+    json.set("local_replies", nLocal.value());
+    json.set("malformed_frames", nMalformed.value());
+    json.set("connections_accepted", nConnections.value());
+    json.set("connections_rejected", nRejected.value());
+    json.set("inbox_full", nInboxFull.value());
+    json.set("health", monitor->json());
+    auto metrics = report::Json::object();
+    metrics.set("router", obs::registryJson(registry_));
+    json.set("metrics", std::move(metrics));
+    return json;
+}
+
+} // namespace rhs::route

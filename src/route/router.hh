@@ -1,0 +1,187 @@
+/**
+ * @file
+ * `rhs-route`: the rhs-rpc/1 router in front of a sharded fleet.
+ *
+ * The router speaks the exact protocol a single rhs-serve shard does,
+ * so clients (and the load generator's byte-comparison harness) do
+ * not know it exists. It owns three kinds of thread:
+ *
+ *   epoll event thread (serve::ConnLayer, shared with rhs-serve)
+ *        │ onFrame: parse, answer control ops inline, or
+ *        │ route by HashRing(mfr, module, bank)
+ *        ▼
+ *   one forwarder thread per shard, each with a bounded inbox
+ *        │ pipelined serve::Client to the shard's live replica;
+ *        │ failover on transport error (HealthMonitor)
+ *        ▼
+ *   one health probe thread (route::HealthMonitor)
+ *
+ * Request-id multiplexing: two clients may use the same "id" value,
+ * and a backend connection carries many clients' requests at once, so
+ * the router rewrites every forwarded request's id to a router-unique
+ * internal id, matches the backend's replies by that id, and restores
+ * the original before answering. Restoration is byte-exact because
+ * report::Json's parse→serialize round trip is bit-identical and
+ * set() on an existing key updates in place — a routed reply is the
+ * same bytes a direct shard would have produced (route_loadgen
+ * proves this against a private QueryEngine for every reply).
+ *
+ * Failover: a transport error on a forwarder's backend connection
+ * marks the replica down, redials the shard's next healthy replica
+ * (HealthMonitor::pickUp, falling back to a cold round-robin redial
+ * so a just-restarted replica is found before the next probe sweep),
+ * and resends only the still-unanswered requests of the pipelined
+ * group — engine ops are idempotent, so a request answered twice is
+ * impossible and a request lost is retried, never dropped. Only when
+ * maxAttempts redials all fail does the group get `internal` error
+ * replies.
+ *
+ * The router never touches util::ThreadPool: forwarders block on
+ * backend sockets, and the pool is the property of the shards'
+ * dispatchers (on a small machine the router often shares a process
+ * with its shards — tests do — and borrowing pool workers for
+ * network waits would deadlock the fleet).
+ */
+
+#ifndef RHS_ROUTE_ROUTER_HH
+#define RHS_ROUTE_ROUTER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "report/json.hh"
+#include "route/hash_ring.hh"
+#include "route/health.hh"
+#include "serve/client.hh"
+#include "serve/conn_layer.hh"
+
+namespace rhs::route
+{
+
+/** Router tunables. */
+struct RouterConfig
+{
+    std::string host = "127.0.0.1";
+    unsigned short port = 0;       //!< 0 = ephemeral.
+    unsigned maxConnections = 1024;
+    unsigned vnodesPerShard = 64;  //!< HashRing granularity.
+    unsigned inboxCapacity = 1024; //!< Per-shard forwarder queue.
+    unsigned pipelineMax = 64;     //!< Requests in flight per shard.
+    //! Replica redials per pipelined group before giving up and
+    //! answering `internal` (covers restart gaps: attempts x backoff
+    //! must exceed a replica's restart time for seamless failover).
+    unsigned maxAttempts = 6;
+    unsigned redialBackoffMs = 50; //!< Doubles per attempt.
+    HealthConfig health;
+    //! shards[i] = replica endpoints of shard i (each >= 1 entry).
+    std::vector<std::vector<Endpoint>> shards;
+};
+
+/** The rhs-rpc/1 fan-out router. */
+class Router
+{
+  public:
+    explicit Router(RouterConfig config);
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /** Bind, start the event/forwarder/health threads. RHS_FATAL on
+     *  socket errors. */
+    void start();
+
+    unsigned short port() const;
+
+    void requestStop(); //!< Idempotent, any thread.
+    bool stopRequested() const { return stopping.load(); }
+    void waitForStopRequest();
+    void stop(); //!< Drain inboxes, answer everything, join. Idempotent.
+
+    /**
+     * The router's stats-op payload: protocol + role marker, the
+     * routing table shape, per-replica health (HealthMonitor::json),
+     * and the router registry (route.shard.*.sent/failed/failover
+     * counters, route.fanout histogram).
+     */
+    report::Json statsJson() const;
+
+    const obs::Registry &metricsRegistry() const { return registry_; }
+    const HealthMonitor &health() const { return *monitor; }
+    const HashRing &ring() const { return hashRing; }
+    std::size_t connectionCount() const;
+
+  private:
+    using ConnPtr = serve::ConnLayer::ConnPtr;
+
+    /** One routed request waiting in / in flight from a shard inbox. */
+    struct Job
+    {
+        ConnPtr conn;
+        std::int64_t originalId = -1;
+        std::uint64_t internalId = 0;
+        std::string body; //!< Serialized with the rewritten id.
+    };
+
+    /** One shard's forwarding state (forwarder thread owns client). */
+    struct Shard
+    {
+        unsigned index = 0;
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<Job> inbox; //!< Bounded by config.inboxCapacity.
+        std::thread thread;
+        serve::Client client;
+        int replica = -1; //!< Connected replica, -1 = none.
+        obs::Counter *nSent = nullptr;     //!< route.shard.i.sent
+        obs::Counter *nFailed = nullptr;   //!< route.shard.i.failed
+        obs::Counter *nFailover = nullptr; //!< route.shard.i.failover
+    };
+
+    void handleFrame(const ConnPtr &conn, const std::string &body);
+    unsigned shardOf(const report::Json &request) const;
+    void forwarderLoop(Shard &shard);
+    /** Forward a pipelined group, answering every job exactly once. */
+    void processGroup(Shard &shard, std::vector<Job> &group);
+    bool connectShard(Shard &shard);
+    bool send(const ConnPtr &conn, const report::Json &response);
+
+    RouterConfig config;
+    HashRing hashRing;
+    std::unique_ptr<HealthMonitor> monitor;
+    std::unique_ptr<serve::ConnLayer> connLayer;
+    std::vector<std::unique_ptr<Shard>> shardStates;
+
+    std::atomic<std::uint64_t> nextInternalId{0};
+
+    std::atomic<bool> stopping{false};
+    bool stopped = false;
+    std::mutex stopMutex;
+    std::condition_variable stopCv;
+
+    obs::Registry registry_;
+    obs::Counter &nRouted{registry_.counter("route.requests")};
+    obs::Counter &nLocal{registry_.counter("route.local_replies")};
+    obs::Counter &nMalformed{registry_.counter("route.malformed_frames")};
+    obs::Counter &nConnections{
+        registry_.counter("route.connections_accepted")};
+    obs::Counter &nRejected{
+        registry_.counter("route.connections_rejected")};
+    obs::Counter &nInboxFull{registry_.counter("route.inbox_full")};
+    //! Requests per pipelined forwarder group (the fan-out width a
+    //! burst actually achieved; 1, 2, 4, ... overflow > pipelineMax).
+    obs::Histogram &fanoutHist{registry_.histogram(
+        "route.fanout", obs::exponentialBounds(1.0, 2.0, 8))};
+};
+
+} // namespace rhs::route
+
+#endif // RHS_ROUTE_ROUTER_HH

@@ -2,9 +2,12 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
 
 #include "serve/protocol.hh"
@@ -39,7 +42,36 @@ Client::connect(const std::string &host, unsigned short port,
         close();
         return false;
     }
+    // Every frame is one small complete request/response; Nagle only
+    // adds latency between the 4-byte length write and the body.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    lastHost = host;
+    lastPort = port;
     return true;
+}
+
+bool
+Client::reconnect(std::string *error)
+{
+    if (lastHost.empty()) {
+        if (error != nullptr)
+            *error = "reconnect before any connect()";
+        return false;
+    }
+    const unsigned tries =
+        reconnectPolicy.attempts > 0 ? reconnectPolicy.attempts : 1;
+    unsigned delay_ms = reconnectPolicy.backoffMs;
+    for (unsigned attempt = 0; attempt < tries; ++attempt) {
+        if (attempt > 0 && delay_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
+            delay_ms *= 2;
+        }
+        if (connect(lastHost, lastPort, error))
+            return true;
+    }
+    return false;
 }
 
 void
@@ -66,12 +98,32 @@ Client::recvRaw(std::string &body)
 std::string
 Client::callRaw(const std::string &body)
 {
-    if (!sendRaw(body))
-        return {};
     std::string response;
-    if (!recvRaw(response))
+    if (sendRaw(body) && recvRaw(response))
+        return response;
+    // Transport error — with one request outstanding the server never
+    // answered it, so (ops being idempotent) redialing and resending
+    // is exact. Each attempt redials from scratch: the old socket is
+    // half-dead after an ECONNRESET/EPIPE.
+    if (lastHost.empty())
         return {};
-    return response;
+    unsigned delay_ms = reconnectPolicy.backoffMs;
+    for (unsigned attempt = 0; attempt < reconnectPolicy.attempts;
+         ++attempt) {
+        if (attempt > 0) {
+            if (delay_ms > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay_ms));
+            delay_ms *= 2;
+        }
+        close();
+        if (!connect(lastHost, lastPort))
+            continue;
+        response.clear();
+        if (sendRaw(body) && recvRaw(response))
+            return response;
+    }
+    return {};
 }
 
 bool

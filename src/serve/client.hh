@@ -7,6 +7,16 @@
  * stream directly for pipelining (many requests in flight on one
  * connection, responses matched by id). Not thread-safe: one Client
  * per thread, which is how the load generator uses it.
+ *
+ * With a ReconnectPolicy set, `call`/`callRaw` survive a server
+ * restart: on a transport error (ECONNRESET/EPIPE/closed socket) the
+ * client re-dials the remembered endpoint with doubling backoff and
+ * resends the request. That is only sound because every rhs-rpc/1
+ * query op is idempotent — re-executing one yields the identical
+ * response bytes — so the retry is invisible to the caller. The
+ * pipelined sendRaw/recvRaw path never retries implicitly: with many
+ * requests in flight the caller alone knows which ones are
+ * unanswered (route::Router does exactly that bookkeeping).
  */
 
 #ifndef RHS_SERVE_CLIENT_HH
@@ -19,6 +29,13 @@
 
 namespace rhs::serve
 {
+
+/** Bounded retry-on-disconnect for idempotent calls (see Client). */
+struct ReconnectPolicy
+{
+    unsigned attempts = 0;  //!< Redial attempts per call; 0 = off.
+    unsigned backoffMs = 50; //!< First retry delay; doubles per try.
+};
 
 /** One rhs-rpc/1 connection. */
 class Client
@@ -39,6 +56,16 @@ class Client
 
     bool connected() const { return fd >= 0; }
     void close();
+
+    /** Enable (attempts > 0) or disable call()/callRaw() retries. */
+    void setReconnect(ReconnectPolicy policy) { reconnectPolicy = policy; }
+
+    /**
+     * Redial the endpoint remembered by the last connect(), honoring
+     * the policy's attempts/backoff schedule (one immediate try when
+     * no policy is set). False when every attempt fails.
+     */
+    bool reconnect(std::string *error = nullptr);
 
     /**
      * Send one request and wait for its response.
@@ -72,6 +99,9 @@ class Client
 
   private:
     int fd = -1;
+    std::string lastHost;
+    unsigned short lastPort = 0;
+    ReconnectPolicy reconnectPolicy;
 };
 
 } // namespace rhs::serve

@@ -1,0 +1,469 @@
+#include "serve/conn_layer.hh"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "util/logging.hh"
+
+namespace rhs::serve
+{
+
+namespace
+{
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void
+setNoDelay(int fd)
+{
+    // Small framed RPCs must not wait out Nagle coalescing: a request
+    // frame is ~100 bytes and the reply unblocks the caller.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+} // namespace
+
+ConnLayer::Conn::~Conn()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+ConnLayer::ConnLayer(ConnLayerConfig config, Events events)
+    : config(std::move(config)), events(std::move(events))
+{
+    RHS_ASSERT(this->config.maxConnections > 0,
+               "maxConnections must be positive");
+}
+
+ConnLayer::~ConnLayer()
+{
+    drainAndStop();
+}
+
+void
+ConnLayer::start()
+{
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        RHS_FATAL(config.name, ": socket(): ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config.port);
+    if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1)
+        RHS_FATAL(config.name, ": bad host address: ", config.host);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        RHS_FATAL(config.name, ": bind(", config.host, ":", config.port,
+                  "): ", std::strerror(errno));
+    // Backlog sized to the accept cap (the kernel clamps to
+    // net.core.somaxconn): a fleet shard configured for 10k
+    // connections must not bounce a connect burst off a hardcoded 128.
+    const int backlog = static_cast<int>(
+        std::min(config.maxConnections, 65535u));
+    if (::listen(listenFd, backlog) != 0)
+        RHS_FATAL(config.name, ": listen(): ", std::strerror(errno));
+    setNonBlocking(listenFd);
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof bound;
+    ::getsockname(listenFd, reinterpret_cast<sockaddr *>(&bound),
+                  &bound_len);
+    boundPort = ntohs(bound.sin_port);
+
+    epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epollFd < 0)
+        RHS_FATAL(config.name, ": epoll_create1(): ",
+                  std::strerror(errno));
+    wakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wakeFd < 0)
+        RHS_FATAL(config.name, ": eventfd(): ", std::strerror(errno));
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd;
+    ::epoll_ctl(epollFd, EPOLL_CTL_ADD, listenFd, &ev);
+    ev.data.fd = wakeFd;
+    ::epoll_ctl(epollFd, EPOLL_CTL_ADD, wakeFd, &ev);
+
+    started.store(true);
+    eventThread = std::thread([this] { loop(); });
+}
+
+void
+ConnLayer::wake()
+{
+    if (wakeFd >= 0) {
+        const std::uint64_t one = 1;
+        [[maybe_unused]] const auto ignored =
+            ::write(wakeFd, &one, sizeof one);
+    }
+}
+
+void
+ConnLayer::stopAccepting()
+{
+    if (acceptStopped.exchange(true))
+        return;
+    wake();
+}
+
+void
+ConnLayer::drainAndStop()
+{
+    if (!started.load())
+        return;
+    {
+        std::lock_guard lock(stopMutex);
+        if (stopped)
+            return;
+        stopped = true;
+    }
+    stopAccepting();
+    draining.store(true);
+    wake();
+    if (eventThread.joinable())
+        eventThread.join();
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    if (epollFd >= 0) {
+        ::close(epollFd);
+        epollFd = -1;
+    }
+    if (wakeFd >= 0) {
+        ::close(wakeFd);
+        wakeFd = -1;
+    }
+}
+
+void
+ConnLayer::updateInterest(Conn &conn)
+{
+    epoll_event ev{};
+    ev.events = EPOLLIN | (conn.wantWrite ? EPOLLOUT : 0u);
+    ev.data.fd = conn.fd;
+    ::epoll_ctl(epollFd, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+bool
+ConnLayer::flushLocked(Conn &conn)
+{
+    while (conn.outOff < conn.outBuf.size()) {
+        const ssize_t sent =
+            ::send(conn.fd, conn.outBuf.data() + conn.outOff,
+                   conn.outBuf.size() - conn.outOff, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true; // Kernel buffer full; EPOLLOUT resumes.
+            return false; // Dead peer (EPIPE/ECONNRESET/...).
+        }
+        conn.outOff += static_cast<std::size_t>(sent);
+    }
+    conn.outBuf.clear();
+    conn.outOff = 0;
+    return true;
+}
+
+bool
+ConnLayer::send(const ConnPtr &conn, const std::string &body)
+{
+    if (conn == nullptr || !conn->open.load())
+        return false;
+    const std::string frame = encodeFrame(body);
+    std::lock_guard lock(conn->writeMutex);
+    if (!conn->open.load() || conn->fd < 0)
+        return false;
+    conn->outBuf.append(frame);
+    if (!flushLocked(*conn)) {
+        // Dead peer: stop buffering and let the event thread reap the
+        // connection via the resulting EPOLLHUP/EPOLLERR.
+        conn->outBuf.clear();
+        conn->outOff = 0;
+        ::shutdown(conn->fd, SHUT_RDWR);
+        return false;
+    }
+    const bool backlogged = conn->outOff < conn->outBuf.size();
+    if (conn->outBuf.size() - conn->outOff > config.maxWriteBuffer) {
+        // The peer stopped reading long ago; cut it loose instead of
+        // buffering without bound.
+        conn->outBuf.clear();
+        conn->outOff = 0;
+        ::shutdown(conn->fd, SHUT_RDWR);
+        return false;
+    }
+    if (backlogged != conn->wantWrite) {
+        conn->wantWrite = backlogged;
+        updateInterest(*conn);
+    }
+    return true;
+}
+
+void
+ConnLayer::acceptReady()
+{
+    while (!acceptStopped.load()) {
+        const int fd = ::accept4(listenFd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EMFILE || errno == ENFILE)
+                util::warn(config.name,
+                           ": accept(): out of file descriptors");
+            return; // EAGAIN or a transient error; epoll re-arms us.
+        }
+        setNoDelay(fd);
+        if (conns.size() >= config.maxConnections) {
+            if (events.onRejected)
+                events.onRejected(fd);
+            ::close(fd);
+            continue;
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        const unsigned id = nextConnId.fetch_add(1) + 1;
+        conn->id = id;
+        conn->layer = this;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            util::warn(config.name, ": epoll_ctl(ADD): ",
+                       std::strerror(errno));
+            continue; // conn destructor closes the fd.
+        }
+        conns.emplace(fd, std::move(conn));
+        liveConns.store(conns.size());
+        if (events.onAccepted)
+            events.onAccepted(id);
+    }
+}
+
+void
+ConnLayer::closeConn(const ConnPtr &conn)
+{
+    ::epoll_ctl(epollFd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    {
+        std::lock_guard lock(conn->writeMutex);
+        conn->open.store(false);
+        ::shutdown(conn->fd, SHUT_RDWR);
+        conn->outBuf.clear();
+        conn->outOff = 0;
+    }
+    conns.erase(conn->fd);
+    liveConns.store(conns.size());
+    // The fd itself closes when the last ConnPtr (possibly held by a
+    // queued request) is dropped — see Conn::~Conn.
+}
+
+void
+ConnLayer::parseBuffer(const ConnPtr &conn)
+{
+    Conn &c = *conn;
+    std::string body;
+    while (c.open.load()) {
+        const std::size_t avail = c.inBuf.size() - c.inOff;
+        if (c.discardLeft > 0) {
+            const std::size_t take = static_cast<std::size_t>(
+                std::min<std::uint64_t>(c.discardLeft, avail));
+            c.inOff += take;
+            c.discardLeft -= take;
+            if (c.discardLeft > 0)
+                break; // Need more bytes to finish the drain.
+            if (events.onOversize)
+                events.onOversize(conn);
+            continue;
+        }
+        if (avail < 4)
+            break; // Partial length prefix; wait for more bytes.
+        const std::uint32_t length = decodeLength(
+            reinterpret_cast<const unsigned char *>(c.inBuf.data() +
+                                                    c.inOff));
+        if (length > kMaxFrameBytes) {
+            // Consume the prefix and drain the declared payload so
+            // the stream stays frame-aligned (same as the blocking
+            // reader).
+            c.inOff += 4;
+            c.discardLeft = length;
+            continue;
+        }
+        if (avail < 4u + length)
+            break; // Partial frame; reassemble on the next wakeup.
+        body.assign(c.inBuf, c.inOff + 4, length);
+        c.inOff += 4u + length;
+        if (events.onFrame)
+            events.onFrame(conn, std::move(body));
+    }
+    // Compact: drop the consumed prefix once it dominates the buffer.
+    if (c.inOff == c.inBuf.size()) {
+        c.inBuf.clear();
+        c.inOff = 0;
+    } else if (c.inOff > (64u << 10)) {
+        c.inBuf.erase(0, c.inOff);
+        c.inOff = 0;
+    }
+}
+
+void
+ConnLayer::readReady(const ConnPtr &conn)
+{
+    Conn &c = *conn;
+    char buf[64 << 10];
+    while (true) {
+        const ssize_t got = ::recv(c.fd, buf, sizeof buf, 0);
+        if (got > 0) {
+            c.inBuf.append(buf, static_cast<std::size_t>(got));
+            parseBuffer(conn);
+            if (static_cast<std::size_t>(got) < sizeof buf)
+                return; // Short read: the socket is drained.
+            continue;
+        }
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+        }
+        // EOF or a hard read error. Inside a frame it means the peer
+        // died mid-frame (truncated); between frames it is a clean
+        // close — exactly the blocking readFrame() distinction.
+        const bool mid_frame =
+            c.discardLeft > 0 || c.inBuf.size() - c.inOff > 0;
+        if (mid_frame) {
+            if (events.onTruncated)
+                events.onTruncated();
+            util::debug("conn", c.id,
+                        ": truncated frame; closing connection");
+        } else {
+            util::debug("conn", c.id, ": closed by peer");
+        }
+        closeConn(conn);
+        return;
+    }
+}
+
+void
+ConnLayer::loop()
+{
+    util::setLogThreadTag("event");
+    util::inform(config.name, ": event loop on ", config.host, ":",
+                 boundPort, " (max ", config.maxConnections,
+                 " connections)");
+    bool accepting = true;
+    const auto drain_deadline_of = [this] {
+        return std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(config.drainTimeoutMs);
+    };
+    std::chrono::steady_clock::time_point drain_deadline{};
+    bool drain_armed = false;
+
+    std::vector<epoll_event> ready(256);
+    while (true) {
+        if (accepting && acceptStopped.load()) {
+            ::epoll_ctl(epollFd, EPOLL_CTL_DEL, listenFd, nullptr);
+            accepting = false;
+        }
+        if (draining.load() && !drain_armed) {
+            drain_armed = true;
+            drain_deadline = drain_deadline_of();
+        }
+        if (drain_armed) {
+            // Exit once every connection's output is flushed (or the
+            // deadline lapses: a peer that stopped reading must not
+            // hang the drain).
+            bool pending = false;
+            for (auto &[fd, conn] : conns) {
+                std::lock_guard lock(conn->writeMutex);
+                if (conn->outOff < conn->outBuf.size()) {
+                    pending = true;
+                    break;
+                }
+            }
+            if (!pending ||
+                std::chrono::steady_clock::now() >= drain_deadline)
+                break;
+        }
+        const int timeout = drain_armed ? 10 : -1;
+        const int n = ::epoll_wait(epollFd, ready.data(),
+                                   static_cast<int>(ready.size()),
+                                   timeout);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            util::warn(config.name, ": epoll_wait(): ",
+                       std::strerror(errno));
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = ready[i].data.fd;
+            const auto flags = ready[i].events;
+            if (fd == wakeFd) {
+                std::uint64_t drainv;
+                while (::read(wakeFd, &drainv, sizeof drainv) > 0) {
+                }
+                continue;
+            }
+            if (fd == listenFd) {
+                acceptReady();
+                continue;
+            }
+            const auto it = conns.find(fd);
+            if (it == conns.end())
+                continue; // Closed earlier in this wakeup batch.
+            ConnPtr conn = it->second;
+            if (flags & EPOLLOUT) {
+                std::unique_lock lock(conn->writeMutex);
+                if (!flushLocked(*conn)) {
+                    lock.unlock();
+                    closeConn(conn);
+                    continue;
+                }
+                const bool backlogged =
+                    conn->outOff < conn->outBuf.size();
+                if (backlogged != conn->wantWrite) {
+                    conn->wantWrite = backlogged;
+                    updateInterest(*conn);
+                }
+            }
+            if (flags & (EPOLLIN | EPOLLHUP | EPOLLERR))
+                readReady(conn);
+        }
+    }
+
+    // Shut every remaining connection down.
+    for (auto &[fd, conn] : conns) {
+        std::lock_guard lock(conn->writeMutex);
+        conn->open.store(false);
+        ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    conns.clear();
+    liveConns.store(0);
+}
+
+} // namespace rhs::serve

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The event-driven rhs-rpc/1 connection layer.
+ *
+ * One ConnLayer owns a loopback TCP listener and a single epoll event
+ * thread that holds every client connection — thousands of idle
+ * connections cost one fd and a few hundred bytes each, not a thread.
+ * This replaced the PR 4 accept-thread + reader-thread-per-connection
+ * design, which capped a shard at a few hundred clients.
+ *
+ * Responsibilities are split sharply:
+ *
+ *  - the layer owns sockets, framing, and flow: non-blocking accept,
+ *    per-connection read buffers with partial-frame reassembly (a
+ *    frame may arrive one byte at a time across epoll wakeups),
+ *    per-connection write buffers with partial-write carry-over
+ *    (EPOLLOUT is subscribed only while a connection has unflushed
+ *    output), and oversize-frame draining that keeps the stream
+ *    aligned;
+ *  - the owner (serve::Server, route::Router) supplies Events
+ *    callbacks and decides what the bytes mean. onFrame runs on the
+ *    event thread, so handlers must not block — engine work is
+ *    enqueued for a dispatcher, never executed in the callback.
+ *
+ * send() is callable from any thread: it tries the socket directly
+ * when the connection has no backlog and otherwise appends to the
+ * write buffer and flips EPOLLOUT on. An eventfd wakes the event
+ * thread for stop/drain transitions.
+ *
+ * Frame-boundary semantics match the blocking protocol.cc reader
+ * byte for byte (tests/serve_test.cc pins them):
+ *  - a declared payload above the cap is consumed and discarded, then
+ *    reported via onOversize — the connection stays up and aligned;
+ *  - end of stream between frames is a clean close;
+ *  - end of stream (or a read error) inside a frame is reported via
+ *    onTruncated and closes only that connection.
+ */
+
+#ifndef RHS_SERVE_CONN_LAYER_HH
+#define RHS_SERVE_CONN_LAYER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rhs::serve
+{
+
+/** Connection-layer tunables. */
+struct ConnLayerConfig
+{
+    std::string host = "127.0.0.1"; //!< Loopback only by default.
+    unsigned short port = 0;        //!< 0 = ephemeral (see port()).
+    unsigned maxConnections = 128;  //!< Accept cap; also the backlog.
+    std::string name = "rhs-serve"; //!< Log prefix ("rhs-route", ...).
+    //! Hard ceiling on one connection's unflushed output; a client
+    //! that stops reading past this point is disconnected rather than
+    //! ballooning the process (64 MiB default).
+    std::size_t maxWriteBuffer = 64u << 20;
+    //! stop() flushes pending output for at most this long before
+    //! closing connections regardless (dead peers must not hang the
+    //! drain forever).
+    unsigned drainTimeoutMs = 5000;
+};
+
+/** The epoll-driven connection layer shared by rhs-serve and rhs-route. */
+class ConnLayer
+{
+  public:
+    /**
+     * One live connection. Lifetime is shared: the event thread holds
+     * a reference while the fd is registered, and owners keep
+     * references from queued requests, so a response can always be
+     * written (or cheaply refused) after the peer is gone. The fd is
+     * closed by the destructor — never while any holder could still
+     * name it — so a recycled fd number can never be written to by a
+     * stale request.
+     */
+    struct Conn
+    {
+        ~Conn();
+
+        unsigned id = 0; //!< 1-based accept sequence number.
+
+        // --- Write half (any thread, under writeMutex) --------------
+        std::mutex writeMutex;
+        int fd = -1;
+        bool wantWrite = false; //!< EPOLLOUT currently subscribed.
+        std::string outBuf;     //!< Unflushed output bytes.
+        std::size_t outOff = 0; //!< Consumed prefix of outBuf.
+        ConnLayer *layer = nullptr;
+
+        //! False once the connection is closing; checked without the
+        //! lock by handlers, rechecked under it by writers.
+        std::atomic<bool> open{true};
+
+        // --- Read half (event thread only) --------------------------
+        std::string inBuf;
+        std::size_t inOff = 0;           //!< Consumed prefix of inBuf.
+        std::uint64_t discardLeft = 0;   //!< Oversize payload to drain.
+    };
+
+    using ConnPtr = std::shared_ptr<Conn>;
+
+    /** Owner callbacks; all fire on the event thread. */
+    struct Events
+    {
+        //! One complete frame body (possibly empty).
+        std::function<void(const ConnPtr &, std::string &&)> onFrame;
+        //! A declared-oversize payload was fully drained; the owner
+        //! answers with frame_too_large (the connection stays up).
+        std::function<void(const ConnPtr &)> onOversize;
+        //! The peer died inside a frame; the connection is closing.
+        std::function<void()> onTruncated;
+        //! A connection was accepted (its id).
+        std::function<void(unsigned)> onAccepted;
+        //! Accept refused over maxConnections. The callback may write
+        //! a refusal frame to `fd` (fresh socket, never blocks); the
+        //! layer closes the fd afterwards.
+        std::function<void(int)> onRejected;
+    };
+
+    ConnLayer(ConnLayerConfig config, Events events);
+    ~ConnLayer();
+
+    ConnLayer(const ConnLayer &) = delete;
+    ConnLayer &operator=(const ConnLayer &) = delete;
+
+    /**
+     * Bind, listen (backlog = maxConnections), and start the event
+     * thread. RHS_FATAL on socket setup errors.
+     */
+    void start();
+
+    /** The bound port (the ephemeral choice when config.port == 0). */
+    unsigned short port() const { return boundPort; }
+
+    /** Stop accepting new connections (idempotent, any thread). */
+    void stopAccepting();
+
+    /**
+     * Flush pending output (bounded by drainTimeoutMs), close every
+     * connection, and join the event thread. Idempotent. Call after
+     * the owner's dispatcher has drained — everything sent before
+     * this call is flushed to the sockets first.
+     */
+    void drainAndStop();
+
+    /**
+     * Frame `body` and write it to the connection; thread-safe.
+     * Partial writes are carried in the connection's write buffer and
+     * completed by the event thread. False when the connection is
+     * closed/closing (the bytes are dropped, exactly like a write to
+     * a dead blocking socket).
+     */
+    bool send(const ConnPtr &conn, const std::string &body);
+
+    /** Live connections (accepted minus closed). */
+    std::size_t connectionCount() const { return liveConns.load(); }
+
+  private:
+    void loop();
+    void acceptReady();
+    void readReady(const ConnPtr &conn);
+    bool flushLocked(Conn &conn); //!< Returns false on write error.
+    void parseBuffer(const ConnPtr &conn);
+    void closeConn(const ConnPtr &conn);
+    void updateInterest(Conn &conn); //!< Under conn.writeMutex.
+    void wake();
+
+    ConnLayerConfig config;
+    Events events;
+
+    int listenFd = -1;
+    int epollFd = -1;
+    int wakeFd = -1;
+    unsigned short boundPort = 0;
+
+    std::thread eventThread;
+    std::atomic<bool> acceptStopped{false};
+    std::atomic<bool> draining{false};
+    std::atomic<bool> started{false};
+    bool stopped = false; //!< drainAndStop completed (stopMutex).
+    std::mutex stopMutex;
+
+    //! Event-thread-only: fd -> connection.
+    std::map<int, ConnPtr> conns;
+    std::atomic<std::size_t> liveConns{0};
+    std::atomic<unsigned> nextConnId{0};
+};
+
+} // namespace rhs::serve
+
+#endif // RHS_SERVE_CONN_LAYER_HH

@@ -1,11 +1,7 @@
 #include "serve/server.hh"
 
-#include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include "obs/export.hh"
 #include "obs/trace.hh"
@@ -15,12 +11,6 @@
 
 namespace rhs::serve
 {
-
-Server::Connection::~Connection()
-{
-    if (fd >= 0)
-        ::close(fd);
-}
 
 Server::Server(ServerConfig config)
     : config(std::move(config)), engine(this->config.engine)
@@ -35,37 +25,54 @@ Server::~Server()
     stop();
 }
 
+unsigned short
+Server::port() const
+{
+    return connLayer ? connLayer->port() : 0;
+}
+
+std::size_t
+Server::connectionCount() const
+{
+    return connLayer ? connLayer->connectionCount() : 0;
+}
+
 void
 Server::start()
 {
-    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listenFd < 0)
-        RHS_FATAL("rhs-serve: socket(): ", std::strerror(errno));
-    const int one = 1;
-    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    ConnLayerConfig net;
+    net.host = config.host;
+    net.port = config.port;
+    net.maxConnections = config.maxConnections;
+    net.name = "rhs-serve";
 
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(config.port);
-    if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1)
-        RHS_FATAL("rhs-serve: bad host address: ", config.host);
-    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof addr) != 0)
-        RHS_FATAL("rhs-serve: bind(", config.host, ":", config.port,
-                  "): ", std::strerror(errno));
-    if (::listen(listenFd, 128) != 0)
-        RHS_FATAL("rhs-serve: listen(): ", std::strerror(errno));
+    ConnLayer::Events events;
+    events.onFrame = [this](const ConnPtr &conn, std::string &&body) {
+        handleFrame(conn, body);
+    };
+    events.onOversize = [this](const ConnPtr &conn) {
+        nMalformed.add(1);
+        nInline.add(1);
+        send(conn, makeError(kNoRequestId, err::kFrameTooLarge,
+                             "frame exceeds " +
+                                 std::to_string(kMaxFrameBytes) +
+                                 " bytes"));
+    };
+    events.onTruncated = [this] { nMalformed.add(1); };
+    events.onAccepted = [this](unsigned) { nConnections.add(1); };
+    events.onRejected = [this](int fd) {
+        nRejected.add(1);
+        writeFrame(fd, serialize(makeError(kNoRequestId,
+                                           err::kOverloaded,
+                                           "connection limit reached")));
+    };
 
-    sockaddr_in bound{};
-    socklen_t bound_len = sizeof bound;
-    ::getsockname(listenFd, reinterpret_cast<sockaddr *>(&bound),
-                  &bound_len);
-    boundPort = ntohs(bound.sin_port);
+    connLayer = std::make_unique<ConnLayer>(net, std::move(events));
+    connLayer->start();
     util::inform("rhs-serve: listening on ", config.host, ":",
-                 boundPort, " (queue ", config.queueCapacity,
+                 connLayer->port(), " (queue ", config.queueCapacity,
                  ", batch ", config.batchMax, ")");
 
-    acceptThread = std::thread([this] { acceptLoop(); });
     dispatchThread = std::thread([this] { dispatchLoop(); });
 }
 
@@ -79,9 +86,8 @@ Server::requestStop()
     }
     stopCv.notify_all();
     queueCv.notify_all();
-    // Unblock accept(); the fd itself is closed in stop().
-    if (listenFd >= 0)
-        ::shutdown(listenFd, SHUT_RDWR);
+    if (connLayer)
+        connLayer->stopAccepting();
 }
 
 void
@@ -101,103 +107,33 @@ Server::stop()
             return;
         stopped = true;
     }
-    if (acceptThread.joinable())
-        acceptThread.join();
     // The dispatcher drains every queued request before exiting, so
-    // nothing accepted before the stop request goes unanswered.
+    // nothing accepted before the stop request goes unanswered. The
+    // event thread keeps running underneath it to flush the replies.
     queueCv.notify_all();
     if (dispatchThread.joinable())
         dispatchThread.join();
-    {
-        std::lock_guard lock(connectionsMutex);
-        for (auto &reader : readers) {
-            reader.conn->open.store(false);
-            ::shutdown(reader.conn->fd, SHUT_RDWR);
-        }
-    }
-    for (auto &reader : readers)
-        if (reader.thread.joinable())
-            reader.thread.join();
-    readers.clear(); // Connection destructors close the fds.
-    if (listenFd >= 0) {
-        ::close(listenFd);
-        listenFd = -1;
-    }
+    if (connLayer)
+        connLayer->drainAndStop();
     util::inform("rhs-serve: stopped (", nResponses.value(),
                  " batch responses, ", nInline.value(),
                  " inline replies)");
 }
 
-void
-Server::reapFinishedReaders()
-{
-    std::lock_guard lock(connectionsMutex);
-    for (auto it = readers.begin(); it != readers.end();) {
-        if (!it->conn->open.load()) {
-            it->thread.join();
-            it = readers.erase(it);
-        } else {
-            ++it;
-        }
-    }
-}
-
-void
-Server::acceptLoop()
-{
-    util::setLogThreadTag("accept");
-    while (!stopping.load()) {
-        const int fd = ::accept(listenFd, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR)
-                continue;
-            break; // Listener shut down (stop) or broken.
-        }
-        if (stopping.load()) {
-            ::close(fd);
-            break;
-        }
-        reapFinishedReaders();
-
-        std::lock_guard lock(connectionsMutex);
-        if (readers.size() >= config.maxConnections) {
-            nRejected.add(1);
-            writeFrame(fd, serialize(makeError(
-                               kNoRequestId, err::kOverloaded,
-                               "connection limit reached")));
-            ::close(fd);
-            continue;
-        }
-        auto conn = std::make_shared<Connection>();
-        conn->fd = fd;
-        conn->id = nextConnId.fetch_add(1) + 1;
-        nConnections.add(1);
-        Reader reader;
-        reader.conn = conn;
-        reader.thread = std::thread([this, conn] { readerLoop(conn); });
-        readers.push_back(std::move(reader));
-    }
-}
-
 bool
-Server::send(Connection &conn, const report::Json &response)
+Server::send(const ConnPtr &conn, const report::Json &response)
 {
-    const std::string body = serialize(response);
-    std::lock_guard lock(conn.writeMutex);
-    if (conn.fd < 0)
-        return false;
-    return writeFrame(conn.fd, body);
+    return connLayer->send(conn, serialize(response));
 }
 
 void
-Server::handleFrame(const std::shared_ptr<Connection> &conn,
-                    const std::string &body)
+Server::handleFrame(const ConnPtr &conn, const std::string &body)
 {
     if (body.empty()) {
         nMalformed.add(1);
         nInline.add(1);
-        send(*conn, makeError(kNoRequestId, err::kBadRequest,
-                              "empty frame body"));
+        send(conn, makeError(kNoRequestId, err::kBadRequest,
+                             "empty frame body"));
         return;
     }
 
@@ -206,8 +142,8 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
     if (!report::Json::parse(body, request, parse_error)) {
         nMalformed.add(1);
         nInline.add(1);
-        send(*conn, makeError(kNoRequestId, err::kBadRequest,
-                              "malformed JSON: " + parse_error));
+        send(conn, makeError(kNoRequestId, err::kBadRequest,
+                             "malformed JSON: " + parse_error));
         return;
     }
 
@@ -225,8 +161,8 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
     if (op_value == nullptr ||
         op_value->type() != report::Json::Type::String) {
         nInline.add(1);
-        send(*conn, makeError(id, err::kBadRequest,
-                              "request needs a string 'op'"));
+        send(conn, makeError(id, err::kBadRequest,
+                             "request needs a string 'op'"));
         return;
     }
     const std::string &op = op_value->asString();
@@ -235,19 +171,19 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         auto result = report::Json::object();
         result.set("protocol", kProtocol);
         nInline.add(1);
-        send(*conn, makeResult(id, std::move(result)));
+        send(conn, makeResult(id, std::move(result)));
         return;
     }
     if (op == "stats") {
         nInline.add(1);
-        send(*conn, makeResult(id, statsJson()));
+        send(conn, makeResult(id, statsJson()));
         return;
     }
     if (op == "shutdown") {
         auto result = report::Json::object();
         result.set("draining", true);
         nInline.add(1);
-        send(*conn, makeResult(id, std::move(result)));
+        send(conn, makeResult(id, std::move(result)));
         util::inform("rhs-serve: shutdown requested by conn",
                      conn->id);
         requestStop();
@@ -255,7 +191,7 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
     }
     if (!QueryEngine::isEngineOp(op)) {
         nInline.add(1);
-        send(*conn,
+        send(conn,
              makeError(id, err::kUnknownOp, "unknown op '" + op + "'"));
         return;
     }
@@ -268,7 +204,7 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         if (deadline->type() != report::Json::Type::Int ||
             deadline->asInt() < 0) {
             nInline.add(1);
-            send(*conn,
+            send(conn,
                  makeError(id, err::kBadRequest,
                            "'deadline_ms' must be a non-negative "
                            "integer"));
@@ -290,18 +226,18 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         std::lock_guard lock(queueMutex);
         if (stopping.load()) {
             nInline.add(1);
-            send(*conn, makeError(id, err::kShuttingDown,
-                                  "server is draining"));
+            send(conn, makeError(id, err::kShuttingDown,
+                                 "server is draining"));
             return;
         }
         if (queue.size() >= config.queueCapacity) {
             nOverloaded.add(1);
             nInline.add(1);
-            send(*conn, makeError(id, err::kOverloaded,
-                                  "request queue is full (capacity " +
-                                      std::to_string(
-                                          config.queueCapacity) +
-                                      ")"));
+            send(conn, makeError(id, err::kOverloaded,
+                                 "request queue is full (capacity " +
+                                     std::to_string(
+                                         config.queueCapacity) +
+                                     ")"));
             return;
         }
         queue.push_back(std::move(pending));
@@ -309,38 +245,6 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         queueDepth.set(static_cast<std::int64_t>(queue.size()));
     }
     queueCv.notify_one();
-}
-
-void
-Server::readerLoop(const std::shared_ptr<Connection> &conn)
-{
-    util::setLogThreadTag("conn" + std::to_string(conn->id));
-    util::debug("connection open");
-    std::string body;
-    while (conn->open.load()) {
-        const FrameStatus status = readFrame(conn->fd, body);
-        if (status == FrameStatus::Closed) {
-            util::debug("connection closed by peer");
-            break;
-        }
-        if (status == FrameStatus::Truncated) {
-            nMalformed.add(1);
-            util::debug("truncated frame; closing connection");
-            break;
-        }
-        if (status == FrameStatus::Oversize) {
-            nMalformed.add(1);
-            nInline.add(1);
-            send(*conn,
-                 makeError(kNoRequestId, err::kFrameTooLarge,
-                           "frame exceeds " +
-                               std::to_string(kMaxFrameBytes) +
-                               " bytes"));
-            continue;
-        }
-        handleFrame(conn, body);
-    }
-    conn->open.store(false);
 }
 
 void
@@ -388,7 +292,7 @@ Server::dispatchLoop()
                 return engine.execute(pending.body);
             });
         for (std::size_t i = 0; i < batch.size(); ++i) {
-            send(*batch[i].conn, responses[i]);
+            send(batch[i].conn, responses[i]);
             nResponses.add(1);
             if (batch[i].enqueuedAt != Clock::time_point::min() &&
                 obs::timingActive()) {

@@ -2,18 +2,22 @@
  * @file
  * `rhs-serve`: the batched characterization query server.
  *
- * One Server owns a loopback-only TCP listener, one reader thread per
- * connection, and one dispatcher thread in front of a QueryEngine:
+ * One Server owns an event-driven connection layer (serve::ConnLayer —
+ * a single epoll thread holding every connection) and one dispatcher
+ * thread in front of a QueryEngine:
  *
- *   reader  --> bounded request queue --> dispatcher --> ThreadPool
- *   threads     (backpressure)            (batching)     (rowEval)
+ *   event   --> bounded request queue --> dispatcher --> ThreadPool
+ *   thread      (backpressure)            (batching)     (rowEval)
  *
- * Readers parse rhs-rpc/1 frames and answer the cheap control ops
- * (ping/stats/shutdown) inline; engine ops are enqueued. The
- * dispatcher coalesces whatever is queued — up to `batchMax` requests
- * — into one batch and evaluates it with util::parallelFor, so
- * concurrent clients share one pass over the engine's thread-safe
- * caches instead of serializing on a per-request lock.
+ * The event thread reassembles rhs-rpc/1 frames (however the bytes
+ * arrive) and answers the cheap control ops (ping/stats/shutdown)
+ * inline; engine ops are enqueued. The dispatcher coalesces whatever
+ * is queued — up to `batchMax` requests — into one batch and evaluates
+ * it with util::parallelFor, so concurrent clients share one pass over
+ * the engine's thread-safe caches instead of serializing on a
+ * per-request lock. One shard holds thousands of idle connections
+ * with exactly two threads of its own (the PR 4 design burned a
+ * reader thread per connection).
  *
  * Robustness invariants (tested in tests/serve_test.cc):
  *  - the request queue is bounded; when full the request is answered
@@ -45,6 +49,7 @@
 
 #include "obs/metrics.hh"
 #include "report/json.hh"
+#include "serve/conn_layer.hh"
 #include "serve/query_engine.hh"
 
 namespace rhs::serve
@@ -57,7 +62,7 @@ struct ServerConfig
     unsigned short port = 0;        //!< 0 = ephemeral (see port()).
     unsigned queueCapacity = 256;   //!< Bounded request queue.
     unsigned batchMax = 16;         //!< Max requests per batch.
-    unsigned maxConnections = 128;  //!< Accept cap.
+    unsigned maxConnections = 128;  //!< Accept cap (and listen backlog).
     //! Artificial stall before each batch executes (test hook: makes
     //! the backpressure and deadline paths deterministic to exercise).
     unsigned serviceDelayUs = 0;
@@ -80,7 +85,7 @@ struct ServerStats
     std::uint64_t malformedFrames = 0; //!< Rejected without teardown.
 };
 
-/** The multi-threaded rhs-rpc/1 TCP server. */
+/** The epoll-based rhs-rpc/1 TCP server. */
 class Server
 {
   public:
@@ -91,13 +96,13 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind, listen, and spawn the accept/dispatch threads.
+     * Bind, listen, and spawn the event/dispatch threads.
      * RHS_FATAL on socket setup errors (address in use, bad host).
      */
     void start();
 
     /** The bound port (the ephemeral choice when config.port == 0). */
-    unsigned short port() const { return boundPort; }
+    unsigned short port() const;
 
     /**
      * Ask the server to stop (idempotent, callable from any server
@@ -112,8 +117,8 @@ class Server
     void waitForStopRequest();
 
     /**
-     * Drain and join: stop accepting, answer everything queued, shut
-     * the connections down, join all threads. Idempotent.
+     * Drain and join: stop accepting, answer everything queued, flush
+     * and shut the connections down, join all threads. Idempotent.
      */
     void stop();
 
@@ -131,23 +136,17 @@ class Server
      *  one process — the loadgen scenarios — never mix counts). */
     const obs::Registry &metricsRegistry() const { return registry_; }
 
+    /** Live connections held by the event loop (tests/loadgen). */
+    std::size_t connectionCount() const;
+
   private:
-    struct Connection
-    {
-        int fd = -1;
-        unsigned id = 0;
-        std::mutex writeMutex;
-        std::atomic<bool> open{true};
-
-        ~Connection();
-    };
-
     using Clock = std::chrono::steady_clock;
+    using ConnPtr = ConnLayer::ConnPtr;
 
     /** One queued engine request. */
     struct Pending
     {
-        std::shared_ptr<Connection> conn;
+        ConnPtr conn;
         std::int64_t id = -1;
         report::Json body;
         Clock::time_point deadline = Clock::time_point::max();
@@ -156,20 +155,14 @@ class Server
         Clock::time_point enqueuedAt = Clock::time_point::min();
     };
 
-    void acceptLoop();
-    void readerLoop(const std::shared_ptr<Connection> &conn);
     void dispatchLoop();
-    void handleFrame(const std::shared_ptr<Connection> &conn,
-                     const std::string &body);
-    /** Serialize + frame + write under the connection's write lock. */
-    bool send(Connection &conn, const report::Json &response);
-    void reapFinishedReaders();
+    void handleFrame(const ConnPtr &conn, const std::string &body);
+    /** Serialize + frame + hand to the connection layer. */
+    bool send(const ConnPtr &conn, const report::Json &response);
 
     ServerConfig config;
     QueryEngine engine;
-
-    int listenFd = -1;
-    unsigned short boundPort = 0;
+    std::unique_ptr<ConnLayer> connLayer;
 
     std::atomic<bool> stopping{false};
     bool stopped = false; //!< stop() completed (guarded by stopMutex).
@@ -180,15 +173,7 @@ class Server
     std::condition_variable queueCv;
     std::deque<Pending> queue;
 
-    std::thread acceptThread;
     std::thread dispatchThread;
-    std::mutex connectionsMutex;
-    struct Reader
-    {
-        std::shared_ptr<Connection> conn;
-        std::thread thread;
-    };
-    std::vector<Reader> readers;
 
     // Per-server metrics (see ServerStats). The registry is declared
     // before the references it hands out; Counter increments are
@@ -213,9 +198,6 @@ class Server
     //! obs::timingActive() (shared bucket layout with serve_loadgen).
     obs::Histogram &latencyHist{
         registry_.histogram("latency_ms", obs::latencyBoundsMs())};
-    //! Connection ids are not a metric (ids must be unique even if
-    //! recording is disabled), so they keep a plain atomic.
-    std::atomic<unsigned> nextConnId{0};
 };
 
 } // namespace rhs::serve

@@ -247,6 +247,68 @@ TEST_F(ServeServerTest, ServedBytesMatchDirectEngineCalls)
     }
 }
 
+TEST_F(ServeServerTest, SplitFrameReassembledAcrossArbitraryReads)
+{
+    startServer();
+    RawConn raw;
+    ASSERT_TRUE(raw.connect(server->port()));
+
+    // Dribble a valid frame one byte at a time: the event loop must
+    // reassemble it across epoll wakeups exactly as the old blocking
+    // reader did across recv calls.
+    const std::string frame =
+        serve::encodeFrame(R"({"op": "ping", "id": 77})");
+    for (const char byte : frame) {
+        ASSERT_TRUE(raw.sendBytes(std::string(1, byte)));
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    report::Json response;
+    ASSERT_TRUE(raw.recvResponse(response));
+    EXPECT_TRUE(response.at("ok").asBool());
+    EXPECT_EQ(response.at("id").asInt(), 77);
+
+    // Two frames glued into one send must yield two replies.
+    ASSERT_TRUE(raw.sendBytes(
+        serve::encodeFrame(R"({"op": "ping", "id": 78})") +
+        serve::encodeFrame(R"({"op": "ping", "id": 79})")));
+    ASSERT_TRUE(raw.recvResponse(response));
+    EXPECT_EQ(response.at("id").asInt(), 78);
+    ASSERT_TRUE(raw.recvResponse(response));
+    EXPECT_EQ(response.at("id").asInt(), 79);
+}
+
+TEST_F(ServeServerTest, ManyIdleConnectionsServedByFixedThreads)
+{
+    serve::ServerConfig config;
+    config.maxConnections = 400;
+    startServer(config);
+
+    // 300 idle connections held open at once — far beyond what the
+    // old thread-per-connection design could sanely carry — while
+    // the server keeps answering on any of them.
+    std::vector<std::unique_ptr<RawConn>> idle;
+    for (unsigned i = 0; i < 300; ++i) {
+        auto conn = std::make_unique<RawConn>();
+        ASSERT_TRUE(conn->connect(server->port())) << i;
+        idle.push_back(std::move(conn));
+    }
+    // Connection registration is asynchronous (accept runs on the
+    // event thread); a served ping on the last connection is the
+    // barrier that proves all 300 are registered.
+    report::Json response;
+    ASSERT_TRUE(idle.back()->sendBytes(
+        serve::encodeFrame(R"({"op": "ping", "id": 300})")));
+    ASSERT_TRUE(idle.back()->recvResponse(response));
+    EXPECT_TRUE(response.at("ok").asBool());
+    EXPECT_EQ(server->connectionCount(), 300u);
+
+    ASSERT_TRUE(idle.front()->sendBytes(
+        serve::encodeFrame(R"({"op": "ping", "id": 1})")));
+    ASSERT_TRUE(idle.front()->recvResponse(response));
+    EXPECT_TRUE(response.at("ok").asBool());
+    EXPECT_EQ(server->stats().connectionsAccepted, 300u);
+}
+
 TEST_F(ServeServerTest, EmptyBodyRejectedWithoutTeardown)
 {
     startServer();
