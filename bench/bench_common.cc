@@ -23,4 +23,15 @@ printRule()
                 "----------------------------\n");
 }
 
+void
+stampEnvelope(report::Document &doc, const exp::Scale &scale)
+{
+    doc.modulesPerMfr = scale.modulesPerMfr;
+    doc.maxRows = scale.maxRows;
+    doc.rowsPerRegion = scale.rowsPerRegion;
+    doc.jobs = scale.jobs;
+    doc.seed = scale.seed;
+    doc.smoke = scale.smoke;
+}
+
 } // namespace rhs::bench

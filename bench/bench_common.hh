@@ -14,6 +14,9 @@
 
 #include <string>
 
+#include "exp/scale.hh"
+#include "report/document.hh"
+
 namespace rhs::bench
 {
 
@@ -22,6 +25,16 @@ void printHeader(const std::string &title, const std::string &source);
 
 /** Horizontal rule. */
 void printRule();
+
+/**
+ * Fill a document's provenance envelope (modules, rows, jobs, seed,
+ * smoke) from the resolved scale. The driver stamps these after run()
+ * returns, which is too late for experiments that write extra BENCH
+ * files themselves (the loadgens, snapshot_warmstart, the kernel
+ * benches): call this right before any self-managed writeFile so those
+ * envelopes carry real values instead of zeros.
+ */
+void stampEnvelope(report::Document &doc, const exp::Scale &scale);
 
 } // namespace rhs::bench
 

@@ -30,6 +30,7 @@ registerAllExperiments()
     registerAttacksImprovements();
     registerEccImprovement();
     registerTrrespassBypass();
+    registerFuzzSweep();
     registerDefenseMatrix();
     registerDefensesImprovements();
     registerRefreshRate();

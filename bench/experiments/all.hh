@@ -34,6 +34,7 @@ void registerAblations();
 void registerAttacksImprovements();
 void registerEccImprovement();
 void registerTrrespassBypass();
+void registerFuzzSweep();
 void registerDefenseMatrix();
 void registerDefensesImprovements();
 void registerRefreshRate();

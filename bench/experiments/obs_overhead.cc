@@ -354,6 +354,7 @@ class ObsOverhead final : public exp::Experiment
                   checked <= max_overhead,
                   "measured " + std::to_string(checked) + "%");
 
+        bench::stampEnvelope(doc, ctx.scale);
         report::JsonWriter().writeFile(out_path, doc.toJson());
         if (ctx.table)
             std::printf("\nwrote %s\n", out_path.c_str());

@@ -257,6 +257,7 @@ class ParallelScaling final : public exp::Experiment
                   all_deterministic,
                   "digests in data.workloads");
 
+        bench::stampEnvelope(doc, ctx.scale);
         report::JsonWriter().writeFile(out_path, doc.toJson());
         if (table)
             std::printf("\nwrote %s; all workloads byte-identical "

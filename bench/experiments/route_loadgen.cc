@@ -79,7 +79,7 @@ makeRequest(unsigned conn, unsigned index)
     const char mfr[2] = {"ABCD"[(conn + index) % 4], '\0'};
     const unsigned bank = (conn * 3 + index) % 4; // 4 banks per chip.
 
-    switch (index % 5) {
+    switch (index % 6) {
       case 0:
         request.set("op", "row_hcfirst");
         request.set("id", id);
@@ -108,6 +108,19 @@ makeRequest(unsigned conn, unsigned index)
       case 3:
         request.set("op", "ping");
         request.set("id", id);
+        break;
+      case 4:
+        // Small deadline-free search: deterministic, so the routed
+        // reply is byte-identical to the direct engine's.
+        request.set("op", "fuzz_best");
+        request.set("id", id);
+        request.set("mfr", mfr);
+        request.set("bank", bank);
+        request.set("seed", conn * 1000 + index);
+        request.set("row0", 1 + (conn * 17 + index * 5) % 60);
+        request.set("count", 2);
+        request.set("population", 6);
+        request.set("generations", 2);
         break;
       default:
         request.set("op", "worst_pattern");
@@ -550,6 +563,7 @@ class RouteLoadgen final : public exp::Experiment
                       " idle connections held; ping " +
                       (idle_ping_ok ? "ok" : "failed"));
 
+        bench::stampEnvelope(doc, ctx.scale);
         report::JsonWriter().writeFile(out_path, doc.toJson());
         if (ctx.table)
             std::printf("\nwrote %s\n", out_path.c_str());

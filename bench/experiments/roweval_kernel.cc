@@ -471,6 +471,7 @@ class RowEvalKernel final : public exp::Experiment
                   "reference byte for byte at every thread width",
                   all_identical, "digests in data.workloads");
 
+        bench::stampEnvelope(doc, ctx.scale);
         report::JsonWriter().writeFile(out_path, doc.toJson());
         if (table)
             std::printf("\nwrote %s; kernel results byte-identical "

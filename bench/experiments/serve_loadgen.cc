@@ -5,7 +5,8 @@
  * Phase 1 (throughput/correctness): starts an in-process Server on an
  * ephemeral port, drives N concurrent connections of M requests each
  * (a deterministic mix of row_hcfirst / ber / profile_slice /
- * worst_pattern / ping), and byte-compares every response against the
+ * worst_pattern / fuzz_best / ping), and byte-compares every response
+ * against the
  * same request executed on a private QueryEngine — the whole server
  * data path minus the socket. p50/p99 latency and throughput land in
  * BENCH_serve.json.
@@ -62,7 +63,7 @@ makeRequest(unsigned conn, unsigned index)
     const unsigned row = 1 + (conn * 37 + index * 11) % 120;
     const char mfr[2] = {"ABCD"[(conn + index) % 4], '\0'};
 
-    switch (index % 5) {
+    switch (index % 6) {
       case 0:
         request.set("op", "row_hcfirst");
         request.set("id", id);
@@ -88,6 +89,18 @@ makeRequest(unsigned conn, unsigned index)
       case 3:
         request.set("op", "ping");
         request.set("id", id);
+        break;
+      case 4:
+        // Small deadline-free search: deterministic, so the routed
+        // reply is byte-identical to the direct engine's.
+        request.set("op", "fuzz_best");
+        request.set("id", id);
+        request.set("mfr", mfr);
+        request.set("seed", conn * 1000 + index);
+        request.set("row0", 1 + (conn * 17 + index * 5) % 60);
+        request.set("count", 2);
+        request.set("population", 6);
+        request.set("generations", 2);
         break;
       default:
         request.set("op", "worst_pattern");
@@ -406,6 +419,7 @@ class ServeLoadgen final : public exp::Experiment
                   "acked: " +
                       std::string(shutdown_acked ? "yes" : "no"));
 
+        bench::stampEnvelope(doc, ctx.scale);
         report::JsonWriter().writeFile(out_path, doc.toJson());
         if (ctx.table)
             std::printf("\nwrote %s\n", out_path.c_str());

@@ -437,6 +437,7 @@ class SnapshotWarmstart final : public exp::Experiment
                       ", bad magic: " +
                       (bad_magic_rejected ? "rejected" : "ACCEPTED"));
 
+        bench::stampEnvelope(doc, ctx.scale);
         report::JsonWriter().writeFile(out_path, doc.toJson());
         if (ctx.table)
             std::printf("\nwrote %s\n", out_path.c_str());

@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "exp/experiment.hh"
 #include "exp/fleet_cache.hh"
 #include "obs/export.hh"
@@ -341,12 +342,7 @@ main(int argc, char **argv)
             std::chrono::steady_clock::now() - start;
 
         // Provenance (doc.git is filled by the Document constructor).
-        doc.modulesPerMfr = scale.modulesPerMfr;
-        doc.maxRows = scale.maxRows;
-        doc.rowsPerRegion = scale.rowsPerRegion;
-        doc.jobs = scale.jobs;
-        doc.seed = scale.seed;
-        doc.smoke = scale.smoke;
+        bench::stampEnvelope(doc, scale);
         doc.wallSeconds = elapsed.count();
 
         if (want_json || check) {

@@ -1,0 +1,166 @@
+#include "fuzz/gene.hh"
+
+#include <algorithm>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace rhs::fuzz
+{
+
+PatternGene
+PatternGene::uniformDoubleSided(unsigned bank, unsigned victim_row,
+                                unsigned slots,
+                                rhmodel::PatternId pattern_id,
+                                std::uint64_t pattern_seed)
+{
+    RHS_ASSERT(victim_row >= 1,
+               "double-sided victim needs both neighbours: row ",
+               victim_row);
+    PatternGene gene;
+    gene.bank = bank;
+    gene.slots = slots;
+    gene.patternId = pattern_id;
+    gene.patternSeed = pattern_seed;
+    gene.patternCenter = victim_row;
+    // period == slots with phase 0 puts each aggressor in slot 0 only,
+    // so one period lowers to exactly [victim-1, victim+1] — the same
+    // list HammerAttack::doubleSided builds, in the same order.
+    gene.aggressors.push_back({victim_row - 1, slots, 0, 1});
+    gene.aggressors.push_back({victim_row + 1, slots, 0, 1});
+    return gene;
+}
+
+rhmodel::HammerAttack
+PatternGene::lower() const
+{
+    rhmodel::HammerAttack attack;
+    attack.bank = bank;
+    attack.patternCenter = patternCenter;
+    for (unsigned s = 0; s < slots; ++s) {
+        for (const auto &aggressor : aggressors) {
+            const unsigned period = std::max(1u, aggressor.period);
+            if (s % period != aggressor.phase % period)
+                continue;
+            for (unsigned k = 0; k < std::max(1u, aggressor.amplitude);
+                 ++k)
+                attack.aggressorRows.push_back(aggressor.row);
+        }
+    }
+    return attack;
+}
+
+std::uint64_t
+PatternGene::activationsPerPeriod() const
+{
+    std::uint64_t activations = 0;
+    for (const auto &aggressor : aggressors) {
+        const unsigned period = std::max(1u, aggressor.period);
+        // Active slots of this aggressor within the grid: one every
+        // `period` slots starting at phase % period.
+        const unsigned first = aggressor.phase % period;
+        if (first < slots)
+            activations += (1 + (slots - 1 - first) / period) *
+                           static_cast<std::uint64_t>(
+                               std::max(1u, aggressor.amplitude));
+    }
+    return activations;
+}
+
+std::vector<unsigned>
+PatternGene::victims(unsigned max_victim_row) const
+{
+    std::vector<unsigned> candidates;
+    auto is_aggressor = [&](unsigned row) {
+        for (const auto &aggressor : aggressors)
+            if (aggressor.row == row)
+                return true;
+        return false;
+    };
+    for (const auto &aggressor : aggressors) {
+        for (int offset : {-1, 1}) {
+            const long candidate =
+                static_cast<long>(aggressor.row) + offset;
+            if (candidate < 1 ||
+                candidate > static_cast<long>(max_victim_row))
+                continue;
+            const auto row = static_cast<unsigned>(candidate);
+            if (!is_aggressor(row))
+                candidates.push_back(row);
+        }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(
+        std::unique(candidates.begin(), candidates.end()),
+        candidates.end());
+    return candidates;
+}
+
+std::uint64_t
+PatternGene::digest() const
+{
+    std::uint64_t digest = util::hashTuple(
+        bank, slots, static_cast<std::uint64_t>(patternId), patternSeed,
+        patternCenter, aggressors.size());
+    for (const auto &aggressor : aggressors)
+        digest = util::hashCombine(
+            digest, util::hashTuple(aggressor.row, aggressor.period,
+                                    aggressor.phase,
+                                    aggressor.amplitude));
+    return digest;
+}
+
+report::Json
+PatternGene::toJson() const
+{
+    auto value = report::Json::object();
+    value.set("bank", bank);
+    value.set("slots", slots);
+    value.set("pattern", rhmodel::to_string(patternId));
+    value.set("pattern_seed", patternSeed);
+    value.set("pattern_center", patternCenter);
+    auto list = report::Json::array();
+    for (const auto &aggressor : aggressors) {
+        auto entry = report::Json::object();
+        entry.set("row", aggressor.row);
+        entry.set("period", aggressor.period);
+        entry.set("phase", aggressor.phase);
+        entry.set("amplitude", aggressor.amplitude);
+        list.push(std::move(entry));
+    }
+    value.set("aggressors", std::move(list));
+    return value;
+}
+
+double
+activationsToFirstFlip(const rhmodel::AnalyticEngine &engine,
+                       const PatternGene &gene,
+                       const rhmodel::Conditions &conditions,
+                       unsigned trial, unsigned max_victim_row,
+                       unsigned *flipped_victim)
+{
+    const auto attack = gene.lower();
+    if (attack.aggressorRows.empty())
+        return rhmodel::kNeverFlips;
+    const auto per_period =
+        static_cast<double>(attack.aggressorRows.size());
+    const auto pattern = gene.dataPattern();
+
+    double best_periods = rhmodel::kNeverFlips;
+    unsigned best_victim = 0;
+    for (unsigned victim : gene.victims(max_victim_row)) {
+        const auto eval =
+            engine.rowEval(victim, attack, conditions, pattern, trial);
+        if (eval->minHcFirst < best_periods) {
+            best_periods = eval->minHcFirst;
+            best_victim = victim;
+        }
+    }
+    if (best_periods == rhmodel::kNeverFlips)
+        return rhmodel::kNeverFlips;
+    if (flipped_victim != nullptr)
+        *flipped_victim = best_victim;
+    return best_periods * per_period;
+}
+
+} // namespace rhs::fuzz

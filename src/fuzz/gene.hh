@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The fuzzer's pattern genome: a compact encoding of non-uniform
+ * RowHammer access patterns (Blacksmith/ZenHammer direction).
+ *
+ * The paper characterizes *uniform* patterns — every aggressor
+ * activated once per hammer round. The modern attack frontier
+ * (TRRespass, Blacksmith) is non-uniform: aggressors are placed on a
+ * tREFI-aligned slot grid and differ in frequency (how many grid slots
+ * they occupy), phase (which slots), and amplitude (consecutive
+ * activations per occupied slot). Such patterns defeat sampling TRR
+ * trackers that uniform patterns cannot.
+ *
+ * A PatternGene encodes one such pattern. It *lowers* into the
+ * existing rhmodel::HammerAttack representation — the slot-ordered
+ * activation sequence of one grid period — so that both evaluation
+ * paths understand it unchanged:
+ *
+ *  - the closed-form RowEval kernel sums per-activation damage over
+ *    the aggressor list (duplicates are additive), so one "hammer" of
+ *    the lowered attack is one full grid period;
+ *  - the cycle-level defense harness (defense::evaluateDefense)
+ *    iterates the list *in order* per round, so frequency/phase
+ *    structure is visible to TRR samplers exactly as the real access
+ *    stream would be.
+ *
+ * Fitness comparisons across genes with different schedule lengths are
+ * normalized to *activations*: activationsToFirstFlip() multiplies the
+ * kernel's per-period HCfirst by the schedule length, so a gene cannot
+ * look stronger merely by packing more activations into one period.
+ */
+
+#ifndef RHS_FUZZ_GENE_HH
+#define RHS_FUZZ_GENE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "report/json.hh"
+#include "rhmodel/analytic.hh"
+#include "rhmodel/pattern.hh"
+
+namespace rhs::fuzz
+{
+
+/** One aggressor row's place in the slot grid. */
+struct AggressorGene
+{
+    unsigned row = 0;       //!< Physical aggressor row.
+    unsigned period = 1;    //!< Active every `period` slots (1 = every
+                            //!< slot; the inverse of Blacksmith's
+                            //!< frequency).
+    unsigned phase = 0;     //!< First active slot, in [0, period).
+    unsigned amplitude = 1; //!< Consecutive ACTs per active slot.
+
+    bool operator==(const AggressorGene &) const = default;
+};
+
+/** A complete non-uniform pattern: aggressor set + data pattern. */
+struct PatternGene
+{
+    unsigned bank = 0;
+    unsigned slots = 8; //!< Slot-grid length (one tREFI period).
+    std::vector<AggressorGene> aggressors;
+    //! Data pattern written around the victims (part of the genome:
+    //! the fuzzer searches data patterns too).
+    rhmodel::PatternId patternId = rhmodel::PatternId::Checkered;
+    std::uint64_t patternSeed = 0;
+    //! Row the data pattern is centered on (HammerAttack::patternCenter).
+    unsigned patternCenter = 0;
+
+    bool operator==(const PatternGene &) const = default;
+
+    /**
+     * The uniform double-sided gene on `victim_row`: aggressors
+     * victim±1, each active in slot 0 only, amplitude 1. Lowers to
+     * exactly HammerAttack::doubleSided(bank, victim_row), so its
+     * fitness is byte-identical to the paper's uniform baseline — the
+     * search seeds its initial population with these genes, which is
+     * what guarantees "best fuzzed <= best uniform".
+     */
+    static PatternGene uniformDoubleSided(unsigned bank,
+                                          unsigned victim_row,
+                                          unsigned slots,
+                                          rhmodel::PatternId pattern_id,
+                                          std::uint64_t pattern_seed);
+
+    /**
+     * Lower to the analytic/cycle representation: the slot-ordered
+     * activation sequence of one grid period. Slot s emits, for each
+     * aggressor in genome order with s % period == phase % period,
+     * `amplitude` consecutive activations of its row.
+     */
+    rhmodel::HammerAttack lower() const;
+
+    /** Activations one grid period issues (= lower().aggressorRows.size()). */
+    std::uint64_t activationsPerPeriod() const;
+
+    /**
+     * Victim candidates: rows adjacent to any aggressor that are not
+     * themselves aggressors, restricted to [1, max_victim_row] (both
+     * physical neighbours must exist). Sorted, unique.
+     */
+    std::vector<unsigned> victims(unsigned max_victim_row) const;
+
+    /** The concrete data pattern instance this genome encodes. */
+    rhmodel::DataPattern
+    dataPattern() const
+    {
+        return rhmodel::DataPattern(patternId, patternSeed);
+    }
+
+    /**
+     * Order-sensitive 64-bit digest of every genome field. Two genes
+     * digest equal iff they are field-for-field identical; the
+     * determinism tests compare search winners through this.
+     */
+    std::uint64_t digest() const;
+
+    /** JSON form for fuzz_best replies and BENCH_fuzz.json. */
+    report::Json toJson() const;
+};
+
+/**
+ * Activations until the first bit flip this gene achieves on any of
+ * its victims, under the analytic model: min over victims of
+ * rowEval(victim).minHcFirst (in grid periods) * activationsPerPeriod.
+ * Lower is a stronger attack. Returns rhmodel::kNeverFlips when no
+ * victim ever flips (or the gene has no victims).
+ *
+ * @param flipped_victim When non-null and a flip exists, receives the
+ *        victim row achieving the minimum.
+ *
+ * Thread-safe: only touches the engine's const, internally-locked
+ * evaluation paths — candidate populations score in parallel.
+ */
+double activationsToFirstFlip(const rhmodel::AnalyticEngine &engine,
+                              const PatternGene &gene,
+                              const rhmodel::Conditions &conditions,
+                              unsigned trial, unsigned max_victim_row,
+                              unsigned *flipped_victim = nullptr);
+
+} // namespace rhs::fuzz
+
+#endif // RHS_FUZZ_GENE_HH

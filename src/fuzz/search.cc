@@ -1,0 +1,323 @@
+#include "fuzz/search.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace rhs::fuzz
+{
+
+namespace
+{
+
+/** fuzz.* metrics (global registry; see docs on the obs contract). */
+struct FuzzMetrics
+{
+    obs::Counter &searches;
+    obs::Counter &candidates;
+    obs::Counter &generations;
+    obs::Counter &cacheHits;
+    obs::Counter &cacheMisses;
+    obs::Histogram &generationBest;
+
+    static FuzzMetrics &
+    get()
+    {
+        static FuzzMetrics metrics{
+            obs::Registry::global().counter("fuzz.searches"),
+            obs::Registry::global().counter("fuzz.candidates"),
+            obs::Registry::global().counter("fuzz.generations"),
+            obs::Registry::global().counter("fuzz.roweval.hits"),
+            obs::Registry::global().counter("fuzz.roweval.misses"),
+            obs::Registry::global().histogram(
+                "fuzz.generation_best_activations",
+                obs::exponentialBounds(1e3, 2.0, 16)),
+        };
+        return metrics;
+    }
+};
+
+/** Table 1 pattern ids, indexable for mutation draws. */
+rhmodel::PatternId
+patternAt(unsigned index)
+{
+    return rhmodel::allPatterns[index % rhmodel::allPatterns.size()];
+}
+
+unsigned
+patternIndexOf(rhmodel::PatternId id)
+{
+    for (unsigned i = 0; i < rhmodel::allPatterns.size(); ++i)
+        if (rhmodel::allPatterns[i] == id)
+            return i;
+    return 0;
+}
+
+/** A power-of-two period in [1, slots]. */
+unsigned
+randomPeriod(Rng &rng, unsigned slots)
+{
+    unsigned max_shift = 0;
+    while ((2u << max_shift) <= slots)
+        ++max_shift;
+    return 1u << rng.pick(0, max_shift);
+}
+
+} // namespace
+
+unsigned
+Mutator::clampRow(long row) const
+{
+    // Aggressors keep one row of slack to the victim-row bounds so
+    // every aggressor's neighbours are themselves legal victims.
+    const long lo = 2;
+    const long hi = static_cast<long>(config.maxVictimRow) - 1;
+    return static_cast<unsigned>(std::clamp(row, lo, std::max(lo, hi)));
+}
+
+AggressorGene
+Mutator::randomAggressor(Rng &rng, unsigned anchor) const
+{
+    AggressorGene gene;
+    // Rows cluster around the anchor at stride-2-ish offsets, the
+    // geometry family TRRespass/Blacksmith patterns live in.
+    const long offset =
+        static_cast<long>(rng.pick(0, 8)) - 4; // [-4, 4]
+    gene.row = clampRow(static_cast<long>(anchor) + offset);
+    gene.period = randomPeriod(rng, config.slots);
+    gene.phase = rng.pick(0, gene.period - 1);
+    gene.amplitude = rng.pick(1, std::max(1u, config.maxAmplitude));
+    return gene;
+}
+
+PatternGene
+Mutator::randomGene(Rng &rng) const
+{
+    RHS_ASSERT(!config.candidateRows.empty(),
+               "fuzz search needs at least one candidate victim row");
+    const unsigned anchor = config.candidateRows[rng.pick(
+        0, static_cast<unsigned>(config.candidateRows.size()) - 1)];
+
+    PatternGene gene;
+    gene.bank = config.bank;
+    gene.slots = config.slots;
+    gene.patternCenter = anchor;
+    // Start from the data pattern the uniform baseline uses and let
+    // mutation explore; a fraction of fresh genes jump straight to a
+    // random Table 1 pattern.
+    gene.patternId = config.seedPatternId;
+    gene.patternSeed = config.seedPatternSeed;
+    if (rng.chance(0.25)) {
+        gene.patternId = patternAt(rng.pick(0, 6));
+        // >> 1 keeps random seeds within the JSON-representable
+        // non-negative int64 range of the rpc pattern_seed param.
+        if (gene.patternId == rhmodel::PatternId::Random)
+            gene.patternSeed = rng.next() >> 1;
+    }
+
+    // Double-sided core around the anchor, then optional extra
+    // aggressors (many-sided / asymmetric geometries).
+    gene.aggressors.push_back(
+        {clampRow(static_cast<long>(anchor) - 1),
+         randomPeriod(rng, config.slots), 0,
+         rng.pick(1, std::max(1u, config.maxAmplitude))});
+    gene.aggressors.push_back(
+        {clampRow(static_cast<long>(anchor) + 1),
+         randomPeriod(rng, config.slots), 0,
+         rng.pick(1, std::max(1u, config.maxAmplitude))});
+    for (auto &aggressor : gene.aggressors)
+        aggressor.phase = rng.pick(0, aggressor.period - 1);
+    const unsigned extras =
+        rng.pick(0, std::max(2u, config.maxAggressors) - 2);
+    for (unsigned i = 0; i < extras; ++i)
+        gene.aggressors.push_back(randomAggressor(rng, anchor));
+    return gene;
+}
+
+PatternGene
+Mutator::mutate(const PatternGene &parent, Rng &rng) const
+{
+    PatternGene child = parent;
+    const unsigned edits = rng.pick(1, 3);
+    for (unsigned e = 0; e < edits; ++e) {
+        switch (rng.pick(0, 5)) {
+          case 0: // Re-tune one aggressor's slot-grid placement.
+            if (!child.aggressors.empty()) {
+                auto &a = child.aggressors[rng.pick(
+                    0,
+                    static_cast<unsigned>(child.aggressors.size()) -
+                        1)];
+                a.period = randomPeriod(rng, child.slots);
+                a.phase = rng.pick(0, a.period - 1);
+            }
+            break;
+          case 1: // Re-tune one aggressor's amplitude.
+            if (!child.aggressors.empty()) {
+                auto &a = child.aggressors[rng.pick(
+                    0,
+                    static_cast<unsigned>(child.aggressors.size()) -
+                        1)];
+                a.amplitude =
+                    rng.pick(1, std::max(1u, config.maxAmplitude));
+            }
+            break;
+          case 2: // Nudge one aggressor's row.
+            if (!child.aggressors.empty()) {
+                auto &a = child.aggressors[rng.pick(
+                    0,
+                    static_cast<unsigned>(child.aggressors.size()) -
+                        1)];
+                const long delta =
+                    static_cast<long>(rng.pick(0, 4)) - 2;
+                a.row = clampRow(static_cast<long>(a.row) + delta);
+            }
+            break;
+          case 3: // Grow the aggressor set.
+            if (child.aggressors.size() <
+                std::max(2u, config.maxAggressors))
+                child.aggressors.push_back(
+                    randomAggressor(rng, child.patternCenter));
+            break;
+          case 4: // Shrink the aggressor set (keep a pair).
+            if (child.aggressors.size() > 2)
+                child.aggressors.erase(
+                    child.aggressors.begin() +
+                    rng.pick(0,
+                             static_cast<unsigned>(
+                                 child.aggressors.size()) -
+                                 1));
+            break;
+          default: // Flip the data pattern.
+            child.patternId = patternAt(
+                patternIndexOf(child.patternId) + rng.pick(1, 6));
+            child.patternSeed =
+                child.patternId == rhmodel::PatternId::Random
+                    ? rng.next() >> 1
+                    : config.seedPatternSeed;
+            break;
+        }
+    }
+    return child;
+}
+
+Search::Search(const SearchConfig &config) : config(config)
+{
+    RHS_ASSERT(this->config.population >= 1, "empty fuzz population");
+    this->config.elites = std::clamp(this->config.elites, 1u,
+                                     this->config.population);
+    RHS_ASSERT(this->config.slots >= 1, "slot grid must be non-empty");
+    RHS_ASSERT(this->config.maxVictimRow >= 3,
+               "bank too small for double-sided fuzzing");
+}
+
+SearchResult
+Search::run(const rhmodel::AnalyticEngine &engine) const
+{
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    auto &metrics = FuzzMetrics::get();
+    auto &registry = obs::Registry::global();
+    const auto hits0 = registry.counter("roweval.cache.hits").value();
+    const auto misses0 =
+        registry.counter("roweval.cache.misses").value();
+    metrics.searches.add(1);
+
+    const Mutator mutator(config);
+
+    // Generation 0: one uniform double-sided gene per candidate row
+    // (the paper's baseline patterns), random genes for the rest.
+    std::vector<PatternGene> population(config.population);
+    const auto seeded = std::min<std::size_t>(
+        config.candidateRows.size(), config.population);
+    for (std::size_t i = 0; i < config.population; ++i) {
+        if (i < seeded) {
+            population[i] = PatternGene::uniformDoubleSided(
+                config.bank, config.candidateRows[i], config.slots,
+                config.seedPatternId, config.seedPatternSeed);
+        } else {
+            Rng rng(config.seed, 0, i);
+            population[i] = mutator.randomGene(rng);
+        }
+    }
+
+    SearchResult result;
+    auto &pool = util::ThreadPool::instance();
+    for (unsigned generation = 0;; ++generation) {
+        // Score the population in parallel; pre-sized per-index slots
+        // keep the result independent of the thread count.
+        const auto scored = pool.parallelMap(
+            config.population, [&](std::size_t i) {
+                ScoredGene entry;
+                entry.gene = population[i];
+                entry.activations = activationsToFirstFlip(
+                    engine, population[i], config.conditions,
+                    config.trial, config.maxVictimRow, &entry.victim);
+                return entry;
+            });
+        result.candidatesEvaluated += config.population;
+        metrics.candidates.add(config.population);
+        metrics.generations.add(1);
+
+        // Deterministic selection: stable sort on fitness, population
+        // index breaking ties.
+        std::vector<std::size_t> order(config.population);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return scored[a].activations <
+                                    scored[b].activations;
+                         });
+
+        const auto &generation_best = scored[order.front()];
+        if (generation_best.activations < result.best.activations ||
+            result.generationsCompleted == 0)
+            result.best = generation_best;
+        result.generationBest.push_back(result.best.activations);
+        if (result.best.activations != rhmodel::kNeverFlips)
+            metrics.generationBest.observe(result.best.activations);
+        ++result.generationsCompleted;
+
+        if (generation == 0) {
+            for (std::size_t i = 0; i < seeded; ++i)
+                result.uniformActivations = std::min(
+                    result.uniformActivations, scored[i].activations);
+        }
+
+        if (generation + 1 >= config.generations)
+            break;
+        if (config.deadlineMs >= 0.0) {
+            const std::chrono::duration<double, std::milli> spent =
+                Clock::now() - start;
+            if (spent.count() >= config.deadlineMs) {
+                result.budgetExhausted = true;
+                break;
+            }
+        }
+
+        // Next generation: elites survive verbatim, the rest are
+        // mutants of round-robin elite parents.
+        std::vector<PatternGene> next(config.population);
+        for (unsigned e = 0; e < config.elites; ++e)
+            next[e] = scored[order[e]].gene;
+        for (std::size_t i = config.elites; i < config.population;
+             ++i) {
+            const auto &parent =
+                scored[order[(i - config.elites) % config.elites]]
+                    .gene;
+            Rng rng(config.seed, generation + 1, i);
+            next[i] = mutator.mutate(parent, rng);
+        }
+        population = std::move(next);
+    }
+
+    metrics.cacheHits.add(
+        registry.counter("roweval.cache.hits").value() - hits0);
+    metrics.cacheMisses.add(
+        registry.counter("roweval.cache.misses").value() - misses0);
+    return result;
+}
+
+} // namespace rhs::fuzz

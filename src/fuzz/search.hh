@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Seeded, deterministic, parallel search over the pattern-gene space.
+ *
+ * The search is a small elitist genetic loop: a population of
+ * PatternGenes is scored (in parallel) by predicted
+ * activations-to-first-flip, the best `elites` survive each
+ * generation, and the rest of the next population are mutants of the
+ * survivors.
+ *
+ * Determinism contract (tested in tests/fuzz_engine_test.cc):
+ *
+ *  - Every random draw is counter-based: a pure function of
+ *    (seed, generation, candidate index, draw counter) through
+ *    util::hashTuple — there is no shared RNG state, so candidate i of
+ *    generation g is the same gene no matter how many threads score
+ *    the population or in what order.
+ *  - Scoring writes into pre-sized per-index slots via
+ *    util::ThreadPool::parallelMap, so results are byte-identical at
+ *    any --jobs.
+ *  - Selection ties break on population index (stable sort), never on
+ *    address or timing.
+ *  - All scoring flows through AnalyticEngine::rowEval, so repeated
+ *    (victim, attack, conditions) keys — elites re-scored every
+ *    generation, siblings sharing a victim — are memoized by the
+ *    sharded RowEval LRU and any attached snapshot/spill store, which
+ *    by contract can change cost but never values.
+ *
+ * The only nondeterministic input is the optional deadline: it decides
+ * how many *whole generations* complete (best-so-far early return with
+ * budgetExhausted set), never the content of a completed generation.
+ * Callers that need bit-reproducible output (BENCH_fuzz.json, the
+ * loadgen byte-identity mixes) simply run without a deadline.
+ */
+
+#ifndef RHS_FUZZ_SEARCH_HH
+#define RHS_FUZZ_SEARCH_HH
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/gene.hh"
+#include "rhmodel/analytic.hh"
+#include "rhmodel/cell_model.hh"
+#include "util/hash.hh"
+
+namespace rhs::fuzz
+{
+
+/**
+ * Deterministic counter-based random stream for one (seed, generation,
+ * candidate) triple. Each draw is a pure function of the triple and
+ * the draw index; copying the object replays the stream.
+ */
+class Rng
+{
+  public:
+    Rng(std::uint64_t seed, std::uint64_t generation,
+        std::uint64_t candidate)
+        : state(util::hashTuple(seed, generation, candidate))
+    {
+    }
+
+    /** Next 64-bit word of the stream. */
+    std::uint64_t
+    next()
+    {
+        return util::hashCombine(state, ++counter);
+    }
+
+    /** Uniform draw in [lo, hi] (inclusive); lo when the range is empty. */
+    unsigned
+    pick(unsigned lo, unsigned hi)
+    {
+        if (hi <= lo)
+            return lo;
+        return lo + static_cast<unsigned>(next() % (hi - lo + 1));
+    }
+
+    /** Bernoulli draw. */
+    bool
+    chance(double p)
+    {
+        return util::toUnitDouble(next()) < p;
+    }
+
+  private:
+    std::uint64_t state;
+    std::uint64_t counter = 0;
+};
+
+/** Everything one search run needs. */
+struct SearchConfig
+{
+    std::uint64_t seed = 0;
+    unsigned population = 24;
+    unsigned generations = 6;
+    unsigned elites = 6;
+
+    unsigned slots = 8;         //!< Slot-grid length of every gene.
+    unsigned maxAggressors = 6; //!< Aggressor-set size cap.
+    unsigned maxAmplitude = 3;  //!< Per-slot activation burst cap.
+
+    unsigned bank = 0;
+    //! Victim anchors: generation 0 contains one uniform double-sided
+    //! gene per entry (the paper's baseline attack), so the winner can
+    //! never be weaker than the best uniform pattern over these rows.
+    std::vector<unsigned> candidateRows;
+    //! Largest legal victim row (rowsPerBank() - 2: a victim needs
+    //! both physical neighbours). Aggressors stay within it too.
+    unsigned maxVictimRow = 0;
+
+    rhmodel::Conditions conditions{};
+    //! Data pattern of the seeded uniform genes (the module's WCDP);
+    //! mutation explores the other Table 1 patterns from there.
+    rhmodel::PatternId seedPatternId = rhmodel::PatternId::Checkered;
+    std::uint64_t seedPatternSeed = 0;
+    unsigned trial = 0;
+
+    //! Wall-clock budget in milliseconds (< 0 = unlimited). Checked
+    //! between generations: on expiry the search returns best-so-far
+    //! with budgetExhausted set instead of blowing the deadline.
+    double deadlineMs = -1.0;
+};
+
+/** One scored candidate. */
+struct ScoredGene
+{
+    PatternGene gene;
+    //! Predicted activations to first flip (rhmodel::kNeverFlips when
+    //! the gene never flips anything).
+    double activations = rhmodel::kNeverFlips;
+    unsigned victim = 0; //!< Victim row achieving it.
+};
+
+/** Outcome of one search run. */
+struct SearchResult
+{
+    ScoredGene best;
+    //! Best fitness after each completed generation (the fitness
+    //! trace; monotonically non-increasing).
+    std::vector<double> generationBest;
+    //! Fitness of the best seeded uniform double-sided gene — the
+    //! paper's baseline, measured through the same evaluator.
+    double uniformActivations = rhmodel::kNeverFlips;
+    std::uint64_t candidatesEvaluated = 0;
+    unsigned generationsCompleted = 0;
+    bool budgetExhausted = false;
+};
+
+/** Deterministic gene construction and mutation. */
+class Mutator
+{
+  public:
+    explicit Mutator(const SearchConfig &config) : config(config) {}
+
+    /** A fresh random gene (generation-0 filler). */
+    PatternGene randomGene(Rng &rng) const;
+
+    /** A mutated copy of `parent` (1-3 random edits). */
+    PatternGene mutate(const PatternGene &parent, Rng &rng) const;
+
+  private:
+    unsigned clampRow(long row) const;
+    AggressorGene randomAggressor(Rng &rng, unsigned anchor) const;
+
+    const SearchConfig &config;
+};
+
+/** The population/elite-retention search loop. */
+class Search
+{
+  public:
+    explicit Search(const SearchConfig &config);
+
+    /**
+     * Run the search against `engine`. Thread-safe with respect to the
+     * engine (scoring only uses its const evaluation paths); uses the
+     * global util::ThreadPool for population scoring.
+     */
+    SearchResult run(const rhmodel::AnalyticEngine &engine) const;
+
+  private:
+    SearchConfig config;
+};
+
+} // namespace rhs::fuzz
+
+#endif // RHS_FUZZ_SEARCH_HH

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/tester.hh"
+#include "fuzz/search.hh"
 #include "rhmodel/pattern.hh"
 #include "serve/protocol.hh"
 #include "snap/reader.hh"
@@ -135,6 +136,7 @@ victimRowParam(const report::Json &request, const std::string &name,
 QueryEngine::QueryEngine() : QueryEngine(EngineOptions{}) {}
 
 QueryEngine::QueryEngine(const EngineOptions &options)
+    : fuzzSeedBase(options.fuzzSeedBase)
 {
     snap::StoreFactory factory;
     if (!options.snapshotIn.empty()) {
@@ -171,7 +173,7 @@ bool
 QueryEngine::isEngineOp(const std::string &op)
 {
     return op == "row_hcfirst" || op == "ber" || op == "worst_pattern" ||
-           op == "profile_slice";
+           op == "profile_slice" || op == "fuzz_best";
 }
 
 core::Tester &
@@ -258,6 +260,78 @@ QueryEngine::execute(const report::Json &request)
                 tester.findWorstCasePattern(bank, rows, conditions);
             result.set("pattern", rhmodel::to_string(wcdp.id()));
             result.set("pattern_seed", wcdp.patternSeed());
+        } else if (op == "fuzz_best") {
+            // A fuzz result is only defined relative to its seed, so
+            // an explicit one is mandatory — defaulting it would make
+            // "the best pattern" irreproducible.
+            if (request.find("seed") == nullptr)
+                throw ParamError{
+                    "fuzz_best requires an explicit 'seed': the "
+                    "search result is only reproducible relative to "
+                    "it (pass any non-negative integer)"};
+            const auto request_seed =
+                static_cast<std::uint64_t>(requiredIntParam(
+                    request, "seed", 0,
+                    std::numeric_limits<std::int64_t>::max()));
+            const unsigned row0 =
+                victimRowParam(request, "row0", geometry);
+            const auto count = static_cast<unsigned>(intParam(
+                request, "count", 4, 1, kMaxFuzzRows));
+            const unsigned last = geometry.rowsPerBank() - 2;
+            if (row0 + count - 1 > last)
+                throw ParamError{"victim anchors [row0, row0+count) "
+                                 "exceed the bank's last victim row " +
+                                 std::to_string(last)};
+
+            fuzz::SearchConfig config;
+            config.seed = fuzzSeedBase ^ request_seed;
+            config.population = static_cast<unsigned>(intParam(
+                request, "population", 16, 2, kMaxFuzzPopulation));
+            config.generations = static_cast<unsigned>(intParam(
+                request, "generations", 4, 1, kMaxFuzzGenerations));
+            config.elites =
+                std::max(1u, config.population / 4);
+            config.slots = static_cast<unsigned>(
+                intParam(request, "slots", 8, 1, 32));
+            config.maxAggressors = static_cast<unsigned>(
+                intParam(request, "max_aggressors", 4, 2, 8));
+            config.bank = bank;
+            for (unsigned row = row0; row < row0 + count; ++row)
+                config.candidateRows.push_back(row);
+            config.maxVictimRow = last;
+            config.conditions = conditions;
+            config.seedPatternId = pattern.id();
+            config.seedPatternSeed = pattern.patternSeed();
+            config.trial = trial;
+            config.deadlineMs = static_cast<double>(intParam(
+                request, "deadline_ms", -1, 0,
+                std::numeric_limits<std::int64_t>::max()));
+
+            const auto outcome = fuzz::Search(config).run(
+                tester.module().analytic());
+
+            // kNeverFlips (inf) is not JSON-representable; mirror the
+            // tester's kNotVulnerable convention: 0 = no flip found.
+            auto finite = [](double activations) {
+                return activations == rhmodel::kNeverFlips
+                           ? 0.0
+                           : activations;
+            };
+            result.set("seed", request_seed);
+            result.set("best", outcome.best.gene.toJson());
+            result.set("best_activations",
+                       finite(outcome.best.activations));
+            result.set("best_victim", outcome.best.victim);
+            result.set("uniform_activations",
+                       finite(outcome.uniformActivations));
+            auto trace = report::Json::array();
+            for (double best : outcome.generationBest)
+                trace.push(finite(best));
+            result.set("generation_best", std::move(trace));
+            result.set("evaluated", outcome.candidatesEvaluated);
+            result.set("generations_completed",
+                       outcome.generationsCompleted);
+            result.set("budget_exhausted", outcome.budgetExhausted);
         } else { // profile_slice
             const unsigned row0 =
                 victimRowParam(request, "row0", geometry);

@@ -21,6 +21,21 @@
  *   ber            {..., row*, hammers, trial}  -> {row, hammers, flips}
  *   worst_pattern  {..., rows*: [r...]}         -> {pattern, pattern_seed}
  *   profile_slice  {..., row0*, count*, trial}  -> {row0, hcfirst: [...]}
+ *   fuzz_best      {..., seed*, row0*, count, population, generations,
+ *                   slots, max_aggressors, deadline_ms}
+ *                  -> {seed, best, best_activations, best_victim,
+ *                      uniform_activations, generation_best,
+ *                      evaluated, generations_completed,
+ *                      budget_exhausted}
+ *
+ * fuzz_best runs the src/fuzz pattern search (victim anchors
+ * [row0, row0+count)) and returns the strongest non-uniform pattern
+ * found. `seed` is REQUIRED: a fuzz result is only meaningful relative
+ * to an explicit seed, so seedless requests are rejected rather than
+ * silently defaulting. With `deadline_ms` the search returns its
+ * best-so-far and sets budget_exhausted instead of blowing the
+ * deadline; without it the full generation budget always runs, which
+ * is what makes served replies byte-identical to direct engine calls.
  */
 
 #ifndef RHS_SERVE_QUERY_ENGINE_HH
@@ -44,6 +59,11 @@ class QueryEngine
     static constexpr unsigned kMaxSliceRows = 512;
     /** Cap on a worst_pattern sample (each row scans 7 patterns). */
     static constexpr unsigned kMaxWcdpRows = 64;
+    /** Caps on one fuzz_best search (population x generations x
+     *  victims bounds the rowEval work a single request can demand). */
+    static constexpr unsigned kMaxFuzzRows = 16;
+    static constexpr unsigned kMaxFuzzPopulation = 64;
+    static constexpr unsigned kMaxFuzzGenerations = 16;
 
     /**
      * Optional persistence tiers (see src/snap). All best-effort: a
@@ -56,6 +76,11 @@ class QueryEngine
         std::string snapshotIn; //!< rhs-snap/1 file to warm-start from.
         std::string spillFile;  //!< RowEval eviction spill file.
         std::uint64_t spillMaxBytes = 256ull << 20;
+        //! Base seed XOR-combined into every fuzz_best search seed
+        //! (the rhs-serve --seed flag). 0, the default, leaves request
+        //! seeds untouched — required for the loadgen byte-identity
+        //! comparison, whose direct engine uses default options.
+        std::uint64_t fuzzSeedBase = 0;
     };
 
     QueryEngine();
@@ -82,6 +107,7 @@ class QueryEngine
 
     std::mutex buildMutex; //!< Guards the FleetCache maps only.
     exp::FleetCache fleet;
+    std::uint64_t fuzzSeedBase = 0;
 };
 
 } // namespace rhs::serve

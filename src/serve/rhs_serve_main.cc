@@ -4,7 +4,7 @@
  *
  *   rhs-serve [--host H] [--port P] [--queue N] [--batch N]
  *             [--max-conns N] [--jobs N] [--log LEVEL]
- *             [--simd scalar|avx2|avx512|neon|auto]
+ *             [--simd scalar|avx2|avx512|neon|auto] [--seed N]
  *
  * --simd pins the row-evaluation kernel variant before the server
  * starts (overrides the RHS_SIMD environment variable; default: best
@@ -60,7 +60,7 @@ main(int argc, char **argv)
                         {"host", "port", "queue", "batch", "max-conns",
                          "jobs", "log", "trace-out", "simd",
                          "snapshot-in", "spill-file", "spill-max-mb",
-                         "help"});
+                         "seed", "help"});
     if (cli.has("help")) {
         std::printf(
             "usage: rhs-serve [--host H] [--port P] [--queue N] "
@@ -76,12 +76,16 @@ main(int argc, char **argv)
             "--simd pins the row-evaluation kernel variant (default:\n"
             "the RHS_SIMD environment variable, else the best the CPU\n"
             "supports); the choice shows up in the stats snapshot.\n"
+            "                 [--seed N]\n"
             "--snapshot-in warm-starts the engine from an rhs-snap/1\n"
             "file written by rhs-bench --snapshot-out; an unreadable\n"
             "or mismatched snapshot logs one warning and the server\n"
             "computes live. --spill-file spills RowEval cache\n"
             "evictions to a bounded scratch file (default cap 256\n"
-            "MiB; override with --spill-max-mb).\n");
+            "MiB; override with --spill-max-mb).\n"
+            "--seed XORs a base seed into every fuzz_best search so\n"
+            "two servers can diversify otherwise-identical requests;\n"
+            "the default 0 serves request seeds verbatim.\n");
         return 0;
     }
 
@@ -121,6 +125,8 @@ main(int argc, char **argv)
     config.engine.spillMaxBytes =
         static_cast<std::uint64_t>(cli.getInt("spill-max-mb", 256))
         << 20;
+    config.engine.fuzzSeedBase =
+        static_cast<std::uint64_t>(cli.getInt("seed", 0));
 
     obs::Registry::global().info("build.git").set(util::gitDescribe());
 

@@ -17,6 +17,7 @@
 
 #include "core/hammer_session.hh"
 #include "core/tester.hh"
+#include "fuzz/gene.hh"
 #include "rhmodel/kernel.hh"
 #include "util/hash.hh"
 
@@ -429,6 +430,70 @@ TEST(RowEvalWcdpTest, FindWorstCasePatternMatchesSerialReference)
 
     const auto wcdp = tester.findWorstCasePattern(0, sample, conditions);
     EXPECT_EQ(wcdp.id(), best.id());
+}
+
+TEST(RowEvalFuzzedPatternTest, NonUniformGeneByteIdenticalAcrossVariants)
+{
+    // A fuzzed non-uniform gene (many-sided, mixed frequency/phase/
+    // amplitude on the slot grid) lowers to an attack with repeated
+    // aggressor entries; every SIMD variant must evaluate it
+    // byte-identically, and identically to the cellHcFirst reference.
+    const SimdVariantGuard guard;
+    fuzz::PatternGene gene;
+    gene.slots = 8;
+    gene.patternCenter = 151;
+    gene.aggressors.push_back({149, 1, 0, 1});
+    gene.aggressors.push_back({151, 2, 1, 2});
+    gene.aggressors.push_back({153, 4, 3, 1});
+    const auto attack = gene.lower();
+    const Conditions conditions;
+    const DataPattern pattern(PatternId::Checkered);
+
+    DimmOptions options;
+    options.subarraysPerBank = 4;
+    const auto victims = gene.victims(
+        SimulatedDimm(Mfr::B, 0, options)
+            .module()
+            .geometry()
+            .rowsPerBank() -
+        2);
+    ASSERT_FALSE(victims.empty());
+
+    // Reference expectations never enter the kernel.
+    std::vector<double> expected;
+    {
+        SimulatedDimm dimm(Mfr::B, 0, options);
+        for (unsigned victim : victims)
+            expected.push_back(referenceRowHcFirst(
+                dimm.analytic(), victim, attack, conditions, pattern,
+                0));
+    }
+
+    const auto variants = kern::supportedVariants();
+    ASSERT_FALSE(variants.empty());
+    std::vector<std::uint64_t> digests;
+    for (kern::Simd simd : variants) {
+        SCOPED_TRACE(kern::name(simd));
+        kern::forceVariant(simd);
+        SimulatedDimm fresh(Mfr::B, 0, options);
+        const auto &engine = fresh.analytic();
+        std::uint64_t digest = 0;
+        for (std::size_t v = 0; v < victims.size(); ++v) {
+            EXPECT_EQ(engine.rowHcFirst(victims[v], attack, conditions,
+                                        pattern, 0),
+                      expected[v])
+                << "victim " << victims[v];
+            digest = digestEval(
+                digest, *engine.rowEval(victims[v], attack, conditions,
+                                        pattern, 0));
+        }
+        digests.push_back(digest);
+    }
+    for (std::size_t v = 1; v < digests.size(); ++v) {
+        EXPECT_EQ(digests[0], digests[v])
+            << kern::name(variants[0]) << " vs "
+            << kern::name(variants[v]);
+    }
 }
 
 TEST(EquivalenceTest, AggressorRowsAreImmune)
