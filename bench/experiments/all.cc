@@ -38,6 +38,7 @@ registerAllExperiments()
     registerParallelScaling();
     registerRowEvalKernel();
     registerObsOverhead();
+    registerObsFleet();
     registerRouteLoadgen();
     registerServeLoadgen();
     registerSnapshotWarmstart();

@@ -42,6 +42,7 @@ void registerRowPolicy();
 void registerParallelScaling();
 void registerRowEvalKernel();
 void registerObsOverhead();
+void registerObsFleet();
 void registerRouteLoadgen();
 void registerServeLoadgen();
 void registerSnapshotWarmstart();

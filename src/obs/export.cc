@@ -1,12 +1,11 @@
 #include "obs/export.hh"
 
-#include "obs/trace.hh"
+#include <algorithm>
+#include <map>
+
 #include "report/writer.hh"
 
 namespace rhs::obs
-{
-
-namespace
 {
 
 report::Json
@@ -34,7 +33,94 @@ histogramJson(const HistogramData &data)
     return json;
 }
 
-} // namespace
+bool
+histogramFromJson(const report::Json &json, HistogramData &out)
+{
+    if (json.type() != report::Json::Type::Object)
+        return false;
+    const auto *count = json.find("count");
+    const auto *sum = json.find("sum");
+    const auto *buckets = json.find("buckets");
+    if (count == nullptr || count->type() != report::Json::Type::Int ||
+        count->asInt() < 0 || sum == nullptr || !sum->isNumber() ||
+        buckets == nullptr ||
+        buckets->type() != report::Json::Type::Array)
+        return false;
+    HistogramData parsed;
+    parsed.count = static_cast<std::uint64_t>(count->asInt());
+    parsed.sum = sum->asDouble();
+    if (const auto *min = json.find("min");
+        min != nullptr && min->isNumber())
+        parsed.min = min->asDouble();
+    if (const auto *max = json.find("max");
+        max != nullptr && max->isNumber())
+        parsed.max = max->asDouble();
+    for (std::size_t b = 0; b < buckets->size(); ++b) {
+        const auto &bucket = buckets->at(b);
+        if (bucket.type() != report::Json::Type::Object)
+            return false;
+        const auto *le = bucket.find("le");
+        const auto *n = bucket.find("count");
+        if (le == nullptr || n == nullptr ||
+            n->type() != report::Json::Type::Int || n->asInt() < 0)
+            return false;
+        // The overflow bucket's edge serializes as the string "+Inf"
+        // and must be the last entry.
+        if (le->isNumber()) {
+            if (b + 1 == buckets->size())
+                return false; // Missing overflow bucket.
+            parsed.bounds.push_back(le->asDouble());
+        } else if (le->type() != report::Json::Type::String ||
+                   le->asString() != "+Inf" ||
+                   b + 1 != buckets->size()) {
+            return false;
+        }
+        parsed.counts.push_back(
+            static_cast<std::uint64_t>(n->asInt()));
+    }
+    if (!parsed.counts.empty() &&
+        parsed.counts.size() != parsed.bounds.size() + 1)
+        return false;
+    out = std::move(parsed);
+    return true;
+}
+
+HistogramData
+mergeHistograms(const std::vector<HistogramData> &parts)
+{
+    HistogramData merged;
+    // Reference layout: the first part that has buckets at all.
+    for (const auto &part : parts) {
+        if (!part.counts.empty()) {
+            merged.bounds = part.bounds;
+            merged.counts.assign(part.counts.size(), 0);
+            break;
+        }
+    }
+    bool any_samples = false;
+    for (const auto &part : parts) {
+        merged.count += part.count;
+        merged.sum += part.sum;
+        if (part.count > 0) {
+            if (!any_samples) {
+                merged.min = part.min;
+                merged.max = part.max;
+                any_samples = true;
+            } else {
+                merged.min = std::min(merged.min, part.min);
+                merged.max = std::max(merged.max, part.max);
+            }
+        }
+        // Bucket-wise only for layout-identical parts; a shard with a
+        // different layout (version skew) still contributed its
+        // count/sum/min/max above.
+        if (part.counts.size() == merged.counts.size() &&
+            part.bounds == merged.bounds)
+            for (std::size_t b = 0; b < part.counts.size(); ++b)
+                merged.counts[b] += part.counts[b];
+    }
+    return merged;
+}
 
 report::Json
 metricsJson(const MetricsSnapshot &snapshot)
@@ -68,6 +154,200 @@ registryJson(const Registry &registry)
 }
 
 report::Json
+mergeRegistryJson(
+    const std::vector<std::pair<std::string, report::Json>> &parts)
+{
+    // std::map keys keep every merged section sorted by metric name,
+    // matching metricsJson's sorted output.
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string,
+             std::vector<std::pair<std::string, report::Json>>>
+        gauges;
+    std::map<std::string, std::vector<HistogramData>> histograms;
+    std::map<std::string,
+             std::vector<std::pair<std::string, report::Json>>>
+        infos;
+    auto labels = report::Json::array();
+    for (const auto &[label, doc] : parts) {
+        labels.push(label);
+        if (doc.type() != report::Json::Type::Object)
+            continue;
+        if (const auto *section = doc.find("counters");
+            section != nullptr &&
+            section->type() == report::Json::Type::Object)
+            for (const auto &[name, value] : section->members())
+                if (value.type() == report::Json::Type::Int &&
+                    value.asInt() >= 0)
+                    counters[name] +=
+                        static_cast<std::uint64_t>(value.asInt());
+        if (const auto *section = doc.find("gauges");
+            section != nullptr &&
+            section->type() == report::Json::Type::Object)
+            for (const auto &[name, value] : section->members())
+                gauges[name].emplace_back(label, value);
+        if (const auto *section = doc.find("histograms");
+            section != nullptr &&
+            section->type() == report::Json::Type::Object)
+            for (const auto &[name, value] : section->members()) {
+                HistogramData data;
+                if (histogramFromJson(value, data))
+                    histograms[name].push_back(std::move(data));
+            }
+        if (const auto *section = doc.find("info");
+            section != nullptr &&
+            section->type() == report::Json::Type::Object)
+            for (const auto &[name, value] : section->members())
+                infos[name].emplace_back(label, value);
+    }
+
+    auto json = report::Json::object();
+    json.set("replicas", std::move(labels));
+    auto counters_json = report::Json::object();
+    for (const auto &[name, value] : counters)
+        counters_json.set(name, value);
+    json.set("counters", std::move(counters_json));
+    auto gauges_json = report::Json::object();
+    for (const auto &[name, values] : gauges) {
+        auto per_replica = report::Json::object();
+        for (const auto &[label, value] : values)
+            per_replica.set(label, value);
+        gauges_json.set(name, std::move(per_replica));
+    }
+    json.set("gauges", std::move(gauges_json));
+    auto histograms_json = report::Json::object();
+    for (const auto &[name, values] : histograms)
+        histograms_json.set(name,
+                            histogramJson(mergeHistograms(values)));
+    json.set("histograms", std::move(histograms_json));
+    auto infos_json = report::Json::object();
+    for (const auto &[name, values] : infos) {
+        auto per_replica = report::Json::object();
+        for (const auto &[label, value] : values)
+            per_replica.set(label, value);
+        infos_json.set(name, std::move(per_replica));
+    }
+    json.set("info", std::move(infos_json));
+    return json;
+}
+
+report::Json
+spansJson(const std::vector<SpanEvent> &spans, std::size_t max_spans,
+          bool &truncated)
+{
+    truncated = spans.size() > max_spans;
+    const std::size_t start =
+        truncated ? spans.size() - max_spans : 0;
+    auto array = report::Json::array();
+    for (std::size_t i = start; i < spans.size(); ++i) {
+        const SpanEvent &span = spans[i];
+        auto entry = report::Json::object();
+        entry.set("name", span.name);
+        entry.set("begin_us", span.beginUs);
+        entry.set("end_us", span.endUs);
+        entry.set("tid", span.tid);
+        if (span.traceHi != 0 || span.traceLo != 0)
+            entry.set("trace",
+                      traceIdToHex(span.traceHi, span.traceLo));
+        if (span.spanId != 0)
+            entry.set("span", span.spanId);
+        if (span.parentId != 0)
+            entry.set("parent", span.parentId);
+        array.push(std::move(entry));
+    }
+    return array;
+}
+
+bool
+nodeTraceFromJson(const report::Json &json, NodeTrace &out)
+{
+    if (json.type() != report::Json::Type::Object)
+        return false;
+    const auto *node = json.find("node");
+    const auto *spans = json.find("spans");
+    if (node == nullptr ||
+        node->type() != report::Json::Type::String ||
+        spans == nullptr ||
+        spans->type() != report::Json::Type::Array)
+        return false;
+    NodeTrace parsed;
+    parsed.node = node->asString();
+    if (const auto *epoch = json.find("epoch_unix_us");
+        epoch != nullptr && epoch->type() == report::Json::Type::Int)
+        parsed.epochUnixUs =
+            static_cast<std::uint64_t>(epoch->asInt());
+    if (const auto *recorded = json.find("recorded");
+        recorded != nullptr &&
+        recorded->type() == report::Json::Type::Int)
+        parsed.recorded =
+            static_cast<std::uint64_t>(recorded->asInt());
+    if (const auto *dropped = json.find("dropped");
+        dropped != nullptr &&
+        dropped->type() == report::Json::Type::Int)
+        parsed.dropped = static_cast<std::uint64_t>(dropped->asInt());
+    if (const auto *truncated = json.find("truncated");
+        truncated != nullptr &&
+        truncated->type() == report::Json::Type::Bool)
+        parsed.truncated = truncated->asBool();
+    for (std::size_t i = 0; i < spans->size(); ++i) {
+        const auto &entry = spans->at(i);
+        if (entry.type() != report::Json::Type::Object)
+            return false;
+        const auto *name = entry.find("name");
+        const auto *begin = entry.find("begin_us");
+        const auto *end = entry.find("end_us");
+        const auto *tid = entry.find("tid");
+        if (name == nullptr ||
+            name->type() != report::Json::Type::String ||
+            begin == nullptr ||
+            begin->type() != report::Json::Type::Int ||
+            end == nullptr ||
+            end->type() != report::Json::Type::Int ||
+            tid == nullptr || tid->type() != report::Json::Type::Int)
+            return false;
+        SpanEvent span;
+        span.name = name->asString();
+        span.beginUs = static_cast<std::uint64_t>(begin->asInt());
+        span.endUs = static_cast<std::uint64_t>(end->asInt());
+        span.tid = static_cast<std::uint32_t>(tid->asInt());
+        if (const auto *trace = entry.find("trace");
+            trace != nullptr &&
+            trace->type() == report::Json::Type::String)
+            if (!traceIdFromHex(trace->asString(), span.traceHi,
+                                span.traceLo))
+                return false;
+        if (const auto *id = entry.find("span");
+            id != nullptr && id->type() == report::Json::Type::Int)
+            span.spanId = static_cast<std::uint64_t>(id->asInt());
+        if (const auto *parent = entry.find("parent");
+            parent != nullptr &&
+            parent->type() == report::Json::Type::Int)
+            span.parentId =
+                static_cast<std::uint64_t>(parent->asInt());
+        parsed.spans.push_back(std::move(span));
+    }
+    out = std::move(parsed);
+    return true;
+}
+
+namespace
+{
+
+/** The "args" payload carried by traced chrome events. */
+report::Json
+spanArgs(const SpanEvent &span)
+{
+    auto args = report::Json::object();
+    args.set("trace", traceIdToHex(span.traceHi, span.traceLo));
+    if (span.spanId != 0)
+        args.set("span", span.spanId);
+    if (span.parentId != 0)
+        args.set("parent", span.parentId);
+    return args;
+}
+
+} // namespace
+
+report::Json
 chromeTraceJson()
 {
     auto root = report::Json::object();
@@ -82,6 +362,8 @@ chromeTraceJson()
                   static_cast<double>(span.endUs - span.beginUs));
         event.set("pid", 1);
         event.set("tid", span.tid);
+        if (span.traceHi != 0 || span.traceLo != 0)
+            event.set("args", spanArgs(span));
         events.push(std::move(event));
     }
     root.set("traceEvents", std::move(events));
@@ -94,10 +376,79 @@ chromeTraceJson()
     return root;
 }
 
+report::Json
+chromeTraceJson(const std::vector<NodeTrace> &nodes)
+{
+    // One absolute axis: the earliest node epoch becomes ts == 0, and
+    // every other node's events shift by its epoch delta. Nodes that
+    // report no epoch (obs compiled out) sit at offset 0.
+    std::uint64_t min_epoch = 0;
+    bool any_epoch = false;
+    for (const auto &node : nodes)
+        if (node.epochUnixUs != 0) {
+            min_epoch = any_epoch
+                            ? std::min(min_epoch, node.epochUnixUs)
+                            : node.epochUnixUs;
+            any_epoch = true;
+        }
+
+    auto root = report::Json::object();
+    root.set("displayTimeUnit", "ms");
+    auto events = report::Json::array();
+    std::uint64_t recorded = 0, dropped = 0;
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const NodeTrace &node = nodes[n];
+        const auto pid = static_cast<std::int64_t>(n + 1);
+        const std::uint64_t offset =
+            node.epochUnixUs > min_epoch ? node.epochUnixUs - min_epoch
+                                         : 0;
+        auto meta = report::Json::object();
+        meta.set("name", "process_name");
+        meta.set("ph", "M");
+        meta.set("pid", pid);
+        auto meta_args = report::Json::object();
+        meta_args.set("name", node.node);
+        meta.set("args", std::move(meta_args));
+        events.push(std::move(meta));
+        for (const auto &span : node.spans) {
+            auto event = report::Json::object();
+            event.set("name", span.name);
+            event.set("ph", "X");
+            event.set("ts",
+                      static_cast<double>(offset + span.beginUs));
+            event.set("dur",
+                      static_cast<double>(span.endUs - span.beginUs));
+            event.set("pid", pid);
+            event.set("tid", span.tid);
+            if (span.traceHi != 0 || span.traceLo != 0)
+                event.set("args", spanArgs(span));
+            events.push(std::move(event));
+        }
+        recorded += node.recorded;
+        dropped += node.dropped;
+    }
+    root.set("traceEvents", std::move(events));
+    auto other = report::Json::object();
+    other.set("nodes", static_cast<std::uint64_t>(nodes.size()));
+    other.set("recorded", recorded);
+    other.set("dropped", dropped);
+    other.set("ring_capacity",
+              static_cast<std::uint64_t>(kTraceRingCapacity));
+    root.set("otherData", std::move(other));
+    return root;
+}
+
 void
 writeChromeTrace(const std::string &path)
 {
     report::JsonWriter().writeFile(path, chromeTraceJson());
+}
+
+void
+writeChromeTrace(const std::string &path,
+                 const std::vector<NodeTrace> &nodes)
+{
+    report::JsonWriter().writeFile(path, chromeTraceJson(nodes));
 }
 
 } // namespace rhs::obs

@@ -6,26 +6,57 @@
  * dependency-free — rhs_util links it to instrument the thread pool,
  * while this TU (rhs_obs) may link rhs_report without a cycle.
  *
- * Two exports:
+ * Three export families:
  *  - metricsJson: a MetricsSnapshot folded into a stable JSON object
  *    (names sorted, histogram buckets with `le` upper edges plus
  *    p50/p99 convenience quantiles) — the payload behind the serve
  *    `stats` op's `metrics` member;
  *  - chromeTraceJson / writeChromeTrace: the retained spans as a
  *    Chrome trace-event document (load it at chrome://tracing or
- *    https://ui.perfetto.dev) — the payload behind `--trace-out`.
+ *    https://ui.perfetto.dev) — the payload behind `--trace-out`. The
+ *    multi-node overloads stitch several processes' spans (pulled via
+ *    the rhs-rpc/1 `trace_pull` op) into one document: pid = node
+ *    index with a process_name metadata record, timestamps aligned on
+ *    each node's traceEpochUnixUs();
+ *  - the fleet merge helpers (histogramFromJson, mergeHistograms,
+ *    mergeRegistryJson) behind the router's `fleet_stats` op: counters
+ *    sum across replicas, gauges and infos stay per-replica (a queue
+ *    depth has no meaningful fleet sum), histograms merge bucket-wise
+ *    so fleet p50/p99 come from real merged buckets, never from
+ *    averaging per-shard quantiles.
  */
 
 #ifndef RHS_OBS_EXPORT_HH
 #define RHS_OBS_EXPORT_HH
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "report/json.hh"
 
 namespace rhs::obs
 {
+
+/** One histogram's folded state as a stable JSON object
+ *  (count/sum/min/max/mean/p50/p99 + buckets with `le` edges). */
+report::Json histogramJson(const HistogramData &data);
+
+/** Inverse of histogramJson; false when `json` is not a histogram
+ *  object (the fleet merge skips what it cannot parse). */
+bool histogramFromJson(const report::Json &json, HistogramData &out);
+
+/**
+ * Merge folded histograms bucket-wise. The bucket layout is taken
+ * from the first input that has one; inputs with a different layout
+ * (mismatched bucket count or edges — a version-skewed shard)
+ * contribute their count/sum/min/max but not their buckets, so the
+ * merged quantiles stay exact over the matching inputs instead of
+ * guessing. Empty input list yields an empty histogram.
+ */
+HistogramData mergeHistograms(const std::vector<HistogramData> &parts);
 
 /** Fold one metrics snapshot into a stable JSON object. */
 report::Json metricsJson(const MetricsSnapshot &snapshot);
@@ -34,14 +65,63 @@ report::Json metricsJson(const MetricsSnapshot &snapshot);
 report::Json registryJson(const Registry &registry);
 
 /**
- * The retained spans as a Chrome trace-event document: one complete
- * ("ph": "X") event per span with ts/dur in microseconds, plus the
- * recorded/dropped totals under "otherData".
+ * Merge per-replica metricsJson documents (label -> document, label
+ * is the replica identity like "s0r1") into one fleet document:
+ * counters summed, gauges and infos per-replica under their label,
+ * histograms merged via mergeHistograms. The `replicas` member lists
+ * the labels folded in.
+ */
+report::Json mergeRegistryJson(
+    const std::vector<std::pair<std::string, report::Json>> &parts);
+
+/** One node's drained spans, as pulled by the `trace_pull` op. */
+struct NodeTrace
+{
+    std::string node;              //!< Identity, e.g. "serve:7001".
+    std::uint64_t epochUnixUs = 0; //!< The node's traceEpochUnixUs().
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    bool truncated = false; //!< Span list capped by max_spans.
+    std::vector<SpanEvent> spans;
+};
+
+/**
+ * Spans as a JSON array (the `trace_pull` payload). At most
+ * `max_spans` entries are emitted (newest kept — the tail is the
+ * interesting end of a flight recorder); `truncated` reports whether
+ * the cap bit.
+ */
+report::Json spansJson(const std::vector<SpanEvent> &spans,
+                       std::size_t max_spans, bool &truncated);
+
+/** Parse one `trace_pull` result object back into a NodeTrace; false
+ *  when the document does not look like one. */
+bool nodeTraceFromJson(const report::Json &json, NodeTrace &out);
+
+/**
+ * The retained spans of *this process* as a Chrome trace-event
+ * document: one complete ("ph": "X") event per span with ts/dur in
+ * microseconds, plus the recorded/dropped totals under "otherData".
+ * Spans carrying a distributed trace context get their trace/span ids
+ * in "args".
  */
 report::Json chromeTraceJson();
 
+/**
+ * A stitched multi-node Chrome trace: every node's spans under its
+ * own pid (1-based node index, named by a process_name metadata
+ * event), timestamps shifted onto one absolute axis via the nodes'
+ * epochUnixUs, so one routed request renders as a single tree across
+ * router and shard processes.
+ */
+report::Json chromeTraceJson(const std::vector<NodeTrace> &nodes);
+
 /** Write chromeTraceJson() to a file (creates parent directories). */
 void writeChromeTrace(const std::string &path);
+
+/** Write a stitched multi-node trace to a file. */
+void writeChromeTrace(const std::string &path,
+                      const std::vector<NodeTrace> &nodes);
 
 } // namespace rhs::obs
 

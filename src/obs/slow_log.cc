@@ -1,0 +1,94 @@
+#include "obs/slow_log.hh"
+
+#include <chrono>
+
+namespace rhs::obs
+{
+
+std::uint64_t
+paramsDigest(const std::string &body)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : body) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+SlowLog::SlowLog(std::size_t capacity_in)
+    : capacity(capacity_in > 0 ? capacity_in : 1)
+{
+}
+
+void
+SlowLog::setThresholdMs(double ms)
+{
+    std::lock_guard lock(mutex);
+    thresholdMs_ = ms > 0 ? ms : 0.0;
+}
+
+double
+SlowLog::thresholdMs() const
+{
+    std::lock_guard lock(mutex);
+    return thresholdMs_;
+}
+
+bool
+SlowLog::qualifies(double total_ms) const
+{
+    std::lock_guard lock(mutex);
+    return thresholdMs_ > 0 && total_ms > thresholdMs_;
+}
+
+void
+SlowLog::record(Entry entry)
+{
+    if (entry.unixUs == 0)
+        entry.unixUs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+    std::lock_guard lock(mutex);
+    entries.push_back(std::move(entry));
+    if (entries.size() > capacity)
+        entries.pop_front();
+    ++recorded;
+}
+
+std::uint64_t
+SlowLog::recordedTotal() const
+{
+    std::lock_guard lock(mutex);
+    return recorded;
+}
+
+report::Json
+SlowLog::toJson() const
+{
+    std::lock_guard lock(mutex);
+    auto json = report::Json::object();
+    json.set("threshold_ms", thresholdMs_);
+    json.set("capacity", static_cast<std::uint64_t>(capacity));
+    json.set("recorded", recorded);
+    auto list = report::Json::array();
+    for (const Entry &entry : entries) {
+        auto item = report::Json::object();
+        item.set("unix_us", entry.unixUs);
+        item.set("op", entry.op);
+        item.set("params_digest", entry.digest);
+        item.set("total_ms", entry.totalMs);
+        if (!entry.traceId.empty())
+            item.set("trace", entry.traceId);
+        auto hops = report::Json::object();
+        for (const auto &[name, ms] : entry.hops)
+            hops.set(name, ms);
+        item.set("hops", std::move(hops));
+        list.push(std::move(item));
+    }
+    json.set("entries", std::move(list));
+    return json;
+}
+
+} // namespace rhs::obs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Bounded slow-request exemplar log.
+ *
+ * Aggregated histograms say *that* a p99 moved; an exemplar says
+ * *which request* did it. A SlowLog keeps the most recent
+ * `capacity` requests whose total latency exceeded a threshold
+ * (`--slow-ms` on rhs-serve and rhs-route; 0 disables), each with its
+ * op, a stable digest of the request body (so identical pathological
+ * queries are recognizable without logging parameters verbatim), its
+ * per-hop timings, and its trace id when the request carried one —
+ * enough to jump from a stats snapshot straight into the stitched
+ * fleet trace.
+ *
+ * The log is mutex-guarded (recording is once per *slow* request, not
+ * per request, so contention is irrelevant) and exposed as a member of
+ * the serve/route `stats` payload. Recording honors the obs runtime
+ * switch via the caller: servers only stamp the timings that feed
+ * this log while obs::timingActive(), so an RHS_OBS=OFF build keeps
+ * an empty log.
+ */
+
+#ifndef RHS_OBS_SLOW_LOG_HH
+#define RHS_OBS_SLOW_LOG_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "report/json.hh"
+
+namespace rhs::obs
+{
+
+/** FNV-1a of a request body: the stable params digest logged in
+ *  place of the raw request. */
+std::uint64_t paramsDigest(const std::string &body);
+
+/** The bounded exemplar log (see file comment). */
+class SlowLog
+{
+  public:
+    /** Entries retained (newest win). */
+    static constexpr std::size_t kDefaultCapacity = 64;
+
+    struct Entry
+    {
+        std::uint64_t unixUs = 0; //!< Completion wall-clock time.
+        std::string op;
+        std::uint64_t digest = 0; //!< paramsDigest of the body.
+        double totalMs = 0.0;
+        std::string traceId; //!< 32-hex trace id, "" when untraced.
+        //! Named per-hop timings, e.g. {"queue_ms", 3.1}.
+        std::vector<std::pair<std::string, double>> hops;
+    };
+
+    explicit SlowLog(std::size_t capacity = kDefaultCapacity);
+
+    /** Threshold in milliseconds; 0 disables recording. */
+    void setThresholdMs(double ms);
+    double thresholdMs() const;
+
+    /** True when `total_ms` qualifies (threshold > 0 and exceeded) —
+     *  callers check this before assembling an Entry. */
+    bool qualifies(double total_ms) const;
+
+    /** Append one exemplar (oldest evicted beyond capacity). */
+    void record(Entry entry);
+
+    /** Entries ever recorded (including evicted ones). */
+    std::uint64_t recordedTotal() const;
+
+    /**
+     * The stats-op payload: {threshold_ms, capacity, recorded,
+     * entries: [{unix_us, op, params_digest, total_ms, trace?,
+     * hops: {...}}, ...]} — oldest first.
+     */
+    report::Json toJson() const;
+
+  private:
+    mutable std::mutex mutex;
+    std::size_t capacity;
+    double thresholdMs_ = 0.0;
+    std::uint64_t recorded = 0;
+    std::deque<Entry> entries;
+};
+
+} // namespace rhs::obs
+
+#endif // RHS_OBS_SLOW_LOG_HH

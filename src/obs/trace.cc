@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 
@@ -29,6 +30,7 @@ struct TraceSink
     std::mutex mutex;
     std::vector<std::shared_ptr<TraceRing>> rings;
     std::atomic<std::uint32_t> nextTid{0};
+    std::atomic<bool> wrapWarned{false};
 };
 
 TraceSink &
@@ -60,6 +62,42 @@ threadRing()
     return *ring;
 }
 
+/** splitmix64: turns a weak time seed into 64 well-mixed bits. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+void
+pushEvent(SpanEvent event)
+{
+    auto &ring = threadRing();
+    event.tid = ring.tid;
+    std::lock_guard lock(ring.mutex);
+    if (ring.slots.size() < kTraceRingCapacity) {
+        ring.slots.push_back(std::move(event));
+    } else {
+        // Wraparound: overwrite the oldest retained span. Warn once
+        // per process so long-lived servers notice the flight
+        // recorder looping (stderr directly: this TU is rhs_obs_core,
+        // which must not depend on util logging).
+        if (!sink().wrapWarned.exchange(true))
+            std::fprintf(stderr,
+                         "rhs-obs: warning: trace ring wrapped "
+                         "(capacity %zu spans/thread); oldest spans "
+                         "are being overwritten — see trace counters "
+                         "in the stats op\n",
+                         kTraceRingCapacity);
+        ring.slots[ring.next] = std::move(event);
+        ring.next = (ring.next + 1) % kTraceRingCapacity;
+    }
+    ++ring.recorded;
+}
+
 } // namespace
 
 std::uint64_t
@@ -71,27 +109,141 @@ traceNowUs()
             .count());
 }
 
+std::uint64_t
+traceEpochUnixUs()
+{
+    // Sampled once: realtime "now" minus the monotonic microseconds
+    // already elapsed since the trace epoch. Every later call returns
+    // the same value, so span timestamps from one process always map
+    // to one consistent absolute axis.
+    static const std::uint64_t epoch_unix_us = [] {
+        const auto now_unix_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count();
+        const std::uint64_t elapsed = traceNowUs();
+        const auto unix_us = static_cast<std::uint64_t>(now_unix_us);
+        return unix_us > elapsed ? unix_us - elapsed : 0;
+    }();
+    return epoch_unix_us;
+}
+
 std::uint32_t
 traceThreadId()
 {
     return threadRing().tid;
 }
 
+std::uint64_t
+nextSpanId()
+{
+    static std::atomic<std::uint64_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+namespace
+{
+thread_local TraceContext currentContext;
+} // namespace
+
+TraceContext
+currentTraceContext()
+{
+    return currentContext;
+}
+
+void
+setCurrentTraceContext(const TraceContext &context)
+{
+    currentContext = context;
+}
+
+TraceContext
+makeTraceId()
+{
+    // hi identifies the process (time-seeded, well mixed), lo counts
+    // within it — collisions across a fleet need two processes to
+    // draw the same 64-bit hi.
+    static const std::uint64_t process_hi = [] {
+        const auto seed = static_cast<std::uint64_t>(
+            std::chrono::system_clock::now()
+                .time_since_epoch()
+                .count());
+        const std::uint64_t mixed =
+            mix64(seed ^ mix64(traceNowUs() + 0x5bd1e995u));
+        return mixed != 0 ? mixed : 0x1ull; // hi==0 would read as "none".
+    }();
+    static std::atomic<std::uint64_t> next{0};
+    TraceContext context;
+    context.hi = process_hi;
+    context.lo = next.fetch_add(1, std::memory_order_relaxed) + 1;
+    return context;
+}
+
+std::string
+traceIdToHex(std::uint64_t hi, std::uint64_t lo)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[hi & 0xf];
+        out[static_cast<std::size_t>(16 + i)] = digits[lo & 0xf];
+        hi >>= 4;
+        lo >>= 4;
+    }
+    return out;
+}
+
+bool
+traceIdFromHex(const std::string &text, std::uint64_t &hi,
+               std::uint64_t &lo)
+{
+    if (text.empty() || text.size() > 32)
+        return false;
+    std::uint64_t parsed_hi = 0, parsed_lo = 0;
+    for (const char c : text) {
+        unsigned nibble = 0;
+        if (c >= '0' && c <= '9')
+            nibble = static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            nibble = static_cast<unsigned>(c - 'a') + 10;
+        else if (c >= 'A' && c <= 'F')
+            nibble = static_cast<unsigned>(c - 'A') + 10;
+        else
+            return false;
+        parsed_hi = (parsed_hi << 4) | (parsed_lo >> 60);
+        parsed_lo = (parsed_lo << 4) | nibble;
+    }
+    hi = parsed_hi;
+    lo = parsed_lo;
+    return true;
+}
+
 void
 recordSpan(std::string name, std::uint64_t begin_us,
            std::uint64_t end_us)
 {
-    auto &ring = threadRing();
-    SpanEvent event{std::move(name), begin_us, end_us, ring.tid};
-    std::lock_guard lock(ring.mutex);
-    if (ring.slots.size() < kTraceRingCapacity) {
-        ring.slots.push_back(std::move(event));
-    } else {
-        // Wraparound: overwrite the oldest retained span.
-        ring.slots[ring.next] = std::move(event);
-        ring.next = (ring.next + 1) % kTraceRingCapacity;
-    }
-    ++ring.recorded;
+    SpanEvent event;
+    event.name = std::move(name);
+    event.beginUs = begin_us;
+    event.endUs = end_us;
+    pushEvent(std::move(event));
+}
+
+void
+recordSpanWith(std::string name, std::uint64_t begin_us,
+               std::uint64_t end_us, const TraceContext &context,
+               std::uint64_t span_id)
+{
+    SpanEvent event;
+    event.name = std::move(name);
+    event.beginUs = begin_us;
+    event.endUs = end_us;
+    event.traceHi = context.hi;
+    event.traceLo = context.lo;
+    event.spanId = span_id;
+    event.parentId = context.parent;
+    pushEvent(std::move(event));
 }
 
 std::vector<SpanEvent>

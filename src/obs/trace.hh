@@ -2,7 +2,7 @@
  * @file
  * Trace spans: named begin/end intervals recorded into per-thread
  * ring buffers, exportable as Chrome trace-event JSON (obs/export.hh,
- * `--trace-out` on rhs-bench and rhs-serve).
+ * `--trace-out` on rhs-bench, rhs-serve, and rhs-route).
  *
  * A Span measures the lifetime of a scope:
  *
@@ -14,11 +14,25 @@
  * Recording goes to the calling thread's fixed-capacity ring
  * (kTraceRingCapacity events); when a ring wraps, the oldest events
  * of *that thread* are overwritten — tracing is a bounded-memory
- * flight recorder, never an unbounded log. Each ring has its own
- * mutex that only its owner thread and an exporter ever take, so
- * recording is effectively uncontended; rings outlive their threads
- * (the sink holds strong references) so a trace can be exported after
- * worker threads joined.
+ * flight recorder, never an unbounded log. The first wraparound in a
+ * process prints one warning line on stderr, and the running
+ * recorded/dropped totals are surfaced by the serve/route `stats` op,
+ * so silent span loss in a long-lived server is visible. Each ring
+ * has its own mutex that only its owner thread and an exporter ever
+ * take, so recording is effectively uncontended; rings outlive their
+ * threads (the sink holds strong references) so a trace can be
+ * exported after worker threads joined.
+ *
+ * Distributed tracing (PR 10): a span may carry a TraceContext — a
+ * 128-bit trace id plus the parent span's process-local id — that
+ * crosses process boundaries via the optional rhs-rpc/1 `trace`
+ * request member. Every Span allocates a process-unique span id and,
+ * for its lifetime, installs itself as the calling thread's current
+ * parent, so nested spans chain into a tree without any explicit
+ * plumbing; ContextScope installs a remote request's context around a
+ * handler so that tree continues the caller's trace. Exporters stitch
+ * the per-node rings into one fleet trace by (traceHi, traceLo), with
+ * timestamps aligned through traceEpochUnixUs().
  *
  * With RHS_OBS=OFF, OBS_SPAN compiles to nothing and the Span class
  * body is empty — zero code, zero clock reads. With the runtime
@@ -41,6 +55,22 @@ namespace rhs::obs
 /** Events each thread's ring holds before overwriting the oldest. */
 inline constexpr std::size_t kTraceRingCapacity = 4096;
 
+/**
+ * The cross-process trace context a span records under: the 128-bit
+ * trace id ((hi, lo), 0/0 = no distributed trace) and the span id of
+ * the parent (0 = root). Process-local span nesting uses the same
+ * parent field with hi == lo == 0.
+ */
+struct TraceContext
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    std::uint64_t parent = 0;
+
+    /** True when a distributed trace id is attached. */
+    bool valid() const { return (hi | lo) != 0; }
+};
+
 /** One completed span. Timestamps are microseconds since the process
  *  trace epoch (the first clock read of the process). */
 struct SpanEvent
@@ -49,17 +79,57 @@ struct SpanEvent
     std::uint64_t beginUs = 0;
     std::uint64_t endUs = 0;
     std::uint32_t tid = 0;
+    std::uint64_t traceHi = 0;  //!< Trace id, high 64 bits (0 = none).
+    std::uint64_t traceLo = 0;  //!< Trace id, low 64 bits.
+    std::uint64_t spanId = 0;   //!< Process-local span id (0 = none).
+    std::uint64_t parentId = 0; //!< Parent span id (0 = root).
 };
 
 /** Microseconds since the process trace epoch (monotonic). */
 std::uint64_t traceNowUs();
 
+/** The trace epoch as microseconds since the Unix epoch (sampled once
+ *  from the realtime clock): `traceEpochUnixUs() + event.beginUs` puts
+ *  spans from different processes on one comparable time axis, which
+ *  is what lets a fleet trace stitch. */
+std::uint64_t traceEpochUnixUs();
+
 /** Small dense id of the calling thread (first-use order). */
 std::uint32_t traceThreadId();
+
+/** The next process-unique span id (monotonic from 1). */
+std::uint64_t nextSpanId();
+
+/** The calling thread's current trace context (what a new Span
+ *  inherits). Cheap thread-local read. */
+TraceContext currentTraceContext();
+
+/** Replace the calling thread's current trace context. */
+void setCurrentTraceContext(const TraceContext &context);
+
+/** A fresh 128-bit trace id (unique within and across processes with
+ *  overwhelming probability: time-seeded hi, counter lo). */
+TraceContext makeTraceId();
+
+/** The trace id as 32 lowercase hex characters (the rhs-rpc/1 wire
+ *  form of the `trace.id` member). */
+std::string traceIdToHex(std::uint64_t hi, std::uint64_t lo);
+
+/** Parse 1..32 hex characters into a 128-bit trace id; false on an
+ *  empty, overlong, or non-hex string. */
+bool traceIdFromHex(const std::string &text, std::uint64_t &hi,
+                    std::uint64_t &lo);
 
 /** Append a completed span to the calling thread's ring. */
 void recordSpan(std::string name, std::uint64_t begin_us,
                 std::uint64_t end_us);
+
+/** recordSpan carrying an explicit context and span id — used for
+ *  cross-thread spans (a queue-wait interval is recorded by the thread
+ *  that dequeues, under the request's context, not the recorder's). */
+void recordSpanWith(std::string name, std::uint64_t begin_us,
+                    std::uint64_t end_us, const TraceContext &context,
+                    std::uint64_t span_id);
 
 /** All retained spans, oldest-first per thread, merged and sorted by
  *  (beginUs, tid, name) for a stable export. */
@@ -71,12 +141,47 @@ std::uint64_t traceDropped();
 /** Spans ever recorded (retained + dropped) since last clearTrace(). */
 std::uint64_t traceRecorded();
 
-/** Drop every retained span and reset the drop counters (tests, and
- *  long-lived servers exporting periodic traces). */
+/** Drop every retained span and reset the drop counters (tests,
+ *  long-lived servers exporting periodic traces, and the `trace_pull`
+ *  op, which drains so two pulls never double-report a span). */
 void clearTrace();
 
+/**
+ * Install a trace context on the calling thread for a scope (RAII):
+ * the server's dispatcher wraps each request's execution in one so
+ * every span recorded underneath — engine ops, kernel spans — chains
+ * into the request's distributed trace. Restores the previous context
+ * on destruction. Compiled out with RHS_OBS=OFF.
+ */
+class ContextScope
+{
+  public:
+    explicit ContextScope(const TraceContext &context)
+    {
+        if constexpr (kCompiledIn) {
+            saved_ = currentTraceContext();
+            setCurrentTraceContext(context);
+        }
+    }
+
+    ~ContextScope()
+    {
+        if constexpr (kCompiledIn)
+            setCurrentTraceContext(saved_);
+    }
+
+    ContextScope(const ContextScope &) = delete;
+    ContextScope &operator=(const ContextScope &) = delete;
+
+  private:
+    [[maybe_unused]] TraceContext saved_;
+};
+
 /** RAII span; see file comment. Usable with a dynamic name where
- *  OBS_SPAN's literal is too static (e.g. per-experiment spans). */
+ *  OBS_SPAN's literal is too static (e.g. per-experiment spans).
+ *  Inherits the thread's current TraceContext and installs its own
+ *  span id as the current parent for its lifetime, so nested spans
+ *  (and remote children via the propagated context) form a tree. */
 class Span
 {
   public:
@@ -86,6 +191,11 @@ class Span
             if (enabled()) {
                 name_ = std::move(name);
                 begin_ = traceNowUs();
+                context_ = currentTraceContext();
+                id_ = nextSpanId();
+                TraceContext inner = context_;
+                inner.parent = id_;
+                setCurrentTraceContext(inner);
                 active_ = true;
             }
         }
@@ -94,17 +204,32 @@ class Span
     ~Span()
     {
         if constexpr (kCompiledIn) {
-            if (active_)
-                recordSpan(std::move(name_), begin_, traceNowUs());
+            if (active_) {
+                setCurrentTraceContext(context_);
+                recordSpanWith(std::move(name_), begin_, traceNowUs(),
+                               context_, id_);
+            }
         }
     }
 
     Span(const Span &) = delete;
     Span &operator=(const Span &) = delete;
 
+    /** This span's process-local id (0 when not recording). */
+    std::uint64_t
+    id() const
+    {
+        if constexpr (kCompiledIn)
+            return active_ ? id_ : 0;
+        else
+            return 0;
+    }
+
   private:
     std::string name_;
     std::uint64_t begin_ = 0;
+    std::uint64_t id_ = 0;
+    TraceContext context_;
     bool active_ = false;
 };
 

@@ -27,6 +27,7 @@
 #include <thread>
 #include <unistd.h>
 
+#include "obs/export.hh"
 #include "report/writer.hh"
 #include "route/router.hh"
 #include "util/cli.hh"
@@ -109,7 +110,8 @@ main(int argc, char **argv)
                         {"shards", "host", "port", "max-conns",
                          "vnodes", "inbox", "pipeline", "attempts",
                          "probe-ms", "fail-threshold",
-                         "rise-threshold", "log", "help"});
+                         "rise-threshold", "log", "trace-out",
+                         "slow-ms", "help"});
     if (cli.has("help")) {
         std::printf(
             "usage: rhs-route --shards \"H:P[,H:P...][;...]\"\n"
@@ -119,11 +121,19 @@ main(int argc, char **argv)
             "                 [--fail-threshold N] "
             "[--rise-threshold N]\n"
             "                 [--log silent|warn|info|debug]\n"
+            "                 [--trace-out FILE] [--slow-ms MS]\n"
             "--shards lists the fleet: ';' separates shards, ','\n"
             "separates a shard's replicas. The (mfr, module, bank)\n"
             "keyspace is consistent-hashed across the shards; each\n"
             "request is forwarded to its owning shard's live replica\n"
-            "with automatic failover between replicas.\n");
+            "with automatic failover between replicas.\n"
+            "--trace-out pulls every replica's retained spans on\n"
+            "shutdown (the trace_pull op) and writes ONE stitched\n"
+            "Chrome trace-event JSON for the whole fleet\n"
+            "(chrome://tracing / ui.perfetto.dev). --slow-ms records\n"
+            "routed requests slower end to end than MS milliseconds\n"
+            "in a bounded exemplar log surfaced by the stats op (0,\n"
+            "the default, disables).\n");
         return 0;
     }
 
@@ -161,6 +171,9 @@ main(int argc, char **argv)
         static_cast<unsigned>(cli.getInt("fail-threshold", 2));
     config.health.riseThreshold =
         static_cast<unsigned>(cli.getInt("rise-threshold", 1));
+    config.slowMs = cli.getDouble("slow-ms", 0.0);
+    if (config.slowMs < 0)
+        RHS_FATAL("--slow-ms must be non-negative (0 disables)");
 
     route::Router router(std::move(config));
     router.start();
@@ -193,5 +206,15 @@ main(int argc, char **argv)
                  report::JsonWriter()
                      .toString(router.statsJson())
                      .c_str());
+    if (const std::string trace_out = cli.get("trace-out", "");
+        !trace_out.empty()) {
+        // After the drain every routed request's spans are closed;
+        // the replicas are separate processes and outlive our stop,
+        // so their rings are still pullable.
+        const auto nodes = router.pullFleetTrace();
+        obs::writeChromeTrace(trace_out, nodes);
+        util::inform("rhs-route: stitched fleet trace (",
+                     nodes.size(), " nodes) written to ", trace_out);
+    }
     return 0;
 }

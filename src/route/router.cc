@@ -22,6 +22,8 @@ Router::Router(RouterConfig config_in)
     RHS_ASSERT(config.inboxCapacity > 0,
                "inboxCapacity must be positive");
     RHS_ASSERT(config.pipelineMax > 0, "pipelineMax must be positive");
+    RHS_ASSERT(config.controlCapacity > 0,
+               "controlCapacity must be positive");
     monitor =
         std::make_unique<HealthMonitor>(config.health, config.shards);
     for (unsigned i = 0; i < config.shards.size(); ++i) {
@@ -89,10 +91,13 @@ Router::start()
     connLayer = std::make_unique<serve::ConnLayer>(std::move(net),
                                                    std::move(events));
     connLayer->start();
+    nodeName_ = "route:" + std::to_string(connLayer->port());
+    slowLog_.setThresholdMs(config.slowMs);
     monitor->start();
     for (auto &shard : shardStates)
         shard->thread =
             std::thread([this, s = shard.get()] { forwarderLoop(*s); });
+    controlThread = std::thread([this] { controlLoop(); });
     util::inform("rhs-route: listening on ", config.host, ":",
                  connLayer->port(), " (", config.shards.size(),
                  " shards, ", config.vnodesPerShard,
@@ -111,6 +116,10 @@ Router::requestStop()
     for (auto &shard : shardStates) {
         std::lock_guard lock(shard->mutex);
         shard->cv.notify_all();
+    }
+    {
+        std::lock_guard lock(controlMutex);
+        controlCv.notify_all();
     }
     if (connLayer)
         connLayer->stopAccepting();
@@ -139,6 +148,8 @@ Router::stop()
     for (auto &shard : shardStates)
         if (shard->thread.joinable())
             shard->thread.join();
+    if (controlThread.joinable())
+        controlThread.join();
     monitor->stop();
     if (connLayer)
         connLayer->drainAndStop();
@@ -245,6 +256,58 @@ Router::handleFrame(const ConnPtr &conn, const std::string &body)
         send(conn, serve::makeResult(id, statsJson()));
         return;
     }
+    if (op == "trace_pull" || op == "fleet_stats") {
+        // Fan-out ops dial every replica, so they must not run on the
+        // epoll event thread; a dedicated control thread serves them
+        // from a bounded inbox (same backpressure contract as the
+        // data plane: full queue = immediate `overloaded`).
+        ControlJob control;
+        control.conn = conn;
+        control.id = id;
+        control.op = op;
+        control.maxSpans = serve::kDefaultPullSpans;
+        if (const auto *value = request.find("max_spans");
+            op == "trace_pull" && value != nullptr) {
+            if (value->type() != report::Json::Type::Int ||
+                value->asInt() < 0 ||
+                value->asInt() >
+                    static_cast<std::int64_t>(serve::kMaxPullSpans)) {
+                nLocal.add(1);
+                send(conn,
+                     serve::makeError(
+                         id, serve::err::kBadRequest,
+                         "'max_spans' must be an integer in [0, " +
+                             std::to_string(serve::kMaxPullSpans) +
+                             "]"));
+                return;
+            }
+            control.maxSpans =
+                static_cast<std::size_t>(value->asInt());
+        }
+        {
+            std::lock_guard lock(controlMutex);
+            if (stopping.load()) {
+                nLocal.add(1);
+                send(conn,
+                     serve::makeError(id, serve::err::kShuttingDown,
+                                      "router is draining"));
+                return;
+            }
+            if (controlInbox.size() >= config.controlCapacity) {
+                nLocal.add(1);
+                send(conn,
+                     serve::makeError(
+                         id, serve::err::kOverloaded,
+                         "control queue is full (capacity " +
+                             std::to_string(config.controlCapacity) +
+                             ")"));
+                return;
+            }
+            controlInbox.push_back(std::move(control));
+        }
+        controlCv.notify_one();
+        return;
+    }
     if (op == "shutdown") {
         auto result = report::Json::object();
         result.set("draining", true);
@@ -275,6 +338,17 @@ Router::handleFrame(const ConnPtr &conn, const std::string &body)
                                     "non-negative integer"));
         return;
     }
+    // The optional trace context is validated with the exact check —
+    // and error bytes — a shard uses, in the same position (after
+    // deadline_ms), so a router stays indistinguishable from a shard.
+    serve::TraceField trace;
+    std::string trace_error;
+    if (!serve::parseTraceField(request, trace, trace_error)) {
+        nLocal.add(1);
+        send(conn, serve::makeError(id, serve::err::kBadRequest,
+                                    trace_error));
+        return;
+    }
     if (!has_id) {
         // The id rewrite below would *insert* an id and mask the
         // engine's contract; answer with the engine's exact reply.
@@ -289,7 +363,32 @@ Router::handleFrame(const ConnPtr &conn, const std::string &body)
     job.conn = conn;
     job.originalId = id;
     job.internalId = nextInternalId.fetch_add(1) + 1;
+    job.op = op;
     request.set("id", static_cast<std::int64_t>(job.internalId));
+    if (obs::timingActive()) {
+        // Adopt the client's trace id (or mint one) and advertise the
+        // router's route.request span as the shard spans' parent — the
+        // rewrite that chains both hops into one stitched trace. With
+        // timing off the body is forwarded verbatim: no injection, so
+        // the no-trace wire bytes stay untouched end to end.
+        if (trace.present) {
+            job.ctx.hi = trace.hi;
+            job.ctx.lo = trace.lo;
+            job.ctx.parent = trace.parent;
+        } else {
+            const obs::TraceContext fresh = obs::makeTraceId();
+            job.ctx.hi = fresh.hi;
+            job.ctx.lo = fresh.lo;
+        }
+        job.spanId = obs::nextSpanId();
+        job.enqueueUs = obs::traceNowUs();
+        auto trace_out = report::Json::object();
+        trace_out.set("id",
+                      obs::traceIdToHex(job.ctx.hi, job.ctx.lo));
+        trace_out.set("parent",
+                      static_cast<std::int64_t>(job.spanId));
+        request.set("trace", std::move(trace_out));
+    }
     job.body = serve::serialize(request);
 
     Shard &shard = *shardStates[shardOf(request)];
@@ -361,6 +460,11 @@ Router::processGroup(Shard &shard, std::vector<Job> &group)
         if (!shard.client.connected()) {
             if (attempts >= config.maxAttempts)
                 break;
+            // The dial/redial interval (backoff included) is a span of
+            // its own so a stitched trace shows failover time as
+            // router-side, not shard compute.
+            obs::Span dial(attempts > 0 ? "route.redial"
+                                        : "route.dial");
             if (attempts > 0) {
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(delay_ms));
@@ -426,6 +530,40 @@ Router::processGroup(Shard &shard, std::vector<Job> &group)
             parsed.set("id", it->originalId);
             send(it->conn, parsed);
             shard.nSent->add(1);
+            if (it->enqueueUs != 0 && obs::timingActive()) {
+                // The route.request span closes when the reply goes
+                // out: its id is what the shard's spans name as
+                // parent, so recording it completes the cross-process
+                // chain client → router → shard.
+                const std::uint64_t now_us = obs::traceNowUs();
+                obs::recordSpanWith("route.request", it->enqueueUs,
+                                    now_us, it->ctx, it->spanId);
+                const double total_ms =
+                    static_cast<double>(now_us - it->enqueueUs) /
+                    1000.0;
+                if (slowLog_.qualifies(total_ms)) {
+                    obs::SlowLog::Entry entry;
+                    entry.op = it->op;
+                    entry.digest = obs::paramsDigest(it->body);
+                    entry.totalMs = total_ms;
+                    if (it->ctx.valid())
+                        entry.traceId = obs::traceIdToHex(it->ctx.hi,
+                                                          it->ctx.lo);
+                    if (it->dequeueUs != 0) {
+                        entry.hops.emplace_back(
+                            "queue_ms",
+                            static_cast<double>(it->dequeueUs -
+                                                it->enqueueUs) /
+                                1000.0);
+                        entry.hops.emplace_back(
+                            "backend_ms",
+                            static_cast<double>(now_us -
+                                                it->dequeueUs) /
+                                1000.0);
+                    }
+                    slowLog_.record(std::move(entry));
+                }
+            }
             remaining.erase(it);
         }
         if (transport_ok && saw_draining)
@@ -456,6 +594,12 @@ Router::processGroup(Shard &shard, std::vector<Job> &group)
              serve::makeError(job.originalId, serve::err::kInternal,
                               "shard " + std::to_string(shard.index) +
                                   " unavailable"));
+        // Failed requests still spent router time (all the redials);
+        // close their spans too so the trace shows where it went.
+        if (job.enqueueUs != 0 && obs::timingActive())
+            obs::recordSpanWith("route.request", job.enqueueUs,
+                                obs::traceNowUs(), job.ctx,
+                                job.spanId);
     }
 }
 
@@ -479,9 +623,200 @@ Router::forwarderLoop(Shard &shard)
                 shard.inbox.pop_front();
             }
         }
+        if (obs::timingActive()) {
+            // Each request's inbox wait is its own child span of the
+            // route.request span, recorded by the dequeuing thread
+            // under the request's context.
+            const std::uint64_t now_us = obs::traceNowUs();
+            for (Job &job : group)
+                if (job.enqueueUs != 0) {
+                    job.dequeueUs = now_us;
+                    obs::recordSpanWith(
+                        "route.queue", job.enqueueUs, now_us,
+                        obs::TraceContext{job.ctx.hi, job.ctx.lo,
+                                          job.spanId},
+                        obs::nextSpanId());
+                }
+        }
         fanoutHist.observe(static_cast<double>(group.size()));
         processGroup(shard, group);
     }
+}
+
+void
+Router::controlLoop()
+{
+    util::setLogThreadTag("ctrl");
+    while (true) {
+        ControlJob job;
+        {
+            std::unique_lock lock(controlMutex);
+            controlCv.wait(lock, [this] {
+                return !controlInbox.empty() || stopping.load();
+            });
+            if (controlInbox.empty() && stopping.load())
+                return; // Fully drained.
+            job = std::move(controlInbox.front());
+            controlInbox.pop_front();
+        }
+        if (job.op == "fleet_stats")
+            send(job.conn,
+                 serve::makeResult(job.id, fleetStatsJson()));
+        else
+            send(job.conn,
+                 serve::makeResult(job.id,
+                                   fleetTracePullJson(job.maxSpans)));
+    }
+}
+
+void
+Router::forEachReplica(
+    const std::string &body,
+    const std::function<void(unsigned, unsigned, bool,
+                             const report::Json &)> &visit)
+{
+    // Fresh connections, not the forwarders' pipelined ones: a fan-out
+    // must reach *every* replica (the forwarders only talk to the live
+    // pick), and must not interleave with routed data traffic.
+    for (unsigned i = 0; i < config.shards.size(); ++i) {
+        for (unsigned j = 0; j < config.shards[i].size(); ++j) {
+            const Endpoint &endpoint = config.shards[i][j];
+            serve::Client client;
+            report::Json reply;
+            std::string parse_error;
+            bool ok = client.connect(endpoint.host, endpoint.port);
+            if (ok) {
+                const std::string raw = client.callRaw(body);
+                ok = !raw.empty() &&
+                     report::Json::parse(raw, reply, parse_error);
+            }
+            visit(i, j, ok, reply);
+        }
+    }
+}
+
+report::Json
+Router::localTraceJson(std::size_t max_spans) const
+{
+    // Same drain semantics as serve::Server::tracePullJson.
+    const std::uint64_t recorded = obs::traceRecorded();
+    const std::uint64_t dropped = obs::traceDropped();
+    const auto spans = obs::traceSnapshot();
+    bool truncated = false;
+    auto json = report::Json::object();
+    json.set("node", nodeName_);
+    json.set("epoch_unix_us", obs::traceEpochUnixUs());
+    json.set("compiled", obs::kCompiledIn);
+    json.set("recorded", recorded);
+    json.set("dropped", dropped);
+    auto span_list = obs::spansJson(spans, max_spans, truncated);
+    json.set("truncated", truncated);
+    json.set("spans", std::move(span_list));
+    obs::clearTrace();
+    return json;
+}
+
+report::Json
+Router::fleetStatsJson()
+{
+    auto stats_request = report::Json::object();
+    stats_request.set("op", "stats");
+    stats_request.set("id", std::int64_t{1});
+    const std::string body = serve::serialize(stats_request);
+
+    std::vector<std::pair<std::string, report::Json>> servers;
+    std::vector<std::pair<std::string, report::Json>> processes;
+    auto per_shard = report::Json::array();
+    std::int64_t total = 0;
+    std::int64_t reached = 0;
+    forEachReplica(body, [&](unsigned shard, unsigned replica,
+                             bool ok, const report::Json &reply) {
+        ++total;
+        auto entry = report::Json::object();
+        entry.set("shard", shard);
+        entry.set("replica", replica);
+        entry.set("ok", ok);
+        const auto *result = ok ? reply.find("result") : nullptr;
+        if (result != nullptr &&
+            result->type() == report::Json::Type::Object) {
+            ++reached;
+            const std::string label = "s" + std::to_string(shard) +
+                                      "r" + std::to_string(replica);
+            entry.set("stats", *result);
+            if (const auto *metrics = result->find("metrics");
+                metrics != nullptr) {
+                if (const auto *server = metrics->find("server"))
+                    servers.emplace_back(label, *server);
+                if (const auto *process = metrics->find("process"))
+                    processes.emplace_back(label, *process);
+            }
+        }
+        per_shard.push(std::move(entry));
+    });
+
+    auto json = report::Json::object();
+    json.set("protocol", serve::kProtocol);
+    json.set("role", "router");
+    json.set("shards",
+             static_cast<std::int64_t>(config.shards.size()));
+    json.set("replicas_total", total);
+    json.set("replicas_reached", reached);
+    auto merged = report::Json::object();
+    merged.set("server", obs::mergeRegistryJson(servers));
+    merged.set("process", obs::mergeRegistryJson(processes));
+    json.set("merged", std::move(merged));
+    json.set("per_shard", std::move(per_shard));
+    return json;
+}
+
+report::Json
+Router::fleetTracePullJson(std::size_t max_spans)
+{
+    // Split the span budget across the fleet so the merged reply
+    // still fits one rhs-rpc/1 frame no matter how many nodes answer.
+    std::size_t node_count = 1;
+    for (const auto &replicas : config.shards)
+        node_count += replicas.size();
+    std::size_t per_node = max_spans / node_count;
+    if (per_node == 0 && max_spans > 0)
+        per_node = 1;
+
+    auto pull_request = report::Json::object();
+    pull_request.set("op", "trace_pull");
+    pull_request.set("id", std::int64_t{1});
+    pull_request.set("max_spans",
+                     static_cast<std::int64_t>(per_node));
+    const std::string body = serve::serialize(pull_request);
+
+    auto nodes = report::Json::array();
+    nodes.push(localTraceJson(per_node));
+    forEachReplica(body, [&](unsigned, unsigned, bool ok,
+                             const report::Json &reply) {
+        const auto *result = ok ? reply.find("result") : nullptr;
+        if (result != nullptr &&
+            result->type() == report::Json::Type::Object)
+            nodes.push(*result);
+    });
+    auto json = report::Json::object();
+    json.set("nodes", std::move(nodes));
+    return json;
+}
+
+std::vector<obs::NodeTrace>
+Router::pullFleetTrace(std::size_t max_spans)
+{
+    std::vector<obs::NodeTrace> nodes;
+    const report::Json fleet = fleetTracePullJson(max_spans);
+    const auto *list = fleet.find("nodes");
+    if (list == nullptr ||
+        list->type() != report::Json::Type::Array)
+        return nodes;
+    for (std::size_t i = 0; i < list->size(); ++i) {
+        obs::NodeTrace node;
+        if (obs::nodeTraceFromJson(list->at(i), node))
+            nodes.push_back(std::move(node));
+    }
+    return nodes;
 }
 
 report::Json
@@ -500,6 +835,13 @@ Router::statsJson() const
     json.set("connections_accepted", nConnections.value());
     json.set("connections_rejected", nRejected.value());
     json.set("inbox_full", nInboxFull.value());
+    // Trace-ring health + the slow-request exemplar log, mirroring
+    // the serve stats payload so fleet tooling reads both the same.
+    auto trace = report::Json::object();
+    trace.set("recorded", obs::traceRecorded());
+    trace.set("dropped", obs::traceDropped());
+    json.set("trace", std::move(trace));
+    json.set("slow_log", slowLog_.toJson());
     json.set("health", monitor->json());
     auto metrics = report::Json::object();
     metrics.set("router", obs::registryJson(registry_));

@@ -50,18 +50,23 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/export.hh"
 #include "obs/metrics.hh"
+#include "obs/slow_log.hh"
+#include "obs/trace.hh"
 #include "report/json.hh"
 #include "route/hash_ring.hh"
 #include "route/health.hh"
 #include "serve/client.hh"
 #include "serve/conn_layer.hh"
+#include "serve/protocol.hh"
 
 namespace rhs::route
 {
@@ -80,6 +85,14 @@ struct RouterConfig
     //! must exceed a replica's restart time for seamless failover).
     unsigned maxAttempts = 6;
     unsigned redialBackoffMs = 50; //!< Doubles per attempt.
+    //! Bounded queue in front of the control thread that serves the
+    //! fan-out ops (fleet_stats, trace_pull) without ever blocking
+    //! the epoll event thread.
+    unsigned controlCapacity = 16;
+    //! Slow-request exemplar threshold in milliseconds (`--slow-ms`);
+    //! routed requests slower end to end than this are recorded in
+    //! the bounded slow log surfaced by the stats op. 0 disables.
+    double slowMs = 0.0;
     HealthConfig health;
     //! shards[i] = replica endpoints of shard i (each >= 1 entry).
     std::vector<std::vector<Endpoint>> shards;
@@ -114,6 +127,33 @@ class Router
      */
     report::Json statsJson() const;
 
+    /**
+     * The `fleet_stats` op's payload: the router fans a `stats`
+     * request to every replica of every shard and merges the
+     * registry snapshots (counters summed, histograms merged
+     * bucket-wise with fleet-level p50/p99, gauges kept per replica
+     * under "s<shard>r<replica>" labels). The per-shard raw payloads
+     * ride along so nothing is lost in the merge.
+     */
+    report::Json fleetStatsJson();
+
+    /**
+     * The router's `trace_pull` payload: {nodes: [...]} — the
+     * router's own drained span ring plus every reachable replica's
+     * (each fetched with a per-node slice of `max_spans` so the
+     * merged reply still fits one frame).
+     */
+    report::Json fleetTracePullJson(std::size_t max_spans);
+
+    /**
+     * fleetTracePullJson decoded into obs::NodeTrace records, ready
+     * for obs::writeChromeTrace(path, nodes) — the `--trace-out`
+     * path of rhs-route, which emits ONE stitched Chrome trace for
+     * the whole fleet.
+     */
+    std::vector<obs::NodeTrace>
+    pullFleetTrace(std::size_t max_spans = serve::kDefaultPullSpans);
+
     const obs::Registry &metricsRegistry() const { return registry_; }
     const HealthMonitor &health() const { return *monitor; }
     const HashRing &ring() const { return hashRing; }
@@ -129,6 +169,25 @@ class Router
         std::int64_t originalId = -1;
         std::uint64_t internalId = 0;
         std::string body; //!< Serialized with the rewritten id.
+        std::string op;   //!< For the slow-request exemplar log.
+        //! Distributed-trace bookkeeping, stamped only while
+        //! obs::timingActive(): the request's trace context (client's
+        //! parent preserved), the router-allocated route.request span
+        //! id advertised downstream as the shard spans' parent, and
+        //! the enqueue/dequeue instants for per-hop attribution.
+        obs::TraceContext ctx;
+        std::uint64_t spanId = 0;
+        std::uint64_t enqueueUs = 0;
+        std::uint64_t dequeueUs = 0;
+    };
+
+    /** One queued fan-out control request (fleet_stats/trace_pull). */
+    struct ControlJob
+    {
+        ConnPtr conn;
+        std::int64_t id = -1;
+        std::string op;
+        std::size_t maxSpans = 0;
     };
 
     /** One shard's forwarding state (forwarder thread owns client). */
@@ -149,6 +208,16 @@ class Router
     void handleFrame(const ConnPtr &conn, const std::string &body);
     unsigned shardOf(const report::Json &request) const;
     void forwarderLoop(Shard &shard);
+    void controlLoop();
+    /** Dial every replica once and call `body` on it; `visit` gets
+     *  (shard, replica, ok, reply). Serialized fan-out off the event
+     *  thread — only the control thread and stop() call this. */
+    void forEachReplica(
+        const std::string &body,
+        const std::function<void(unsigned, unsigned, bool,
+                                 const report::Json &)> &visit);
+    /** The router's own trace_pull node payload (drains the rings). */
+    report::Json localTraceJson(std::size_t max_spans) const;
     /** Forward a pipelined group, answering every job exactly once. */
     void processGroup(Shard &shard, std::vector<Job> &group);
     bool connectShard(Shard &shard);
@@ -161,6 +230,14 @@ class Router
     std::vector<std::unique_ptr<Shard>> shardStates;
 
     std::atomic<std::uint64_t> nextInternalId{0};
+
+    std::string nodeName_; //!< "route:<port>", set at start().
+    obs::SlowLog slowLog_;
+
+    std::mutex controlMutex;
+    std::condition_variable controlCv;
+    std::deque<ControlJob> controlInbox;
+    std::thread controlThread;
 
     std::atomic<bool> stopping{false};
     bool stopped = false;

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <sys/socket.h>
 
+#include "obs/trace.hh"
 #include "report/writer.hh"
 
 namespace rhs::serve
@@ -110,6 +111,40 @@ writeFrame(int fd, const std::string &body)
         }
         done += static_cast<std::size_t>(sent);
     }
+    return true;
+}
+
+bool
+parseTraceField(const report::Json &request, TraceField &out,
+                std::string &message)
+{
+    out = TraceField{};
+    if (request.type() != report::Json::Type::Object)
+        return true;
+    const auto *trace = request.find("trace");
+    if (trace == nullptr)
+        return true;
+    if (trace->type() != report::Json::Type::Object) {
+        message = "'trace' must be an object";
+        return false;
+    }
+    const auto *id = trace->find("id");
+    if (id == nullptr || id->type() != report::Json::Type::String ||
+        !obs::traceIdFromHex(id->asString(), out.hi, out.lo)) {
+        message = "'trace' needs a string 'id' of 1..32 hex "
+                  "characters";
+        return false;
+    }
+    if (const auto *parent = trace->find("parent");
+        parent != nullptr) {
+        if (parent->type() != report::Json::Type::Int ||
+            parent->asInt() < 0) {
+            message = "'trace.parent' must be a non-negative integer";
+            return false;
+        }
+        out.parent = static_cast<std::uint64_t>(parent->asInt());
+    }
+    out.present = true;
     return true;
 }
 

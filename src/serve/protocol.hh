@@ -51,6 +51,12 @@ inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 /** Response id used when the request's own id could not be read. */
 inline constexpr std::int64_t kNoRequestId = -1;
 
+/** Default and hard cap for the `trace_pull` op's max_spans
+ *  parameter — sized so a span list always fits one response frame
+ *  (kMaxFrameBytes) with room to spare. */
+inline constexpr std::size_t kDefaultPullSpans = 2048;
+inline constexpr std::size_t kMaxPullSpans = 4096;
+
 namespace err
 {
 inline constexpr const char *kBadRequest = "bad_request";
@@ -95,6 +101,36 @@ FrameStatus readFrame(int fd, std::string &body,
  * dead peer yields `false`, not SIGPIPE).
  */
 bool writeFrame(int fd, const std::string &body);
+
+/**
+ * The parsed optional `trace` request member (PR 10):
+ *
+ *   "trace": {"id": "<1..32 hex chars>", "parent": <span id>}
+ *
+ * Clients (or an upstream router) attach it to join a request to a
+ * distributed trace; peers that predate it ignore unknown members, so
+ * the field is compatible in both directions. It never appears in
+ * responses — reply bytes are identical with and without it, which
+ * preserves every byte-identity contract.
+ */
+struct TraceField
+{
+    bool present = false;  //!< A valid `trace` member was attached.
+    std::uint64_t hi = 0;  //!< Trace id, high 64 bits.
+    std::uint64_t lo = 0;  //!< Trace id, low 64 bits.
+    std::uint64_t parent = 0; //!< Parent span id (0 = root).
+};
+
+/**
+ * Validate and parse the optional `trace` member of a request.
+ * Returns false with `message` set (the exact bad_request message
+ * bytes — shared by serve::Server and route::Router so a router is
+ * indistinguishable from a shard) when the member is present but
+ * malformed: not an object, a missing/overlong/non-hex id, or a
+ * negative parent. Absent member: true with out.present == false.
+ */
+bool parseTraceField(const report::Json &request, TraceField &out,
+                     std::string &message);
 
 /** Build a success response envelope. */
 report::Json makeResult(std::int64_t id, report::Json result);

@@ -6,6 +6,7 @@
 
 #include "core/tester.hh"
 #include "fuzz/search.hh"
+#include "obs/trace.hh"
 #include "rhmodel/pattern.hh"
 #include "serve/protocol.hh"
 #include "snap/reader.hh"
@@ -201,6 +202,12 @@ QueryEngine::execute(const report::Json &request)
     if (id == kNoRequestId)
         return makeError(id, err::kBadRequest,
                          "request needs an integer 'id'");
+
+    // The per-op span nests under the caller's trace context (the
+    // dispatcher installs it before calling in), so a stitched fleet
+    // trace shows engine.<op> — and the kernel spans beneath it —
+    // inside the shard's serve.exec hop.
+    obs::Span span("engine." + op);
 
     try {
         const auto mfr = mfrParam(request);

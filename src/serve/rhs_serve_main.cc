@@ -60,7 +60,7 @@ main(int argc, char **argv)
                         {"host", "port", "queue", "batch", "max-conns",
                          "jobs", "log", "trace-out", "simd",
                          "snapshot-in", "spill-file", "spill-max-mb",
-                         "seed", "help"});
+                         "seed", "slow-ms", "port-file", "help"});
     if (cli.has("help")) {
         std::printf(
             "usage: rhs-serve [--host H] [--port P] [--queue N] "
@@ -85,7 +85,13 @@ main(int argc, char **argv)
             "MiB; override with --spill-max-mb).\n"
             "--seed XORs a base seed into every fuzz_best search so\n"
             "two servers can diversify otherwise-identical requests;\n"
-            "the default 0 serves request seeds verbatim.\n");
+            "the default 0 serves request seeds verbatim.\n"
+            "                 [--slow-ms MS] [--port-file FILE]\n"
+            "--slow-ms records requests slower end to end than MS\n"
+            "milliseconds in a bounded exemplar log surfaced by the\n"
+            "stats op (0, the default, disables). --port-file writes\n"
+            "the bound port to FILE once listening, so scripted\n"
+            "parents can discover an ephemeral --port 0 choice.\n");
         return 0;
     }
 
@@ -127,11 +133,31 @@ main(int argc, char **argv)
         << 20;
     config.engine.fuzzSeedBase =
         static_cast<std::uint64_t>(cli.getInt("seed", 0));
+    config.slowMs = cli.getDouble("slow-ms", 0.0);
+    if (config.slowMs < 0)
+        RHS_FATAL("--slow-ms must be non-negative (0 disables)");
 
     obs::Registry::global().info("build.git").set(util::gitDescribe());
 
     serve::Server server(config);
     server.start();
+
+    if (const std::string port_file = cli.get("port-file", "");
+        !port_file.empty()) {
+        // Written atomically (temp + rename) so a polling parent never
+        // reads a half-written number.
+        const std::string tmp = port_file + ".tmp";
+        if (std::FILE *f = std::fopen(tmp.c_str(), "w")) {
+            std::fprintf(f, "%u\n", unsigned(server.port()));
+            std::fclose(f);
+            if (std::rename(tmp.c_str(), port_file.c_str()) != 0)
+                RHS_FATAL("rhs-serve: cannot rename ", tmp, " to ",
+                          port_file);
+        } else {
+            RHS_FATAL("rhs-serve: cannot write --port-file ",
+                      port_file);
+        }
+    }
 
     if (::pipe(signalPipe) != 0)
         RHS_FATAL("rhs-serve: pipe(): cannot set up signal handling");

@@ -69,6 +69,8 @@ Server::start()
 
     connLayer = std::make_unique<ConnLayer>(net, std::move(events));
     connLayer->start();
+    nodeName_ = "serve:" + std::to_string(connLayer->port());
+    slowLog_.setThresholdMs(config.slowMs);
     util::inform("rhs-serve: listening on ", config.host, ":",
                  connLayer->port(), " (queue ", config.queueCapacity,
                  ", batch ", config.batchMax, ")");
@@ -179,6 +181,29 @@ Server::handleFrame(const ConnPtr &conn, const std::string &body)
         send(conn, makeResult(id, statsJson()));
         return;
     }
+    if (op == "trace_pull") {
+        std::size_t max_spans = kDefaultPullSpans;
+        if (const auto *value = request.find("max_spans");
+            value != nullptr) {
+            if (value->type() != report::Json::Type::Int ||
+                value->asInt() < 0 ||
+                value->asInt() >
+                    static_cast<std::int64_t>(kMaxPullSpans)) {
+                nInline.add(1);
+                send(conn,
+                     makeError(id, err::kBadRequest,
+                               "'max_spans' must be an integer in "
+                               "[0, " +
+                                   std::to_string(kMaxPullSpans) +
+                                   "]"));
+                return;
+            }
+            max_spans = static_cast<std::size_t>(value->asInt());
+        }
+        nInline.add(1);
+        send(conn, makeResult(id, tracePullJson(max_spans)));
+        return;
+    }
     if (op == "shutdown") {
         auto result = report::Json::object();
         result.set("draining", true);
@@ -215,9 +240,24 @@ Server::handleFrame(const ConnPtr &conn, const std::string &body)
                 Clock::now() +
                 std::chrono::milliseconds(deadline->asInt());
     }
+    // The optional trace context is protocol surface: validated in
+    // every build (garbage is rejected without tearing the
+    // connection), recorded only while timing is active.
+    TraceField trace;
+    std::string trace_error;
+    if (!parseTraceField(request, trace, trace_error)) {
+        nInline.add(1);
+        send(conn, makeError(id, err::kBadRequest, trace_error));
+        return;
+    }
     pending.body = std::move(request);
-    if (obs::timingActive())
+    if (obs::timingActive()) {
         pending.enqueuedAt = Clock::now();
+        pending.queueBeginUs = obs::traceNowUs();
+        pending.ctx.hi = trace.hi;
+        pending.ctx.lo = trace.lo;
+        pending.ctx.parent = trace.parent;
+    }
 
     {
         // stopping and the queue are checked under one lock so a
@@ -275,6 +315,22 @@ Server::dispatchLoop()
             std::this_thread::sleep_for(
                 std::chrono::microseconds(config.serviceDelayUs));
 
+        // Per-request queue-wait spans, recorded by this thread under
+        // each request's own trace context (the queue interval is the
+        // first hop a stitched fleet trace attributes).
+        const bool timing = obs::timingActive();
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> execUs;
+        if (timing) {
+            execUs.assign(batch.size(), {0, 0});
+            const std::uint64_t now_us = obs::traceNowUs();
+            for (const Pending &pending : batch)
+                if (pending.queueBeginUs != 0)
+                    obs::recordSpanWith("serve.queue",
+                                        pending.queueBeginUs, now_us,
+                                        pending.ctx,
+                                        obs::nextSpanId());
+        }
+
         // One parallel pass over the whole batch: every query bottoms
         // out in the rowEval kernel, whose caches are thread-safe and
         // value-preserving, so concurrent evaluation cannot change any
@@ -289,17 +345,58 @@ Server::dispatchLoop()
                                      "deadline lapsed before "
                                      "execution");
                 }
-                return engine.execute(pending.body);
+                if (!timing)
+                    return engine.execute(pending.body);
+                // The request's context wraps execution so the exec
+                // span — and every kernel span recorded beneath it —
+                // chains into the caller's distributed trace.
+                const std::uint64_t begin_us = obs::traceNowUs();
+                obs::ContextScope scope(pending.ctx);
+                report::Json response;
+                {
+                    obs::Span exec("serve.exec");
+                    response = engine.execute(pending.body);
+                }
+                execUs[i] = {begin_us, obs::traceNowUs()};
+                return response;
             });
         for (std::size_t i = 0; i < batch.size(); ++i) {
             send(batch[i].conn, responses[i]);
             nResponses.add(1);
             if (batch[i].enqueuedAt != Clock::time_point::min() &&
-                obs::timingActive()) {
+                timing) {
                 const auto elapsed = std::chrono::duration<double,
                                                            std::milli>(
                     Clock::now() - batch[i].enqueuedAt);
                 latencyHist.observe(elapsed.count());
+                if (slowLog_.qualifies(elapsed.count())) {
+                    obs::SlowLog::Entry entry;
+                    const Pending &pending = batch[i];
+                    if (const auto *op = pending.body.find("op");
+                        op != nullptr &&
+                        op->type() == report::Json::Type::String)
+                        entry.op = op->asString();
+                    entry.digest =
+                        obs::paramsDigest(serialize(pending.body));
+                    entry.totalMs = elapsed.count();
+                    if (pending.ctx.valid())
+                        entry.traceId = obs::traceIdToHex(
+                            pending.ctx.hi, pending.ctx.lo);
+                    if (pending.queueBeginUs != 0 &&
+                        execUs[i].first != 0)
+                        entry.hops.emplace_back(
+                            "queue_ms",
+                            static_cast<double>(execUs[i].first -
+                                                pending.queueBeginUs) /
+                                1000.0);
+                    if (execUs[i].second != 0)
+                        entry.hops.emplace_back(
+                            "exec_ms",
+                            static_cast<double>(execUs[i].second -
+                                                execUs[i].first) /
+                                1000.0);
+                    slowLog_.record(std::move(entry));
+                }
             }
         }
     }
@@ -349,6 +446,14 @@ Server::statsJson() const
     json.set("overloaded", s.overloaded);
     json.set("deadline_expired", s.deadlineExpired);
     json.set("malformed_frames", s.malformedFrames);
+    // Trace-ring health (satellite of PR 10): recorded vs dropped
+    // spans — a nonzero `dropped` means the ring wrapped and a
+    // trace_pull came too late for the overwritten spans.
+    auto trace = report::Json::object();
+    trace.set("recorded", obs::traceRecorded());
+    trace.set("dropped", obs::traceDropped());
+    json.set("trace", std::move(trace));
+    json.set("slow_log", slowLog_.toJson());
     // Full snapshots ride after the legacy fields so existing clients
     // (and tests) keep their byte-stable view: this server's registry
     // (queue/batch/latency histograms) plus the process-wide one (the
@@ -358,6 +463,29 @@ Server::statsJson() const
     metrics.set("process",
                 obs::registryJson(obs::Registry::global()));
     json.set("metrics", std::move(metrics));
+    return json;
+}
+
+report::Json
+Server::tracePullJson(std::size_t max_spans) const
+{
+    // Drain semantics: snapshot, emit, clear — so two pulls never
+    // double-report a span. The counters are snapshotted before the
+    // spans so `recorded` can only undercount relative to the list.
+    const std::uint64_t recorded = obs::traceRecorded();
+    const std::uint64_t dropped = obs::traceDropped();
+    const auto spans = obs::traceSnapshot();
+    bool truncated = false;
+    auto json = report::Json::object();
+    json.set("node", nodeName_);
+    json.set("epoch_unix_us", obs::traceEpochUnixUs());
+    json.set("compiled", obs::kCompiledIn);
+    json.set("recorded", recorded);
+    json.set("dropped", dropped);
+    auto span_list = obs::spansJson(spans, max_spans, truncated);
+    json.set("truncated", truncated);
+    json.set("spans", std::move(span_list));
+    obs::clearTrace();
     return json;
 }
 

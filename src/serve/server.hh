@@ -48,6 +48,8 @@
 #include <vector>
 
 #include "obs/metrics.hh"
+#include "obs/slow_log.hh"
+#include "obs/trace.hh"
 #include "report/json.hh"
 #include "serve/conn_layer.hh"
 #include "serve/query_engine.hh"
@@ -66,6 +68,10 @@ struct ServerConfig
     //! Artificial stall before each batch executes (test hook: makes
     //! the backpressure and deadline paths deterministic to exercise).
     unsigned serviceDelayUs = 0;
+    //! Slow-request exemplar threshold in milliseconds (`--slow-ms`);
+    //! requests slower end to end than this are recorded in the
+    //! bounded slow log surfaced by the stats op. 0 disables.
+    double slowMs = 0.0;
     //! Snapshot / spill tiers for the engine (see src/snap).
     QueryEngine::EngineOptions engine;
 };
@@ -132,6 +138,15 @@ class Server
      */
     report::Json statsJson() const;
 
+    /**
+     * The `trace_pull` op's payload: this process's retained spans
+     * ({node, epoch_unix_us, compiled, recorded, dropped, truncated,
+     * spans}), drained — the rings are cleared after the snapshot so
+     * two pulls never double-report a span. `max_spans` caps the
+     * emitted list (newest kept) to keep the reply inside one frame.
+     */
+    report::Json tracePullJson(std::size_t max_spans) const;
+
     /** This server's metric registry (per-instance, so two servers in
      *  one process — the loadgen scenarios — never mix counts). */
     const obs::Registry &metricsRegistry() const { return registry_; }
@@ -153,6 +168,11 @@ class Server
         //! Enqueue instant for the latency_ms histogram; only stamped
         //! while obs::timingActive() (min() otherwise = not recorded).
         Clock::time_point enqueuedAt = Clock::time_point::min();
+        //! The request's distributed trace context (zeros when the
+        //! client attached no `trace` member) and the enqueue instant
+        //! in trace time — both stamped only while timingActive().
+        obs::TraceContext ctx;
+        std::uint64_t queueBeginUs = 0;
     };
 
     void dispatchLoop();
@@ -163,6 +183,8 @@ class Server
     ServerConfig config;
     QueryEngine engine;
     std::unique_ptr<ConnLayer> connLayer;
+    std::string nodeName_; //!< "serve:<port>", set at start().
+    obs::SlowLog slowLog_;
 
     std::atomic<bool> stopping{false};
     bool stopped = false; //!< stop() completed (guarded by stopMutex).

@@ -216,6 +216,318 @@ TEST(ObsTest, ChromeTraceJsonShape)
     obs::clearTrace();
 }
 
+// --- PR 10: fleet merge and distributed-trace plumbing --------------
+
+TEST(ObsTest, MergeHistogramsEmptyInput)
+{
+    const obs::HistogramData merged = obs::mergeHistograms({});
+    EXPECT_EQ(merged.count, 0u);
+    EXPECT_EQ(merged.sum, 0.0);
+    EXPECT_TRUE(merged.bounds.empty());
+    EXPECT_EQ(merged.quantile(0.5), 0.0);
+}
+
+TEST(ObsTest, MergeHistogramsSingleShardIsIdentity)
+{
+    obs::Histogram histogram(obs::exponentialBounds(1.0, 2.0, 8));
+    for (int i = 1; i <= 50; ++i)
+        histogram.observe(double(i));
+    const obs::HistogramData part = histogram.snapshot();
+    const obs::HistogramData merged = obs::mergeHistograms({part});
+    EXPECT_EQ(merged.count, part.count);
+    EXPECT_EQ(merged.sum, part.sum);
+    EXPECT_EQ(merged.min, part.min);
+    EXPECT_EQ(merged.max, part.max);
+    ASSERT_EQ(merged.counts.size(), part.counts.size());
+    for (std::size_t i = 0; i < part.counts.size(); ++i)
+        EXPECT_EQ(merged.counts[i], part.counts[i]);
+    EXPECT_EQ(merged.quantile(0.5), part.quantile(0.5));
+}
+
+// A version-skewed shard (different bucket layout) must contribute its
+// scalars but not its buckets: quantiles stay exact over the matching
+// inputs instead of guessing a fold between incompatible layouts.
+TEST(ObsTest, MergeHistogramsMismatchedBucketLayout)
+{
+    obs::Histogram a(obs::exponentialBounds(1.0, 2.0, 8));
+    obs::Histogram b(obs::exponentialBounds(1.0, 2.0, 8));
+    obs::Histogram skewed({5.0, 50.0});
+    for (int i = 1; i <= 40; ++i)
+        a.observe(double(i));
+    for (int i = 41; i <= 100; ++i)
+        b.observe(double(i));
+    for (int i = 0; i < 10; ++i)
+        skewed.observe(1000.0);
+
+    const obs::HistogramData merged = obs::mergeHistograms(
+        {a.snapshot(), b.snapshot(), skewed.snapshot()});
+    // Scalars fold across all three parts...
+    EXPECT_EQ(merged.count, 110u);
+    EXPECT_EQ(merged.min, 1.0);
+    EXPECT_EQ(merged.max, 1000.0);
+    // ...but the buckets keep the first layout: bucket totals cover
+    // only the two matching shards.
+    ASSERT_EQ(merged.bounds.size(), a.snapshot().bounds.size());
+    std::uint64_t bucket_total = 0;
+    for (auto count : merged.counts)
+        bucket_total += count;
+    EXPECT_EQ(bucket_total, 100u);
+}
+
+// The fleet p50/p99 must come from the merged buckets — identical to
+// a single histogram that saw every shard's samples — never from
+// averaging per-shard quantiles.
+TEST(ObsTest, MergeHistogramsFleetQuantilesMatchCombined)
+{
+    const auto bounds = obs::exponentialBounds(1.0, 2.0, 12);
+    obs::Histogram shard0(bounds);
+    obs::Histogram shard1(bounds);
+    obs::Histogram combined(bounds);
+    // Deliberately skewed split: shard 0 sees the fast half, shard 1
+    // the slow tail, so averaged per-shard quantiles would be wrong.
+    for (int i = 1; i <= 900; ++i) {
+        shard0.observe(double(i % 10 + 1));
+        combined.observe(double(i % 10 + 1));
+    }
+    for (int i = 0; i < 100; ++i) {
+        shard1.observe(double(500 + i));
+        combined.observe(double(500 + i));
+    }
+    const obs::HistogramData merged =
+        obs::mergeHistograms({shard0.snapshot(), shard1.snapshot()});
+    const obs::HistogramData reference = combined.snapshot();
+    EXPECT_EQ(merged.count, reference.count);
+    EXPECT_EQ(merged.sum, reference.sum);
+    EXPECT_EQ(merged.quantile(0.50), reference.quantile(0.50));
+    EXPECT_EQ(merged.quantile(0.99), reference.quantile(0.99));
+    // Hand-computed: 1000 samples, 900 of them <= 10 — the median sits
+    // in a low bucket, the p99 inside the slow tail.
+    EXPECT_LE(merged.quantile(0.50), 16.0);
+    EXPECT_GE(merged.quantile(0.99), 256.0);
+    EXPECT_LE(merged.quantile(0.99), merged.max);
+}
+
+TEST(ObsTest, HistogramJsonRoundtrip)
+{
+    obs::Histogram histogram(obs::latencyBoundsMs());
+    histogram.observe(0.3);
+    histogram.observe(7.5);
+    histogram.observe(120.0);
+    const obs::HistogramData data = histogram.snapshot();
+    obs::HistogramData parsed;
+    ASSERT_TRUE(
+        obs::histogramFromJson(obs::histogramJson(data), parsed));
+    EXPECT_EQ(parsed.count, data.count);
+    EXPECT_EQ(parsed.sum, data.sum);
+    EXPECT_EQ(parsed.min, data.min);
+    EXPECT_EQ(parsed.max, data.max);
+    ASSERT_EQ(parsed.bounds.size(), data.bounds.size());
+    ASSERT_EQ(parsed.counts.size(), data.counts.size());
+    EXPECT_EQ(parsed.quantile(0.5), data.quantile(0.5));
+
+    obs::HistogramData rejected;
+    EXPECT_FALSE(
+        obs::histogramFromJson(report::Json::array(), rejected));
+}
+
+TEST(ObsTest, MergeRegistryJsonSumsCountersKeepsGauges)
+{
+    obs::Registry r0, r1;
+    r0.counter("requests").add(10);
+    r1.counter("requests").add(32);
+    r0.gauge("queue_depth").set(3);
+    r1.gauge("queue_depth").set(9);
+    r0.histogram("latency_ms", obs::latencyBoundsMs()).observe(1.0);
+    r1.histogram("latency_ms", obs::latencyBoundsMs()).observe(64.0);
+
+    const report::Json merged = obs::mergeRegistryJson(
+        {{"s0r0", obs::registryJson(r0)},
+         {"s1r0", obs::registryJson(r1)}});
+    EXPECT_EQ(merged.at("counters").at("requests").asInt(), 42);
+    // Gauges have no meaningful fleet sum: per-replica under labels.
+    EXPECT_EQ(merged.at("gauges")
+                  .at("queue_depth")
+                  .at("s0r0")
+                  .asInt(),
+              3);
+    EXPECT_EQ(merged.at("gauges")
+                  .at("queue_depth")
+                  .at("s1r0")
+                  .asInt(),
+              9);
+    const report::Json &hist =
+        merged.at("histograms").at("latency_ms");
+    EXPECT_EQ(hist.at("count").asInt(), 2);
+    EXPECT_EQ(hist.at("min").asDouble(), 1.0);
+    EXPECT_EQ(hist.at("max").asDouble(), 64.0);
+    const report::Json &replicas = merged.at("replicas");
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_EQ(replicas.at(0).asString(), "s0r0");
+}
+
+TEST(ObsTest, TraceIdHexRoundtrip)
+{
+    const std::string hex =
+        obs::traceIdToHex(0x0123456789abcdefull, 0xfedcba9876543210ull);
+    EXPECT_EQ(hex, "0123456789abcdeffedcba9876543210");
+    std::uint64_t hi = 0, lo = 0;
+    ASSERT_TRUE(obs::traceIdFromHex(hex, hi, lo));
+    EXPECT_EQ(hi, 0x0123456789abcdefull);
+    EXPECT_EQ(lo, 0xfedcba9876543210ull);
+    // Short forms parse (right-aligned into lo).
+    ASSERT_TRUE(obs::traceIdFromHex("Ff", hi, lo));
+    EXPECT_EQ(hi, 0u);
+    EXPECT_EQ(lo, 0xffu);
+    // Empty, overlong, and non-hex are rejected.
+    EXPECT_FALSE(obs::traceIdFromHex("", hi, lo));
+    EXPECT_FALSE(obs::traceIdFromHex(std::string(33, 'a'), hi, lo));
+    EXPECT_FALSE(obs::traceIdFromHex("xyz", hi, lo));
+    // makeTraceId never returns the "no trace" sentinel.
+    const obs::TraceContext fresh = obs::makeTraceId();
+    EXPECT_TRUE(fresh.valid());
+}
+
+TEST(ObsTest, SpansJsonRoundtripAndTruncation)
+{
+    std::vector<obs::SpanEvent> spans;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        obs::SpanEvent span;
+        span.name = "s" + std::to_string(i);
+        span.beginUs = 10 * i;
+        span.endUs = 10 * i + 5;
+        span.tid = static_cast<std::uint32_t>(i % 2);
+        span.traceHi = 0xabc;
+        span.traceLo = i;
+        span.spanId = i + 1;
+        span.parentId = i;
+        spans.push_back(std::move(span));
+    }
+    bool truncated = false;
+    auto payload = report::Json::object();
+    payload.set("node", "serve:7001");
+    payload.set("epoch_unix_us", std::int64_t{123456});
+    payload.set("recorded", std::int64_t{5});
+    payload.set("dropped", std::int64_t{0});
+    payload.set("spans", obs::spansJson(spans, 3, truncated));
+    payload.set("truncated", truncated);
+    EXPECT_TRUE(truncated); // 5 spans, cap 3.
+
+    obs::NodeTrace parsed;
+    ASSERT_TRUE(obs::nodeTraceFromJson(payload, parsed));
+    EXPECT_EQ(parsed.node, "serve:7001");
+    EXPECT_EQ(parsed.epochUnixUs, 123456u);
+    EXPECT_TRUE(parsed.truncated);
+    // The newest spans are kept — the tail is the interesting end of
+    // a flight recorder.
+    ASSERT_EQ(parsed.spans.size(), 3u);
+    EXPECT_EQ(parsed.spans.front().name, "s2");
+    EXPECT_EQ(parsed.spans.back().name, "s4");
+    EXPECT_EQ(parsed.spans.back().traceHi, 0xabcu);
+    EXPECT_EQ(parsed.spans.back().traceLo, 4u);
+    EXPECT_EQ(parsed.spans.back().spanId, 5u);
+    EXPECT_EQ(parsed.spans.back().parentId, 4u);
+
+    obs::NodeTrace rejected;
+    EXPECT_FALSE(
+        obs::nodeTraceFromJson(report::Json::array(), rejected));
+    auto spanless = report::Json::object();
+    spanless.set("node", "serve:1");
+    EXPECT_FALSE(obs::nodeTraceFromJson(spanless, rejected));
+}
+
+TEST(ObsTest, StitchedChromeTraceNamesEveryNode)
+{
+    std::vector<obs::NodeTrace> nodes;
+    for (unsigned n = 0; n < 2; ++n) {
+        obs::NodeTrace node;
+        node.node = (n == 0 ? "route:1" : "serve:7001");
+        node.epochUnixUs = 1'000'000 + n * 50;
+        obs::SpanEvent span;
+        span.name = n == 0 ? "route.forward" : "serve.exec";
+        span.beginUs = 10;
+        span.endUs = 60;
+        span.traceHi = 0xdead;
+        span.traceLo = 0xbeef;
+        span.spanId = n + 1;
+        node.spans.push_back(std::move(span));
+        nodes.push_back(std::move(node));
+    }
+    const report::Json trace = obs::chromeTraceJson(nodes);
+    const report::Json &events = trace.at("traceEvents");
+    unsigned named = 0, complete = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const report::Json &event = events.at(i);
+        const std::string ph = event.at("ph").asString();
+        if (ph == "M" &&
+            event.at("name").asString() == "process_name") {
+            ++named;
+            continue;
+        }
+        if (ph != "X")
+            continue;
+        ++complete;
+        // pid = 1-based node index; timestamps on the absolute axis
+        // via each node's epoch, so the shard span (later epoch)
+        // starts after the router span.
+        EXPECT_GE(event.at("pid").asInt(), 1);
+        EXPECT_LE(event.at("pid").asInt(), 2);
+        EXPECT_EQ(event.at("args").at("trace").asString(),
+                  obs::traceIdToHex(0xdead, 0xbeef));
+    }
+    EXPECT_EQ(named, nodes.size());
+    EXPECT_EQ(complete, 2u);
+}
+
+TEST(ObsTest, SpanNestingBuildsParentChain)
+{
+    if (!obs::kCompiledIn)
+        GTEST_SKIP() << "spans compiled out (RHS_OBS=OFF)";
+    obs::clearTrace();
+    std::uint64_t outer_id = 0, inner_id = 0;
+    {
+        obs::Span outer("nest.outer");
+        outer_id = outer.id();
+        obs::Span inner("nest.inner");
+        inner_id = inner.id();
+    }
+    ASSERT_NE(outer_id, 0u);
+    ASSERT_NE(inner_id, 0u);
+    const auto spans = obs::traceSnapshot();
+    const obs::SpanEvent *outer_span = nullptr;
+    const obs::SpanEvent *inner_span = nullptr;
+    for (const auto &span : spans) {
+        if (span.name == "nest.outer")
+            outer_span = &span;
+        if (span.name == "nest.inner")
+            inner_span = &span;
+    }
+    ASSERT_NE(outer_span, nullptr);
+    ASSERT_NE(inner_span, nullptr);
+    EXPECT_EQ(inner_span->parentId, outer_id);
+    EXPECT_EQ(outer_span->spanId, outer_id);
+
+    // A ContextScope continues a remote caller's trace: spans under it
+    // carry the remote id and chain to the remote parent.
+    obs::TraceContext remote;
+    remote.hi = 0x1122;
+    remote.lo = 0x3344;
+    remote.parent = 77;
+    std::uint64_t scoped_id = 0;
+    {
+        obs::ContextScope scope(remote);
+        obs::Span handler("nest.handler");
+        scoped_id = handler.id();
+    }
+    for (const auto &span : obs::traceSnapshot())
+        if (span.name == "nest.handler") {
+            EXPECT_EQ(span.traceHi, 0x1122u);
+            EXPECT_EQ(span.traceLo, 0x3344u);
+            EXPECT_EQ(span.parentId, 77u);
+            EXPECT_EQ(span.spanId, scoped_id);
+        }
+    obs::clearTrace();
+}
+
 TEST(ObsTest, TraceRingWraparoundDropsOldest)
 {
     obs::clearTrace();

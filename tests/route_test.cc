@@ -24,6 +24,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "obs/export.hh"
 #include "route/hash_ring.hh"
 #include "route/health.hh"
 #include "route/router.hh"
@@ -367,6 +368,187 @@ TEST_F(RouteFleetTest, DrainAnswersEverythingInFlight)
     // After the drain, new connections are refused or reset; the
     // already-received reply above is the invariant that matters.
     EXPECT_EQ(router->connectionCount(), 0u);
+}
+
+// --- PR 10: trace propagation and fleet aggregation -------------------
+
+TEST_F(RouteFleetTest, TracedRequestsRouteByteIdentical)
+{
+    startFleet({1, 1});
+    serve::QueryEngine direct;
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", router->port()));
+
+    for (unsigned k = 0; k < 8; ++k) {
+        auto request = report::Json::object();
+        const char mfr[2] = {"ABCD"[k % 4], '\0'};
+        request.set("op", "row_hcfirst");
+        request.set("id", static_cast<std::int64_t>(100 + k));
+        request.set("mfr", mfr);
+        request.set("bank", k % 4);
+        request.set("row", 3 + k);
+        const std::string plain = serve::serialize(request);
+        auto trace = report::Json::object();
+        trace.set("id", "0000feed0000face0000000000000000");
+        trace.set("parent", std::int64_t{k + 1});
+        request.set("trace", std::move(trace));
+        // Routed with a trace attached == direct engine without one:
+        // the context survives the router's id rewrite and fan-out
+        // without leaking a byte into the reply.
+        const std::string routed =
+            client.callRaw(serve::serialize(request));
+        ASSERT_FALSE(routed.empty());
+        EXPECT_EQ(routed, direct.executeRaw(plain));
+    }
+}
+
+TEST_F(RouteFleetTest, GarbageTraceErrorBytesMatchShard)
+{
+    startFleet({1});
+    serve::Client through_router, to_shard;
+    ASSERT_TRUE(
+        through_router.connect("127.0.0.1", router->port()));
+    ASSERT_TRUE(
+        to_shard.connect("127.0.0.1", servers[0]->port()));
+
+    // The router validates the member before forwarding; its error
+    // reply must be byte-identical to what the shard itself answers,
+    // so clients cannot tell the tiers apart on the error path.
+    const std::vector<std::string> bad_bodies = {
+        R"({"op": "ber", "id": 70, "row": 5, "trace": []})",
+        R"({"op": "ber", "id": 71, "row": 5, "trace": {"id": "zz"}})",
+        R"({"op": "ber", "id": 72, "row": 5, "trace":)"
+        R"( {"id": "0123456789abcdef0123456789abcdef0"}})",
+        R"({"op": "ber", "id": 73, "row": 5, "trace": {"id": "1",)"
+        R"( "parent": -3}})",
+    };
+    for (const std::string &body : bad_bodies) {
+        const std::string routed = through_router.callRaw(body);
+        const std::string direct = to_shard.callRaw(body);
+        ASSERT_FALSE(routed.empty()) << body;
+        EXPECT_EQ(routed, direct) << body;
+        report::Json response;
+        std::string error;
+        ASSERT_TRUE(report::Json::parse(routed, response, error));
+        EXPECT_TRUE(
+            serve::isError(response, serve::err::kBadRequest));
+    }
+    // Neither connection was torn down.
+    EXPECT_TRUE(through_router.ping(80));
+    EXPECT_TRUE(to_shard.ping(81));
+}
+
+TEST_F(RouteFleetTest, FleetStatsMergesEveryShard)
+{
+    startFleet({1, 1});
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", router->port()));
+
+    // Drive work onto both shards so the merge has real counters.
+    for (unsigned k = 0; k < 12; ++k) {
+        auto request = report::Json::object();
+        const char mfr[2] = {"ABCD"[k % 4], '\0'};
+        request.set("op", "row_hcfirst");
+        request.set("id", static_cast<std::int64_t>(200 + k));
+        request.set("mfr", mfr);
+        request.set("bank", k % 4);
+        request.set("row", 5 + k);
+        report::Json response;
+        ASSERT_TRUE(client.call(request, response));
+    }
+
+    // A shard writes its response bytes before the responses_sent
+    // increment lands, so a fleet_stats fired immediately after the
+    // last reply can see the counter one short. Poll until the fleet
+    // snapshot settles at >= 12 (it always does within a few ms).
+    report::Json response;
+    std::int64_t merged = 0;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        auto request = report::Json::object();
+        request.set("op", "fleet_stats");
+        request.set("id", static_cast<std::int64_t>(300 + attempt));
+        ASSERT_TRUE(client.call(request, response));
+        ASSERT_TRUE(response.at("ok").asBool());
+        const report::Json &server =
+            response.at("result").at("merged").at("server");
+        merged =
+            server.at("counters").at("responses_sent").asInt();
+        const std::int64_t observed = server.at("histograms")
+                                          .at("latency_ms")
+                                          .at("count")
+                                          .asInt();
+        if (merged >= 12 &&
+            (!obs::kCompiledIn || observed == merged))
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const report::Json &fleet = response.at("result");
+
+    EXPECT_EQ(fleet.at("replicas_reached").asInt(), 2);
+    // Merged counters are the exact sum of the per-shard raw stats.
+    std::int64_t summed = 0;
+    const report::Json &per_shard = fleet.at("per_shard");
+    ASSERT_EQ(per_shard.size(), 2u);
+    for (std::size_t i = 0; i < per_shard.size(); ++i)
+        summed +=
+            per_shard.at(i).at("stats").at("responses_sent").asInt();
+    EXPECT_EQ(merged, summed);
+    EXPECT_GE(merged, 12);
+    // The merged latency histogram is a real distribution with sane
+    // quantiles. With obs compiled out the servers never observe
+    // latency samples, so the merged histogram is legitimately empty.
+    const report::Json &hist = fleet.at("merged")
+                                   .at("server")
+                                   .at("histograms")
+                                   .at("latency_ms");
+    if (obs::kCompiledIn) {
+        EXPECT_EQ(hist.at("count").asInt(),
+                  summed); // One latency sample per response.
+        EXPECT_LE(hist.at("p50").asDouble(),
+                  hist.at("p99").asDouble());
+        EXPECT_GE(hist.at("p50").asDouble(),
+                  hist.at("min").asDouble());
+        EXPECT_LE(hist.at("p99").asDouble(),
+                  hist.at("max").asDouble());
+    } else {
+        EXPECT_EQ(hist.at("count").asInt(), 0);
+    }
+}
+
+TEST_F(RouteFleetTest, TracePullFansOutToEveryNode)
+{
+    startFleet({1, 1});
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", router->port()));
+
+    auto request = report::Json::object();
+    request.set("op", "trace_pull");
+    request.set("id", std::int64_t{400});
+    report::Json response;
+    ASSERT_TRUE(client.call(request, response));
+    ASSERT_TRUE(response.at("ok").asBool());
+    const report::Json &nodes = response.at("result").at("nodes");
+    // Router + both shards, router first, every entry parseable as a
+    // NodeTrace.
+    ASSERT_EQ(nodes.size(), 3u);
+    EXPECT_EQ(nodes.at(0).at("node").asString().rfind("route:", 0),
+              0u);
+    unsigned shard_nodes = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        obs::NodeTrace parsed;
+        EXPECT_TRUE(obs::nodeTraceFromJson(nodes.at(i), parsed));
+        if (parsed.node.rfind("serve:", 0) == 0)
+            ++shard_nodes;
+    }
+    EXPECT_EQ(shard_nodes, 2u);
+
+    // The router applies the same max_spans bound as a shard.
+    request.set("id", std::int64_t{401});
+    request.set("max_spans",
+                static_cast<std::int64_t>(serve::kMaxPullSpans) + 1);
+    ASSERT_TRUE(client.call(request, response));
+    EXPECT_TRUE(serve::isError(response, serve::err::kBadRequest));
+    EXPECT_TRUE(client.ping(402));
 }
 
 // --- Client reconnect-with-backoff -----------------------------------

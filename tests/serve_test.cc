@@ -22,6 +22,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
 #include "serve/query_engine.hh"
@@ -543,6 +544,156 @@ TEST_F(ServeServerTest, ShutdownOpDrainsBeforeStopping)
     while (answered < in_flight && worker.recvRaw(reply))
         ++answered;
     EXPECT_EQ(answered, stats.requestsEnqueued);
+}
+
+// --- PR 10: the optional `trace` request member ----------------------
+
+TEST_F(ServeServerTest, TraceMemberInvisibleInResponseBytes)
+{
+    startServer();
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+    serve::QueryEngine direct;
+
+    const std::vector<std::string> plain_bodies = {
+        R"({"op": "row_hcfirst", "id": 20, "mfr": "A", "row": 21})",
+        R"({"op": "ber", "id": 21, "mfr": "C", "row": 9,)"
+        R"( "hammers": 30000})",
+        R"({"op": "profile_slice", "id": 22, "row0": 6, "count": 2})",
+    };
+    for (const std::string &plain : plain_bodies) {
+        report::Json request = parseOrDie(plain);
+        auto trace = report::Json::object();
+        trace.set("id", "00c0ffee00000000000000000000beef");
+        trace.set("parent", std::int64_t{42});
+        request.set("trace", std::move(trace));
+        const std::string served =
+            client.callRaw(serve::serialize(request));
+        ASSERT_FALSE(served.empty());
+        // The reply carries no echo of the trace context and is the
+        // exact bytes of the trace-free direct call.
+        EXPECT_EQ(served, direct.executeRaw(plain)) << plain;
+    }
+}
+
+TEST_F(ServeServerTest, GarbageTraceRejectedWithoutTeardown)
+{
+    startServer();
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+
+    // Trace validation lives on the engine-op path (control ops
+    // never consume the member), so probe it with a real engine op.
+    const std::vector<std::string> bad_bodies = {
+        // `trace` must be an object.
+        R"({"op": "ber", "id": 30, "row": 5, "trace": "deadbeef"})",
+        R"({"op": "ber", "id": 31, "row": 5, "trace": 7})",
+        // `trace.id` must be 1..32 hex characters.
+        R"({"op": "ber", "id": 32, "row": 5, "trace": {"id": ""}})",
+        R"({"op": "ber", "id": 33, "row": 5,)"
+        R"( "trace": {"id": "xyz"}})",
+        R"({"op": "ber", "id": 34, "row": 5, "trace": {)"
+        R"("id": "000000000000000000000000000000001"}})", // 33 chars
+        R"({"op": "ber", "id": 35, "row": 5,)"
+        R"( "trace": {"parent": 1}})",
+        // `trace.parent` must be a non-negative integer.
+        R"({"op": "ber", "id": 36, "row": 5, "trace": {"id": "ab",)"
+        R"( "parent": -1}})",
+        R"({"op": "ber", "id": 37, "row": 5, "trace": {"id": "ab",)"
+        R"( "parent": "x"}})",
+    };
+    for (const std::string &body : bad_bodies) {
+        const std::string reply = client.callRaw(body);
+        ASSERT_FALSE(reply.empty()) << body;
+        report::Json response;
+        std::string error;
+        ASSERT_TRUE(report::Json::parse(reply, response, error));
+        EXPECT_TRUE(
+            serve::isError(response, serve::err::kBadRequest))
+            << body;
+    }
+    // Rejection never tears the connection: a valid traced request
+    // still works on the same socket.
+    const std::string good = client.callRaw(
+        R"({"op": "ber", "id": 40, "row": 5,)"
+        R"( "trace": {"id": "ab12"}})");
+    ASSERT_FALSE(good.empty());
+    report::Json response;
+    std::string error;
+    ASSERT_TRUE(report::Json::parse(good, response, error));
+    EXPECT_TRUE(response.at("ok").asBool());
+}
+
+TEST_F(ServeServerTest, TracePullDrainsSpansAndValidatesMaxSpans)
+{
+    startServer();
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+
+    // Record something traceable, then pull.
+    const std::string traced = client.callRaw(
+        R"({"op": "row_hcfirst", "id": 50, "row": 13,)"
+        R"( "trace": {"id": "feedc0de"}})");
+    ASSERT_FALSE(traced.empty());
+
+    auto pull = report::Json::object();
+    pull.set("op", "trace_pull");
+    pull.set("id", std::int64_t{51});
+    report::Json response;
+    ASSERT_TRUE(client.call(pull, response));
+    ASSERT_TRUE(response.at("ok").asBool());
+    const report::Json &result = response.at("result");
+    EXPECT_FALSE(result.at("node").asString().empty());
+    EXPECT_EQ(result.at("compiled").asBool(), obs::kCompiledIn);
+    ASSERT_TRUE(result.contains("spans"));
+    if (obs::kCompiledIn) {
+        // The engine request's spans surface under the request's
+        // distributed trace id.
+        bool tagged = false;
+        const report::Json &spans = result.at("spans");
+        for (std::size_t i = 0; i < spans.size(); ++i)
+            if (const auto *id = spans.at(i).find("trace"))
+                tagged = tagged ||
+                         id->asString().find("feedc0de") !=
+                             std::string::npos;
+        EXPECT_TRUE(tagged);
+    }
+
+    // Drain semantics: a second pull never double-reports. The first
+    // pull cleared the rings, so the request's spans are gone.
+    pull.set("id", std::int64_t{52});
+    ASSERT_TRUE(client.call(pull, response));
+    const report::Json &second = response.at("result");
+    for (std::size_t i = 0; i < second.at("spans").size(); ++i)
+        EXPECT_EQ(second.at("spans").at(i).find("trace"), nullptr);
+
+    // max_spans outside [0, kMaxPullSpans] is rejected, connection
+    // intact.
+    for (const std::int64_t bad :
+         {std::int64_t{-1},
+          static_cast<std::int64_t>(serve::kMaxPullSpans) + 1}) {
+        pull.set("id", std::int64_t{53});
+        pull.set("max_spans", bad);
+        ASSERT_TRUE(client.call(pull, response));
+        EXPECT_TRUE(
+            serve::isError(response, serve::err::kBadRequest));
+    }
+    EXPECT_TRUE(client.ping(54));
+}
+
+TEST_F(ServeServerTest, StatsExposeTraceRingAndSlowLog)
+{
+    startServer();
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port()));
+    const auto stats = client.stats(60);
+    ASSERT_FALSE(stats.isNull());
+    ASSERT_TRUE(stats.contains("trace"));
+    EXPECT_GE(stats.at("trace").at("recorded").asInt(), 0);
+    EXPECT_GE(stats.at("trace").at("dropped").asInt(), 0);
+    ASSERT_TRUE(stats.contains("slow_log"));
+    ASSERT_TRUE(stats.contains("metrics"));
+    EXPECT_TRUE(stats.at("metrics").contains("server"));
 }
 
 // The stats op races engine ops by design (counters are read without
